@@ -1,0 +1,60 @@
+"""Benchmark S2: information preservation vs the OEM and labeled-tree
+baselines, on identical sources.
+
+The reproducible *shape*: the paper's model retains 100% of source atoms
+and flags every conflict; OEM retention is strictly below 100% with zero
+conflicts flagged; the tree model retains atoms but only as unflagged
+ambiguous duplicates; openness survives only in the paper's model.
+"""
+
+import pytest
+
+from repro.baselines import labeled_tree, oem
+from repro.baselines.metrics import compare_merges
+
+
+@pytest.mark.parametrize("fixture_name",
+                         ["workload_100", "workload_300"])
+def test_model_comparison(benchmark, request, fixture_name):
+    workload = request.getfixturevalue(fixture_name)
+    s1, s2 = workload.sources
+
+    row = benchmark.pedantic(compare_merges, args=(s1, s2, workload.key),
+                             rounds=3, iterations=1)
+    assert row.retention(row.model) == 1.0
+    assert row.retention(row.oem) < 1.0
+    assert row.model.conflicts_flagged > 0
+    assert row.oem.conflicts_flagged == 0
+    assert row.tree.conflicts_flagged == 0
+    assert row.tree.ambiguous_duplicates >= row.model.conflicts_flagged
+    assert row.model.openness_preserved
+    assert not row.oem.openness_preserved
+    assert not row.tree.openness_preserved
+
+
+def test_oem_naive_merge_latency(benchmark, workload_300):
+    s1, s2 = workload_300.sources
+    first = oem.from_dataset(s1)
+    second = oem.from_dataset(s2)
+
+    merged = benchmark(oem.naive_merge, first, second,
+                       list(workload_300.key))
+    assert len(merged.roots) == workload_300.expected_result_size()
+
+
+def test_tree_naive_merge_latency(benchmark, workload_300):
+    s1, s2 = workload_300.sources
+    first = labeled_tree.from_dataset(s1)
+    second = labeled_tree.from_dataset(s2)
+
+    merged = benchmark(labeled_tree.naive_merge, first, second,
+                       list(workload_300.key))
+    assert len(merged.children("entry")) == \
+        workload_300.expected_result_size()
+
+
+def test_model_union_latency(benchmark, workload_300):
+    s1, s2 = workload_300.sources
+
+    merged = benchmark(s1.union, s2, workload_300.key)
+    assert len(merged) == workload_300.expected_result_size()

@@ -1,0 +1,58 @@
+"""Benchmarks E1-E7: regenerate every worked example of the paper.
+
+Each target runs the corresponding harness experiment (the same code
+``python -m repro.harness E<n>`` executes), times it, and asserts that
+the output matches the paper cell by cell.
+"""
+
+from repro.harness.examples_exp import (
+    run_example1,
+    run_example2,
+    run_example3,
+    run_example4,
+    run_example5,
+    run_example6,
+    run_section3_pair,
+)
+
+
+def test_example1_bibtex(benchmark):
+    result = benchmark(run_example1)
+    assert result.reproduced
+
+
+def test_example2_webpage(benchmark):
+    result = benchmark(run_example2)
+    assert result.reproduced
+
+
+def test_example3_union(benchmark):
+    result = benchmark(run_example3)
+    assert result.reproduced
+
+
+def test_example4_intersection(benchmark):
+    result = benchmark(run_example4)
+    assert result.reproduced
+
+
+def test_example5_difference(benchmark):
+    result = benchmark(run_example5)
+    assert result.reproduced
+
+
+def test_example6_datasets(benchmark):
+    result = benchmark(run_example6)
+    assert result.reproduced
+
+
+def test_section3_pair(benchmark):
+    result = benchmark(run_section3_pair)
+    assert result.reproduced
+
+
+def test_expand_operation(benchmark):
+    from repro.harness.examples_exp import run_expand
+
+    result = benchmark(run_expand)
+    assert result.reproduced

@@ -1,0 +1,49 @@
+"""Benchmark S3: key-sensitivity sweep (Proposition 4 at scale).
+
+Sweeps the key from one to four attributes over a fixed 500-entry
+workload. The reproducible shape: the union result grows monotonically
+with the key (stricter identification combines fewer entries) while
+merged groups and recorded conflicts shrink.
+"""
+
+import pytest
+
+from repro.merge.conflicts import find_conflicts
+from repro.workloads import BibWorkloadSpec, generate_workload
+
+KEYS = {
+    1: frozenset({"title"}),
+    2: frozenset({"type", "title"}),
+    3: frozenset({"type", "title", "year"}),
+    4: frozenset({"type", "title", "year", "pages"}),
+}
+
+
+@pytest.fixture(scope="module")
+def sweep_workload():
+    return generate_workload(BibWorkloadSpec(
+        entries=500, sources=2, overlap=0.5, conflict_rate=0.25,
+        seed=33))
+
+
+@pytest.fixture(scope="module")
+def sweep_results(sweep_workload):
+    s1, s2 = sweep_workload.sources
+    return {size: s1.union(s2, key) for size, key in KEYS.items()}
+
+
+@pytest.mark.parametrize("key_size", sorted(KEYS))
+def test_union_by_key_size(benchmark, sweep_workload, sweep_results,
+                           key_size):
+    s1, s2 = sweep_workload.sources
+
+    merged = benchmark.pedantic(lambda: s1.union(s2, KEYS[key_size]),
+                                rounds=2, iterations=1)
+    assert merged == sweep_results[key_size]
+    if key_size > 1:
+        # Stricter keys combine fewer entries: union never shrinks.
+        assert len(merged) >= len(sweep_results[key_size - 1])
+        current_conflicts = len(find_conflicts(merged))
+        previous_conflicts = len(
+            find_conflicts(sweep_results[key_size - 1]))
+        assert current_conflicts <= previous_conflicts

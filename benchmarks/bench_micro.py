@@ -1,0 +1,104 @@
+"""Benchmark S4: micro-costs of the core primitives.
+
+Object-level union/intersection/difference by nesting depth, the ``⊴``
+order, compatibility checks, and substrate throughput (text and JSON
+round trips, BibTeX parsing).
+"""
+
+import pytest
+
+from repro.core.compatibility import compatible
+from repro.core.informativeness import less_informative
+from repro.core.operations import difference, intersection, union
+from repro.json_codec import dumps, loads
+from repro.properties import ObjectGenerator
+from repro.text import format_object, parse_object
+
+K = frozenset({"A", "B"})
+
+
+def _pairs(depth: int, count: int = 200):
+    generator = ObjectGenerator(seed=depth, max_depth=depth,
+                                max_children=3)
+    return [(generator.object(), generator.object())
+            for _ in range(count)]
+
+
+@pytest.mark.parametrize("depth", [1, 2, 4])
+@pytest.mark.parametrize("operation", [union, intersection, difference],
+                         ids=["union", "intersection", "difference"])
+def test_object_operation_by_depth(benchmark, depth, operation):
+    pairs = _pairs(depth)
+
+    def run_all():
+        for first, second in pairs:
+            operation(first, second, K)
+
+    benchmark(run_all)
+
+
+def test_less_informative_cost(benchmark):
+    pairs = _pairs(3)
+
+    def run_all():
+        return sum(1 for first, second in pairs
+                   if less_informative(first, second))
+
+    benchmark(run_all)
+
+
+def test_compatibility_cost(benchmark):
+    generator = ObjectGenerator(seed=5)
+    pairs = [(generator.keyed_tuple(("A", "B")),
+              generator.keyed_tuple(("A", "B"))) for _ in range(500)]
+
+    def run_all():
+        return sum(1 for first, second in pairs
+                   if compatible(first, second, K))
+
+    matches = benchmark(run_all)
+    assert matches > 0  # the keyed pool guarantees collisions
+
+
+def test_text_round_trip_throughput(benchmark):
+    objects = ObjectGenerator(seed=6, max_depth=3).objects(100)
+
+    def round_trip():
+        for obj in objects:
+            assert parse_object(format_object(obj)) == obj
+
+    benchmark(round_trip)
+
+
+def test_json_round_trip_throughput(benchmark):
+    objects = ObjectGenerator(seed=8, max_depth=3).objects(100)
+
+    def round_trip():
+        for obj in objects:
+            assert loads(dumps(obj)) == obj
+
+    benchmark(round_trip)
+
+
+def test_bibtex_parse_throughput(benchmark):
+    from repro.bibtex import dataset_to_bibtex, parse_bib_source
+    from repro.workloads import BibWorkloadSpec, generate_workload
+
+    workload = generate_workload(BibWorkloadSpec(entries=200, sources=1,
+                                                 seed=20))
+    text = dataset_to_bibtex(workload.sources[0])
+
+    parsed = benchmark(parse_bib_source, text)
+    assert len(parsed) == 200
+
+
+def test_expand_throughput(benchmark):
+    from repro.core.expand import expand_dataset
+    from repro.web.mapping import pages_to_dataset
+    from repro.workloads import WebWorkloadSpec, generate_site
+
+    site = pages_to_dataset(generate_site(WebWorkloadSpec(pages=30,
+                                                          seed=2)))
+
+    expanded = benchmark(expand_dataset, site, depth=2)
+    assert len(expanded) == 30

@@ -1,0 +1,75 @@
+"""Benchmark S1: merge scaling on synthetic BibTeX databases.
+
+Times Definition 12's three operations at growing scale and asserts the
+ground-truth invariants of the workload generator (union size equals the
+universe coverage; merged groups equal the shared entries).
+"""
+
+import pytest
+
+from repro.merge.conflicts import find_conflicts
+
+
+def _union_checked(workload):
+    s1, s2 = workload.sources
+    merged = s1.union(s2, workload.key)
+    assert len(merged) == workload.expected_result_size()
+    merged_groups = sum(1 for d in merged if len(d.markers) > 1)
+    assert merged_groups == len(workload.shared_uids)
+    return merged
+
+
+@pytest.mark.parametrize("fixture_name",
+                         ["workload_100", "workload_300", "workload_1000"])
+def test_union_scaling(benchmark, request, fixture_name):
+    workload = request.getfixturevalue(fixture_name)
+    merged = benchmark.pedantic(_union_checked, args=(workload,),
+                                rounds=3, iterations=1)
+    for conflict in find_conflicts(merged):
+        assert len(conflict.datum.markers) > 1
+
+
+@pytest.mark.parametrize("fixture_name",
+                         ["workload_100", "workload_300", "workload_1000"])
+def test_intersection_scaling(benchmark, request, fixture_name):
+    workload = request.getfixturevalue(fixture_name)
+    s1, s2 = workload.sources
+
+    common = benchmark.pedantic(
+        lambda: s1.intersection(s2, workload.key), rounds=3,
+        iterations=1)
+    assert len(common) <= len(workload.shared_uids)
+
+
+@pytest.mark.parametrize("fixture_name",
+                         ["workload_100", "workload_300", "workload_1000"])
+def test_difference_scaling(benchmark, request, fixture_name):
+    workload = request.getfixturevalue(fixture_name)
+    s1, s2 = workload.sources
+
+    result = benchmark.pedantic(
+        lambda: s1.difference(s2, workload.key), rounds=3, iterations=1)
+    # Unshared S1 entries always pass through unchanged.
+    unshared = [d for d in s1
+                if not any(d.compatible(other, workload.key)
+                           for other in s2)]
+    for datum in unshared:
+        assert datum in result
+
+
+def test_three_source_merge_engine(benchmark):
+    from repro.merge import MergeEngine, MergeSpec
+    from repro.workloads import BibWorkloadSpec, generate_workload
+
+    workload = generate_workload(BibWorkloadSpec(
+        entries=200, sources=3, overlap=0.4, conflict_rate=0.2, seed=3))
+
+    def merge_all():
+        engine = MergeEngine(MergeSpec(default_key={"title"}))
+        for index, source in enumerate(workload.sources):
+            engine.add_source(f"s{index}", source)
+        return engine.merge()
+
+    result = benchmark.pedantic(merge_all, rounds=3, iterations=1)
+    assert result.stats.sources == 3
+    assert result.stats.output_data == workload.expected_result_size()

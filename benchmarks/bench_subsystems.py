@@ -1,0 +1,123 @@
+"""Benchmarks for the higher subsystems: rules engine, query layer,
+schema inference and the merge engine's conflict pipeline.
+
+Not tied to a paper table — these guard the performance of the library
+surface a downstream user actually calls.
+"""
+
+import pytest
+
+from repro.query import Eq, Ge, Query
+from repro.query.parser import parse_query
+from repro.rules import Engine, parse_program
+from repro.schema import infer_schema, suggest_key
+
+
+@pytest.fixture(scope="module")
+def merged_300(workload_300):
+    s1, s2 = workload_300.sources
+    return s1.union(s2, workload_300.key)
+
+
+class TestRulesBenchmarks:
+    def test_transitive_closure_chain(self, benchmark):
+        facts = "\n".join(f"edge({i}, {i + 1})." for i in range(120))
+        program = parse_program(facts + """
+        path(X, Y) :- edge(X, Y).
+        path(X, Z) :- edge(X, Y), path(Y, Z).
+        """)
+
+        def closure():
+            engine = Engine(program)
+            return engine.facts("path")
+
+        paths = benchmark.pedantic(closure, rounds=3, iterations=1)
+        assert len(paths) == 120 * 121 // 2
+
+    def test_rules_over_merged_bibliography(self, benchmark, merged_300):
+        program = parse_program("""
+        disputed(T) :- entry(M, [title => T, author => A]),
+                       member(X, A), member(Y, A), X != Y.
+        dated(T, Y) :- entry(M, [title => T, year => Y]).
+        vintage(T) :- dated(T, Y), Y < 1985.
+        """)
+
+        def derive():
+            engine = Engine(program)
+            engine.load_dataset("entry", merged_300)
+            return (engine.facts("disputed"), engine.facts("vintage"))
+
+        disputed, vintage = benchmark.pedantic(derive, rounds=3,
+                                               iterations=1)
+        assert vintage
+
+    def test_stratified_negation(self, benchmark):
+        facts = "\n".join(f"node({i})." for i in range(60))
+        edges = "\n".join(f"edge({i}, {i + 1})." for i in range(0, 58, 2))
+        program = parse_program(facts + edges + """
+        linked(X) :- edge(X, Y).
+        linked(Y) :- edge(X, Y).
+        isolated(X) :- node(X), not linked(X).
+        """)
+
+        isolated = benchmark(lambda: Engine(program).facts("isolated"))
+        assert isolated
+
+
+class TestQueryBenchmarks:
+    def test_fluent_query(self, benchmark, merged_300):
+        query = (Query(merged_300)
+                 .where(Eq("type", "Article") & Ge("year", 1985))
+                 .select("title", "year"))
+
+        result = benchmark(query.run)
+        assert len(result) > 0
+
+    def test_compiled_textual_query(self, benchmark, merged_300):
+        compiled = parse_query(
+            'select title where type = "Article" and year >= 1985')
+
+        result = benchmark(compiled, merged_300)
+        assert len(result) > 0
+
+
+class TestSchemaBenchmarks:
+    def test_infer_schema(self, benchmark, merged_300):
+        schema = benchmark(infer_schema, merged_300)
+        assert set(schema.class_names()) == {"Article", "InProc"}
+
+    def test_suggest_key_matches_the_paper(self, benchmark, merged_300):
+        schema = infer_schema(merged_300)
+
+        suggested = benchmark(suggest_key, schema.classes["Article"])
+        assert "title" in suggested
+
+
+class TestMergeToolingBenchmarks:
+    def test_three_way_sync(self, benchmark, workload_300):
+        from repro.merge.sync import sync
+        from repro.workloads import fork_source
+
+        base = workload_300.sources[0]
+        protect = frozenset(workload_300.key)
+        mine = fork_source(base, seed=1, marker_suffix="-m",
+                           protect=protect)
+        theirs = fork_source(base, seed=2, marker_suffix="-t",
+                             protect=protect)
+
+        result = benchmark.pedantic(
+            lambda: sync(base, mine, theirs, workload_300.key),
+            rounds=3, iterations=1)
+        assert len(result.dataset) > 0
+
+    def test_change_report(self, benchmark, workload_300):
+        from repro.merge.report import change_report
+        from repro.workloads import fork_source
+
+        base = workload_300.sources[0]
+        newer = fork_source(base, seed=3,
+                            protect=frozenset(workload_300.key))
+
+        report = benchmark(change_report, base, newer,
+                           workload_300.key)
+        assert report.changed or report.unchanged

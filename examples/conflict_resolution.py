@@ -1,0 +1,95 @@
+"""Conflict resolution workflows over a three-source merge.
+
+The paper leaves conflicts "up to the user"; this example shows the
+toolbox the library provides on top of the recorded or-values: conflict
+extraction, per-attribute strategies, source-priority resolution via
+provenance, and a manual pick list.
+
+Run with::
+
+    python examples/conflict_resolution.py
+"""
+
+from repro.core.builder import dataset, tup
+from repro.core.objects import Atom
+from repro.merge import (
+    MergeEngine,
+    MergeSpec,
+    by_attribute,
+    chain,
+    conflict_summary,
+    manual,
+    numeric_extreme,
+    prefer_source,
+    resolve_dataset,
+)
+from repro.text import format_data
+
+CURATED = dataset(
+    ("c1", tup(type="Article", title="Oracle", author="Bob King",
+               year=1980, journal="IS")),
+    ("c2", tup(type="Article", title="Datalog", author="Ann Law",
+               year=1978)),
+)
+SCRAPED = dataset(
+    ("s1", tup(type="Article", title="Oracle", author="Bob King",
+               year=1981)),
+    ("s2", tup(type="Article", title="Datalog", author="A. Law",
+               year=1978, journal="JLP")),
+    ("s3", tup(type="Article", title="NF2", author="Sam Oak",
+               year=1985)),
+)
+LEGACY = dataset(
+    ("l1", tup(type="Article", title="Oracle", author="B. King",
+               year=1980)),
+)
+
+
+def main() -> None:
+    engine = (MergeEngine(MergeSpec(default_key={"type", "title"}))
+              .add_source("curated", CURATED)
+              .add_source("scraped", SCRAPED)
+              .add_source("legacy", LEGACY))
+    result = engine.merge()
+
+    print("Merged data:")
+    for datum in result.dataset:
+        print(" ", format_data(datum))
+    print()
+    print("Conflicts by attribute:", conflict_summary(result.dataset))
+    print()
+
+    # Strategy 1: trust the curated source wherever it vouches for one
+    # alternative; fall back to per-attribute rules; keep the rest.
+    strategy = chain(
+        prefer_source(engine.catalog, ["curated", "legacy", "scraped"]),
+        by_attribute({"year": numeric_extreme("min")}),
+    )
+    resolved, remaining = resolve_dataset(result.dataset, strategy)
+    print("After source-priority + per-attribute resolution:")
+    for datum in resolved:
+        print(" ", format_data(datum))
+    print(f"  ({len(remaining)} conflicts remain)")
+    print()
+
+    # Strategy 2: the user decides the leftovers explicitly.
+    if remaining:
+        picks = {
+            conflict.location(): sorted(
+                conflict.alternatives, key=repr)[0]
+            for conflict in remaining
+        }
+        print("Manual picks:", {
+            location: repr(choice) for location, choice in picks.items()})
+        final, left = resolve_dataset(resolved, manual(picks))
+        print(f"Conflicts after manual resolution: {len(left)}")
+        for datum in final:
+            print(" ", format_data(datum))
+
+    # Sanity: the curated year for Oracle won through source priority.
+    oracle = resolved.find("c1")
+    assert oracle is not None and oracle.object["year"] == Atom(1980)
+
+
+if __name__ == "__main__":
+    main()

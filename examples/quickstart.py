@@ -1,0 +1,81 @@
+"""Quickstart: the data model and its three operations in five minutes.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    bottom,
+    cset,
+    data,
+    difference,
+    intersection,
+    less_informative,
+    orv,
+    pset,
+    tup,
+    union,
+)
+from repro.text import format_data, format_object
+
+
+def main() -> None:
+    # -- 1. Objects -------------------------------------------------------
+    # Tuples, atoms, markers, null (⊥), or-values, partial/complete sets.
+    print("1. Building objects")
+    entry = tup(
+        type="Article",
+        title="Oracle",
+        author=pset("Bob"),        # ⟨"Bob"⟩ — "Bob and others"
+        tags=cset("db", "web"),    # {"db", "web"} — exactly these
+        year=orv(1980, 1981),      # 1980|1981 — sources disagree
+    )
+    print("  entry   =", format_object(entry))
+    print("  no note =", format_object(entry.get("note")), "(absent → ⊥)")
+    print()
+
+    # -- 2. The information order ------------------------------------------
+    print("2. The ⊴ (less informative) order")
+    print("  ⊥ ⊴ 1980:", less_informative(bottom, entry["year"]))
+    print('  ⟨"Bob"⟩ ⊴ {"Bob","Tom"}:',
+          less_informative(pset("Bob"), cset("Bob", "Tom")))
+    print('  {"Bob","Tom"} ⊴ ⟨"Bob"⟩:',
+          less_informative(cset("Bob", "Tom"), pset("Bob")))
+    print()
+
+    # -- 3. The three operations -------------------------------------------
+    print("3. Union / intersection / difference based on K")
+    key = {"type", "title"}
+    first = tup(type="Article", title="Oracle", author="Bob", year=1980)
+    second = tup(type="Article", title="Oracle", year=1980, journal="IS")
+    print("  first        =", format_object(first))
+    print("  second       =", format_object(second))
+    print("  union        =", format_object(union(first, second, key)))
+    print("  intersection =",
+          format_object(intersection(first, second, key)))
+    print("  difference   =",
+          format_object(difference(first, second, key)))
+    print()
+
+    # -- 4. Conflicts are recorded, not resolved ---------------------------
+    print("4. Conflicting sources produce or-values")
+    mine = tup(type="Article", title="Datalog", author="Ann")
+    theirs = tup(type="Article", title="Datalog", author="Tom")
+    merged = union(mine, theirs, key)
+    print("  merged =", format_object(merged))
+    print("  the author is Ann or Tom — the data remembers the dispute")
+    print()
+
+    # -- 5. Marked data -----------------------------------------------------
+    print("5. Semistructured data m : O")
+    d1 = data("B80", first)
+    d2 = data("B82", second)
+    print("  d1        =", format_data(d1))
+    print("  d1 ∪K d2  =", format_data(d1.union(d2, key)))
+    print("  real?     =", d1.is_real(), "/",
+          d1.union(d2, key).is_real(), "(merged data are virtual)")
+
+
+if __name__ == "__main__":
+    main()

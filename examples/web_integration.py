@@ -1,0 +1,86 @@
+"""Web pages as semistructured data — the paper's Example 2, extended.
+
+Maps a small site into the model (URLs become markers), follows the
+links with the expand operation, and merges two *mirrors* of the same
+page that disagree — showing that web data gets the same partial/
+inconsistent treatment as BibTeX.
+
+Run with::
+
+    python examples/web_integration.py
+"""
+
+from repro.core.expand import expand_data
+from repro.text import format_data, format_object
+from repro.web import page_to_data, pages_to_dataset
+
+SITE = {
+    "www.cs.uregina.ca": """
+    <html>
+    <head><title>CSDept</title></head>
+    <body>
+    <h2>People</h2>
+    <ul>
+    <li><a href="faculty.html"> Faculty </a>
+    <li><a href="staff.html"> Staff </a>
+    <li><a href="students.html"> Students</a>
+    </ul>
+    <h2><a href="programs.html"> Programs<a></h2>
+    <h2><a href="research.html"> Research<a></h2>
+    </body>
+    </html>
+    """,
+    "programs.html": """
+    <title>Programs</title>
+    <body><h2>Degrees</h2><ul><li>BSc</li><li>MSc</li><li>PhD</li></ul>
+    </body>
+    """,
+    "research.html": """
+    <title>Research</title>
+    <body><h2>Areas</h2><ul><li>Databases</li><li>AI</li></ul></body>
+    """,
+}
+
+
+def main() -> None:
+    # -- Example 2, verbatim -------------------------------------------------
+    home = page_to_data("www.cs.uregina.ca",
+                        SITE["www.cs.uregina.ca"])
+    print("Example 2 — the department page as one datum:")
+    print(" ", format_data(home, indent=2).replace("\n", "\n  "))
+    print()
+
+    # -- Following links via expand -----------------------------------------
+    site = pages_to_dataset(SITE)
+    expanded = expand_data(home, site)
+    print("After expand (markers dereferenced to page objects):")
+    print("  Programs ->",
+          format_object(expanded.object["Programs"]))
+    print()
+
+    # -- Two mirrors that disagree --------------------------------------------
+    mirror = page_to_data("mirror.example.org", """
+    <title>CSDept</title>
+    <body>
+    <h2>People</h2>
+    <ul>
+    <li><a href="faculty.html">Faculty</a>
+    <li><a href="staff.html">Staff</a>
+    <li><a href="students.html">Students</a>
+    </ul>
+    <h2><a href="programs2.html"> Programs<a></h2>
+    <h2><a href="jobs.html"> Jobs<a></h2>
+    </body>
+    """)
+    key = {"Title"}
+    merged = home.union(mirror, key)
+    print("Union of the original and a divergent mirror (K={Title}):")
+    print(" ", format_data(merged, indent=2).replace("\n", "\n  "))
+    print()
+    print("The Programs link is now a recorded conflict "
+          "(programs.html|programs2.html); Jobs was only on the mirror "
+          "and merged in; People agreed and stayed a complete set.")
+
+
+if __name__ == "__main__":
+    main()

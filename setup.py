@@ -1,0 +1,20 @@
+"""Setuptools shim for environments without the wheel package.
+
+``pip install -e .`` on this machine has no network and no ``wheel``
+distribution, so the PEP 660 editable build cannot produce a wheel; this
+legacy setup.py lets pip fall back to ``setup.py develop``.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of Liu & Ling (EDBT 2000): a data model for "
+        "semistructured data with partial and inconsistent information"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

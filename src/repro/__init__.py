@@ -1,0 +1,30 @@
+"""repro — reproduction of Liu & Ling, "A Data Model for Semistructured
+Data with Partial and Inconsistent Information" (EDBT 2000).
+
+The package implements the paper's object model (atoms, markers, ``⊥``,
+or-values, partial/complete sets, tuples), its key-based algebra
+(union / intersection / difference), the ``⊴`` information order, and the
+application substrates the paper motivates: BibTeX and web-page mapping,
+multi-source merging with conflict tracking, and baselines (OEM, labeled
+trees) for comparison.
+
+Quickstart::
+
+    from repro import tup, pset, data, dataset
+
+    s1 = dataset(("B80", tup(type="Article", title="Oracle",
+                             author="Bob", year=1980)))
+    s2 = dataset(("B82", tup(type="Article", title="Oracle",
+                             year=1980, journal="IS")))
+    merged = s1.union(s2, key={"type", "title"})
+
+See ``README.md`` for the architecture overview and ``DESIGN.md`` for the
+paper-to-module map.
+"""
+
+from repro.core import *  # noqa: F401,F403 — curated re-export surface
+from repro.core import __all__ as _core_all
+
+__version__ = "1.0.0"
+
+__all__ = list(_core_all) + ["__version__"]

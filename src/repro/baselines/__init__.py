@@ -1,0 +1,26 @@
+"""Baseline data models the paper compares against, plus metrics.
+
+* :mod:`repro.baselines.oem` — the Object Exchange Model (graph-based);
+* :mod:`repro.baselines.labeled_tree` — the edge-labeled tree model;
+* :mod:`repro.baselines.metrics` — information-preservation measurements
+  used by the S2 comparison benchmark.
+
+Both baselines include the *naive merge* a system without partial sets,
+``⊥`` and or-values performs, so experiments can quantify exactly what the
+paper's model adds.
+"""
+
+from repro.baselines import labeled_tree, metrics, oem
+from repro.baselines.metrics import (
+    MergeComparison,
+    ModelReport,
+    compare_merges,
+    dataset_report,
+    source_atoms,
+)
+
+__all__ = [
+    "oem", "labeled_tree", "metrics",
+    "ModelReport", "MergeComparison", "compare_merges", "dataset_report",
+    "source_atoms",
+]

@@ -1,0 +1,197 @@
+"""The edge-labeled tree baseline.
+
+The second data model the paper cites as insufficient is the labeled-tree
+model of Buneman et al. (ICDT 1997 / SIGMOD 1996): data is a tree whose
+edges carry labels and whose leaves carry values. Like OEM it has no
+``⊥``, no or-values and no open/closed set distinction; unlike OEM it has
+no object identity either, so "same entity" can only mean "same subtree".
+
+:func:`naive_merge` implements the natural tree merge: trees with equal
+key-edge leaf values merge edge-wise; when both sides have an edge with
+the same label but different leaf values, **both** edges are kept as
+duplicates. Nothing distinguishes "two values of a set-valued property"
+from "a conflict about a single-valued property" — the ambiguity the
+paper's or-values exist to remove. The benchmarks count these ambiguous
+duplicate edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Union
+
+from repro.core.data import DataSet
+from repro.core.objects import (
+    Atom,
+    Bottom,
+    CompleteSet,
+    Marker,
+    OrValue,
+    PartialSet,
+    SSObject,
+    Tuple,
+)
+from repro.core.order import sort_objects
+
+LeafValue = Union[str, int, float, bool]
+
+
+@dataclass
+class TreeNode:
+    """A node of an edge-labeled tree.
+
+    Leaves carry ``value``; internal nodes carry ``edges`` — a list of
+    ``(label, child)`` pairs. Duplicate labels are allowed (that is the
+    point of the model).
+    """
+
+    value: LeafValue | None = None
+    edges: list[tuple[str, "TreeNode"]] = field(default_factory=list)
+
+    def is_leaf(self) -> bool:
+        return self.value is not None
+
+    def add_edge(self, label: str, child: "TreeNode") -> None:
+        self.edges.append((label, child))
+
+    def children(self, label: str) -> list["TreeNode"]:
+        """All children reached by edges with the given label."""
+        return [child for edge_label, child in self.edges
+                if edge_label == label]
+
+    def first(self, label: str) -> "TreeNode | None":
+        targets = self.children(label)
+        return targets[0] if targets else None
+
+    def leaves(self) -> Iterator[LeafValue]:
+        """Every leaf value in the subtree."""
+        if self.is_leaf():
+            yield self.value
+        for _, child in self.edges:
+            yield from child.leaves()
+
+    def duplicate_label_count(self) -> int:
+        """Number of label collisions among direct edges, plus the
+        subtrees' — the model's ambiguity measure."""
+        labels = [label for label, _ in self.edges]
+        collisions = len(labels) - len(set(labels))
+        return collisions + sum(
+            child.duplicate_label_count() for _, child in self.edges)
+
+
+def from_model_object(obj: SSObject) -> TreeNode | None:
+    """Encode a model object as a tree; documents the loss.
+
+    ``⊥`` vanishes; an or-value keeps its structurally-first disjunct;
+    set elements hang off ``element`` edges with the open/closed
+    distinction erased; markers become string leaves.
+    """
+    if isinstance(obj, Bottom):
+        return None
+    if isinstance(obj, Atom):
+        return TreeNode(value=obj.value)
+    if isinstance(obj, Marker):
+        return TreeNode(value=obj.name)
+    if isinstance(obj, OrValue):
+        return from_model_object(sort_objects(obj.disjuncts)[0])
+    if isinstance(obj, (PartialSet, CompleteSet)):
+        node = TreeNode()
+        for element in obj:
+            child = from_model_object(element)
+            if child is not None:
+                node.add_edge("element", child)
+        return node
+    if isinstance(obj, Tuple):
+        node = TreeNode()
+        for label, value in obj.items():
+            child = from_model_object(value)
+            if child is not None:
+                node.add_edge(label, child)
+        return node
+    raise TypeError(f"not a model object: {type(obj).__name__}")
+
+
+def from_dataset(dataset: DataSet, root_label: str = "entry") -> TreeNode:
+    """Encode a data set as a single tree with one edge per datum."""
+    root = TreeNode()
+    for datum in dataset:
+        child = from_model_object(datum.object)
+        if child is not None:
+            root.add_edge(root_label, child)
+    return root
+
+
+def _key_signature(node: TreeNode,
+                   key: Iterable[str]) -> tuple | None:
+    signature = []
+    for attr in sorted(key):
+        child = node.first(attr)
+        if child is None or not child.is_leaf():
+            return None
+        signature.append((attr, child.value))
+    return tuple(signature)
+
+
+def naive_merge(first: TreeNode, second: TreeNode,
+                key: Iterable[str], root_label: str = "entry") -> TreeNode:
+    """Merge two data-set trees on equal key signatures.
+
+    Matching entries merge edge-wise: edges only on one side pass through;
+    same-label edges with equal leaf values dedup; same-label edges with
+    *different* leaf values are both kept (an ambiguous duplicate). The
+    result's :meth:`TreeNode.duplicate_label_count` measures how much
+    un-flagged ambiguity the merge produced.
+    """
+    key = list(key)
+    merged = TreeNode()
+    second_entries = second.children(root_label)
+    second_signatures: dict[tuple, list[TreeNode]] = {}
+    for entry in second_entries:
+        signature = _key_signature(entry, key)
+        if signature is not None:
+            second_signatures.setdefault(signature, []).append(entry)
+    matched: set[int] = set()
+    for entry in first.children(root_label):
+        signature = _key_signature(entry, key)
+        partners = second_signatures.get(signature, []) \
+            if signature is not None else []
+        if not partners:
+            merged.add_edge(root_label, entry)
+            continue
+        for partner in partners:
+            matched.add(id(partner))
+            merged.add_edge(root_label, _merge_entries(entry, partner))
+    for entry in second_entries:
+        if id(entry) not in matched:
+            merged.add_edge(root_label, entry)
+    return merged
+
+
+def _merge_entries(left: TreeNode, right: TreeNode) -> TreeNode:
+    node = TreeNode()
+    for label, child in left.edges:
+        node.add_edge(label, child)
+    for label, child in right.edges:
+        if not any(_same_subtree(child, existing)
+                   for existing in node.children(label)):
+            node.add_edge(label, child)
+    return node
+
+
+def _same_subtree(a: TreeNode, b: TreeNode) -> bool:
+    if a.is_leaf() or b.is_leaf():
+        return a.value == b.value
+    if len(a.edges) != len(b.edges):
+        return False
+    return all(
+        label_a == label_b and _same_subtree(child_a, child_b)
+        for (label_a, child_a), (label_b, child_b)
+        in zip(sorted_edges(a), sorted_edges(b))
+    )
+
+
+def sorted_edges(node: TreeNode) -> list[tuple[str, TreeNode]]:
+    """Edges sorted by label then leaf value, for order-insensitive
+    comparison."""
+    return sorted(node.edges,
+                  key=lambda edge: (edge[0], str(edge[1].value)))

@@ -1,0 +1,144 @@
+"""Information-preservation metrics for the model-comparison experiments.
+
+The paper's qualitative claim — "our semistructured data model can capture
+more information than OEM and the labeled tree model" — becomes measurable
+here. For a merge result in each model we count:
+
+* **conflicts flagged**: attribute positions whose disagreement is
+  explicitly recorded (or-values in our model; by construction zero in
+  OEM, where a side is silently picked; labeled trees instead produce
+  *ambiguous duplicates*, counted separately);
+* **atom retention**: how many distinct source atomic values survive into
+  the merge result;
+* **openness**: whether the open/closed set distinction survived.
+
+:func:`compare_merges` runs the same two sources through all three models
+and returns one :class:`MergeComparison` row, which benchmark S2 prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.baselines import labeled_tree, oem
+from repro.core.data import DataSet
+from repro.core.objects import Atom, Marker, OrValue, SSObject
+from repro.core.visitor import walk
+
+__all__ = [
+    "ModelReport", "MergeComparison", "dataset_report", "source_atoms",
+    "compare_merges",
+]
+
+
+@dataclass(frozen=True)
+class ModelReport:
+    """What one model's merge result managed to represent."""
+
+    atoms_retained: int
+    conflicts_flagged: int
+    ambiguous_duplicates: int
+    openness_preserved: bool
+
+
+@dataclass(frozen=True)
+class MergeComparison:
+    """One row of the S2 comparison table."""
+
+    source_atoms: int
+    model: ModelReport
+    oem: ModelReport
+    tree: ModelReport
+
+    def retention(self, report: ModelReport) -> float:
+        """Fraction of source atoms the given model retained."""
+        if self.source_atoms == 0:
+            return 1.0
+        return report.atoms_retained / self.source_atoms
+
+
+def _atom_values(objects: Iterable[SSObject]) -> set:
+    values = set()
+    for obj in objects:
+        for _, node in walk(obj):
+            if isinstance(node, Atom):
+                values.add((type(node.value).__name__, node.value))
+            elif isinstance(node, Marker):
+                # Markers embedded in objects carry information too; OEM
+                # and trees flatten them to strings, so compare on that.
+                values.add(("str", node.name))
+    return values
+
+
+def source_atoms(first: DataSet, second: DataSet) -> set:
+    """Distinct atomic values present in either source's objects."""
+    return _atom_values(
+        [d.object for d in first] + [d.object for d in second])
+
+
+def dataset_report(result: DataSet) -> ModelReport:
+    """Report for a merge result in the paper's model."""
+    atoms = _atom_values(d.object for d in result)
+    conflicts = 0
+    openness = False
+    for datum in result:
+        for _, node in walk(datum.object):
+            if isinstance(node, OrValue):
+                conflicts += 1
+            if node.kind in ("partial_set", "complete_set"):
+                openness = True
+    return ModelReport(
+        atoms_retained=len(atoms),
+        conflicts_flagged=conflicts,
+        ambiguous_duplicates=0,
+        openness_preserved=openness,
+    )
+
+
+def oem_report(db: oem.OemDatabase) -> ModelReport:
+    """Report for an OEM merge result."""
+    atoms = {(type(v).__name__, v) for v in db.atoms()}
+    return ModelReport(
+        atoms_retained=len(atoms),
+        conflicts_flagged=0,          # OEM has no conflict construct.
+        ambiguous_duplicates=0,
+        openness_preserved=False,     # no partial/complete distinction.
+    )
+
+
+def tree_report(root: labeled_tree.TreeNode) -> ModelReport:
+    """Report for a labeled-tree merge result."""
+    atoms = {(type(v).__name__, v) for v in root.leaves()}
+    return ModelReport(
+        atoms_retained=len(atoms),
+        conflicts_flagged=0,          # duplicates are not flagged conflicts.
+        ambiguous_duplicates=root.duplicate_label_count(),
+        openness_preserved=False,
+    )
+
+
+def compare_merges(first: DataSet, second: DataSet,
+                   key: Iterable[str]) -> MergeComparison:
+    """Merge the two sources in all three models and compare.
+
+    The paper's model uses ``∪K``; OEM and the tree model use their naive
+    key-matching merges. All three see byte-identical source data.
+    """
+    key = list(key)
+    model_result = first.union(second, key)
+
+    oem_first = oem.from_dataset(first)
+    oem_second = oem.from_dataset(second)
+    oem_result = oem.naive_merge(oem_first, oem_second, key)
+
+    tree_first = labeled_tree.from_dataset(first)
+    tree_second = labeled_tree.from_dataset(second)
+    tree_result = labeled_tree.naive_merge(tree_first, tree_second, key)
+
+    return MergeComparison(
+        source_atoms=len(source_atoms(first, second)),
+        model=dataset_report(model_result),
+        oem=oem_report(oem_result),
+        tree=tree_report(tree_result),
+    )

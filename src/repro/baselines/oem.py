@@ -1,0 +1,218 @@
+"""The Object Exchange Model (OEM) baseline.
+
+OEM (Papakonstantinou, Garcia-Molina & Widom, ICDE 1995) is the graph
+model the paper names as insufficient for partial/inconsistent data: every
+object has an identifier, a label and either an atomic value or a set of
+sub-objects. There is no ``⊥``, no or-value, and no partial/complete set
+distinction.
+
+Two components:
+
+* a faithful little OEM store (:class:`OemObject`, :class:`OemDatabase`)
+  with conversion *from* the paper's model — the conversion is necessarily
+  lossy, and :func:`from_object` documents exactly what is lost;
+* :func:`naive_merge`, the merge a system without the paper's machinery
+  performs: match entries on equal key sub-values, then combine attribute
+  by attribute keeping the **first** value on disagreement. No conflict is
+  recorded; nothing marks the dropped value. The benchmark suite
+  quantifies this loss against the model's ``∪K``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Union
+
+from repro.core.data import Data, DataSet
+from repro.core.objects import (
+    Atom,
+    Bottom,
+    CompleteSet,
+    Marker,
+    OrValue,
+    PartialSet,
+    SSObject,
+    Tuple,
+)
+from repro.core.order import sort_objects
+
+#: An OEM atomic value.
+OemValue = Union[str, int, float, bool]
+
+
+@dataclass
+class OemObject:
+    """One OEM object: identifier, label, and atomic value *or* children.
+
+    ``value`` is an atomic scalar for leaf objects and ``None`` for complex
+    objects, whose ``children`` list holds sub-object identifiers.
+    """
+
+    oid: str
+    label: str
+    value: OemValue | None = None
+    children: list[str] = field(default_factory=list)
+
+    def is_atomic(self) -> bool:
+        """Return ``True`` for leaf (atomic) objects."""
+        return self.value is not None
+
+
+@dataclass
+class OemDatabase:
+    """A set of OEM objects with distinguished roots."""
+
+    objects: dict[str, OemObject] = field(default_factory=dict)
+    roots: list[str] = field(default_factory=list)
+    _counter: itertools.count = field(
+        default_factory=lambda: itertools.count(1), repr=False)
+
+    def fresh_oid(self) -> str:
+        """Return a new unique object identifier."""
+        return f"&o{next(self._counter)}"
+
+    def add(self, label: str, value: OemValue | None = None,
+            children: Iterable[str] = ()) -> str:
+        """Create an object and return its identifier."""
+        oid = self.fresh_oid()
+        self.objects[oid] = OemObject(oid, label, value, list(children))
+        return oid
+
+    def get(self, oid: str) -> OemObject:
+        return self.objects[oid]
+
+    def children_of(self, oid: str) -> list[OemObject]:
+        """Resolved child objects, in insertion order."""
+        return [self.objects[c] for c in self.objects[oid].children]
+
+    def atoms(self) -> Iterator[OemValue]:
+        """Every atomic value reachable in the database."""
+        for obj in self.objects.values():
+            if obj.is_atomic():
+                yield obj.value
+
+    def child_by_label(self, oid: str, label: str) -> OemObject | None:
+        """First child of ``oid`` with the given label, if any."""
+        for child in self.children_of(oid):
+            if child.label == label:
+                return child
+        return None
+
+
+def from_object(obj: SSObject, db: OemDatabase, label: str) -> str | None:
+    """Encode a model object into ``db``; returns the new oid.
+
+    Loss is deliberate — this is what OEM *can* say:
+
+    * ``⊥`` has no OEM form: returns ``None`` (the attribute vanishes);
+    * an or-value keeps only its structurally-first disjunct — exactly the
+      "silently pick a side" behaviour the paper criticizes;
+    * partial and complete sets both become plain complex objects, erasing
+      the open/closed distinction;
+    * markers become atomic string values (OEM identifiers are internal
+      and cannot double as cross-source names).
+    """
+    if isinstance(obj, Bottom):
+        return None
+    if isinstance(obj, Atom):
+        return db.add(label, obj.value)
+    if isinstance(obj, Marker):
+        return db.add(label, obj.name)
+    if isinstance(obj, OrValue):
+        chosen = sort_objects(obj.disjuncts)[0]
+        return from_object(chosen, db, label)
+    if isinstance(obj, (PartialSet, CompleteSet)):
+        children = [
+            from_object(element, db, "element") for element in obj
+        ]
+        return db.add(label, None,
+                      [c for c in children if c is not None])
+    if isinstance(obj, Tuple):
+        children = []
+        for attr, value in obj.items():
+            child = from_object(value, db, attr)
+            if child is not None:
+                children.append(child)
+        return db.add(label, None, children)
+    raise TypeError(f"not a model object: {type(obj).__name__}")
+
+
+def from_dataset(dataset: DataSet, label: str = "entry") -> OemDatabase:
+    """Encode a whole data set; each datum becomes a root object."""
+    db = OemDatabase()
+    for datum in dataset:
+        oid = from_object(datum.object, db, label)
+        if oid is not None:
+            db.roots.append(oid)
+    return db
+
+
+def _key_signature(db: OemDatabase, root: str,
+                   key: Iterable[str]) -> tuple | None:
+    """Atomic key values of a root, or ``None`` when any key part is
+    missing or complex (OEM cannot match on it)."""
+    signature = []
+    for attr in sorted(key):
+        child = db.child_by_label(root, attr)
+        if child is None or not child.is_atomic():
+            return None
+        signature.append((attr, child.value))
+    return tuple(signature)
+
+
+def naive_merge(first: OemDatabase, second: OemDatabase,
+                key: Iterable[str]) -> OemDatabase:
+    """Merge two OEM databases the way a model-unaware system does.
+
+    Roots with equal atomic key signatures are combined: attributes of the
+    second root are copied in only when the first root lacks that label.
+    Disagreeing values are **silently dropped** — there is no or-value to
+    put them in. Unmatched roots pass through.
+    """
+    merged = OemDatabase()
+    key = list(key)
+    second_signatures: dict[tuple, list[str]] = {}
+    for root in second.roots:
+        signature = _key_signature(second, root, key)
+        if signature is not None:
+            second_signatures.setdefault(signature, []).append(root)
+    matched_second: set[str] = set()
+    for root in first.roots:
+        signature = _key_signature(first, root, key)
+        partners = second_signatures.get(signature, []) \
+            if signature is not None else []
+        if not partners:
+            merged.roots.append(_copy_subtree(first, root, merged))
+            continue
+        for partner in partners:
+            matched_second.add(partner)
+            merged.roots.append(
+                _merge_roots(first, root, second, partner, merged))
+    for root in second.roots:
+        if root not in matched_second:
+            merged.roots.append(_copy_subtree(second, root, merged))
+    return merged
+
+
+def _copy_subtree(source: OemDatabase, oid: str,
+                  target: OemDatabase) -> str:
+    obj = source.get(oid)
+    children = [_copy_subtree(source, child, target)
+                for child in obj.children]
+    return target.add(obj.label, obj.value, children)
+
+
+def _merge_roots(first: OemDatabase, left: str, second: OemDatabase,
+                 right: str, target: OemDatabase) -> str:
+    left_obj = first.get(left)
+    children: list[str] = []
+    seen_labels: set[str] = set()
+    for child in first.children_of(left):
+        children.append(_copy_subtree(first, child.oid, target))
+        seen_labels.add(child.label)
+    for child in second.children_of(right):
+        if child.label not in seen_labels:
+            children.append(_copy_subtree(second, child.oid, target))
+        # else: the second source's value is dropped on the floor.
+    return target.add(left_obj.label, left_obj.value, children)

@@ -1,0 +1,46 @@
+"""BibTeX substrate: parser, name handling, model mapping and writer.
+
+The paper's motivating application is merging multiple BibTeX databases
+whose entries are partial (``"Bob and others"``) and inconsistent
+(different author spellings, missing fields). This package provides the
+full pipeline::
+
+    bib text --parse_bibtex--> BibFile --bibfile_to_dataset--> DataSet
+    DataSet --dataset_to_bibtex--> bib text
+
+with the Example 1 semantics: citation keys become markers, ``crossref``
+values become marker objects, ``and others`` author lists become partial
+sets, and full author lists become complete sets.
+"""
+
+from repro.bibtex.mapping import (
+    DEFAULT_POLICY,
+    BibMappingPolicy,
+    bibfile_to_dataset,
+    entry_to_data,
+    parse_bib_source,
+)
+from repro.bibtex.names import (
+    NameList,
+    PersonName,
+    normalize_name,
+    parse_name,
+    parse_name_list,
+    split_name_list,
+)
+from repro.bibtex.parser import (
+    STANDARD_MACROS,
+    BibEntry,
+    BibFile,
+    parse_bibtex,
+)
+from repro.bibtex.writer import data_to_bibtex, dataset_to_bibtex
+
+__all__ = [
+    "parse_bibtex", "BibEntry", "BibFile", "STANDARD_MACROS",
+    "PersonName", "NameList", "parse_name", "parse_name_list",
+    "split_name_list", "normalize_name",
+    "BibMappingPolicy", "DEFAULT_POLICY", "entry_to_data",
+    "bibfile_to_dataset", "parse_bib_source",
+    "data_to_bibtex", "dataset_to_bibtex",
+]

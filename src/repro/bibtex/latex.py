@@ -1,0 +1,119 @@
+"""Decoding of common LaTeX markup in BibTeX field values.
+
+Real bibliographies write ``G{\\"o}del``, ``\\'etude`` and ``---``; left
+raw, the same author in two files never compares equal. This module
+decodes the common cases:
+
+* accent commands over a single letter — ``\\'e`` → ``é``, ``\\"o`` → ``ö``,
+  ``\\c{c}`` → ``ç``, ``\\v{s}`` → ``š``, with or without braces;
+* letter macros — ``\\ss`` → ``ß``, ``\\o`` → ``ø``, ``\\ae`` → ``æ``;
+* escaped specials — ``\\&`` → ``&``, ``\\%`` → ``%``, ``\\_`` → ``_``;
+* TeX dashes and quotes — ``---`` → ``—``, ``--`` → ``–``, ````x''`` →
+  ``“x”``;
+* protective braces around the result are dropped.
+
+Unknown commands are left verbatim — decoding must never destroy
+information it does not understand.
+"""
+
+from __future__ import annotations
+
+import re
+import unicodedata
+
+__all__ = ["latex_to_text", "text_to_latex"]
+
+#: accent command → Unicode combining character.
+_COMBINING = {
+    "'": "́", "`": "̀", '"': "̈", "^": "̂",
+    "~": "̃", "=": "̄", ".": "̇", "u": "̆",
+    "v": "̌", "c": "̧", "H": "̋", "k": "̨",
+    "r": "̊", "b": "̱", "d": "̣",
+}
+
+#: argumentless letter macros.
+_MACROS = {
+    "ss": "ß", "o": "ø", "O": "Ø", "l": "ł", "L": "Ł",
+    "ae": "æ", "AE": "Æ", "oe": "œ", "OE": "Œ",
+    "aa": "å", "AA": "Å", "i": "ı", "j": "ȷ",
+}
+
+# \'e  \'{e}  {\'e}  {\'{e}}  \c{c}  \v s  — accent commands in their
+# common spellings. Symbol accents (' ` " ^ ~ = .) bind with or without
+# space; letter accents (u v c H k r b d) need a brace or space.
+_ACCENT_RE = re.compile(
+    r"""\\
+    (?P<command>['`"^~=.]|[uvcHkrbd](?![A-Za-z]))
+    \s*
+    (?:\{(?P<braced>[A-Za-z])\}|(?P<bare>[A-Za-z]))
+    """,
+    re.VERBOSE,
+)
+
+_MACRO_RE = re.compile(r"\\(" + "|".join(sorted(_MACROS, key=len,
+                                                reverse=True))
+                       + r")(?![A-Za-z])\s*")
+
+_ESCAPED_RE = re.compile(r"\\([&%$#_{}])")
+
+
+def _apply_accents(text: str) -> str:
+    def replace(match: re.Match) -> str:
+        letter = match.group("braced") or match.group("bare")
+        combining = _COMBINING[match.group("command")]
+        return unicodedata.normalize("NFC", letter + combining)
+
+    return _ACCENT_RE.sub(replace, text)
+
+
+def latex_to_text(value: str) -> str:
+    """Decode common LaTeX markup in a BibTeX value (see module docs)."""
+    if not any(character in value for character in "\\{-`'"):
+        return value
+    text = value
+    # Accents may themselves be wrapped in braces: {\"o}. Apply accent
+    # decoding before brace stripping so the group content is intact.
+    text = _apply_accents(text)
+    text = _MACRO_RE.sub(lambda match: _MACROS[match.group(1)], text)
+    text = _ESCAPED_RE.sub(r"\1", text)
+    # TeX quotes and dashes.
+    text = text.replace("``", "“").replace("''", "”")
+    text = text.replace("---", "—").replace("--", "–")
+    # Protective braces (grouping, not content) are stripped — except
+    # around the argument of an unknown command, which stays verbatim so
+    # nothing we don't understand is destroyed.
+    unknown_command = re.compile(r"\\[A-Za-z]+\s*\{[^{}]*\}")
+    parts: list[str] = []
+    last = 0
+    for match in unknown_command.finditer(text):
+        parts.append(text[last:match.start()]
+                     .replace("{", "").replace("}", ""))
+        parts.append(match.group(0))
+        last = match.end()
+    parts.append(text[last:].replace("{", "").replace("}", ""))
+    # Whitespace is left untouched — the BibTeX field reader has already
+    # normalized it, and decoding must not lose information.
+    return "".join(parts)
+
+
+_ENCODE_TABLE = [
+    ("\\", "\\\\"),   # must run first
+    ("—", "---"), ("–", "--"),
+    ("“", "``"), ("”", "''"),
+    ("&", r"\&"), ("%", r"\%"), ("$", r"\$"), ("#", r"\#"),
+    ("_", r"\_"),
+]
+
+
+def text_to_latex(value: str) -> str:
+    """Encode a decoded value back into BibTeX-safe markup.
+
+    The inverse of :func:`latex_to_text` for the *structural* cases
+    (dashes, quotes, escaped specials); accented letters stay as UTF-8,
+    which modern BibTeX consumes directly. ``latex_to_text(
+    text_to_latex(x)) == x`` for any decoded ``x``.
+    """
+    text = value
+    for plain, encoded in _ENCODE_TABLE:
+        text = text.replace(plain, encoded)
+    return text

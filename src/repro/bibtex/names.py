@@ -1,0 +1,187 @@
+"""Parsing and normalization of BibTeX author/editor name lists.
+
+This is the heart of the paper's motivating example: two bib files listing
+the same paper may write ``"Bob and others"`` (partial authorship), list
+authors in different orders of first/last name, or abbreviate first names.
+The functions here turn the raw field value into structured names so the
+mapping layer can build partial vs. complete sets and compare authors
+across sources.
+
+* :func:`split_name_list` splits on the word ``and`` at brace depth zero.
+* :func:`parse_name` understands the three BibTeX name forms
+  (``First von Last``, ``von Last, First``, ``von Last, Jr, First``).
+* :func:`normalize_name` renders a canonical ``"First von Last, Jr"``-free
+  display form so name-order differences disappear.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+__all__ = [
+    "PersonName", "NameList", "split_name_list", "parse_name",
+    "parse_name_list", "normalize_name",
+]
+
+#: Marker word BibTeX uses for "et al." authorship.
+OTHERS = "others"
+
+
+@dataclass(frozen=True)
+class PersonName:
+    """A structured person name.
+
+    Attributes follow BibTeX's four-part model. Empty strings stand for
+    absent parts.
+    """
+
+    first: str = ""
+    von: str = ""
+    last: str = ""
+    jr: str = ""
+
+    def display(self) -> str:
+        """Canonical ``First von Last`` (with ``, Jr`` when present)."""
+        parts = [p for p in (self.first, self.von, self.last) if p]
+        text = " ".join(parts)
+        if self.jr:
+            text += f", {self.jr}"
+        return text
+
+    def sort_key(self) -> tuple[str, str, str, str]:
+        """Key ordering names by last name first (case-insensitive)."""
+        return (self.last.lower(), self.von.lower(), self.first.lower(),
+                self.jr.lower())
+
+    def initials_display(self) -> str:
+        """``F. von Last`` — first names reduced to initials."""
+        initials = " ".join(
+            f"{word[0]}." for word in self.first.split() if word
+        )
+        parts = [p for p in (initials, self.von, self.last) if p]
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class NameList:
+    """A parsed name list: the names plus whether the list is partial.
+
+    ``partial`` is ``True`` when the source wrote ``... and others`` — the
+    paper maps such lists to partial sets ``⟨...⟩`` and full lists to
+    complete sets ``{...}``.
+    """
+
+    names: tuple[PersonName, ...]
+    partial: bool = False
+
+
+def split_name_list(text: str) -> list[str]:
+    """Split a raw field value on the word ``and`` at brace depth 0.
+
+    ``"Knuth and {Dynkin and Sons} and others"`` yields three items; the
+    braced group stays intact (braces are stripped from the output).
+    """
+    items: list[str] = []
+    depth = 0
+    current: list[str] = []
+    tokens = re.split(r"(\s+|\{|\})", text)
+    for token in tokens:
+        if token == "{":
+            depth += 1
+            if depth > 1:
+                current.append(token)
+            continue
+        if token == "}":
+            depth -= 1
+            if depth > 0:
+                current.append(token)
+            continue
+        if depth == 0 and token.lower() == "and":
+            item = "".join(current).strip()
+            if item:
+                items.append(item)
+            current = []
+        else:
+            current.append(token)
+    item = "".join(current).strip()
+    if item:
+        items.append(item)
+    return items
+
+
+_LOWER_WORD = re.compile(r"^[a-z]")
+
+
+def parse_name(text: str) -> PersonName:
+    """Parse one name in any of the three BibTeX forms."""
+    text = " ".join(text.split())
+    if not text:
+        return PersonName()
+    comma_parts = [part.strip() for part in text.split(",")]
+    if len(comma_parts) >= 3:
+        # von Last, Jr, First
+        von, last = _split_von_last(comma_parts[0])
+        return PersonName(first=", ".join(comma_parts[2:]), von=von,
+                          last=last, jr=comma_parts[1])
+    if len(comma_parts) == 2:
+        # von Last, First
+        von, last = _split_von_last(comma_parts[0])
+        return PersonName(first=comma_parts[1], von=von, last=last)
+    # First von Last
+    words = text.split()
+    if len(words) == 1:
+        return PersonName(last=words[0])
+    von_start = None
+    von_end = None
+    for index, word in enumerate(words[:-1]):
+        if _LOWER_WORD.match(word):
+            if von_start is None:
+                von_start = index
+            von_end = index
+    if von_start is None:
+        return PersonName(first=" ".join(words[:-1]), last=words[-1])
+    return PersonName(
+        first=" ".join(words[:von_start]),
+        von=" ".join(words[von_start:von_end + 1]),
+        last=" ".join(words[von_end + 1:]),
+    )
+
+
+def _split_von_last(text: str) -> tuple[str, str]:
+    words = text.split()
+    if not words:
+        return "", ""
+    von_words: list[str] = []
+    index = 0
+    while index < len(words) - 1 and _LOWER_WORD.match(words[index]):
+        von_words.append(words[index])
+        index += 1
+    return " ".join(von_words), " ".join(words[index:])
+
+
+def parse_name_list(text: str) -> NameList:
+    """Parse a full author/editor field value.
+
+    A trailing (or embedded) ``others`` item marks the list partial and is
+    dropped from the names.
+    """
+    items = split_name_list(text)
+    partial = False
+    names: list[PersonName] = []
+    for item in items:
+        if item.lower() == OTHERS:
+            partial = True
+            continue
+        names.append(parse_name(item))
+    return NameList(tuple(names), partial)
+
+
+def normalize_name(text: str) -> str:
+    """Canonical display form of one raw name.
+
+    ``"Ling, Tok Wang"`` and ``"Tok Wang Ling"`` both normalize to
+    ``"Tok Wang Ling"``, so sources that disagree only on name order
+    produce equal atoms in the model.
+    """
+    return parse_name(text).display()

@@ -1,0 +1,321 @@
+"""A BibTeX parser built from scratch.
+
+Supports the constructs real-world ``.bib`` files use:
+
+* entries in brace or parenthesis form: ``@Article{key, field = value}``;
+* field values as balanced-brace groups ``{...}``, quoted strings
+  ``"..."``, bare numbers, and macro names, joined with ``#``;
+* ``@string`` macro definitions (expanded during parsing, with the
+  standard month abbreviations predefined);
+* ``@comment`` and ``@preamble`` blocks (skipped);
+* free text between entries (ignored, as BibTeX does).
+
+The parser produces :class:`BibEntry` values — plain data, no model
+objects; :mod:`repro.bibtex.mapping` lifts them into the semistructured
+data model.
+"""
+
+from __future__ import annotations
+
+import re
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+from repro.core.errors import ParseError
+
+#: Standard month macros every BibTeX style predefines.
+STANDARD_MACROS: Mapping[str, str] = {
+    "jan": "January", "feb": "February", "mar": "March", "apr": "April",
+    "may": "May", "jun": "June", "jul": "July", "aug": "August",
+    "sep": "September", "oct": "October", "nov": "November",
+    "dec": "December",
+}
+
+_KEY_TERMINATORS = frozenset(", \t\r\n})")
+_FIELD_NAME_TERMINATORS = frozenset("= \t\r\n")
+
+
+@dataclass(frozen=True)
+class BibEntry:
+    """One parsed BibTeX entry.
+
+    Attributes:
+        entry_type: lowercased entry type (``article``, ``inbook``, ...).
+        key: the citation key (the paper's marker).
+        fields: field name (lowercased) → expanded string value.
+        line: 1-based line where the entry starts, for error reporting.
+    """
+
+    entry_type: str
+    key: str
+    fields: Mapping[str, str]
+    line: int = 0
+
+    def get(self, name: str, default: str | None = None) -> str | None:
+        """Return a field value by (case-insensitive) name."""
+        return self.fields.get(name.lower(), default)
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self.fields
+
+
+@dataclass
+class _Scanner:
+    text: str
+    position: int = 0
+    line: int = 1
+
+    def at_end(self) -> bool:
+        return self.position >= len(self.text)
+
+    def peek(self) -> str:
+        return self.text[self.position] if not self.at_end() else ""
+
+    def advance(self) -> str:
+        ch = self.text[self.position]
+        self.position += 1
+        if ch == "\n":
+            self.line += 1
+        return ch
+
+    def skip_whitespace(self) -> None:
+        while not self.at_end() and self.peek() in " \t\r\n":
+            self.advance()
+
+    def error(self, message: str) -> ParseError:
+        return ParseError(message, self.line)
+
+
+@dataclass
+class BibFile:
+    """A parsed ``.bib`` file: entries plus the macros it defined."""
+
+    entries: list[BibEntry] = field(default_factory=list)
+    macros: dict[str, str] = field(default_factory=dict)
+
+    def by_key(self, key: str) -> BibEntry | None:
+        """Return the first entry with the given key, if any."""
+        for entry in self.entries:
+            if entry.key == key:
+                return entry
+        return None
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[BibEntry]:
+        return iter(self.entries)
+
+
+def parse_bibtex(source: str,
+                 macros: Mapping[str, str] | None = None) -> BibFile:
+    """Parse BibTeX ``source`` into a :class:`BibFile`.
+
+    Args:
+        source: full text of a ``.bib`` file.
+        macros: extra ``@string`` macros visible from the start (the
+            standard month names are always available).
+
+    Raises:
+        ParseError: on malformed entries (unbalanced braces, missing key,
+            a field without ``=``, an undefined macro, ...).
+    """
+    scanner = _Scanner(source)
+    result = BibFile()
+    available = dict(STANDARD_MACROS)
+    if macros:
+        available.update({k.lower(): v for k, v in macros.items()})
+    while True:
+        _skip_to_entry(scanner)
+        if scanner.at_end():
+            break
+        scanner.advance()  # consume '@'
+        entry_line = scanner.line
+        entry_type = _read_name(scanner, "entry type").lower()
+        scanner.skip_whitespace()
+        opener = scanner.peek()
+        # Tuple membership, not substring: at EOF peek() returns "" and
+        # '"" in "{("' would be vacuously true.
+        if opener not in ("{", "("):
+            raise scanner.error(
+                f"expected '{{' or '(' after @{entry_type}")
+        closer = "}" if opener == "{" else ")"
+        scanner.advance()
+        if entry_type == "comment":
+            _skip_block(scanner, opener, closer)
+            continue
+        if entry_type == "preamble":
+            _read_value(scanner, closer, available)
+            _expect_closer(scanner, closer)
+            continue
+        if entry_type == "string":
+            name, value = _read_field(scanner, closer, available)
+            available[name] = value
+            result.macros[name] = value
+            scanner.skip_whitespace()
+            if scanner.peek() == ",":
+                scanner.advance()
+                scanner.skip_whitespace()
+            _expect_closer(scanner, closer)
+            continue
+        key = _read_key(scanner)
+        fields = _read_fields(scanner, closer, available)
+        result.entries.append(
+            BibEntry(entry_type, key, fields, entry_line))
+    return result
+
+
+def _skip_to_entry(scanner: _Scanner) -> None:
+    while not scanner.at_end() and scanner.peek() != "@":
+        scanner.advance()
+
+
+def _read_name(scanner: _Scanner, what: str) -> str:
+    scanner.skip_whitespace()
+    start = scanner.position
+    while not scanner.at_end() and (
+            scanner.peek().isalnum() or scanner.peek() in "_-"):
+        scanner.advance()
+    name = scanner.text[start:scanner.position]
+    if not name:
+        raise scanner.error(f"expected a {what}")
+    return name
+
+
+def _read_key(scanner: _Scanner) -> str:
+    scanner.skip_whitespace()
+    start = scanner.position
+    while not scanner.at_end() and scanner.peek() not in _KEY_TERMINATORS:
+        scanner.advance()
+    key = scanner.text[start:scanner.position].strip()
+    if not key:
+        raise scanner.error("entry has no citation key")
+    scanner.skip_whitespace()
+    if scanner.peek() == ",":
+        scanner.advance()
+    return key
+
+
+def _read_fields(scanner: _Scanner, closer: str,
+                 macros: Mapping[str, str]) -> dict[str, str]:
+    fields: dict[str, str] = {}
+    while True:
+        scanner.skip_whitespace()
+        if scanner.at_end():
+            raise scanner.error("unterminated entry")
+        if scanner.peek() == closer:
+            scanner.advance()
+            return fields
+        name, value = _read_field(scanner, closer, macros)
+        fields[name] = value.strip()
+        scanner.skip_whitespace()
+        if scanner.peek() == ",":
+            scanner.advance()
+
+
+def _read_field(scanner: _Scanner, closer: str,
+                macros: Mapping[str, str]) -> tuple[str, str]:
+    scanner.skip_whitespace()
+    start = scanner.position
+    while not scanner.at_end() and \
+            scanner.peek() not in _FIELD_NAME_TERMINATORS:
+        scanner.advance()
+    name = scanner.text[start:scanner.position].strip().lower()
+    if not name:
+        raise scanner.error("expected a field name")
+    scanner.skip_whitespace()
+    if scanner.peek() != "=":
+        raise scanner.error(f"expected '=' after field {name!r}")
+    scanner.advance()
+    return name, _read_value(scanner, closer, macros)
+
+
+def _read_value(scanner: _Scanner, closer: str,
+                macros: Mapping[str, str]) -> str:
+    pieces: list[str] = []
+    while True:
+        scanner.skip_whitespace()
+        if scanner.at_end():
+            raise scanner.error("unterminated field value")
+        ch = scanner.peek()
+        if ch == "{":
+            pieces.append(_read_braced(scanner))
+        elif ch == '"':
+            pieces.append(_read_quoted(scanner))
+        elif ch.isdigit():
+            start = scanner.position
+            while not scanner.at_end() and scanner.peek().isdigit():
+                scanner.advance()
+            pieces.append(scanner.text[start:scanner.position])
+        elif ch.isalpha():
+            name = _read_name(scanner, "macro name").lower()
+            if name not in macros:
+                raise scanner.error(f"undefined @string macro {name!r}")
+            pieces.append(macros[name])
+        else:
+            raise scanner.error(f"unexpected character {ch!r} in value")
+        scanner.skip_whitespace()
+        if scanner.peek() == "#":
+            scanner.advance()
+            continue
+        # BibTeX's '#' concatenates without inserting whitespace. Runs of
+        # whitespace collapse, but a leading/trailing space inside a piece
+        # survives so that @string{pre = "Vol. "} concatenates correctly;
+        # entry fields are stripped by the caller.
+        return _collapse_space("".join(pieces))
+
+
+def _read_braced(scanner: _Scanner) -> str:
+    scanner.advance()  # '{'
+    depth = 1
+    start = scanner.position
+    while not scanner.at_end():
+        ch = scanner.advance()
+        if ch == "{":
+            depth += 1
+        elif ch == "}":
+            depth -= 1
+            if depth == 0:
+                return scanner.text[start:scanner.position - 1]
+    raise scanner.error("unbalanced braces in field value")
+
+
+def _read_quoted(scanner: _Scanner) -> str:
+    scanner.advance()  # '"'
+    depth = 0
+    start = scanner.position
+    while not scanner.at_end():
+        ch = scanner.advance()
+        if ch == "{":
+            depth += 1
+        elif ch == "}":
+            depth -= 1
+        elif ch == '"' and depth == 0:
+            return scanner.text[start:scanner.position - 1]
+    raise scanner.error("unterminated quoted value")
+
+
+def _skip_block(scanner: _Scanner, opener: str, closer: str) -> None:
+    depth = 1
+    while not scanner.at_end():
+        ch = scanner.advance()
+        if ch == opener:
+            depth += 1
+        elif ch == closer:
+            depth -= 1
+            if depth == 0:
+                return
+    raise scanner.error("unterminated @comment block")
+
+
+def _expect_closer(scanner: _Scanner, closer: str) -> None:
+    scanner.skip_whitespace()
+    if scanner.peek() != closer:
+        raise scanner.error(f"expected {closer!r}")
+    scanner.advance()
+
+
+def _collapse_space(text: str) -> str:
+    """Collapse whitespace runs to single spaces, keeping the edges."""
+    return re.sub(r"[ \t\r\n]+", " ", text)

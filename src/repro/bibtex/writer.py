@@ -1,0 +1,126 @@
+"""Rendering model data back to BibTeX text.
+
+The inverse of :mod:`repro.bibtex.mapping` for data in bib shape (a tuple
+object with a ``type`` attribute). Values render as:
+
+* complete name sets → ``author = {A and B}``;
+* partial name sets → ``author = {A and others}`` (openness is preserved);
+* markers → bare citation keys (``crossref = {DB}``);
+* integer atoms → bare numbers; everything else → braced strings;
+* or-values cannot be expressed in BibTeX — the writer either raises or,
+  with ``on_conflict="comment"``, emits each alternative in a trailing
+  comment so no information is silently dropped.
+"""
+
+from __future__ import annotations
+
+from repro.bibtex.latex import text_to_latex
+from repro.core.data import Data, DataSet
+from repro.core.errors import CodecError
+from repro.core.objects import (
+    Atom,
+    CompleteSet,
+    Marker,
+    OrValue,
+    PartialSet,
+    SSObject,
+    Tuple,
+)
+
+__all__ = ["data_to_bibtex", "dataset_to_bibtex"]
+
+
+def data_to_bibtex(datum: Data, *, type_attribute: str = "type",
+                   on_conflict: str = "error") -> str:
+    """Render one datum as a BibTeX entry.
+
+    Args:
+        datum: datum whose object is a tuple with a ``type`` attribute.
+        type_attribute: the attribute holding the entry type.
+        on_conflict: ``"error"`` (raise on or-values) or ``"comment"``
+            (render alternatives as a ``%%`` comment line).
+
+    Raises:
+        CodecError: when the datum is not in bib shape or contains
+            constructs BibTeX cannot express.
+    """
+    obj = datum.object
+    if not isinstance(obj, Tuple):
+        raise CodecError("only tuple-shaped data render to BibTeX")
+    entry_type = obj.get(type_attribute)
+    if not isinstance(entry_type, Atom) or \
+            not isinstance(entry_type.value, str):
+        raise CodecError(
+            f"datum lacks a string {type_attribute!r} attribute")
+    key = _render_key(datum)
+    lines = [f"@{entry_type.value}{{{key},"]
+    comments: list[str] = []
+    for label, value in obj.items():
+        if label == type_attribute:
+            continue
+        rendered, note = _render_value(label, value, on_conflict)
+        if rendered is not None:
+            lines.append(f"  {label} = {rendered},")
+        if note:
+            comments.append(note)
+    # Drop the trailing comma of the final line, as classic BibTeX styles
+    # prefer; a field-less entry renders as "@Type{key}".
+    if lines[-1].endswith(","):
+        lines[-1] = lines[-1][:-1]
+    lines.append("}")
+    text = "\n".join(lines)
+    if comments:
+        text += "\n" + "\n".join(f"%% {note}" for note in comments)
+    return text
+
+
+def _render_key(datum: Data) -> str:
+    if isinstance(datum.marker, Marker):
+        return datum.marker.name
+    markers = sorted(m.name for m in datum.markers)
+    if markers:
+        return "+".join(markers)
+    return "unknown"
+
+
+def _render_value(label: str, value: SSObject,
+                  on_conflict: str) -> tuple[str | None, str | None]:
+    if isinstance(value, Atom):
+        if isinstance(value.value, bool):
+            return ("{true}" if value.value else "{false}"), None
+        if isinstance(value.value, int):
+            return str(value.value), None
+        return "{" + text_to_latex(str(value.value)) + "}", None
+    if isinstance(value, Marker):
+        return "{" + value.name + "}", None
+    if isinstance(value, (PartialSet, CompleteSet)):
+        names = []
+        for element in value:
+            if not isinstance(element, Atom) or \
+                    not isinstance(element.value, str):
+                raise CodecError(
+                    f"field {label!r}: only sets of string atoms render "
+                    f"to BibTeX name lists")
+            names.append(text_to_latex(element.value))
+        if isinstance(value, PartialSet):
+            names.append("others")
+        return "{" + " and ".join(names) + "}", None
+    if isinstance(value, OrValue):
+        if on_conflict == "comment":
+            alternatives = " | ".join(repr(d) for d in value)
+            return None, f"conflict on {label}: {alternatives}"
+        raise CodecError(
+            f"field {label!r} holds a conflict (or-value); resolve it or "
+            f"pass on_conflict='comment'")
+    raise CodecError(
+        f"field {label!r}: {type(value).__name__} has no BibTeX form")
+
+
+def dataset_to_bibtex(dataset: DataSet, *, type_attribute: str = "type",
+                      on_conflict: str = "error") -> str:
+    """Render a whole data set as a ``.bib`` file."""
+    return "\n\n".join(
+        data_to_bibtex(datum, type_attribute=type_attribute,
+                       on_conflict=on_conflict)
+        for datum in dataset
+    )

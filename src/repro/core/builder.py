@@ -1,0 +1,128 @@
+"""Ergonomic construction of model objects from plain Python values.
+
+The classes in :mod:`repro.core.objects` are deliberately strict — every
+child must already be a model object. This module is the friendly front
+door used by examples, substrates and tests:
+
+>>> from repro.core.builder import obj, tup, pset, cset, orv, data
+>>> tup(type="Article", title="Oracle", author=pset("Bob"))
+[author => <"Bob">, title => "Oracle", type => "Article"]
+
+Conversion rules of :func:`obj`:
+
+* model objects pass through unchanged;
+* ``None`` becomes ``⊥``;
+* ``str``/``int``/``float``/``bool`` become atoms;
+* ``dict`` becomes a tuple (keys must be strings);
+* ``set``/``frozenset`` become *complete* sets — closed-world is the safe
+  default for a Python literal that enumerates its members;
+* ``list``/``tuple`` are rejected: the model has no ordered collections,
+  so the caller must choose :func:`pset` or :func:`cset` explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.core.data import Data, DataSet
+from repro.core.errors import InvalidObjectError
+from repro.core.objects import (
+    BOTTOM,
+    Atom,
+    CompleteSet,
+    Marker,
+    OrValue,
+    PartialSet,
+    SSObject,
+    Tuple,
+)
+
+__all__ = [
+    "obj", "atom", "marker", "tup", "pset", "cset", "orv", "data",
+    "dataset", "bottom",
+]
+
+#: Re-export of the null object for convenient importing alongside builders.
+bottom = BOTTOM
+
+
+def obj(value: object) -> SSObject:
+    """Convert a plain Python value to a model object (see module docs)."""
+    if isinstance(value, SSObject):
+        return value
+    if value is None:
+        return BOTTOM
+    if isinstance(value, (str, int, float, bool)):
+        return Atom(value)
+    if isinstance(value, Mapping):
+        return Tuple((key, obj(item)) for key, item in value.items())
+    if isinstance(value, (set, frozenset)):
+        return CompleteSet(obj(item) for item in value)
+    if isinstance(value, (list, tuple)):
+        raise InvalidObjectError(
+            "ordered sequences are ambiguous: use pset(...) for a partial "
+            "set or cset(...) for a complete set"
+        )
+    raise InvalidObjectError(
+        f"cannot convert {type(value).__name__} to a model object"
+    )
+
+
+def atom(value: str | int | float | bool) -> Atom:
+    """Build an atomic object."""
+    return Atom(value)
+
+
+def marker(name: str) -> Marker:
+    """Build a marker object."""
+    return Marker(name)
+
+
+def tup(fields: Mapping[str, object] | None = None, /,
+        **kwargs: object) -> Tuple:
+    """Build a tuple from a mapping and/or keyword arguments.
+
+    Keyword arguments win on label collision. Values are converted with
+    :func:`obj`, so ``tup(year=1999, editor="John")`` just works.
+    """
+    merged: dict[str, object] = dict(fields or {})
+    merged.update(kwargs)
+    return Tuple((label, obj(value)) for label, value in merged.items())
+
+
+def pset(*elements: object) -> PartialSet:
+    """Build a partial (open-world) set, converting elements with
+    :func:`obj`."""
+    return PartialSet(obj(element) for element in elements)
+
+
+def cset(*elements: object) -> CompleteSet:
+    """Build a complete (closed-world) set, converting elements with
+    :func:`obj`."""
+    return CompleteSet(obj(element) for element in elements)
+
+
+def orv(*disjuncts: object) -> SSObject:
+    """Build an or-value (collapsing a single distinct disjunct)."""
+    return OrValue.of(*(obj(disjunct) for disjunct in disjuncts))
+
+
+def data(marker_name: str | SSObject, value: object) -> Data:
+    """Build one semistructured datum ``m : O``.
+
+    ``marker_name`` may be a string (wrapped into a marker), a marker, an
+    or-value of markers, or ``⊥``; ``value`` is converted with :func:`obj`.
+    """
+    return Data(marker_name, obj(value))
+
+
+def dataset(*items: Data | tuple[str, object]) -> DataSet:
+    """Build a data set from data or ``(marker, value)`` pairs."""
+    converted: list[Data] = []
+    for item in items:
+        if isinstance(item, Data):
+            converted.append(item)
+        else:
+            name, value = item
+            converted.append(data(name, value))
+    return DataSet(converted)

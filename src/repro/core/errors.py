@@ -1,0 +1,80 @@
+"""Exception hierarchy for the semistructured data model.
+
+All errors raised by :mod:`repro` derive from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while letting
+programming errors (``TypeError`` from misuse of the stdlib, etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class ModelError(ReproError):
+    """Invalid construction or use of a model object (Definition 1)."""
+
+
+class InvalidObjectError(ModelError):
+    """A value that is not a valid model object was supplied."""
+
+
+class InvalidAttributeError(ModelError):
+    """A tuple attribute label is invalid (empty, duplicated, non-string)."""
+
+
+class InvalidMarkerError(ModelError):
+    """A marker name is invalid or a non-marker was used as one."""
+
+
+class OperationError(ReproError):
+    """An algebra operation (Definitions 8-12) was invoked incorrectly."""
+
+
+class EmptyKeyError(OperationError):
+    """The key set ``K`` must be non-empty for union/intersection/difference."""
+
+
+class ExpandError(ReproError):
+    """The expand operation failed (unknown marker, cycle, depth exceeded)."""
+
+
+class ParseError(ReproError):
+    """Textual input (paper notation, BibTeX, HTML, queries) failed to parse.
+
+    Attributes:
+        line: 1-based line of the offending token, when known.
+        column: 1-based column of the offending token, when known.
+    """
+
+    def __init__(self, message: str, line: int | None = None,
+                 column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}"
+            if column is not None:
+                location += f", column {column}"
+        super().__init__(message + location)
+        self.line = line
+        self.column = column
+
+
+class CodecError(ReproError):
+    """JSON (de)serialization of model objects failed."""
+
+
+class MergeError(ReproError):
+    """The merge engine was configured or invoked incorrectly."""
+
+
+class ResolutionError(MergeError):
+    """A conflict-resolution strategy could not resolve a conflict."""
+
+
+class QueryError(ReproError):
+    """A query is malformed or refers to unknown constructs."""
+
+
+class WorkloadError(ReproError):
+    """A synthetic workload specification is invalid."""

@@ -1,0 +1,115 @@
+"""The *expand* operation (paper §4, future work).
+
+The paper closes by proposing an ``expand`` operation "to expand the
+markers to semistructured data for further manipulation" — dereferencing a
+marker-valued attribute such as ``crossref ⇒ DB`` into the object the
+marker names, so cross-referenced information participates in union/
+intersection/difference. This module implements it against a
+:class:`~repro.core.data.DataSet` acting as the marker environment.
+
+Expansion is cycle-safe: a marker already on the current dereference chain
+is left as a marker (fixed point of the cyclic reference), and a ``depth``
+bound caps how many dereference levels are followed.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.data import Data, DataSet
+from repro.core.errors import ExpandError
+from repro.core.objects import (
+    CompleteSet,
+    Marker,
+    OrValue,
+    PartialSet,
+    SSObject,
+    Tuple,
+)
+
+__all__ = ["expand_object", "expand_data", "expand_dataset"]
+
+#: Expansion follows at most this many dereference levels by default.
+DEFAULT_DEPTH = 16
+
+
+def _environment(dataset: DataSet) -> Mapping[Marker, SSObject]:
+    env: dict[Marker, SSObject] = {}
+    for datum in dataset:
+        for source_marker in datum.markers:
+            env.setdefault(source_marker, datum.object)
+    return env
+
+
+def expand_object(obj: SSObject, dataset: DataSet, *,
+                  depth: int = DEFAULT_DEPTH,
+                  strict: bool = False) -> SSObject:
+    """Replace marker objects inside ``obj`` by the objects they name.
+
+    Args:
+        obj: object to expand (markers at any nesting level are followed).
+        dataset: environment mapping markers to objects; or-marked data
+            bind each of their source markers.
+        depth: maximum dereference chain length; deeper markers stay.
+        strict: when ``True``, a marker absent from the environment raises
+            :class:`~repro.core.errors.ExpandError`; otherwise it is kept
+            verbatim (dangling references are routine on the open web).
+
+    Returns:
+        The expanded object. Cyclic references terminate by leaving the
+        repeated marker unexpanded.
+    """
+    if depth < 0:
+        raise ExpandError(f"depth must be non-negative, got {depth}")
+    env = _environment(dataset)
+    return _expand(obj, env, depth, strict, frozenset())
+
+
+def _expand(obj: SSObject, env: Mapping[Marker, SSObject], depth: int,
+            strict: bool, chain: frozenset[Marker]) -> SSObject:
+    if isinstance(obj, Marker):
+        if obj in chain or depth == 0:
+            return obj
+        if obj not in env:
+            if strict:
+                raise ExpandError(f"unknown marker {obj!r}")
+            return obj
+        return _expand(env[obj], env, depth - 1, strict, chain | {obj})
+    if isinstance(obj, Tuple):
+        return Tuple(
+            (label, _expand(value, env, depth, strict, chain))
+            for label, value in obj.items()
+        )
+    if isinstance(obj, PartialSet):
+        return PartialSet(
+            _expand(e, env, depth, strict, chain) for e in obj.elements
+        )
+    if isinstance(obj, CompleteSet):
+        return CompleteSet(
+            _expand(e, env, depth, strict, chain) for e in obj.elements
+        )
+    if isinstance(obj, OrValue):
+        return OrValue.of(
+            *(_expand(d, env, depth, strict, chain) for d in obj.disjuncts)
+        )
+    return obj
+
+
+def expand_data(datum: Data, dataset: DataSet, *,
+                depth: int = DEFAULT_DEPTH, strict: bool = False) -> Data:
+    """Expand the object part of one datum; its own markers never expand
+    into themselves (they seed the dereference chain)."""
+    env = _environment(dataset)
+    return Data(
+        datum.marker,
+        _expand(datum.object, env, depth, strict, datum.markers),
+    )
+
+
+def expand_dataset(dataset: DataSet, *, depth: int = DEFAULT_DEPTH,
+                   strict: bool = False) -> DataSet:
+    """Expand every datum of ``dataset`` against the set itself."""
+    return DataSet(
+        expand_data(datum, dataset, depth=depth, strict=strict)
+        for datum in dataset
+    )

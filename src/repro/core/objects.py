@@ -1,0 +1,443 @@
+"""The object algebra of Definition 1.
+
+The paper builds semistructured data from seven kinds of *objects*:
+
+1. atomic objects — constants from the universe ``U`` (:class:`Atom`);
+2. marker objects — names from the marker set ``M`` (:class:`Marker`);
+3. the special null/unknown object ``⊥`` (:data:`BOTTOM`);
+4. or-values ``O1|...|On`` recording conflicts (:class:`OrValue`);
+5. partial (open-world) sets ``⟨O1,...,On⟩`` (:class:`PartialSet`);
+6. complete (closed-world) sets ``{O1,...,On}`` (:class:`CompleteSet`);
+7. tuples ``[A1 ⇒ O1, ..., An ⇒ On]`` (:class:`Tuple`).
+
+Every object is immutable and hashable, so objects can be elements of sets
+and disjuncts of or-values. Canonicalization happens at construction time:
+
+* nested or-values are flattened and duplicate disjuncts removed
+  (Definition 6(3) treats or-values "set-wise");
+* an or-value with a single distinct disjunct *is* that disjunct — use
+  :meth:`OrValue.of` to build or-values safely;
+* tuple attributes bound to ``⊥`` are dropped, because Definition 1(7)
+  already stipulates ``O.A = ⊥`` for every absent attribute ``A``.
+
+These choices are catalogued as decisions D1-D4 in ``DESIGN.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Union
+
+from repro.core.errors import (
+    InvalidAttributeError,
+    InvalidMarkerError,
+    InvalidObjectError,
+)
+
+#: Python types accepted as values of atomic objects.
+AtomValue = Union[str, int, float, bool]
+
+_ATOM_TYPES = (str, int, float, bool)
+
+
+class SSObject:
+    """Abstract base class of every model object.
+
+    The class exists for ``isinstance`` checks and shared behaviour; it is
+    never instantiated directly. Subclasses are value objects: equality and
+    hashing are structural, and instances are immutable after construction.
+    """
+
+    __slots__ = ()
+
+    #: Short lowercase kind name, stable across releases ("atom", "marker",
+    #: "bottom", "or", "partial_set", "complete_set", "tuple").
+    kind: str = "object"
+
+    def is_bottom(self) -> bool:
+        """Return ``True`` iff this object is the null object ``⊥``."""
+        return self is BOTTOM
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError(
+            f"{type(self).__name__} objects are immutable"
+        )
+
+    def __delattr__(self, name: str) -> None:
+        raise AttributeError(
+            f"{type(self).__name__} objects are immutable"
+        )
+
+    # Subclasses assign slots in __init__ through object.__setattr__; this
+    # helper keeps that one permitted mutation path in a single place.
+    def _init_slot(self, name: str, value: object) -> None:
+        object.__setattr__(self, name, value)
+
+
+class Bottom(SSObject):
+    """The special null/unknown object ``⊥`` (Definition 1(3)).
+
+    A singleton: ``Bottom()`` always returns :data:`BOTTOM`, so identity
+    checks (``obj is BOTTOM``) and equality agree.
+    """
+
+    __slots__ = ()
+    kind = "bottom"
+
+    _instance: "Bottom | None" = None
+
+    def __new__(cls) -> "Bottom":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "bottom"
+
+    def __eq__(self, other: object) -> bool:
+        return other is self
+
+    def __hash__(self) -> int:
+        return hash("repro.bottom")
+
+    def __reduce__(self):
+        return (Bottom, ())
+
+
+#: The unique null object. ``Bottom()`` also evaluates to this instance.
+BOTTOM = Bottom()
+
+
+class Atom(SSObject):
+    """An atomic object: a constant from the universe ``U`` (Definition 1(1)).
+
+    Wraps a Python ``str``, ``int``, ``float`` or ``bool``. Two atoms are
+    equal iff their values are equal *and* of the same type, so ``Atom(1)``
+    and ``Atom(True)`` are distinct even though ``1 == True`` in Python.
+    """
+
+    __slots__ = ("value",)
+    kind = "atom"
+
+    def __init__(self, value: AtomValue):
+        if not isinstance(value, _ATOM_TYPES):
+            raise InvalidObjectError(
+                f"atomic objects wrap str/int/float/bool, not "
+                f"{type(value).__name__}"
+            )
+        if isinstance(value, float) and value != value:
+            raise InvalidObjectError("NaN cannot be an atomic object")
+        self._init_slot("value", value)
+
+    def __repr__(self) -> str:
+        if isinstance(self.value, str):
+            return f'"{self.value}"'
+        return repr(self.value)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Atom):
+            return NotImplemented
+        return (type(self.value) is type(other.value)
+                and self.value == other.value)
+
+    def __hash__(self) -> int:
+        return hash(("repro.atom", type(self.value).__name__, self.value))
+
+
+class Marker(SSObject):
+    """A marker object: a name from the marker set ``M`` (Definition 1(2)).
+
+    Markers identify complex objects across sources — BibTeX keys and URLs
+    in the paper's examples. They are atoms of identity, not values: two
+    markers are equal iff their names are equal.
+    """
+
+    __slots__ = ("name",)
+    kind = "marker"
+
+    def __init__(self, name: str):
+        if not isinstance(name, str) or not name:
+            raise InvalidMarkerError(
+                f"marker names are non-empty strings, got {name!r}"
+            )
+        self._init_slot("name", name)
+
+    def __repr__(self) -> str:
+        return self.name
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Marker):
+            return NotImplemented
+        return self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash(("repro.marker", self.name))
+
+
+def _check_object(candidate: object, context: str) -> SSObject:
+    if not isinstance(candidate, SSObject):
+        raise InvalidObjectError(
+            f"{context} must be model objects, got "
+            f"{type(candidate).__name__}; wrap constants with Atom() or "
+            f"use repro.core.builder.obj()"
+        )
+    return candidate
+
+
+class OrValue(SSObject):
+    """An or-value ``O1|...|On`` with ``n > 1`` (Definition 1(4)).
+
+    Records *inconsistent* information: the true value is one of the
+    disjuncts, but the sources conflict on which. Disjuncts form a set
+    (decision D1): construction flattens nested or-values and removes
+    duplicates. Direct construction requires at least two distinct
+    disjuncts; :meth:`OrValue.of` is the total variant that collapses a
+    single distinct disjunct to the disjunct itself.
+    """
+
+    __slots__ = ("disjuncts",)
+    kind = "or"
+
+    def __init__(self, disjuncts: Iterable[SSObject]):
+        flat = _flatten_disjuncts(disjuncts)
+        if len(flat) < 2:
+            raise InvalidObjectError(
+                f"an or-value needs at least 2 distinct disjuncts, got "
+                f"{len(flat)}; use OrValue.of() to collapse singletons"
+            )
+        self._init_slot("disjuncts", flat)
+
+    @staticmethod
+    def of(*disjuncts: SSObject) -> SSObject:
+        """Build an or-value, collapsing degenerate cases.
+
+        ``OrValue.of(a)`` is ``a``; ``OrValue.of(a, a)`` is ``a``;
+        ``OrValue.of(a, b|c)`` is ``a|b|c``. An empty call is rejected.
+        """
+        flat = _flatten_disjuncts(disjuncts)
+        if not flat:
+            raise InvalidObjectError("OrValue.of() needs at least 1 disjunct")
+        if len(flat) == 1:
+            return next(iter(flat))
+        return OrValue(flat)
+
+    def contains_bottom(self) -> bool:
+        """Return ``True`` iff ``⊥`` is one of the disjuncts.
+
+        Definition 6(3) makes or-values containing ``⊥`` incompatible with
+        everything, so callers need this test.
+        """
+        return BOTTOM in self.disjuncts
+
+    def __len__(self) -> int:
+        return len(self.disjuncts)
+
+    def __iter__(self) -> Iterator[SSObject]:
+        # Deterministic order for display and tests.
+        from repro.core.order import sort_objects
+
+        return iter(sort_objects(self.disjuncts))
+
+    def __contains__(self, item: object) -> bool:
+        return item in self.disjuncts
+
+    def __repr__(self) -> str:
+        return "|".join(repr(d) for d in self)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, OrValue):
+            return NotImplemented
+        return self.disjuncts == other.disjuncts
+
+    def __hash__(self) -> int:
+        return hash(("repro.or", self.disjuncts))
+
+
+def _flatten_disjuncts(disjuncts: Iterable[SSObject]) -> frozenset[SSObject]:
+    flat: set[SSObject] = set()
+    for disjunct in disjuncts:
+        _check_object(disjunct, "or-value disjuncts")
+        if isinstance(disjunct, OrValue):
+            flat.update(disjunct.disjuncts)
+        else:
+            flat.add(disjunct)
+    return frozenset(flat)
+
+
+class _SetObject(SSObject):
+    """Shared behaviour of partial and complete sets."""
+
+    __slots__ = ("elements",)
+
+    _open: str
+    _close: str
+
+    def __init__(self, elements: Iterable[SSObject] = ()):
+        checked = frozenset(
+            _check_object(element, "set elements") for element in elements
+        )
+        self._init_slot("elements", checked)
+
+    def __len__(self) -> int:
+        return len(self.elements)
+
+    def __iter__(self) -> Iterator[SSObject]:
+        from repro.core.order import sort_objects
+
+        return iter(sort_objects(self.elements))
+
+    def __contains__(self, item: object) -> bool:
+        return item in self.elements
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(element) for element in self)
+        return f"{self._open}{inner}{self._close}"
+
+    def __eq__(self, other: object) -> bool:
+        if type(other) is not type(self):
+            return NotImplemented
+        return self.elements == other.elements
+
+    def __hash__(self) -> int:
+        return hash(("repro.set", self.kind, self.elements))
+
+
+class PartialSet(_SetObject):
+    """A partial set ``⟨O1,...,On⟩`` (Definition 1(5)).
+
+    Open-world semantics: the listed elements are known members, but others
+    may exist. The empty partial set ``⟨⟩`` means "it is a set, contents
+    unknown" and carries strictly more information than ``⊥``.
+    """
+
+    __slots__ = ()
+    kind = "partial_set"
+    _open, _close = "<", ">"
+
+
+class CompleteSet(_SetObject):
+    """A complete set ``{O1,...,On}`` (Definition 1(6)).
+
+    Closed-world semantics: the listed elements are exactly the members.
+    The empty complete set ``{}`` asserts there is nothing in the set, which
+    is very different from the empty partial set ``⟨⟩``.
+    """
+
+    __slots__ = ()
+    kind = "complete_set"
+    _open, _close = "{", "}"
+
+
+class Tuple(SSObject):
+    """A tuple ``[A1 ⇒ O1, ..., An ⇒ On]`` (Definition 1(7)).
+
+    Attribute labels are distinct non-empty strings. Access with
+    :meth:`get` (or indexing): absent attributes yield ``⊥``, exactly as
+    the paper stipulates, and attributes explicitly bound to ``⊥`` are
+    canonicalized away at construction (decision D4) so that the two ways
+    of "not knowing A" compare equal.
+    """
+
+    __slots__ = ("_fields",)
+    kind = "tuple"
+
+    def __init__(self, fields: Mapping[str, SSObject] |
+                 Iterable[tuple[str, SSObject]] = ()):
+        if isinstance(fields, Mapping):
+            pairs = list(fields.items())
+        else:
+            pairs = list(fields)
+        seen: dict[str, SSObject] = {}
+        for label, value in pairs:
+            if not isinstance(label, str) or not label:
+                raise InvalidAttributeError(
+                    f"attribute labels are non-empty strings, got {label!r}"
+                )
+            if label in seen:
+                raise InvalidAttributeError(
+                    f"duplicate attribute label {label!r}"
+                )
+            _check_object(value, f"the value of attribute {label!r}")
+            seen[label] = value
+        normalized = tuple(
+            sorted((label, value) for label, value in seen.items()
+                   if value is not BOTTOM)
+        )
+        self._init_slot("_fields", normalized)
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        """The attribute labels present in this tuple, sorted."""
+        return tuple(label for label, _ in self._fields)
+
+    def get(self, label: str) -> SSObject:
+        """Return the value of ``label``, or ``⊥`` when absent."""
+        for name, value in self._fields:
+            if name == label:
+                return value
+        return BOTTOM
+
+    def items(self) -> tuple[tuple[str, SSObject], ...]:
+        """The ``(label, value)`` pairs present, in sorted label order."""
+        return self._fields
+
+    def with_field(self, label: str, value: SSObject) -> "Tuple":
+        """Return a copy with ``label`` bound to ``value``.
+
+        Binding to ``⊥`` removes the attribute, consistent with D4.
+        """
+        fields = dict(self._fields)
+        fields[label] = value
+        return Tuple(fields)
+
+    def without_field(self, label: str) -> "Tuple":
+        """Return a copy with ``label`` absent (equivalently, bound to ⊥)."""
+        return self.with_field(label, BOTTOM)
+
+    def project(self, labels: Iterable[str]) -> "Tuple":
+        """Return the tuple restricted to ``labels`` (absent ones dropped)."""
+        wanted = set(labels)
+        return Tuple((label, value) for label, value in self._fields
+                     if label in wanted)
+
+    def __len__(self) -> int:
+        return len(self._fields)
+
+    def __contains__(self, label: object) -> bool:
+        return any(name == label for name, _ in self._fields)
+
+    def __getitem__(self, label: str) -> SSObject:
+        return self.get(label)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.attributes)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{label} => {value!r}"
+                          for label, value in self._fields)
+        return f"[{inner}]"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Tuple):
+            return NotImplemented
+        return self._fields == other._fields
+
+    def __hash__(self) -> int:
+        return hash(("repro.tuple", self._fields))
+
+
+def is_set_object(candidate: SSObject) -> bool:
+    """Return ``True`` iff ``candidate`` is a partial or complete set."""
+    return isinstance(candidate, _SetObject)
+
+
+def disjuncts_of(candidate: SSObject) -> frozenset[SSObject]:
+    """View any object as a set of or-value disjuncts.
+
+    Or-values yield their disjunct set; every other object is its own
+    singleton. Several rules in Definitions 3, 9 and 10 silently treat a
+    plain object as a one-disjunct or-value (decision D2); this helper is
+    the single place that encodes the coercion.
+    """
+    if isinstance(candidate, OrValue):
+        return candidate.disjuncts
+    return frozenset((candidate,))

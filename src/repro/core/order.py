@@ -1,0 +1,111 @@
+"""A total structural order over model objects.
+
+The model itself only defines the *less informative* partial order
+(Definition 3, :mod:`repro.core.informativeness`). Display, canonical text
+output and deterministic iteration over sets additionally need an arbitrary
+but *total* and *stable* order on heterogeneous objects, which Python cannot
+provide for mixed ``str``/``int`` values. :func:`structural_key` supplies
+one: it maps every object to a nested tuple that Python can compare.
+
+The order is an implementation detail — it has no semantic meaning in the
+paper — but it is part of the library's observable behaviour (pretty-printed
+or-values and sets list their members in this order), so it is stable and
+tested.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.objects import (
+    Atom,
+    Bottom,
+    CompleteSet,
+    Marker,
+    OrValue,
+    PartialSet,
+    SSObject,
+    Tuple,
+)
+
+# Rank of each kind in the total order. Bottom sorts first so the "least
+# informative" object is also structurally smallest, which reads naturally
+# in sorted output.
+_KIND_RANK = {
+    "bottom": 0,
+    "atom": 1,
+    "marker": 2,
+    "or": 3,
+    "partial_set": 4,
+    "complete_set": 5,
+    "tuple": 6,
+}
+
+# Atoms of different Python types compare by a type rank first: booleans,
+# then numbers, then strings. bool is checked before int because bool is a
+# subclass of int.
+_ATOM_TYPE_RANK = {bool: 0, int: 1, float: 1, str: 2}
+
+
+def structural_key(obj: SSObject) -> tuple:
+    """Return a nested tuple that totally orders model objects.
+
+    Keys of equal objects are equal; keys of distinct objects differ. The
+    key is comparable with keys of any other object, whatever the kinds.
+    """
+    if isinstance(obj, Bottom):
+        return (_KIND_RANK["bottom"],)
+    if isinstance(obj, Atom):
+        type_rank = _ATOM_TYPE_RANK[type(obj.value)]
+        if isinstance(obj.value, bool):
+            # Compare booleans among themselves as ints, but keep them in
+            # their own type bucket so Atom(True) != Atom(1) sorts apart.
+            return (_KIND_RANK["atom"], type_rank, int(obj.value))
+        return (_KIND_RANK["atom"], type_rank, obj.value)
+    if isinstance(obj, Marker):
+        return (_KIND_RANK["marker"], obj.name)
+    if isinstance(obj, OrValue):
+        members = sorted(structural_key(d) for d in obj.disjuncts)
+        return (_KIND_RANK["or"], len(members), tuple(members))
+    if isinstance(obj, (PartialSet, CompleteSet)):
+        members = sorted(structural_key(e) for e in obj.elements)
+        return (_KIND_RANK[obj.kind], len(members), tuple(members))
+    if isinstance(obj, Tuple):
+        fields = tuple(
+            (label, structural_key(value)) for label, value in obj.items()
+        )
+        return (_KIND_RANK["tuple"], len(fields), fields)
+    raise TypeError(f"not a model object: {type(obj).__name__}")
+
+
+def sort_objects(objects: Iterable[SSObject]) -> list[SSObject]:
+    """Return ``objects`` as a list sorted by :func:`structural_key`."""
+    return sorted(objects, key=structural_key)
+
+
+def object_depth(obj: SSObject) -> int:
+    """Return the nesting depth of ``obj`` (atoms/markers/⊥ have depth 0)."""
+    if isinstance(obj, OrValue):
+        children: Sequence[SSObject] = tuple(obj.disjuncts)
+    elif isinstance(obj, (PartialSet, CompleteSet)):
+        children = tuple(obj.elements)
+    elif isinstance(obj, Tuple):
+        children = tuple(value for _, value in obj.items())
+    else:
+        return 0
+    if not children:
+        return 1
+    return 1 + max(object_depth(child) for child in children)
+
+
+def object_size(obj: SSObject) -> int:
+    """Return the number of nodes in ``obj``'s structure tree."""
+    if isinstance(obj, OrValue):
+        children: Sequence[SSObject] = tuple(obj.disjuncts)
+    elif isinstance(obj, (PartialSet, CompleteSet)):
+        children = tuple(obj.elements)
+    elif isinstance(obj, Tuple):
+        children = tuple(value for _, value in obj.items())
+    else:
+        return 1
+    return 1 + sum(object_size(child) for child in children)

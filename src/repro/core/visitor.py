@@ -1,0 +1,100 @@
+"""Generic traversal and transformation of object trees.
+
+The algebra modules implement the paper's definitions case by case; the
+substrates (conflict extraction, metrics, expand, codecs) instead need
+uniform structural recursion. This module provides the three shapes they
+share: :func:`walk` (iterate every node with its path), :func:`transform`
+(rebuild bottom-up through a node function) and :func:`collect`
+(gather nodes matching a predicate).
+
+Paths are tuples of steps: an attribute label (``str``) for tuple fields,
+:data:`IN_SET` for set elements and :data:`IN_OR` for or-value disjuncts.
+Set elements and disjuncts are unordered, so those steps carry no index.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.core.objects import (
+    CompleteSet,
+    OrValue,
+    PartialSet,
+    SSObject,
+    Tuple,
+)
+
+#: Path step marking descent into a (partial or complete) set element.
+IN_SET = "<element>"
+
+#: Path step marking descent into an or-value disjunct.
+IN_OR = "<disjunct>"
+
+#: A location inside an object tree.
+Path = tuple[str, ...]
+
+
+def walk(obj: SSObject,
+         prefix: Path = ()) -> Iterator[tuple[Path, SSObject]]:
+    """Yield ``(path, node)`` for every node of ``obj``, root first.
+
+    Children are visited in canonical structural order so the traversal is
+    deterministic.
+    """
+    yield prefix, obj
+    if isinstance(obj, Tuple):
+        for label, value in obj.items():
+            yield from walk(value, prefix + (label,))
+    elif isinstance(obj, (PartialSet, CompleteSet)):
+        for element in obj:
+            yield from walk(element, prefix + (IN_SET,))
+    elif isinstance(obj, OrValue):
+        for disjunct in obj:
+            yield from walk(disjunct, prefix + (IN_OR,))
+
+
+def transform(obj: SSObject,
+              fn: Callable[[SSObject], SSObject]) -> SSObject:
+    """Rebuild ``obj`` bottom-up, applying ``fn`` to every node.
+
+    Children are transformed first, then ``fn`` receives the rebuilt node.
+    ``fn`` must return a model object; returning the argument unchanged
+    leaves that node as-is. Because construction canonicalizes (or-value
+    flattening, ``⊥`` attribute dropping), transformations compose safely.
+    """
+    if isinstance(obj, Tuple):
+        rebuilt: SSObject = Tuple(
+            (label, transform(value, fn)) for label, value in obj.items()
+        )
+    elif isinstance(obj, PartialSet):
+        rebuilt = PartialSet(transform(e, fn) for e in obj.elements)
+    elif isinstance(obj, CompleteSet):
+        rebuilt = CompleteSet(transform(e, fn) for e in obj.elements)
+    elif isinstance(obj, OrValue):
+        rebuilt = OrValue.of(
+            *(transform(d, fn) for d in obj.disjuncts)
+        )
+    else:
+        rebuilt = obj
+    return fn(rebuilt)
+
+
+def collect(obj: SSObject,
+            predicate: Callable[[SSObject], bool]) -> list[tuple[Path, SSObject]]:
+    """Return ``(path, node)`` for every node satisfying ``predicate``."""
+    return [(path, node) for path, node in walk(obj) if predicate(node)]
+
+
+def contains_kind(obj: SSObject, kind: str) -> bool:
+    """Return ``True`` iff any node of ``obj`` has the given ``kind``."""
+    return any(node.kind == kind for _, node in walk(obj))
+
+
+def count_kind(obj: SSObject, kind: str) -> int:
+    """Return how many nodes of ``obj`` have the given ``kind``."""
+    return sum(1 for _, node in walk(obj) if node.kind == kind)
+
+
+def format_path(path: Path) -> str:
+    """Render a path human-readably, e.g. ``author.<element>.last``."""
+    return ".".join(path) if path else "<root>"

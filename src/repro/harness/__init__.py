@@ -1,0 +1,22 @@
+"""Experiment harness: registry, paper fixtures, tables and CLI runner.
+
+Run everything::
+
+    python -m repro.harness
+
+Run one experiment::
+
+    python -m repro.harness E6
+"""
+
+from repro.harness.registry import (
+    Experiment,
+    ExperimentResult,
+    all_experiments,
+    get_experiment,
+    register,
+)
+from repro.harness.tables import Table
+
+__all__ = ["Experiment", "ExperimentResult", "register",
+           "get_experiment", "all_experiments", "Table"]

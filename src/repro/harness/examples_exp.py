@@ -1,0 +1,310 @@
+"""Experiments E1-E7: the paper's worked examples, reproduced exactly.
+
+Each experiment evaluates the implementation on the inputs printed in the
+paper and checks the outputs cell by cell against the outputs printed in
+the paper. A ``match`` column records agreement; ``reproduced`` is the
+conjunction.
+"""
+
+from __future__ import annotations
+
+from repro.bibtex import parse_bib_source
+from repro.core.builder import cset, data, marker, orv, pset, tup
+from repro.core.data import Data, DataSet
+from repro.core.objects import BOTTOM, SSObject
+from repro.core.operations import difference, intersection, union
+from repro.harness.paperdata import (
+    EXAMPLE1_BIB,
+    EXAMPLE2_HTML,
+    EXAMPLE2_URL,
+    SECTION3_KEY,
+    example6_sources,
+    section3_sources,
+)
+from repro.harness.registry import ExperimentResult, register
+from repro.harness.tables import Table
+from repro.text import format_data, format_object
+from repro.web import page_to_data
+
+K = frozenset({"A", "B"})
+
+
+def _data_table(title: str, expected: DataSet, actual: DataSet) -> Table:
+    table = Table(title, ["datum (actual)", "match"])
+    expected_set = set(expected)
+    for datum in actual:
+        table.add(format_data(datum), "yes" if datum in expected_set
+                  else "NO")
+    return table
+
+
+@register("E1", "Example 1 — BibTeX cross-reference file", "§2, Example 1")
+def run_example1() -> ExperimentResult:
+    actual = parse_bib_source(EXAMPLE1_BIB)
+    expected = DataSet([
+        data("Bob", tup(type="InBook", author=pset("Bob"),
+                        title="Oracle", crossref=marker("DB"))),
+        data("DB", tup(type="Book", booktitle="Database",
+                       editor=cset("John"), year=1999)),
+    ])
+    table = _data_table("bib file → semistructured data", expected, actual)
+    result = ExperimentResult("E1", "Example 1 — BibTeX mapping",
+                              [table], reproduced=(actual == expected))
+    result.findings.append(
+        'paper writes author ⇒ ⟨"Bob"⟩ for "Bob and others" — partial '
+        "set reproduced; editor is a complete one-element set (the "
+        "paper prints the raw string, we parse names uniformly)")
+    return result
+
+
+@register("E2", "Example 2 — CSDept web page", "§2, Example 2")
+def run_example2() -> ExperimentResult:
+    actual = page_to_data(EXAMPLE2_URL, EXAMPLE2_HTML)
+    expected = Data(marker(EXAMPLE2_URL), tup(
+        Title="CSDept",
+        People=cset(tup(Faculty=marker("faculty.html")),
+                    tup(Staff=marker("staff.html")),
+                    tup(Students=marker("students.html"))),
+        Programs=marker("programs.html"),
+        Research=marker("research.html"),
+    ))
+    table = Table("web page → semistructured data",
+                  ["attribute", "value (actual)", "match"])
+    for label, value in actual.object.items():
+        table.add(label, format_object(value),
+                  "yes" if expected.object.get(label) == value else "NO")
+    return ExperimentResult(
+        "E2", "Example 2 — web page mapping", [table],
+        findings=["the paper's own broken markup (unclosed <li>, '<a>' "
+                  "as closing tag) is parsed with browser-style recovery"],
+        reproduced=(actual == expected))
+
+
+def _operation_experiment(experiment_id: str, title: str, op, rows,
+                          ) -> ExperimentResult:
+    table = Table(f"{title} (K = {{A, B}})",
+                  ["O1", "O2", "result", "rule", "match"])
+    reproduced = True
+    for first, second, expected, rule in rows:
+        actual = op(first, second, K)
+        match = actual == expected
+        reproduced &= match
+        table.add(format_object(first), format_object(second),
+                  format_object(actual), rule, "yes" if match else "NO")
+    return ExperimentResult(experiment_id, title, [table],
+                            reproduced=reproduced)
+
+
+@register("E3", "Example 3 — union table", "§3, Example 3")
+def run_example3() -> ExperimentResult:
+    from repro.core.objects import Atom
+
+    a = Atom("a")
+    a1, a2, a3 = Atom("a1"), Atom("a2"), Atom("a3")
+    rows = [
+        (a, a, a, "(1)"),
+        (cset("a"), cset("a"), cset("a"), "(1)"),
+        (tup(C="c"), tup(C="c"), tup(C="c"), "(1)"),
+        (a, BOTTOM, a, "(1)"),
+        (pset("a"), pset("b"), pset("a", "b"), "(2)"),
+        (pset("a1", "a2"), cset("a1", "a2", "a3"),
+         cset("a1", "a2", "a3"), "(3)"),
+        (tup(A="a1", B="b1", C=pset("c1")),
+         tup(A="a1", B="b1", C=cset("c1", "c2")),
+         tup(A="a1", B="b1", C=cset("c1", "c2")), "(4)"),
+        (a1, a2, orv("a1", "a2"), "(5)"),
+        (a1, cset("a1"), orv(a1, cset("a1")), "(5)"),
+        (a1, tup(A="a1"), orv(a1, tup(A="a1")), "(5)"),
+        (a1, orv("a2", "a3"), orv("a1", "a2", "a3"), "(5)"),
+        (cset("a1", "a2"), cset("a1", "a2", "a3"),
+         orv(cset("a1", "a2"), cset("a1", "a2", "a3")), "(5)"),
+    ]
+    return _operation_experiment("E3", "Example 3 — union table", union,
+                                 rows)
+
+
+@register("E4", "Example 4 — intersection table", "§3, Example 4")
+def run_example4() -> ExperimentResult:
+    from repro.core.objects import Atom
+
+    a = Atom("a")
+    a1, a2 = Atom("a1"), Atom("a2")
+    rows = [
+        (a, a, a, "(1)"),
+        (cset("a"), cset("a"), cset("a"), "(1)"),
+        (tup(C="c"), tup(C="c"), tup(C="c"), "(1)"),
+        (a1, orv("a1", "a2"), a1, "(2)"),
+        (pset("a1", "a2"), pset("a1", "a2", "a3"),
+         pset("a1", "a2"), "(3)"),
+        (pset("a1", "a2"), cset("a1", "a2", "a3"),
+         pset("a1", "a2"), "(3)"),
+        (pset("a1", "a2"), cset("a3"), pset(), "(3)"),
+        (cset("a1", "a2"), cset("a1", "a2", "a3"),
+         cset("a1", "a2"), "(4)"),
+        (cset("a1", "a2"), cset("a3"), cset(), "(4)"),
+        (tup(A="a1", B="b1", C=pset("c1")),
+         tup(A="a1", B="b1", C=cset("c1", "c2")),
+         tup(A="a1", B="b1", C=pset("c1")), "(5)"),
+        (a1, BOTTOM, BOTTOM, "(6)"),
+        (a1, a2, BOTTOM, "(6)"),
+        (a1, tup(A="a1"), BOTTOM, "(6)"),
+        (tup(A="a1", B="b1", C="c1"), tup(A="a2", B="b2", C="c2"),
+         BOTTOM, "(6)"),
+    ]
+    return _operation_experiment("E4", "Example 4 — intersection table",
+                                 intersection, rows)
+
+
+@register("E5", "Example 5 — difference table", "§3, Example 5")
+def run_example5() -> ExperimentResult:
+    from repro.core.objects import Atom
+
+    a = Atom("a")
+    a1, a2 = Atom("a1"), Atom("a2")
+    rows = [
+        (a, a, BOTTOM, "(1)"),
+        (a, BOTTOM, a, "(6)"),
+        (orv("a1", "a2"), a1, a2, "(2)"),
+        (pset("a1", "a2"), pset("a2", "a3"), pset("a1"), "(3)"),
+        (pset("a1", "a2"), cset("a1", "a2"), pset(), "(3)"),
+        (cset("a1", "a2"), cset("a3"), cset("a1", "a2"), "(4)"),
+        (cset("a1", "a2"), cset("a1", "a2"), cset(), "(4)"),
+        (tup(A="a1", B="b1", C=orv("c1", "c2"), D=cset("d1", "d2")),
+         tup(A="a1", B="b1", C="c2", D=cset("d1")),
+         tup(A="a1", B="b1", C="c1", D=cset("d2")), "(5)"),
+        (tup(A="a1", B=pset("b1")), tup(A="a2", B=pset("b2"), C="c2"),
+         tup(A="a1", B=pset("b1")), "(6)"),
+    ]
+    return _operation_experiment("E5", "Example 5 — difference table",
+                                 difference, rows)
+
+
+@register("E6", "Example 6 — set-level operations", "§3, Example 6")
+def run_example6() -> ExperimentResult:
+    s1, s2 = example6_sources()
+    key = SECTION3_KEY
+    union_result = s1.union(s2, key)
+    inter_result = s1.intersection(s2, key)
+    diff_result = s1.difference(s2, key)
+
+    expected_union = DataSet([
+        data("S78", tup(type="Article", title="Ingres", auth="Sam",
+                        jnl="TODS")),
+        data("S85", tup(type="Article", title="NF2", auth="Sam",
+                        year=1985)),
+        data("T79", tup(type="InProc", title="RDB", auth="Tom",
+                        conf="PODS")),
+        data("A75", tup(type="InProc", title="NF2", auth="Ann",
+                        year=1975)),
+        data("S76", tup(type="InProc", title="Ingres", auth="Sam",
+                        conf="EDBT")),
+        data(orv(marker("B80"), marker("B82")),
+             tup(type="Article", title="Oracle", auth="Bob", year=1980)),
+        data("A78", tup(type="Article", title="Datalog",
+                        auth=orv("Ann", "Tom"), year=1978)),
+        data(orv(marker("J88"), marker("P90")),
+             tup(type="Article", title="DOOD", auth=orv("Joe", "Pam"),
+                 jnl="JLP")),
+    ])
+    expected_inter = DataSet([
+        Data(BOTTOM, tup(type="Article", title="Oracle", auth="Bob",
+                         year=1980)),
+        data("A78", tup(type="Article", title="Datalog", year=1978)),
+        Data(BOTTOM, tup(type="Article", title="DOOD", jnl="JLP")),
+    ])
+    expected_diff = DataSet([
+        data("S78", tup(type="Article", title="Ingres", auth="Sam",
+                        jnl="TODS")),
+        data("B80", tup(type="Article", title="Oracle")),
+        Data(BOTTOM, tup(type="Article", title="Datalog", auth="Ann")),
+        data("J88", tup(type="Article", title="DOOD", auth="Joe")),
+    ])
+
+    tables = [
+        _data_table("S1 ∪K S2 (K = {type, title})", expected_union,
+                    union_result),
+        _data_table("S1 ∩K S2", expected_inter, inter_result),
+        _data_table("S1 −K S2", expected_diff, diff_result),
+    ]
+    reproduced = (union_result == expected_union
+                  and inter_result == expected_inter
+                  and diff_result == expected_diff)
+    return ExperimentResult(
+        "E6", "Example 6 — set-level union/intersection/difference",
+        tables,
+        findings=[f"sizes: |S1∪S2|={len(union_result)}, "
+                  f"|S1∩S2|={len(inter_result)}, "
+                  f"|S1−S2|={len(diff_result)} (paper: 8, 3, 4)"],
+        reproduced=reproduced)
+
+
+@register("E7", "§3 opening — B80/B82 pair", "§3, opening example")
+def run_section3_pair() -> ExperimentResult:
+    first, second = section3_sources()
+    key = SECTION3_KEY
+    d1 = next(iter(first))
+    d2 = next(iter(second))
+    cases = [
+        ("union", d1.union(d2, key),
+         data(orv(marker("B80"), marker("B82")),
+              tup(type="Article", title="Oracle", author="Bob",
+                  year=1980, journal="IS"))),
+        ("intersection", d1.intersection(d2, key),
+         Data(BOTTOM, tup(type="Article", title="Oracle", year=1980))),
+        ("difference", d1.difference(d2, key),
+         data("B80", tup(type="Article", title="Oracle", author="Bob"))),
+    ]
+    table = Table("B80 vs B82, K = {type, title}",
+                  ["operation", "result", "match"])
+    reproduced = True
+    for name, actual, expected in cases:
+        match = actual == expected
+        reproduced &= match
+        table.add(name, format_data(actual), "yes" if match else "NO")
+    return ExperimentResult("E7", "§3 opening pair", [table],
+                            reproduced=reproduced)
+
+
+@register("E8", "Expand operation (§4 first future-work item)",
+          "§4, proposed 'expand' operation")
+def run_expand() -> ExperimentResult:
+    """The paper proposes expand "to expand the markers to
+    semistructured data for further manipulation"; E8 exercises it on
+    the paper's own cross-reference example (Example 1)."""
+    from repro.bibtex import parse_bib_source
+    from repro.core.expand import expand_data, expand_dataset
+
+    bib = parse_bib_source(EXAMPLE1_BIB)
+    bob = bib.find("Bob")
+    expanded = expand_data(bob, bib)
+    expected_crossref = tup(type="Book", booktitle="Database",
+                            editor=cset("John"), year=1999)
+    table = Table("expand on Example 1's crossref",
+                  ["aspect", "value", "match"])
+    inline = expanded.object.get("crossref")
+    table.add("crossref before", format_object(bob.object["crossref"]),
+              "yes" if repr(bob.object["crossref"]) == "DB" else "NO")
+    table.add("crossref after", format_object(inline),
+              "yes" if inline == expected_crossref else "NO")
+    idempotent = expand_dataset(expand_dataset(bib)) == \
+        expand_dataset(bib)
+    table.add("idempotent on this file", idempotent,
+              "yes" if idempotent else "NO")
+    cyclic = parse_bib_source(
+        '@Book{A, crossref = "B"} @Book{B, crossref = "A"}')
+    cycles_safe = True
+    try:
+        expand_dataset(cyclic)
+    except RecursionError:  # pragma: no cover - would be the failure
+        cycles_safe = False
+    table.add("cyclic crossrefs terminate", cycles_safe,
+              "yes" if cycles_safe else "NO")
+    reproduced = (inline == expected_crossref and idempotent
+                  and cycles_safe)
+    return ExperimentResult(
+        "E8", "expand operation", [table],
+        findings=["expand, rule-based languages and an implementation "
+                  "are the paper's three §4 proposals; this repository "
+                  "provides all three (repro.core.expand, repro.rules, "
+                  "repro.store)"],
+        reproduced=reproduced)

@@ -1,0 +1,89 @@
+"""Canonical in-code copies of the paper's worked-example inputs.
+
+Every experiment that reproduces a worked example starts from the data as
+printed in the paper: the Example 1 bib file, the Example 2 HTML page and
+the Example 6 source databases, plus the §3 B80/B82 pair.
+"""
+
+from __future__ import annotations
+
+from repro.core.builder import dataset, tup
+from repro.core.data import DataSet
+
+#: The bib file of Example 1 (quoted crossref — bare words are @string
+#: macros in real BibTeX).
+EXAMPLE1_BIB = """
+@InBook{Bob,
+   author = "Bob and others",
+   title = "Oracle",
+   crossref = "DB"}
+
+@Book{DB,
+   booktitle = "Database",
+   editor = "John",
+   year = 1999}
+"""
+
+#: The simplified department page of Example 2, with the paper's own
+#: slightly broken markup preserved (unclosed <li>, '<a>' used to close).
+EXAMPLE2_HTML = """
+<html>
+<head><title>CSDept</title></head>
+<body>
+<h2>People</h2>
+<ul>
+<li><a href="faculty.html"> Faculty </a>
+<li><a href="staff.html"> Staff </a>
+<li><a href="students.html"> Students</a>
+</ul>
+<h2><a href="programs.html"> Programs<a></h2>
+<h2><a href="research.html"> Research<a></h2>
+</body>
+</html>
+"""
+
+#: URL of the Example 2 page.
+EXAMPLE2_URL = "www.cs.uregina.ca"
+
+#: The key used throughout §3.
+SECTION3_KEY = frozenset({"type", "title"})
+
+
+def section3_sources() -> tuple[DataSet, DataSet]:
+    """The two single-entry sources of the §3 opening example."""
+    first = dataset(("B80", tup(type="Article", title="Oracle",
+                                author="Bob", year=1980)))
+    second = dataset(("B82", tup(type="Article", title="Oracle",
+                                 year=1980, journal="IS")))
+    return first, second
+
+
+def example6_sources() -> tuple[DataSet, DataSet]:
+    """The two bibliographic databases of Example 6, verbatim."""
+    s1 = dataset(
+        ("B80", tup(type="Article", title="Oracle", auth="Bob",
+                    year=1980)),
+        ("S78", tup(type="Article", title="Ingres", auth="Sam",
+                    jnl="TODS")),
+        ("A78", tup(type="Article", title="Datalog", auth="Ann",
+                    year=1978)),
+        ("J88", tup(type="Article", title="DOOD", auth="Joe",
+                    jnl="JLP")),
+    )
+    s2 = dataset(
+        ("B82", tup(type="Article", title="Oracle", auth="Bob",
+                    year=1980)),
+        ("A78", tup(type="Article", title="Datalog", auth="Tom",
+                    year=1978)),
+        ("P90", tup(type="Article", title="DOOD", auth="Pam",
+                    jnl="JLP")),
+        ("S85", tup(type="Article", title="NF2", auth="Sam",
+                    year=1985)),
+        ("T79", tup(type="InProc", title="RDB", auth="Tom",
+                    conf="PODS")),
+        ("A75", tup(type="InProc", title="NF2", auth="Ann",
+                    year=1975)),
+        ("S76", tup(type="InProc", title="Ingres", auth="Sam",
+                    conf="EDBT")),
+    )
+    return s1, s2

@@ -1,0 +1,233 @@
+"""Experiments P1-P4: the paper's propositions, verified empirically.
+
+Where a claim holds, the experiment reports the check counts. Where it
+does not — Propositions 3 and 4 fail on specific shapes (see DESIGN.md
+D10 and EXPERIMENTS.md) — the experiment reports the violation rates and
+the minimal counterexample, and ``reproduced`` reflects whether our
+*reconstruction* of the claim behaved as documented (deviations from the
+paper's claims are expected findings, not harness failures).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.builder import cset, data, dataset, tup
+from repro.core.data import DataSet
+from repro.harness.paperdata import SECTION3_KEY, example6_sources
+from repro.harness.registry import ExperimentResult, register
+from repro.harness.tables import Table
+from repro.properties import (
+    ObjectGenerator,
+    check_commutativity,
+    check_containment,
+    check_key_monotonicity,
+    check_partial_order,
+)
+
+#: Sample sizes chosen so the cubic transitivity check stays fast.
+P1_SAMPLE = 250
+P2_PAIRS = 600
+P3_RUNS = 100
+
+
+@register("P1", "Proposition 1 — ⊴ is a partial order", "§2, Prop. 1")
+def run_p1() -> ExperimentResult:
+    table = Table(f"axioms over {P1_SAMPLE} random objects "
+                  "(seeds 0 and 1)", ["axiom", "checks", "verdict"])
+    reproduced = True
+    for seed in (0, 1):
+        sample = ObjectGenerator(seed=seed).objects(P1_SAMPLE)
+        for report in check_partial_order(sample):
+            verdict = "holds" if report.holds else "FAILS"
+            reproduced &= report.holds
+            table.add(f"{report.law} [seed {seed}]", report.checks,
+                      verdict)
+    return ExperimentResult("P1", "⊴ is a partial order", [table],
+                            reproduced=reproduced)
+
+
+@register("P2", "Proposition 2 — ∪K/∩K commutativity", "§3, Prop. 2")
+def run_p2() -> ExperimentResult:
+    generator = ObjectGenerator(seed=7)
+    pairs = [(generator.object(), generator.object())
+             for _ in range(P2_PAIRS)]
+    table = Table(f"commutativity over {P2_PAIRS} random pairs",
+                  ["law", "checks", "verdict"])
+    reproduced = True
+    for report in check_commutativity(pairs, {"A", "B"}):
+        reproduced &= report.holds
+        table.add(report.law, report.checks,
+                  "holds" if report.holds else "FAILS")
+    return ExperimentResult("P2", "commutativity of ∪K and ∩K", [table],
+                            reproduced=reproduced)
+
+
+def _flat_sources(seed: int) -> tuple[DataSet, DataSet]:
+    """Key-consistent, set-free sources (the Example 6 shape)."""
+    rng = random.Random(seed)
+
+    def source(prefix: str) -> DataSet:
+        return DataSet(
+            data(f"{prefix}{index}", tup(
+                type="t", title=f"p{index}",
+                **{label: rng.choice(["x", "y", "z"])
+                   for label in ("a", "b") if rng.random() < 0.8}))
+            for index in range(6))
+
+    return source("m"), source("n")
+
+
+@register("P3", "Proposition 3 — containment laws", "§3, Prop. 3")
+def run_p3() -> ExperimentResult:
+    key = SECTION3_KEY
+    s1, s2 = example6_sources()
+    example_table = Table("Proposition 3 on Example 6",
+                          ["law", "verdict"])
+    reproduced = True
+    for report in check_containment(s1, s2, key):
+        example_table.add(report.law,
+                          "holds" if report.holds else "FAILS")
+        reproduced &= report.holds
+
+    flat_failures: dict[str, int] = {}
+    pathological_failures: dict[str, int] = {}
+    for seed in range(P3_RUNS):
+        for report in check_containment(*_flat_sources(seed), key):
+            flat_failures.setdefault(report.law, 0)
+            if not report.holds:
+                flat_failures[report.law] += 1
+        generator = ObjectGenerator(seed=seed)
+        for report in check_containment(generator.dataset(5),
+                                        generator.dataset(5),
+                                        {"A", "B"}):
+            pathological_failures.setdefault(report.law, 0)
+            if not report.holds:
+                pathological_failures[report.law] += 1
+
+    rate_table = Table(
+        f"violation counts over {P3_RUNS} random source pairs",
+        ["law", "flat (set-free) sources", "arbitrary nested objects"])
+    for law in flat_failures:
+        rate_table.add(law, flat_failures[law],
+                       pathological_failures.get(law, 0))
+    # Flat sources must satisfy every law for the reproduction to count.
+    reproduced &= all(count == 0 for count in flat_failures.values())
+
+    counter_s1 = dataset(("m", tup(A="k", B="b", C=cset("a1", "a2"))))
+    counter_s2 = dataset(("n", tup(A="k", B="b", C=cset("a2", "a3"))))
+    counter_report = {
+        r.law: r for r in check_containment(counter_s1, counter_s2,
+                                            {"A", "B"})}
+    findings = [
+        "all reconstructed laws hold on Example 6 and on set-free data",
+        "general failure root cause: Definition 3 orders complete sets "
+        "only by equality, so {a2} (an intersection) and {} (a "
+        "difference) are not ⊴ their originals",
+        "minimal counterexample: S1={m:[A⇒k,B⇒b,C⇒{a1,a2}]}, "
+        "S2={n:[A⇒k,B⇒b,C⇒{a2,a3}]} violates S1∩S2 ⊴ S1∪S2: "
+        + ("confirmed" if not counter_report[
+            "S1 ∩K S2 ⊴ S1 ∪K S2"].holds else "NOT confirmed"),
+    ]
+    reproduced &= not counter_report["S1 ∩K S2 ⊴ S1 ∪K S2"].holds
+    return ExperimentResult("P3", "containment laws of ∪K/∩K/−K",
+                            [example_table, rate_table], findings,
+                            reproduced)
+
+
+@register("P4", "Proposition 4 — monotonicity in K", "§3, Prop. 4")
+def run_p4() -> ExperimentResult:
+    s1, s2 = example6_sources()
+    small = SECTION3_KEY
+    large = small | {"auth"}
+    example_table = Table(
+        "Proposition 4 on Example 6 (K1={type,title} ⊆ K2=∪{auth}, "
+        "the paper's own instance)", ["law", "verdict"])
+    verdicts = {}
+    for report in check_key_monotonicity(s1, s2, small, large):
+        verdicts[report.law] = report.holds
+        example_table.add(report.law,
+                          "holds" if report.holds else "FAILS")
+
+    flat_failures: dict[str, int] = {}
+    for seed in range(P3_RUNS):
+        first, second = _flat_sources(seed)
+        for report in check_key_monotonicity(
+                first, second, {"type", "title"}, {"type", "title", "a"}):
+            flat_failures.setdefault(report.law, 0)
+            if not report.holds:
+                flat_failures[report.law] += 1
+    rate_table = Table(
+        f"violations over {P3_RUNS} flat random source pairs",
+        ["law", "violations"])
+    for law, count in flat_failures.items():
+        rate_table.add(law, count)
+
+    findings = [
+        "Proposition 4(1) (union) and 4(3) (difference) hold on "
+        "Example 6",
+        "FINDING: Proposition 4(2) — S1 ∩K1 S2 ⊴ S1 ∩K2 S2 — fails on "
+        "the paper's own Example 6, for which the paper explicitly "
+        "claims it: ∩K2 keeps only the Oracle entry, leaving the "
+        "Datalog/DOOD entries of ∩K1 with no ⊴-witness under "
+        "Definition 5",
+    ]
+    # Expected shape: 4(1) and 4(3) hold, 4(2) fails (the finding).
+    expected = (verdicts.get("S1 ∪K2 S2 ⊴ S1 ∪K1 S2") is True
+                and verdicts.get("S1 ∩K1 S2 ⊴ S1 ∩K2 S2") is False
+                and verdicts.get("S1 −K1 S2 ⊴ S1 −K2 S2") is True)
+    return ExperimentResult("P4", "monotonicity in the key set",
+                            [example_table, rate_table], findings,
+                            reproduced=expected)
+
+
+@register("P5", "Beyond the paper — associativity of ∪K/∩K",
+          "not claimed; studied by this reproduction")
+def run_p5() -> ExperimentResult:
+    from repro.properties import check_associativity
+    from repro.workloads import BibWorkloadSpec, generate_workload
+
+    generator = ObjectGenerator(seed=17)
+    triples = [(generator.object(), generator.object(),
+                generator.object()) for _ in range(800)]
+    object_table = Table("associativity over 800 random object triples",
+                         ["law", "violations"])
+    object_reports = check_associativity(triples, {"A", "B"})
+    for report in object_reports:
+        object_table.add(report.law, len(report.counterexamples))
+
+    order_sensitive = 0
+    runs = 15
+    for seed in range(runs):
+        workload = generate_workload(BibWorkloadSpec(
+            entries=60, sources=3, overlap=0.5, conflict_rate=0.3,
+            partial_author_rate=0.3, seed=seed))
+        a, b, c = workload.sources
+        key = workload.key
+        if a.union(b, key).union(c, key) != a.union(
+                b.union(c, key), key):
+            order_sensitive += 1
+    merge_table = Table(
+        "three-source merge order sensitivity (realistic workloads)",
+        ["workloads", "order-sensitive results"])
+    merge_table.add(runs, order_sensitive)
+
+    # The documented outcome IS non-associativity; a fully associative
+    # run would mean the probe lost its teeth.
+    reproduced = (not object_reports[0].holds
+                  and order_sensitive > 0)
+    return ExperimentResult(
+        "P5", "associativity study", [object_table, merge_table],
+        findings=[
+            "FINDING: ∪K and ∩K are commutative (Prop. 2) but NOT "
+            "associative — e.g. an empty partial set ⟨⟩ is absorbed by "
+            "a partial set it merges with first, but survives inside an "
+            "or-value if it first conflicts with an atom; grouping of "
+            "or-values from complete-set conflicts also depends on "
+            "order",
+            "consequently multi-source merging is order-sensitive: the "
+            "MergeEngine folds sources in registration order and "
+            "documents this; sort sources deterministically for "
+            "reproducible merges",
+        ],
+        reproduced=reproduced)

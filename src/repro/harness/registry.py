@@ -1,0 +1,90 @@
+"""Experiment registry shared by the CLI runner and the benchmark suite.
+
+An *experiment* reproduces one artifact of the paper (a worked example, a
+proposition, or a scaled study the paper motivates but did not run). Each
+experiment's ``run()`` returns an :class:`ExperimentResult` whose
+``reproduced`` flag states whether the artifact came out as the paper
+prints it (or, for propositions, whether the claim held — a *documented
+deviation* is still a successful reproduction run, and is listed under
+``findings``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.harness.tables import Table
+
+__all__ = ["Experiment", "ExperimentResult", "register", "get_experiment",
+           "all_experiments"]
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one experiment run."""
+
+    experiment_id: str
+    title: str
+    tables: list[Table] = field(default_factory=list)
+    findings: list[str] = field(default_factory=list)
+    reproduced: bool = True
+
+    def render(self) -> str:
+        """Render the full report block for this experiment."""
+        status = "REPRODUCED" if self.reproduced else "DEVIATION"
+        out = [f"== {self.experiment_id}: {self.title} [{status}] =="]
+        for table in self.tables:
+            out.append(table.render())
+        for finding in self.findings:
+            out.append(f"  * {finding}")
+        return "\n\n".join(out)
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A registered experiment."""
+
+    experiment_id: str
+    title: str
+    paper_ref: str
+    runner: Callable[[], ExperimentResult]
+
+    def run(self) -> ExperimentResult:
+        return self.runner()
+
+
+_REGISTRY: dict[str, Experiment] = {}
+
+
+def register(experiment_id: str, title: str, paper_ref: str):
+    """Decorator registering an experiment runner under an id."""
+
+    def decorate(fn: Callable[[], ExperimentResult]):
+        if experiment_id in _REGISTRY:
+            raise ValueError(f"duplicate experiment id {experiment_id}")
+        _REGISTRY[experiment_id] = Experiment(
+            experiment_id, title, paper_ref, fn)
+        return fn
+
+    return decorate
+
+
+def get_experiment(experiment_id: str) -> Experiment:
+    """Look up one experiment by id (case-insensitive)."""
+    key = experiment_id.upper()
+    if key not in _REGISTRY:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown experiment {experiment_id!r}; "
+                       f"known: {known}")
+    return _REGISTRY[key]
+
+
+def all_experiments() -> list[Experiment]:
+    """All experiments in id order."""
+    def sort_key(experiment_id: str):
+        prefix = experiment_id[0]
+        rank = {"E": 0, "P": 1, "S": 2}.get(prefix, 3)
+        return (rank, experiment_id)
+
+    return [_REGISTRY[key] for key in sorted(_REGISTRY, key=sort_key)]

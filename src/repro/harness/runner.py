@@ -1,0 +1,71 @@
+"""Command-line runner: ``python -m repro.harness [ids...]``.
+
+Without arguments, runs every registered experiment and prints each
+report. With ids (``E6 P4 S2``), runs just those. ``--list`` prints the
+experiment index. Exit status is 0 when every run behaved as documented
+(including the expected, documented deviations) and 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+# Importing the experiment modules populates the registry.
+import repro.harness.examples_exp  # noqa: F401
+import repro.harness.props_exp  # noqa: F401
+import repro.harness.scale_exp  # noqa: F401
+from repro.harness.registry import all_experiments, get_experiment
+
+__all__ = ["main"]
+
+
+def _parse_args(argv: Sequence[str] | None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Reproduce the paper's examples, propositions and "
+                    "scaled experiments.")
+    parser.add_argument("ids", nargs="*",
+                        help="experiment ids to run (default: all)")
+    parser.add_argument("--list", action="store_true",
+                        help="list experiments and exit")
+    parser.add_argument("-o", "--output",
+                        help="also write the full report to a file")
+    return parser.parse_args(argv)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _parse_args(argv)
+    if args.list:
+        for experiment in all_experiments():
+            print(f"{experiment.experiment_id:4} {experiment.title} "
+                  f"({experiment.paper_ref})")
+        return 0
+    if args.ids:
+        experiments = [get_experiment(identifier)
+                       for identifier in args.ids]
+    else:
+        experiments = all_experiments()
+    ok = True
+    blocks: list[str] = []
+    for experiment in experiments:
+        result = experiment.run()
+        ok &= result.reproduced
+        blocks.append(result.render())
+        print(blocks[-1])
+        print()
+    summary = "all experiments behaved as documented" if ok else \
+        "SOME EXPERIMENTS DEVIATED UNEXPECTEDLY"
+    footer = f"== {summary} =="
+    print(footer)
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(
+            "\n\n".join(blocks) + "\n\n" + footer + "\n")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

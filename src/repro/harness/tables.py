@@ -1,0 +1,64 @@
+"""Plain-text table rendering for experiment reports.
+
+No dependency beyond the stdlib; produces the aligned monospace tables
+printed by ``python -m repro.harness`` and recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+__all__ = ["Table"]
+
+
+@dataclass
+class Table:
+    """A titled table with a header row and string-convertible cells."""
+
+    title: str
+    columns: Sequence[str]
+    rows: list[Sequence[object]] = field(default_factory=list)
+
+    def add(self, *cells: object) -> None:
+        """Append one row; must match the column count."""
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has "
+                f"{len(self.columns)} columns")
+        self.rows.append(cells)
+
+    def extend(self, rows: Iterable[Sequence[object]]) -> None:
+        """Append several rows."""
+        for row in rows:
+            self.add(*row)
+
+    def render(self, max_cell_width: int = 60) -> str:
+        """Render the table as aligned monospace text."""
+        def clip(cell: object) -> str:
+            text = str(cell)
+            if len(text) > max_cell_width:
+                return text[:max_cell_width - 1] + "…"
+            return text
+
+        header = [clip(column) for column in self.columns]
+        body = [[clip(cell) for cell in row] for row in self.rows]
+        widths = [
+            max(len(header[index]),
+                *(len(row[index]) for row in body)) if body
+            else len(header[index])
+            for index in range(len(header))
+        ]
+
+        def line(cells: Sequence[str]) -> str:
+            return "  ".join(
+                cell.ljust(width) for cell, width in zip(cells, widths)
+            ).rstrip()
+
+        separator = "  ".join("-" * width for width in widths)
+        out = [self.title, line(header), separator]
+        out.extend(line(row) for row in body)
+        return "\n".join(out)
+
+    def __str__(self) -> str:
+        return self.render()

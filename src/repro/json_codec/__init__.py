@@ -1,0 +1,36 @@
+"""Lossless JSON encoding of the data model.
+
+JSON itself cannot distinguish the model's seven object kinds (a JSON
+array could be a partial set, a complete set or an or-value; JSON ``null``
+could be ``⊥`` or a missing attribute), so the codec uses *tagged* JSON
+objects — every encoded node carries a ``"kind"`` discriminator. The
+encoding is canonical: elements appear in structural order, so equal model
+objects encode to identical JSON strings and the text is diff-friendly.
+
+    >>> from repro.json_codec import dumps, loads
+    >>> from repro import tup, pset
+    >>> loads(dumps(tup(a=pset(1)))) == tup(a=pset(1))
+    True
+"""
+
+from repro.json_codec.codec import (
+    decode_data,
+    decode_dataset,
+    decode_object,
+    dumps,
+    dumps_data,
+    dumps_dataset,
+    encode_data,
+    encode_dataset,
+    encode_object,
+    loads,
+    loads_data,
+    loads_dataset,
+)
+
+__all__ = [
+    "encode_object", "decode_object", "encode_data", "decode_data",
+    "encode_dataset", "decode_dataset",
+    "dumps", "loads", "dumps_data", "loads_data",
+    "dumps_dataset", "loads_dataset",
+]

@@ -1,0 +1,202 @@
+"""Tagged-JSON encoder/decoder for model objects, data and data sets.
+
+Wire format (one JSON object per model node)::
+
+    bottom        {"kind": "bottom"}
+    atom          {"kind": "atom", "type": "str|int|float|bool",
+                   "value": <json scalar>}
+    marker        {"kind": "marker", "name": "<name>"}
+    or-value      {"kind": "or", "disjuncts": [<node>, ...]}
+    partial set   {"kind": "pset", "elements": [<node>, ...]}
+    complete set  {"kind": "cset", "elements": [<node>, ...]}
+    tuple         {"kind": "tuple", "fields": [["<label>", <node>], ...]}
+    datum         {"kind": "data", "marker": <node>, "object": <node>}
+    data set      {"kind": "dataset", "data": [<datum>, ...]}
+
+The ``type`` discriminator on atoms preserves distinctions JSON would
+merge (``1`` vs ``1.0`` vs ``true``). Decoding validates shape and raises
+:class:`~repro.core.errors.CodecError` with a helpful message.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.core.data import Data, DataSet
+from repro.core.errors import CodecError, ModelError
+from repro.core.objects import (
+    BOTTOM,
+    Atom,
+    Bottom,
+    CompleteSet,
+    Marker,
+    OrValue,
+    PartialSet,
+    SSObject,
+    Tuple,
+)
+
+_ATOM_TYPE_NAMES = {bool: "bool", int: "int", float: "float", str: "str"}
+_ATOM_TYPES_BY_NAME = {"bool": bool, "int": int, "float": float, "str": str}
+
+
+def encode_object(obj: SSObject) -> dict[str, Any]:
+    """Encode a model object to a JSON-serializable dict."""
+    if isinstance(obj, Bottom):
+        return {"kind": "bottom"}
+    if isinstance(obj, Atom):
+        return {
+            "kind": "atom",
+            "type": _ATOM_TYPE_NAMES[type(obj.value)],
+            "value": obj.value,
+        }
+    if isinstance(obj, Marker):
+        return {"kind": "marker", "name": obj.name}
+    if isinstance(obj, OrValue):
+        return {"kind": "or",
+                "disjuncts": [encode_object(d) for d in obj]}
+    if isinstance(obj, PartialSet):
+        return {"kind": "pset",
+                "elements": [encode_object(e) for e in obj]}
+    if isinstance(obj, CompleteSet):
+        return {"kind": "cset",
+                "elements": [encode_object(e) for e in obj]}
+    if isinstance(obj, Tuple):
+        return {"kind": "tuple",
+                "fields": [[label, encode_object(value)]
+                           for label, value in obj.items()]}
+    raise CodecError(f"cannot encode {type(obj).__name__}")
+
+
+def _expect(payload: Any, field: str, kind: str) -> Any:
+    if not isinstance(payload, dict):
+        raise CodecError(f"expected a JSON object, got "
+                         f"{type(payload).__name__}")
+    if field not in payload:
+        raise CodecError(f"{kind} node is missing the {field!r} field")
+    return payload[field]
+
+
+def decode_object(payload: Any) -> SSObject:
+    """Decode a dict produced by :func:`encode_object`."""
+    kind = _expect(payload, "kind", "model")
+    if kind == "bottom":
+        return BOTTOM
+    if kind == "atom":
+        type_name = _expect(payload, "type", "atom")
+        if type_name not in _ATOM_TYPES_BY_NAME:
+            raise CodecError(f"unknown atom type {type_name!r}")
+        value = _expect(payload, "value", "atom")
+        expected_type = _ATOM_TYPES_BY_NAME[type_name]
+        if type_name == "float" and isinstance(value, int) \
+                and not isinstance(value, bool):
+            # JSON renders 1.0 as 1 in some writers; restore the float.
+            value = float(value)
+        if not isinstance(value, expected_type) or (
+                expected_type is int and isinstance(value, bool)):
+            raise CodecError(
+                f"atom value {value!r} does not match type {type_name!r}")
+        return Atom(value)
+    if kind == "marker":
+        try:
+            return Marker(_expect(payload, "name", "marker"))
+        except ModelError as exc:
+            raise CodecError(f"invalid marker: {exc}") from exc
+    if kind == "or":
+        disjuncts = _expect(payload, "disjuncts", "or")
+        try:
+            # Strict wire format: an "or" node needs >= 2 distinct
+            # disjuncts, exactly like the model constructor.
+            return OrValue(decode_object(d) for d in disjuncts)
+        except ModelError as exc:
+            raise CodecError(f"invalid or-value: {exc}") from exc
+    if kind == "pset":
+        return PartialSet(
+            decode_object(e) for e in _expect(payload, "elements", "pset"))
+    if kind == "cset":
+        return CompleteSet(
+            decode_object(e) for e in _expect(payload, "elements", "cset"))
+    if kind == "tuple":
+        fields = _expect(payload, "fields", "tuple")
+        try:
+            pairs = [(label, decode_object(value))
+                     for label, value in fields]
+        except (TypeError, ValueError) as exc:
+            raise CodecError(f"malformed tuple fields: {exc}") from exc
+        try:
+            return Tuple(pairs)
+        except ModelError as exc:
+            raise CodecError(f"invalid tuple: {exc}") from exc
+    raise CodecError(f"unknown node kind {kind!r}")
+
+
+def encode_data(datum: Data) -> dict[str, Any]:
+    """Encode one datum."""
+    return {
+        "kind": "data",
+        "marker": encode_object(datum.marker),
+        "object": encode_object(datum.object),
+    }
+
+
+def decode_data(payload: Any) -> Data:
+    """Decode one datum."""
+    if _expect(payload, "kind", "data") != "data":
+        raise CodecError("expected a 'data' node")
+    try:
+        return Data(decode_object(payload["marker"]),
+                    decode_object(payload["object"]))
+    except ModelError as exc:
+        raise CodecError(f"invalid datum: {exc}") from exc
+
+
+def encode_dataset(dataset: DataSet) -> dict[str, Any]:
+    """Encode a whole data set (canonical datum order)."""
+    return {"kind": "dataset",
+            "data": [encode_data(d) for d in dataset]}
+
+
+def decode_dataset(payload: Any) -> DataSet:
+    """Decode a data set."""
+    if _expect(payload, "kind", "dataset") != "dataset":
+        raise CodecError("expected a 'dataset' node")
+    return DataSet(decode_data(d) for d in _expect(payload, "data",
+                                                   "dataset"))
+
+
+def dumps(obj: SSObject, *, indent: int | None = None) -> str:
+    """Serialize a model object to a JSON string."""
+    return json.dumps(encode_object(obj), indent=indent)
+
+
+def loads(text: str) -> SSObject:
+    """Parse a JSON string produced by :func:`dumps`."""
+    return decode_object(_load_json(text))
+
+
+def dumps_data(datum: Data, *, indent: int | None = None) -> str:
+    """Serialize one datum to a JSON string."""
+    return json.dumps(encode_data(datum), indent=indent)
+
+
+def loads_data(text: str) -> Data:
+    """Parse one datum from JSON text."""
+    return decode_data(_load_json(text))
+
+
+def dumps_dataset(dataset: DataSet, *, indent: int | None = None) -> str:
+    """Serialize a data set to a JSON string."""
+    return json.dumps(encode_dataset(dataset), indent=indent)
+
+
+def loads_dataset(text: str) -> DataSet:
+    """Parse a data set from JSON text."""
+    return decode_dataset(_load_json(text))
+
+
+def _load_json(text: str) -> Any:
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise CodecError(f"invalid JSON: {exc}") from exc

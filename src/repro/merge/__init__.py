@@ -1,0 +1,59 @@
+"""Multi-source merging on top of the algebra.
+
+Typical use::
+
+    from repro.merge import MergeEngine, MergeSpec
+
+    spec = MergeSpec(default_key={"title"})
+    result = (MergeEngine(spec)
+              .add_source("alice", alice_bib)
+              .add_source("bob", bob_bib)
+              .merge())
+    for conflict in result.conflicts:
+        print(conflict.location(), conflict.alternatives)
+
+Conflicts are then resolved with the strategies in
+:mod:`repro.merge.resolve`, traced to their sources with the catalog in
+:mod:`repro.merge.provenance`.
+"""
+
+from repro.merge.conflicts import (
+    Conflict,
+    Gap,
+    conflict_summary,
+    find_conflicts,
+    find_gaps,
+)
+from repro.merge.engine import MergeEngine, MergeResult, MergeStats
+from repro.merge.provenance import SourceCatalog, value_at
+from repro.merge.report import (
+    AttributeChange,
+    ChangeReport,
+    EntryChange,
+    change_report,
+    render_report,
+)
+from repro.merge.resolve import (
+    Strategy,
+    by_attribute,
+    chain,
+    first_alternative,
+    keep,
+    manual,
+    numeric_extreme,
+    prefer_source,
+    resolve_dataset,
+)
+from repro.merge.spec import MergeSpec
+from repro.merge.sync import SyncConflict, SyncResult, sync
+
+__all__ = [
+    "MergeSpec", "MergeEngine", "MergeResult", "MergeStats",
+    "Conflict", "Gap", "find_conflicts", "find_gaps", "conflict_summary",
+    "SourceCatalog", "value_at",
+    "change_report", "render_report", "ChangeReport", "EntryChange",
+    "AttributeChange",
+    "sync", "SyncResult", "SyncConflict",
+    "Strategy", "keep", "first_alternative", "numeric_extreme",
+    "prefer_source", "by_attribute", "manual", "chain", "resolve_dataset",
+]

@@ -1,0 +1,92 @@
+"""Conflict and gap extraction from merged data.
+
+The paper leaves conflict resolution "up to the user"; this module gives
+the user something to resolve. After a merge:
+
+* :func:`find_conflicts` lists every or-value — where it sits (datum +
+  path) and which alternatives the sources recorded;
+* :func:`find_gaps` lists the known-unknowns: paths whose value is an
+  empty partial set and tuple attributes that some compatible source left
+  at ``⊥`` (surfaced as the attribute simply being absent);
+* :func:`conflict_summary` aggregates both into per-attribute counts for
+  reporting.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.core.data import Data, DataSet
+from repro.core.objects import OrValue, PartialSet, SSObject
+from repro.core.visitor import Path, format_path, walk
+
+__all__ = ["Conflict", "Gap", "find_conflicts", "find_gaps",
+           "conflict_summary"]
+
+
+@dataclass(frozen=True)
+class Conflict:
+    """One recorded inconsistency: an or-value inside a merged datum."""
+
+    datum: Data
+    path: Path
+    alternatives: tuple[SSObject, ...]
+
+    def location(self) -> str:
+        """Human-readable ``marker:path`` location."""
+        return f"{self.datum.marker!r}:{format_path(self.path)}"
+
+    @property
+    def attribute(self) -> str:
+        """The nearest enclosing tuple attribute, or ``<root>``."""
+        for step in reversed(self.path):
+            if not step.startswith("<"):
+                return step
+        return "<root>"
+
+
+@dataclass(frozen=True)
+class Gap:
+    """A known unknown: an empty partial set (``⟨⟩``) in a datum."""
+
+    datum: Data
+    path: Path
+
+    def location(self) -> str:
+        return f"{self.datum.marker!r}:{format_path(self.path)}"
+
+
+def find_conflicts(dataset: DataSet) -> list[Conflict]:
+    """All or-values in the data set, in canonical order.
+
+    Or-values nested inside other or-values cannot occur (construction
+    flattens them), but an or-value *below* another one — e.g. inside a
+    tuple disjunct — is reported separately, because resolving the outer
+    conflict still leaves the inner one open.
+    """
+    conflicts: list[Conflict] = []
+    for datum in dataset:
+        for path, node in walk(datum.object):
+            if isinstance(node, OrValue):
+                conflicts.append(
+                    Conflict(datum, path, tuple(node)))
+    return conflicts
+
+
+def find_gaps(dataset: DataSet) -> list[Gap]:
+    """All empty partial sets — places a source said "there is a set here
+    but I cannot enumerate it"."""
+    gaps: list[Gap] = []
+    for datum in dataset:
+        for path, node in walk(datum.object):
+            if isinstance(node, PartialSet) and len(node) == 0:
+                gaps.append(Gap(datum, path))
+    return gaps
+
+
+def conflict_summary(dataset: DataSet) -> dict[str, int]:
+    """Per-attribute conflict counts, e.g. ``{"auth": 2, "year": 1}``."""
+    counter: Counter[str] = Counter(
+        conflict.attribute for conflict in find_conflicts(dataset))
+    return dict(counter)

@@ -1,0 +1,106 @@
+"""Source provenance for multi-source merges.
+
+The model itself stores *what* the sources said, not *who* said it. The
+:class:`SourceCatalog` keeps that second dimension alongside a merge:
+which named source each original datum came from, discoverable from the
+merged data because ``∪K`` unions the source markers into the result's
+marker part (``B80|B82``).
+
+With a catalog, a conflict like ``auth ⇒ "Joe"|"Pam"`` can be traced:
+:meth:`SourceCatalog.witnesses` reports which sources vouch for which
+alternative, enabling trust-ordered resolution
+(:func:`repro.merge.resolve.prefer_source` builds on this).
+"""
+
+from __future__ import annotations
+
+from repro.core.data import Data, DataSet
+from repro.core.errors import MergeError
+from repro.core.objects import BOTTOM, Marker, SSObject, Tuple
+from repro.core.visitor import Path
+
+__all__ = ["SourceCatalog", "value_at"]
+
+
+def value_at(obj: SSObject, path: Path) -> SSObject | None:
+    """The value at a tuple-attribute path, or ``None`` when the path
+    crosses an unordered step (set elements / or-disjuncts) that cannot be
+    addressed deterministically."""
+    current = obj
+    for step in path:
+        if step.startswith("<"):
+            return None
+        if not isinstance(current, Tuple):
+            return None
+        current = current.get(step)
+    return current
+
+
+class SourceCatalog:
+    """Named sources participating in a merge."""
+
+    def __init__(self):
+        self._sources: dict[str, DataSet] = {}
+
+    def add(self, name: str, dataset: DataSet) -> None:
+        """Register a source under a unique name."""
+        if name in self._sources:
+            raise MergeError(f"source {name!r} already registered")
+        self._sources[name] = dataset
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._sources
+
+    def __len__(self) -> int:
+        return len(self._sources)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Registered source names, in registration order."""
+        return tuple(self._sources)
+
+    def get(self, name: str) -> DataSet:
+        """Return a source by name."""
+        if name not in self._sources:
+            raise MergeError(f"unknown source {name!r}")
+        return self._sources[name]
+
+    def sources_of(self, merged: Data) -> list[str]:
+        """Which sources contributed to a merged datum.
+
+        Determined through the merged datum's marker part: a source
+        contributed iff it contains a datum carrying one of the merged
+        markers.
+        """
+        markers = merged.markers
+        contributors = []
+        for name, dataset in self._sources.items():
+            if any(self._carries(datum, markers) for datum in dataset):
+                contributors.append(name)
+        return contributors
+
+    @staticmethod
+    def _carries(datum: Data, markers: frozenset[Marker]) -> bool:
+        return bool(datum.markers & markers)
+
+    def witnesses(self, merged: Data, path: Path,
+                  ) -> dict[SSObject, list[str]]:
+        """Which sources vouch for which value at ``path`` of ``merged``.
+
+        Only deterministic (tuple-attribute) paths can be traced; paths
+        through sets or or-values return an empty mapping. Sources whose
+        value at the path is ``⊥`` vouch for nothing.
+        """
+        result: dict[SSObject, list[str]] = {}
+        markers = merged.markers
+        for name, dataset in self._sources.items():
+            for datum in dataset:
+                if not self._carries(datum, markers):
+                    continue
+                value = value_at(datum.object, path)
+                if value is None or value is BOTTOM:
+                    continue
+                result.setdefault(value, [])
+                if name not in result[value]:
+                    result[value].append(name)
+        return result

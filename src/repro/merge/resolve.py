@@ -1,0 +1,181 @@
+"""Conflict-resolution strategies.
+
+A *strategy* is a callable ``(Conflict) -> SSObject | None``: return the
+object that replaces the or-value, or ``None`` to leave the conflict in
+place. :func:`resolve_dataset` applies a strategy everywhere and returns
+the rewritten data set together with the conflicts that remain.
+
+Built-in strategies:
+
+* :func:`keep` — resolve nothing (useful as an explicit no-op);
+* :func:`first_alternative` — structurally-smallest disjunct (what the
+  OEM baseline does implicitly; making it explicit is the honest version);
+* :func:`prefer_source` — prefer the alternative contributed by a trusted
+  source, looked up through a provenance map;
+* :func:`by_attribute` — dispatch to different strategies per attribute
+  (``year`` by :func:`numeric_extreme`, ``author`` kept, ...);
+* :func:`numeric_extreme` — min/max over numeric alternatives;
+* :func:`manual` — a fixed ``location → replacement`` table, the paper's
+  "user solves the conflicts" made concrete.
+
+Strategies compose with :func:`chain`: the first one that resolves wins.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Mapping
+
+from repro.core.data import Data, DataSet
+from repro.core.errors import ResolutionError
+from repro.core.objects import Atom, OrValue, SSObject
+from repro.core.order import sort_objects
+from repro.core.visitor import transform
+from repro.merge.conflicts import Conflict, find_conflicts
+from repro.merge.provenance import SourceCatalog
+
+__all__ = [
+    "Strategy", "keep", "first_alternative", "prefer_source",
+    "by_attribute", "numeric_extreme", "manual", "chain",
+    "resolve_dataset",
+]
+
+Strategy = Callable[[Conflict], "SSObject | None"]
+
+
+def keep(conflict: Conflict) -> SSObject | None:
+    """Leave every conflict unresolved."""
+    return None
+
+
+def first_alternative(conflict: Conflict) -> SSObject | None:
+    """Pick the structurally-smallest alternative (deterministic)."""
+    return sort_objects(conflict.alternatives)[0]
+
+
+def numeric_extreme(mode: str = "max") -> Strategy:
+    """Resolve numeric conflicts to their min or max alternative.
+
+    Non-numeric conflicts are left alone.
+    """
+    if mode not in ("min", "max"):
+        raise ResolutionError(f"mode must be 'min' or 'max', got {mode!r}")
+
+    def strategy(conflict: Conflict) -> SSObject | None:
+        numbers = []
+        for alternative in conflict.alternatives:
+            if isinstance(alternative, Atom) and isinstance(
+                    alternative.value, (int, float)) and not isinstance(
+                    alternative.value, bool):
+                numbers.append(alternative)
+            else:
+                return None
+        if not numbers:
+            return None
+        chooser = max if mode == "max" else min
+        return chooser(numbers, key=lambda a: a.value)
+
+    return strategy
+
+
+def prefer_source(catalog: "SourceCatalog",
+                  priority: Iterable[str]) -> Strategy:
+    """Prefer the alternative vouched for by the most-trusted source.
+
+    ``priority`` lists source names from most to least trusted; the
+    catalog traces which source contributed which alternative (through
+    the merged markers and the conflict's path). A conflict resolves to
+    the unique alternative of the highest-priority source that vouches
+    for exactly one of the alternatives; otherwise it stays open.
+    """
+    order = list(priority)
+
+    def strategy(conflict: Conflict) -> SSObject | None:
+        witnesses = catalog.witnesses(conflict.datum, conflict.path)
+        for source in order:
+            vouched = [value for value, names in witnesses.items()
+                       if source in names and
+                       value in conflict.alternatives]
+            if len(vouched) == 1:
+                return vouched[0]
+        return None
+
+    return strategy
+
+
+def by_attribute(table: Mapping[str, Strategy],
+                 default: Strategy = keep) -> Strategy:
+    """Dispatch to a per-attribute strategy."""
+
+    def strategy(conflict: Conflict) -> SSObject | None:
+        handler = table.get(conflict.attribute, default)
+        return handler(conflict)
+
+    return strategy
+
+
+def manual(choices: Mapping[str, SSObject]) -> Strategy:
+    """Resolve conflicts from a ``location → replacement`` table.
+
+    Locations are the strings :meth:`Conflict.location` produces, e.g.
+    ``"A78:auth"``. A replacement that is not among the alternatives is
+    rejected — the user can only pick recorded values, never invent new
+    ones (inventing is an edit, not a resolution).
+    """
+
+    def strategy(conflict: Conflict) -> SSObject | None:
+        replacement = choices.get(conflict.location())
+        if replacement is None:
+            return None
+        if replacement not in conflict.alternatives:
+            raise ResolutionError(
+                f"{conflict.location()}: {replacement!r} is not one of the "
+                f"recorded alternatives")
+        return replacement
+
+    return strategy
+
+
+def chain(*strategies: Strategy) -> Strategy:
+    """Compose strategies; the first one that resolves wins."""
+
+    def strategy(conflict: Conflict) -> SSObject | None:
+        for candidate in strategies:
+            result = candidate(conflict)
+            if result is not None:
+                return result
+        return None
+
+    return strategy
+
+
+def resolve_dataset(dataset: DataSet, strategy: Strategy,
+                    ) -> tuple[DataSet, list[Conflict]]:
+    """Apply ``strategy`` to every conflict in ``dataset``.
+
+    Returns the rewritten data set and the conflicts that remain. Only
+    *object* conflicts are resolved; or-valued *markers* (``B80|B82``) are
+    identity information, not conflicts, and stay untouched.
+
+    Replacement is keyed by (datum marker, or-value): when the *same*
+    or-value occurs at several paths of one datum it is one conflict
+    content and resolves uniformly. (Per-occurrence addressing is not
+    possible anyway — occurrences inside sets share their path.)
+    """
+    replacements: dict[tuple[SSObject, OrValue], SSObject] = {}
+    for conflict in find_conflicts(dataset):
+        or_value = OrValue(conflict.alternatives)
+        resolution = strategy(conflict)
+        if resolution is not None:
+            replacements[(conflict.datum.marker, or_value)] = resolution
+
+    resolved: list[Data] = []
+    for datum in dataset:
+        def rewrite(node: SSObject, _marker=datum.marker) -> SSObject:
+            if isinstance(node, OrValue):
+                return replacements.get((_marker, node), node)
+            return node
+
+        resolved.append(Data(datum.marker,
+                             transform(datum.object, rewrite)))
+    result = DataSet(resolved)
+    return result, find_conflicts(result)

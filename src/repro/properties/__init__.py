@@ -1,0 +1,25 @@
+"""Executable law checkers for Propositions 1-4 plus random generators.
+
+    from repro.properties import ObjectGenerator, check_partial_order
+
+    gen = ObjectGenerator(seed=0)
+    reports = check_partial_order(gen.objects(200))
+    assert all(r.holds for r in reports)
+"""
+
+from repro.properties.generators import ObjectGenerator
+from repro.properties.laws import (
+    LawReport,
+    check_associativity,
+    check_commutativity,
+    check_containment,
+    check_key_monotonicity,
+    check_partial_order,
+)
+
+__all__ = [
+    "ObjectGenerator", "LawReport",
+    "check_partial_order", "check_commutativity", "check_containment",
+    "check_associativity",
+    "check_key_monotonicity",
+]

@@ -1,0 +1,122 @@
+"""Seeded random generation of model objects and data sets.
+
+Used by the proposition checkers (:mod:`repro.properties.laws`), the
+randomized benchmark experiments and — through thin wrappers — the
+hypothesis strategies in the test suite. Generation is budgeted: a depth
+bound and child-count bounds keep objects small enough to compare
+pairwise in O(n²) law checks.
+
+Objects are biased toward the shapes the paper cares about: tuples with a
+shared pool of attribute labels (so random tuples are often compatible),
+small atom pools (so equal atoms occur), and all seven object kinds.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+from repro.core.data import Data, DataSet
+from repro.core.objects import (
+    BOTTOM,
+    Atom,
+    CompleteSet,
+    Marker,
+    OrValue,
+    PartialSet,
+    SSObject,
+    Tuple,
+)
+
+__all__ = ["ObjectGenerator"]
+
+_ATTRIBUTES = ["A", "B", "C", "D", "E"]
+_ATOM_POOL = ["a1", "a2", "a3", "b1", "b2", 1, 2, 3, 1980, True]
+_MARKER_POOL = ["m1", "m2", "m3", "B80", "B82"]
+
+
+class ObjectGenerator:
+    """Deterministic random generator of model values.
+
+    Args:
+        seed: RNG seed; equal seeds generate equal sequences.
+        max_depth: maximum nesting depth of generated objects.
+        max_children: maximum elements/disjuncts/attributes per node.
+    """
+
+    def __init__(self, seed: int = 0, max_depth: int = 3,
+                 max_children: int = 3):
+        self._rng = random.Random(seed)
+        self._max_depth = max_depth
+        self._max_children = max_children
+
+    def atom(self) -> Atom:
+        """A random atom from a small pool (collisions are likely)."""
+        return Atom(self._rng.choice(_ATOM_POOL))
+
+    def marker(self) -> Marker:
+        """A random marker from a small pool."""
+        return Marker(self._rng.choice(_MARKER_POOL))
+
+    def object(self, depth: int | None = None) -> SSObject:
+        """A random object of any kind within the depth budget."""
+        remaining = self._max_depth if depth is None else depth
+        choices: list[Callable[[], SSObject]] = [
+            lambda: BOTTOM, self.atom, self.marker]
+        if remaining > 0:
+            choices += [
+                lambda: self._or_value(remaining - 1),
+                lambda: self._set(PartialSet, remaining - 1),
+                lambda: self._set(CompleteSet, remaining - 1),
+                lambda: self.tuple(remaining - 1),
+            ]
+        return self._rng.choice(choices)()
+
+    def _children(self, depth: int, minimum: int = 0) -> list[SSObject]:
+        count = self._rng.randint(minimum, self._max_children)
+        return [self.object(depth) for _ in range(count)]
+
+    def _or_value(self, depth: int) -> SSObject:
+        disjuncts = self._children(depth, minimum=2)
+        # Duplicates may collapse the or-value to a plain object; that is
+        # fine — callers get "an object that tends to be an or-value".
+        return OrValue.of(*disjuncts)
+
+    def _set(self, cls, depth: int) -> SSObject:
+        return cls(self._children(depth))
+
+    def tuple(self, depth: int | None = None) -> Tuple:
+        """A random tuple over the shared attribute pool."""
+        remaining = (self._max_depth if depth is None else depth)
+        remaining = max(remaining, 0)
+        labels = self._rng.sample(
+            _ATTRIBUTES, self._rng.randint(0, len(_ATTRIBUTES) - 1))
+        return Tuple(
+            (label, self.object(remaining)) for label in labels)
+
+    def keyed_tuple(self, key: tuple[str, ...],
+                    match_pool: int = 2) -> Tuple:
+        """A tuple whose key attributes come from a tiny pool, making
+        cross-compatibility likely."""
+        fields: dict[str, SSObject] = {}
+        for label in key:
+            fields[label] = Atom(
+                f"k{self._rng.randint(1, match_pool)}")
+        for label in self._rng.sample(_ATTRIBUTES, 2):
+            if label not in fields:
+                fields[label] = self.object(1)
+        return Tuple(fields)
+
+    def datum(self, key: tuple[str, ...] = ("A", "B")) -> Data:
+        """A random datum with a keyed tuple object."""
+        return Data(self.marker(), self.keyed_tuple(key))
+
+    def dataset(self, size: int,
+                key: tuple[str, ...] = ("A", "B")) -> DataSet:
+        """A random data set of roughly the requested size (duplicates
+        may collapse)."""
+        return DataSet(self.datum(key) for _ in range(size))
+
+    def objects(self, count: int) -> list[SSObject]:
+        """A list of random objects."""
+        return [self.object() for _ in range(count)]

@@ -1,0 +1,205 @@
+"""Executable checkers for the paper's Propositions 1-4.
+
+Each checker takes concrete inputs, verifies the claimed law on every
+applicable combination, and returns a :class:`LawReport` that lists the
+counterexamples it found (empty report = law verified on that input).
+The benchmark harness runs these over seeded random samples (experiments
+P1-P4) and the hypothesis suite runs them under minimized search.
+
+Laws checked:
+
+* **P1** — ``⊴`` is a partial order: reflexive, antisymmetric, transitive
+  (Definition 3 / Proposition 1);
+* **P2** — ``∪K`` and ``∩K`` are commutative (Proposition 2);
+* **P3** — containment laws of the set-level operations:
+  ``S1 ∩K S2 ⊴ S1 ∪K S2``, ``S1 ⊴ S1 ∪K S2``, ``S2 ⊴ S1 ∪K S2``,
+  ``S1 −K S2 ⊴ S1``, and idempotence ``S ∪K S = S``, ``S ∩K S = S``
+  (Proposition 3; see DESIGN.md decision D10 for the reconstruction);
+* **P4** — monotonicity in the key: ``K1 ⊆ K2`` implies
+  ``S1 ∪K2 S2 ⊴ S1 ∪K1 S2``, ``S1 ∩K1 S2 ⊴ S1 ∩K2 S2`` and
+  ``S1 −K1 S2 ⊴ S1 −K2 S2`` (Proposition 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.core.data import DataSet
+from repro.core.errors import OperationError
+from repro.core.informativeness import less_informative
+from repro.core.objects import SSObject
+from repro.core.operations import intersection, union
+
+__all__ = [
+    "LawReport", "check_partial_order", "check_commutativity",
+    "check_containment", "check_key_monotonicity",
+]
+
+
+@dataclass
+class LawReport:
+    """Outcome of one law check."""
+
+    law: str
+    checks: int = 0
+    counterexamples: list[tuple] = field(default_factory=list)
+
+    @property
+    def holds(self) -> bool:
+        """True when no counterexample was found."""
+        return not self.counterexamples
+
+    def record(self, *witness: object) -> None:
+        """Record a counterexample."""
+        self.counterexamples.append(tuple(witness))
+
+    def describe(self) -> str:
+        status = "holds" if self.holds else (
+            f"FAILS ({len(self.counterexamples)} counterexamples)")
+        return f"{self.law}: {status} over {self.checks} checks"
+
+
+def check_partial_order(sample: Sequence[SSObject]) -> list[LawReport]:
+    """Proposition 1 over all pairs/triples of ``sample``.
+
+    Transitivity is cubic; callers should keep samples to a few hundred
+    objects. Returns one report per axiom.
+    """
+    reflexive = LawReport("reflexivity: O ⊴ O")
+    antisymmetric = LawReport(
+        "antisymmetry: O1 ⊴ O2 ∧ O2 ⊴ O1 → O1 = O2")
+    transitive = LawReport(
+        "transitivity: O1 ⊴ O2 ∧ O2 ⊴ O3 → O1 ⊴ O3")
+
+    objects = list(dict.fromkeys(sample))
+    for obj in objects:
+        reflexive.checks += 1
+        if not less_informative(obj, obj):
+            reflexive.record(obj)
+
+    relation = {
+        (i, j)
+        for i, first in enumerate(objects)
+        for j, second in enumerate(objects)
+        if less_informative(first, second)
+    }
+    for i, first in enumerate(objects):
+        for j, second in enumerate(objects):
+            if i == j:
+                continue
+            antisymmetric.checks += 1
+            if (i, j) in relation and (j, i) in relation:
+                antisymmetric.record(first, second)
+
+    below: dict[int, list[int]] = {}
+    for i, j in relation:
+        below.setdefault(i, []).append(j)
+    for i in below:
+        for j in below[i]:
+            for k in below.get(j, ()):
+                transitive.checks += 1
+                if (i, k) not in relation:
+                    transitive.record(objects[i], objects[j], objects[k])
+
+    return [reflexive, antisymmetric, transitive]
+
+
+def check_commutativity(pairs: Iterable[tuple[SSObject, SSObject]],
+                        key: Iterable[str]) -> list[LawReport]:
+    """Proposition 2 over the given object pairs."""
+    key = frozenset(key)
+    union_report = LawReport("union commutativity: O1 ∪K O2 = O2 ∪K O1")
+    inter_report = LawReport(
+        "intersection commutativity: O1 ∩K O2 = O2 ∩K O1")
+    for first, second in pairs:
+        union_report.checks += 1
+        try:
+            if union(first, second, key) != union(second, first, key):
+                union_report.record(first, second)
+        except OperationError:
+            union_report.record(first, second)
+        inter_report.checks += 1
+        if intersection(first, second, key) != intersection(
+                second, first, key):
+            inter_report.record(first, second)
+    return [union_report, inter_report]
+
+
+def check_containment(first: DataSet, second: DataSet,
+                      key: Iterable[str]) -> list[LawReport]:
+    """Proposition 3 (as reconstructed; DESIGN.md D10) on one pair."""
+    key = frozenset(key)
+    union_set = first.union(second, key)
+    inter_set = first.intersection(second, key)
+    diff_set = first.difference(second, key)
+
+    laws = [
+        ("S1 ⊴ S1 ∪K S2", first.less_informative(union_set)),
+        ("S2 ⊴ S1 ∪K S2", second.less_informative(union_set)),
+        ("S1 ∩K S2 ⊴ S1 ∪K S2", inter_set.less_informative(union_set)),
+        ("S1 −K S2 ⊴ S1", diff_set.less_informative(first)),
+        ("S ∪K S = S", first.union(first, key) == first),
+        ("S ∩K S = S", first.intersection(first, key) == first),
+    ]
+    reports = []
+    for name, verdict in laws:
+        report = LawReport(name, checks=1)
+        if not verdict:
+            report.record(first, second)
+        reports.append(report)
+    return reports
+
+
+def check_key_monotonicity(first: DataSet, second: DataSet,
+                           small_key: Iterable[str],
+                           large_key: Iterable[str]) -> list[LawReport]:
+    """Proposition 4 on one pair of data sets and one key pair."""
+    small = frozenset(small_key)
+    large = frozenset(large_key)
+    if not small <= large:
+        raise OperationError(
+            f"Proposition 4 needs K1 ⊆ K2; got {sorted(small)} vs "
+            f"{sorted(large)}")
+    laws = [
+        ("S1 ∪K2 S2 ⊴ S1 ∪K1 S2",
+         first.union(second, large).less_informative(
+             first.union(second, small))),
+        ("S1 ∩K1 S2 ⊴ S1 ∩K2 S2",
+         first.intersection(second, small).less_informative(
+             first.intersection(second, large))),
+        ("S1 −K1 S2 ⊴ S1 −K2 S2",
+         first.difference(second, small).less_informative(
+             first.difference(second, large))),
+    ]
+    reports = []
+    for name, verdict in laws:
+        report = LawReport(name, checks=1)
+        if not verdict:
+            report.record(first, second)
+        reports.append(report)
+    return reports
+
+
+def check_associativity(triples: Iterable[tuple[SSObject, SSObject,
+                                                SSObject]],
+                        key: Iterable[str]) -> list[LawReport]:
+    """Associativity probe for ``∪K`` and ``∩K`` (NOT claimed by the
+    paper — experiment P5 documents that it fails; see finding F5)."""
+    key = frozenset(key)
+    union_report = LawReport(
+        "union associativity: (O1 ∪K O2) ∪K O3 = O1 ∪K (O2 ∪K O3)")
+    inter_report = LawReport(
+        "intersection associativity: (O1 ∩K O2) ∩K O3 = "
+        "O1 ∩K (O2 ∩K O3)")
+    for first, second, third in triples:
+        union_report.checks += 1
+        if union(union(first, second, key), third, key) != union(
+                first, union(second, third, key), key):
+            union_report.record(first, second, third)
+        inter_report.checks += 1
+        if intersection(intersection(first, second, key), third,
+                        key) != intersection(
+                first, intersection(second, third, key), key):
+            inter_report.record(first, second, third)
+    return [union_report, inter_report]

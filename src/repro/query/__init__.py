@@ -1,0 +1,38 @@
+"""Query layer: path expressions, conditions and a textual language.
+
+Fluent API::
+
+    from repro.query import Query, Eq, Ge
+    Query(ds).where(Eq("type", "Article") & Ge("year", 1980)) \\
+             .select("title").run()
+
+Textual form::
+
+    from repro.query import run_query
+    run_query('select title where type = "Article" and year >= 1980', ds)
+"""
+
+from repro.query.ast import (
+    And,
+    Condition,
+    Contains,
+    Eq,
+    Exists,
+    Ge,
+    Gt,
+    Le,
+    Lt,
+    Ne,
+    Not,
+    Or,
+    Query,
+)
+from repro.query.parser import parse_query, run_query
+from repro.query.paths import evaluate_path, parse_path, path_exists
+
+__all__ = [
+    "Query", "Condition", "Eq", "Ne", "Lt", "Le", "Gt", "Ge",
+    "Exists", "Contains", "And", "Or", "Not",
+    "parse_query", "run_query",
+    "parse_path", "evaluate_path", "path_exists",
+]

@@ -1,0 +1,331 @@
+"""Conditions and the fluent query API.
+
+Conditions are small immutable trees evaluated against a datum's object.
+Comparisons use *existential* semantics, standard for semistructured
+query languages (Lorel, UnQL): ``Eq("authors", "Bob")`` holds when *some*
+value reached by the path equals the atom — elements of sets and
+disjuncts of or-values all count as reachable values.
+
+The fluent entry point is :class:`Query`::
+
+    Query(dataset).where(Eq("type", "Article") & Ge("year", 1980)) \\
+                  .select("title", "year").run()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.builder import obj as _to_object
+from repro.core.data import Data, DataSet
+from repro.core.errors import QueryError
+from repro.core.objects import Atom, SSObject, Tuple
+from repro.query.paths import evaluate_path, parse_path
+
+__all__ = [
+    "Condition", "Eq", "Ne", "Lt", "Le", "Gt", "Ge", "Exists",
+    "Contains", "And", "Or", "Not", "Query",
+]
+
+
+class Condition:
+    """Base class of all conditions; supports ``&``, ``|`` and ``~``."""
+
+    def matches(self, obj: SSObject) -> bool:
+        raise NotImplementedError
+
+    def __and__(self, other: "Condition") -> "Condition":
+        return And(self, other)
+
+    def __or__(self, other: "Condition") -> "Condition":
+        return Or(self, other)
+
+    def __invert__(self) -> "Condition":
+        return Not(self)
+
+
+def _as_steps(path: str | Sequence[str]) -> tuple[str, ...]:
+    if isinstance(path, str):
+        return parse_path(path)
+    return tuple(path)
+
+
+@dataclass(frozen=True, eq=False)
+class _PathCondition(Condition):
+    path: str | Sequence[str]
+
+    @property
+    def steps(self) -> tuple[str, ...]:
+        return _as_steps(self.path)
+
+
+@dataclass(frozen=True, eq=False)
+class Exists(_PathCondition):
+    """True when the path reaches any non-``⊥`` value."""
+
+    def matches(self, obj: SSObject) -> bool:
+        return bool(evaluate_path(obj, self.steps, spread=True))
+
+
+@dataclass(frozen=True, eq=False)
+class _Comparison(Condition):
+    path: str | Sequence[str]
+    value: object
+
+    @property
+    def steps(self) -> tuple[str, ...]:
+        return _as_steps(self.path)
+
+    @property
+    def target(self) -> SSObject:
+        return _to_object(self.value)
+
+    def _reached(self, obj: SSObject) -> list[SSObject]:
+        return evaluate_path(obj, self.steps, spread=True)
+
+
+class Eq(_Comparison):
+    """Some reachable value equals the target object."""
+
+    def matches(self, obj: SSObject) -> bool:
+        return self.target in self._reached(obj)
+
+
+class Ne(_Comparison):
+    """Some reachable value differs from the target object."""
+
+    def matches(self, obj: SSObject) -> bool:
+        return any(value != self.target for value in self._reached(obj))
+
+
+class _NumericComparison(_Comparison):
+    """Ordered comparison against a numeric or string bound.
+
+    Numbers compare with numbers (int and float mix freely) and strings
+    compare lexicographically with strings; booleans and mixed-type pairs
+    never match.
+    """
+
+    _op = staticmethod(lambda a, b: False)
+
+    def matches(self, obj: SSObject) -> bool:
+        target = self.target
+        if not isinstance(target, Atom) or isinstance(target.value, bool):
+            raise QueryError(
+                f"ordered comparison needs a number or string bound, got "
+                f"{target!r}")
+        bound = target.value
+        for value in self._reached(obj):
+            if not isinstance(value, Atom) or isinstance(value.value, bool):
+                continue
+            if isinstance(bound, str):
+                comparable = isinstance(value.value, str)
+            else:
+                comparable = isinstance(value.value, (int, float))
+            if comparable and self._op(value.value, bound):
+                return True
+        return False
+
+
+class Lt(_NumericComparison):
+    """Some reachable atomic value is strictly below the bound."""
+    _op = staticmethod(lambda a, b: a < b)
+
+
+class Le(_NumericComparison):
+    """Some reachable atomic value is at most the bound."""
+    _op = staticmethod(lambda a, b: a <= b)
+
+
+class Gt(_NumericComparison):
+    """Some reachable atomic value is strictly above the bound."""
+    _op = staticmethod(lambda a, b: a > b)
+
+
+class Ge(_NumericComparison):
+    """Some reachable atomic value is at least the bound."""
+    _op = staticmethod(lambda a, b: a >= b)
+
+
+class Contains(_Comparison):
+    """For string atoms: some reachable value contains the substring."""
+
+    def matches(self, obj: SSObject) -> bool:
+        target = self.target
+        if not (isinstance(target, Atom)
+                and isinstance(target.value, str)):
+            raise QueryError("Contains needs a string argument")
+        return any(
+            isinstance(value, Atom) and isinstance(value.value, str)
+            and target.value in value.value
+            for value in self._reached(obj)
+        )
+
+
+@dataclass(frozen=True, eq=False)
+class And(Condition):
+    left: Condition
+    right: Condition
+
+    def matches(self, obj: SSObject) -> bool:
+        return self.left.matches(obj) and self.right.matches(obj)
+
+
+@dataclass(frozen=True, eq=False)
+class Or(Condition):
+    left: Condition
+    right: Condition
+
+    def matches(self, obj: SSObject) -> bool:
+        return self.left.matches(obj) or self.right.matches(obj)
+
+
+@dataclass(frozen=True, eq=False)
+class Not(Condition):
+    inner: Condition
+
+    def matches(self, obj: SSObject) -> bool:
+        return not self.inner.matches(obj)
+
+
+class Query:
+    """Fluent select/where/project/order/limit over a :class:`DataSet`.
+
+    Queries are immutable; each builder call returns a new query.
+    ``run()`` returns a :class:`DataSet` (unordered, set semantics);
+    ``rows()`` returns an ordered list honouring ``order_by``.
+    """
+
+    def __init__(self, dataset: DataSet,
+                 condition: Condition | None = None,
+                 projection: tuple[str, ...] | None = None,
+                 order: tuple[tuple[str, ...], bool] | None = None,
+                 limit_count: int | None = None):
+        self._dataset = dataset
+        self._condition = condition
+        self._projection = projection
+        self._order = order
+        self._limit = limit_count
+
+    def _derive(self, **changes) -> "Query":
+        state = dict(dataset=self._dataset, condition=self._condition,
+                     projection=self._projection, order=self._order,
+                     limit_count=self._limit)
+        state.update(changes)
+        return Query(**state)
+
+    def where(self, condition: Condition) -> "Query":
+        """Add a condition (conjoined with any existing one)."""
+        combined = condition if self._condition is None else And(
+            self._condition, condition)
+        return self._derive(condition=combined)
+
+    def select(self, *attributes: str) -> "Query":
+        """Project tuple results onto the given top-level attributes."""
+        if not attributes:
+            raise QueryError("select() needs at least one attribute")
+        return self._derive(projection=tuple(attributes))
+
+    def order_by(self, path: str,
+                 descending: bool = False) -> "Query":
+        """Order ``rows()`` by the smallest value the path reaches.
+
+        Data where the path reaches nothing sort last. Ordering applies
+        *before* projection, so you can order by an attribute you do not
+        keep.
+        """
+        return self._derive(order=(parse_path(path), descending))
+
+    def limit(self, count: int) -> "Query":
+        """Keep at most ``count`` results (after ordering)."""
+        if count < 0:
+            raise QueryError("limit() needs a non-negative count")
+        return self._derive(limit_count=count)
+
+    def _selected(self) -> list[Data]:
+        selected = [
+            datum for datum in self._dataset
+            if self._condition is None
+            or self._condition.matches(datum.object)
+        ]
+        if self._order is not None:
+            from repro.core.order import structural_key
+
+            steps, descending = self._order
+            keyed = []
+            missing = []
+            for datum in selected:
+                values = evaluate_path(datum.object, steps, spread=True)
+                if values:
+                    keyed.append((structural_key(values[0]), datum))
+                else:
+                    missing.append(datum)
+            keyed.sort(key=lambda pair: pair[0], reverse=descending)
+            # Data the path does not reach sort last in either direction.
+            selected = [datum for _, datum in keyed] + missing
+        if self._limit is not None:
+            selected = selected[:self._limit]
+        return selected
+
+    def _project(self, selected: list[Data]) -> list[Data]:
+        if self._projection is None:
+            return selected
+        projected = []
+        for datum in selected:
+            if isinstance(datum.object, Tuple):
+                projected.append(
+                    Data(datum.marker,
+                         datum.object.project(self._projection)))
+            else:
+                projected.append(datum)
+        return projected
+
+    def run(self) -> DataSet:
+        """Execute and return the resulting data set (unordered)."""
+        return DataSet(self._project(self._selected()))
+
+    def rows(self) -> list[Data]:
+        """Execute and return an ordered list of results.
+
+        Without ``order_by`` the canonical structural order of the source
+        data set is used, so the output is still deterministic.
+        """
+        return self._project(self._selected())
+
+    def values(self, path: str) -> list[SSObject]:
+        """All values the path reaches across matching data."""
+        steps = parse_path(path)
+        out: set[SSObject] = set()
+        for datum in self.run():
+            out.update(evaluate_path(datum.object, steps, spread=True))
+        from repro.core.order import sort_objects
+
+        return sort_objects(out)
+
+    def count(self) -> int:
+        """Number of matching data."""
+        return len(self.run())
+
+    def group_by(self, path: str) -> dict[SSObject, DataSet]:
+        """Partition matching data by the values a path reaches.
+
+        A datum appears under *every* value its path reaches (sets and
+        or-values fan out), so groups may overlap — the honest grouping
+        for multi-valued attributes. Data where the path reaches nothing
+        are grouped under ``⊥``.
+        """
+        from repro.core.objects import BOTTOM
+
+        steps = parse_path(path)
+        groups: dict[SSObject, list[Data]] = {}
+        selected = self._selected()
+        projected = self._project(selected)
+        for original, kept in zip(selected, projected):
+            # Grouping reads the *unprojected* object, so you can group
+            # by an attribute the projection drops.
+            values = evaluate_path(original.object, steps, spread=True)
+            for value in values or [BOTTOM]:
+                groups.setdefault(value, []).append(kept)
+        return {value: DataSet(members)
+                for value, members in groups.items()}

@@ -1,0 +1,260 @@
+"""A small textual query language.
+
+Example::
+
+    select title, year
+    where type = "Article" and year >= 1980 and not author = "Bob"
+
+Grammar::
+
+    query      := "select" ("*" | attr ("," attr)*) ["where" condition]
+                  ["order" "by" path ["asc" | "desc"]] ["limit" NUMBER]
+    condition  := conjunct ("or" conjunct)*
+    conjunct   := unary ("and" unary)*
+    unary      := "not" unary | "(" condition ")" | predicate
+    predicate  := "exists" path
+                | path "contains" literal
+                | path op literal
+    op         := "=" | "!=" | "<" | "<=" | ">" | ">="
+    path       := IDENT ("." IDENT)*
+    literal    := STRING | NUMBER | "true" | "false"
+
+Keywords are case-insensitive. :func:`parse_query` returns a function
+``DataSet -> DataSet`` so the same parsed query can run against several
+sets; :func:`run_query` is the one-shot form.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable
+
+from repro.core.data import DataSet
+from repro.core.errors import QueryError
+from repro.query.ast import (
+    Condition,
+    Contains,
+    Eq,
+    Exists,
+    Ge,
+    Gt,
+    Le,
+    Lt,
+    Ne,
+    Not,
+    Or,
+    And,
+    Query,
+)
+
+__all__ = ["parse_query", "run_query"]
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<string>"(?:\\.|[^"\\])*")
+  | (?P<number>[+-]?\d+(?:\.\d+)?)
+  | (?P<op><=|>=|!=|=|<|>|\(|\)|,|\*)
+  | (?P<word>[A-Za-z_][A-Za-z0-9_.]*)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = frozenset({"select", "where", "and", "or", "not", "exists",
+                       "contains", "true", "false", "order", "by",
+                       "limit", "desc", "asc"})
+
+
+def _tokenize(text: str) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise QueryError(
+                f"unexpected character {text[position]!r} in query")
+        kind = match.lastgroup
+        value = match.group(0)
+        if kind == "word" and value.lower() in _KEYWORDS:
+            tokens.append(("kw", value.lower()))
+        elif kind != "ws":
+            tokens.append((kind, value))
+        position = match.end()
+    tokens.append(("eof", ""))
+    return tokens
+
+
+class _QueryParser:
+    def __init__(self, text: str):
+        self._tokens = _tokenize(text)
+        self._index = 0
+
+    def _peek(self) -> tuple[str, str]:
+        return self._tokens[self._index]
+
+    def _next(self) -> tuple[str, str]:
+        token = self._tokens[self._index]
+        if token[0] != "eof":
+            self._index += 1
+        return token
+
+    def _expect_kw(self, word: str) -> None:
+        kind, value = self._next()
+        if kind != "kw" or value != word:
+            raise QueryError(f"expected {word!r}, found {value or 'EOF'!r}")
+
+    def _at_kw(self, word: str) -> bool:
+        kind, value = self._peek()
+        return kind == "kw" and value == word
+
+    def parse(self) -> tuple[tuple[str, ...] | None, Condition | None,
+                             "tuple[str, bool] | None", int | None]:
+        self._expect_kw("select")
+        projection = self._parse_projection()
+        condition = None
+        if self._at_kw("where"):
+            self._next()
+            condition = self._parse_condition()
+        order = self._parse_order()
+        limit = self._parse_limit()
+        kind, value = self._peek()
+        if kind != "eof":
+            raise QueryError(f"trailing input {value!r} after query")
+        return projection, condition, order, limit
+
+    def _parse_order(self) -> "tuple[str, bool] | None":
+        if not self._at_kw("order"):
+            return None
+        self._next()
+        self._expect_kw("by")
+        kind, path = self._next()
+        if kind != "word":
+            raise QueryError(f"expected a path after 'order by', found "
+                             f"{path or 'EOF'!r}")
+        descending = False
+        if self._at_kw("desc"):
+            self._next()
+            descending = True
+        elif self._at_kw("asc"):
+            self._next()
+        return path, descending
+
+    def _parse_limit(self) -> int | None:
+        if not self._at_kw("limit"):
+            return None
+        self._next()
+        kind, value = self._next()
+        if kind != "number" or "." in value:
+            raise QueryError(f"expected an integer after 'limit', found "
+                             f"{value or 'EOF'!r}")
+        count = int(value)
+        if count < 0:
+            raise QueryError("limit must be non-negative")
+        return count
+
+    def _parse_projection(self) -> tuple[str, ...] | None:
+        kind, value = self._peek()
+        if kind == "op" and value == "*":
+            self._next()
+            return None
+        attrs = [self._parse_attr()]
+        while self._peek() == ("op", ","):
+            self._next()
+            attrs.append(self._parse_attr())
+        return tuple(attrs)
+
+    def _parse_attr(self) -> str:
+        kind, value = self._next()
+        if kind != "word":
+            raise QueryError(f"expected an attribute name, found {value!r}")
+        if "." in value:
+            raise QueryError(
+                f"projection takes top-level attributes, not paths "
+                f"({value!r})")
+        return value
+
+    def _parse_condition(self) -> Condition:
+        left = self._parse_conjunct()
+        while self._at_kw("or"):
+            self._next()
+            left = Or(left, self._parse_conjunct())
+        return left
+
+    def _parse_conjunct(self) -> Condition:
+        left = self._parse_unary()
+        while self._at_kw("and"):
+            self._next()
+            left = And(left, self._parse_unary())
+        return left
+
+    def _parse_unary(self) -> Condition:
+        if self._at_kw("not"):
+            self._next()
+            return Not(self._parse_unary())
+        if self._peek() == ("op", "("):
+            self._next()
+            inner = self._parse_condition()
+            if self._next() != ("op", ")"):
+                raise QueryError("missing ')'")
+            return inner
+        return self._parse_predicate()
+
+    def _parse_predicate(self) -> Condition:
+        if self._at_kw("exists"):
+            self._next()
+            return Exists(self._parse_path())
+        path = self._parse_path()
+        if self._at_kw("contains"):
+            self._next()
+            return Contains(path, self._parse_literal())
+        kind, op = self._next()
+        if kind != "op" or op not in ("=", "!=", "<", "<=", ">", ">="):
+            raise QueryError(f"expected a comparison operator, found "
+                             f"{op or 'EOF'!r}")
+        literal = self._parse_literal()
+        classes = {"=": Eq, "!=": Ne, "<": Lt, "<=": Le, ">": Gt, ">=": Ge}
+        return classes[op](path, literal)
+
+    def _parse_path(self) -> str:
+        kind, value = self._next()
+        if kind != "word":
+            raise QueryError(f"expected a path, found {value or 'EOF'!r}")
+        return value
+
+    def _parse_literal(self):
+        kind, value = self._next()
+        if kind == "string":
+            return _unescape(value)
+        if kind == "number":
+            return float(value) if "." in value else int(value)
+        if kind == "kw" and value in ("true", "false"):
+            return value == "true"
+        raise QueryError(f"expected a literal, found {value or 'EOF'!r}")
+
+
+def _unescape(raw: str) -> str:
+    return raw[1:-1].replace('\\"', '"').replace("\\\\", "\\")
+
+
+def parse_query(text: str) -> Callable[[DataSet], DataSet]:
+    """Compile a textual query into a reusable ``DataSet -> DataSet``."""
+    projection, condition, order, limit = _QueryParser(text).parse()
+
+    def run(dataset: DataSet) -> DataSet:
+        query = Query(dataset)
+        if condition is not None:
+            query = query.where(condition)
+        if order is not None:
+            query = query.order_by(order[0], descending=order[1])
+        if limit is not None:
+            query = query.limit(limit)
+        if projection is not None:
+            query = query.select(*projection)
+        return query.run()
+
+    return run
+
+
+def run_query(text: str, dataset: DataSet) -> DataSet:
+    """Parse and execute a textual query in one step."""
+    return parse_query(text)(dataset)

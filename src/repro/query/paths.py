@@ -1,0 +1,94 @@
+"""Path expressions over model objects.
+
+A path is a dotted sequence of attribute labels, e.g. ``authors.last``.
+Evaluation is *set-valued*, the natural semantics for semistructured
+data: descending into a (partial or complete) set maps the rest of the
+path over its elements, and descending into an or-value maps over the
+disjuncts — each alternative is a possible value. ``⊥`` yields nothing.
+
+    >>> evaluate_path(tup(authors=cset(tup(last="Liu"),
+    ...                                tup(last="Ling"))), ("authors", "last"))
+    [Atom("Ling"), Atom("Liu")]   # canonical order
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.errors import QueryError
+from repro.core.objects import (
+    BOTTOM,
+    CompleteSet,
+    OrValue,
+    PartialSet,
+    SSObject,
+    Tuple,
+)
+from repro.core.order import sort_objects
+
+__all__ = ["parse_path", "evaluate_path", "path_exists"]
+
+
+def parse_path(text: str) -> tuple[str, ...]:
+    """Parse ``"a.b.c"`` into path steps; validates non-empty labels."""
+    if not text:
+        raise QueryError("empty path")
+    steps = tuple(text.split("."))
+    for step in steps:
+        if not step:
+            raise QueryError(f"path {text!r} has an empty step")
+    return steps
+
+
+def _descend(values: Iterable[SSObject], step: str) -> list[SSObject]:
+    out: list[SSObject] = []
+    for value in values:
+        if isinstance(value, Tuple):
+            candidate = value.get(step)
+            if candidate is not BOTTOM:
+                out.append(candidate)
+        elif isinstance(value, (PartialSet, CompleteSet)):
+            out.extend(_descend(value.elements, step))
+        elif isinstance(value, OrValue):
+            out.extend(_descend(value.disjuncts, step))
+        # atoms, markers and ⊥ have no attributes: contribute nothing
+    return out
+
+
+def _unwrap(values: Iterable[SSObject]) -> list[SSObject]:
+    """Spread sets and or-values into their members at the path's end."""
+    out: list[SSObject] = []
+    for value in values:
+        if isinstance(value, (PartialSet, CompleteSet)):
+            out.extend(_unwrap(value.elements))
+        elif isinstance(value, OrValue):
+            out.extend(_unwrap(value.disjuncts))
+        elif value is not BOTTOM:
+            out.append(value)
+    return out
+
+
+def evaluate_path(obj: SSObject, path: Sequence[str], *,
+                  spread: bool = False) -> list[SSObject]:
+    """All values the path reaches in ``obj``, deduplicated, canonical
+    order.
+
+    Args:
+        obj: the object to navigate.
+        path: attribute labels to follow.
+        spread: when ``True`` the final values are unwrapped too — a set
+            or or-value at the end of the path contributes its members
+            instead of itself. Conditions use spread evaluation so
+            ``authors = "Bob"`` matches ``authors ⇒ {"Bob", "Tom"}``.
+    """
+    values: list[SSObject] = [obj]
+    for step in path:
+        values = _descend(values, step)
+    if spread:
+        values = _unwrap(values)
+    return sort_objects(set(values))
+
+
+def path_exists(obj: SSObject, path: Sequence[str]) -> bool:
+    """Whether the path reaches at least one non-``⊥`` value."""
+    return bool(evaluate_path(obj, path))

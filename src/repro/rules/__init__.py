@@ -1,0 +1,43 @@
+"""Rule-based language over the data model (the paper's §4 proposal).
+
+A Datalog-style language whose terms are the paper's objects: tuple
+patterns bind attributes; ``member/2`` looks inside partial/complete
+sets and or-values; ``leq/2`` and ``compatible/3`` expose the paper's ⊴
+order and Definition 6; heads may group bindings into sets
+(Relationlog-style ``{X}``/``<X>``); negation is stratified; evaluation
+is semi-naive bottom-up.
+
+    from repro.rules import Engine, parse_program, parse_rule
+
+    engine = Engine(parse_program('''
+        senior(N) :- person([name => N, age => A]), A >= 65.
+    '''))
+    engine.load_dataset("entry", merged_bibliography)
+    engine.facts("senior")
+"""
+
+from repro.rules.ast import (
+    Collect,
+    Comparison,
+    Compat,
+    Leq,
+    Const,
+    Literal,
+    Member,
+    Program,
+    Rule,
+    TuplePattern,
+    Var,
+)
+from repro.rules.engine import Engine, stratify
+from repro.rules.matching import instantiate, match_term
+from repro.rules.parser import parse_program, parse_rule, parse_term
+
+__all__ = [
+    "Var", "Const", "TuplePattern", "Collect", "Literal", "Comparison",
+    "Member", "Leq", "Compat",
+    "Rule", "Program",
+    "Engine", "stratify",
+    "match_term", "instantiate",
+    "parse_program", "parse_rule", "parse_term",
+]

@@ -1,0 +1,332 @@
+"""Abstract syntax of the rule language.
+
+The paper closes by proposing "rule-based languages for such
+semistructured data model based on Complex Object Calculus ... and
+deductive object-oriented database languages such as ROL". This package
+implements that direction: a Datalog-style language whose *terms* are the
+paper's objects, so rules can pattern-match tuples, bind attributes and
+build partial/complete sets directly.
+
+Terms:
+
+* :class:`Var` — a logic variable (``X``, ``Name``);
+* :class:`Const` — a ground model object;
+* :class:`TuplePattern` — ``[name => N, age => A]``: matches a tuple
+  binding attribute values; *open* by default (extra attributes are
+  fine, as semistructured data demands), closable with ``exact``.
+
+Body literals:
+
+* :class:`Literal` — ``p(t1, ..., tn)`` or ``not p(...)``;
+* :class:`Comparison` — ``X = t``, ``X != t``, ``<``, ``<=``, ``>``,
+  ``>=``;
+* :class:`Member` — ``member(X, S)``: enumerates elements of a (partial
+  or complete) set or the disjuncts of an or-value;
+* :class:`Leq` — ``leq(O1, O2)``: the paper's ⊴ order as a filter;
+* :class:`Compat` — ``compatible(O1, O2, K)``: Definition 6 as a filter.
+
+Heads may additionally use :class:`Collect` grouping terms (``{X}``,
+``<X>``). A :class:`Rule` has a positive head literal and a body; a
+ground bodyless rule is a fact. A :class:`Program` is a list of rules plus
+facts, evaluated bottom-up by :mod:`repro.rules.engine`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping, Union
+
+from repro.core.errors import QueryError
+from repro.core.objects import SSObject
+
+__all__ = [
+    "Var", "Const", "TuplePattern", "Collect", "Term", "HeadTerm",
+    "Literal", "Comparison", "Member", "Leq", "Compat", "BodyItem",
+    "Rule", "Program",
+]
+
+
+@dataclass(frozen=True)
+class Var:
+    """A logic variable."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Const:
+    """A ground model object used as a term."""
+
+    value: SSObject
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class TuplePattern:
+    """A tuple pattern ``[a => t1, b => t2]``.
+
+    ``exact=False`` (the default) matches any tuple that *has* the listed
+    attributes with matching values — open matching, the natural mode for
+    semistructured data. ``exact=True`` additionally requires the tuple
+    to have no other attributes.
+    """
+
+    fields: tuple[tuple[str, "Term"], ...]
+    exact: bool = False
+
+    def __init__(self, fields: Mapping[str, "Term"] |
+                 tuple[tuple[str, "Term"], ...] = (),
+                 exact: bool = False):
+        if isinstance(fields, Mapping):
+            pairs = tuple(sorted(fields.items(), key=lambda p: p[0]))
+        else:
+            pairs = tuple(sorted(fields, key=lambda p: p[0]))
+        seen = [label for label, _ in pairs]
+        if len(set(seen)) != len(seen):
+            raise QueryError("duplicate attribute in tuple pattern")
+        object.__setattr__(self, "fields", pairs)
+        object.__setattr__(self, "exact", exact)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{label} => {term!r}"
+                          for label, term in self.fields)
+        marker = "!" if self.exact else ""
+        return f"[{inner}]{marker}"
+
+
+@dataclass(frozen=True)
+class Collect:
+    """A grouping term, legal only in rule heads: ``{X}`` or ``<X>``.
+
+    Relationlog-style set grouping (the language the paper names as the
+    basis for its future rule language, and whose grouping operation the
+    paper's ``∪K`` "is similar to"): the rule fires once per combination
+    of the *other* head arguments, collecting every binding of the
+    variable into a complete set (``{X}``) or partial set (``<X>``).
+    """
+
+    variable: Var
+    kind: str  # "complete_set" or "partial_set"
+
+    def __post_init__(self):
+        if self.kind not in ("complete_set", "partial_set"):
+            raise QueryError(f"unknown collection kind {self.kind!r}")
+
+    def __repr__(self) -> str:
+        if self.kind == "complete_set":
+            return f"{{{self.variable!r}}}"
+        return f"<{self.variable!r}>"
+
+
+Term = Union[Var, Const, TuplePattern]
+HeadTerm = Union[Var, Const, TuplePattern, Collect]
+
+
+def term_variables(term: "Term | Collect") -> Iterator[Var]:
+    """Yield every variable occurring in a term."""
+    if isinstance(term, Var):
+        yield term
+    elif isinstance(term, TuplePattern):
+        for _, sub_term in term.fields:
+            yield from term_variables(sub_term)
+    elif isinstance(term, Collect):
+        yield term.variable
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A predicate literal ``p(t1, ..., tn)``, possibly negated."""
+
+    predicate: str
+    args: tuple[Term, ...]
+    negated: bool = False
+
+    def variables(self) -> set[Var]:
+        out: set[Var] = set()
+        for arg in self.args:
+            out.update(term_variables(arg))
+        return out
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(arg) for arg in self.args)
+        prefix = "not " if self.negated else ""
+        return f"{prefix}{self.predicate}({inner})"
+
+
+#: Comparison operators supported in rule bodies.
+COMPARISON_OPS = ("=", "!=", "<", "<=", ">", ">=")
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """A builtin comparison between two terms."""
+
+    op: str
+    left: Term
+    right: Term
+
+    def __post_init__(self):
+        if self.op not in COMPARISON_OPS:
+            raise QueryError(f"unknown comparison operator {self.op!r}")
+
+    def variables(self) -> set[Var]:
+        return set(term_variables(self.left)) | set(
+            term_variables(self.right))
+
+    def __repr__(self) -> str:
+        return f"{self.left!r} {self.op} {self.right!r}"
+
+
+@dataclass(frozen=True)
+class Member:
+    """The builtin ``member(Element, Collection)``."""
+
+    element: Term
+    collection: Term
+
+    def variables(self) -> set[Var]:
+        return set(term_variables(self.element)) | set(
+            term_variables(self.collection))
+
+    def __repr__(self) -> str:
+        return f"member({self.element!r}, {self.collection!r})"
+
+
+@dataclass(frozen=True)
+class Leq:
+    """The builtin ``leq(O1, O2)`` — the paper's ⊴ order as a filter."""
+
+    left: Term
+    right: Term
+
+    def variables(self) -> set[Var]:
+        return set(term_variables(self.left)) | set(
+            term_variables(self.right))
+
+    def __repr__(self) -> str:
+        return f"leq({self.left!r}, {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Compat:
+    """The builtin ``compatible(O1, O2, K)`` — Definition 6 as a filter.
+
+    ``K`` must evaluate to a complete set of string atoms (the key).
+    """
+
+    left: Term
+    right: Term
+    key: Term
+
+    def variables(self) -> set[Var]:
+        return (set(term_variables(self.left))
+                | set(term_variables(self.right))
+                | set(term_variables(self.key)))
+
+    def __repr__(self) -> str:
+        return f"compatible({self.left!r}, {self.right!r}, {self.key!r})"
+
+
+BodyItem = Union[Literal, Comparison, Member, Leq, Compat]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """``head :- body``; an empty body makes the rule a fact."""
+
+    head: Literal
+    body: tuple[BodyItem, ...] = ()
+
+    def __post_init__(self):
+        if self.head.negated:
+            raise QueryError("rule heads must be positive")
+        for item in self.body:
+            if isinstance(item, Literal) and any(
+                    isinstance(arg, Collect) for arg in item.args):
+                raise QueryError(
+                    "grouping terms {X}/<X> are only legal in heads")
+        if self.is_grouping() and not self.body:
+            raise QueryError("a grouping head needs a body to group over")
+        self._check_safety()
+
+    def _check_safety(self) -> None:
+        """Range restriction: every head variable, every variable under a
+        negated literal and every comparison variable must be bound by a
+        positive body literal (or by ``member`` whose collection is
+        bound, checked transitively at evaluation time; here we require
+        it to appear in some positive literal or member element)."""
+        bound: set[Var] = set()
+        for item in self.body:
+            if isinstance(item, Literal) and not item.negated:
+                bound.update(item.variables())
+            elif isinstance(item, Member):
+                bound.update(term_variables(item.element))
+        # '=' comparisons bind one side from the other; iterate to a
+        # fixpoint so chains like X = Y, Y = Z propagate.
+        changed = True
+        while changed:
+            changed = False
+            for item in self.body:
+                if not (isinstance(item, Comparison) and item.op == "="):
+                    continue
+                left = set(term_variables(item.left))
+                right = set(term_variables(item.right))
+                if left <= bound and not right <= bound:
+                    bound.update(right)
+                    changed = True
+                elif right <= bound and not left <= bound:
+                    bound.update(left)
+                    changed = True
+        unsafe = self.head.variables() - bound
+        if unsafe:
+            names = ", ".join(sorted(v.name for v in unsafe))
+            raise QueryError(
+                f"unsafe rule: head variables {names} not bound by a "
+                f"positive body literal")
+        for item in self.body:
+            if isinstance(item, Literal) and item.negated:
+                floating = item.variables() - bound
+                if floating:
+                    names = ", ".join(sorted(v.name for v in floating))
+                    raise QueryError(
+                        f"unsafe negation: variables {names} not bound "
+                        f"by a positive literal")
+
+    def is_fact(self) -> bool:
+        return not self.body
+
+    def is_grouping(self) -> bool:
+        """Whether the head contains a :class:`Collect` term."""
+        return any(isinstance(arg, Collect) for arg in self.head.args)
+
+    def __repr__(self) -> str:
+        if self.is_fact():
+            return f"{self.head!r}."
+        inner = ", ".join(repr(item) for item in self.body)
+        return f"{self.head!r} :- {inner}."
+
+
+@dataclass
+class Program:
+    """A collection of rules and facts."""
+
+    rules: list[Rule] = field(default_factory=list)
+
+    def add(self, rule: Rule) -> "Program":
+        self.rules.append(rule)
+        return self
+
+    def predicates(self) -> set[str]:
+        """All predicate names defined by heads."""
+        return {rule.head.predicate for rule in self.rules}
+
+    def __iter__(self) -> Iterator[Rule]:
+        return iter(self.rules)
+
+    def __len__(self) -> int:
+        return len(self.rules)

@@ -1,0 +1,438 @@
+"""Bottom-up evaluation of rule programs.
+
+Semi-naive fixpoint evaluation with stratified negation:
+
+1. build the predicate dependency graph; negative edges inside a cycle
+   are rejected (the program is not stratifiable);
+2. evaluate strata bottom-up; within a stratum, iterate rules
+   semi-naively — a rule refires only when at least one positive body
+   literal can match a fact derived in the previous round;
+3. builtins (:class:`~repro.rules.ast.Comparison`,
+   :class:`~repro.rules.ast.Member`) evaluate once their variables are
+   bound, with ``=`` also acting as a binder.
+
+Facts are tuples of ground model objects per predicate. DataSets plug in
+via :meth:`Engine.load_dataset`, which asserts ``name(marker, object)``
+facts so rules can reason over merged semistructured data — including
+matching *inside* or-values and sets through ``member``.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Iterator, Sequence
+
+from repro.core.data import DataSet
+from repro.core.errors import QueryError
+from repro.core.objects import (
+    Atom,
+    CompleteSet,
+    OrValue,
+    PartialSet,
+    SSObject,
+)
+from repro.rules.ast import (
+    BodyItem,
+    Collect,
+    Comparison,
+    Compat,
+    Leq,
+    Literal,
+    Member,
+    Program,
+    Rule,
+    Var,
+)
+from repro.rules.matching import (
+    EMPTY,
+    Substitution,
+    instantiate,
+    match_term,
+)
+
+__all__ = ["Engine", "stratify"]
+
+#: One ground fact: a tuple of model objects.
+FactRow = tuple[SSObject, ...]
+
+
+def _dependencies(program: Program) -> dict[str, set[tuple[str, bool]]]:
+    """head predicate → {(body predicate, stratum_raising)}
+
+    Negated dependencies and the body dependencies of *grouping* rules
+    both force the body predicate into a strictly lower stratum: grouping
+    must see the complete extension of what it aggregates, exactly like
+    negation must see the complete extension of what it denies.
+    """
+    graph: dict[str, set[tuple[str, bool]]] = defaultdict(set)
+    for rule in program:
+        graph.setdefault(rule.head.predicate, set())
+        raising = rule.is_grouping()
+        for item in rule.body:
+            if isinstance(item, Literal):
+                graph[rule.head.predicate].add(
+                    (item.predicate, item.negated or raising))
+    return graph
+
+
+def stratify(program: Program) -> list[set[str]]:
+    """Partition the program's predicates into strata.
+
+    Raises :class:`~repro.core.errors.QueryError` when negation occurs
+    inside a recursive cycle (not stratifiable).
+    """
+    graph = _dependencies(program)
+    predicates = set(graph)
+    for edges in graph.values():
+        predicates.update(name for name, _ in edges)
+    stratum: dict[str, int] = {name: 0 for name in predicates}
+    changed = True
+    iterations = 0
+    bound = len(predicates) ** 2 + len(predicates) + 2
+    while changed:
+        changed = False
+        iterations += 1
+        if iterations > bound:
+            raise QueryError(
+                "program is not stratifiable: negation through recursion")
+        for head, edges in graph.items():
+            for body_predicate, negated in edges:
+                required = stratum[body_predicate] + (1 if negated else 0)
+                if stratum[head] < required:
+                    stratum[head] = required
+                    changed = True
+    levels: dict[int, set[str]] = defaultdict(set)
+    for name, level in stratum.items():
+        levels[level].add(name)
+    return [levels[level] for level in sorted(levels)]
+
+
+def _compare_atoms(op: str, left: SSObject, right: SSObject) -> bool:
+    if op == "=":
+        return left == right
+    if op == "!=":
+        return left != right
+    if not (isinstance(left, Atom) and isinstance(right, Atom)):
+        return False
+    lv, rv = left.value, right.value
+    if isinstance(lv, bool) or isinstance(rv, bool):
+        return False
+    if isinstance(lv, str) != isinstance(rv, str):
+        return False
+    return {"<": lv < rv, "<=": lv <= rv, ">": lv > rv,
+            ">=": lv >= rv}[op]
+
+
+class Engine:
+    """Evaluates a :class:`~repro.rules.ast.Program` to a fixpoint."""
+
+    def __init__(self, program: Program | Iterable[Rule] = ()):
+        if isinstance(program, Program):
+            self._program = program
+        else:
+            self._program = Program(list(program))
+        self._facts: dict[str, set[FactRow]] = defaultdict(set)
+        self._evaluated = False
+
+    # -- loading ---------------------------------------------------------------
+
+    def assert_fact(self, predicate: str, *args: SSObject) -> None:
+        """Add one ground fact."""
+        for arg in args:
+            if not isinstance(arg, SSObject):
+                raise QueryError(
+                    f"facts take model objects, got "
+                    f"{type(arg).__name__}")
+        self._facts[predicate].add(tuple(args))
+        self._evaluated = False
+
+    def load_dataset(self, predicate: str, dataset: DataSet) -> None:
+        """Assert ``predicate(marker, object)`` for every datum."""
+        for datum in dataset:
+            self.assert_fact(predicate, datum.marker, datum.object)
+
+    def add_rule(self, rule: Rule) -> None:
+        """Add one rule (facts in rule form are asserted directly)."""
+        if rule.is_fact():
+            self.assert_fact(rule.head.predicate,
+                             *(instantiate(arg, EMPTY)
+                               for arg in rule.head.args))
+        else:
+            self._program.add(rule)
+        self._evaluated = False
+
+    def add_program(self, program: Program) -> None:
+        """Add every rule of a program."""
+        for rule in program:
+            self.add_rule(rule)
+
+    # -- evaluation ---------------------------------------------------------------
+
+    def evaluate(self) -> None:
+        """Run to fixpoint (idempotent until new rules/facts arrive)."""
+        if self._evaluated:
+            return
+        for stratum in stratify(self._program):
+            self._evaluate_stratum(stratum)
+        self._evaluated = True
+
+    def _evaluate_stratum(self, stratum: set[str]) -> None:
+        all_rules = [rule for rule in self._program
+                     if rule.head.predicate in stratum]
+        # Grouping rules aggregate over fully-computed lower strata
+        # (enforced by stratification), so they evaluate exactly once,
+        # before the semi-naive loop of this stratum's ordinary rules.
+        for rule in all_rules:
+            if rule.is_grouping():
+                self._evaluate_grouping(rule)
+        rules = [rule for rule in all_rules if not rule.is_grouping()]
+        delta: dict[str, set[FactRow]] = {
+            name: set(self._facts.get(name, ())) for name in stratum}
+        first_round = True
+        while True:
+            new_delta: dict[str, set[FactRow]] = defaultdict(set)
+            for rule in rules:
+                for subst in self._solve_body(rule.body, EMPTY,
+                                              delta if not first_round
+                                              else None):
+                    row = tuple(instantiate(arg, subst)
+                                for arg in rule.head.args)
+                    if row not in self._facts[rule.head.predicate]:
+                        new_delta[rule.head.predicate].add(row)
+            if not any(new_delta.values()):
+                return
+            for name, rows in new_delta.items():
+                self._facts[name].update(rows)
+            delta = new_delta
+            first_round = False
+
+    def _evaluate_grouping(self, rule: Rule) -> None:
+        """Fire a grouping rule: one fact per combination of the plain
+        head arguments, collecting the grouped variables into sets."""
+        groups: dict[tuple, dict[int, set[SSObject]]] = {}
+        collect_positions = [
+            index for index, arg in enumerate(rule.head.args)
+            if isinstance(arg, Collect)]
+        for subst in self._solve_body(rule.body, EMPTY, None):
+            group_key = tuple(
+                instantiate(arg, subst)
+                for index, arg in enumerate(rule.head.args)
+                if index not in collect_positions)
+            buckets = groups.setdefault(
+                group_key, {index: set() for index in collect_positions})
+            for index in collect_positions:
+                arg = rule.head.args[index]
+                buckets[index].add(
+                    instantiate(arg.variable, subst))
+        for group_key, buckets in groups.items():
+            row: list[SSObject] = []
+            plain = iter(group_key)
+            for index, arg in enumerate(rule.head.args):
+                if index in collect_positions:
+                    collected = buckets[index]
+                    if arg.kind == "complete_set":
+                        row.append(CompleteSet(collected))
+                    else:
+                        row.append(PartialSet(collected))
+                else:
+                    row.append(next(plain))
+            self._facts[rule.head.predicate].add(tuple(row))
+
+    def _solve_body(self, body: Sequence[BodyItem], subst: Substitution,
+                    delta: dict[str, set[FactRow]] | None,
+                    ) -> Iterator[Substitution]:
+        """All substitutions satisfying ``body``.
+
+        With ``delta`` given (semi-naive), at least one positive literal
+        must match a delta fact; this is enforced by trying each literal
+        position as "the delta literal".
+        """
+        if delta is None:
+            yield from self._solve_items(body, subst, None, -1)
+            return
+        positive_positions = [
+            index for index, item in enumerate(body)
+            if isinstance(item, Literal) and not item.negated]
+        if not positive_positions:
+            # Pure-builtin/negation bodies cannot produce new facts after
+            # the first round.
+            return
+        seen: set[tuple] = set()
+        for position in positive_positions:
+            for result in self._solve_items(body, subst, delta, position):
+                signature = tuple(sorted(
+                    (var.name, repr(obj))
+                    for var, obj in result.items()))
+                if signature not in seen:
+                    seen.add(signature)
+                    yield result
+
+    def _solve_items(self, body: Sequence[BodyItem], subst: Substitution,
+                     delta: dict[str, set[FactRow]] | None,
+                     delta_position: int,
+                     index: int = 0) -> Iterator[Substitution]:
+        if index == len(body):
+            yield subst
+            return
+        item = body[index]
+        if isinstance(item, Literal):
+            yield from self._solve_literal(item, body, subst, delta,
+                                           delta_position, index)
+        elif isinstance(item, Comparison):
+            for extended in self._solve_comparison(item, subst):
+                yield from self._solve_items(body, extended, delta,
+                                             delta_position, index + 1)
+        elif isinstance(item, Member):
+            for extended in self._solve_member(item, subst):
+                yield from self._solve_items(body, extended, delta,
+                                             delta_position, index + 1)
+        elif isinstance(item, Leq):
+            if self._solve_leq(item, subst):
+                yield from self._solve_items(body, subst, delta,
+                                             delta_position, index + 1)
+        elif isinstance(item, Compat):
+            if self._solve_compat(item, subst):
+                yield from self._solve_items(body, subst, delta,
+                                             delta_position, index + 1)
+        else:  # pragma: no cover - exhaustive over BodyItem
+            raise QueryError(f"unknown body item {item!r}")
+
+    def _solve_literal(self, literal: Literal, body: Sequence[BodyItem],
+                       subst: Substitution,
+                       delta: dict[str, set[FactRow]] | None,
+                       delta_position: int,
+                       index: int) -> Iterator[Substitution]:
+        if literal.negated:
+            if self._matches_any(literal, subst):
+                return
+            yield from self._solve_items(body, subst, delta,
+                                         delta_position, index + 1)
+            return
+        if delta is not None and index == delta_position:
+            rows: Iterable[FactRow] = delta.get(literal.predicate, ())
+        else:
+            rows = self._facts.get(literal.predicate, ())
+        for row in rows:
+            extended = self._match_row(literal, row, subst)
+            if extended is not None:
+                yield from self._solve_items(body, extended, delta,
+                                             delta_position, index + 1)
+
+    def _match_row(self, literal: Literal, row: FactRow,
+                   subst: Substitution) -> Substitution | None:
+        if len(row) != len(literal.args):
+            return None
+        current: Substitution | None = subst
+        for term, obj in zip(literal.args, row):
+            current = match_term(term, obj, current)
+            if current is None:
+                return None
+        return current
+
+    def _matches_any(self, literal: Literal,
+                     subst: Substitution) -> bool:
+        return any(
+            self._match_row(literal, row, subst) is not None
+            for row in self._facts.get(literal.predicate, ()))
+
+    def _solve_comparison(self, comparison: Comparison,
+                          subst: Substitution,
+                          ) -> Iterator[Substitution]:
+        left_ground = self._try_instantiate(comparison.left, subst)
+        right_ground = self._try_instantiate(comparison.right, subst)
+        if left_ground is None and right_ground is None:
+            raise QueryError(
+                f"comparison {comparison!r} has no bound side")
+        if comparison.op == "=" and left_ground is None:
+            extended = match_term(comparison.left, right_ground, subst)
+            if extended is not None:
+                yield extended
+            return
+        if comparison.op == "=" and right_ground is None:
+            extended = match_term(comparison.right, left_ground, subst)
+            if extended is not None:
+                yield extended
+            return
+        if left_ground is None or right_ground is None:
+            raise QueryError(
+                f"comparison {comparison!r} needs both sides bound")
+        if _compare_atoms(comparison.op, left_ground, right_ground):
+            yield subst
+
+    def _solve_member(self, member: Member,
+                      subst: Substitution) -> Iterator[Substitution]:
+        collection = self._try_instantiate(member.collection, subst)
+        if collection is None:
+            raise QueryError(
+                f"member/2 needs a bound collection: {member!r}")
+        if isinstance(collection, (PartialSet, CompleteSet)):
+            elements: Iterable[SSObject] = collection
+        elif isinstance(collection, OrValue):
+            elements = collection
+        else:
+            return
+        for element in elements:
+            extended = match_term(member.element, element, subst)
+            if extended is not None:
+                yield extended
+
+    def _solve_leq(self, item: Leq, subst: Substitution) -> bool:
+        from repro.core.informativeness import less_informative
+
+        left = self._try_instantiate(item.left, subst)
+        right = self._try_instantiate(item.right, subst)
+        if left is None or right is None:
+            raise QueryError(f"leq/2 needs both sides bound: {item!r}")
+        return less_informative(left, right)
+
+    def _solve_compat(self, item: Compat, subst: Substitution) -> bool:
+        from repro.core.compatibility import compatible
+        from repro.core.objects import Atom, CompleteSet
+
+        left = self._try_instantiate(item.left, subst)
+        right = self._try_instantiate(item.right, subst)
+        key_object = self._try_instantiate(item.key, subst)
+        if left is None or right is None or key_object is None:
+            raise QueryError(
+                f"compatible/3 needs all arguments bound: {item!r}")
+        if not isinstance(key_object, CompleteSet) or not all(
+                isinstance(element, Atom)
+                and isinstance(element.value, str)
+                for element in key_object.elements):
+            raise QueryError(
+                "compatible/3 takes a complete set of attribute-name "
+                f"strings as its key, got {key_object!r}")
+        key = frozenset(element.value for element in key_object.elements)
+        if not key:
+            raise QueryError("compatible/3 needs a non-empty key")
+        return compatible(left, right, key)
+
+    @staticmethod
+    def _try_instantiate(term, subst: Substitution):
+        try:
+            return instantiate(term, subst)
+        except QueryError:
+            return None
+
+    # -- queries -----------------------------------------------------------------
+
+    def facts(self, predicate: str) -> frozenset[FactRow]:
+        """All derived facts of a predicate (evaluating first)."""
+        self.evaluate()
+        return frozenset(self._facts.get(predicate, ()))
+
+    def query(self, literal: Literal) -> list[Substitution]:
+        """All substitutions making ``literal`` true."""
+        self.evaluate()
+        if literal.negated:
+            raise QueryError("queries must be positive literals")
+        results = []
+        for row in self._facts.get(literal.predicate, ()):
+            subst = self._match_row(literal, row, EMPTY)
+            if subst is not None:
+                results.append(subst)
+        return results
+
+    def ask(self, literal: Literal) -> bool:
+        """Whether any fact satisfies ``literal``."""
+        return bool(self.query(literal))

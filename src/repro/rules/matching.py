@@ -1,0 +1,82 @@
+"""Pattern matching and instantiation for rule terms.
+
+Bottom-up evaluation only ever matches *patterns* against *ground*
+objects, so one-way matching suffices (no occurs check, no variable-to-
+variable unification). A substitution is an immutable mapping from
+variables to ground model objects.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.errors import QueryError
+from repro.core.objects import BOTTOM, SSObject, Tuple
+from repro.rules.ast import Const, Term, TuplePattern, Var
+
+__all__ = ["Substitution", "match_term", "instantiate", "EMPTY"]
+
+#: A variable binding environment.
+Substitution = Mapping[Var, SSObject]
+
+#: The empty substitution.
+EMPTY: Substitution = {}
+
+
+def match_term(term: Term, obj: SSObject,
+               subst: Substitution) -> Substitution | None:
+    """Match ``term`` against a ground object under ``subst``.
+
+    Returns the extended substitution, or ``None`` on mismatch. The input
+    substitution is never mutated.
+    """
+    if isinstance(term, Var):
+        bound = subst.get(term)
+        if bound is None:
+            extended = dict(subst)
+            extended[term] = obj
+            return extended
+        return subst if bound == obj else None
+    if isinstance(term, Const):
+        return subst if term.value == obj else None
+    if isinstance(term, TuplePattern):
+        if not isinstance(obj, Tuple):
+            return None
+        current: Substitution | None = subst
+        for label, sub_term in term.fields:
+            value = obj.get(label)
+            if value is BOTTOM and not (
+                    isinstance(sub_term, Const)
+                    and sub_term.value is BOTTOM):
+                # An absent attribute matches only an explicit ⊥ pattern;
+                # a variable must bind to *information*, not its absence.
+                return None
+            current = match_term(sub_term, value, current)
+            if current is None:
+                return None
+        if term.exact:
+            listed = {label for label, _ in term.fields}
+            if set(obj.attributes) - listed:
+                return None
+        return current
+    raise QueryError(f"not a term: {term!r}")
+
+
+def instantiate(term: Term, subst: Substitution) -> SSObject:
+    """Build the ground object a fully-bound term denotes.
+
+    Raises :class:`~repro.core.errors.QueryError` on unbound variables
+    (rule safety should make this unreachable for checked rules).
+    """
+    if isinstance(term, Var):
+        bound = subst.get(term)
+        if bound is None:
+            raise QueryError(f"unbound variable {term.name}")
+        return bound
+    if isinstance(term, Const):
+        return term.value
+    if isinstance(term, TuplePattern):
+        return Tuple(
+            (label, instantiate(sub_term, subst))
+            for label, sub_term in term.fields)
+    raise QueryError(f"not a term: {term!r}")

@@ -1,0 +1,391 @@
+"""Parser for the textual rule language.
+
+Syntax (Datalog with model objects as terms)::
+
+    % facts
+    parent(@ann, @bob).
+    entry(@B80, [type => "Article", title => "Oracle", year => 1980]).
+
+    % rules
+    ancestor(X, Y) :- parent(X, Y).
+    ancestor(X, Z) :- parent(X, Y), ancestor(Y, Z).
+
+    % tuple patterns bind attributes; comparisons and member/2 are builtin
+    senior(N)   :- person([name => N, age => A]), A >= 65.
+    coauthor(N) :- entry(M, E), member(N, A), E = [author => A].
+    only(X)     :- p(X), not q(X).
+
+Lexical conventions:
+
+* identifiers starting with an **uppercase** letter or ``_`` are
+  variables;
+* ``@name`` is a marker object (so ``@B80`` stays distinct from a
+  variable ``B80``);
+* strings, numbers, ``true``/``false``/``bottom``, or-values ``a|b``,
+  partial sets ``<...>``, complete sets ``{...}`` and tuples
+  ``[a => t]`` follow the paper notation, with terms allowed inside;
+* ``%`` starts a line comment; every statement ends with ``.``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.core.errors import ParseError
+from repro.core.objects import (
+    BOTTOM,
+    Atom,
+    CompleteSet,
+    Marker,
+    OrValue,
+    PartialSet,
+    SSObject,
+    Tuple,
+)
+from repro.rules.ast import (
+    COMPARISON_OPS,
+    Collect,
+    Comparison,
+    Compat,
+    Leq,
+    Const,
+    Literal,
+    Member,
+    Program,
+    Rule,
+    Term,
+    TuplePattern,
+    Var,
+)
+from repro.rules.matching import EMPTY, instantiate
+
+__all__ = ["parse_program", "parse_rule", "parse_term"]
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>%[^\n]*)
+  | (?P<string>"(?:\\.|[^"\\])*")
+  | (?P<number>[+-]?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?)
+  | (?P<implies>:-)
+  | (?P<op><=|>=|!=|=>|=|<|>)
+  | (?P<punct>[().,|\[\]{}@!])
+  | (?P<ident>[A-Za-z_](?:[A-Za-z0-9_\-]|\.(?=[A-Za-z0-9_]))*)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"bottom", "true", "false", "not", "member", "leq",
+             "compatible"}
+
+
+def _tokenize(source: str) -> list[tuple[str, str, int]]:
+    tokens: list[tuple[str, str, int]] = []
+    position = 0
+    line = 1
+    while position < len(source):
+        match = _TOKEN_RE.match(source, position)
+        if match is None:
+            raise ParseError(
+                f"unexpected character {source[position]!r} in rules",
+                line)
+        kind = match.lastgroup
+        text = match.group(0)
+        line += text.count("\n")
+        if kind not in ("ws", "comment"):
+            tokens.append((kind, text, line))
+        position = match.end()
+    tokens.append(("eof", "", line))
+    return tokens
+
+
+class _RuleParser:
+    def __init__(self, source: str):
+        self._tokens = _tokenize(source)
+        self._index = 0
+
+    def _peek(self):
+        return self._tokens[self._index]
+
+    def _next(self):
+        token = self._tokens[self._index]
+        if token[0] != "eof":
+            self._index += 1
+        return token
+
+    def _fail(self, message: str) -> ParseError:
+        kind, text, line = self._peek()
+        found = text or "end of input"
+        return ParseError(f"{message}, found {found!r}", line)
+
+    def _expect(self, kind: str, text: str | None = None):
+        token = self._next()
+        if token[0] != kind or (text is not None and token[1] != text):
+            raise ParseError(
+                f"expected {text or kind!r}, found "
+                f"{token[1] or 'end of input'!r}", token[2])
+        return token
+
+    def _at(self, kind: str, text: str | None = None) -> bool:
+        token = self._peek()
+        return token[0] == kind and (text is None or token[1] == text)
+
+    # -- grammar ------------------------------------------------------------
+
+    def parse_program(self) -> Program:
+        program = Program()
+        while not self._at("eof"):
+            program.add(self.parse_statement())
+        return program
+
+    def parse_statement(self) -> Rule:
+        head = self._parse_literal(allow_negation=False,
+                                   allow_collect=True)
+        body: list = []
+        if self._at("implies"):
+            self._next()
+            body.append(self._parse_body_item())
+            while self._at("punct", ","):
+                self._next()
+                body.append(self._parse_body_item())
+        self._expect("punct", ".")
+        if isinstance(head, (Comparison, Member)):
+            raise ParseError("a statement head must be a predicate")
+        return Rule(head, tuple(body))
+
+    def _parse_body_item(self):
+        if self._at("ident", "not"):
+            self._next()
+            literal = self._parse_literal(allow_negation=False)
+            if not isinstance(literal, Literal):
+                raise self._fail("'not' must precede a predicate")
+            return Literal(literal.predicate, literal.args, negated=True)
+        if self._at("ident", "member"):
+            self._next()
+            self._expect("punct", "(")
+            element = self.parse_term()
+            self._expect("punct", ",")
+            collection = self.parse_term()
+            self._expect("punct", ")")
+            return Member(element, collection)
+        if self._at("ident", "leq"):
+            self._next()
+            self._expect("punct", "(")
+            left = self.parse_term()
+            self._expect("punct", ",")
+            right = self.parse_term()
+            self._expect("punct", ")")
+            return Leq(left, right)
+        if self._at("ident", "compatible"):
+            self._next()
+            self._expect("punct", "(")
+            left = self.parse_term()
+            self._expect("punct", ",")
+            right = self.parse_term()
+            self._expect("punct", ",")
+            key = self.parse_term()
+            self._expect("punct", ")")
+            return Compat(left, right, key)
+        # Could be p(...), or a comparison starting with a term.
+        checkpoint = self._index
+        if self._at("ident") and not self._is_variable_name(
+                self._peek()[1]):
+            name = self._next()[1]
+            if self._at("punct", "("):
+                args = self._parse_args()
+                return Literal(name, args)
+            self._index = checkpoint
+        left = self.parse_term()
+        kind, op, line = self._next()
+        if kind != "op" or op not in COMPARISON_OPS:
+            raise ParseError(
+                f"expected a comparison operator, found {op!r}", line)
+        right = self.parse_term()
+        return Comparison(op, left, right)
+
+    def _parse_literal(self, allow_negation: bool,
+                       allow_collect: bool = False):
+        kind, name, line = self._next()
+        if kind != "ident" or name in _KEYWORDS or \
+                self._is_variable_name(name):
+            raise ParseError(f"expected a predicate name, found {name!r}",
+                             line)
+        args = self._parse_args(allow_collect)
+        return Literal(name, args)
+
+    def _parse_args(self, allow_collect: bool = False,
+                    ) -> tuple[Term, ...]:
+        self._expect("punct", "(")
+        args = [self._parse_arg(allow_collect)]
+        while self._at("punct", ","):
+            self._next()
+            args.append(self._parse_arg(allow_collect))
+        self._expect("punct", ")")
+        return tuple(args)
+
+    def _parse_arg(self, allow_collect: bool) -> Term:
+        """One literal argument; heads may use {X}/<X> grouping terms."""
+        if allow_collect:
+            collect = self._try_parse_collect()
+            if collect is not None:
+                return collect
+        return self.parse_term()
+
+    def _try_parse_collect(self) -> "Collect | None":
+        kind, text, _ = self._peek()
+        opens_set = kind == "punct" and text == "{"
+        opens_partial = kind == "op" and text == "<"
+        if not (opens_set or opens_partial):
+            return None
+        # Lookahead: {Var} / <Var> is a grouping term; anything else is
+        # an ordinary (ground) set term.
+        closer = "}" if opens_set else ">"
+        if self._index + 2 < len(self._tokens):
+            middle = self._tokens[self._index + 1]
+            closing = self._tokens[self._index + 2]
+            if (middle[0] == "ident"
+                    and self._is_variable_name(middle[1])
+                    and closing[1] == closer):
+                self._next()
+                variable = Var(self._next()[1])
+                self._next()
+                collection_kind = ("complete_set" if opens_set
+                                   else "partial_set")
+                return Collect(variable, collection_kind)
+        return None
+
+    @staticmethod
+    def _is_variable_name(name: str) -> bool:
+        return bool(name) and (name[0].isupper() or name[0] == "_")
+
+    # -- terms -----------------------------------------------------------------
+
+    def parse_term(self) -> Term:
+        first = self._parse_primary_term()
+        if not self._at("punct", "|"):
+            return first
+        disjuncts = [first]
+        while self._at("punct", "|"):
+            self._next()
+            disjuncts.append(self._parse_primary_term())
+        ground: list[SSObject] = []
+        for disjunct in disjuncts:
+            if not isinstance(disjunct, Const):
+                raise self._fail(
+                    "or-value terms must be ground (no variables)")
+            ground.append(disjunct.value)
+        return Const(OrValue.of(*ground))
+
+    def _parse_primary_term(self) -> Term:
+        kind, text, line = self._peek()
+        if kind == "ident":
+            self._next()
+            if text == "bottom":
+                return Const(BOTTOM)
+            if text == "true":
+                return Const(Atom(True))
+            if text == "false":
+                return Const(Atom(False))
+            if self._is_variable_name(text):
+                return Var(text)
+            raise ParseError(
+                f"bare identifier {text!r}: markers are written @{text}, "
+                f"variables start uppercase", line)
+        if kind == "punct" and text == "@":
+            self._next()
+            kind, name, line = self._next()
+            if kind != "ident":
+                raise ParseError("expected a marker name after '@'", line)
+            return Const(Marker(name))
+        if kind == "string":
+            self._next()
+            return Const(Atom(_unescape(text)))
+        if kind == "number":
+            self._next()
+            if any(ch in text for ch in ".eE"):
+                return Const(Atom(float(text)))
+            return Const(Atom(int(text)))
+        if kind == "punct" and text == "[":
+            return self._parse_tuple_pattern()
+        # '<' lexes as a comparison operator, '{' as punctuation.
+        if (kind == "op" and text == "<") or (kind == "punct"
+                                              and text == "{"):
+            return self._parse_set_term(text)
+        raise self._fail("expected a term")
+
+    def _parse_tuple_pattern(self) -> Term:
+        self._expect("punct", "[")
+        fields: list[tuple[str, Term]] = []
+        if not self._at("punct", "]"):
+            fields.append(self._parse_field())
+            while self._at("punct", ","):
+                self._next()
+                fields.append(self._parse_field())
+        self._expect("punct", "]")
+        exact = False
+        if self._at("punct", "!"):
+            self._next()
+            exact = True
+        pattern = TuplePattern(tuple(fields), exact=exact)
+        if exact and all(isinstance(term, Const)
+                         for _, term in pattern.fields):
+            return Const(instantiate(pattern, EMPTY))
+        return pattern
+
+    def _parse_field(self) -> tuple[str, Term]:
+        kind, label, line = self._next()
+        if kind != "ident":
+            raise ParseError(f"expected an attribute label, found "
+                             f"{label!r}", line)
+        self._expect("op", "=>")
+        return label, self.parse_term()
+
+    def _parse_set_term(self, opener: str) -> Term:
+        closer = ">" if opener == "<" else "}"
+        self._next()
+        elements: list[Term] = []
+        if not (self._at("op", closer) or self._at("punct", closer)):
+            elements.append(self.parse_term())
+            while self._at("punct", ","):
+                self._next()
+                elements.append(self.parse_term())
+        token = self._next()
+        if token[1] != closer:
+            raise ParseError(f"expected {closer!r}", token[2])
+        ground: list[SSObject] = []
+        for element in elements:
+            if not isinstance(element, Const):
+                raise self._fail(
+                    "set terms must be ground; bind elements with "
+                    "member/2 instead")
+            ground.append(element.value)
+        if opener == "<":
+            return Const(PartialSet(ground))
+        return Const(CompleteSet(ground))
+
+
+def _unescape(raw: str) -> str:
+    return raw[1:-1].replace('\\"', '"').replace("\\\\", "\\")
+
+
+def parse_program(source: str) -> Program:
+    """Parse a whole rule program."""
+    return _RuleParser(source).parse_program()
+
+
+def parse_rule(source: str) -> Rule:
+    """Parse a single statement (rule or fact)."""
+    parser = _RuleParser(source)
+    rule = parser.parse_statement()
+    if not parser._at("eof"):
+        raise parser._fail("trailing input after the statement")
+    return rule
+
+
+def parse_term(source: str) -> Term:
+    """Parse a single term (useful for building queries)."""
+    parser = _RuleParser(source)
+    term = parser.parse_term()
+    if not parser._at("eof"):
+        raise parser._fail("trailing input after the term")
+    return term

@@ -1,0 +1,22 @@
+"""Schema inference (structural summaries) for semistructured data.
+
+    from repro.schema import infer_schema, suggest_key
+
+    schema = infer_schema(my_dataset)
+    print(schema.describe())
+    key = suggest_key(schema.classes["Article"])
+"""
+
+from repro.schema.infer import (
+    OTHER,
+    AttributeSummary,
+    ClassSummary,
+    SchemaSummary,
+    infer_schema,
+    suggest_key,
+)
+
+__all__ = [
+    "infer_schema", "suggest_key", "SchemaSummary", "ClassSummary",
+    "AttributeSummary", "OTHER",
+]

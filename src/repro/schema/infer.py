@@ -1,0 +1,195 @@
+"""Schema inference: structural summaries of semistructured data.
+
+Semistructured data is "schema-less", but users still need to know what
+is *in* a source before choosing merge keys. This module infers a
+summary in the spirit of the DataGuides of the paper's era, adapted to
+the model's extra constructs — for each class (value of the type
+attribute) and attribute it reports:
+
+* how often the attribute is present (→ whether it is safe in a key);
+* the object kinds observed (atom types, sets, or-values, markers);
+* how many values are *conflicted* (or-values) or *open* (partial sets);
+* a small sample of values.
+
+:func:`suggest_key` turns the summary into a merge-key recommendation:
+attributes that are always present, never conflicted and atom-valued,
+ranked by selectivity.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.core.data import DataSet
+from repro.core.objects import (
+    Atom,
+    Marker,
+    OrValue,
+    PartialSet,
+    SSObject,
+    Tuple,
+)
+from repro.core.order import sort_objects
+
+__all__ = ["AttributeSummary", "ClassSummary", "SchemaSummary",
+           "infer_schema", "suggest_key"]
+
+#: Class name used for non-tuple data and tuples without the type
+#: attribute.
+OTHER = "<other>"
+
+_SAMPLE_LIMIT = 3
+
+
+@dataclass
+class AttributeSummary:
+    """Statistics for one attribute within one class."""
+
+    name: str
+    present: int = 0
+    kinds: Counter = field(default_factory=Counter)
+    conflicted: int = 0
+    open_sets: int = 0
+    distinct: set[SSObject] = field(default_factory=set)
+
+    def observe(self, value: SSObject) -> None:
+        self.present += 1
+        self.kinds[_kind_label(value)] += 1
+        if isinstance(value, OrValue):
+            self.conflicted += 1
+        if isinstance(value, PartialSet):
+            self.open_sets += 1
+        if len(self.distinct) <= 64:
+            self.distinct.add(value)
+
+    def coverage(self, class_size: int) -> float:
+        """Fraction of the class's data carrying this attribute."""
+        if class_size == 0:
+            return 0.0
+        return self.present / class_size
+
+    def selectivity(self) -> float:
+        """Distinct values per occurrence (1.0 = unique per datum)."""
+        if self.present == 0:
+            return 0.0
+        return min(len(self.distinct), 65) / self.present
+
+    def samples(self) -> list[SSObject]:
+        return sort_objects(self.distinct)[:_SAMPLE_LIMIT]
+
+
+@dataclass
+class ClassSummary:
+    """Statistics for one class of data."""
+
+    name: str
+    size: int = 0
+    attributes: dict[str, AttributeSummary] = field(default_factory=dict)
+
+    def observe(self, obj: Tuple) -> None:
+        self.size += 1
+        for label, value in obj.items():
+            summary = self.attributes.get(label)
+            if summary is None:
+                summary = AttributeSummary(label)
+                self.attributes[label] = summary
+            summary.observe(value)
+
+    def required_attributes(self) -> list[str]:
+        """Attributes present on every datum of the class."""
+        return sorted(
+            name for name, summary in self.attributes.items()
+            if summary.present == self.size)
+
+
+@dataclass
+class SchemaSummary:
+    """The inferred schema of a whole data set."""
+
+    classes: dict[str, ClassSummary] = field(default_factory=dict)
+    total: int = 0
+
+    def class_names(self) -> list[str]:
+        return sorted(self.classes)
+
+    def describe(self) -> str:
+        """Human-readable multi-line report."""
+        lines: list[str] = [f"{self.total} data in "
+                            f"{len(self.classes)} classes"]
+        for name in self.class_names():
+            summary = self.classes[name]
+            lines.append(f"class {name} ({summary.size} data)")
+            for label in sorted(summary.attributes):
+                attr = summary.attributes[label]
+                kinds = ", ".join(
+                    f"{kind}×{count}"
+                    for kind, count in attr.kinds.most_common())
+                flags = []
+                if attr.conflicted:
+                    flags.append(f"{attr.conflicted} conflicted")
+                if attr.open_sets:
+                    flags.append(f"{attr.open_sets} open")
+                flag_text = f" [{'; '.join(flags)}]" if flags else ""
+                lines.append(
+                    f"  {label}: {attr.coverage(summary.size):.0%} "
+                    f"({kinds}){flag_text}")
+        return "\n".join(lines)
+
+
+def _kind_label(value: SSObject) -> str:
+    if isinstance(value, Atom):
+        return f"atom:{type(value.value).__name__}"
+    if isinstance(value, Marker):
+        return "marker"
+    return value.kind
+
+
+def infer_schema(dataset: DataSet,
+                 type_attribute: str = "type") -> SchemaSummary:
+    """Infer the structural summary of ``dataset``."""
+    schema = SchemaSummary()
+    for datum in dataset:
+        schema.total += 1
+        obj = datum.object
+        if isinstance(obj, Tuple):
+            type_value = obj.get(type_attribute)
+            if isinstance(type_value, Atom) and isinstance(
+                    type_value.value, str):
+                class_name = type_value.value
+            else:
+                class_name = OTHER
+        else:
+            class_name = OTHER
+        summary = schema.classes.get(class_name)
+        if summary is None:
+            summary = ClassSummary(class_name)
+            schema.classes[class_name] = summary
+        if isinstance(obj, Tuple):
+            summary.observe(obj)
+        else:
+            summary.size += 1
+    return schema
+
+
+def suggest_key(summary: ClassSummary, *, max_size: int = 3,
+                ) -> list[str]:
+    """Recommend key attributes for a class.
+
+    Candidates must be present on every datum, atom-valued everywhere
+    and never conflicted (Definition 6 makes ``⊥``, partial sets and
+    unequal or-values useless in keys). Candidates are ranked by
+    selectivity so the most-identifying attributes come first; at most
+    ``max_size`` are returned.
+    """
+    candidates: list[tuple[float, str]] = []
+    for name, attr in summary.attributes.items():
+        if attr.present != summary.size:
+            continue
+        if attr.conflicted or attr.open_sets:
+            continue
+        if not all(kind.startswith("atom:") for kind in attr.kinds):
+            continue
+        candidates.append((attr.selectivity(), name))
+    candidates.sort(key=lambda pair: (-pair[0], pair[1]))
+    return [name for _, name in candidates[:max_size]]

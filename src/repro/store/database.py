@@ -1,0 +1,218 @@
+"""A small persistent database of semistructured data.
+
+The paper's §4 names "how to implement the semistructured data model"
+as open work; this module is that implementation at library scale:
+
+* a :class:`Database` holds one :class:`~repro.core.data.DataSet` plus a
+  marker index and (lazily built, automatically invalidated) key indexes;
+* content-addressed updates: ``insert``/``remove`` return nothing and
+  mutate the database, but all returned data values stay immutable;
+* durability through the tagged-JSON codec with atomic file replacement
+  (write to a temp file, ``os.replace``), so a crash never leaves a
+  half-written database behind;
+* ``merge_in`` ingests another source through the index-accelerated
+  ``∪K``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Callable, Iterable, Iterator
+
+from repro.core.compatibility import check_key
+from repro.core.data import Data, DataSet
+from repro.core.errors import CodecError
+from repro.core.objects import Marker, SSObject, Tuple
+from repro.json_codec.codec import decode_dataset, encode_dataset
+from repro.store.index import KeyIndex
+from repro.store.ops import indexed_union
+
+__all__ = ["Database"]
+
+#: Format marker written into every database file.
+_FORMAT = "repro-database"
+_VERSION = 1
+
+
+class Database:
+    """An updatable, persistable collection of semistructured data."""
+
+    def __init__(self, data: Iterable[Data] = ()):
+        self._data: set[Data] = set(data)
+        self._marker_index: dict[Marker, set[Data]] = {}
+        self._key_indexes: dict[frozenset[str], KeyIndex] = {}
+        for datum in self._data:
+            self._index_markers(datum)
+
+    # -- basic collection protocol -------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, datum: object) -> bool:
+        return datum in self._data
+
+    def __iter__(self) -> Iterator[Data]:
+        return iter(self.snapshot())
+
+    def snapshot(self) -> DataSet:
+        """An immutable view of the current contents."""
+        return DataSet(self._data)
+
+    # -- updates ---------------------------------------------------------------
+
+    def insert(self, datum: Data) -> bool:
+        """Insert a datum; returns ``False`` when already present."""
+        if datum in self._data:
+            return False
+        self._data.add(datum)
+        self._index_markers(datum)
+        self._key_indexes.clear()
+        return True
+
+    def insert_all(self, data: Iterable[Data]) -> int:
+        """Insert many; returns how many were new."""
+        return sum(1 for datum in data if self.insert(datum))
+
+    def remove(self, datum: Data) -> bool:
+        """Remove a datum; returns ``False`` when absent."""
+        if datum not in self._data:
+            return False
+        self._data.discard(datum)
+        for marker in datum.markers:
+            entries = self._marker_index.get(marker)
+            if entries is not None:
+                entries.discard(datum)
+                if not entries:
+                    del self._marker_index[marker]
+        self._key_indexes.clear()
+        return True
+
+    def _index_markers(self, datum: Data) -> None:
+        for marker in datum.markers:
+            self._marker_index.setdefault(marker, set()).add(datum)
+
+    def update(self, marker: Marker | str,
+               transform: "Callable[[Data], Data]") -> int:
+        """Rewrite every datum carrying ``marker`` through ``transform``.
+
+        Returns how many data were actually changed. ``transform``
+        receives each datum and returns its replacement (data are
+        immutable, so updates are replacements).
+        """
+        targets = list(self.by_marker(marker))
+        changed = 0
+        for datum in targets:
+            replacement = transform(datum)
+            if not isinstance(replacement, Data):
+                raise CodecError(
+                    "update transform must return a Data value")
+            if replacement != datum:
+                self.remove(datum)
+                self.insert(replacement)
+                changed += 1
+        return changed
+
+    def set_attribute(self, marker: Marker | str, label: str,
+                      value: SSObject) -> int:
+        """Set one tuple attribute on every datum carrying ``marker``.
+
+        Binding to ``⊥`` removes the attribute. Non-tuple objects are
+        left untouched. Returns the number of data changed.
+        """
+
+        def rewrite(datum: Data) -> Data:
+            if isinstance(datum.object, Tuple):
+                return Data(datum.marker,
+                            datum.object.with_field(label, value))
+            return datum
+
+        return self.update(marker, rewrite)
+
+    # -- lookups ----------------------------------------------------------------
+
+    def by_marker(self, marker: Marker | str) -> DataSet:
+        """All data whose marker part mentions ``marker``."""
+        if isinstance(marker, str):
+            marker = Marker(marker)
+        return DataSet(self._marker_index.get(marker, set()))
+
+    def _key_index(self, key: frozenset[str]) -> KeyIndex:
+        index = self._key_indexes.get(key)
+        if index is None:
+            index = KeyIndex(self._data, key)
+            self._key_indexes[key] = index
+        return index
+
+    def compatible_with(self, datum: Data,
+                        key: Iterable[str]) -> DataSet:
+        """All stored data compatible with ``datum`` wrt ``key``
+        (index-accelerated)."""
+        from repro.core.compatibility import compatible_data
+
+        checked = check_key(key)
+        index = self._key_index(checked)
+        return DataSet(
+            candidate for candidate in index.candidates(datum)
+            if compatible_data(datum, candidate, checked))
+
+    def query(self, text: str) -> DataSet:
+        """Run a textual query (``select ... where ...``) on the
+        current contents."""
+        from repro.query.parser import run_query
+
+        return run_query(text, self.snapshot())
+
+    # -- merging ------------------------------------------------------------------
+
+    def merge_in(self, source: DataSet, key: Iterable[str]) -> int:
+        """Union a new source into the database (Definition 12 via the
+        key index). Returns the resulting size."""
+        merged = indexed_union(self.snapshot(), source, key)
+        self._data = set(merged)
+        self._marker_index.clear()
+        self._key_indexes.clear()
+        for datum in self._data:
+            self._index_markers(datum)
+        return len(self._data)
+
+    # -- persistence -----------------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        """Write the database to ``path`` atomically."""
+        payload = {
+            "format": _FORMAT,
+            "version": _VERSION,
+            "dataset": encode_dataset(self.snapshot()),
+        }
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        descriptor, temp_name = tempfile.mkstemp(
+            dir=target.parent, prefix=target.name, suffix=".tmp")
+        try:
+            with os.fdopen(descriptor, "w") as handle:
+                json.dump(payload, handle)
+            os.replace(temp_name, target)
+        except BaseException:
+            if os.path.exists(temp_name):
+                os.unlink(temp_name)
+            raise
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Database":
+        """Read a database written by :meth:`save`."""
+        try:
+            with open(path) as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CodecError(f"cannot read database {path}: {exc}") from exc
+        if not isinstance(payload, dict) or \
+                payload.get("format") != _FORMAT:
+            raise CodecError(f"{path} is not a repro database file")
+        if payload.get("version") != _VERSION:
+            raise CodecError(
+                f"unsupported database version {payload.get('version')!r}")
+        return cls(decode_dataset(payload["dataset"]))

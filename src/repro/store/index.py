@@ -1,0 +1,149 @@
+"""Key indexing for data sets.
+
+Definition 12 as written is an all-pairs compatibility scan — O(|S1|·|S2|).
+The paper (§4) defers implementation concerns; this module supplies the
+obvious accelerator: a hash index on key signatures.
+
+The index is *exact*: for the object kinds that can appear under a key
+attribute, Definition 6 compatibility degenerates to plain equality
+(atoms, markers, ``⊥``-free or-values compared set-wise, complete sets
+compared whole), so equal-signature hashing finds exactly the compatible
+pairs. The two remaining kinds need care:
+
+* ``⊥`` and partial sets are compatible with *nothing* — data carrying
+  them under a key attribute can never pair and are classified
+  :data:`NEVER_MATCHES`;
+* tuple-valued key attributes recurse with the same ``K``
+  (Definition 6(5)), which is not plain equality — such data are
+  classified :data:`UNINDEXABLE` and fall back to pairwise scanning.
+
+``repro.store.ops`` builds the fast Definition 12 operations on top;
+benchmark S5 measures the speedup and verifies result equality against
+the naive scan (the ablation DESIGN.md calls out).
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Hashable, Iterable
+
+from repro.core.data import Data
+from repro.core.objects import (
+    BOTTOM,
+    Atom,
+    CompleteSet,
+    Marker,
+    OrValue,
+    PartialSet,
+    SSObject,
+    Tuple,
+)
+
+__all__ = ["NEVER_MATCHES", "UNINDEXABLE", "signature", "KeyIndex"]
+
+#: Sentinel: this datum cannot be compatible with anything (⊥ or a
+#: partial set under a key attribute).
+NEVER_MATCHES = "never"
+
+#: Sentinel: this datum needs pairwise checking (tuple under a key
+#: attribute, or a non-tuple object).
+UNINDEXABLE = "scan"
+
+
+def _attr_signature(value: SSObject) -> Hashable | None:
+    """Hashable stand-in for one key attribute value, or ``None`` when
+    compatibility is not plain equality for this kind."""
+    if isinstance(value, (Atom, Marker, CompleteSet)):
+        return value
+    if isinstance(value, OrValue):
+        if value.contains_bottom():
+            return NEVER_MATCHES
+        return value
+    return None
+
+
+def signature(datum: Data, key: AbstractSet[str]) -> Hashable:
+    """Classify a datum for the index.
+
+    Returns a hashable signature tuple for indexable data, or one of
+    :data:`NEVER_MATCHES` / :data:`UNINDEXABLE`.
+    """
+    obj = datum.object
+    if not isinstance(obj, Tuple):
+        # Non-tuple objects follow the general Definition 6 cases, where
+        # compatibility IS equality for indexable kinds; markers, atoms,
+        # or-values and complete sets index directly. ⊥ and partial sets
+        # are compatible with nothing.
+        if obj is BOTTOM or isinstance(obj, PartialSet):
+            return NEVER_MATCHES
+        attr = _attr_signature(obj)
+        if attr == NEVER_MATCHES:
+            return NEVER_MATCHES
+        return ("whole", attr)
+    parts: list[tuple[str, Hashable]] = []
+    for label in sorted(key):
+        value = obj.get(label)
+        if value is BOTTOM or isinstance(value, PartialSet):
+            return NEVER_MATCHES
+        attr = _attr_signature(value)
+        if attr == NEVER_MATCHES:
+            return NEVER_MATCHES
+        if attr is None:
+            return UNINDEXABLE
+        parts.append((label, attr))
+    return ("tuple", tuple(parts))
+
+
+class KeyIndex:
+    """Hash index of a data collection by key signature."""
+
+    def __init__(self, data: Iterable[Data], key: AbstractSet[str]):
+        self._key = frozenset(key)
+        self.buckets: dict[Hashable, list[Data]] = {}
+        #: Data requiring pairwise compatibility checks.
+        self.scan_list: list[Data] = []
+        #: Data that can never pair with anything.
+        self.never_list: list[Data] = []
+        for datum in data:
+            self.add(datum)
+
+    @property
+    def key(self) -> frozenset[str]:
+        return self._key
+
+    def add(self, datum: Data) -> None:
+        """Insert one datum."""
+        classified = signature(datum, self._key)
+        if classified == NEVER_MATCHES:
+            self.never_list.append(datum)
+        elif classified == UNINDEXABLE:
+            self.scan_list.append(datum)
+        else:
+            self.buckets.setdefault(classified, []).append(datum)
+
+    def candidates(self, datum: Data) -> list[Data]:
+        """Data that *might* be compatible with ``datum``.
+
+        Exact bucket mates for indexable data (a datum with a tuple-valued
+        key attribute cannot be compatible with one whose attribute is
+        non-tuple, so the scan list is excluded); nothing for
+        never-matching data; the full collection for unindexable probes.
+        """
+        classified = signature(datum, self._key)
+        if classified == NEVER_MATCHES:
+            return []
+        if classified == UNINDEXABLE:
+            return self.everything()
+        return self.buckets.get(classified, [])
+
+    def everything(self) -> list[Data]:
+        """All indexed data (bucket order, then scan, then never)."""
+        out: list[Data] = []
+        for bucket in self.buckets.values():
+            out.extend(bucket)
+        out.extend(self.scan_list)
+        out.extend(self.never_list)
+        return out
+
+    def __len__(self) -> int:
+        return (sum(len(bucket) for bucket in self.buckets.values())
+                + len(self.scan_list) + len(self.never_list))

@@ -1,0 +1,20 @@
+"""Textual notation for the data model: lexer, parser and pretty-printer.
+
+The notation follows the paper with ASCII spellings (``=>`` for ``⇒``,
+``bottom`` for ``⊥``, ``<...>`` for partial sets)::
+
+    B80|B82 : [type => "Article", title => "Oracle",
+               auth => "Bob", year => 1980];
+
+``parse_object``/``format_object`` round-trip every model object.
+"""
+
+from repro.text.lexer import Token, tokenize
+from repro.text.parser import parse_data, parse_dataset, parse_object
+from repro.text.printer import format_data, format_dataset, format_object
+
+__all__ = [
+    "tokenize", "Token",
+    "parse_object", "parse_data", "parse_dataset",
+    "format_object", "format_data", "format_dataset",
+]

@@ -1,0 +1,120 @@
+"""Tokenizer for the paper's textual notation.
+
+The concrete syntax mirrors the paper with ASCII spellings::
+
+    B80 : [type => "Article", authors => <"Bob">, tags => {"db"},
+           year => 1980|1981, note => bottom]
+
+Token kinds: punctuation (``: , | => [ ] { } < >``), string literals in
+double quotes with backslash escapes, signed integer and float literals,
+the keywords ``bottom``/``true``/``false``, and bare identifiers (used for
+markers and attribute labels; dots and dashes are allowed so BibTeX keys
+and file names like ``faculty.html`` lex as single tokens).
+
+Comments run from ``#`` to end of line.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.core.errors import ParseError
+
+#: Token kind names.
+STRING = "STRING"
+NUMBER = "NUMBER"
+IDENT = "IDENT"
+KEYWORD = "KEYWORD"
+PUNCT = "PUNCT"
+EOF = "EOF"
+
+KEYWORDS = frozenset({"bottom", "true", "false"})
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>[ \t\r\n]+)
+  | (?P<comment>\#[^\n]*)
+  | (?P<string>"(?:\\.|[^"\\])*")
+  | (?P<number>[+-]?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?)
+  | (?P<arrow>=>)
+  | (?P<punct>[:;,|\[\]{}<>])
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_.\-]*)
+    """,
+    re.VERBOSE,
+)
+
+_ESCAPES = {"n": "\n", "t": "\t", "r": "\r", '"': '"', "\\": "\\"}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (1-based)."""
+
+    kind: str
+    text: str
+    line: int
+    column: int
+
+    def describe(self) -> str:
+        if self.kind == EOF:
+            return "end of input"
+        return f"{self.kind} {self.text!r}"
+
+
+def _unescape(raw: str, line: int, column: int) -> str:
+    body = raw[1:-1]
+    out: list[str] = []
+    i = 0
+    while i < len(body):
+        ch = body[i]
+        if ch == "\\":
+            if i + 1 >= len(body):
+                raise ParseError("dangling backslash in string", line, column)
+            esc = body[i + 1]
+            if esc not in _ESCAPES:
+                raise ParseError(f"unknown escape \\{esc}", line, column)
+            out.append(_ESCAPES[esc])
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def tokenize(source: str) -> Iterator[Token]:
+    """Yield tokens for ``source``, ending with a single EOF token.
+
+    Raises :class:`~repro.core.errors.ParseError` on any character that
+    cannot start a token.
+    """
+    position = 0
+    line = 1
+    line_start = 0
+    length = len(source)
+    while position < length:
+        match = _TOKEN_RE.match(source, position)
+        if match is None:
+            raise ParseError(
+                f"unexpected character {source[position]!r}",
+                line, position - line_start + 1,
+            )
+        column = position - line_start + 1
+        text = match.group(0)
+        if match.lastgroup == "string":
+            yield Token(STRING, _unescape(text, line, column), line, column)
+        elif match.lastgroup == "number":
+            yield Token(NUMBER, text, line, column)
+        elif match.lastgroup == "ident":
+            kind = KEYWORD if text in KEYWORDS else IDENT
+            yield Token(kind, text, line, column)
+        elif match.lastgroup in ("punct", "arrow"):
+            yield Token(PUNCT, text, line, column)
+        # whitespace and comments advance position without emitting
+        newlines = text.count("\n")
+        if newlines:
+            line += newlines
+            line_start = position + text.rindex("\n") + 1
+        position = match.end()
+    yield Token(EOF, "", line, position - line_start + 1)

@@ -1,0 +1,212 @@
+"""Recursive-descent parser for the paper's textual notation.
+
+Grammar (see :mod:`repro.text.lexer` for the token definitions)::
+
+    dataset     := data (";"? data)* ";"?
+    data        := marker_part ":" object
+    marker_part := "bottom" | IDENT ("|" IDENT)*
+    object      := primary ("|" primary)*
+    primary     := "bottom" | "true" | "false" | STRING | NUMBER
+                 | IDENT                      -- a marker object
+                 | "<" objects? ">"           -- partial set
+                 | "{" objects? "}"           -- complete set
+                 | "[" fields? "]"            -- tuple
+    objects     := object ("," object)*
+    fields      := IDENT "=>" object ("," IDENT "=>" object)*
+
+Two or more ``|``-separated primaries build an or-value; a marker part
+with several markers builds an or-value of markers (as produced by ``∪K``).
+"""
+
+from __future__ import annotations
+
+from repro.core.builder import obj as _obj
+from repro.core.data import Data, DataSet
+from repro.core.errors import ParseError
+from repro.core.objects import (
+    BOTTOM,
+    Atom,
+    CompleteSet,
+    Marker,
+    OrValue,
+    PartialSet,
+    SSObject,
+    Tuple,
+)
+from repro.text.lexer import (
+    EOF,
+    IDENT,
+    KEYWORD,
+    NUMBER,
+    PUNCT,
+    STRING,
+    Token,
+    tokenize,
+)
+
+__all__ = ["parse_object", "parse_data", "parse_dataset"]
+
+
+class _Parser:
+    def __init__(self, source: str):
+        self._tokens = list(tokenize(source))
+        self._index = 0
+
+    # -- token plumbing ------------------------------------------------------
+
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> Token:
+        token = self._current
+        if token.kind != EOF:
+            self._index += 1
+        return token
+
+    def _expect_punct(self, text: str) -> Token:
+        token = self._current
+        if token.kind != PUNCT or token.text != text:
+            raise ParseError(
+                f"expected {text!r}, found {token.describe()}",
+                token.line, token.column,
+            )
+        return self._advance()
+
+    def _at_punct(self, text: str) -> bool:
+        return self._current.kind == PUNCT and self._current.text == text
+
+    def _fail(self, message: str) -> ParseError:
+        token = self._current
+        return ParseError(
+            f"{message}, found {token.describe()}", token.line, token.column
+        )
+
+    # -- grammar -------------------------------------------------------------
+
+    def parse_object(self) -> SSObject:
+        first = self._parse_primary()
+        if not self._at_punct("|"):
+            return first
+        disjuncts = [first]
+        while self._at_punct("|"):
+            self._advance()
+            disjuncts.append(self._parse_primary())
+        return OrValue.of(*disjuncts)
+
+    def _parse_primary(self) -> SSObject:
+        token = self._current
+        if token.kind == KEYWORD:
+            self._advance()
+            if token.text == "bottom":
+                return BOTTOM
+            return Atom(token.text == "true")
+        if token.kind == STRING:
+            self._advance()
+            return Atom(token.text)
+        if token.kind == NUMBER:
+            self._advance()
+            text = token.text
+            if any(ch in text for ch in ".eE"):
+                return Atom(float(text))
+            return Atom(int(text))
+        if token.kind == IDENT:
+            self._advance()
+            return Marker(token.text)
+        if self._at_punct("<"):
+            return PartialSet(self._parse_elements("<", ">"))
+        if self._at_punct("{"):
+            return CompleteSet(self._parse_elements("{", "}"))
+        if self._at_punct("["):
+            return self._parse_tuple()
+        raise self._fail("expected an object")
+
+    def _parse_elements(self, open_: str, close: str) -> list[SSObject]:
+        self._expect_punct(open_)
+        elements: list[SSObject] = []
+        if not self._at_punct(close):
+            elements.append(self.parse_object())
+            while self._at_punct(","):
+                self._advance()
+                elements.append(self.parse_object())
+        self._expect_punct(close)
+        return elements
+
+    def _parse_tuple(self) -> Tuple:
+        self._expect_punct("[")
+        fields: list[tuple[str, SSObject]] = []
+        if not self._at_punct("]"):
+            fields.append(self._parse_field())
+            while self._at_punct(","):
+                self._advance()
+                fields.append(self._parse_field())
+        self._expect_punct("]")
+        return Tuple(fields)
+
+    def _parse_field(self) -> tuple[str, SSObject]:
+        token = self._current
+        if token.kind not in (IDENT, KEYWORD):
+            raise self._fail("expected an attribute label")
+        self._advance()
+        self._expect_punct("=>")
+        return token.text, self.parse_object()
+
+    def _parse_marker_part(self) -> SSObject:
+        token = self._current
+        if token.kind == KEYWORD and token.text == "bottom":
+            self._advance()
+            return BOTTOM
+        if token.kind != IDENT:
+            raise self._fail("expected a marker")
+        self._advance()
+        markers: list[SSObject] = [Marker(token.text)]
+        while self._at_punct("|"):
+            self._advance()
+            token = self._current
+            if token.kind != IDENT:
+                raise self._fail("expected a marker after '|'")
+            self._advance()
+            markers.append(Marker(token.text))
+        return OrValue.of(*markers)
+
+    def parse_data(self) -> Data:
+        marker_part = self._parse_marker_part()
+        self._expect_punct(":")
+        return Data(marker_part, self.parse_object())
+
+    def parse_dataset(self) -> DataSet:
+        data: list[Data] = []
+        while self._current.kind != EOF:
+            data.append(self.parse_data())
+            if self._at_punct(";"):
+                self._advance()
+        return DataSet(data)
+
+    def expect_eof(self) -> None:
+        if self._current.kind != EOF:
+            raise self._fail("trailing input after a complete parse")
+
+
+def parse_object(source: str) -> SSObject:
+    """Parse one object, e.g. ``'[a => <"x">, b => 1|2]'``."""
+    parser = _Parser(source)
+    result = parser.parse_object()
+    parser.expect_eof()
+    return result
+
+
+def parse_data(source: str) -> Data:
+    """Parse one semistructured datum ``m : O``."""
+    parser = _Parser(source)
+    result = parser.parse_data()
+    parser.expect_eof()
+    return result
+
+
+def parse_dataset(source: str) -> DataSet:
+    """Parse a whole source of ``m : O`` entries (``;`` separators
+    optional)."""
+    parser = _Parser(source)
+    result = parser.parse_dataset()
+    parser.expect_eof()
+    return result

@@ -1,0 +1,117 @@
+"""Pretty-printer for the paper's textual notation.
+
+Produces text the parser round-trips: ``parse_object(format_object(o))``
+equals ``o`` for every model object. Two modes:
+
+* compact (default): one line, minimal whitespace;
+* pretty (``indent=2`` or any positive indent): tuples and sets with more
+  than one child break across lines, matching how the paper lays out its
+  larger examples.
+
+Strings are escaped; atoms print as unambiguous literals (``true``/
+``false`` keywords for booleans, bare digits for numbers); markers print
+bare. Or-values, set elements and tuple fields appear in the canonical
+structural order, so output is deterministic.
+"""
+
+from __future__ import annotations
+
+from repro.core.data import Data, DataSet
+from repro.core.objects import (
+    Atom,
+    Bottom,
+    CompleteSet,
+    Marker,
+    OrValue,
+    PartialSet,
+    SSObject,
+    Tuple,
+)
+
+__all__ = ["format_object", "format_data", "format_dataset"]
+
+_REVERSE_ESCAPES = {"\n": "\\n", "\t": "\\t", "\r": "\\r", '"': '\\"',
+                    "\\": "\\\\"}
+
+
+def _escape(text: str) -> str:
+    return "".join(_REVERSE_ESCAPES.get(ch, ch) for ch in text)
+
+
+def _format_atom(atom: Atom) -> str:
+    value = atom.value
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, str):
+        return f'"{_escape(value)}"'
+    if isinstance(value, float):
+        text = repr(value)
+        # Guarantee a float literal shape so the parser keeps the type.
+        if not any(ch in text for ch in ".eE"):
+            text += ".0"
+        return text
+    return repr(value)
+
+
+def format_object(obj: SSObject, indent: int = 0, _level: int = 0) -> str:
+    """Render ``obj`` in the textual notation.
+
+    Args:
+        obj: any model object.
+        indent: spaces per nesting level; 0 selects compact single-line
+            output.
+    """
+    if isinstance(obj, Bottom):
+        return "bottom"
+    if isinstance(obj, Atom):
+        return _format_atom(obj)
+    if isinstance(obj, Marker):
+        return obj.name
+    if isinstance(obj, OrValue):
+        return "|".join(
+            format_object(disjunct, indent, _level) for disjunct in obj
+        )
+    if isinstance(obj, PartialSet):
+        return _format_children(
+            "<", ">",
+            [format_object(e, indent, _level + 1) for e in obj],
+            indent, _level,
+        )
+    if isinstance(obj, CompleteSet):
+        return _format_children(
+            "{", "}",
+            [format_object(e, indent, _level + 1) for e in obj],
+            indent, _level,
+        )
+    if isinstance(obj, Tuple):
+        parts = [
+            f"{label} => {format_object(value, indent, _level + 1)}"
+            for label, value in obj.items()
+        ]
+        return _format_children("[", "]", parts, indent, _level)
+    raise TypeError(f"not a model object: {type(obj).__name__}")
+
+
+def _format_children(open_: str, close: str, parts: list[str],
+                     indent: int, level: int) -> str:
+    if not parts:
+        return open_ + close
+    if indent <= 0 or len(parts) == 1:
+        return open_ + ", ".join(parts) + close
+    pad = " " * (indent * (level + 1))
+    closing_pad = " " * (indent * level)
+    body = (",\n" + pad).join(parts)
+    return f"{open_}\n{pad}{body}\n{closing_pad}{close}"
+
+
+def format_data(datum: Data, indent: int = 0) -> str:
+    """Render one datum as ``marker : object``."""
+    marker_text = format_object(datum.marker)
+    return f"{marker_text} : {format_object(datum.object, indent)}"
+
+
+def format_dataset(dataset: DataSet, indent: int = 0) -> str:
+    """Render a whole data set, one ``;``-terminated datum per block."""
+    return "\n".join(
+        format_data(datum, indent) + ";" for datum in dataset
+    )

@@ -1,0 +1,29 @@
+"""Web substrate: HTML parsing and page → model mapping (Example 2).
+
+    >>> from repro.web import page_to_data
+    >>> datum = page_to_data("www.cs.uregina.ca", html_source)
+
+URLs become markers, ``<title>`` a ``Title`` attribute, ``<h2>`` headings
+attributes, and links marker objects — ready for the expand operation.
+"""
+
+from repro.web.html_parser import (
+    HtmlElement,
+    HtmlText,
+    parse_html,
+)
+from repro.web.links import (
+    crawl_order,
+    dead_links,
+    extract_links,
+    reachable_from,
+    site_graph,
+)
+from repro.web.mapping import page_to_data, pages_to_dataset
+from repro.web.writer import data_to_page
+
+__all__ = ["parse_html", "HtmlElement", "HtmlText", "page_to_data",
+           "data_to_page",
+           "pages_to_dataset",
+           "extract_links", "site_graph", "reachable_from", "dead_links",
+           "crawl_order"]

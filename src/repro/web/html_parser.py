@@ -1,0 +1,259 @@
+"""A small, forgiving HTML parser (tokenizer + tree builder).
+
+Built from scratch for the paper's Example 2 use case: turning simple web
+pages into semistructured data. It is not a full HTML5 implementation,
+but it handles what real mid-90s-style pages (and the paper's own slightly
+broken example, which leaves ``<a>`` tags unclosed) throw at it:
+
+* start/end/self-closing tags, case-insensitive tag and attribute names;
+* attributes with double-quoted, single-quoted or bare values, and
+  valueless (boolean) attributes;
+* comments ``<!-- ... -->`` and doctype declarations (skipped);
+* void elements (``br``, ``img``, ``hr``, ...) never take children;
+* auto-closing: an unmatched end tag closes the nearest matching open
+  element; ``<li>`` closes a previous open ``<li>``, ``<p>`` a previous
+  ``<p>``; elements left open at EOF are closed silently.
+
+The result is a tree of :class:`HtmlElement` / :class:`HtmlText` nodes
+with simple querying helpers (:meth:`HtmlElement.find_all`,
+:meth:`HtmlElement.text`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.core.errors import ParseError
+
+#: Elements that never have content.
+VOID_ELEMENTS = frozenset({
+    "br", "img", "hr", "meta", "link", "input", "area", "base", "col",
+    "embed", "source", "track", "wbr",
+})
+
+#: Elements that implicitly close an open element of the same tag.
+_SELF_NESTING = frozenset({"li", "p", "tr", "td", "th", "option"})
+
+#: Elements whose raw text content is not parsed as markup.
+_RAW_TEXT = frozenset({"script", "style"})
+
+
+#: Named character references decoded in text and attribute values. The
+#: common core, not the full HTML5 table.
+_ENTITIES = {
+    "amp": "&", "lt": "<", "gt": ">", "quot": '"', "apos": "'",
+    "nbsp": " ", "copy": "©", "reg": "®",
+    "ndash": "–", "mdash": "—", "hellip": "…",
+    "ldquo": "“", "rdquo": "”", "lsquo": "‘",
+    "rsquo": "’", "eacute": "é", "egrave": "è",
+    "auml": "ä", "ouml": "ö", "uuml": "ü",
+}
+
+_ENTITY_RE = None  # compiled lazily below
+
+
+def decode_entities(text: str) -> str:
+    """Decode named (``&amp;``) and numeric (``&#65;``, ``&#x41;``)
+    character references; unknown references are left verbatim (browsers
+    are just as forgiving)."""
+    global _ENTITY_RE
+    if "&" not in text:
+        return text
+    if _ENTITY_RE is None:
+        import re
+
+        _ENTITY_RE = re.compile(r"&(#x?[0-9A-Fa-f]+|[A-Za-z][A-Za-z0-9]*);")
+
+    def replace(match):
+        body = match.group(1)
+        if body.startswith("#"):
+            try:
+                code = int(body[2:], 16) if body[1] in "xX" \
+                    else int(body[1:])
+                return chr(code)
+            except (ValueError, OverflowError):
+                return match.group(0)
+        return _ENTITIES.get(body, match.group(0))
+
+    return _ENTITY_RE.sub(replace, text)
+
+
+@dataclass
+class HtmlText:
+    """A text node (entity references already decoded)."""
+
+    content: str
+
+    def text(self) -> str:
+        """The node's text (for symmetry with :class:`HtmlElement`)."""
+        return self.content
+
+
+@dataclass
+class HtmlElement:
+    """An element node: tag, attributes and children in document order."""
+
+    tag: str
+    attrs: dict[str, str] = field(default_factory=dict)
+    children: list["HtmlElement | HtmlText"] = field(default_factory=list)
+
+    def get(self, name: str, default: str | None = None) -> str | None:
+        """Return an attribute value (case-insensitive), or ``default``."""
+        return self.attrs.get(name.lower(), default)
+
+    def text(self) -> str:
+        """All descendant text, whitespace-normalized."""
+        parts: list[str] = []
+        for node in self.children:
+            parts.append(node.text())
+        return " ".join(" ".join(parts).split())
+
+    def find_all(self, tag: str) -> Iterator["HtmlElement"]:
+        """Yield descendant elements with the given tag, document order."""
+        wanted = tag.lower()
+        for node in self.children:
+            if isinstance(node, HtmlElement):
+                if node.tag == wanted:
+                    yield node
+                yield from node.find_all(tag)
+
+    def find(self, tag: str) -> "HtmlElement | None":
+        """Return the first descendant with the given tag, if any."""
+        return next(self.find_all(tag), None)
+
+    def child_elements(self) -> list["HtmlElement"]:
+        """Direct element children (text nodes skipped)."""
+        return [node for node in self.children
+                if isinstance(node, HtmlElement)]
+
+
+def parse_html(source: str) -> HtmlElement:
+    """Parse ``source`` into a tree rooted at a synthetic ``document``
+    element.
+
+    Raises :class:`~repro.core.errors.ParseError` only for truly
+    unrecoverable input (an unterminated tag or comment at EOF); malformed
+    nesting is repaired instead, like browsers do.
+    """
+    root = HtmlElement("document")
+    stack: list[HtmlElement] = [root]
+    position = 0
+    length = len(source)
+    while position < length:
+        lt = source.find("<", position)
+        if lt == -1:
+            _append_text(stack[-1], source[position:])
+            break
+        if lt > position:
+            _append_text(stack[-1], source[position:lt])
+        if source.startswith("<!--", lt):
+            end = source.find("-->", lt + 4)
+            if end == -1:
+                raise ParseError("unterminated HTML comment")
+            position = end + 3
+            continue
+        if source.startswith("<!", lt):
+            end = source.find(">", lt)
+            if end == -1:
+                raise ParseError("unterminated <! declaration")
+            position = end + 1
+            continue
+        gt = source.find(">", lt)
+        if gt == -1:
+            raise ParseError("unterminated tag at end of input")
+        raw = source[lt + 1:gt].strip()
+        position = gt + 1
+        if not raw:
+            continue
+        if raw.startswith("/"):
+            _close_tag(stack, raw[1:].strip().lower())
+            continue
+        self_closing = raw.endswith("/")
+        if self_closing:
+            raw = raw[:-1].strip()
+        tag, attrs = _parse_tag_body(raw)
+        element = HtmlElement(tag, attrs)
+        if tag in _SELF_NESTING:
+            _auto_close_sibling(stack, tag)
+        stack[-1].children.append(element)
+        if self_closing or tag in VOID_ELEMENTS:
+            continue
+        if tag in _RAW_TEXT:
+            position = _consume_raw_text(source, position, tag, element)
+            continue
+        stack.append(element)
+    return root
+
+
+def _append_text(parent: HtmlElement, text: str) -> None:
+    if text.strip():
+        parent.children.append(HtmlText(decode_entities(text)))
+
+
+def _close_tag(stack: list[HtmlElement], tag: str) -> None:
+    for index in range(len(stack) - 1, 0, -1):
+        if stack[index].tag == tag:
+            del stack[index:]
+            return
+    # No matching open element: ignore the stray end tag.
+
+
+def _auto_close_sibling(stack: list[HtmlElement], tag: str) -> None:
+    if len(stack) > 1 and stack[-1].tag == tag:
+        stack.pop()
+
+
+def _consume_raw_text(source: str, position: int, tag: str,
+                      element: HtmlElement) -> int:
+    closer = f"</{tag}"
+    lowered = source.lower()
+    end = lowered.find(closer, position)
+    if end == -1:
+        element.children.append(HtmlText(source[position:]))
+        return len(source)
+    element.children.append(HtmlText(source[position:end]))
+    gt = source.find(">", end)
+    return len(source) if gt == -1 else gt + 1
+
+
+def _parse_tag_body(raw: str) -> tuple[str, dict[str, str]]:
+    index = 0
+    length = len(raw)
+    while index < length and not raw[index].isspace():
+        index += 1
+    tag = raw[:index].lower()
+    attrs: dict[str, str] = {}
+    while index < length:
+        while index < length and raw[index].isspace():
+            index += 1
+        if index >= length:
+            break
+        name_start = index
+        while index < length and raw[index] not in "= \t\r\n":
+            index += 1
+        name = raw[name_start:index].lower()
+        while index < length and raw[index].isspace():
+            index += 1
+        if index < length and raw[index] == "=":
+            index += 1
+            while index < length and raw[index].isspace():
+                index += 1
+            if index < length and raw[index] in "\"'":
+                quote = raw[index]
+                index += 1
+                value_start = index
+                while index < length and raw[index] != quote:
+                    index += 1
+                value = raw[value_start:index]
+                index += 1  # skip the closing quote
+            else:
+                value_start = index
+                while index < length and not raw[index].isspace():
+                    index += 1
+                value = raw[value_start:index]
+        else:
+            value = ""
+        if name:
+            attrs[name] = decode_entities(value)
+    return tag, attrs

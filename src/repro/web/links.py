@@ -1,0 +1,108 @@
+"""Link-graph utilities over web data sets.
+
+Once pages are mapped into the model (markers = URLs), the link
+structure is just "marker objects inside page objects". These helpers
+make that graph explicit: extraction, reachability, dead-link detection
+and a breadth-first crawl order — the site-level bookkeeping any
+integration pipeline over web sources needs.
+
+Implemented with plain BFS (the runtime library stays stdlib-only).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core.data import DataSet
+from repro.core.objects import Marker
+from repro.core.visitor import walk
+
+__all__ = ["extract_links", "site_graph", "reachable_from",
+           "dead_links", "crawl_order"]
+
+
+def extract_links(dataset: DataSet) -> set[tuple[Marker, Marker]]:
+    """All ``(source, target)`` link pairs in the data set.
+
+    A page links to every marker that occurs anywhere inside its object;
+    an or-marked page (a merged mirror pair) counts as a source under
+    each of its markers.
+    """
+    links: set[tuple[Marker, Marker]] = set()
+    for datum in dataset:
+        targets = {node for _, node in walk(datum.object)
+                   if isinstance(node, Marker)}
+        for source in datum.markers:
+            for target in targets:
+                links.add((source, target))
+    return links
+
+
+def site_graph(dataset: DataSet) -> dict[Marker, set[Marker]]:
+    """Adjacency mapping ``page → linked pages``.
+
+    Every page of the data set appears as a vertex, even when it has no
+    outgoing links; link targets outside the data set appear only as
+    values (see :func:`dead_links`).
+    """
+    graph: dict[Marker, set[Marker]] = {}
+    for datum in dataset:
+        for source in datum.markers:
+            graph.setdefault(source, set())
+    for source, target in extract_links(dataset):
+        graph.setdefault(source, set()).add(target)
+    return graph
+
+
+def reachable_from(dataset: DataSet, start: Marker | str,
+                   ) -> set[Marker]:
+    """Pages reachable from ``start`` by following links (``start``
+    included when it exists in the data set)."""
+    if isinstance(start, str):
+        start = Marker(start)
+    graph = site_graph(dataset)
+    if start not in graph:
+        return set()
+    seen = {start}
+    frontier = deque([start])
+    while frontier:
+        page = frontier.popleft()
+        for target in graph.get(page, ()):
+            if target not in seen:
+                seen.add(target)
+                frontier.append(target)
+    return seen
+
+
+def dead_links(dataset: DataSet) -> set[tuple[Marker, Marker]]:
+    """Links whose target is not a page of the data set.
+
+    On the open web dangling references are routine (that is why the
+    expand operation keeps unknown markers verbatim); this reports them.
+    """
+    pages = dataset.markers()
+    return {(source, target) for source, target in extract_links(dataset)
+            if target not in pages}
+
+
+def crawl_order(dataset: DataSet, start: Marker | str) -> list[Marker]:
+    """Breadth-first page order from ``start``, deterministic (ties
+    broken by marker name). Only pages present in the data set appear."""
+    if isinstance(start, str):
+        start = Marker(start)
+    pages = dataset.markers()
+    graph = site_graph(dataset)
+    if start not in graph:
+        return []
+    order: list[Marker] = [start]
+    seen = {start}
+    frontier = deque([start])
+    while frontier:
+        page = frontier.popleft()
+        for target in sorted(graph.get(page, ()),
+                             key=lambda marker: marker.name):
+            if target in pages and target not in seen:
+                seen.add(target)
+                order.append(target)
+                frontier.append(target)
+    return order

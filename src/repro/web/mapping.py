@@ -1,0 +1,125 @@
+"""Mapping web pages into the semistructured data model (Example 2).
+
+The paper represents a department home page as one datum: the page URL is
+the marker, ``<title>`` becomes a ``Title`` attribute, each ``<h2>``
+heading becomes an attribute, and hyperlinks become *marker objects* so
+that linked pages can later be expanded.
+
+The structural conventions, matching the paper's example:
+
+* an ``<h2>`` that directly wraps a link (``<h2><a href=u>Label</a></h2>``)
+  maps to ``Label ⇒ u`` — the section *is* the link;
+* an ``<h2>`` with plain text maps to an attribute named by that text; the
+  content until the next ``<h2>`` provides the value:
+
+  - a list (``<ul>``/``<ol>``) of links maps to a **complete set** of
+    one-field tuples ``[LinkText ⇒ href]`` (the list encloses exactly its
+    items — closed world);
+  - otherwise, the section's text maps to a string atom, or ``⊥`` when
+    empty.
+
+Attribute labels are the visible texts, whitespace-normalized.
+"""
+
+from __future__ import annotations
+
+from repro.core.builder import atom
+from repro.core.data import Data, DataSet
+from repro.core.objects import (
+    BOTTOM,
+    CompleteSet,
+    Marker,
+    SSObject,
+    Tuple,
+)
+from repro.web.html_parser import HtmlElement, HtmlText, parse_html
+
+__all__ = ["page_to_data", "pages_to_dataset"]
+
+_SECTION_TAGS = frozenset({"h1", "h2", "h3"})
+_LIST_TAGS = frozenset({"ul", "ol"})
+
+
+def page_to_data(url: str, html: str) -> Data:
+    """Convert one web page to a semistructured datum.
+
+    Args:
+        url: the page URL; becomes the datum's marker.
+        html: the page source.
+    """
+    document = parse_html(html)
+    fields: dict[str, SSObject] = {}
+    title = document.find("title")
+    if title is not None and title.text():
+        fields["Title"] = atom(title.text())
+    body = document.find("body") or document
+    for label, value in _sections(body):
+        if label and label not in fields:
+            fields[label] = value
+    return Data(Marker(url), Tuple(fields))
+
+
+def _sections(body: HtmlElement):
+    """Yield ``(label, value)`` for each heading-delimited section."""
+    children = _flatten_containers(body)
+    index = 0
+    while index < len(children):
+        node = children[index]
+        index += 1
+        if not isinstance(node, HtmlElement) or \
+                node.tag not in _SECTION_TAGS:
+            continue
+        link = node.find("a")
+        if link is not None and link.get("href"):
+            yield link.text(), Marker(link.get("href"))
+            continue
+        label = node.text()
+        content: list[HtmlElement | HtmlText] = []
+        while index < len(children):
+            following = children[index]
+            if isinstance(following, HtmlElement) and \
+                    following.tag in _SECTION_TAGS:
+                break
+            content.append(following)
+            index += 1
+        yield label, _section_value(content)
+
+
+def _flatten_containers(body: HtmlElement):
+    """Children of ``body`` with neutral wrappers (div/section) inlined."""
+    result: list[HtmlElement | HtmlText] = []
+    for node in body.children:
+        if isinstance(node, HtmlElement) and node.tag in ("div", "section",
+                                                          "main"):
+            result.extend(_flatten_containers(node))
+        else:
+            result.append(node)
+    return result
+
+
+def _section_value(content: list) -> SSObject:
+    for node in content:
+        if isinstance(node, HtmlElement) and node.tag in _LIST_TAGS:
+            return _list_to_set(node)
+    texts = [node.text() for node in content]
+    joined = " ".join(" ".join(texts).split())
+    if joined:
+        return atom(joined)
+    return BOTTOM
+
+
+def _list_to_set(listing: HtmlElement) -> SSObject:
+    items: list[SSObject] = []
+    for item in listing.find_all("li"):
+        link = item.find("a")
+        if link is not None and link.get("href"):
+            label = link.text() or link.get("href")
+            items.append(Tuple({label: Marker(link.get("href"))}))
+        elif item.text():
+            items.append(atom(item.text()))
+    return CompleteSet(items)
+
+
+def pages_to_dataset(pages: dict[str, str]) -> DataSet:
+    """Convert several pages (``url → html``) into one data set."""
+    return DataSet(page_to_data(url, html) for url, html in pages.items())

@@ -1,0 +1,93 @@
+"""Rendering model data back to simple HTML pages.
+
+The inverse of :mod:`repro.web.mapping` for page-shaped data, closing the
+substrate the same way :mod:`repro.bibtex.writer` closes BibTeX:
+
+* a ``Title`` attribute becomes ``<title>``;
+* a marker-valued attribute becomes a linked heading
+  (``<h2><a href=...>``);
+* a set of one-field marker tuples becomes a heading plus a ``<ul>`` of
+  links; other set elements become plain list items;
+* string/number attributes become a heading plus a paragraph;
+* or-values render **visibly** as a marked list of alternatives — a
+  conflict must never serialize as if it were settled.
+
+Round trip: ``page_to_data(url, data_to_page(datum))`` reproduces the
+datum for data in page shape (the mapping's own output shape).
+"""
+
+from __future__ import annotations
+
+from repro.core.data import Data
+from repro.core.errors import CodecError
+from repro.core.objects import (
+    Atom,
+    CompleteSet,
+    Marker,
+    OrValue,
+    PartialSet,
+    SSObject,
+    Tuple,
+)
+
+__all__ = ["data_to_page"]
+
+
+def _escape(text: str) -> str:
+    return (text.replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;").replace('"', "&quot;"))
+
+
+def data_to_page(datum: Data) -> str:
+    """Render a page-shaped datum as an HTML document."""
+    obj = datum.object
+    if not isinstance(obj, Tuple):
+        raise CodecError("only tuple-shaped data render to HTML pages")
+    title_value = obj.get("Title")
+    head = ""
+    if isinstance(title_value, Atom) and isinstance(title_value.value,
+                                                    str):
+        head = f"<head><title>{_escape(title_value.value)}</title></head>"
+    sections: list[str] = []
+    for label, value in obj.items():
+        if label == "Title":
+            continue
+        sections.append(_section(label, value))
+    body = "".join(sections)
+    return f"<html>{head}<body>{body}</body></html>"
+
+
+def _section(label: str, value: SSObject) -> str:
+    safe_label = _escape(label)
+    if isinstance(value, Marker):
+        return (f'<h2><a href="{_escape(value.name)}">{safe_label}</a>'
+                f"</h2>")
+    if isinstance(value, Atom):
+        return f"<h2>{safe_label}</h2><p>{_escape(str(value.value))}</p>"
+    if isinstance(value, (PartialSet, CompleteSet)):
+        items = "".join(_list_item(element) for element in value)
+        note = ("<p>(and possibly others)</p>"
+                if isinstance(value, PartialSet) else "")
+        return f"<h2>{safe_label}</h2><ul>{items}</ul>{note}"
+    if isinstance(value, OrValue):
+        items = "".join(_list_item(disjunct) for disjunct in value)
+        return (f"<h2>{safe_label}</h2>"
+                f"<p>conflicting sources report:</p><ul>{items}</ul>")
+    raise CodecError(
+        f"attribute {label!r}: {type(value).__name__} has no page form")
+
+
+def _list_item(element: SSObject) -> str:
+    if isinstance(element, Tuple) and len(element) == 1:
+        label = element.attributes[0]
+        target = element.get(label)
+        if isinstance(target, Marker):
+            return (f'<li><a href="{_escape(target.name)}">'
+                    f"{_escape(label)}</a></li>")
+    if isinstance(element, Atom):
+        return f"<li>{_escape(str(element.value))}</li>"
+    if isinstance(element, Marker):
+        return (f'<li><a href="{_escape(element.name)}">'
+                f"{_escape(element.name)}</a></li>")
+    raise CodecError(
+        f"list element {element!r} has no page form")

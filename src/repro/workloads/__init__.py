@@ -1,0 +1,29 @@
+"""Seeded synthetic workload generators for the scaled experiments.
+
+* :mod:`repro.workloads.bibgen` — multi-source BibTeX-style databases
+  with controlled overlap, nulls, conflicts and partial author lists
+  (experiments S1-S3);
+* :mod:`repro.workloads.webgen` — linked HTML sites in the Example 2
+  style, for web-mapping and expand benchmarks.
+"""
+
+from repro.workloads.bibgen import (
+    BibWorkload,
+    BibWorkloadSpec,
+    GroundTruthEntry,
+    generate_workload,
+)
+from repro.workloads.perturb import (
+    drop_attributes,
+    fork_source,
+    open_sets,
+    perturb_atoms,
+)
+from repro.workloads.webgen import WebWorkloadSpec, generate_site
+
+__all__ = [
+    "BibWorkloadSpec", "BibWorkload", "GroundTruthEntry",
+    "generate_workload",
+    "WebWorkloadSpec", "generate_site",
+    "drop_attributes", "perturb_atoms", "open_sets", "fork_source",
+]

@@ -1,0 +1,170 @@
+"""Perturbation toolkit: inject partiality and inconsistency into any
+data set.
+
+The bib/web generators build workloads from scratch; this module instead
+*degrades an existing data set* the way real-world copying does, so users
+can stress their own pipelines (and so failure-injection tests have a
+single, seeded implementation):
+
+* :func:`drop_attributes` — forget attribute values (``⊥``);
+* :func:`perturb_atoms` — replace atom values with plausible variants
+  (year ±1, string case/initials damage) to manufacture conflicts;
+* :func:`open_sets` — demote complete sets to partial sets, optionally
+  forgetting elements (the ``"and others"`` effect);
+* :func:`fork_source` — produce a perturbed copy with fresh markers, the
+  canonical "second source describing the same entities".
+
+All functions are pure (new data sets out, inputs untouched) and
+deterministic under their seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+from repro.core.data import Data, DataSet
+from repro.core.errors import WorkloadError
+from repro.core.objects import (
+    BOTTOM,
+    Atom,
+    CompleteSet,
+    Marker,
+    PartialSet,
+    SSObject,
+    Tuple,
+)
+
+__all__ = ["drop_attributes", "perturb_atoms", "open_sets",
+           "fork_source"]
+
+
+def _check_rate(rate: float, name: str) -> None:
+    if not 0.0 <= rate <= 1.0:
+        raise WorkloadError(f"{name} must be in [0, 1], got {rate}")
+
+
+def _map_tuples(dataset: DataSet,
+                rewrite: Callable[[Tuple], Tuple]) -> DataSet:
+    out = []
+    for datum in dataset:
+        if isinstance(datum.object, Tuple):
+            out.append(Data(datum.marker, rewrite(datum.object)))
+        else:
+            out.append(datum)
+    return DataSet(out)
+
+
+def drop_attributes(dataset: DataSet, rate: float, *, seed: int = 0,
+                    protect: frozenset[str] = frozenset(),
+                    ) -> DataSet:
+    """Forget each non-protected attribute value with probability
+    ``rate`` (the value becomes ``⊥``, i.e. the attribute disappears)."""
+    _check_rate(rate, "rate")
+    rng = random.Random(seed)
+
+    def rewrite(obj: Tuple) -> Tuple:
+        fields = {}
+        for label, value in obj.items():
+            if label not in protect and rng.random() < rate:
+                continue
+            fields[label] = value
+        return Tuple(fields)
+
+    return _map_tuples(dataset, rewrite)
+
+
+def _damage_atom(atom: Atom, rng: random.Random) -> Atom:
+    value = atom.value
+    if isinstance(value, bool):
+        return Atom(not value)
+    if isinstance(value, int):
+        return Atom(value + rng.choice((-1, 1)))
+    if isinstance(value, float):
+        return Atom(value + rng.choice((-0.5, 0.5)))
+    if not value:
+        return Atom("?")
+    words = value.split()
+    if len(words) >= 2 and rng.random() < 0.5:
+        # First word to initial: "Bob King" -> "B. King".
+        return Atom(" ".join([f"{words[0][0]}."] + words[1:]))
+    return Atom(value.swapcase())
+
+
+def perturb_atoms(dataset: DataSet, rate: float, *, seed: int = 0,
+                  protect: frozenset[str] = frozenset()) -> DataSet:
+    """Replace top-level atomic attribute values with plausible variants
+    with probability ``rate`` — years drift by one, names collapse to
+    initials, strings change case. Key attributes should be protected
+    or the damaged copies will no longer be compatible."""
+    _check_rate(rate, "rate")
+    rng = random.Random(seed)
+
+    def rewrite(obj: Tuple) -> Tuple:
+        fields = {}
+        for label, value in obj.items():
+            if label not in protect and isinstance(value, Atom) \
+                    and rng.random() < rate:
+                fields[label] = _damage_atom(value, rng)
+            else:
+                fields[label] = value
+        return Tuple(fields)
+
+    return _map_tuples(dataset, rewrite)
+
+
+def open_sets(dataset: DataSet, rate: float, *, seed: int = 0,
+              forget: float = 0.5) -> DataSet:
+    """Demote complete sets to partial sets with probability ``rate``.
+
+    Each element of a demoted set is then *forgotten* with probability
+    ``forget`` (at least one element is always kept when the set was
+    non-empty) — exactly what "Bob and others" does to an author list.
+    """
+    _check_rate(rate, "rate")
+    _check_rate(forget, "forget")
+    rng = random.Random(seed)
+
+    def demote(value: SSObject) -> SSObject:
+        if not isinstance(value, CompleteSet) or rng.random() >= rate:
+            return value
+        elements = list(value)
+        kept = [element for element in elements
+                if rng.random() >= forget]
+        if not kept and elements:
+            kept = [rng.choice(elements)]
+        return PartialSet(kept)
+
+    def rewrite(obj: Tuple) -> Tuple:
+        return Tuple((label, demote(value))
+                     for label, value in obj.items())
+
+    return _map_tuples(dataset, rewrite)
+
+
+def fork_source(dataset: DataSet, *, seed: int = 0,
+                marker_suffix: str = "-copy",
+                null_rate: float = 0.2,
+                conflict_rate: float = 0.2,
+                open_rate: float = 0.3,
+                protect: frozenset[str] = frozenset(),
+                ) -> DataSet:
+    """A perturbed copy of ``dataset`` under fresh markers.
+
+    The result simulates an independently-maintained second source: same
+    entities, renamed markers, some values forgotten, some damaged, some
+    complete sets opened. ``protect`` should contain the key attributes.
+    """
+    renamed = []
+    for datum in dataset:
+        if isinstance(datum.marker, Marker):
+            fresh: SSObject = Marker(datum.marker.name + marker_suffix)
+        else:
+            fresh = datum.marker
+        renamed.append(Data(fresh, datum.object))
+    forked = DataSet(renamed)
+    forked = drop_attributes(forked, null_rate, seed=seed,
+                             protect=protect)
+    forked = perturb_atoms(forked, conflict_rate, seed=seed + 1,
+                           protect=protect)
+    return open_sets(forked, open_rate, seed=seed + 2)

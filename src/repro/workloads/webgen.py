@@ -1,0 +1,69 @@
+"""Synthetic web-site workloads.
+
+Generates small linked HTML sites in the style of the paper's Example 2 —
+a home page with heading sections and link lists, plus the linked pages —
+to exercise the web mapping and the expand operation at scale.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.errors import WorkloadError
+
+__all__ = ["WebWorkloadSpec", "generate_site"]
+
+_SECTION_NAMES = ["People", "Programs", "Research", "Courses", "News",
+                  "Events", "Alumni", "Resources"]
+_ITEM_NAMES = ["Faculty", "Staff", "Students", "Visitors", "Postdocs",
+               "Admin", "Systems", "Theory", "Data", "AI"]
+
+
+@dataclass(frozen=True)
+class WebWorkloadSpec:
+    """Parameters for one synthetic site."""
+
+    pages: int
+    sections_per_page: int = 3
+    items_per_list: int = 4
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.pages < 1:
+            raise WorkloadError("a site needs at least one page")
+        if self.sections_per_page < 1 or self.items_per_list < 1:
+            raise WorkloadError("sections and items must be positive")
+
+
+def generate_site(spec: WebWorkloadSpec) -> dict[str, str]:
+    """Generate ``url → html`` for a linked site, deterministically.
+
+    Page 0 is the home page; every other page is reachable from some
+    page's link list, so expansion from the home page touches the whole
+    site for small fan-outs.
+    """
+    rng = random.Random(spec.seed)
+    urls = [f"page{index}.html" for index in range(spec.pages)]
+    site: dict[str, str] = {}
+    for index, url in enumerate(urls):
+        body: list[str] = []
+        for section_number in range(spec.sections_per_page):
+            name = rng.choice(_SECTION_NAMES) + f" {section_number}"
+            if rng.random() < 0.4 and spec.pages > 1:
+                target = urls[rng.randrange(spec.pages)]
+                body.append(f'<h2><a href="{target}">{name}</a></h2>')
+                continue
+            body.append(f"<h2>{name}</h2>")
+            items = []
+            for item_number in range(spec.items_per_list):
+                target = urls[rng.randrange(spec.pages)]
+                label = (rng.choice(_ITEM_NAMES)
+                         + f" {section_number}.{item_number}")
+                items.append(f'<li><a href="{target}">{label}</a></li>')
+            body.append("<ul>" + "".join(items) + "</ul>")
+        site[url] = (
+            f"<html><head><title>Page {index}</title></head>"
+            f"<body>{''.join(body)}</body></html>"
+        )
+    return site

@@ -1,0 +1,109 @@
+"""Tests for the labeled-tree baseline and its naive merge."""
+
+from repro.baselines import labeled_tree as lt
+from repro.core.builder import cset, dataset, marker, orv, pset, tup
+from repro.core.objects import BOTTOM
+
+
+class TestConversion:
+    def test_atom_leaf(self):
+        node = lt.from_model_object(tup(a="x"))
+        assert node.first("a").value == "x"
+
+    def test_bottom_vanishes(self):
+        assert lt.from_model_object(BOTTOM) is None
+
+    def test_or_value_picks_first(self):
+        node = lt.from_model_object(tup(age=orv(21, 22)))
+        assert node.first("age").value == 21
+        assert len(node.children("age")) == 1
+
+    def test_sets_lose_openness(self):
+        partial = lt.from_model_object(pset("Bob"))
+        complete = lt.from_model_object(cset("Bob"))
+        assert [c.value for c in partial.children("element")] == \
+               [c.value for c in complete.children("element")]
+
+    def test_marker_becomes_string_leaf(self):
+        assert lt.from_model_object(marker("DB")).value == "DB"
+
+    def test_from_dataset(self):
+        root = lt.from_dataset(dataset(("a", tup(x=1)), ("b", tup(x=2))))
+        assert len(root.children("entry")) == 2
+        assert sorted(root.leaves()) == [1, 2]
+
+
+class TestTreeNode:
+    def test_duplicate_label_count(self):
+        node = lt.TreeNode()
+        node.add_edge("a", lt.TreeNode(value=1))
+        node.add_edge("a", lt.TreeNode(value=2))
+        node.add_edge("b", lt.TreeNode(value=3))
+        assert node.duplicate_label_count() == 1
+
+    def test_duplicate_count_recursive(self):
+        inner = lt.TreeNode()
+        inner.add_edge("x", lt.TreeNode(value=1))
+        inner.add_edge("x", lt.TreeNode(value=2))
+        outer = lt.TreeNode()
+        outer.add_edge("in", inner)
+        assert outer.duplicate_label_count() == 1
+
+    def test_first_and_children(self):
+        node = lt.TreeNode()
+        assert node.first("missing") is None
+        child = lt.TreeNode(value=7)
+        node.add_edge("x", child)
+        assert node.first("x") is child
+
+
+class TestNaiveMerge:
+    K = ["type", "title"]
+
+    def entry_tree(self, **fields):
+        return lt.from_dataset(
+            dataset(("k", tup(type="Article", title="Oracle", **fields))))
+
+    def test_missing_fields_combine(self):
+        merged = lt.naive_merge(self.entry_tree(author="Bob"),
+                                self.entry_tree(journal="IS"), self.K)
+        entry = merged.first("entry")
+        assert entry.first("author").value == "Bob"
+        assert entry.first("journal").value == "IS"
+        assert merged.duplicate_label_count() == 0
+
+    def test_conflict_becomes_ambiguous_duplicate(self):
+        merged = lt.naive_merge(self.entry_tree(author="Ann"),
+                                self.entry_tree(author="Tom"), self.K)
+        entry = merged.first("entry")
+        authors = sorted(c.value for c in entry.children("author"))
+        assert authors == ["Ann", "Tom"]
+        # Both values survive, but nothing marks them as a conflict:
+        assert merged.duplicate_label_count() == 1
+
+    def test_equal_values_dedup(self):
+        merged = lt.naive_merge(self.entry_tree(year=1980),
+                                self.entry_tree(year=1980), self.K)
+        entry = merged.first("entry")
+        assert len(entry.children("year")) == 1
+
+    def test_unmatched_entries_pass_through(self):
+        first = lt.from_dataset(
+            dataset(("a", tup(type="Article", title="X"))))
+        second = lt.from_dataset(
+            dataset(("b", tup(type="Article", title="Y"))))
+        merged = lt.naive_merge(first, second, self.K)
+        assert len(merged.children("entry")) == 2
+
+    def test_missing_key_never_matches(self):
+        first = lt.from_dataset(dataset(("a", tup(type="Article"))))
+        second = lt.from_dataset(dataset(("b", tup(type="Article"))))
+        merged = lt.naive_merge(first, second, self.K)
+        assert len(merged.children("entry")) == 2
+
+    def test_equal_subtrees_dedup(self):
+        merged = lt.naive_merge(self.entry_tree(authors=cset("P", "Q")),
+                                self.entry_tree(authors=cset("Q", "P")),
+                                self.K)
+        entry = merged.first("entry")
+        assert len(entry.children("authors")) == 1

@@ -1,0 +1,100 @@
+"""Tests for the information-preservation metrics (experiment S2's core)."""
+
+from repro.baselines.metrics import (
+    MergeComparison,
+    compare_merges,
+    dataset_report,
+    source_atoms,
+)
+from repro.core.builder import cset, dataset, pset, tup
+from repro.core.data import DataSet
+
+K = ["type", "title"]
+
+
+def conflicting_sources():
+    first = dataset(
+        ("a", tup(type="Article", title="Oracle", author="Ann",
+                  year=1980)),
+        ("c", tup(type="Article", title="Solo", note="only-here")),
+    )
+    second = dataset(
+        ("b", tup(type="Article", title="Oracle", author="Tom",
+                  journal="IS")),
+    )
+    return first, second
+
+
+class TestSourceAtoms:
+    def test_counts_distinct_values_across_sources(self):
+        first, second = conflicting_sources()
+        atoms = source_atoms(first, second)
+        assert ("str", "Ann") in atoms
+        assert ("str", "Tom") in atoms
+        assert ("int", 1980) in atoms
+
+    def test_markers_count_as_strings(self):
+        from repro.core.builder import marker
+
+        first = dataset(("a", tup(type="t", title="x",
+                                  crossref=marker("DB"))))
+        atoms = source_atoms(first, DataSet())
+        assert ("str", "DB") in atoms
+
+
+class TestDatasetReport:
+    def test_conflicts_counted(self):
+        first, second = conflicting_sources()
+        report = dataset_report(first.union(second, K))
+        assert report.conflicts_flagged == 1  # Ann|Tom
+
+    def test_openness_detected(self):
+        ds = dataset(("a", tup(type="t", title="x", authors=pset("P"))))
+        assert dataset_report(ds).openness_preserved
+
+    def test_no_openness_without_sets(self):
+        ds = dataset(("a", tup(type="t", title="x")))
+        assert not dataset_report(ds).openness_preserved
+
+
+class TestCompareMerges:
+    def test_model_retains_everything(self):
+        first, second = conflicting_sources()
+        row = compare_merges(first, second, K)
+        assert isinstance(row, MergeComparison)
+        assert row.retention(row.model) == 1.0
+
+    def test_oem_loses_the_conflicting_value(self):
+        first, second = conflicting_sources()
+        row = compare_merges(first, second, K)
+        assert row.oem.atoms_retained < row.model.atoms_retained
+        assert row.oem.conflicts_flagged == 0
+
+    def test_tree_keeps_values_but_flags_nothing(self):
+        first, second = conflicting_sources()
+        row = compare_merges(first, second, K)
+        assert row.tree.conflicts_flagged == 0
+        assert row.tree.ambiguous_duplicates >= 1
+
+    def test_only_model_preserves_openness(self):
+        first = dataset(("a", tup(type="t", title="x",
+                                  authors=pset("P"))))
+        second = dataset(("b", tup(type="t", title="x",
+                                   authors=cset("P", "Q"))))
+        row = compare_merges(first, second, K)
+        assert row.model.openness_preserved
+        assert not row.oem.openness_preserved
+        assert not row.tree.openness_preserved
+
+    def test_disjoint_sources_all_models_retain(self):
+        first = dataset(("a", tup(type="t", title="x", p=1)))
+        second = dataset(("b", tup(type="t", title="y", q=2)))
+        row = compare_merges(first, second, K)
+        assert row.retention(row.model) == 1.0
+        assert row.retention(row.oem) == 1.0
+        assert row.retention(row.tree) == 1.0
+
+    def test_empty_sources(self):
+        row = compare_merges(DataSet(), DataSet(), K)
+        assert row.source_atoms == 0
+        assert row.retention(row.model) == 1.0

@@ -1,0 +1,106 @@
+"""Tests for the OEM baseline and its naive merge."""
+
+from repro.baselines import oem
+from repro.core.builder import cset, data, dataset, marker, orv, pset, tup
+from repro.core.objects import BOTTOM
+
+
+class TestConversion:
+    def test_atom(self):
+        db = oem.OemDatabase()
+        oid = oem.from_object(tup(a=1), db, "entry")
+        entry = db.get(oid)
+        assert not entry.is_atomic()
+        child = db.child_by_label(oid, "a")
+        assert child.value == 1
+
+    def test_bottom_vanishes(self):
+        db = oem.OemDatabase()
+        oid = oem.from_object(BOTTOM, db, "x")
+        assert oid is None
+
+    def test_bottom_attribute_dropped(self):
+        db = oem.OemDatabase()
+        # tup() drops the ⊥ field itself; simulate via absent attribute.
+        oid = oem.from_object(tup(a=1), db, "entry")
+        assert db.child_by_label(oid, "zzz") is None
+
+    def test_or_value_picks_one_side(self):
+        db = oem.OemDatabase()
+        oid = oem.from_object(tup(age=orv(21, 22)), db, "entry")
+        age = db.child_by_label(oid, "age")
+        assert age.value in (21, 22)
+        # Deterministic: structurally-first disjunct.
+        assert age.value == 21
+
+    def test_partial_and_complete_sets_indistinguishable(self):
+        db1, db2 = oem.OemDatabase(), oem.OemDatabase()
+        oid1 = oem.from_object(pset("Bob"), db1, "authors")
+        oid2 = oem.from_object(cset("Bob"), db2, "authors")
+        shape1 = [(c.label, c.value) for c in db1.children_of(oid1)]
+        shape2 = [(c.label, c.value) for c in db2.children_of(oid2)]
+        assert shape1 == shape2  # the openness distinction is gone
+
+    def test_marker_becomes_string(self):
+        db = oem.OemDatabase()
+        oid = oem.from_object(marker("DB"), db, "crossref")
+        assert db.get(oid).value == "DB"
+
+    def test_from_dataset_roots(self):
+        ds = dataset(("a", tup(x=1)), ("b", tup(x=2)))
+        db = oem.from_dataset(ds)
+        assert len(db.roots) == 2
+        assert sorted(db.atoms()) == [1, 2]
+
+
+class TestNaiveMerge:
+    K = ["type", "title"]
+
+    def source(self, key, **fields):
+        return dataset((key, tup(type="Article", title="Oracle",
+                                 **fields)))
+
+    def test_matching_entries_combine_missing_fields(self):
+        first = oem.from_dataset(self.source("B80", author="Bob",
+                                             year=1980))
+        second = oem.from_dataset(self.source("B82", journal="IS"))
+        merged = oem.naive_merge(first, second, self.K)
+        assert len(merged.roots) == 1
+        root = merged.roots[0]
+        assert merged.child_by_label(root, "author").value == "Bob"
+        assert merged.child_by_label(root, "journal").value == "IS"
+
+    def test_conflicting_value_silently_dropped(self):
+        first = oem.from_dataset(self.source("a", author="Ann"))
+        second = oem.from_dataset(self.source("b", author="Tom"))
+        merged = oem.naive_merge(first, second, self.K)
+        root = merged.roots[0]
+        authors = [c.value for c in merged.children_of(root)
+                   if c.label == "author"]
+        assert authors == ["Ann"]  # "Tom" is gone, with no trace
+
+    def test_unmatched_entries_pass_through(self):
+        first = oem.from_dataset(
+            dataset(("a", tup(type="Article", title="X", n=1))))
+        second = oem.from_dataset(
+            dataset(("b", tup(type="Article", title="Y", n=2))))
+        merged = oem.naive_merge(first, second, self.K)
+        assert len(merged.roots) == 2
+
+    def test_entry_missing_key_never_matches(self):
+        first = oem.from_dataset(dataset(("a", tup(type="Article", n=1))))
+        second = oem.from_dataset(dataset(("b", tup(type="Article", n=2))))
+        merged = oem.naive_merge(first, second, self.K)
+        assert len(merged.roots) == 2
+
+    def test_merge_preserves_subtrees(self):
+        first = oem.from_dataset(
+            dataset(("a", tup(type="Article", title="X",
+                              authors=cset("P", "Q")))))
+        second = oem.from_dataset(
+            dataset(("b", tup(type="Article", title="X", year=2000))))
+        merged = oem.naive_merge(first, second, self.K)
+        root = merged.roots[0]
+        authors = merged.child_by_label(root, "authors")
+        values = sorted(c.value for c in merged.children_of(authors.oid))
+        assert values == ["P", "Q"]

@@ -1,0 +1,72 @@
+"""Tests for LaTeX markup decoding."""
+
+import pytest
+
+from repro.bibtex.latex import latex_to_text
+from repro.bibtex.mapping import DEFAULT_POLICY, entry_to_data
+from repro.bibtex.parser import BibEntry
+from repro.core.builder import cset
+from repro.core.objects import Atom
+
+
+class TestLatexToText:
+    @pytest.mark.parametrize("source,expected", [
+        (r'G{\"o}del', "Gödel"),
+        (r"\'etude", "étude"),
+        (r"\`a la carte", "à la carte"),
+        (r"\^ile", "île"),
+        (r"\~nandu", "ñandu"),
+        (r"\c{c}a", "ça"),
+        (r"\v{S}koda", "Škoda"),
+        (r"Erd\H{o}s", "Erdős"),
+        (r"{\aa}ngstr\"om", "ångström"),
+        (r"\ss", "ß"),
+        (r"\o re", "øre"),
+        (r"\L{}\'od\'z", "Łódź"),
+        (r"Smith \& Jones", "Smith & Jones"),
+        (r"100\% sure \$5 \#1 a\_b", "100% sure $5 #1 a_b"),
+        ("1--10", "1–10"),
+        ("wait --- what", "wait — what"),
+        ("``scare quotes''", "“scare quotes”"),
+        ("{Protected Title}", "Protected Title"),
+        ("nothing special", "nothing special"),
+    ])
+    def test_decoding(self, source, expected):
+        assert latex_to_text(source) == expected
+
+    def test_unknown_commands_preserved(self):
+        assert latex_to_text(r"\mathcal{X} stays") == r"\mathcal{X} stays"
+        assert "\\emph" in latex_to_text(r"\emph important")
+
+    def test_idempotent_on_decoded_text(self):
+        decoded = latex_to_text(r'G{\"o}del --- \ss')
+        assert latex_to_text(decoded) == decoded
+
+
+class TestPolicyIntegration:
+    def test_accented_author_names_compare_equal(self):
+        plain = entry_to_data(BibEntry("article", "a",
+                                       {"author": "Kurt Gödel"}))
+        texed = entry_to_data(BibEntry("article", "b",
+                                       {"author": r'Kurt G{\"o}del'}))
+        assert plain.object["author"] == texed.object["author"] == \
+            cset("Kurt Gödel")
+
+    def test_title_markup_decoded(self):
+        entry = entry_to_data(BibEntry("article", "k", {
+            "title": r"On {Datalog} --- a survey"}))
+        assert entry.object["title"] == Atom("On Datalog – a survey") or \
+            entry.object["title"] == Atom("On Datalog — a survey")
+
+    def test_decode_latex_off(self):
+        policy = DEFAULT_POLICY.with_fields(decode_latex=False)
+        entry = entry_to_data(BibEntry("article", "k",
+                                       {"note": r"\'etude"}), policy)
+        assert entry.object["note"] == Atom(r"\'etude")
+
+    def test_marker_fields_never_decoded(self):
+        entry = entry_to_data(BibEntry("inbook", "k",
+                                       {"crossref": "DB"}))
+        from repro.core.objects import Marker
+
+        assert entry.object["crossref"] == Marker("DB")

@@ -1,0 +1,186 @@
+"""Tests for the BibTeX ↔ model mapping (the paper's Example 1)."""
+
+import pytest
+
+from repro.bibtex.mapping import (
+    DEFAULT_POLICY,
+    BibMappingPolicy,
+    entry_to_data,
+    parse_bib_source,
+)
+from repro.bibtex.parser import BibEntry
+from repro.bibtex.writer import data_to_bibtex, dataset_to_bibtex
+from repro.core.builder import cset, data, marker, orv, pset, tup
+from repro.core.data import Data
+from repro.core.errors import CodecError
+from repro.core.expand import expand_data
+from repro.core.objects import Atom, Marker
+
+EXAMPLE1_SOURCE = """
+@InBook{Bob,
+   author = "Bob and others",
+   title = "Oracle",
+   crossref = "DB"}
+
+@Book{DB,
+   booktitle = "Database",
+   editor = "John",
+   year = 1999}
+"""
+
+
+class TestExample1:
+    """The paper's Example 1, end to end."""
+
+    def test_mapping_matches_paper(self):
+        ds = parse_bib_source(EXAMPLE1_SOURCE)
+        expected_bob = data("Bob", tup(
+            type="InBook", author=pset("Bob"), title="Oracle",
+            crossref=marker("DB")))
+        expected_db = data("DB", tup(
+            type="Book", booktitle="Database", editor=cset("John"),
+            year=1999))
+        assert ds.find("Bob") == expected_bob
+        assert ds.find("DB") == expected_db
+
+    def test_both_entries_real(self):
+        ds = parse_bib_source(EXAMPLE1_SOURCE)
+        assert all(d.is_real() for d in ds)
+
+    def test_crossref_expands(self):
+        ds = parse_bib_source(EXAMPLE1_SOURCE)
+        expanded = expand_data(ds.find("Bob"), ds)
+        assert expanded.object["crossref"]["booktitle"] == Atom("Database")
+
+
+class TestFieldMapping:
+    def test_partial_vs_complete_author_sets(self):
+        partial = entry_to_data(
+            BibEntry("article", "k", {"author": "Bob and others"}))
+        complete = entry_to_data(
+            BibEntry("article", "k", {"author": "Bob and Tom"}))
+        assert partial.object["author"] == pset("Bob")
+        assert complete.object["author"] == cset("Bob", "Tom")
+
+    def test_name_normalization_on_by_default(self):
+        d = entry_to_data(
+            BibEntry("article", "k", {"author": "Ling, Tok Wang"}))
+        assert d.object["author"] == cset("Tok Wang Ling")
+
+    def test_name_normalization_off(self):
+        policy = DEFAULT_POLICY.with_fields(normalize_names=False)
+        d = entry_to_data(
+            BibEntry("article", "k", {"author": "Ling, Tok Wang"}), policy)
+        assert d.object["author"] == cset("Ling, Tok Wang")
+
+    def test_year_becomes_int(self):
+        d = entry_to_data(BibEntry("article", "k", {"year": "1980"}))
+        assert d.object["year"] == Atom(1980)
+
+    def test_non_numeric_year_stays_string(self):
+        d = entry_to_data(BibEntry("article", "k", {"year": "c. 1980"}))
+        assert d.object["year"] == Atom("c. 1980")
+
+    def test_crossref_becomes_marker(self):
+        d = entry_to_data(BibEntry("inbook", "k", {"crossref": "DB"}))
+        assert d.object["crossref"] == Marker("DB")
+
+    def test_plain_fields_stay_atoms(self):
+        d = entry_to_data(BibEntry("article", "k", {"journal": "IS"}))
+        assert d.object["journal"] == Atom("IS")
+
+    def test_entry_type_display_case(self):
+        assert entry_to_data(
+            BibEntry("inproceedings", "k", {}))\
+            .object["type"] == Atom("InProc")
+        lower = DEFAULT_POLICY.with_fields(keep_entry_type_case=False)
+        assert entry_to_data(
+            BibEntry("inproceedings", "k", {}), lower)\
+            .object["type"] == Atom("inproceedings")
+
+    def test_policy_customization(self):
+        policy = BibMappingPolicy(name_fields=frozenset({"editor"}),
+                                  int_fields=frozenset())
+        d = entry_to_data(
+            BibEntry("book", "k", {"author": "A and B", "year": "1999"}),
+            policy)
+        assert d.object["author"] == Atom("A and B")
+        assert d.object["year"] == Atom("1999")
+
+
+class TestWriter:
+    def test_round_trip_through_bibtex(self):
+        ds = parse_bib_source(EXAMPLE1_SOURCE)
+        text = dataset_to_bibtex(ds)
+        again = parse_bib_source(text)
+        assert again == ds
+
+    def test_partial_set_writes_and_others(self):
+        d = data("k", tup(type="Article", author=pset("Bob")))
+        assert "Bob and others" in data_to_bibtex(d)
+
+    def test_complete_set_writes_plain_list(self):
+        d = data("k", tup(type="Article", author=cset("Ann", "Bob")))
+        text = data_to_bibtex(d)
+        assert "Ann and Bob" in text
+        assert "others" not in text
+
+    def test_int_fields_unbraced(self):
+        d = data("k", tup(type="Article", year=1980))
+        assert "year = 1980" in data_to_bibtex(d)
+
+    def test_marker_field(self):
+        d = data("k", tup(type="InBook", crossref=marker("DB")))
+        assert "crossref = {DB}" in data_to_bibtex(d)
+
+    def test_or_marker_key_joined(self):
+        d = Data(orv(marker("B80"), marker("B82")), tup(type="Article"))
+        assert data_to_bibtex(d).startswith("@Article{B80+B82")
+
+    def test_conflict_raises_by_default(self):
+        d = data("k", tup(type="Article", year=orv(1980, 1981)))
+        with pytest.raises(CodecError):
+            data_to_bibtex(d)
+
+    def test_conflict_comment_mode(self):
+        d = data("k", tup(type="Article", year=orv(1980, 1981)))
+        text = data_to_bibtex(d, on_conflict="comment")
+        assert "%% conflict on year" in text
+        assert "1980" in text and "1981" in text
+
+    def test_non_tuple_data_rejected(self):
+        with pytest.raises(CodecError):
+            data_to_bibtex(data("k", Atom(1)))
+
+    def test_missing_type_rejected(self):
+        with pytest.raises(CodecError):
+            data_to_bibtex(data("k", tup(title="x")))
+
+    def test_set_of_non_strings_rejected(self):
+        d = data("k", tup(type="Article", author=cset(1, 2)))
+        with pytest.raises(CodecError):
+            data_to_bibtex(d)
+
+
+class TestMergeScenario:
+    """The paper's §1 motivation: merging two bib databases."""
+
+    def test_merging_two_sources(self):
+        source_a = """
+        @Article{B80, title = "Oracle", author = "Bob and others",
+                 year = 1980}
+        """
+        source_b = """
+        @Article{B82, title = "Oracle", author = "Bob and Tom",
+                 journal = "IS"}
+        """
+        merged = parse_bib_source(source_a).union(
+            parse_bib_source(source_b), key={"type", "title"})
+        assert len(merged) == 1
+        combined = next(iter(merged))
+        # Partial ⟨Bob⟩ is absorbed by complete {Bob, Tom} (Def 8(3)).
+        assert combined.object["author"] == cset("Bob", "Tom")
+        assert combined.object["year"] == Atom(1980)
+        assert combined.object["journal"] == Atom("IS")
+        assert combined.markers == frozenset(
+            {Marker("B80"), Marker("B82")})

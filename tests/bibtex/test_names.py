@@ -1,0 +1,128 @@
+"""Tests for BibTeX name-list parsing and normalization."""
+
+import pytest
+
+from repro.bibtex.names import (
+    NameList,
+    PersonName,
+    normalize_name,
+    parse_name,
+    parse_name_list,
+    split_name_list,
+)
+
+
+class TestSplitNameList:
+    def test_simple(self):
+        assert split_name_list("Bob and Tom") == ["Bob", "Tom"]
+
+    def test_case_insensitive_and(self):
+        assert split_name_list("Bob AND Tom") == ["Bob", "Tom"]
+
+    def test_and_inside_braces_protected(self):
+        assert split_name_list("{Simon and Schuster} and Tom") == [
+            "Simon and Schuster", "Tom"]
+
+    def test_word_containing_and_not_split(self):
+        assert split_name_list("Anderson and Sandy") == [
+            "Anderson", "Sandy"]
+
+    def test_single_name(self):
+        assert split_name_list("Knuth") == ["Knuth"]
+
+    def test_empty(self):
+        assert split_name_list("") == []
+
+    def test_extra_whitespace(self):
+        assert split_name_list("  Bob   and\n Tom ") == ["Bob", "Tom"]
+
+
+class TestParseName:
+    def test_first_last(self):
+        assert parse_name("Donald Knuth") == PersonName(
+            first="Donald", last="Knuth")
+
+    def test_multiple_first_names(self):
+        assert parse_name("Tok Wang Ling") == PersonName(
+            first="Tok Wang", last="Ling")
+
+    def test_last_comma_first(self):
+        assert parse_name("Ling, Tok Wang") == PersonName(
+            first="Tok Wang", last="Ling")
+
+    def test_von_part_space_form(self):
+        assert parse_name("Ludwig van Beethoven") == PersonName(
+            first="Ludwig", von="van", last="Beethoven")
+
+    def test_von_part_comma_form(self):
+        assert parse_name("van Beethoven, Ludwig") == PersonName(
+            first="Ludwig", von="van", last="Beethoven")
+
+    def test_multi_word_von(self):
+        assert parse_name("Jan van der Berg") == PersonName(
+            first="Jan", von="van der", last="Berg")
+
+    def test_jr_form(self):
+        assert parse_name("King, Jr, Martin Luther") == PersonName(
+            first="Martin Luther", last="King", jr="Jr")
+
+    def test_single_word_is_last_name(self):
+        assert parse_name("Knuth") == PersonName(last="Knuth")
+
+    def test_initials(self):
+        assert parse_name("D. E. Knuth") == PersonName(
+            first="D. E.", last="Knuth")
+
+    def test_empty(self):
+        assert parse_name("  ") == PersonName()
+
+
+class TestPersonName:
+    def test_display(self):
+        assert PersonName(first="Tok Wang", last="Ling").display() == (
+            "Tok Wang Ling")
+        assert PersonName(first="L", von="van", last="B",
+                          jr="Jr").display() == "L van B, Jr"
+
+    def test_sort_key_orders_by_last_name(self):
+        names = [parse_name("Ben Zorn"), parse_name("Al Aho")]
+        assert sorted(names, key=PersonName.sort_key)[0].last == "Aho"
+
+    def test_initials_display(self):
+        assert parse_name("Donald Ervin Knuth").initials_display() == (
+            "D. E. Knuth")
+
+
+class TestParseNameList:
+    def test_complete_list(self):
+        result = parse_name_list("Bob and Tom")
+        assert result == NameList(
+            (PersonName(last="Bob"), PersonName(last="Tom")), False)
+
+    def test_others_marks_partial(self):
+        result = parse_name_list("Bob and others")
+        assert result.partial
+        assert [n.last for n in result.names] == ["Bob"]
+
+    def test_others_case_insensitive(self):
+        assert parse_name_list("Bob and Others").partial
+
+    def test_only_others(self):
+        result = parse_name_list("others")
+        assert result.partial
+        assert result.names == ()
+
+    def test_mixed_forms(self):
+        result = parse_name_list("Knuth, Donald and Tok Wang Ling")
+        assert [n.display() for n in result.names] == [
+            "Donald Knuth", "Tok Wang Ling"]
+
+
+class TestNormalizeName:
+    @pytest.mark.parametrize("variant", [
+        "Tok Wang Ling", "Ling, Tok Wang", "  Tok   Wang   Ling "])
+    def test_variants_normalize_equal(self, variant):
+        assert normalize_name(variant) == "Tok Wang Ling"
+
+    def test_von_preserved(self):
+        assert normalize_name("van Gogh, Vincent") == "Vincent van Gogh"

@@ -1,0 +1,147 @@
+"""Tests for the BibTeX parser."""
+
+import pytest
+
+from repro.bibtex.parser import BibEntry, parse_bibtex
+from repro.core.errors import ParseError
+
+EXAMPLE1 = """
+@InBook{Bob,
+   author = "Bob and others",
+   title = "Oracle",
+   crossref = DBkey}
+
+@Book{DBkey,
+   booktitle = "Database",
+   editor = "John",
+   year = 1999}
+"""
+
+
+class TestBasicParsing:
+    def test_example1_shape(self):
+        # 'crossref = DB' in the paper is macro syntax; real BibTeX treats
+        # bare words as @string macros, so the fixture defines none and
+        # quotes nothing — we use a key that is not a macro on purpose.
+        bib = parse_bibtex(EXAMPLE1.replace("DBkey", '"DB"'))
+        assert len(bib) == 2
+        first = bib.entries[0]
+        assert first.entry_type == "inbook"
+        assert first.key == "Bob"
+        assert first.get("author") == "Bob and others"
+        assert first.get("crossref") == "DB"
+        second = bib.entries[1]
+        assert second.get("year") == "1999"
+
+    def test_field_names_case_insensitive(self):
+        bib = parse_bibtex('@misc{k, TITLE = "T"}')
+        assert bib.entries[0].get("Title") == "T"
+        assert "tItLe" in bib.entries[0]
+
+    def test_braced_values(self):
+        bib = parse_bibtex("@misc{k, title = {Braced {Nested} Value}}")
+        assert bib.entries[0].get("title") == "Braced {Nested} Value"
+
+    def test_quoted_values_with_inner_braces(self):
+        bib = parse_bibtex('@misc{k, title = "A {"}quoted{"} brace"}')
+        assert bib.entries[0].get("title") == 'A {"}quoted{"} brace'
+
+    def test_numeric_values(self):
+        bib = parse_bibtex("@misc{k, year = 1980}")
+        assert bib.entries[0].get("year") == "1980"
+
+    def test_parenthesis_form(self):
+        bib = parse_bibtex('@misc(k, title = "T")')
+        assert bib.entries[0].key == "k"
+
+    def test_trailing_comma_allowed(self):
+        bib = parse_bibtex('@misc{k, title = "T",}')
+        assert bib.entries[0].get("title") == "T"
+
+    def test_free_text_between_entries_ignored(self):
+        bib = parse_bibtex('junk text @misc{a, x="1"} more junk '
+                           '@misc{b, x="2"} tail')
+        assert [e.key for e in bib] == ["a", "b"]
+
+    def test_whitespace_normalized_in_values(self):
+        bib = parse_bibtex('@misc{k, title = "Two\n   lines  here"}')
+        assert bib.entries[0].get("title") == "Two lines here"
+
+    def test_entry_line_numbers(self):
+        bib = parse_bibtex('\n\n@misc{k, x="1"}')
+        assert bib.entries[0].line == 3
+
+    def test_empty_source(self):
+        assert len(parse_bibtex("")) == 0
+
+    def test_by_key(self):
+        bib = parse_bibtex('@misc{a, x="1"} @misc{b, x="2"}')
+        assert bib.by_key("b").get("x") == "2"
+        assert bib.by_key("zz") is None
+
+
+class TestMacros:
+    def test_string_macro_definition_and_use(self):
+        bib = parse_bibtex(
+            '@string{tods = "ACM Transactions on Database Systems"}\n'
+            "@article{k, journal = tods}"
+        )
+        assert bib.entries[0].get("journal") == (
+            "ACM Transactions on Database Systems")
+        assert "tods" in bib.macros
+
+    def test_month_macros_predefined(self):
+        bib = parse_bibtex("@misc{k, month = mar}")
+        assert bib.entries[0].get("month") == "March"
+
+    def test_concatenation(self):
+        bib = parse_bibtex(
+            '@string{pre = "Vol. "}\n@misc{k, note = pre # "7"}')
+        assert bib.entries[0].get("note") == "Vol. 7"
+
+    def test_external_macros_argument(self):
+        bib = parse_bibtex("@misc{k, journal = is}",
+                           macros={"IS": "Information Systems"})
+        assert bib.entries[0].get("journal") == "Information Systems"
+
+    def test_undefined_macro_rejected(self):
+        with pytest.raises(ParseError):
+            parse_bibtex("@misc{k, journal = nosuchmacro}")
+
+
+class TestSkippedBlocks:
+    def test_comment_block(self):
+        bib = parse_bibtex('@comment{ anything {nested} } @misc{k, x="1"}')
+        assert len(bib) == 1
+
+    def test_preamble_block(self):
+        bib = parse_bibtex('@preamble{ "\\newcommand{x}" } @misc{k, x="1"}')
+        assert len(bib) == 1
+
+
+class TestErrors:
+    @pytest.mark.parametrize("source", [
+        "@misc{k, title = {unbalanced }",
+        '@misc{k, title = "unterminated}',
+        "@misc{k, title 1980}",
+        "@misc{, x = 1}",
+        "@misc k, x = 1}",
+        "@misc{k, = 1}",
+        "@misc{k, x = @}",
+        "@comment{never closed",
+    ])
+    def test_malformed(self, source):
+        with pytest.raises(ParseError):
+            parse_bibtex(source)
+
+    def test_error_reports_line(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_bibtex("\n\n@misc{k, x = nomacro}")
+        assert excinfo.value.line == 3
+
+
+class TestBibEntry:
+    def test_get_default(self):
+        entry = BibEntry("misc", "k", {"x": "1"})
+        assert entry.get("missing") is None
+        assert entry.get("missing", "d") == "d"

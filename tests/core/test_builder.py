@@ -1,0 +1,109 @@
+"""Tests for the ergonomic builder helpers."""
+
+import pytest
+
+from repro.core.builder import (
+    atom,
+    bottom,
+    cset,
+    data,
+    dataset,
+    marker,
+    obj,
+    orv,
+    pset,
+    tup,
+)
+from repro.core.data import Data, DataSet
+from repro.core.errors import InvalidObjectError
+from repro.core.objects import (
+    BOTTOM,
+    Atom,
+    CompleteSet,
+    Marker,
+    OrValue,
+    PartialSet,
+    Tuple,
+)
+
+
+class TestObj:
+    def test_passthrough(self):
+        a = Atom(1)
+        assert obj(a) is a
+
+    def test_none_is_bottom(self):
+        assert obj(None) is BOTTOM
+        assert bottom is BOTTOM
+
+    @pytest.mark.parametrize("value,expected", [
+        ("s", Atom("s")), (3, Atom(3)), (2.5, Atom(2.5)),
+        (True, Atom(True)),
+    ])
+    def test_scalars(self, value, expected):
+        assert obj(value) == expected
+
+    def test_dict_becomes_tuple(self):
+        assert obj({"a": 1, "b": None}) == Tuple({"a": Atom(1)})
+
+    def test_python_set_becomes_complete_set(self):
+        assert obj({1, 2}) == CompleteSet([Atom(1), Atom(2)])
+        assert obj(frozenset({"x"})) == CompleteSet([Atom("x")])
+
+    def test_sequences_rejected(self):
+        with pytest.raises(InvalidObjectError):
+            obj([1, 2])
+        with pytest.raises(InvalidObjectError):
+            obj((1, 2))
+
+    def test_unknown_types_rejected(self):
+        with pytest.raises(InvalidObjectError):
+            obj(object())
+
+    def test_nested_conversion(self):
+        converted = obj({"names": {"x"}, "inner": {"k": 1}})
+        assert converted == Tuple({
+            "names": CompleteSet([Atom("x")]),
+            "inner": Tuple({"k": Atom(1)}),
+        })
+
+
+class TestBuilders:
+    def test_atom_and_marker(self):
+        assert atom(5) == Atom(5)
+        assert marker("m") == Marker("m")
+
+    def test_tup_kwargs(self):
+        assert tup(a=1, b="x") == Tuple({"a": Atom(1), "b": Atom("x")})
+
+    def test_tup_mapping_plus_kwargs(self):
+        built = tup({"a": 1, "b": 2}, b=3)
+        assert built == Tuple({"a": Atom(1), "b": Atom(3)})
+
+    def test_tup_empty(self):
+        assert tup() == Tuple()
+
+    def test_pset_cset(self):
+        assert pset(1, 2) == PartialSet([Atom(1), Atom(2)])
+        assert cset() == CompleteSet()
+        assert pset(tup(a=1)) == PartialSet([Tuple({"a": Atom(1)})])
+
+    def test_orv(self):
+        assert orv(1, 2) == OrValue([Atom(1), Atom(2)])
+        assert orv(1) == Atom(1)
+        assert orv(1, orv(2, 3)) == OrValue([Atom(1), Atom(2), Atom(3)])
+
+    def test_data_from_string_marker(self):
+        d = data("B80", {"type": "Article"})
+        assert d == Data(Marker("B80"), Tuple({"type": Atom("Article")}))
+
+    def test_data_from_or_marker(self):
+        d = data(orv(marker("a"), marker("b")), 1)
+        assert d.markers == frozenset({Marker("a"), Marker("b")})
+
+    def test_dataset_from_pairs_and_data(self):
+        d = data("x", 1)
+        ds = dataset(d, ("y", {"a": 2}))
+        assert isinstance(ds, DataSet)
+        assert len(ds) == 2
+        assert ds.find("y").object == tup(a=2)

@@ -1,0 +1,130 @@
+"""Tests for key-based compatibility (Definitions 6-7).
+
+The incompatible cases are the paper's own list below Definition 6; the
+compatible cases reconstruct the kinds of pairs the definition admits.
+"""
+
+import pytest
+
+from repro.core.builder import cset, data, marker, orv, pset, tup
+from repro.core.compatibility import (
+    check_key,
+    compatible,
+    compatible_data,
+    find_compatible,
+)
+from repro.core.errors import EmptyKeyError
+from repro.core.objects import BOTTOM, Atom
+
+K = frozenset({"A", "B"})
+
+
+class TestCheckKey:
+    def test_normalizes(self):
+        assert check_key(["A", "B", "A"]) == K
+
+    def test_rejects_empty(self):
+        with pytest.raises(EmptyKeyError):
+            check_key([])
+
+    def test_rejects_bad_labels(self):
+        with pytest.raises(EmptyKeyError):
+            check_key(["A", ""])
+        with pytest.raises(EmptyKeyError):
+            check_key([1])
+
+
+class TestCompatiblePairs:
+    @pytest.mark.parametrize("first,second", [
+        (Atom("a"), Atom("a")),                                   # (1)
+        (Atom(1999), Atom(1999)),                                 # (1)
+        (marker("DB"), marker("DB")),                             # (2)
+        (orv("a1", "a2"), orv("a2", "a1")),                       # (3)
+        (cset("a1", "a2"), cset("a2", "a1")),                     # (4)
+        # (5): equal K attributes carry the compatibility.
+        (tup(A="a1", B="b1", C="c1"), tup(A="a1", B="b1", D="d1")),
+        (tup(A="a1", B="b1", C=BOTTOM), tup(A="a1", B="b1", C="c")),
+        # (5) with non-atomic key values: or-values and complete sets.
+        (tup(A=orv("x", "y"), B="b"), tup(A=orv("y", "x"), B="b")),
+        (tup(A=cset("x"), B="b"), tup(A=cset("x"), B="b")),
+        # (5) nested: key attribute holds a tuple whose own K attributes
+        # are compatible.
+        (tup(A=tup(A="i", B="j"), B="b"), tup(A=tup(A="i", B="j", C="k"),
+                                              B="b")),
+    ])
+    def test_compatible(self, first, second):
+        assert compatible(first, second, K)
+
+
+class TestIncompatiblePairs:
+    """The paper's list of non-compatible pairs for K = {A, B}."""
+
+    @pytest.mark.parametrize("first,second", [
+        (BOTTOM, BOTTOM),
+        (Atom("a"), BOTTOM),
+        (Atom("a1"), Atom("a2")),
+        (orv("a1", "a2"), orv("a1", "a2", "a3")),
+        (pset("a1"), pset("a1", "a2")),
+        (pset("a1"), cset("a1", "a2")),
+        (pset("a1"), cset("a2", "a3")),
+        (tup(A="a1", B=BOTTOM, C=cset("c1")),
+         tup(A="a1", B=BOTTOM, C=cset("c1"))),
+        (tup(A=BOTTOM, B="b1", C=cset("c1")),
+         tup(A=BOTTOM, B="b2", C=cset("c1"))),
+    ])
+    def test_not_compatible(self, first, second):
+        assert not compatible(first, second, K)
+
+    def test_identical_partial_sets_incompatible(self):
+        assert not compatible(pset("a1"), pset("a1"), K)
+
+    def test_or_values_with_bottom_incompatible_even_if_equal(self):
+        ov = orv(BOTTOM, "a1")
+        assert not compatible(ov, ov, K)
+
+    def test_partial_set_under_key_attribute_poisons_tuples(self):
+        t = tup(A=pset("x"), B="b")
+        assert not compatible(t, t, K)
+
+    def test_mixed_kinds_incompatible(self):
+        assert not compatible(Atom("a"), marker("a"), K)
+        assert not compatible(Atom("a1"), tup(A="a1"), K)
+        assert not compatible(cset("a"), pset("a"), K)
+        assert not compatible(orv("a", "b"), Atom("a"), K)
+
+    def test_complete_sets_unequal(self):
+        assert not compatible(cset("a1", "a2"), cset("a1"), K)
+
+
+class TestPaperSection3Pair:
+    B80 = tup(type="Article", title="Oracle", author="Bob", year=1980)
+    B82 = tup(type="Article", title="Oracle", year=1980, journal="IS")
+
+    def test_compatible_on_type_title(self):
+        assert compatible(self.B80, self.B82, {"type", "title"})
+
+    def test_incompatible_with_author_in_key(self):
+        # B82 has author = ⊥, and ⊥ matches nothing.
+        assert not compatible(self.B80, self.B82,
+                              {"type", "title", "author"})
+
+    def test_incompatible_with_author_and_year(self):
+        assert not compatible(self.B80, self.B82,
+                              {"type", "title", "author", "year"})
+
+    def test_data_compatibility_ignores_markers(self):
+        d1 = data("B80", self.B80)
+        d2 = data("B82", self.B82)
+        assert compatible_data(d1, d2, frozenset({"type", "title"}))
+
+
+class TestFindCompatible:
+    def test_returns_matches_in_order(self):
+        probe = tup(A="a", B="b", C="c1")
+        candidates = [
+            tup(A="a", B="b", C="c2"),
+            tup(A="zzz", B="b"),
+            tup(A="a", B="b"),
+        ]
+        found = find_compatible(probe, candidates, K)
+        assert found == [candidates[0], candidates[2]]

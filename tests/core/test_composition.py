@@ -1,0 +1,227 @@
+"""Deep-composition tests: interactions of the operations on nested
+structures, marker algebra, and operation sequences.
+
+These pin down behaviours the paper's flat examples never exercise:
+sets of tuples of sets, or-values of complex objects, repeated
+application of operations, and the marker arithmetic of Definition 11.
+"""
+
+import pytest
+
+from repro.core.builder import cset, data, dataset, marker, orv, pset, tup
+from repro.core.data import Data, DataSet
+from repro.core.objects import BOTTOM, Atom, Marker
+from repro.core.operations import difference, intersection, union
+
+K = frozenset({"A", "B"})
+PAPER_K = frozenset({"type", "title"})
+
+
+class TestNestedStructures:
+    def test_union_merges_tuples_inside_sets_two_levels(self):
+        left = tup(A="k", B="b", people=pset(
+            tup(A="p1", B="x", phone="111"),
+            tup(A="p2", B="x", email="a@b"),
+        ))
+        right = tup(A="k", B="b", people=pset(
+            tup(A="p1", B="x", email="p1@b"),
+        ))
+        merged = union(left, right, K)
+        people = merged["people"]
+        assert tup(A="p1", B="x", phone="111", email="p1@b") in people
+        assert tup(A="p2", B="x", email="a@b") in people
+        assert len(people) == 2
+
+    def test_intersection_recurses_through_sets_of_tuples(self):
+        left = tup(A="k", B="b",
+                   rows=cset(tup(A="r", B="s", x=1, y=2)))
+        right = tup(A="k", B="b",
+                    rows=cset(tup(A="r", B="s", x=1, z=3)))
+        common = intersection(left, right, K)
+        assert common["rows"] == cset(tup(A="r", B="s", x=1))
+
+    def test_difference_recurses_through_sets_of_tuples(self):
+        left = tup(A="k", B="b",
+                   rows=cset(tup(A="r", B="s", x=1, y=2)))
+        right = tup(A="k", B="b",
+                    rows=cset(tup(A="r", B="s", x=1)))
+        rest = difference(left, right, K)
+        assert rest["rows"] == cset(tup(A="r", B="s", y=2))
+
+    def test_or_value_of_tuples_conflict_and_recover(self):
+        first = tup(A="k1", B="b")
+        second = tup(A="k2", B="b")
+        conflicted = union(first, second, K)
+        assert conflicted == orv(first, second)
+        # Intersecting the conflict with one side recovers that side.
+        assert intersection(conflicted, first, K) == first
+        # Subtracting one side leaves the other.
+        assert difference(conflicted, first, K) == second
+
+    def test_three_level_nesting_round_trips_operations(self):
+        deep = tup(A="k", B="b",
+                   outer=pset(tup(A="i", B="j",
+                                  inner=cset(tup(A="x", B="y", v=1)))))
+        assert union(deep, deep, K) == deep
+        assert intersection(deep, deep, K) == deep
+        survived = difference(deep, tup(A="k", B="b"), K)
+        assert survived["outer"] == deep["outer"]
+
+
+class TestOperationSequences:
+    def test_union_then_difference_recovers_private_attributes(self):
+        mine = tup(A="k", B="b", private="secret")
+        theirs = tup(A="k", B="b", shared="common")
+        merged = union(mine, theirs, K)
+        recovered = difference(merged, theirs, K)
+        assert recovered["private"] == Atom("secret")
+        assert "shared" not in recovered
+
+    def test_intersection_absorbs_into_union(self):
+        mine = tup(A="k", B="b", x=1)
+        theirs = tup(A="k", B="b", y=2)
+        merged = union(mine, theirs, K)
+        common = intersection(mine, theirs, K)
+        assert union(merged, common, K) == merged
+
+    def test_repeated_union_reaches_fixpoint(self):
+        first = tup(A="k", B="b", x=1)
+        second = tup(A="k", B="b", x=2)
+        merged = union(first, second, K)
+        again = union(merged, second, K)
+        # x is already 1|2; unioning 2 back in changes nothing.
+        assert again == merged
+
+    def test_difference_is_left_idempotent(self):
+        left = tup(A="k", B="b", x=1, y=2)
+        right = tup(A="k", B="b", x=1)
+        once = difference(left, right, K)
+        twice = difference(once, right, K)
+        assert once["y"] == Atom(2)
+        assert twice == difference(once, right, K)
+
+
+class TestMarkerAlgebra:
+    """Definition 11's marker arithmetic, exhaustively."""
+
+    def test_union_of_markers(self):
+        assert union(marker("a"), marker("a"), K) == marker("a")
+        assert union(marker("a"), marker("b"), K) == orv(marker("a"),
+                                                         marker("b"))
+        assert union(orv(marker("a"), marker("b")), marker("c"), K) == \
+            orv(marker("a"), marker("b"), marker("c"))
+        assert union(marker("a"), BOTTOM, K) == marker("a")
+
+    def test_intersection_of_markers(self):
+        assert intersection(marker("a"), marker("a"), K) == marker("a")
+        assert intersection(marker("a"), marker("b"), K) is BOTTOM
+        assert intersection(orv(marker("a"), marker("b")),
+                            orv(marker("b"), marker("c")), K) == \
+            marker("b")
+        assert intersection(marker("a"), BOTTOM, K) is BOTTOM
+
+    def test_difference_of_markers(self):
+        assert difference(marker("a"), marker("a"), K) is BOTTOM
+        assert difference(marker("a"), marker("b"), K) == marker("a")
+        assert difference(orv(marker("a"), marker("b")), marker("a"),
+                          K) == marker("b")
+        assert difference(marker("a"), BOTTOM, K) == marker("a")
+
+    def test_data_marker_accumulation_across_three_sources(self):
+        d1 = data("m1", tup(A="k", B="b", x=1))
+        d2 = data("m2", tup(A="k", B="b", y=2))
+        d3 = data("m3", tup(A="k", B="b", z=3))
+        merged = d1.union(d2, K).union(d3, K)
+        assert merged.markers == frozenset(
+            {Marker("m1"), Marker("m2"), Marker("m3")})
+
+    def test_bottom_marked_data_participate(self):
+        anonymous = Data(BOTTOM, tup(A="k", B="b", x=1))
+        named = data("m", tup(A="k", B="b", y=2))
+        merged = anonymous.union(named, K)
+        # ⊥ ∪ m = m (Definition 8(1)).
+        assert merged.marker == Marker("m")
+        common = anonymous.intersection(named, K)
+        assert common.marker is BOTTOM
+
+
+class TestDatasetSequences:
+    def test_incremental_merge_equals_no_new_information(self):
+        s1, s2 = (dataset(("a", tup(type="t", title="x", p=1))),
+                  dataset(("b", tup(type="t", title="x", q=2))))
+        merged = s1.union(s2, PAPER_K)
+        # Merging either original back in adds nothing new.
+        assert merged.union(s2, PAPER_K) == merged
+
+    def test_difference_keeps_disagreeing_values(self):
+        # v=1 is information S1 has that S2 does not (S2 says v=2), so
+        # −K keeps it; consequently (S1 −K S2) ∪K S2 rebuilds the full
+        # union, conflict included.
+        s1 = dataset(("a", tup(type="t", title="x", v=1)))
+        s2 = dataset(("b", tup(type="t", title="x", v=2)))
+        diff = s1.difference(s2, PAPER_K)
+        assert next(iter(diff)).object["v"] == Atom(1)
+        rebuilt = diff.union(s2, PAPER_K)
+        assert rebuilt == s1.union(s2, PAPER_K)
+
+    def test_difference_drops_agreed_values(self):
+        # Agreement, by contrast, is subtracted: v vanishes entirely.
+        s1 = dataset(("a", tup(type="t", title="x", v=1)))
+        s2 = dataset(("b", tup(type="t", title="x", v=1)))
+        diff = s1.difference(s2, PAPER_K)
+        assert "v" not in next(iter(diff)).object
+        rebuilt = diff.union(s2, PAPER_K)
+        assert rebuilt == s1.union(s2, PAPER_K)  # v=1 restored by S2
+
+    def test_intersection_shrinks_monotonically_over_sources(self):
+        base = dataset(("a", tup(type="t", title="x", p=1, q=2, r=3)))
+        s2 = dataset(("b", tup(type="t", title="x", p=1, q=2)))
+        s3 = dataset(("c", tup(type="t", title="x", p=1)))
+        two_way = base.intersection(s2, PAPER_K)
+        three_way = two_way.intersection(s3, PAPER_K)
+        attrs_two = next(iter(two_way)).object.attributes
+        attrs_three = next(iter(three_way)).object.attributes
+        assert set(attrs_three) <= set(attrs_two)
+
+    def test_expand_after_merge(self):
+        from repro.core.expand import expand_dataset
+
+        s1 = dataset(("entry", tup(type="t", title="x",
+                                   ref=marker("target"))),
+                     ("target", tup(type="t", title="tgt", v=1)))
+        s2 = dataset(("entry2", tup(type="t", title="x", extra=2)))
+        merged = s1.union(s2, PAPER_K)
+        expanded = expand_dataset(merged)
+        combined = expanded.find("entry")
+        assert combined.object["ref"]["v"] == Atom(1)
+        assert combined.object["extra"] == Atom(2)
+
+
+class TestPartialCompleteInterplay:
+    def test_partial_absorption_cascades_through_union(self):
+        # ⟨a⟩ ∪ ⟨b⟩ = ⟨a,b⟩, then absorbed by a complete superset.
+        first = union(pset("a"), pset("b"), K)
+        absorbed = union(first, cset("a", "b", "c"), K)
+        assert absorbed == cset("a", "b", "c")
+
+    def test_partial_not_absorbed_by_smaller_complete(self):
+        grown = union(pset("a"), pset("b"), K)
+        conflict = union(grown, cset("a"), K)
+        assert conflict == orv(pset("a", "b"), cset("a"))
+
+    def test_empty_partial_set_is_union_identity_for_sets(self):
+        assert union(pset(), pset("x"), K) == pset("x")
+        assert union(pset(), cset("x"), K) == cset("x")
+
+    def test_empty_complete_set_is_not_an_identity(self):
+        assert union(cset(), cset("x"), K) == orv(cset(), cset("x"))
+
+    def test_intersection_openness_is_contagious(self):
+        # Through a tuple attribute, two levels down.
+        left = tup(A="k", B="b", s=cset(tup(A="i", B="i",
+                                            t=pset("x", "y"))))
+        right = tup(A="k", B="b", s=cset(tup(A="i", B="i",
+                                             t=cset("x", "z"))))
+        common = intersection(left, right, K)
+        inner = next(iter(common["s"]))
+        assert inner["t"] == pset("x")

@@ -1,0 +1,287 @@
+"""Tests for Data and DataSet (Definitions 2, 11, 12)."""
+
+import pytest
+
+from repro.core.builder import cset, data, dataset, marker, orv, pset, tup
+from repro.core.data import Data, DataSet
+from repro.core.errors import EmptyKeyError, InvalidMarkerError
+from repro.core.objects import BOTTOM, Atom, Marker
+
+K = {"type", "title"}
+
+
+class TestDataConstruction:
+    def test_string_marker_coerced(self):
+        d = data("B80", tup(A="a"))
+        assert d.marker == Marker("B80")
+
+    def test_or_marker_allowed(self):
+        d = Data(orv(marker("B80"), marker("B82")), tup())
+        assert d.markers == frozenset({Marker("B80"), Marker("B82")})
+
+    def test_bottom_marker_allowed(self):
+        d = Data(BOTTOM, tup(A="a"))
+        assert d.markers == frozenset()
+
+    def test_invalid_marker_parts_rejected(self):
+        with pytest.raises(InvalidMarkerError):
+            Data(Atom("x"), tup())
+        with pytest.raises(InvalidMarkerError):
+            Data(orv(marker("m"), Atom("x")), tup())
+        with pytest.raises(InvalidMarkerError):
+            Data(tup(), tup())
+
+    def test_object_must_be_model_object(self):
+        with pytest.raises(InvalidMarkerError):
+            Data("m", {"raw": "dict"})
+
+    def test_equality_and_hash(self):
+        assert data("m", tup(A="a")) == data("m", tup(A="a"))
+        assert data("m", tup(A="a")) != data("n", tup(A="a"))
+        assert len({data("m", tup()), data("m", tup())}) == 1
+
+    def test_immutable(self):
+        d = data("m", tup())
+        with pytest.raises(AttributeError):
+            d.marker = Marker("x")
+
+    def test_repr(self):
+        assert repr(data("B80", Atom(1))) == "B80:1"
+
+
+class TestRealVirtual:
+    def test_plain_data_is_real(self):
+        assert data("B80", tup(author=pset("Bob"), year=1980)).is_real()
+
+    def test_marker_valued_attribute_still_real(self):
+        # Decision D7: Example 1 keeps crossref ⇒ DB real.
+        assert data("Bob", tup(crossref=marker("DB"))).is_real()
+
+    def test_or_marker_is_virtual(self):
+        d = Data(orv(marker("B80"), marker("B82")), tup())
+        assert d.is_virtual()
+
+    def test_bottom_marker_is_virtual(self):
+        assert Data(BOTTOM, tup()).is_virtual()
+
+    def test_or_value_in_object_is_virtual(self):
+        assert data("m", tup(auth=orv("Ann", "Tom"))).is_virtual()
+
+    def test_nested_or_value_detected(self):
+        assert data("m", tup(a=cset(tup(b=orv(1, 2))))).is_virtual()
+
+
+class TestDefinition11:
+    d1 = data("B80", tup(type="Article", title="Oracle", author="Bob",
+                         year=1980))
+    d2 = data("B82", tup(type="Article", title="Oracle", year=1980,
+                         journal="IS"))
+
+    def test_union_markers_and_objects(self):
+        merged = self.d1.union(self.d2, K)
+        assert merged.marker == orv(marker("B80"), marker("B82"))
+        assert merged.object == tup(type="Article", title="Oracle",
+                                    author="Bob", year=1980, journal="IS")
+
+    def test_intersection_gets_bottom_marker(self):
+        common = self.d1.intersection(self.d2, K)
+        assert common.marker is BOTTOM
+        assert common.object == tup(type="Article", title="Oracle",
+                                    year=1980)
+
+    def test_difference_keeps_first_marker(self):
+        diff = self.d1.difference(self.d2, K)
+        assert diff.marker == Marker("B80")
+        assert diff.object == tup(type="Article", title="Oracle",
+                                  author="Bob")
+
+    def test_same_marker_intersection_keeps_it(self):
+        a = data("A78", tup(type="Article", title="Datalog", auth="Ann"))
+        b = data("A78", tup(type="Article", title="Datalog", auth="Tom"))
+        assert a.intersection(b, K).marker == Marker("A78")
+        assert a.difference(b, K).marker is BOTTOM
+
+    def test_compatible(self):
+        assert self.d1.compatible(self.d2, K)
+        assert not self.d1.compatible(self.d2, {"type", "title", "author"})
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(EmptyKeyError):
+            self.d1.union(self.d2, set())
+
+
+class TestDataSetBasics:
+    def test_set_semantics(self):
+        d = data("m", tup())
+        assert len(DataSet([d, d])) == 1
+
+    def test_iteration_deterministic(self):
+        ds = dataset(("b", Atom(1)), ("a", Atom(2)), ("c", Atom(0)))
+        assert [x.marker.name for x in ds] == ["a", "b", "c"]
+
+    def test_rejects_non_data(self):
+        with pytest.raises(InvalidMarkerError):
+            DataSet([tup()])
+
+    def test_add_returns_new_set(self):
+        ds = dataset()
+        grown = ds.add(data("m", tup()))
+        assert len(ds) == 0
+        assert len(grown) == 1
+
+    def test_find_by_marker(self):
+        ds = dataset(("B80", tup(A="a")))
+        assert ds.find("B80") is not None
+        assert ds.find("zzz") is None
+
+    def test_find_matches_or_markers(self):
+        merged = Data(orv(marker("B80"), marker("B82")), tup(A="a"))
+        ds = DataSet([merged])
+        assert ds.find("B80") == merged
+        assert ds.find("B82") == merged
+
+    def test_filter_real_virtual(self):
+        real = data("m", tup(A="a"))
+        virtual = data("m", tup(A=orv(1, 2)))
+        ds = DataSet([real, virtual])
+        assert ds.real() == DataSet([real])
+        assert ds.virtual() == DataSet([virtual])
+
+    def test_markers(self):
+        ds = dataset(("a", tup()), ("b", Atom(1)))
+        assert ds.markers() == frozenset({Marker("a"), Marker("b")})
+
+    def test_of_type(self):
+        ds = dataset(("a", tup(type="Article")), ("b", tup(type="InProc")),
+                     ("c", Atom(1)))
+        assert len(ds.of_type("type", "Article")) == 1
+
+    def test_contains_and_eq(self):
+        d = data("m", tup())
+        assert d in DataSet([d])
+        assert DataSet([d]) == DataSet([d])
+        assert DataSet() != DataSet([d])
+
+    def test_hashable(self):
+        assert len({DataSet(), DataSet()}) == 1
+
+
+def example6_sources() -> tuple[DataSet, DataSet]:
+    """The two BibTeX databases of the paper's Example 6."""
+    s1 = dataset(
+        ("B80", tup(type="Article", title="Oracle", auth="Bob", year=1980)),
+        ("S78", tup(type="Article", title="Ingres", auth="Sam",
+                    jnl="TODS")),
+        ("A78", tup(type="Article", title="Datalog", auth="Ann",
+                    year=1978)),
+        ("J88", tup(type="Article", title="DOOD", auth="Joe", jnl="JLP")),
+    )
+    s2 = dataset(
+        ("B82", tup(type="Article", title="Oracle", auth="Bob", year=1980)),
+        ("A78", tup(type="Article", title="Datalog", auth="Tom",
+                    year=1978)),
+        ("P90", tup(type="Article", title="DOOD", auth="Pam", jnl="JLP")),
+        ("S85", tup(type="Article", title="NF2", auth="Sam", year=1985)),
+        ("T79", tup(type="InProc", title="RDB", auth="Tom", conf="PODS")),
+        ("A75", tup(type="InProc", title="NF2", auth="Ann", year=1975)),
+        ("S76", tup(type="InProc", title="Ingres", auth="Sam",
+                    conf="EDBT")),
+    )
+    return s1, s2
+
+
+class TestExample6:
+    """The paper's full Example 6: union, intersection and difference of
+    two bibliographic data sets with K = {type, title}."""
+
+    def setup_method(self):
+        self.s1, self.s2 = example6_sources()
+
+    def test_union(self):
+        expected = dataset(
+            ("S78", tup(type="Article", title="Ingres", auth="Sam",
+                        jnl="TODS")),
+            ("S85", tup(type="Article", title="NF2", auth="Sam",
+                        year=1985)),
+            ("T79", tup(type="InProc", title="RDB", auth="Tom",
+                        conf="PODS")),
+            ("A75", tup(type="InProc", title="NF2", auth="Ann",
+                        year=1975)),
+            ("S76", tup(type="InProc", title="Ingres", auth="Sam",
+                        conf="EDBT")),
+            (orv(marker("B80"), marker("B82")),
+             tup(type="Article", title="Oracle", auth="Bob", year=1980)),
+            ("A78", tup(type="Article", title="Datalog",
+                        auth=orv("Ann", "Tom"), year=1978)),
+            (orv(marker("J88"), marker("P90")),
+             tup(type="Article", title="DOOD", auth=orv("Joe", "Pam"),
+                 jnl="JLP")),
+        )
+        assert self.s1.union(self.s2, K) == expected
+
+    def test_intersection(self):
+        expected = DataSet([
+            Data(BOTTOM, tup(type="Article", title="Oracle", auth="Bob",
+                             year=1980)),
+            data("A78", tup(type="Article", title="Datalog", year=1978)),
+            Data(BOTTOM, tup(type="Article", title="DOOD", jnl="JLP")),
+        ])
+        assert self.s1.intersection(self.s2, K) == expected
+
+    def test_difference(self):
+        expected = DataSet([
+            data("S78", tup(type="Article", title="Ingres", auth="Sam",
+                            jnl="TODS")),
+            data("B80", tup(type="Article", title="Oracle")),
+            Data(BOTTOM, tup(type="Article", title="Datalog", auth="Ann")),
+            data("J88", tup(type="Article", title="DOOD", auth="Joe")),
+        ])
+        assert self.s1.difference(self.s2, K) == expected
+
+    def test_ingres_and_nf2_not_combined_across_types(self):
+        # Article/Ingres vs InProc/Ingres differ on the key.
+        union = self.s1.union(self.s2, K)
+        titles = [d.object.get("title") for d in union]
+        assert titles.count(Atom("Ingres")) == 2
+        assert titles.count(Atom("NF2")) == 2
+
+    def test_union_sizes(self):
+        assert len(self.s1.union(self.s2, K)) == 8
+        assert len(self.s1.intersection(self.s2, K)) == 3
+        assert len(self.s1.difference(self.s2, K)) == 4
+
+
+class TestDefinition12EdgeCases:
+    def test_union_with_empty(self):
+        s1, _ = example6_sources()
+        assert s1.union(DataSet(), K) == s1
+        assert DataSet().union(s1, K) == s1
+
+    def test_intersection_with_empty(self):
+        s1, _ = example6_sources()
+        assert s1.intersection(DataSet(), K) == DataSet()
+
+    def test_difference_with_empty(self):
+        s1, _ = example6_sources()
+        assert s1.difference(DataSet(), K) == s1
+        assert DataSet().difference(s1, K) == DataSet()
+
+    def test_self_union_is_identity(self):
+        s1, _ = example6_sources()
+        assert s1.union(s1, K) == s1
+
+    def test_self_intersection_is_identity(self):
+        s1, _ = example6_sources()
+        assert s1.intersection(s1, K) == s1
+
+    def test_fan_in_pairing(self):
+        # One datum in S1 compatible with two in S2 (decision D8).
+        s1 = dataset(("m", tup(type="t", title="x", a="1")))
+        s2 = dataset(("n1", tup(type="t", title="x", b="2")),
+                     ("n2", tup(type="t", title="x", c="3")))
+        union = s1.union(s2, K)
+        assert len(union) == 2
+        # Both differences keep marker m and attribute a, so they collapse
+        # to a single datum under set semantics.
+        diff = s1.difference(s2, K)
+        assert diff == dataset(("m", tup(type="t", title="x", a="1")))

@@ -1,0 +1,145 @@
+"""Tests for difference based on K (Definition 10) — Example 5 + edges."""
+
+import pytest
+
+from repro.core.builder import cset, marker, orv, pset, tup
+from repro.core.errors import EmptyKeyError
+from repro.core.objects import BOTTOM, Atom
+from repro.core.operations import difference
+
+K = {"A", "B"}
+a = Atom("a")
+a1, a2, a3 = Atom("a1"), Atom("a2"), Atom("a3")
+
+
+class TestExample5:
+    """Every row of the paper's Example 5 table."""
+
+    @pytest.mark.parametrize("first,second,expected", [
+        (a, a, BOTTOM),                                             # (1)
+        (a, BOTTOM, a),                                             # (6)
+        (orv("a1", "a2"), a1, a2),                                  # (2)
+        (pset("a1", "a2"), pset("a2", "a3"), pset("a1")),           # (3)
+        (pset("a1", "a2"), cset("a1", "a2"), pset()),               # (3)
+        (cset("a1", "a2"), cset("a3"), cset("a1", "a2")),           # (4)
+        (cset("a1", "a2"), cset("a1", "a2"), cset()),               # (4)
+        (tup(A="a1", B="b1", C=orv("c1", "c2"), D=cset("d1", "d2")),
+         tup(A="a1", B="b1", C="c2", D=cset("d1")),
+         tup(A="a1", B="b1", C="c1", D=cset("d2"))),                # (5)
+        (tup(A="a1", B=pset("b1")), tup(A="a2", B=pset("b2"), C="c2"),
+         tup(A="a1", B=pset("b1"))),                                # (6)
+    ])
+    def test_row(self, first, second, expected):
+        assert difference(first, second, K) == expected
+
+
+class TestRule1:
+    def test_identical_non_sets_vanish(self):
+        assert difference(marker("m"), marker("m"), K) is BOTTOM
+        assert difference(tup(A="a"), tup(A="a"), K) is BOTTOM
+        assert difference(orv("x", "y"), orv("x", "y"), K) is BOTTOM
+        assert difference(BOTTOM, BOTTOM, K) is BOTTOM
+
+    def test_identical_sets_do_not_use_rule1(self):
+        # {a} −K {a} = {} (empty set, not ⊥); ⟨a⟩ −K ⟨a⟩ = ⟨⟩.
+        assert difference(cset("a"), cset("a"), K) == cset()
+        assert difference(pset("a"), pset("a"), K) == pset()
+
+
+class TestRule2OrValues:
+    def test_or_minus_or(self):
+        assert difference(orv("a1", "a2", "a3"), orv("a2", "a3"), K) == a1
+
+    def test_multiple_survivors_stay_or(self):
+        assert difference(orv("a1", "a2", "a3"), a3, K) == orv("a1", "a2")
+
+    def test_fully_subtracted_or_is_bottom(self):
+        # Decision D5: no surviving disjunct.
+        assert difference(orv("a1", "a2"), orv("a1", "a2", "a3"),
+                          K) is BOTTOM
+
+    def test_plain_minus_or_containing_it(self):
+        assert difference(a1, orv("a1", "a2"), K) is BOTTOM
+
+    def test_plain_minus_unrelated_or(self):
+        assert difference(a1, orv("x", "y"), K) == a1
+
+
+class TestRule3PartialSetDifference:
+    def test_unmatched_elements_survive(self):
+        assert difference(pset("a1", "a2"), pset("a3"), K) == pset(
+            "a1", "a2")
+
+    def test_partial_minus_complete(self):
+        assert difference(pset("a1", "x"), cset("a1"), K) == pset("x")
+
+    def test_tuple_elements_differenced(self):
+        t1 = tup(A="k", B="b", C="c", D="d")
+        t2 = tup(A="k", B="b", C="c")
+        assert difference(pset(t1), pset(t2), K) == pset(
+            tup(A="k", B="b", D="d"))
+
+    def test_result_stays_partial(self):
+        assert difference(pset("a1"), cset("a9"), K).kind == "partial_set"
+
+
+class TestRule4CompleteSetDifference:
+    def test_complete_minus_partial(self):
+        assert difference(cset("a1", "a2"), pset("a2"), K) == cset("a1")
+
+    def test_result_stays_complete(self):
+        assert difference(cset("a1"), cset("a9"), K).kind == "complete_set"
+
+    def test_bottom_differences_dropped(self):
+        # Decision D6: a2 − a2 = ⊥ disappears instead of polluting the set.
+        result = difference(cset("a1", "a2"), cset("a2"), K)
+        assert result == cset("a1")
+        assert BOTTOM not in result
+
+
+class TestRule5Tuples:
+    def test_key_attributes_kept_from_first(self):
+        t1 = tup(A="a", B="b", C="c", D="d")
+        t2 = tup(A="a", B="b", C="c")
+        result = difference(t1, t2, K)
+        assert result["A"] == Atom("a")
+        assert result["B"] == Atom("b")
+        assert result == tup(A="a", B="b", D="d")
+
+    def test_attribute_only_in_first_survives(self):
+        t1 = tup(A="a", B="b", extra="x")
+        t2 = tup(A="a", B="b")
+        assert difference(t1, t2, K) == t1
+
+    def test_attribute_only_in_second_is_ignored(self):
+        t1 = tup(A="a", B="b")
+        t2 = tup(A="a", B="b", extra="x")
+        assert difference(t1, t2, K) == tup(A="a", B="b")
+
+    def test_section3_pair(self):
+        b80 = tup(type="Article", title="Oracle", author="Bob", year=1980)
+        b82 = tup(type="Article", title="Oracle", year=1980, journal="IS")
+        assert difference(b80, b82, {"type", "title"}) == tup(
+            type="Article", title="Oracle", author="Bob")
+
+
+class TestRule6:
+    def test_incompatible_tuples_unchanged(self):
+        t1 = tup(A="a1", B="b")
+        assert difference(t1, tup(A="a2", B="b"), K) == t1
+
+    def test_set_minus_non_set_unchanged(self):
+        assert difference(cset("a"), BOTTOM, K) == cset("a")
+        assert difference(pset("a"), Atom("a"), K) == pset("a")
+
+    def test_bottom_minus_anything_nonequal(self):
+        assert difference(BOTTOM, Atom("x"), K) is BOTTOM
+
+    def test_marker_difference(self):
+        assert difference(marker("B80"), marker("B82"), K) == marker("B80")
+
+
+class TestKeyHandling:
+    def test_empty_key_rejected(self):
+        with pytest.raises(EmptyKeyError):
+            difference(a1, a2, frozenset())

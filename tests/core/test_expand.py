@@ -1,0 +1,111 @@
+"""Tests for the expand operation (paper §4 future work)."""
+
+import pytest
+
+from repro.core.builder import cset, data, dataset, marker, orv, pset, tup
+from repro.core.data import Data, DataSet
+from repro.core.errors import ExpandError
+from repro.core.expand import expand_data, expand_dataset, expand_object
+from repro.core.objects import Atom, Marker
+
+
+def bib_environment() -> DataSet:
+    """The Example 1 cross-reference file."""
+    return dataset(
+        ("Bob", tup(type="InBook", author=pset("Bob"), title="Oracle",
+                    crossref=marker("DB"))),
+        ("DB", tup(type="Book", booktitle="Database", editor="John",
+                   year=1999)),
+    )
+
+
+class TestExpandObject:
+    def test_marker_replaced_by_referent(self):
+        env = bib_environment()
+        obj = marker("DB")
+        expanded = expand_object(obj, env)
+        assert expanded == tup(type="Book", booktitle="Database",
+                               editor="John", year=1999)
+
+    def test_nested_marker_in_tuple(self):
+        env = bib_environment()
+        entry = env.find("Bob").object
+        expanded = expand_object(entry, env)
+        assert expanded["crossref"] == tup(
+            type="Book", booktitle="Database", editor="John", year=1999)
+
+    def test_markers_inside_sets_and_ors(self):
+        env = dataset(("m", Atom(42)))
+        assert expand_object(cset(marker("m")), env) == cset(42)
+        assert expand_object(pset(marker("m")), env) == pset(42)
+        assert expand_object(orv(marker("m"), Atom(1)), env) == orv(42, 1)
+
+    def test_unknown_marker_kept_by_default(self):
+        assert expand_object(marker("nowhere"), dataset()) == Marker(
+            "nowhere")
+
+    def test_unknown_marker_strict_raises(self):
+        with pytest.raises(ExpandError):
+            expand_object(marker("nowhere"), dataset(), strict=True)
+
+    def test_depth_zero_keeps_markers(self):
+        env = bib_environment()
+        assert expand_object(marker("DB"), env, depth=0) == Marker("DB")
+
+    def test_negative_depth_rejected(self):
+        with pytest.raises(ExpandError):
+            expand_object(marker("DB"), bib_environment(), depth=-1)
+
+    def test_chain_expansion_respects_depth(self):
+        env = dataset(("a", marker("b")), ("b", marker("c")),
+                      ("c", Atom("end")))
+        assert expand_object(marker("a"), env, depth=1) == Marker("b")
+        assert expand_object(marker("a"), env, depth=2) == Marker("c")
+        assert expand_object(marker("a"), env, depth=3) == Atom("end")
+
+    def test_cycle_terminates(self):
+        env = dataset(("a", tup(next=marker("b"))),
+                      ("b", tup(next=marker("a"))))
+        expanded = expand_object(marker("a"), env)
+        # The repeated marker 'a' stays unexpanded inside the cycle.
+        assert expanded == tup(next=tup(next=Marker("a")))
+
+    def test_self_cycle(self):
+        env = dataset(("a", tup(self=marker("a"))))
+        assert expand_object(marker("a"), env) == tup(self=Marker("a"))
+
+    def test_or_marked_data_binds_all_its_markers(self):
+        merged = Data(orv(marker("x"), marker("y")), Atom(7))
+        env = DataSet([merged])
+        assert expand_object(marker("x"), env) == Atom(7)
+        assert expand_object(marker("y"), env) == Atom(7)
+
+
+class TestExpandData:
+    def test_own_markers_seed_the_chain(self):
+        env = dataset(("a", tup(ref=marker("a"), v=Atom(1))))
+        expanded = expand_data(env.find("a"), env)
+        # 'a' does not expand into itself.
+        assert expanded.object == tup(ref=Marker("a"), v=Atom(1))
+
+    def test_cross_reference_expands(self):
+        env = bib_environment()
+        expanded = expand_data(env.find("Bob"), env)
+        assert expanded.object["crossref"]["booktitle"] == Atom("Database")
+        assert expanded.marker == Marker("Bob")
+
+
+class TestExpandDataset:
+    def test_all_data_expanded(self):
+        env = bib_environment()
+        expanded = expand_dataset(env)
+        bob = expanded.find("Bob")
+        assert bob.object["crossref"]["year"] == Atom(1999)
+        # The referenced entry itself is unchanged.
+        assert expanded.find("DB") == env.find("DB")
+
+    def test_expansion_is_idempotent_without_new_markers(self):
+        env = bib_environment()
+        once = expand_dataset(env)
+        twice = expand_dataset(once)
+        assert once == twice

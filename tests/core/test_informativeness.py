@@ -1,0 +1,228 @@
+"""Tests for the ⊴ order (Definitions 3-5), mirroring the paper's table.
+
+The parametrized positive cases are exactly the examples printed below
+Definition 3 in the paper; negative cases probe the boundaries.
+"""
+
+import pytest
+
+from repro.core.builder import cset, data, marker, orv, pset, tup
+from repro.core.informativeness import (
+    comparable,
+    data_less_informative,
+    dataset_less_informative,
+    less_informative,
+    strictly_less_informative,
+)
+from repro.core.objects import BOTTOM, Atom
+
+a = Atom("a")
+a1, a2, a3 = Atom("a1"), Atom("a2"), Atom("a3")
+
+
+class TestPaperExamples:
+    """The ⊴ examples listed verbatim under Definition 3."""
+
+    @pytest.mark.parametrize("first,second", [
+        (a, a),                                     # by (1)
+        (cset("a"), cset("a")),                     # by (1)
+        (tup(A="a"), tup(A="a")),                   # by (1)
+        (BOTTOM, a),                                # by (2)
+        (BOTTOM, cset("a")),                        # by (2)
+        (BOTTOM, tup(A="a")),                       # by (2)
+        (a1, orv("a1", "a2")),                      # by (3)
+        (orv("a1", "a2"), orv("a1", "a2", "a3")),   # by (3)
+        (orv("a1", "a2", "a3"), orv("a1", "a2", "a3")),  # by (1)
+        (pset("a1"), pset("a1", "a2")),             # by (4)
+        (pset("a1"), cset("a1", "a2")),             # by (4)
+        (cset("a1", "a2"), cset("a1", "a2")),       # by (1)
+        (tup(A="a"), tup(A="a", B="b")),            # by (5)
+        (tup(A=pset("a1")), tup(A=pset("a1", "a2"), B="b")),  # by (5)
+    ])
+    def test_less_informative_holds(self, first, second):
+        assert less_informative(first, second)
+
+
+class TestNegativeCases:
+    @pytest.mark.parametrize("first,second", [
+        (a1, a2),
+        (a, BOTTOM),                        # ⊥ is strictly least
+        (orv("a1", "a2"), a1),              # more disjuncts recorded
+        (orv("a1", "a2"), orv("a1", "a3")),
+        (cset("a1"), cset("a1", "a2")),     # complete sets only by equality
+        (cset("a1", "a2"), pset("a1", "a2")),  # complete never ⊴ partial
+        (pset("a1", "a2"), pset("a1")),
+        (tup(A="a", B="b"), tup(A="a")),
+        (tup(A="a1"), tup(A="a2")),
+        (cset("a1"), orv("a2", "a3")),      # no dominating disjunct
+        (pset("a1"), orv(cset("a9"), "x")),
+        (orv("a1", "a4"), orv("a1", "a2", "a3")),  # or-or needs subset
+    ])
+    def test_not_less_informative(self, first, second):
+        assert not less_informative(first, second)
+
+    def test_non_or_below_or_value_via_witness(self):
+        # The witness reading of Definition 3(3): O1 ⊴ O1|x for any O1,
+        # and more generally O1 ⊴ d|x when O1 ⊴ d.
+        assert less_informative(cset("a1"), orv(cset("a1"), "x"))
+        assert less_informative(pset("a1"), orv(pset("a1"), "x"))
+        assert less_informative(tup(A="a"), orv(tup(A="a"), "x"))
+        assert less_informative(pset(), orv(pset("a"), "x"))
+        assert less_informative(tup(A="a"), orv(tup(A="a", B="b"), "x"))
+
+    def test_transitivity_through_or_values(self):
+        # The chain that breaks under literal disjunct-membership.
+        assert less_informative(pset(), pset("a"))
+        assert less_informative(pset("a"), orv(pset("a"), "b"))
+        assert less_informative(pset(), orv(pset("a"), "b"))
+
+    def test_empty_partial_set_above_bottom_below_any_partial_set(self):
+        assert less_informative(BOTTOM, pset())
+        assert less_informative(pset(), pset("x"))
+        assert not less_informative(pset("x"), pset())
+
+    def test_empty_complete_set_unrelated_to_nonempty(self):
+        assert not less_informative(cset(), cset("x"))
+        assert not less_informative(cset("x"), cset())
+
+    def test_partial_below_complete_with_dominating_witness(self):
+        # ⟨⟨a1⟩⟩ ⊴ {⟨a1,a2⟩}: the inner partial set is dominated.
+        assert less_informative(pset(pset("a1")), cset(pset("a1", "a2")))
+
+    def test_partial_not_below_complete_without_witness(self):
+        assert not less_informative(pset("a1"), cset("a2"))
+
+
+class TestPartialOrderSpotChecks:
+    """Proposition 1 on a fixed sample (randomized check lives in
+    tests/properties)."""
+
+    SAMPLE = [
+        BOTTOM, a, a1, a2, orv("a1", "a2"), orv("a1", "a2", "a3"),
+        pset(), pset("a1"), pset("a1", "a2"), cset(), cset("a1"),
+        cset("a1", "a2"), tup(), tup(A="a1"), tup(A="a1", B="b1"),
+        tup(A=pset("a1")), tup(A=pset("a1", "a2")),
+        pset(tup(A="a1")), cset(tup(A="a1", B="b1")),
+        marker("m1"), marker("m2"), orv(marker("m1"), marker("m2")),
+    ]
+
+    def test_reflexive(self):
+        for obj in self.SAMPLE:
+            assert less_informative(obj, obj)
+
+    def test_antisymmetric(self):
+        for x in self.SAMPLE:
+            for y in self.SAMPLE:
+                if x != y:
+                    assert not (less_informative(x, y)
+                                and less_informative(y, x)), (x, y)
+
+    def test_transitive(self):
+        for x in self.SAMPLE:
+            for y in self.SAMPLE:
+                if not less_informative(x, y):
+                    continue
+                for z in self.SAMPLE:
+                    if less_informative(y, z):
+                        assert less_informative(x, z), (x, y, z)
+
+
+class TestHelpers:
+    def test_strictly_less(self):
+        assert strictly_less_informative(BOTTOM, a)
+        assert not strictly_less_informative(a, a)
+
+    def test_comparable(self):
+        assert comparable(BOTTOM, a)
+        assert comparable(a, BOTTOM)
+        assert not comparable(a1, a2)
+
+
+class TestDataAndDatasetOrder:
+    def test_data_order_requires_both_components(self):
+        d_small = data("B80", tup(A="a"))
+        d_big = data(orv(marker("B80"), marker("B82")), tup(A="a", B="b"))
+        assert data_less_informative(d_small, d_big)
+        assert not data_less_informative(d_big, d_small)
+
+    def test_data_order_fails_on_unrelated_marker(self):
+        d1 = data("B80", tup(A="a"))
+        d2 = data("B82", tup(A="a", B="b"))
+        assert not data_less_informative(d1, d2)
+
+    def test_dataset_order(self):
+        d1 = data("B80", tup(A="a"))
+        d2 = data("B80", tup(A="a", B="b"))
+        d3 = data("X", tup(C="c"))
+        assert dataset_less_informative([d1], [d2])
+        assert dataset_less_informative([d1, d3], [d2, d3])
+        assert not dataset_less_informative([d2], [d1])
+        # Shared elements need no witness.
+        assert dataset_less_informative([d3], [d3])
+        assert dataset_less_informative([], [d1])
+
+
+class TestMaximalElements:
+    def test_dominated_objects_dropped(self):
+        from repro.core.informativeness import maximal_elements
+
+        kept = maximal_elements([BOTTOM, a, pset("x"),
+                                 pset("x", "y")])
+        assert a in kept
+        assert pset("x", "y") in kept
+        assert BOTTOM not in kept
+        assert pset("x") not in kept
+
+    def test_incomparable_objects_all_kept(self):
+        from repro.core.informativeness import maximal_elements
+
+        objects = [a1, a2, cset("q")]
+        assert set(maximal_elements(objects)) == set(objects)
+
+    def test_duplicates_collapse(self):
+        from repro.core.informativeness import maximal_elements
+
+        assert maximal_elements([a, a, a]) == [a]
+
+    def test_empty(self):
+        from repro.core.informativeness import maximal_elements
+
+        assert maximal_elements([]) == []
+
+
+class TestDataSetReduced:
+    def test_stale_snapshot_removed(self):
+        from repro.core.builder import dataset, orv, marker
+        from repro.core.data import Data
+
+        stale = data("B80", tup(A="a"))
+        fresher = Data(orv(marker("B80"), marker("B82")),
+                       tup(A="a", B="b"))
+        from repro.core.data import DataSet
+
+        ds = DataSet([stale, fresher])
+        assert ds.reduced() == DataSet([fresher])
+
+    def test_union_with_old_snapshot_then_reduce(self):
+        from repro.core.data import DataSet
+
+        old = data("m", tup(type="t", title="x", p=1))
+        new = data("m", tup(type="t", title="x", p=1, q=2))
+        combined = DataSet([old, new])
+        assert combined.reduced() == DataSet([new])
+
+    def test_incomparable_data_survive(self):
+        from repro.core.data import DataSet
+
+        d1 = data("m", tup(a=1))
+        d2 = data("n", tup(b=2))
+        ds = DataSet([d1, d2])
+        assert ds.reduced() == ds
+
+    def test_reduction_is_idempotent(self):
+        from repro.core.data import DataSet
+
+        d1 = data("m", tup(a=1))
+        d2 = data("m", tup(a=1, b=2))
+        reduced = DataSet([d1, d2]).reduced()
+        assert reduced.reduced() == reduced

@@ -1,0 +1,134 @@
+"""Tests for intersection based on K (Definition 9) — Example 4 + edges."""
+
+import pytest
+
+from repro.core.builder import cset, marker, orv, pset, tup
+from repro.core.errors import EmptyKeyError
+from repro.core.objects import BOTTOM, Atom
+from repro.core.operations import intersection
+
+K = {"A", "B"}
+a = Atom("a")
+a1, a2, a3 = Atom("a1"), Atom("a2"), Atom("a3")
+
+
+class TestExample4:
+    """Every row of the paper's Example 4 table."""
+
+    @pytest.mark.parametrize("first,second,expected", [
+        (a, a, a),                                                   # (1)
+        (cset("a"), cset("a"), cset("a")),                           # (1)
+        (tup(C="c"), tup(C="c"), tup(C="c")),                        # (1)
+        (a1, orv("a1", "a2"), a1),                                   # (2)
+        (pset("a1", "a2"), pset("a1", "a2", "a3"),
+         pset("a1", "a2")),                                          # (3)
+        (pset("a1", "a2"), cset("a1", "a2", "a3"),
+         pset("a1", "a2")),                                          # (3)
+        (pset("a1", "a2"), cset("a3"), pset()),                      # (3)
+        (cset("a1", "a2"), cset("a1", "a2", "a3"),
+         cset("a1", "a2")),                                          # (4)
+        (cset("a1", "a2"), cset("a3"), cset()),                      # (4)
+        (tup(A="a1", B="b1", C=pset("c1")),
+         tup(A="a1", B="b1", C=cset("c1", "c2")),
+         tup(A="a1", B="b1", C=pset("c1"))),                         # (5)
+        (a1, BOTTOM, BOTTOM),                                        # (6)
+        (a1, a2, BOTTOM),                                            # (6)
+        (a1, tup(A="a1"), BOTTOM),                                   # (6)
+        (tup(A="a1", B="b1", C="c1"), tup(A="a2", B="b2", C="c2"),
+         BOTTOM),                                                    # (6)
+    ])
+    def test_row(self, first, second, expected):
+        assert intersection(first, second, K) == expected
+
+
+class TestRule2OrValues:
+    def test_common_disjuncts_survive(self):
+        assert intersection(orv("a1", "a2"), orv("a2", "a3"), K) == a2
+
+    def test_multiple_common_disjuncts_stay_or(self):
+        assert intersection(orv("a1", "a2", "a3"), orv("a1", "a2"),
+                            K) == orv("a1", "a2")
+
+    def test_no_common_disjuncts_is_bottom(self):
+        assert intersection(orv("a1", "a2"), orv("x", "y"), K) is BOTTOM
+
+    def test_plain_vs_or_without_membership_is_bottom(self):
+        assert intersection(a3, orv("a1", "a2"), K) is BOTTOM
+
+    def test_complex_disjuncts(self):
+        t = tup(X="x")
+        assert intersection(orv(t, "a1"), orv(t, "a2"), K) == t
+
+
+class TestRule3PartialSets:
+    def test_openness_dominates(self):
+        # partial ∩ complete is partial: we cannot close the world.
+        result = intersection(pset("a1"), cset("a1", "a2"), K)
+        assert result == pset("a1")
+        assert result.kind == "partial_set"
+
+    def test_complete_first_operand_still_partial_result(self):
+        result = intersection(cset("a1", "a2"), pset("a1"), K)
+        assert result.kind == "partial_set"
+
+    def test_compatible_tuple_elements_intersect(self):
+        t1 = tup(A="k", B="b", C="c1")
+        t2 = tup(A="k", B="b", C="c2")
+        assert intersection(pset(t1), pset(t2), K) == pset(
+            tup(A="k", B="b"))
+
+    def test_empty_partial_sets(self):
+        assert intersection(pset(), pset("a"), K) == pset()
+
+
+class TestRule4CompleteSets:
+    def test_result_complete(self):
+        result = intersection(cset("a1", "a2"), cset("a2", "a3"), K)
+        assert result == cset("a2")
+        assert result.kind == "complete_set"
+
+    def test_identical_complete_sets_rule1(self):
+        c = cset("a1", "a2")
+        assert intersection(c, c, K) == c
+
+
+class TestRule5Tuples:
+    def test_disagreeing_attribute_dropped(self):
+        t1 = tup(A="a", B="b", C="c1", D="d")
+        t2 = tup(A="a", B="b", C="c2", D="d")
+        assert intersection(t1, t2, K) == tup(A="a", B="b", D="d")
+
+    def test_attribute_present_on_one_side_only_dropped(self):
+        t1 = tup(A="a", B="b", C="c")
+        t2 = tup(A="a", B="b")
+        assert intersection(t1, t2, K) == tup(A="a", B="b")
+
+    def test_incompatible_tuples_bottom(self):
+        assert intersection(tup(A="a1", B="b"), tup(A="a2", B="b"),
+                            K) is BOTTOM
+
+    def test_nested_or_value_attribute(self):
+        t1 = tup(A="a", B="b", C=orv("x", "y"))
+        t2 = tup(A="a", B="b", C=orv("y", "z"))
+        assert intersection(t1, t2, K) == tup(A="a", B="b", C=Atom("y"))
+
+
+class TestRule6:
+    def test_bottom_bottom(self):
+        assert intersection(BOTTOM, BOTTOM, K) is BOTTOM
+
+    def test_marker_mismatch(self):
+        assert intersection(marker("B80"), marker("B82"), K) is BOTTOM
+
+    def test_marker_match_rule1(self):
+        assert intersection(marker("B80"), marker("B80"), K) == marker("B80")
+
+    def test_mixed_kinds(self):
+        assert intersection(pset("a"), tup(A="a"), K) is BOTTOM
+        assert intersection(Atom("a"), marker("a"), K) is BOTTOM
+
+
+class TestKeyHandling:
+    def test_empty_key_rejected(self):
+        with pytest.raises(EmptyKeyError):
+            intersection(a1, a2, [])

@@ -1,0 +1,282 @@
+"""Unit tests for the object algebra of Definition 1."""
+
+import pickle
+
+import pytest
+
+from repro.core.errors import (
+    InvalidAttributeError,
+    InvalidMarkerError,
+    InvalidObjectError,
+)
+from repro.core.objects import (
+    BOTTOM,
+    Atom,
+    Bottom,
+    CompleteSet,
+    Marker,
+    OrValue,
+    PartialSet,
+    SSObject,
+    Tuple,
+    disjuncts_of,
+    is_set_object,
+)
+
+
+class TestBottom:
+    def test_singleton(self):
+        assert Bottom() is BOTTOM
+        assert Bottom() is Bottom()
+
+    def test_equality_and_hash(self):
+        assert BOTTOM == Bottom()
+        assert BOTTOM != Atom("x")
+        assert hash(BOTTOM) == hash(Bottom())
+
+    def test_is_bottom(self):
+        assert BOTTOM.is_bottom()
+        assert not Atom(1).is_bottom()
+
+    def test_repr(self):
+        assert repr(BOTTOM) == "bottom"
+
+    def test_pickle_preserves_singleton(self):
+        assert pickle.loads(pickle.dumps(BOTTOM)) is BOTTOM
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            BOTTOM.value = 1
+
+
+class TestAtom:
+    @pytest.mark.parametrize("value", ["s", 0, 1, -3, 1.5, True, False, ""])
+    def test_accepts_scalars(self, value):
+        assert Atom(value).value == value
+
+    def test_rejects_non_scalars(self):
+        with pytest.raises(InvalidObjectError):
+            Atom([1])
+        with pytest.raises(InvalidObjectError):
+            Atom(None)
+        with pytest.raises(InvalidObjectError):
+            Atom(Atom(1))
+
+    def test_rejects_nan(self):
+        with pytest.raises(InvalidObjectError):
+            Atom(float("nan"))
+
+    def test_equality_is_typed(self):
+        assert Atom(1) == Atom(1)
+        assert Atom(1) != Atom(True)
+        assert Atom(0) != Atom(False)
+        assert Atom("1") != Atom(1)
+
+    def test_int_float_equality(self):
+        # 1 and 1.0 wrap different Python types, so they are distinct atoms.
+        assert Atom(1) != Atom(1.0)
+
+    def test_hash_consistent_with_eq(self):
+        assert hash(Atom("x")) == hash(Atom("x"))
+        assert len({Atom(1), Atom(True), Atom(1)}) == 2
+
+    def test_repr(self):
+        assert repr(Atom("a")) == '"a"'
+        assert repr(Atom(3)) == "3"
+
+    def test_immutable(self):
+        a = Atom(1)
+        with pytest.raises(AttributeError):
+            a.value = 2
+
+
+class TestMarker:
+    def test_construction(self):
+        assert Marker("B80").name == "B80"
+
+    def test_rejects_empty_or_nonstring(self):
+        with pytest.raises(InvalidMarkerError):
+            Marker("")
+        with pytest.raises(InvalidMarkerError):
+            Marker(42)
+
+    def test_marker_is_not_atom(self):
+        assert Marker("x") != Atom("x")
+        assert hash(Marker("x")) != hash(Atom("x"))
+
+    def test_equality(self):
+        assert Marker("a") == Marker("a")
+        assert Marker("a") != Marker("b")
+
+    def test_repr_is_bare_name(self):
+        assert repr(Marker("faculty.html")) == "faculty.html"
+
+
+class TestOrValue:
+    def test_requires_two_distinct(self):
+        with pytest.raises(InvalidObjectError):
+            OrValue([Atom(1)])
+        with pytest.raises(InvalidObjectError):
+            OrValue([Atom(1), Atom(1)])
+        with pytest.raises(InvalidObjectError):
+            OrValue([])
+
+    def test_of_collapses_singleton(self):
+        assert OrValue.of(Atom(1)) == Atom(1)
+        assert OrValue.of(Atom(1), Atom(1)) == Atom(1)
+
+    def test_of_empty_rejected(self):
+        with pytest.raises(InvalidObjectError):
+            OrValue.of()
+
+    def test_flattens_nested(self):
+        inner = OrValue([Atom(1), Atom(2)])
+        outer = OrValue.of(inner, Atom(3))
+        assert isinstance(outer, OrValue)
+        assert outer.disjuncts == frozenset({Atom(1), Atom(2), Atom(3)})
+
+    def test_set_semantics(self):
+        assert OrValue([Atom(1), Atom(2)]) == OrValue([Atom(2), Atom(1)])
+
+    def test_contains_bottom(self):
+        assert OrValue([BOTTOM, Atom(1)]).contains_bottom()
+        assert not OrValue([Atom(1), Atom(2)]).contains_bottom()
+
+    def test_len_iter_contains(self):
+        ov = OrValue([Atom(2), Atom(1)])
+        assert len(ov) == 2
+        assert list(ov) == [Atom(1), Atom(2)]  # canonical order
+        assert Atom(1) in ov
+        assert Atom(3) not in ov
+
+    def test_may_contain_complex_objects(self):
+        ov = OrValue([Tuple({"a": Atom(1)}), CompleteSet([Atom(1)])])
+        assert len(ov) == 2
+
+    def test_rejects_raw_python_values(self):
+        with pytest.raises(InvalidObjectError):
+            OrValue([1, 2])
+
+    def test_disjuncts_of(self):
+        ov = OrValue([Atom(1), Atom(2)])
+        assert disjuncts_of(ov) == ov.disjuncts
+        assert disjuncts_of(Atom(1)) == frozenset({Atom(1)})
+
+
+class TestSets:
+    def test_partial_and_complete_are_distinct_kinds(self):
+        assert PartialSet([Atom(1)]) != CompleteSet([Atom(1)])
+
+    def test_empty_partial_vs_empty_complete(self):
+        # ⟨⟩ ("a set, contents unknown") differs from {} ("nothing in it").
+        assert PartialSet() != CompleteSet()
+        assert PartialSet() != BOTTOM
+
+    def test_set_semantics(self):
+        assert PartialSet([Atom(1), Atom(2)]) == PartialSet(
+            [Atom(2), Atom(1), Atom(1)])
+
+    def test_len_iter_contains(self):
+        cs = CompleteSet([Atom(3), Atom(1), Atom(2)])
+        assert len(cs) == 3
+        assert list(cs) == [Atom(1), Atom(2), Atom(3)]
+        assert Atom(2) in cs
+
+    def test_rejects_raw_python_values(self):
+        with pytest.raises(InvalidObjectError):
+            PartialSet(["Bob"])
+
+    def test_is_set_object(self):
+        assert is_set_object(PartialSet())
+        assert is_set_object(CompleteSet())
+        assert not is_set_object(Atom(1))
+        assert not is_set_object(Tuple())
+
+    def test_nested_sets(self):
+        nested = CompleteSet([PartialSet([Atom(1)]), CompleteSet()])
+        assert PartialSet([Atom(1)]) in nested
+
+    def test_repr(self):
+        assert repr(PartialSet([Atom("Bob")])) == '<"Bob">'
+        assert repr(CompleteSet()) == "{}"
+
+
+class TestTuple:
+    def test_construction_from_mapping_and_pairs(self):
+        t1 = Tuple({"a": Atom(1), "b": Atom(2)})
+        t2 = Tuple([("b", Atom(2)), ("a", Atom(1))])
+        assert t1 == t2
+
+    def test_get_absent_is_bottom(self):
+        t = Tuple({"a": Atom(1)})
+        assert t.get("zzz") is BOTTOM
+        assert t["zzz"] is BOTTOM
+
+    def test_bottom_fields_dropped(self):
+        # [A ⇒ ⊥] is the same tuple as [] (decision D4).
+        assert Tuple({"a": BOTTOM}) == Tuple()
+        assert Tuple({"a": BOTTOM, "b": Atom(1)}) == Tuple({"b": Atom(1)})
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(InvalidAttributeError):
+            Tuple([("a", Atom(1)), ("a", Atom(2))])
+
+    def test_bad_labels_rejected(self):
+        with pytest.raises(InvalidAttributeError):
+            Tuple({"": Atom(1)})
+        with pytest.raises(InvalidAttributeError):
+            Tuple([(3, Atom(1))])
+
+    def test_attributes_sorted(self):
+        t = Tuple({"b": Atom(1), "a": Atom(2)})
+        assert t.attributes == ("a", "b")
+        assert list(t) == ["a", "b"]
+
+    def test_items(self):
+        t = Tuple({"b": Atom(1), "a": Atom(2)})
+        assert t.items() == (("a", Atom(2)), ("b", Atom(1)))
+
+    def test_with_field_and_without_field(self):
+        t = Tuple({"a": Atom(1)})
+        assert t.with_field("b", Atom(2)) == Tuple(
+            {"a": Atom(1), "b": Atom(2)})
+        assert t.with_field("a", BOTTOM) == Tuple()
+        assert t.without_field("a") == Tuple()
+        # original unchanged
+        assert t == Tuple({"a": Atom(1)})
+
+    def test_project(self):
+        t = Tuple({"a": Atom(1), "b": Atom(2), "c": Atom(3)})
+        assert t.project(["a", "c", "zz"]) == Tuple(
+            {"a": Atom(1), "c": Atom(3)})
+
+    def test_contains_and_len(self):
+        t = Tuple({"a": Atom(1)})
+        assert "a" in t
+        assert "b" not in t
+        assert len(t) == 1
+
+    def test_hashable(self):
+        assert len({Tuple({"a": Atom(1)}), Tuple({"a": Atom(1)})}) == 1
+
+    def test_empty_tuple_is_not_bottom(self):
+        assert Tuple() != BOTTOM
+
+    def test_rejects_raw_python_values(self):
+        with pytest.raises(InvalidObjectError):
+            Tuple({"a": 1})
+
+
+class TestImmutability:
+    @pytest.mark.parametrize("instance", [
+        Atom(1), Marker("m"), OrValue([Atom(1), Atom(2)]),
+        PartialSet([Atom(1)]), CompleteSet(), Tuple({"a": Atom(1)}),
+    ])
+    def test_setattr_blocked(self, instance):
+        with pytest.raises(AttributeError):
+            instance.anything = 1
+        with pytest.raises(AttributeError):
+            del instance.kind
+
+    def test_base_class_is_abstract_in_practice(self):
+        assert SSObject.kind == "object"

@@ -1,0 +1,150 @@
+"""Tests for union based on K (Definition 8) — Example 3 plus edge cases."""
+
+import pytest
+
+from repro.core.builder import cset, marker, orv, pset, tup
+from repro.core.errors import EmptyKeyError
+from repro.core.objects import BOTTOM, Atom
+from repro.core.operations import union
+
+K = {"A", "B"}
+a = Atom("a")
+a1, a2, a3 = Atom("a1"), Atom("a2"), Atom("a3")
+b = Atom("b")
+
+
+class TestExample3:
+    """Every row of the paper's Example 3 table."""
+
+    @pytest.mark.parametrize("first,second,expected", [
+        (a, a, a),                                              # (1)
+        (cset("a"), cset("a"), cset("a")),                      # (1)
+        (tup(C="c"), tup(C="c"), tup(C="c")),                   # (1)
+        (a, BOTTOM, a),                                         # (1)
+        (pset("a"), pset("b"), pset("a", "b")),                 # (2)
+        (pset("a1", "a2"), cset("a1", "a2", "a3"),
+         cset("a1", "a2", "a3")),                               # (3)
+        (tup(A="a1", B="b1", C=pset("c1")),
+         tup(A="a1", B="b1", C=cset("c1", "c2")),
+         tup(A="a1", B="b1", C=cset("c1", "c2"))),              # (4)
+        (a1, a2, orv("a1", "a2")),                              # (5)
+        (a1, cset("a1"), orv(a1, cset("a1"))),                  # (5)
+        (a1, tup(A="a1"), orv(a1, tup(A="a1"))),                # (5)
+        (a1, orv("a2", "a3"), orv("a1", "a2", "a3")),           # (5)
+        (cset("a1", "a2"), cset("a1", "a2", "a3"),
+         orv(cset("a1", "a2"), cset("a1", "a2", "a3"))),        # (5)
+    ])
+    def test_row(self, first, second, expected):
+        assert union(first, second, K) == expected
+
+
+class TestRule1:
+    def test_bottom_identity_both_sides(self):
+        assert union(BOTTOM, a, K) == a
+        assert union(a, BOTTOM, K) == a
+        assert union(BOTTOM, BOTTOM, K) is BOTTOM
+
+    def test_identical_complex_objects(self):
+        t = tup(A=pset("x"), B=orv("p", "q"))
+        assert union(t, t, K) == t
+
+
+class TestRule2PartialSets:
+    def test_incompatible_elements_all_kept(self):
+        assert union(pset("x", "y"), pset("z"), K) == pset("x", "y", "z")
+
+    def test_compatible_elements_merge(self):
+        t1 = tup(A="k", B="b", C="c1")
+        t2 = tup(A="k", B="b", D="d1")
+        merged = tup(A="k", B="b", C="c1", D="d1")
+        assert union(pset(t1), pset(t2), K) == pset(merged)
+
+    def test_shared_element_not_duplicated(self):
+        # "a" on both sides is compatible with itself; a ∪K a = a.
+        assert union(pset("a", "x"), pset("a", "y"), K) == pset(
+            "a", "x", "y")
+
+    def test_fan_in_multiple_partners(self):
+        # One element compatible with two partners yields a union per pair
+        # (decision D8).
+        t = tup(A="k", B="b")
+        p1 = tup(A="k", B="b", C="c1")
+        p2 = tup(A="k", B="b", D="d1")
+        result = union(pset(t), pset(p1, p2), K)
+        assert result == pset(tup(A="k", B="b", C="c1"),
+                              tup(A="k", B="b", D="d1"))
+
+    def test_result_remains_partial(self):
+        result = union(pset("a"), pset("b"), K)
+        assert result.kind == "partial_set"
+
+    def test_empty_partial_sets(self):
+        assert union(pset(), pset("a"), K) == pset("a")
+        assert union(pset(), pset(), K) == pset()
+
+
+class TestRule3Absorption:
+    def test_partial_absorbed_when_less_informative(self):
+        assert union(pset("a1"), cset("a1", "a2"), K) == cset("a1", "a2")
+
+    def test_symmetric_orientation(self):
+        assert union(cset("a1", "a2"), pset("a1"), K) == cset("a1", "a2")
+
+    def test_not_less_informative_falls_to_conflict(self):
+        # ⟨a9⟩ is not ⊴ {a1}: the pair is recorded as a conflict.
+        assert union(pset("a9"), cset("a1"), K) == orv(
+            pset("a9"), cset("a1"))
+
+    def test_empty_partial_absorbed_by_any_complete(self):
+        assert union(pset(), cset("a"), K) == cset("a")
+
+
+class TestRule4Tuples:
+    def test_attributes_merge_across_both(self):
+        t1 = tup(A="a", B="b", C="c")
+        t2 = tup(A="a", B="b", D="d")
+        assert union(t1, t2, K) == tup(A="a", B="b", C="c", D="d")
+
+    def test_conflicting_non_key_attribute_becomes_or(self):
+        t1 = tup(A="a", B="b", C="c1")
+        t2 = tup(A="a", B="b", C="c2")
+        assert union(t1, t2, K) == tup(A="a", B="b", C=orv("c1", "c2"))
+
+    def test_incompatible_tuples_conflict(self):
+        t1 = tup(A="a1", B="b")
+        t2 = tup(A="a2", B="b")
+        assert union(t1, t2, K) == orv(t1, t2)
+
+    def test_nested_partial_sets_merge_inside_tuples(self):
+        t1 = tup(A="a", B="b", authors=pset("Bob"))
+        t2 = tup(A="a", B="b", authors=pset("Tom"))
+        assert union(t1, t2, K) == tup(A="a", B="b",
+                                       authors=pset("Bob", "Tom"))
+
+
+class TestRule5Conflicts:
+    def test_distinct_markers(self):
+        assert union(marker("B80"), marker("B82"), K) == orv(
+            marker("B80"), marker("B82"))
+
+    def test_or_or_merges_setwise(self):
+        assert union(orv("a1", "a2"), orv("a2", "a3"), K) == orv(
+            "a1", "a2", "a3")
+
+    def test_partial_vs_tuple(self):
+        p, t = pset("x"), tup(A="x")
+        assert union(p, t, K) == orv(p, t)
+
+    def test_complete_vs_partial_not_ordered(self):
+        c, p = cset("a1"), pset("a2")
+        assert union(c, p, K) == orv(c, p)
+
+
+class TestKeyHandling:
+    def test_empty_key_rejected(self):
+        with pytest.raises(EmptyKeyError):
+            union(a, b, set())
+
+    def test_key_accepts_any_iterable(self):
+        assert union(a, BOTTOM, ["A"]) == a
+        assert union(a, BOTTOM, ("A", "B")) == a

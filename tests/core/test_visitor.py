@@ -1,0 +1,114 @@
+"""Tests for generic traversal/transformation utilities."""
+
+from repro.core.builder import cset, marker, orv, pset, tup
+from repro.core.objects import BOTTOM, Atom, Marker
+from repro.core.visitor import (
+    IN_OR,
+    IN_SET,
+    collect,
+    contains_kind,
+    count_kind,
+    format_path,
+    transform,
+    walk,
+)
+
+SAMPLE = tup(
+    title="Oracle",
+    authors=pset(tup(first="Bob", last="King"), "Tom"),
+    tags=cset("db", "web"),
+    year=orv(1980, 1981),
+)
+
+
+class TestWalk:
+    def test_root_first(self):
+        paths = [path for path, _ in walk(SAMPLE)]
+        assert paths[0] == ()
+
+    def test_visits_every_node(self):
+        nodes = [node for _, node in walk(SAMPLE)]
+        assert Atom("Bob") in nodes
+        assert Atom("db") in nodes
+        assert Atom(1981) in nodes
+
+    def test_paths_use_markers_for_unordered_steps(self):
+        paths = {path for path, node in walk(SAMPLE) if node == Atom("Bob")}
+        assert paths == {("authors", IN_SET, "first")}
+        paths = {path for path, node in walk(SAMPLE) if node == Atom(1980)}
+        assert paths == {("year", IN_OR)}
+
+    def test_deterministic(self):
+        assert list(walk(SAMPLE)) == list(walk(SAMPLE))
+
+    def test_leaf_walk(self):
+        assert list(walk(Atom(1))) == [((), Atom(1))]
+
+
+class TestTransform:
+    def test_identity(self):
+        assert transform(SAMPLE, lambda node: node) == SAMPLE
+
+    def test_rewrite_atoms(self):
+        def upper(node):
+            if isinstance(node, Atom) and isinstance(node.value, str):
+                return Atom(node.value.upper())
+            return node
+
+        result = transform(tup(a="x", s=pset("y")), upper)
+        assert result == tup(a="X", s=pset("Y"))
+
+    def test_bottom_introduction_drops_tuple_fields(self):
+        def drop_years(node):
+            if isinstance(node, Atom) and isinstance(node.value, int):
+                return BOTTOM
+            return node
+
+        result = transform(tup(title="t", year=1980), drop_years)
+        assert result == tup(title="t")
+
+    def test_rewrite_markers(self):
+        def anonymize(node):
+            if isinstance(node, Marker):
+                return Marker("X")
+            return node
+
+        result = transform(tup(ref=marker("DB")), anonymize)
+        assert result == tup(ref=marker("X"))
+
+    def test_or_value_collapse_through_transform(self):
+        # Mapping both disjuncts to the same object collapses the or-value.
+        def squash(node):
+            if isinstance(node, Atom):
+                return Atom(0)
+            return node
+
+        assert transform(orv(1, 2), squash) == Atom(0)
+
+
+class TestCollectAndPredicates:
+    def test_collect(self):
+        found = collect(SAMPLE, lambda node: node.kind == "atom")
+        values = {node for _, node in found}
+        assert Atom("Tom") in values
+        assert len(found) == 8
+
+    def test_contains_kind(self):
+        assert contains_kind(SAMPLE, "or")
+        assert contains_kind(SAMPLE, "partial_set")
+        assert not contains_kind(SAMPLE, "marker")
+        assert not contains_kind(Atom(1), "tuple")
+
+    def test_count_kind(self):
+        assert count_kind(SAMPLE, "tuple") == 2
+        assert count_kind(SAMPLE, "or") == 1
+        assert count_kind(orv(1, 2), "atom") == 2
+
+
+class TestFormatPath:
+    def test_root(self):
+        assert format_path(()) == "<root>"
+
+    def test_nested(self):
+        assert format_path(("authors", IN_SET, "first")) == (
+            "authors.<element>.first")

@@ -1,0 +1,26 @@
+"""The generated API reference stays in sync with the code."""
+
+import pathlib
+import subprocess
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+def test_generator_runs_and_output_is_current(tmp_path):
+    api_path = ROOT / "docs" / "API.md"
+    before = api_path.read_text()
+    completed = subprocess.run(
+        [sys.executable, str(ROOT / "tools" / "gen_api_docs.py")],
+        capture_output=True, text=True, timeout=120)
+    assert completed.returncode == 0, completed.stderr
+    after = api_path.read_text()
+    assert after == before, ("docs/API.md is stale; run "
+                             "python tools/gen_api_docs.py")
+
+
+def test_api_reference_covers_the_packages():
+    text = (ROOT / "docs" / "API.md").read_text()
+    for section in ("repro.core", "repro.rules", "repro.store",
+                    "repro.merge", "repro.schema"):
+        assert f"## `{section}`" in text

@@ -1,0 +1,42 @@
+"""Integration tests: every example script runs cleanly end to end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_populated():
+    names = {script.name for script in SCRIPTS}
+    assert "quickstart.py" in names
+    assert len(SCRIPTS) >= 3
+
+
+@pytest.mark.parametrize("script", SCRIPTS, ids=lambda s: s.name)
+def test_example_runs(script):
+    completed = subprocess.run(
+        [sys.executable, str(script)], capture_output=True, text=True,
+        timeout=120)
+    assert completed.returncode == 0, completed.stderr
+    assert completed.stdout.strip(), "examples must print their results"
+
+
+def test_quickstart_shows_the_section3_results():
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+        capture_output=True, text=True, timeout=120)
+    assert '"Oracle"' in completed.stdout
+    assert "journal" in completed.stdout
+
+
+def test_bibtex_merge_flags_and_resolves_conflicts():
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "bibtex_merge.py")],
+        capture_output=True, text=True, timeout=120)
+    assert "1 conflicts" in completed.stdout
+    assert "0 conflicts remain" in completed.stdout
+    assert "@Article{oracle-paper+oracle80," in completed.stdout

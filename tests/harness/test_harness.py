@@ -1,0 +1,131 @@
+"""Tests for the experiment harness: tables, registry, runner and every
+registered experiment."""
+
+import pytest
+
+from repro.harness.registry import (
+    ExperimentResult,
+    all_experiments,
+    get_experiment,
+    register,
+)
+from repro.harness.runner import main
+from repro.harness.tables import Table
+
+
+class TestTable:
+    def test_render_alignment(self):
+        table = Table("t", ["col", "n"])
+        table.add("a", 1)
+        table.add("longer", 22)
+        lines = table.render().splitlines()
+        assert lines[0] == "t"
+        assert lines[1].startswith("col")
+        assert set(lines[2]) <= {"-", " "}
+        assert len(lines) == 5
+
+    def test_row_arity_checked(self):
+        table = Table("t", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add("only-one")
+
+    def test_extend(self):
+        table = Table("t", ["a"])
+        table.extend([("x",), ("y",)])
+        assert len(table.rows) == 2
+
+    def test_long_cells_clipped(self):
+        table = Table("t", ["a"])
+        table.add("x" * 200)
+        assert all(len(line) <= 62 for line in table.render().splitlines())
+
+    def test_empty_table_renders(self):
+        assert "t" in Table("t", ["a"]).render()
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        ids = [e.experiment_id for e in all_experiments()]
+        assert ids == ["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8",
+                       "P1", "P2", "P3", "P4", "P5",
+                       "S1", "S2", "S3", "S4", "S5"]
+
+    def test_lookup_case_insensitive(self):
+        assert get_experiment("e6").experiment_id == "E6"
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            get_experiment("Z9")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register("E1", "dup", "nowhere")(lambda: None)
+
+    def test_result_render(self):
+        result = ExperimentResult("X1", "demo", [], ["a finding"],
+                                  reproduced=False)
+        text = result.render()
+        assert "DEVIATION" in text
+        assert "a finding" in text
+
+
+class TestWorkedExampleExperiments:
+    @pytest.mark.parametrize("experiment_id",
+                             ["E1", "E2", "E3", "E4", "E5", "E6", "E7",
+                              "E8"])
+    def test_reproduced(self, experiment_id):
+        result = get_experiment(experiment_id).run()
+        assert result.reproduced, result.render()
+        assert result.tables
+
+    def test_e6_reports_paper_sizes(self):
+        result = get_experiment("E6").run()
+        assert "8, 3, 4" in result.findings[0]
+
+
+class TestPropositionExperiments:
+    def test_p1_p2_hold(self):
+        for experiment_id in ("P1", "P2"):
+            result = get_experiment(experiment_id).run()
+            assert result.reproduced, result.render()
+
+    def test_p3_documents_the_set_ordering_finding(self):
+        result = get_experiment("P3").run()
+        assert result.reproduced
+        assert any("complete sets" in finding
+                   for finding in result.findings)
+
+    def test_p4_documents_the_example6_failure(self):
+        result = get_experiment("P4").run()
+        assert result.reproduced
+        assert any("fails on" in finding for finding in result.findings)
+
+
+class TestRunnerCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "E1" in out and "S4" in out
+
+    def test_run_single(self, capsys):
+        assert main(["E7"]) == 0
+        out = capsys.readouterr().out
+        assert "REPRODUCED" in out
+
+    def test_run_multiple(self, capsys):
+        assert main(["e3", "E4"]) == 0
+        out = capsys.readouterr().out
+        assert "Example 3" in out and "Example 4" in out
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(KeyError):
+            main(["nope"])
+
+
+class TestRunnerOutputFile:
+    def test_report_written_to_file(self, tmp_path, capsys):
+        target = tmp_path / "report.txt"
+        assert main(["E7", "-o", str(target)]) == 0
+        content = target.read_text()
+        assert "E7" in content
+        assert "behaved as documented" in content

@@ -1,0 +1,126 @@
+"""Tests for the tagged-JSON codec."""
+
+import json
+
+import pytest
+
+from repro.core.builder import cset, data, dataset, marker, orv, pset, tup
+from repro.core.data import Data
+from repro.core.errors import CodecError
+from repro.core.objects import BOTTOM, Atom
+from repro.json_codec import (
+    decode_object,
+    dumps,
+    dumps_data,
+    dumps_dataset,
+    encode_object,
+    loads,
+    loads_data,
+    loads_dataset,
+)
+
+SAMPLES = [
+    BOTTOM,
+    Atom("x"), Atom(1), Atom(1.5), Atom(True), Atom(False), Atom(1.0),
+    marker("B80"),
+    orv(1, 2, "x"),
+    pset(), pset("Bob", tup(a=1)),
+    cset(), cset(1, 2),
+    tup(), tup(type="Article", authors=pset("Bob"), year=orv(1980, 1981),
+               tags=cset("db"), ref=marker("DB")),
+]
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("obj", SAMPLES, ids=lambda o: repr(o)[:40])
+    def test_object_round_trip(self, obj):
+        assert loads(dumps(obj)) == obj
+
+    def test_atoms_keep_their_python_types(self):
+        assert loads(dumps(Atom(1))) == Atom(1)
+        assert loads(dumps(Atom(1))) != Atom(True)
+        assert loads(dumps(Atom(1.0))) == Atom(1.0)
+        assert loads(dumps(Atom(1.0))) != Atom(1)
+        assert isinstance(loads(dumps(Atom(1.0))).value, float)
+
+    def test_data_round_trip(self):
+        d = data(orv(marker("a"), marker("b")), tup(x=pset(1)))
+        assert loads_data(dumps_data(d)) == d
+
+    def test_bottom_marker_data_round_trip(self):
+        d = Data(BOTTOM, tup(a=1))
+        assert loads_data(dumps_data(d)) == d
+
+    def test_dataset_round_trip(self):
+        ds = dataset(("a", tup(x=1)), ("b", cset(2)))
+        assert loads_dataset(dumps_dataset(ds)) == ds
+
+    def test_canonical_output_is_deterministic(self):
+        a = tup(z=cset("b", "a"), y=orv(2, 1))
+        b = tup(y=orv(1, 2), z=cset("a", "b"))
+        assert dumps(a) == dumps(b)
+
+    def test_indent_option(self):
+        text = dumps(tup(a=1), indent=2)
+        assert "\n" in text
+        assert loads(text) == tup(a=1)
+
+
+class TestWireFormat:
+    def test_tags(self):
+        assert encode_object(BOTTOM) == {"kind": "bottom"}
+        assert encode_object(Atom(1)) == {"kind": "atom", "type": "int",
+                                          "value": 1}
+        assert encode_object(marker("m")) == {"kind": "marker", "name": "m"}
+        assert encode_object(pset())["kind"] == "pset"
+        assert encode_object(cset())["kind"] == "cset"
+        assert encode_object(orv(1, 2))["kind"] == "or"
+        assert encode_object(tup(a=1))["fields"] == [
+            ["a", {"kind": "atom", "type": "int", "value": 1}]]
+
+    def test_output_is_valid_json(self):
+        json.loads(dumps(tup(a=pset(1))))
+
+
+class TestDecodingErrors:
+    @pytest.mark.parametrize("payload", [
+        "not json at all {",
+        '{"no": "kind"}',
+        '{"kind": "mystery"}',
+        '{"kind": "atom", "type": "complex", "value": 1}',
+        '{"kind": "atom", "type": "int", "value": "s"}',
+        '{"kind": "atom", "type": "int", "value": true}',
+        '{"kind": "atom", "type": "int"}',
+        '{"kind": "or", "disjuncts": [{"kind": "bottom"}]}',
+        '{"kind": "tuple", "fields": [["a"]]}',
+        '{"kind": "tuple", "fields": [["a", {"kind": "bottom"}],'
+        ' ["a", {"kind": "bottom"}]]}',
+        '{"kind": "marker", "name": ""}',
+        "[1, 2]",
+    ])
+    def test_bad_payloads_raise_codec_error(self, payload):
+        with pytest.raises(CodecError):
+            loads(payload)
+
+    def test_codec_error_specifically(self):
+        with pytest.raises(CodecError):
+            loads('{"kind": "mystery"}')
+        with pytest.raises(CodecError):
+            loads("{broken")
+        with pytest.raises(CodecError):
+            loads_data('{"kind": "dataset", "data": []}')
+        with pytest.raises(CodecError):
+            loads_dataset('{"kind": "data"}')
+
+    def test_float_written_as_int_is_restored(self):
+        payload = '{"kind": "atom", "type": "float", "value": 1}'
+        assert decode_object(json.loads(payload)) == Atom(1.0)
+
+    def test_data_with_invalid_marker_rejected(self):
+        payload = json.dumps({
+            "kind": "data",
+            "marker": {"kind": "atom", "type": "int", "value": 1},
+            "object": {"kind": "bottom"},
+        })
+        with pytest.raises(CodecError):
+            loads_data(payload)

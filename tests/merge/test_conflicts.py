@@ -1,0 +1,88 @@
+"""Tests for conflict and gap extraction."""
+
+from repro.core.builder import cset, data, dataset, orv, pset, tup
+from repro.core.visitor import IN_SET
+from repro.merge.conflicts import (
+    conflict_summary,
+    find_conflicts,
+    find_gaps,
+)
+
+K = {"type", "title"}
+
+
+class TestFindConflicts:
+    def test_no_conflicts_in_clean_data(self):
+        ds = dataset(("a", tup(type="t", title="x", year=1980)))
+        assert find_conflicts(ds) == []
+
+    def test_top_level_conflict(self):
+        ds = dataset(("a", tup(type="t", title="x",
+                               auth=orv("Ann", "Tom"))))
+        conflicts = find_conflicts(ds)
+        assert len(conflicts) == 1
+        conflict = conflicts[0]
+        assert conflict.path == ("auth",)
+        assert conflict.attribute == "auth"
+        from repro.core.objects import Atom
+
+        assert set(conflict.alternatives) == {Atom("Ann"), Atom("Tom")}
+
+    def test_conflict_inside_set(self):
+        ds = dataset(("a", tup(type="t", title="x",
+                               tags=cset(orv(1, 2), 3))))
+        conflicts = find_conflicts(ds)
+        assert len(conflicts) == 1
+        assert conflicts[0].path == ("tags", IN_SET)
+        assert conflicts[0].attribute == "tags"
+
+    def test_location_string(self):
+        ds = dataset(("a", tup(type="t", title="x", y=orv(1, 2))))
+        assert find_conflicts(ds)[0].location() == "a:y"
+
+    def test_conflicts_from_real_merge(self):
+        s1 = dataset(("J88", tup(type="Article", title="DOOD",
+                                 auth="Joe", jnl="JLP")))
+        s2 = dataset(("P90", tup(type="Article", title="DOOD",
+                                 auth="Pam", jnl="JLP")))
+        merged = s1.union(s2, K)
+        conflicts = find_conflicts(merged)
+        assert len(conflicts) == 1
+        assert conflicts[0].attribute == "auth"
+
+    def test_multiple_conflicts_counted_separately(self):
+        ds = dataset(("a", tup(type="t", title="x", p=orv(1, 2),
+                               q=orv("a", "b"))))
+        assert len(find_conflicts(ds)) == 2
+
+
+class TestFindGaps:
+    def test_empty_partial_set_is_a_gap(self):
+        ds = dataset(("a", tup(type="t", title="x", authors=pset())))
+        gaps = find_gaps(ds)
+        assert len(gaps) == 1
+        assert gaps[0].path == ("authors",)
+        assert gaps[0].location() == "a:authors"
+
+    def test_nonempty_partial_set_is_not_a_gap(self):
+        ds = dataset(("a", tup(type="t", title="x", authors=pset("Bob"))))
+        assert find_gaps(ds) == []
+
+    def test_empty_complete_set_is_not_a_gap(self):
+        ds = dataset(("a", tup(type="t", title="x", authors=cset())))
+        assert find_gaps(ds) == []
+
+
+class TestConflictSummary:
+    def test_aggregates_by_attribute(self):
+        ds = dataset(
+            ("a", tup(type="t", title="x", auth=orv("A", "B"))),
+            ("b", tup(type="t", title="y", auth=orv("C", "D"),
+                      year=orv(1, 2))),
+        )
+        assert conflict_summary(ds) == {"auth": 2, "year": 1}
+
+    def test_empty(self):
+        from repro.core.data import DataSet
+
+        assert conflict_summary(DataSet()) == {}

@@ -1,0 +1,154 @@
+"""Tests for the merge engine and provenance catalog."""
+
+import pytest
+
+from repro.core.builder import data, dataset, tup
+from repro.core.errors import MergeError
+from repro.core.objects import Atom, Marker
+from repro.merge.engine import MergeEngine
+from repro.merge.provenance import SourceCatalog, value_at
+from repro.merge.spec import MergeSpec
+
+SPEC = MergeSpec(default_key={"title"})
+
+
+def engine_with_example6():
+    from tests.core.test_data import example6_sources
+
+    s1, s2 = example6_sources()
+    return MergeEngine(SPEC).add_source("s1", s1).add_source("s2", s2)
+
+
+class TestMergeEngine:
+    def test_merge_matches_definition12(self):
+        from tests.core.test_data import example6_sources
+
+        s1, s2 = example6_sources()
+        result = engine_with_example6().merge()
+        # Classes partition on 'type', and key 'title' + implicit type
+        # matches the paper's K = {type, title}.
+        assert result.dataset == s1.union(s2, {"type", "title"})
+
+    def test_stats(self):
+        result = engine_with_example6().merge()
+        assert result.stats.sources == 2
+        assert result.stats.input_data == 11
+        assert result.stats.output_data == 8
+        assert result.stats.merged_groups == 2  # Oracle, DOOD
+        assert result.stats.conflicts == 2      # Datalog + DOOD auth
+        assert result.stats.gaps == 0
+        assert result.stats.compression == pytest.approx(8 / 11)
+
+    def test_clean_and_conflicted_partition(self):
+        result = engine_with_example6().merge()
+        assert len(result.clean()) + len(result.conflicted()) == 8
+        assert all(d.is_real() for d in result.clean())
+
+    def test_single_source_merge_is_identity(self):
+        ds = dataset(("a", tup(type="t", title="x")))
+        result = MergeEngine(SPEC).add_source("only", ds).merge()
+        assert result.dataset == ds
+        assert result.stats.compression == 1.0
+
+    def test_three_way_merge(self):
+        a = dataset(("a", tup(type="t", title="x", p=1)))
+        b = dataset(("b", tup(type="t", title="x", q=2)))
+        c = dataset(("c", tup(type="t", title="x", r=3)))
+        result = (MergeEngine(SPEC).add_source("a", a).add_source("b", b)
+                  .add_source("c", c).merge())
+        assert len(result.dataset) == 1
+        merged = next(iter(result.dataset))
+        assert merged.object["p"] == Atom(1)
+        assert merged.object["q"] == Atom(2)
+        assert merged.object["r"] == Atom(3)
+        assert len(merged.markers) == 3
+
+    def test_per_class_keys(self):
+        spec = MergeSpec(default_key={"title"},
+                         per_class={"person": frozenset({"name"})})
+        a = dataset(("p1", tup(type="person", name="Ann", age=30)))
+        b = dataset(("p2", tup(type="person", name="Ann", city="Re")))
+        result = (MergeEngine(spec).add_source("a", a)
+                  .add_source("b", b).merge())
+        merged = next(iter(result.dataset))
+        assert merged.object["age"] == Atom(30)
+        assert merged.object["city"] == Atom("Re")
+
+    def test_classes_never_combine(self):
+        a = dataset(("x", tup(type="Article", title="Same")))
+        b = dataset(("y", tup(type="InProc", title="Same")))
+        result = (MergeEngine(SPEC).add_source("a", a)
+                  .add_source("b", b).merge())
+        assert len(result.dataset) == 2
+
+    def test_requires_at_least_one_source(self):
+        with pytest.raises(MergeError):
+            MergeEngine(SPEC).merge()
+
+    def test_duplicate_source_names_rejected(self):
+        engine = MergeEngine(SPEC).add_source("a", dataset())
+        with pytest.raises(MergeError):
+            engine.add_source("a", dataset())
+
+
+class TestIntersectAndSubtract:
+    def test_intersect_all(self):
+        engine = engine_with_example6()
+        common = engine.intersect_all()
+        titles = {d.object["title"] for d in common}
+        assert titles == {Atom("Oracle"), Atom("Datalog"), Atom("DOOD")}
+
+    def test_intersect_needs_two_sources(self):
+        engine = MergeEngine(SPEC).add_source("a", dataset())
+        with pytest.raises(MergeError):
+            engine.intersect_all()
+
+    def test_subtract(self):
+        engine = engine_with_example6()
+        only_in_s1 = engine.subtract("s1", "s2")
+        titles = {d.object["title"] for d in only_in_s1}
+        assert Atom("Ingres") in titles
+
+    def test_subtract_unknown_source(self):
+        with pytest.raises(MergeError):
+            engine_with_example6().subtract("s1", "nope")
+
+
+class TestSourceCatalog:
+    def test_sources_of_merged_datum(self):
+        engine = engine_with_example6()
+        result = engine.merge()
+        oracle = result.dataset.find("B80")
+        assert engine.catalog.sources_of(oracle) == ["s1", "s2"]
+
+    def test_sources_of_unmatched_datum(self):
+        engine = engine_with_example6()
+        result = engine.merge()
+        ingres = result.dataset.find("S78")
+        assert engine.catalog.sources_of(ingres) == ["s1"]
+
+    def test_witnesses(self):
+        engine = engine_with_example6()
+        result = engine.merge()
+        datalog = result.dataset.find("A78")
+        witnesses = engine.catalog.witnesses(datalog, ("auth",))
+        assert witnesses[Atom("Ann")] == ["s1"]
+        assert witnesses[Atom("Tom")] == ["s2"]
+
+    def test_value_at(self):
+        obj = tup(a=tup(b=Atom(1)))
+        assert value_at(obj, ("a", "b")) == Atom(1)
+        assert value_at(obj, ("a", "zz")).is_bottom()
+        assert value_at(obj, ("a", "<element>")) is None
+        assert value_at(Atom(1), ("a",)) is None
+
+    def test_catalog_names_and_get(self):
+        catalog = SourceCatalog()
+        ds = dataset(("a", tup(x=1)))
+        catalog.add("one", ds)
+        assert catalog.names == ("one",)
+        assert catalog.get("one") == ds
+        assert "one" in catalog
+        assert len(catalog) == 1
+        with pytest.raises(MergeError):
+            catalog.get("two")

@@ -1,0 +1,109 @@
+"""Tests for entry-level change reports."""
+
+from repro.core.builder import cset, data, dataset, orv, tup
+from repro.core.data import DataSet
+from repro.core.objects import BOTTOM, Atom
+from repro.merge.report import change_report, render_report
+
+K = {"type", "title"}
+
+
+def v1():
+    return dataset(
+        ("B80", tup(type="Article", title="Oracle", author="Bob",
+                    year=1980)),
+        ("S78", tup(type="Article", title="Ingres", jnl="TODS")),
+        ("A78", tup(type="Article", title="Datalog", auth="Ann")),
+    )
+
+
+def v2():
+    return dataset(
+        ("B80", tup(type="Article", title="Oracle", author="Bob",
+                    year=1981, journal="IS")),   # year changed, journal added
+        ("A78", tup(type="Article", title="Datalog", auth="Ann")),  # same
+        ("N99", tup(type="Article", title="NF2", auth="Sam")),      # new
+    )
+
+
+class TestChangeReport:
+    def test_partition(self):
+        report = change_report(v1(), v2(), K)
+        assert [d.object["title"] for d in report.added] == [Atom("NF2")]
+        assert [d.object["title"] for d in report.removed] == [
+            Atom("Ingres")]
+        assert len(report.changed) == 1
+        assert report.unchanged == 1
+        assert not report.is_empty
+
+    def test_attribute_changes(self):
+        report = change_report(v1(), v2(), K)
+        entry = report.changed[0]
+        by_attr = {change.attribute: change for change in entry.changes}
+        assert by_attr["year"].kind == "changed"
+        assert by_attr["year"].before == Atom(1980)
+        assert by_attr["year"].after == Atom(1981)
+        assert by_attr["journal"].kind == "added"
+        assert by_attr["journal"].before is BOTTOM
+
+    def test_removed_attribute(self):
+        old = dataset(("a", tup(type="t", title="x", note="gone")))
+        new = dataset(("b", tup(type="t", title="x")))
+        report = change_report(old, new, K)
+        change = report.changed[0].changes[0]
+        assert change.kind == "removed"
+        assert change.after is BOTTOM
+
+    def test_identical_versions_empty_report(self):
+        report = change_report(v1(), v1(), K)
+        assert report.is_empty
+        assert report.unchanged == 3
+
+    def test_empty_old_all_added(self):
+        report = change_report(DataSet(), v1(), K)
+        assert len(report.added) == 3
+
+    def test_empty_new_all_removed(self):
+        report = change_report(v1(), DataSet(), K)
+        assert len(report.removed) == 3
+
+    def test_non_tuple_objects_reported_wholesale(self):
+        old = dataset(("a", Atom(1)))
+        new = dataset(("b", Atom(1)))
+        # Non-tuple atoms: compatible iff equal, so the pair matches and
+        # compares equal → unchanged.
+        report = change_report(old, new, {"A"})
+        assert report.unchanged == 1
+
+    def test_ambiguous_matches_counted(self):
+        old = dataset(("a", tup(type="t", title="x", v=1)))
+        new = dataset(("b1", tup(type="t", title="x", v=2)),
+                      ("b2", tup(type="t", title="x", v=3)))
+        report = change_report(old, new, K)
+        assert report.ambiguous == 1
+        # Both partners are consumed: nothing is spuriously "added".
+        assert report.added == []
+
+    def test_or_values_render_in_changes(self):
+        old = dataset(("a", tup(type="t", title="x", y=1)))
+        new = dataset(("a", tup(type="t", title="x", y=orv(1, 2))))
+        report = change_report(old, new, K)
+        assert report.changed[0].changes[0].after == orv(1, 2)
+
+
+class TestRenderReport:
+    def test_render_mentions_all_sections(self):
+        text = render_report(change_report(v1(), v2(), K))
+        assert "1 added, 1 removed, 1 changed, 1 unchanged" in text
+        assert "+ N99" in text
+        assert "- S78" in text
+        assert "~ B80 -> B80" in text
+        assert "year: 1980 -> 1981 (changed)" in text
+        assert 'journal: bottom -> "IS" (added)' in text
+
+    def test_render_ambiguity_note(self):
+        old = dataset(("a", tup(type="t", title="x", v=1)))
+        new = dataset(("b1", tup(type="t", title="x", v=2)),
+                      ("b2", tup(type="t", title="x", v=3)))
+        text = render_report(change_report(old, new, K))
+        assert "matched several partners" in text

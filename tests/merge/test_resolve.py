@@ -1,0 +1,153 @@
+"""Tests for conflict-resolution strategies."""
+
+import pytest
+
+from repro.core.builder import cset, data, dataset, orv, tup
+from repro.core.errors import ResolutionError
+from repro.core.objects import Atom
+from repro.merge.conflicts import find_conflicts
+from repro.merge.provenance import SourceCatalog
+from repro.merge.resolve import (
+    by_attribute,
+    chain,
+    first_alternative,
+    keep,
+    manual,
+    numeric_extreme,
+    prefer_source,
+    resolve_dataset,
+)
+
+K = {"type", "title"}
+
+
+def conflicted_dataset():
+    return dataset(("a", tup(type="t", title="x", auth=orv("Ann", "Tom"),
+                             year=orv(1980, 1981))))
+
+
+class TestBasicStrategies:
+    def test_keep_resolves_nothing(self):
+        ds = conflicted_dataset()
+        resolved, remaining = resolve_dataset(ds, keep)
+        assert resolved == ds
+        assert len(remaining) == 2
+
+    def test_first_alternative(self):
+        resolved, remaining = resolve_dataset(conflicted_dataset(),
+                                              first_alternative)
+        assert remaining == []
+        datum = next(iter(resolved))
+        assert datum.object["auth"] == Atom("Ann")
+        assert datum.object["year"] == Atom(1980)
+
+    def test_numeric_extreme_max(self):
+        resolved, remaining = resolve_dataset(conflicted_dataset(),
+                                              numeric_extreme("max"))
+        datum = next(iter(resolved))
+        assert datum.object["year"] == Atom(1981)
+        # Non-numeric conflict untouched.
+        assert datum.object["auth"] == orv("Ann", "Tom")
+        assert len(remaining) == 1
+
+    def test_numeric_extreme_min(self):
+        resolved, _ = resolve_dataset(conflicted_dataset(),
+                                      numeric_extreme("min"))
+        assert next(iter(resolved)).object["year"] == Atom(1980)
+
+    def test_numeric_extreme_rejects_bad_mode(self):
+        with pytest.raises(ResolutionError):
+            numeric_extreme("median")
+
+    def test_mixed_numeric_and_other_left_alone(self):
+        ds = dataset(("a", tup(type="t", title="x",
+                               year=orv(1980, "c1980"))))
+        _, remaining = resolve_dataset(ds, numeric_extreme("max"))
+        assert len(remaining) == 1
+
+
+class TestDispatchAndComposition:
+    def test_by_attribute(self):
+        strategy = by_attribute({"year": numeric_extreme("max")})
+        resolved, remaining = resolve_dataset(conflicted_dataset(),
+                                              strategy)
+        datum = next(iter(resolved))
+        assert datum.object["year"] == Atom(1981)
+        assert len(remaining) == 1  # auth stays
+
+    def test_chain_first_wins(self):
+        strategy = chain(numeric_extreme("max"), first_alternative)
+        resolved, remaining = resolve_dataset(conflicted_dataset(),
+                                              strategy)
+        datum = next(iter(resolved))
+        assert datum.object["year"] == Atom(1981)  # numeric handled first
+        assert datum.object["auth"] == Atom("Ann")  # fallback
+        assert remaining == []
+
+
+class TestManual:
+    def test_manual_choice_applied(self):
+        strategy = manual({"a:auth": Atom("Tom")})
+        resolved, remaining = resolve_dataset(conflicted_dataset(),
+                                              strategy)
+        datum = next(iter(resolved))
+        assert datum.object["auth"] == Atom("Tom")
+        assert len(remaining) == 1
+
+    def test_manual_rejects_invented_values(self):
+        strategy = manual({"a:auth": Atom("Nobody")})
+        with pytest.raises(ResolutionError):
+            resolve_dataset(conflicted_dataset(), strategy)
+
+
+class TestPreferSource:
+    def test_trusted_source_wins(self):
+        s1 = dataset(("J88", tup(type="Article", title="DOOD",
+                                 auth="Joe")))
+        s2 = dataset(("P90", tup(type="Article", title="DOOD",
+                                 auth="Pam")))
+        merged = s1.union(s2, K)
+        catalog = SourceCatalog()
+        catalog.add("journals", s1)
+        catalog.add("proceedings", s2)
+        strategy = prefer_source(catalog, ["proceedings", "journals"])
+        resolved, remaining = resolve_dataset(merged, strategy)
+        assert remaining == []
+        assert next(iter(resolved)).object["auth"] == Atom("Pam")
+
+    def test_untraceable_conflict_stays(self):
+        # Conflict inside a set cannot be traced by path.
+        ds = dataset(("a", tup(type="t", title="x",
+                               tags=cset(orv(1, 2)))))
+        catalog = SourceCatalog()
+        catalog.add("s", ds)
+        _, remaining = resolve_dataset(
+            ds, prefer_source(catalog, ["s"]))
+        assert len(remaining) == 1
+
+
+class TestResolveDatasetMechanics:
+    def test_marker_or_values_untouched(self):
+        s1 = dataset(("B80", tup(type="t", title="x", a=1)))
+        s2 = dataset(("B82", tup(type="t", title="x", b=2)))
+        merged = s1.union(s2, K)
+        resolved, _ = resolve_dataset(merged, first_alternative)
+        datum = next(iter(resolved))
+        assert len(datum.markers) == 2  # B80|B82 kept
+
+    def test_same_or_value_resolves_uniformly(self):
+        ds = dataset(("a", tup(type="t", title="x", p=orv(1, 2),
+                               q=orv(1, 2))))
+        resolved, remaining = resolve_dataset(ds, first_alternative)
+        datum = next(iter(resolved))
+        assert datum.object["p"] == datum.object["q"] == Atom(1)
+        assert remaining == []
+
+    def test_conflicts_found_after_merge_example6(self):
+        from tests.core.test_data import example6_sources
+
+        s1, s2 = example6_sources()
+        merged = s1.union(s2, K)
+        conflicts = find_conflicts(merged)
+        assert {c.attribute for c in conflicts} == {"auth"}
+        assert len(conflicts) == 2  # Datalog and DOOD author conflicts

@@ -1,0 +1,57 @@
+"""Tests for MergeSpec."""
+
+import pytest
+
+from repro.core.builder import data, tup
+from repro.core.errors import EmptyKeyError, MergeError
+from repro.core.objects import Atom
+from repro.merge.spec import UNCLASSIFIED, MergeSpec
+
+
+class TestValidation:
+    def test_default_key_required_nonempty(self):
+        with pytest.raises(EmptyKeyError):
+            MergeSpec(default_key=frozenset())
+
+    def test_per_class_keys_validated(self):
+        with pytest.raises(EmptyKeyError):
+            MergeSpec(default_key={"title"}, per_class={"Article": set()})
+
+    def test_type_attribute_nonempty(self):
+        with pytest.raises(MergeError):
+            MergeSpec(default_key={"title"}, type_attribute="")
+
+    def test_keys_normalized_to_frozensets(self):
+        spec = MergeSpec(default_key=["title", "title"])
+        assert spec.default_key == frozenset({"title"})
+
+
+class TestClassification:
+    spec = MergeSpec(default_key={"title"},
+                     per_class={"WebPage": frozenset({"Title"})})
+
+    def test_class_from_type_attribute(self):
+        assert self.spec.class_of(
+            data("k", tup(type="Article", title="X"))) == "Article"
+
+    def test_missing_type_unclassified(self):
+        assert self.spec.class_of(data("k", tup(title="X"))) == UNCLASSIFIED
+
+    def test_non_tuple_unclassified(self):
+        assert self.spec.class_of(data("k", Atom(1))) == UNCLASSIFIED
+
+    def test_non_string_type_unclassified(self):
+        assert self.spec.class_of(
+            data("k", tup(type=1999))) == UNCLASSIFIED
+
+    def test_key_for_class_override(self):
+        assert self.spec.key_for_class("WebPage") == frozenset({"Title"})
+        assert self.spec.key_for_class("Article") == frozenset({"title"})
+
+    def test_key_for_datum(self):
+        page = data("u", tup(type="WebPage", Title="Home"))
+        assert self.spec.key_for(page) == frozenset({"Title"})
+
+    def test_custom_type_attribute(self):
+        spec = MergeSpec(default_key={"name"}, type_attribute="kind")
+        assert spec.class_of(data("k", tup(kind="person"))) == "person"

@@ -1,0 +1,156 @@
+"""Tests for three-way synchronization."""
+
+from repro.core.builder import data, dataset, tup
+from repro.core.data import DataSet
+from repro.core.objects import Atom
+from repro.merge.sync import sync
+
+K = {"type", "title"}
+
+
+def base():
+    return dataset(
+        ("oracle", tup(type="Article", title="Oracle", author="Bob",
+                       year=1980)),
+        ("ingres", tup(type="Article", title="Ingres", author="Sam")),
+        ("datalog", tup(type="Article", title="Datalog", author="Ann")),
+    )
+
+
+class TestCleanCases:
+    def test_no_changes_anywhere(self):
+        result = sync(base(), base(), base(), K)
+        assert result.clean
+        assert result.dataset == base().union(base(), K)
+        assert result.added == result.deleted == 0
+
+    def test_addition_on_one_side(self):
+        mine = base().add(data("nf2", tup(type="Article", title="NF2")))
+        result = sync(base(), mine, base(), K)
+        assert result.clean
+        assert result.added == 1
+        assert result.dataset.find("nf2") is not None
+
+    def test_additions_on_both_sides(self):
+        mine = base().add(data("m-new", tup(type="Article", title="M")))
+        theirs = base().add(data("t-new", tup(type="Article", title="T")))
+        result = sync(base(), mine, theirs, K)
+        assert result.clean
+        assert result.added == 2
+
+    def test_deletion_wins_over_untouched(self):
+        mine = base().filter(
+            lambda d: d.object["title"] != Atom("Ingres"))
+        result = sync(base(), mine, base(), K)
+        assert result.clean
+        assert result.deleted == 1
+        titles = {d.object["title"] for d in result.dataset}
+        assert Atom("Ingres") not in titles
+
+    def test_deletion_on_both_sides(self):
+        smaller = base().filter(
+            lambda d: d.object["title"] != Atom("Ingres"))
+        result = sync(base(), smaller, smaller, K)
+        assert result.clean
+        assert result.deleted == 1
+
+    def test_disjoint_field_edits_combine(self):
+        mine = dataset(
+            ("oracle", tup(type="Article", title="Oracle", author="Bob",
+                           year=1980, journal="IS")),
+            *[d for d in base() if "Oracle" not in repr(d.object)],
+        )
+        theirs = dataset(
+            ("oracle2", tup(type="Article", title="Oracle", author="Bob",
+                            year=1980, pages="1--10")),
+            *[d for d in base() if "Oracle" not in repr(d.object)],
+        )
+        result = sync(base(), mine, theirs, K)
+        assert result.clean
+        merged = result.dataset.find("oracle")
+        assert merged.object["journal"] == Atom("IS")
+        assert merged.object["pages"] == Atom("1--10")
+        assert result.modified == 1
+
+
+class TestConflicts:
+    def test_edit_edit_conflict_flagged(self):
+        mine = base().filter(lambda d: "Oracle" not in repr(d.object)) \
+            .add(data("oracle", tup(type="Article", title="Oracle",
+                                    author="Bob", year=1981)))
+        theirs = base().filter(lambda d: "Oracle" not in repr(d.object)) \
+            .add(data("oracle", tup(type="Article", title="Oracle",
+                                    author="Bob", year=1979)))
+        result = sync(base(), mine, theirs, K)
+        assert not result.clean
+        kinds = {conflict.kind for conflict in result.conflicts}
+        assert kinds == {"edit/edit"}
+        merged = result.dataset.find("oracle")
+        # Both edits recorded, ancestor value not resurrected.
+        from repro.core.builder import orv
+
+        assert merged.object["year"] == orv(1979, 1981)
+
+    def test_delete_modify_conflict_keeps_the_modification(self):
+        mine = base().filter(
+            lambda d: d.object["title"] != Atom("Datalog"))
+        theirs = base().filter(
+            lambda d: d.object["title"] != Atom("Datalog")) \
+            .add(data("datalog", tup(type="Article", title="Datalog",
+                                     author="Ann", year=1977)))
+        result = sync(base(), mine, theirs, K)
+        assert [c.kind for c in result.conflicts] == ["delete/modify"]
+        survivor = result.dataset.find("datalog")
+        assert survivor is not None
+        assert survivor.object["year"] == Atom(1977)
+
+    def test_same_entry_added_on_both_sides_combines(self):
+        mine = base().add(data("new-a", tup(type="Article", title="NF2",
+                                            author="Sam")))
+        theirs = base().add(data("new-b", tup(type="Article",
+                                              title="NF2", year=1985)))
+        result = sync(base(), mine, theirs, K)
+        combined = result.dataset.find("new-a")
+        assert combined is not None
+        assert combined.object["author"] == Atom("Sam")
+        assert combined.object["year"] == Atom(1985)
+        assert result.added == 1  # one entity, not two
+
+    def test_both_sides_add_same_entity_with_disagreement(self):
+        mine = base().add(data("new-a", tup(type="Article", title="NF2",
+                                            year=1984)))
+        theirs = base().add(data("new-b", tup(type="Article",
+                                              title="NF2", year=1985)))
+        result = sync(base(), mine, theirs, K)
+        assert any(c.kind == "edit/edit" for c in result.conflicts)
+
+    def test_preexisting_conflicts_are_not_sync_conflicts(self):
+        from repro.core.builder import orv
+
+        noisy_base = dataset(
+            ("x", tup(type="Article", title="X", year=orv(1, 2))))
+        result = sync(noisy_base, noisy_base, noisy_base, K)
+        assert result.clean  # the old or-value is inherited, not new
+
+    def test_describe(self):
+        mine = base().filter(
+            lambda d: d.object["title"] != Atom("Datalog"))
+        theirs = base().filter(
+            lambda d: d.object["title"] != Atom("Datalog")) \
+            .add(data("datalog", tup(type="Article", title="Datalog",
+                                     author="Ann", year=1977)))
+        result = sync(base(), mine, theirs, K)
+        assert "delete/modify" in result.conflicts[0].describe()
+
+
+class TestEdgeCases:
+    def test_empty_ancestor_behaves_like_union(self):
+        mine = dataset(("a", tup(type="t", title="x", p=1)))
+        theirs = dataset(("b", tup(type="t", title="x", q=2)))
+        result = sync(DataSet(), mine, theirs, K)
+        assert result.dataset == mine.union(theirs, K)
+
+    def test_everything_deleted(self):
+        result = sync(base(), DataSet(), DataSet(), K)
+        assert result.dataset == DataSet()
+        assert result.deleted == 3

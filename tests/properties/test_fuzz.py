@@ -1,0 +1,143 @@
+"""Fuzzing the parsers: arbitrary input must either parse or raise
+ParseError — never hang, never raise anything else.
+
+These tests harden the substrates against hostile/corrupt input, which a
+system ingesting web data and shared bib files must survive.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bibtex import parse_bibtex
+from repro.core.errors import ModelError, ParseError, QueryError, CodecError
+from repro.json_codec import loads
+from repro.query.parser import run_query
+from repro.rules.parser import parse_program
+from repro.text import parse_dataset, parse_object
+from repro.web import parse_html
+
+# Text likely to tickle the tokenizers: structural characters mixed with
+# identifiers and quotes.
+structured_noise = st.text(
+    alphabet='abXY01 \n\t(){}[]<>@%#|,.;:=>"\\-', max_size=80)
+arbitrary_text = st.text(max_size=80)
+
+
+class TestTextNotationFuzz:
+    @given(structured_noise)
+    @settings(max_examples=300)
+    def test_parse_object_total(self, source):
+        try:
+            parse_object(source)
+        except (ParseError, ModelError):
+            pass
+
+    @given(arbitrary_text)
+    def test_parse_dataset_total(self, source):
+        try:
+            parse_dataset(source)
+        except (ParseError, ModelError):
+            pass
+
+
+class TestBibtexFuzz:
+    @given(st.text(alphabet='ab @{}=",#()\n', max_size=100))
+    @settings(max_examples=300)
+    def test_parse_bibtex_total(self, source):
+        try:
+            parse_bibtex(source)
+        except ParseError:
+            pass
+
+
+class TestHtmlFuzz:
+    @given(st.text(alphabet="ab <>/=\"'!-\n", max_size=100))
+    @settings(max_examples=300)
+    def test_parse_html_total(self, source):
+        try:
+            parse_html(source)
+        except ParseError:
+            pass
+
+    @given(arbitrary_text)
+    def test_plain_text_always_parses(self, source):
+        if "<" not in source:
+            root = parse_html(source)
+            assert root.tag == "document"
+
+
+class TestJsonCodecFuzz:
+    @given(arbitrary_text)
+    def test_loads_total(self, text):
+        try:
+            loads(text)
+        except CodecError:
+            pass
+
+    @given(st.recursive(
+        st.one_of(st.none(), st.booleans(), st.integers(), st.text()),
+        lambda children: st.one_of(
+            st.lists(children, max_size=3),
+            st.dictionaries(st.text(max_size=5), children, max_size=3)),
+        max_leaves=10))
+    def test_arbitrary_json_values_rejected_cleanly(self, value):
+        import json
+
+        try:
+            decoded = loads(json.dumps(value))
+        except CodecError:
+            return
+        # Only well-formed tagged payloads decode.
+        assert decoded is not None
+
+
+class TestQueryLanguageFuzz:
+    @given(st.text(alphabet='ab ()*,<>=!"0123456789', max_size=60))
+    @settings(max_examples=300)
+    def test_run_query_total(self, text):
+        from repro.core.data import DataSet
+
+        try:
+            run_query("select * where " + text, DataSet())
+        except QueryError:
+            pass
+
+
+class TestRuleLanguageFuzz:
+    @given(st.text(alphabet="abXY (),.:-@%=><![]{}|", max_size=60))
+    @settings(max_examples=300)
+    def test_parse_program_total(self, source):
+        try:
+            parse_program(source)
+        except (ParseError, QueryError, ModelError):
+            pass
+
+
+class TestLatexCodecProperties:
+    @given(st.text(max_size=60))
+    @settings(max_examples=300)
+    def test_decode_is_total(self, text):
+        from repro.bibtex.latex import latex_to_text
+
+        latex_to_text(text)  # must never raise
+
+    @given(st.text(alphabet="abö &%$#_–—“” ", max_size=40))
+    def test_encode_decode_identity_on_decoded_text(self, text):
+        from hypothesis import assume
+
+        from repro.bibtex.latex import latex_to_text, text_to_latex
+
+        # Adjacent dash characters are ambiguous in TeX's hyphen-run
+        # markup ("––" and "—-" encode to the same run), so the identity
+        # holds on the dash-separated domain.
+        assume("––" not in text and "–—" not in text
+               and "—–" not in text)
+        assert latex_to_text(text_to_latex(text)) == text
+
+    @given(st.text(max_size=60))
+    @settings(max_examples=300)
+    def test_decode_idempotent_after_first_pass(self, text):
+        from repro.bibtex.latex import latex_to_text
+
+        once = latex_to_text(text)
+        assert latex_to_text(once) == once or "\\" in once

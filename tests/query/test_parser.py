@@ -1,0 +1,133 @@
+"""Tests for the textual query language."""
+
+import pytest
+
+from repro.core.errors import QueryError
+from repro.core.objects import Atom
+from repro.query.parser import parse_query, run_query
+from tests.query.test_ast import library
+
+
+class TestSelectWhere:
+    def test_select_star(self):
+        assert run_query("select *", library()) == library()
+
+    def test_select_star_where(self):
+        result = run_query('select * where type = "InProc"', library())
+        assert len(result) == 2
+
+    def test_projection(self):
+        result = run_query(
+            'select title, year where type = "Article"', library())
+        for datum in result:
+            assert set(datum.object.attributes) <= {"title", "year"}
+
+    def test_numeric_comparisons(self):
+        assert len(run_query("select * where year >= 1980",
+                             library())) == 2
+        assert len(run_query("select * where year < 1979",
+                             library())) == 1
+        assert len(run_query("select * where year != 1980",
+                             library())) == 3
+
+    def test_and_or_precedence(self):
+        # 'and' binds tighter than 'or'.
+        result = run_query(
+            'select * where type = "InProc" and year = 1979 '
+            'or title = "Oracle"', library())
+        markers = {next(iter(d.markers)).name for d in result}
+        assert markers == {"T79", "B80"}
+
+    def test_parentheses(self):
+        result = run_query(
+            'select * where type = "InProc" and (year = 1979 '
+            'or title = "Partial")', library())
+        assert len(result) == 2
+
+    def test_not(self):
+        result = run_query('select * where not type = "Article"',
+                           library())
+        assert len(result) == 2
+
+    def test_exists(self):
+        result = run_query("select * where exists conf", library())
+        assert len(result) == 1
+
+    def test_contains(self):
+        result = run_query('select * where title contains "ata"',
+                           library())
+        assert next(iter(result)).object["title"] == Atom("Datalog")
+
+    def test_paths_in_conditions(self):
+        result = run_query('select * where authors = "Sam"', library())
+        assert len(result) == 1
+
+    def test_boolean_literals(self):
+        from repro.core.builder import dataset, tup
+
+        ds = dataset(("a", tup(flag=True)), ("b", tup(flag=False)))
+        assert len(run_query("select * where flag = true", ds)) == 1
+
+    def test_keywords_case_insensitive(self):
+        result = run_query('SELECT * WHERE type = "InProc" AND year = 1979',
+                           library())
+        assert len(result) == 1
+
+    def test_compiled_query_reusable(self):
+        compiled = parse_query('select * where type = "Article"')
+        assert len(compiled(library())) == 3
+        assert len(compiled(library())) == 3
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize("text", [
+        "",  # no select
+        "select",  # no projection
+        "select * where",  # dangling where
+        "select * where year",  # missing operator
+        "select * where year >= ",  # missing literal
+        "select * where (year = 1)",  # fine — sanity check below
+        "select * where (year = 1",  # unbalanced
+        "select * where year = 1 garbage",  # trailing
+        "select a.b where year = 1",  # path projection
+        'select * where year ~ 1',  # bad character
+    ])
+    def test_malformed(self, text):
+        if text == "select * where (year = 1)":
+            run_query(text, library())
+            return
+        with pytest.raises(QueryError):
+            run_query(text, library())
+
+
+class TestOrderAndLimit:
+    def test_order_by_with_limit(self):
+        result = run_query(
+            "select * where year >= 1978 order by year limit 1",
+            library())
+        assert len(result) == 1
+        assert next(iter(result)).object["year"] == Atom(1978)
+
+    def test_order_by_desc(self):
+        result = run_query(
+            "select * order by year desc limit 1", library())
+        assert next(iter(result)).object["year"] == Atom(2000)
+
+    def test_order_by_asc_keyword(self):
+        result = run_query("select * order by year asc limit 1",
+                           library())
+        assert next(iter(result)).object["year"] == Atom(1978)
+
+    def test_limit_without_order(self):
+        assert len(run_query("select * limit 2", library())) == 2
+
+    @pytest.mark.parametrize("text", [
+        "select * order year",       # missing 'by'
+        "select * order by",          # missing path
+        "select * limit",             # missing count
+        "select * limit 1.5",         # non-integer
+        "select * limit -1",          # negative (lexes as number)
+    ])
+    def test_malformed_order_limit(self, text):
+        with pytest.raises(QueryError):
+            run_query(text, library())

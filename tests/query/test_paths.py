@@ -1,0 +1,86 @@
+"""Tests for path expressions."""
+
+import pytest
+
+from repro.core.builder import cset, marker, orv, pset, tup
+from repro.core.errors import QueryError
+from repro.core.objects import Atom
+from repro.query.paths import evaluate_path, parse_path, path_exists
+
+
+class TestParsePath:
+    def test_single_step(self):
+        assert parse_path("title") == ("title",)
+
+    def test_dotted(self):
+        assert parse_path("a.b.c") == ("a", "b", "c")
+
+    def test_empty_rejected(self):
+        with pytest.raises(QueryError):
+            parse_path("")
+        with pytest.raises(QueryError):
+            parse_path("a..b")
+
+
+class TestEvaluatePath:
+    SAMPLE = tup(
+        title="Oracle",
+        authors=cset(tup(first="Bob", last="King"),
+                     tup(first="Ann", last="Liu")),
+        partial_tags=pset(tup(tag="db")),
+        year=orv(1980, 1981),
+        ref=marker("DB"),
+    )
+
+    def test_direct_attribute(self):
+        assert evaluate_path(self.SAMPLE, ("title",)) == [Atom("Oracle")]
+
+    def test_absent_attribute_yields_nothing(self):
+        assert evaluate_path(self.SAMPLE, ("nope",)) == []
+
+    def test_path_through_complete_set(self):
+        lasts = evaluate_path(self.SAMPLE, ("authors", "last"))
+        assert lasts == [Atom("King"), Atom("Liu")]
+
+    def test_path_through_partial_set(self):
+        assert evaluate_path(self.SAMPLE, ("partial_tags", "tag")) == [
+            Atom("db")]
+
+    def test_path_through_or_value(self):
+        nested = tup(x=orv(tup(y=1), tup(y=2)))
+        assert evaluate_path(nested, ("x", "y")) == [Atom(1), Atom(2)]
+
+    def test_atoms_have_no_attributes(self):
+        assert evaluate_path(self.SAMPLE, ("title", "deeper")) == []
+
+    def test_markers_have_no_attributes(self):
+        assert evaluate_path(self.SAMPLE, ("ref", "x")) == []
+
+    def test_spread_unwraps_final_containers(self):
+        obj = tup(tags=cset("a", "b"))
+        assert evaluate_path(obj, ("tags",)) == [cset("a", "b")]
+        assert evaluate_path(obj, ("tags",), spread=True) == [
+            Atom("a"), Atom("b")]
+
+    def test_spread_unwraps_or_values(self):
+        assert evaluate_path(self.SAMPLE, ("year",), spread=True) == [
+            Atom(1980), Atom(1981)]
+
+    def test_results_deduplicated(self):
+        obj = tup(xs=cset(tup(v=1), tup(v=1, w=2)))
+        assert evaluate_path(obj, ("xs", "v")) == [Atom(1)]
+
+    def test_empty_path_returns_object(self):
+        assert evaluate_path(Atom(1), ()) == [Atom(1)]
+
+
+class TestPathExists:
+    def test_present(self):
+        assert path_exists(tup(a=tup(b=1)), ("a", "b"))
+
+    def test_absent(self):
+        assert not path_exists(tup(a=1), ("b",))
+
+    def test_bottom_valued_attribute_does_not_exist(self):
+        # tup() canonicalizes a ⊥ attribute away, so it's just absent.
+        assert not path_exists(tup(a=None), ("a",))

@@ -1,0 +1,104 @@
+"""Tests for term matching and instantiation."""
+
+import pytest
+
+from repro.core.builder import cset, marker, orv, pset, tup
+from repro.core.errors import QueryError
+from repro.core.objects import BOTTOM, Atom
+from repro.rules.ast import Const, TuplePattern, Var
+from repro.rules.matching import EMPTY, instantiate, match_term
+
+X, Y = Var("X"), Var("Y")
+
+
+class TestVarMatching:
+    def test_fresh_variable_binds(self):
+        subst = match_term(X, Atom(1), EMPTY)
+        assert subst == {X: Atom(1)}
+
+    def test_bound_variable_must_agree(self):
+        subst = {X: Atom(1)}
+        assert match_term(X, Atom(1), subst) == subst
+        assert match_term(X, Atom(2), subst) is None
+
+    def test_input_substitution_not_mutated(self):
+        base = {}
+        match_term(X, Atom(1), base)
+        assert base == {}
+
+    def test_variable_can_bind_complex_objects(self):
+        subst = match_term(X, cset(1, 2), EMPTY)
+        assert subst[X] == cset(1, 2)
+
+
+class TestConstMatching:
+    def test_equal(self):
+        assert match_term(Const(Atom("a")), Atom("a"), EMPTY) == {}
+
+    def test_unequal(self):
+        assert match_term(Const(Atom("a")), Atom("b"), EMPTY) is None
+
+    def test_kind_sensitive(self):
+        assert match_term(Const(Atom("a")), marker("a"), EMPTY) is None
+        assert match_term(Const(pset(1)), cset(1), EMPTY) is None
+
+
+class TestTuplePatternMatching:
+    def test_open_pattern_ignores_extra_attributes(self):
+        pattern = TuplePattern({"name": X})
+        obj = tup(name="Ann", age=70)
+        assert match_term(pattern, obj, EMPTY) == {X: Atom("Ann")}
+
+    def test_exact_pattern_rejects_extras(self):
+        pattern = TuplePattern({"name": X}, exact=True)
+        assert match_term(pattern, tup(name="Ann", age=70), EMPTY) is None
+        assert match_term(pattern, tup(name="Ann"), EMPTY) is not None
+
+    def test_missing_attribute_fails(self):
+        pattern = TuplePattern({"name": X, "age": Y})
+        assert match_term(pattern, tup(name="Ann"), EMPTY) is None
+
+    def test_explicit_bottom_pattern_matches_absence(self):
+        pattern = TuplePattern({"age": Const(BOTTOM)})
+        assert match_term(pattern, tup(name="Ann"), EMPTY) == {}
+        assert match_term(pattern, tup(age=70), EMPTY) is None
+
+    def test_nested_patterns(self):
+        pattern = TuplePattern({"who": TuplePattern({"last": X})})
+        obj = tup(who=tup(first="Tok Wang", last="Ling"))
+        assert match_term(pattern, obj, EMPTY) == {X: Atom("Ling")}
+
+    def test_shared_variable_must_agree(self):
+        pattern = TuplePattern({"a": X, "b": X})
+        assert match_term(pattern, tup(a=1, b=1), EMPTY) == {X: Atom(1)}
+        assert match_term(pattern, tup(a=1, b=2), EMPTY) is None
+
+    def test_non_tuple_object_fails(self):
+        assert match_term(TuplePattern({"a": X}), Atom(1), EMPTY) is None
+
+    def test_duplicate_pattern_attribute_rejected(self):
+        with pytest.raises(QueryError):
+            TuplePattern((("a", X), ("a", Y)))
+
+
+class TestInstantiate:
+    def test_const(self):
+        assert instantiate(Const(Atom(1)), EMPTY) == Atom(1)
+
+    def test_bound_variable(self):
+        assert instantiate(X, {X: orv(1, 2)}) == orv(1, 2)
+
+    def test_unbound_variable_raises(self):
+        with pytest.raises(QueryError):
+            instantiate(X, EMPTY)
+
+    def test_tuple_pattern_builds_tuple(self):
+        pattern = TuplePattern({"name": X, "kind": Const(Atom("p"))})
+        built = instantiate(pattern, {X: Atom("Ann")})
+        assert built == tup(name="Ann", kind="p")
+
+    def test_round_trip_match_then_instantiate(self):
+        pattern = TuplePattern({"a": X, "b": Y})
+        obj = tup(a=pset(1), b=cset(2))
+        subst = match_term(pattern, obj, EMPTY)
+        assert instantiate(pattern, subst) == obj

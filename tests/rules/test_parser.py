@@ -1,0 +1,197 @@
+"""Tests for the rule-language parser."""
+
+import pytest
+
+from repro.core.builder import cset, marker, orv, pset, tup
+from repro.core.errors import ParseError, QueryError
+from repro.core.objects import BOTTOM, Atom
+from repro.rules.ast import (
+    Comparison,
+    Const,
+    Literal,
+    Member,
+    TuplePattern,
+    Var,
+)
+from repro.rules.parser import parse_program, parse_rule, parse_term
+
+
+class TestTerms:
+    @pytest.mark.parametrize("source,expected", [
+        ('"hello"', Const(Atom("hello"))),
+        ("42", Const(Atom(42))),
+        ("-1.5", Const(Atom(-1.5))),
+        ("true", Const(Atom(True))),
+        ("false", Const(Atom(False))),
+        ("bottom", Const(BOTTOM)),
+        ("@B80", Const(marker("B80"))),
+        ("@faculty.html", Const(marker("faculty.html"))),
+        ("X", Var("X")),
+        ("Name", Var("Name")),
+        ("_tmp", Var("_tmp")),
+        ("1|2", Const(orv(1, 2))),
+        ("<1, 2>", Const(pset(1, 2))),
+        ("<>", Const(pset())),
+        ("{1}", Const(cset(1))),
+        ("{}", Const(cset())),
+    ])
+    def test_ground_and_variable_terms(self, source, expected):
+        assert parse_term(source) == expected
+
+    def test_lowercase_bare_identifier_rejected(self):
+        with pytest.raises(ParseError):
+            parse_term("bob")
+
+    def test_open_tuple_pattern(self):
+        term = parse_term('[name => N, age => 70]')
+        assert term == TuplePattern({"name": Var("N"),
+                                     "age": Const(Atom(70))})
+        assert not term.exact
+
+    def test_exact_ground_tuple_becomes_const(self):
+        term = parse_term('[a => 1]!')
+        assert term == Const(tup(a=1))
+
+    def test_exact_pattern_with_variables_stays_pattern(self):
+        term = parse_term('[a => X]!')
+        assert isinstance(term, TuplePattern)
+        assert term.exact
+
+    def test_nested_patterns(self):
+        term = parse_term('[who => [last => L]]')
+        assert term == TuplePattern(
+            {"who": TuplePattern({"last": Var("L")})})
+
+    def test_or_value_with_variables_rejected(self):
+        with pytest.raises(ParseError):
+            parse_term("X|1")
+
+    def test_set_with_variables_rejected(self):
+        with pytest.raises(ParseError):
+            parse_term("{X}")
+
+    def test_trailing_input_rejected(self):
+        with pytest.raises(ParseError):
+            parse_term("1 2")
+
+
+class TestRules:
+    def test_fact(self):
+        rule = parse_rule("parent(@ann, @bob).")
+        assert rule.is_fact()
+        assert rule.head == Literal("parent", (Const(marker("ann")),
+                                               Const(marker("bob"))))
+
+    def test_simple_rule(self):
+        rule = parse_rule("p(X) :- q(X).")
+        assert rule.head.predicate == "p"
+        assert rule.body == (Literal("q", (Var("X"),)),)
+
+    def test_negation(self):
+        rule = parse_rule("p(X) :- q(X), not r(X).")
+        assert rule.body[1].negated
+
+    def test_member(self):
+        rule = parse_rule("a(N) :- e(S), member(N, S).")
+        assert rule.body[1] == Member(Var("N"), Var("S"))
+
+    def test_comparisons(self):
+        rule = parse_rule("old(N) :- p([name => N, age => A]), A >= 65.")
+        comparison = rule.body[1]
+        assert isinstance(comparison, Comparison)
+        assert comparison.op == ">="
+
+    def test_equality_binder(self):
+        rule = parse_rule("p(A) :- q(T), A = T.")
+        assert rule.body[1] == Comparison("=", Var("A"), Var("T"))
+
+    def test_comments_and_multiple_statements(self):
+        program = parse_program("""
+        % two facts and one rule
+        e(@a). e(@b).
+        both(X, Y) :- e(X), e(Y).
+        """)
+        assert len(program) == 3
+
+    def test_unsafe_rule_rejected(self):
+        with pytest.raises(QueryError):
+            parse_rule("p(X, Y) :- q(X).")
+
+    def test_unsafe_negation_rejected(self):
+        with pytest.raises(QueryError):
+            parse_rule("p(X) :- q(X), not r(Y).")
+
+    def test_negated_head_rejected(self):
+        with pytest.raises(ParseError):
+            parse_rule("not p(X) :- q(X).")
+
+    @pytest.mark.parametrize("source", [
+        "p(X)",              # missing period
+        "p(X) :- .",         # empty body
+        "p() .",             # no args
+        ":- q(X).",          # no head
+        "p(X) :- q(X) r(X).",  # missing comma
+        "P(X) :- q(X).",     # variable as predicate
+        "p(X) :- member(X).",  # member arity
+    ])
+    def test_malformed(self, source):
+        with pytest.raises(ParseError):
+            parse_rule(source)
+
+    def test_error_carries_line(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_program("e(@a).\np(X :- q(X).")
+        assert excinfo.value.line == 2
+
+
+class TestCollectParsing:
+    def test_complete_collect_in_head(self):
+        from repro.rules.ast import Collect
+
+        rule = parse_rule("authors(T, {N}) :- wrote(N, T).")
+        assert rule.head.args[1] == Collect(Var("N"), "complete_set")
+        assert rule.is_grouping()
+
+    def test_partial_collect_in_head(self):
+        from repro.rules.ast import Collect
+
+        rule = parse_rule("some(T, <N>) :- wrote(N, T).")
+        assert rule.head.args[1] == Collect(Var("N"), "partial_set")
+
+    def test_ground_sets_in_heads_still_parse(self):
+        rule = parse_rule('tagged({1, 2}) :- p(X).')
+        assert rule.head.args[0] == Const(cset(1, 2))
+        assert not rule.is_grouping()
+
+    def test_collect_in_body_is_ground_set_error(self):
+        from repro.core.errors import ParseError
+
+        # In bodies {N} is an (illegal) non-ground set term.
+        with pytest.raises(ParseError):
+            parse_rule("p(X) :- q(X), r({X}).")
+
+    def test_collect_requires_body(self):
+        with pytest.raises(QueryError):
+            parse_rule("authors({N}).")
+
+
+class TestReprs:
+    def test_rule_repr_round_trips_visually(self):
+        rule = parse_rule("p(X, {Y}) :- q(X, Y), not r(X), Y >= 2.")
+        text = repr(rule)
+        assert "p(X, {Y})" in text
+        assert "not r(X)" in text
+        assert "Y >= 2" in text
+
+    def test_term_reprs(self):
+        from repro.rules.ast import Collect, TuplePattern
+
+        assert repr(Var("X")) == "X"
+        assert repr(Collect(Var("N"), "partial_set")) == "<N>"
+        assert repr(TuplePattern({"a": Var("X")}, exact=True)) == \
+            "[a => X]!"
+
+    def test_member_repr(self):
+        from repro.rules.ast import Member
+
+        assert repr(Member(Var("X"), Var("S"))) == "member(X, S)"

@@ -1,0 +1,116 @@
+"""Tests for schema inference and key suggestion."""
+
+from repro.core.builder import cset, data, dataset, marker, orv, pset, tup
+from repro.core.data import DataSet
+from repro.core.objects import Atom
+from repro.schema import OTHER, infer_schema, suggest_key
+from tests.core.test_data import example6_sources
+
+
+class TestInferSchema:
+    def test_classes_partition_by_type(self):
+        s1, s2 = example6_sources()
+        schema = infer_schema(s1.union(s2, {"type", "title"}))
+        assert schema.class_names() == ["Article", "InProc"]
+        assert schema.total == 8
+        assert schema.classes["Article"].size == 5
+        assert schema.classes["InProc"].size == 3
+
+    def test_attribute_coverage(self):
+        schema = infer_schema(dataset(
+            ("a", tup(type="T", x=1)),
+            ("b", tup(type="T", x=2, y=3)),
+        ))
+        t = schema.classes["T"]
+        assert t.attributes["x"].coverage(t.size) == 1.0
+        assert t.attributes["y"].coverage(t.size) == 0.5
+        assert t.required_attributes() == ["type", "x"]
+
+    def test_kind_histogram(self):
+        schema = infer_schema(dataset(
+            ("a", tup(type="T", v=1)),
+            ("b", tup(type="T", v="s")),
+            ("c", tup(type="T", v=marker("m"))),
+            ("d", tup(type="T", v=cset(1))),
+        ))
+        kinds = schema.classes["T"].attributes["v"].kinds
+        assert kinds["atom:int"] == 1
+        assert kinds["atom:str"] == 1
+        assert kinds["marker"] == 1
+        assert kinds["complete_set"] == 1
+
+    def test_conflicts_and_openness_counted(self):
+        schema = infer_schema(dataset(
+            ("a", tup(type="T", v=orv(1, 2))),
+            ("b", tup(type="T", v=pset("x"))),
+        ))
+        attr = schema.classes["T"].attributes["v"]
+        assert attr.conflicted == 1
+        assert attr.open_sets == 1
+
+    def test_non_tuple_data_grouped_as_other(self):
+        schema = infer_schema(dataset(("a", Atom(1)),
+                                      ("b", tup(title="no type"))))
+        assert schema.class_names() == [OTHER]
+        assert schema.classes[OTHER].size == 2
+
+    def test_custom_type_attribute(self):
+        schema = infer_schema(dataset(("a", tup(kind="K"))),
+                              type_attribute="kind")
+        assert "K" in schema.classes
+
+    def test_empty_dataset(self):
+        schema = infer_schema(DataSet())
+        assert schema.total == 0
+        assert schema.describe().startswith("0 data")
+
+    def test_describe_mentions_flags(self):
+        schema = infer_schema(dataset(
+            ("a", tup(type="T", v=orv(1, 2)))))
+        text = schema.describe()
+        assert "1 conflicted" in text
+        assert "class T" in text
+
+
+class TestSuggestKey:
+    def test_example6_recommends_the_papers_key(self):
+        s1, s2 = example6_sources()
+        schema = infer_schema(s1.union(s2, {"type", "title"}))
+        suggested = suggest_key(schema.classes["Article"])
+        assert set(suggested) == {"type", "title"}
+
+    def test_selectivity_ranks_unique_attributes_first(self):
+        schema = infer_schema(dataset(
+            ("a", tup(type="T", uid="u1", flag="x")),
+            ("b", tup(type="T", uid="u2", flag="x")),
+            ("c", tup(type="T", uid="u3", flag="x")),
+        ))
+        suggested = suggest_key(schema.classes["T"])
+        assert suggested[0] == "uid"
+
+    def test_conflicted_attributes_excluded(self):
+        schema = infer_schema(dataset(
+            ("a", tup(type="T", v=orv(1, 2), w=1)),
+            ("b", tup(type="T", v=3, w=2)),
+        ))
+        assert "v" not in suggest_key(schema.classes["T"])
+        assert "w" in suggest_key(schema.classes["T"])
+
+    def test_partial_coverage_excluded(self):
+        schema = infer_schema(dataset(
+            ("a", tup(type="T", sometimes=1)),
+            ("b", tup(type="T")),
+        ))
+        assert "sometimes" not in suggest_key(schema.classes["T"])
+
+    def test_non_atom_attributes_excluded(self):
+        schema = infer_schema(dataset(
+            ("a", tup(type="T", s=cset(1))),
+            ("b", tup(type="T", s=cset(2))),
+        ))
+        assert suggest_key(schema.classes["T"]) == ["type"]
+
+    def test_max_size_respected(self):
+        schema = infer_schema(dataset(
+            ("a", tup(type="T", p=1, q=2, r=3, s=4))))
+        assert len(suggest_key(schema.classes["T"], max_size=2)) == 2

@@ -1,0 +1,115 @@
+"""Tests for the key index and its classification rules."""
+
+from repro.core.builder import cset, data, marker, orv, pset, tup
+from repro.core.objects import BOTTOM, Atom
+from repro.store.index import (
+    NEVER_MATCHES,
+    UNINDEXABLE,
+    KeyIndex,
+    signature,
+)
+
+K = frozenset({"A", "B"})
+
+
+class TestSignature:
+    def test_atomic_key_values_index(self):
+        d = data("m", tup(A="a", B=1, C="ignored"))
+        classified = signature(d, K)
+        assert classified[0] == "tuple"
+        assert classified == signature(data("n", tup(A="a", B=1)), K)
+
+    def test_different_key_values_different_signatures(self):
+        assert signature(data("m", tup(A="a", B="b")), K) != \
+            signature(data("m", tup(A="a", B="c")), K)
+
+    def test_marker_and_complete_set_key_values_index(self):
+        d = data("m", tup(A=marker("x"), B=cset(1, 2)))
+        assert signature(d, K)[0] == "tuple"
+
+    def test_or_value_key_indexes_setwise(self):
+        first = signature(data("m", tup(A=orv(1, 2), B="b")), K)
+        second = signature(data("n", tup(A=orv(2, 1), B="b")), K)
+        assert first == second
+
+    def test_or_value_with_bottom_never_matches(self):
+        d = data("m", tup(A=orv(BOTTOM, 1), B="b"))
+        assert signature(d, K) == NEVER_MATCHES
+
+    def test_missing_key_attribute_never_matches(self):
+        assert signature(data("m", tup(A="a")), K) == NEVER_MATCHES
+
+    def test_partial_set_key_value_never_matches(self):
+        assert signature(data("m", tup(A=pset(1), B="b")),
+                         K) == NEVER_MATCHES
+
+    def test_tuple_key_value_unindexable(self):
+        d = data("m", tup(A=tup(x=1), B="b"))
+        assert signature(d, K) == UNINDEXABLE
+
+    def test_non_tuple_objects(self):
+        assert signature(data("m", Atom(1)), K) == ("whole", Atom(1))
+        assert signature(data("m", cset(1)), K) == ("whole", cset(1))
+        assert signature(data("m", pset(1)), K) == NEVER_MATCHES
+        assert signature(data("m", orv(1, 2)), K) == ("whole", orv(1, 2))
+
+    def test_atom_type_distinction_survives(self):
+        assert signature(data("m", tup(A=1, B="b")), K) != \
+            signature(data("m", tup(A=True, B="b")), K)
+
+
+class TestKeyIndex:
+    def test_bucket_lookup(self):
+        a = data("m", tup(A="k", B="b", p=1))
+        b = data("n", tup(A="k", B="b", q=2))
+        c = data("o", tup(A="z", B="b"))
+        index = KeyIndex([a, c], K)
+        assert index.candidates(b) == [a]
+
+    def test_never_matching_probe_gets_nothing(self):
+        a = data("m", tup(A="k", B="b"))
+        index = KeyIndex([a], K)
+        probe = data("x", tup(A="k"))  # B missing → ⊥ → never
+        assert index.candidates(probe) == []
+
+    def test_unindexable_probe_scans_everything(self):
+        a = data("m", tup(A="k", B="b"))
+        index = KeyIndex([a], K)
+        probe = data("x", tup(A=tup(inner="k"), B="b"))
+        assert a in index.candidates(probe)
+
+    def test_candidates_complete_for_compatible_pairs(self):
+        # Exhaustive cross-check on random data: every compatible pair
+        # must be discoverable through the index.
+        from repro.core.compatibility import compatible_data
+        from repro.properties import ObjectGenerator
+
+        for seed in range(20):
+            generator = ObjectGenerator(seed=seed)
+            left = list(generator.dataset(8))
+            right = list(generator.dataset(8))
+            index = KeyIndex(right, K)
+            for datum in left:
+                candidates = set(
+                    id(c) for c in index.candidates(datum))
+                for other in right:
+                    if compatible_data(datum, other, K):
+                        assert any(
+                            candidate == other
+                            for candidate in index.candidates(datum)), \
+                            (seed, datum, other)
+
+    def test_len_and_everything(self):
+        a = data("m", tup(A="k", B="b"))
+        b = data("n", tup(A=tup(x=1), B="b"))
+        c = data("o", tup(A="k"))
+        index = KeyIndex([a, b, c], K)
+        assert len(index) == 3
+        assert set(index.everything()) == {a, b, c}
+
+    def test_incremental_add(self):
+        index = KeyIndex([], K)
+        d = data("m", tup(A="k", B="b"))
+        index.add(d)
+        assert len(index) == 1
+        assert index.candidates(data("x", tup(A="k", B="b"))) == [d]

@@ -1,0 +1,214 @@
+"""Final edge-case sweep across subsystems.
+
+Small behaviours that the per-module suites don't pin down: error types
+on misuse, boundary inputs, and cross-cutting invariants.
+"""
+
+import pytest
+
+from repro.core.builder import cset, data, dataset, marker, orv, pset, tup
+from repro.core.data import Data, DataSet
+from repro.core.errors import CodecError
+from repro.core.objects import BOTTOM, Atom, Marker
+
+
+class TestOemEdges:
+    def test_from_object_rejects_non_objects(self):
+        from repro.baselines import oem
+
+        with pytest.raises(TypeError):
+            oem.from_object("raw", oem.OemDatabase(), "x")
+
+    def test_fresh_oids_unique(self):
+        from repro.baselines import oem
+
+        db = oem.OemDatabase()
+        assert len({db.fresh_oid() for _ in range(100)}) == 100
+
+    def test_naive_merge_of_empty_databases(self):
+        from repro.baselines import oem
+
+        merged = oem.naive_merge(oem.OemDatabase(), oem.OemDatabase(),
+                                 ["type"])
+        assert merged.roots == []
+
+    def test_atoms_iterator(self):
+        from repro.baselines import oem
+
+        db = oem.from_dataset(dataset(("a", tup(x=1, y="s"))))
+        assert sorted(map(str, db.atoms())) == ["1", "s"]
+
+
+class TestTreeEdges:
+    def test_from_model_object_rejects_non_objects(self):
+        from repro.baselines import labeled_tree
+
+        with pytest.raises(TypeError):
+            labeled_tree.from_model_object(object())
+
+    def test_sorted_edges_stable(self):
+        from repro.baselines import labeled_tree as lt
+
+        node = lt.TreeNode()
+        node.add_edge("b", lt.TreeNode(value=2))
+        node.add_edge("a", lt.TreeNode(value=1))
+        labels = [label for label, _ in lt.sorted_edges(node)]
+        assert labels == ["a", "b"]
+
+    def test_leaves_of_empty_tree(self):
+        from repro.baselines import labeled_tree as lt
+
+        assert list(lt.TreeNode().leaves()) == []
+
+
+class TestCodecEdges:
+    def test_dumps_rejects_data_objects(self):
+        from repro.json_codec import dumps
+
+        with pytest.raises(CodecError):
+            dumps(data("m", tup()))  # Data is not an SSObject payload
+
+    def test_dataset_decode_rejects_non_data_entries(self):
+        from repro.json_codec import loads_dataset
+
+        with pytest.raises(CodecError):
+            loads_dataset('{"kind": "dataset", "data": '
+                          '[{"kind": "bottom"}]}')
+
+    def test_unicode_round_trip(self):
+        from repro.json_codec import dumps, loads
+
+        obj = tup(title="Gödel — a biography", tag=cset("ü", "漢"))
+        assert loads(dumps(obj)) == obj
+
+
+class TestTextNotationEdges:
+    def test_unicode_strings_round_trip(self):
+        from repro.text import format_object, parse_object
+
+        obj = tup(name="Gödel", note="漢字 — test")
+        assert parse_object(format_object(obj)) == obj
+
+    def test_deeply_nested_round_trip(self):
+        from repro.text import format_object, parse_object
+
+        deep = Atom(0)
+        for level in range(30):
+            deep = tup(**{f"level{level}": deep})
+        assert parse_object(format_object(deep, indent=1)) == deep
+
+    def test_negative_and_float_years(self):
+        from repro.text import parse_object
+
+        assert parse_object("[y => -450]")["y"] == Atom(-450)
+        assert parse_object("[y => -0.5]")["y"] == Atom(-0.5)
+
+
+class TestDataEdges:
+    def test_dataset_filter_keeps_type(self):
+        ds = dataset(("a", tup(x=1)))
+        assert isinstance(ds.filter(lambda d: True), DataSet)
+
+    def test_find_prefers_structurally_smallest(self):
+        shared = [data("m", Atom(2)), data("m", Atom(1))]
+        assert DataSet(shared).find("m").object == Atom(1)
+
+    def test_bottom_marker_data_have_no_markers(self):
+        assert Data(BOTTOM, tup()).markers == frozenset()
+
+    def test_of_type_on_heterogeneous_set(self):
+        ds = dataset(("a", Atom(1)),
+                     ("b", tup(type="T")),
+                     ("c", tup(type=cset("T"))))
+        assert len(ds.of_type("type", "T")) == 1
+
+
+class TestOperationsEdges:
+    K = {"A", "B"}
+
+    def test_union_of_or_values_with_shared_complex_disjuncts(self):
+        from repro.core.operations import union
+
+        t = tup(x=1)
+        assert union(orv(t, "a"), orv(t, "b"), self.K) == orv(t, "a", "b")
+
+    def test_intersection_of_deeply_equal_structures_is_identity(self):
+        from repro.core.operations import intersection
+
+        deep = tup(A="a", B="b", s=cset(pset(tup(q=orv(1, 2)))))
+        assert intersection(deep, deep, self.K) == deep
+
+    def test_difference_with_key_superset_of_attributes(self):
+        from repro.core.operations import difference
+
+        # Key attributes the tuples lack read as ⊥ → incompatible →
+        # rule 6 returns the first operand.
+        left = tup(A="a")
+        right = tup(A="a", extra=1)
+        assert difference(left, right, {"A", "B", "C"}) == left
+
+    def test_operations_accept_frozenset_keys(self):
+        from repro.core.operations import difference, intersection, union
+
+        key = frozenset({"A"})
+        assert union(Atom(1), BOTTOM, key) == Atom(1)
+        assert intersection(Atom(1), Atom(1), key) == Atom(1)
+        assert difference(Atom(1), Atom(1), key) is BOTTOM
+
+
+class TestStoreEdges:
+    def test_database_init_from_dataset(self):
+        from repro.store import Database
+
+        ds = dataset(("a", tup(x=1)))
+        assert Database(ds).snapshot() == ds
+
+    def test_merge_in_empty_source_is_noop(self):
+        from repro.store import Database
+
+        ds = dataset(("a", tup(type="t", title="x")))
+        db = Database(ds)
+        db.merge_in(DataSet(), {"type", "title"})
+        assert db.snapshot() == ds
+
+    def test_save_creates_parent_directories(self, tmp_path):
+        from repro.store import Database
+
+        target = tmp_path / "a" / "b" / "c.json"
+        Database().save(target)
+        assert target.exists()
+
+
+class TestSchemaEdges:
+    def test_selectivity_of_constant_attribute(self):
+        from repro.schema import infer_schema
+
+        ds = dataset(*((f"m{i}", tup(type="T", flag="same"))
+                       for i in range(10)))
+        schema = infer_schema(ds)
+        attr = schema.classes["T"].attributes["flag"]
+        assert attr.selectivity() == pytest.approx(0.1)
+
+    def test_samples_are_canonical_and_bounded(self):
+        from repro.schema import infer_schema
+
+        ds = dataset(*((f"m{i}", tup(type="T", v=i)) for i in range(10)))
+        schema = infer_schema(ds)
+        samples = schema.classes["T"].attributes["v"].samples()
+        assert len(samples) <= 3
+        assert samples == sorted(samples, key=repr) or len(samples) <= 3
+
+
+class TestWorkloadEdges:
+    def test_expected_result_size_counts_held_entries_only(self):
+        from repro.workloads import BibWorkloadSpec, generate_workload
+
+        workload = generate_workload(BibWorkloadSpec(entries=10,
+                                                     sources=2, seed=0))
+        assert workload.expected_result_size() == 10
+
+    def test_web_site_single_page(self):
+        from repro.workloads import WebWorkloadSpec, generate_site
+
+        site = generate_site(WebWorkloadSpec(pages=1, seed=0))
+        assert set(site) == {"page0.html"}

@@ -1,0 +1,215 @@
+"""Audit of the paper's in-prose claims (outside the numbered examples).
+
+Each test quotes a sentence from the paper and asserts that the
+implementation makes it true. The numbered examples and propositions are
+covered by the harness (E1-E8, P1-P5); this file covers the rest of what
+the paper *says*.
+"""
+
+from repro.core.builder import cset, data, dataset, marker, orv, pset, tup
+from repro.core.data import Data
+from repro.core.informativeness import (
+    less_informative,
+    strictly_less_informative,
+)
+from repro.core.objects import BOTTOM, Atom, Marker
+from repro.core.operations import difference, intersection, union
+
+K = frozenset({"A", "B"})
+
+
+class TestSection2Claims:
+    def test_bottom_is_the_null_unknown_object(self):
+        # "We use ⊥ for null/unknown object. For example, ... if the age
+        # of the person is unknown, then we use [..., age ⇒ ⊥, ...]."
+        person = tup(name="p", age=None)
+        assert person.get("age") is BOTTOM
+        assert person == tup(name="p")  # unknown ≡ absent
+
+    def test_or_value_records_conflicts_for_the_user(self):
+        # "the or-value 21|22 ... implies the age is 21 or 22 as there is
+        # a conflict right now ... It is up to the user to solve the
+        # conflicts."
+        merged = union(tup(A="a", B="b", age=21),
+                       tup(A="a", B="b", age=22), K)
+        assert merged["age"] == orv(21, 22)
+        # The user can indeed resolve it later: both alternatives remain.
+        assert intersection(merged["age"], Atom(21), K) == Atom(21)
+
+    def test_markers_identify_complex_objects_unlike_oem_oids(self):
+        # "An object identifier is attached to each object, even to each
+        # constant in OEM. In contrast, markers in our data model can be
+        # used to identify complex objects."
+        from repro.baselines import oem
+
+        db = oem.OemDatabase()
+        oem.from_object(tup(a=1, b=2), db, "entry")
+        # OEM: every node (even atoms) got an identifier.
+        assert len(db.objects) == 3
+        # Model: one marker names the whole complex object; constants
+        # have no identity of their own.
+        datum = data("m", tup(a=1, b=2))
+        assert datum.markers == frozenset({Marker("m")})
+
+    def test_empty_partial_set_contains_more_information_than_bottom(self):
+        # "the empty partial set ⟨⟩ indicates that it is a set but we do
+        # not know what is in it. It contains more information than ⊥."
+        assert strictly_less_informative(BOTTOM, pset())
+
+    def test_empty_complete_set_quite_different_from_empty_partial(self):
+        # "The empty set {} indicates there is nothing in it, which is
+        # quite different from ⟨⟩."
+        assert cset() != pset()
+        # The closed world is never below the open one...
+        assert not less_informative(cset(), pset())
+        # ...but "a set with unknown contents" IS below "exactly empty"
+        # (Definition 3(4), vacuous witness) — strictly different objects
+        # in a strict information order.
+        assert strictly_less_informative(pset(), cset())
+
+    def test_real_vs_virtual_data(self):
+        # "When n = 1 and O does not contain or-values ... it is called
+        # real. Otherwise, it is called virtual. Real semistructured data
+        # are the ones that can exist in the real world while virtual
+        # ones are those generated with our operations."
+        source = data("B80", tup(A="a", B="b", v=1))
+        assert source.is_real()
+        other = data("B82", tup(A="a", B="b", v=2))
+        assert source.union(other, K).is_virtual()     # or-marker + or-value
+        assert source.intersection(other, K).is_virtual()  # ⊥ marker
+
+    def test_a_bib_file_is_a_set_of_data_a_web_page_a_single_datum(self):
+        # "a Bibtex file can be viewed as a set of real semistructured
+        # data while a Web page can be viewed as a single real
+        # semistructured data."
+        from repro.bibtex import parse_bib_source
+        from repro.harness.paperdata import (
+            EXAMPLE1_BIB,
+            EXAMPLE2_HTML,
+            EXAMPLE2_URL,
+        )
+        from repro.web import page_to_data
+
+        bib = parse_bib_source(EXAMPLE1_BIB)
+        assert len(bib) == 2
+        assert all(entry.is_real() for entry in bib)
+        page = page_to_data(EXAMPLE2_URL, EXAMPLE2_HTML)
+        assert page.is_real()
+
+
+class TestSection3Claims:
+    def test_less_informative_expresses_part_of(self):
+        # "The less informative relationship is used to express the fact
+        # that one object is part of another object."
+        part = tup(A="a")
+        whole = tup(A="a", B="b", C="c")
+        assert less_informative(part, whole)
+        assert not less_informative(whole, part)
+
+    def test_two_bottoms_not_compatible(self):
+        # "Two ⊥ are not compatible because two different occurrences may
+        # not denote the same real-world entity."
+        from repro.core.compatibility import compatible
+
+        assert not compatible(BOTTOM, BOTTOM, K)
+
+    def test_identical_objects_with_bottom_not_compatible(self):
+        # "two identical objects may not be compatible if they involve ⊥."
+        from repro.core.compatibility import compatible
+
+        poisoned = tup(A="a1", C=cset("c1"))   # B absent ≡ ⊥
+        assert poisoned == poisoned
+        assert not compatible(poisoned, poisoned, K)
+
+    def test_key_can_be_non_atomic(self):
+        # "the set K of attributes ... is similar to the notion of the
+        # key in the relational data model, but can be non-atomic."
+        from repro.core.compatibility import compatible
+
+        left = tup(A=tup(A="x", B="y"), B="b", extra=1)
+        right = tup(A=tup(A="x", B="y", C="z"), B="b", other=2)
+        assert compatible(left, right, K)
+        merged = union(left, right, K)
+        assert merged["extra"] == Atom(1)
+        assert merged["other"] == Atom(2)
+
+    def test_union_of_two_partial_sets_is_still_partial(self):
+        # "the union of two partial sets is still a partial set as we
+        # still do not know if the result is complete."
+        assert union(pset("x"), pset("y"), K).kind == "partial_set"
+
+    def test_traditional_set_union_cannot_detect_the_conflict(self):
+        # "The union of two distinct complete sets however generates an
+        # or-value ... Using the union of the traditional set theory
+        # cannot detect such a conflict."
+        mine = cset("Bob")
+        theirs = cset("Bob", "Tom")
+        model_union = union(mine, theirs, K)
+        assert model_union == orv(mine, theirs)       # conflict recorded
+        naive = frozenset(mine.elements) | frozenset(theirs.elements)
+        assert naive == frozenset(theirs.elements)    # silently swallowed
+
+    def test_intersection_openness_rationale(self):
+        # "the intersection of two partial sets or a partial set and a
+        # complete set is a partial set ... However, the intersection of
+        # complete sets is a complete set."
+        assert intersection(pset("x"), pset("x", "y"),
+                            K).kind == "partial_set"
+        assert intersection(pset("x"), cset("x", "y"),
+                            K).kind == "partial_set"
+        assert intersection(cset("x"), cset("x", "y"),
+                            K).kind == "complete_set"
+
+    def test_difference_keeps_the_key_as_identity(self):
+        # "we keep the value of K in the result as it provides the
+        # identity for the result."
+        left = tup(A="a", B="b", extra=1)
+        right = tup(A="a", B="b", extra=1)
+        residue = difference(left, right, K)
+        assert residue["A"] == Atom("a")
+        assert residue["B"] == Atom("b")
+
+    def test_union_gets_more_information(self):
+        # "the union operation ... is used to get more information from
+        # two objects representing the same real-world entity."
+        first = tup(A="a", B="b", p=1)
+        second = tup(A="a", B="b", q=2)
+        merged = union(first, second, K)
+        assert less_informative(first, merged)
+        assert less_informative(second, merged)
+
+    def test_intersection_marker_bottom_means_identity_is_irrelevant(self):
+        # "⊥ as a marker indicates that the two Bibtex terms have
+        # different markers that refer to the same article but we do not
+        # care what they are in terms of their common information."
+        d1 = data("B80", tup(A="a", B="b", v=1))
+        d2 = data("B82", tup(A="a", B="b", v=1))
+        common = d1.intersection(d2, K)
+        assert common.marker is BOTTOM
+        assert common.object["v"] == Atom(1)
+
+    def test_or_marker_means_same_article_different_names(self):
+        # "B80|B82 means that the two Bibtex terms from two different bib
+        # files have different markers that refer to the same article."
+        d1 = data("B80", tup(A="a", B="b"))
+        d2 = data("B82", tup(A="a", B="b"))
+        merged = d1.union(d2, K)
+        assert merged.markers == frozenset({Marker("B80"),
+                                            Marker("B82")})
+
+
+class TestSection4Claims:
+    def test_all_three_future_work_items_exist(self):
+        # "One of them is the expand operation ... We also intend to
+        # investigate how to implement the semistructured data model ...
+        # we would like to develop rule-based languages."
+        from repro.core.expand import expand_object        # expand
+        from repro.rules import Engine, parse_program      # rules
+        from repro.store import Database                   # implementation
+
+        env = dataset(("DB", tup(booktitle="Database")))
+        assert expand_object(marker("DB"), env) == tup(
+            booktitle="Database")
+        engine = Engine(parse_program("ok(1)."))
+        assert engine.facts("ok")
+        assert len(Database(env)) == 1

@@ -1,0 +1,87 @@
+"""Tests for the textual-notation tokenizer."""
+
+import pytest
+
+from repro.core.errors import ParseError
+from repro.text.lexer import (
+    EOF,
+    IDENT,
+    KEYWORD,
+    NUMBER,
+    PUNCT,
+    STRING,
+    tokenize,
+)
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)][:-1]  # drop EOF
+
+
+class TestBasics:
+    def test_empty_input_yields_eof(self):
+        tokens = list(tokenize(""))
+        assert len(tokens) == 1
+        assert tokens[0].kind == EOF
+
+    def test_punctuation(self):
+        assert texts(": ; , | [ ] { } < > =>") == [
+            ":", ";", ",", "|", "[", "]", "{", "}", "<", ">", "=>"]
+        assert set(kinds(":,|")[:-1]) == {PUNCT}
+
+    def test_identifiers(self):
+        assert kinds("B80 faculty.html who-is_x")[:-1] == [IDENT] * 3
+        assert texts("faculty.html") == ["faculty.html"]
+
+    def test_keywords(self):
+        assert kinds("bottom true false")[:-1] == [KEYWORD] * 3
+
+    def test_keyword_prefix_is_identifier(self):
+        assert kinds("bottomless truex")[:-1] == [IDENT, IDENT]
+
+    def test_numbers(self):
+        assert kinds("1980 -3 2.5 1e6 -1.5e-2")[:-1] == [NUMBER] * 5
+
+    def test_strings(self):
+        tokens = list(tokenize('"hello world"'))
+        assert tokens[0].kind == STRING
+        assert tokens[0].text == "hello world"
+
+    def test_string_escapes(self):
+        token = next(tokenize(r'"a\"b\\c\nd"'))
+        assert token.text == 'a"b\\c\nd'
+
+    def test_unknown_escape_rejected(self):
+        with pytest.raises(ParseError):
+            list(tokenize(r'"\q"'))
+
+    def test_comments_skipped(self):
+        assert texts("a # comment here\nb") == ["a", "b"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError) as excinfo:
+            list(tokenize("a $ b"))
+        assert "$" in str(excinfo.value)
+
+
+class TestPositions:
+    def test_line_and_column_tracking(self):
+        tokens = list(tokenize("ab\n  cd"))
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_error_carries_position(self):
+        with pytest.raises(ParseError) as excinfo:
+            list(tokenize("ok\n   $"))
+        assert excinfo.value.line == 2
+        assert excinfo.value.column == 4
+
+    def test_describe(self):
+        token = next(tokenize("abc"))
+        assert "IDENT" in token.describe()
+        eof = list(tokenize(""))[-1]
+        assert eof.describe() == "end of input"

@@ -1,0 +1,139 @@
+"""Tests for the textual-notation parser."""
+
+import pytest
+
+from repro.core.builder import cset, data, dataset, marker, orv, pset, tup
+from repro.core.errors import ParseError
+from repro.core.objects import BOTTOM, Atom, Marker
+from repro.text.parser import parse_data, parse_dataset, parse_object
+
+
+class TestPrimaries:
+    @pytest.mark.parametrize("source,expected", [
+        ("bottom", BOTTOM),
+        ("true", Atom(True)),
+        ("false", Atom(False)),
+        ('"Oracle"', Atom("Oracle")),
+        ("1980", Atom(1980)),
+        ("-7", Atom(-7)),
+        ("2.5", Atom(2.5)),
+        ("1e3", Atom(1000.0)),
+        ("DB", Marker("DB")),
+        ("faculty.html", Marker("faculty.html")),
+    ])
+    def test_atoms_markers_keywords(self, source, expected):
+        assert parse_object(source) == expected
+
+    def test_float_vs_int_types(self):
+        assert parse_object("1").value == 1
+        assert isinstance(parse_object("1.0").value, float)
+
+
+class TestContainers:
+    def test_partial_set(self):
+        assert parse_object('<"Bob">') == pset("Bob")
+        assert parse_object("<>") == pset()
+
+    def test_complete_set(self):
+        assert parse_object('{"Bob", "Tom"}') == cset("Bob", "Tom")
+        assert parse_object("{}") == cset()
+
+    def test_tuple(self):
+        assert parse_object('[a => 1, b => "x"]') == tup(a=1, b="x")
+        assert parse_object("[]") == tup()
+
+    def test_nested(self):
+        source = '[people => {[Faculty => faculty.html]}, n => <1, 2>]'
+        expected = tup(people=cset(tup(Faculty=marker("faculty.html"))),
+                       n=pset(1, 2))
+        assert parse_object(source) == expected
+
+    def test_or_values(self):
+        assert parse_object("1|2") == orv(1, 2)
+        assert parse_object('"Ann"|"Tom"|"Sue"') == orv("Ann", "Tom", "Sue")
+
+    def test_or_of_containers(self):
+        assert parse_object("{1}|<2>") == orv(cset(1), pset(2))
+
+    def test_or_inside_tuple(self):
+        assert parse_object("[age => 21|22]") == tup(age=orv(21, 22))
+
+    def test_explicit_bottom_field_dropped(self):
+        assert parse_object("[a => bottom, b => 1]") == tup(b=1)
+
+    def test_keyword_as_attribute_label(self):
+        # 'true' is a keyword as a value but fine as a label.
+        assert parse_object("[true => 1]") == tup(true=1)
+
+
+class TestErrors:
+    @pytest.mark.parametrize("source", [
+        "", "[a => ]", "[a 1]", "<1,>", "{,}", "1 2", "[a => 1,]",
+        "|1", "[=> 1]",
+    ])
+    def test_malformed_objects(self, source):
+        with pytest.raises(ParseError):
+            parse_object(source)
+
+    def test_duplicate_attribute_surfaces_model_error(self):
+        from repro.core.errors import InvalidAttributeError
+
+        with pytest.raises(InvalidAttributeError):
+            parse_object("[a => 1, a => 2]")
+
+    def test_error_position(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_object("[a =>\n  ,]")
+        assert excinfo.value.line == 2
+
+
+class TestData:
+    def test_simple(self):
+        assert parse_data("B80 : [a => 1]") == data("B80", tup(a=1))
+
+    def test_or_marker(self):
+        parsed = parse_data("B80|B82 : 1")
+        assert parsed == data(orv(marker("B80"), marker("B82")), 1)
+
+    def test_bottom_marker(self):
+        parsed = parse_data("bottom : [a => 1]")
+        assert parsed.marker is BOTTOM
+
+    def test_marker_object_value(self):
+        parsed = parse_data("Bob : [crossref => DB]")
+        assert parsed.object["crossref"] == Marker("DB")
+
+    def test_missing_colon(self):
+        with pytest.raises(ParseError):
+            parse_data("B80 [a => 1]")
+
+    def test_non_marker_in_marker_part(self):
+        with pytest.raises(ParseError):
+            parse_data('"B80" : [a => 1]')
+        with pytest.raises(ParseError):
+            parse_data("B80|2 : 1")
+
+
+class TestDataset:
+    def test_multiple_entries_with_semicolons(self):
+        source = """
+        # Example 1, as a file
+        Bob : [type => "InBook", author => <"Bob">, title => "Oracle",
+               crossref => DB];
+        DB : [type => "Book", booktitle => "Database", editor => "John",
+              year => 1999];
+        """
+        parsed = parse_dataset(source)
+        assert len(parsed) == 2
+        assert parsed.find("DB").object["year"] == Atom(1999)
+
+    def test_semicolons_optional_between_bracketed_entries(self):
+        parsed = parse_dataset("a : [x => 1]\nb : [y => 2]")
+        assert len(parsed) == 2
+
+    def test_empty_source(self):
+        assert parse_dataset("") == dataset()
+
+    def test_duplicate_entries_collapse(self):
+        parsed = parse_dataset("a : 1; a : 1;")
+        assert len(parsed) == 1

@@ -1,0 +1,87 @@
+"""Tests for the pretty-printer, including parser round-trips."""
+
+import pytest
+
+from repro.core.builder import cset, data, dataset, marker, orv, pset, tup
+from repro.core.objects import BOTTOM, Atom
+from repro.text.parser import parse_data, parse_dataset, parse_object
+from repro.text.printer import format_data, format_dataset, format_object
+
+SAMPLES = [
+    BOTTOM,
+    Atom("x"), Atom('quote " and \\ slash'), Atom(""), Atom(1980),
+    Atom(-2), Atom(2.5), Atom(True), Atom(False), Atom(1.0),
+    marker("B80"), marker("faculty.html"),
+    orv(1, 2), orv("Ann", "Tom", marker("m")),
+    pset(), pset("Bob"), pset(1, "x", marker("m")),
+    cset(), cset("Bob", "Tom"),
+    tup(), tup(a=1),
+    tup(type="Article", title="Oracle", author=pset("Bob"),
+        year=orv(1980, 1981), tags=cset("db")),
+    tup(nested=tup(inner=pset(tup(deep=cset(1))))),
+]
+
+
+class TestFormatting:
+    def test_bottom(self):
+        assert format_object(BOTTOM) == "bottom"
+
+    def test_booleans_print_as_keywords(self):
+        assert format_object(Atom(True)) == "true"
+        assert format_object(Atom(False)) == "false"
+
+    def test_floats_keep_a_float_shape(self):
+        assert format_object(Atom(1.0)) == "1.0"
+
+    def test_strings_escaped(self):
+        assert format_object(Atom('a"b')) == '"a\\"b"'
+        assert format_object(Atom("a\nb")) == '"a\\nb"'
+
+    def test_compact_tuple(self):
+        text = format_object(tup(b=2, a=1))
+        assert text == "[a => 1, b => 2]"
+
+    def test_deterministic_element_order(self):
+        assert format_object(cset("b", "a")) == '{"a", "b"}'
+        assert format_object(orv(2, 1)) == "1|2"
+
+    def test_pretty_mode_breaks_lines(self):
+        text = format_object(tup(a=1, b=2), indent=2)
+        assert text == "[\n  a => 1,\n  b => 2\n]"
+
+    def test_pretty_mode_single_child_stays_inline(self):
+        assert format_object(tup(a=1), indent=2) == "[a => 1]"
+
+    def test_rejects_non_objects(self):
+        with pytest.raises(TypeError):
+            format_object("raw")
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("obj", SAMPLES, ids=lambda o: repr(o)[:40])
+    def test_object_round_trip_compact(self, obj):
+        assert parse_object(format_object(obj)) == obj
+
+    @pytest.mark.parametrize("obj", SAMPLES, ids=lambda o: repr(o)[:40])
+    def test_object_round_trip_pretty(self, obj):
+        assert parse_object(format_object(obj, indent=4)) == obj
+
+    def test_data_round_trip(self):
+        d = data(orv(marker("B80"), marker("B82")),
+                 tup(type="Article", auth=orv("Joe", "Pam")))
+        assert parse_data(format_data(d)) == d
+
+    def test_bottom_marker_round_trip(self):
+        from repro.core.data import Data
+
+        d = Data(BOTTOM, tup(a=1))
+        assert parse_data(format_data(d)) == d
+
+    def test_dataset_round_trip(self):
+        ds = dataset(
+            ("B80", tup(type="Article", title="Oracle", auth="Bob")),
+            ("S78", tup(type="Article", title="Ingres", jnl="TODS")),
+            data(BOTTOM, tup(x=1)),
+        )
+        assert parse_dataset(format_dataset(ds)) == ds
+        assert parse_dataset(format_dataset(ds, indent=2)) == ds

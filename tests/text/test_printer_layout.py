@@ -1,0 +1,66 @@
+"""Layout-focused tests for the pretty-printer (indentation shapes)."""
+
+from repro.core.builder import cset, data, dataset, orv, pset, tup
+from repro.text import format_data, format_dataset, format_object
+
+
+class TestPrettyLayout:
+    def test_two_level_indentation(self):
+        # Every container with more than one child breaks in pretty mode,
+        # including nested sets.
+        obj = tup(a=cset(1, 2), b=3)
+        text = format_object(obj, indent=2)
+        assert text == ("[\n"
+                        "  a => {\n"
+                        "    1,\n"
+                        "    2\n"
+                        "  },\n"
+                        "  b => 3\n"
+                        "]")
+
+    def test_single_child_containers_stay_inline(self):
+        assert format_object(tup(a=cset(1)), indent=2) == "[a => {1}]"
+
+    def test_nested_multiline_blocks_align(self):
+        obj = tup(outer=tup(p=1, q=2), z=3)
+        text = format_object(obj, indent=2)
+        assert text == ("[\n"
+                        "  outer => [\n"
+                        "    p => 1,\n"
+                        "    q => 2\n"
+                        "  ],\n"
+                        "  z => 3\n"
+                        "]")
+
+    def test_sets_break_like_tuples(self):
+        text = format_object(cset(tup(a=1), tup(b=2)), indent=2)
+        assert text.startswith("{\n  [")
+        assert text.endswith("\n}")
+
+    def test_or_values_never_break(self):
+        text = format_object(orv(1, 2, 3), indent=2)
+        assert "\n" not in text
+
+    def test_indent_width_respected(self):
+        text = format_object(tup(a=1, b=2), indent=4)
+        assert "\n    a => 1," in text
+
+    def test_compact_mode_single_line(self):
+        obj = tup(a=cset(1, 2), b=pset(tup(c=3)))
+        assert "\n" not in format_object(obj)
+
+    def test_format_data_marker_prefix(self):
+        text = format_data(data("B80", tup(a=1, b=2)), indent=2)
+        assert text.startswith("B80 : [")
+
+    def test_format_dataset_semicolon_terminated_blocks(self):
+        ds = dataset(("a", tup(x=1)), ("b", tup(y=2)))
+        text = format_dataset(ds, indent=2)
+        blocks = [block for block in text.split(";") if block.strip()]
+        assert len(blocks) == 2
+        assert text.count(";") == 2
+
+    def test_empty_dataset_renders_empty(self):
+        from repro.core.data import DataSet
+
+        assert format_dataset(DataSet()) == ""

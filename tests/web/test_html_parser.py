@@ -1,0 +1,169 @@
+"""Tests for the forgiving HTML parser."""
+
+import pytest
+
+from repro.core.errors import ParseError
+from repro.web.html_parser import HtmlElement, HtmlText, parse_html
+
+
+class TestBasicParsing:
+    def test_simple_tree(self):
+        root = parse_html("<html><body><p>hi</p></body></html>")
+        body = root.find("body")
+        assert body is not None
+        assert body.find("p").text() == "hi"
+
+    def test_attributes_double_quoted(self):
+        root = parse_html('<a href="x.html" class="nav">X</a>')
+        link = root.find("a")
+        assert link.get("href") == "x.html"
+        assert link.get("CLASS") == "nav"
+
+    def test_attributes_single_quoted_and_bare(self):
+        root = parse_html("<a href='y.html' rel=next>Y</a>")
+        link = root.find("a")
+        assert link.get("href") == "y.html"
+        assert link.get("rel") == "next"
+
+    def test_boolean_attribute(self):
+        root = parse_html("<input disabled>")
+        assert root.find("input").get("disabled") == ""
+
+    def test_tag_names_case_insensitive(self):
+        root = parse_html("<DIV><SPAN>x</SPAN></DIV>")
+        assert root.find("div") is not None
+        assert root.find("span").text() == "x"
+
+    def test_text_outside_tags(self):
+        root = parse_html("hello <b>bold</b> world")
+        assert root.text() == "hello bold world"
+
+    def test_comments_skipped(self):
+        root = parse_html("<p>a<!-- not <b>parsed</b> -->b</p>")
+        assert root.find("p").text() == "a b"
+        assert root.find("b") is None
+
+    def test_doctype_skipped(self):
+        root = parse_html("<!DOCTYPE html><html><body>x</body></html>")
+        assert root.find("body").text() == "x"
+
+    def test_void_elements_take_no_children(self):
+        root = parse_html("<p>a<br>b</p>")
+        p = root.find("p")
+        assert p.text() == "a b"
+        assert root.find("br").children == []
+
+    def test_self_closing_syntax(self):
+        root = parse_html("<p>a<br/>b</p>")
+        assert root.find("p").text() == "a b"
+
+    def test_script_content_not_parsed(self):
+        root = parse_html("<script>if (a < b) { x(); }</script><p>y</p>")
+        assert "a < b" in root.find("script").text()
+        assert root.find("p").text() == "y"
+
+
+class TestErrorRecovery:
+    def test_unclosed_elements_closed_at_eof(self):
+        root = parse_html("<div><p>text")
+        assert root.find("p").text() == "text"
+
+    def test_stray_end_tag_ignored(self):
+        root = parse_html("<p>a</b>b</p>")
+        assert root.find("p").text() == "a b"
+
+    def test_li_auto_closes_li(self):
+        root = parse_html("<ul><li>one<li>two<li>three</ul>")
+        items = list(root.find_all("li"))
+        assert [i.text() for i in items] == ["one", "two", "three"]
+        # Items are siblings, not nested.
+        ul = root.find("ul")
+        assert len(ul.child_elements()) == 3
+
+    def test_papers_broken_anchor_recovers(self):
+        # The paper's own example writes "<a href=...> Programs<a>".
+        root = parse_html('<h2><a href="programs.html"> Programs<a></h2>')
+        link = root.find("a")
+        assert link.get("href") == "programs.html"
+        assert "Programs" in link.text()
+
+    def test_empty_tag_ignored(self):
+        root = parse_html("a<>b")
+        assert root.text() == "a b"
+
+    @pytest.mark.parametrize("source", [
+        "<p unterminated", "<!-- never closed", "<!doctype never closed",
+    ])
+    def test_unrecoverable_input_raises(self, source):
+        with pytest.raises(ParseError):
+            parse_html(source)
+
+
+class TestQueries:
+    SOURCE = """
+    <body>
+      <ul>
+        <li><a href="a.html">A</a></li>
+        <li><a href="b.html">B</a></li>
+      </ul>
+    </body>
+    """
+
+    def test_find_all_document_order(self):
+        root = parse_html(self.SOURCE)
+        hrefs = [a.get("href") for a in root.find_all("a")]
+        assert hrefs == ["a.html", "b.html"]
+
+    def test_find_returns_first_or_none(self):
+        root = parse_html(self.SOURCE)
+        assert root.find("a").get("href") == "a.html"
+        assert root.find("table") is None
+
+    def test_text_normalizes_whitespace(self):
+        root = parse_html("<p>  lots \n\n of   space </p>")
+        assert root.find("p").text() == "lots of space"
+
+    def test_html_text_node(self):
+        node = HtmlText("  raw  ")
+        assert node.text() == "  raw  "
+
+    def test_child_elements(self):
+        root = parse_html("<div>text<span>a</span>more<b>c</b></div>")
+        tags = [e.tag for e in root.find("div").child_elements()]
+        assert tags == ["span", "b"]
+
+
+class TestEntities:
+    def test_named_entities_in_text(self):
+        root = parse_html("<p>Simon &amp; Schuster &lt;1999&gt;</p>")
+        assert root.find("p").text() == "Simon & Schuster <1999>"
+
+    def test_numeric_entities(self):
+        root = parse_html("<p>&#65;&#x42;</p>")
+        assert root.find("p").text() == "AB"
+
+    def test_accented_names(self):
+        root = parse_html("<p>M&uuml;ller and Brugg&egrave;re</p>")
+        assert root.find("p").text() == "Müller and Bruggère"
+
+    def test_unknown_entity_left_verbatim(self):
+        root = parse_html("<p>&notarealentity; stays</p>")
+        assert "&notarealentity;" in root.find("p").text()
+
+    def test_entities_in_attribute_values(self):
+        root = parse_html('<a href="x?a=1&amp;b=2">link</a>')
+        assert root.find("a").get("href") == "x?a=1&b=2"
+
+    def test_script_content_not_decoded(self):
+        root = parse_html("<script>a &amp;&amp; b</script>")
+        assert "&amp;" in root.find("script").text()
+
+    def test_bad_numeric_reference_left_verbatim(self):
+        root = parse_html("<p>&#99999999999;</p>")
+        assert "&#99999999999;" in root.find("p").text()
+
+    def test_decode_entities_function(self):
+        from repro.web.html_parser import decode_entities
+
+        assert decode_entities("no refs") == "no refs"
+        assert decode_entities("&amp;&amp;") == "&&"

@@ -1,0 +1,112 @@
+"""Tests for the link-graph utilities."""
+
+from repro.core.builder import data, dataset, marker, orv, tup
+from repro.core.data import Data
+from repro.core.objects import Marker
+from repro.web.links import (
+    crawl_order,
+    dead_links,
+    extract_links,
+    reachable_from,
+    site_graph,
+)
+from repro.web.mapping import pages_to_dataset
+from repro.workloads import WebWorkloadSpec, generate_site
+
+
+def chain_site():
+    """a -> b -> c, plus an unlinked island d and a dead link from c."""
+    return dataset(
+        ("a", tup(Title="A", Next=marker("b"))),
+        ("b", tup(Title="B", Next=marker("c"))),
+        ("c", tup(Title="C", Broken=marker("missing"))),
+        ("d", tup(Title="D")),
+    )
+
+
+class TestExtractLinks:
+    def test_pairs(self):
+        links = extract_links(chain_site())
+        assert (Marker("a"), Marker("b")) in links
+        assert (Marker("b"), Marker("c")) in links
+        assert (Marker("c"), Marker("missing")) in links
+        assert not any(source == Marker("d") for source, _ in links)
+
+    def test_nested_markers_found(self):
+        from repro.core.builder import cset
+
+        ds = dataset(("p", tup(People=cset(tup(F=marker("f.html"))))))
+        assert (Marker("p"), Marker("f.html")) in extract_links(ds)
+
+    def test_or_marked_page_links_under_each_marker(self):
+        merged = Data(orv(marker("m1"), marker("m2")),
+                      tup(Next=marker("t")))
+        links = extract_links(dataset(merged))
+        assert (Marker("m1"), Marker("t")) in links
+        assert (Marker("m2"), Marker("t")) in links
+
+    def test_empty(self):
+        from repro.core.data import DataSet
+
+        assert extract_links(DataSet()) == set()
+
+
+class TestSiteGraph:
+    def test_every_page_is_a_vertex(self):
+        graph = site_graph(chain_site())
+        assert Marker("d") in graph
+        assert graph[Marker("d")] == set()
+
+    def test_adjacency(self):
+        graph = site_graph(chain_site())
+        assert graph[Marker("a")] == {Marker("b")}
+
+
+class TestReachability:
+    def test_reachable_closure(self):
+        reached = reachable_from(chain_site(), "a")
+        assert reached == {Marker("a"), Marker("b"), Marker("c"),
+                           Marker("missing")}
+
+    def test_island_unreachable(self):
+        assert Marker("d") not in reachable_from(chain_site(), "a")
+
+    def test_unknown_start(self):
+        assert reachable_from(chain_site(), "zzz") == set()
+
+    def test_cycles_terminate(self):
+        ds = dataset(("x", tup(Next=marker("y"))),
+                     ("y", tup(Next=marker("x"))))
+        assert reachable_from(ds, "x") == {Marker("x"), Marker("y")}
+
+
+class TestDeadLinks:
+    def test_detects_missing_target(self):
+        assert dead_links(chain_site()) == {
+            (Marker("c"), Marker("missing"))}
+
+    def test_generated_sites_have_no_dead_links(self):
+        site = pages_to_dataset(generate_site(WebWorkloadSpec(pages=5,
+                                                              seed=3)))
+        assert dead_links(site) == set()
+
+
+class TestCrawlOrder:
+    def test_breadth_first_and_deterministic(self):
+        ds = dataset(
+            ("root", tup(B=marker("b"), A=marker("a"))),
+            ("a", tup(C=marker("c"))),
+            ("b", tup()),
+            ("c", tup()),
+        )
+        order = crawl_order(ds, "root")
+        assert order == [Marker("root"), Marker("a"), Marker("b"),
+                         Marker("c")]
+
+    def test_skips_dead_targets(self):
+        order = crawl_order(chain_site(), "a")
+        assert Marker("missing") not in order
+        assert order == [Marker("a"), Marker("b"), Marker("c")]
+
+    def test_unknown_start_empty(self):
+        assert crawl_order(chain_site(), "nope") == []

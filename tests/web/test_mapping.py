@@ -1,0 +1,114 @@
+"""Tests for the web-page → model mapping (the paper's Example 2)."""
+
+from repro.core.builder import cset, marker, tup
+from repro.core.expand import expand_data
+from repro.core.objects import BOTTOM, Atom, Marker, Tuple
+from repro.web.mapping import page_to_data, pages_to_dataset
+
+EXAMPLE2_HTML = """
+<html>
+<head><title>CSDept</title></head>
+<body>
+<h2>People</h2>
+<ul>
+<li><a href="faculty.html"> Faculty </a></li>
+<li><a href="staff.html"> Staff </a></li>
+<li><a href="students.html"> Students</a></li>
+</ul>
+<h2><a href="programs.html"> Programs</a></h2>
+<h2><a href="research.html"> Research</a></h2>
+</body>
+</html>
+"""
+
+
+class TestExample2:
+    """The paper's Example 2, reproduced attribute by attribute."""
+
+    def test_full_mapping(self):
+        datum = page_to_data("www.cs.uregina.ca", EXAMPLE2_HTML)
+        expected = tup(
+            Title="CSDept",
+            People=cset(
+                tup(Faculty=marker("faculty.html")),
+                tup(Staff=marker("staff.html")),
+                tup(Students=marker("students.html")),
+            ),
+            Programs=marker("programs.html"),
+            Research=marker("research.html"),
+        )
+        assert datum.marker == Marker("www.cs.uregina.ca")
+        assert datum.object == expected
+
+    def test_paper_verbatim_html_with_broken_anchors(self):
+        # The paper's literal HTML omits </li> and closes <a> with <a>.
+        broken = EXAMPLE2_HTML.replace("</a></li>", "</a>").replace(
+            "</a></h2>", "<a></h2>")
+        datum = page_to_data("www.cs.uregina.ca", broken)
+        assert datum.object["Programs"] == Marker("programs.html")
+        assert datum.object["People"].kind == "complete_set"
+        assert len(datum.object["People"]) == 3
+
+    def test_datum_is_real(self):
+        assert page_to_data("u", EXAMPLE2_HTML).is_real()
+
+
+class TestMappingRules:
+    def test_title_only(self):
+        datum = page_to_data("u", "<title>T</title>")
+        assert datum.object == tup(Title="T")
+
+    def test_no_title(self):
+        datum = page_to_data("u", "<body><h2>S</h2><p>text</p></body>")
+        assert "Title" not in datum.object
+
+    def test_heading_with_text_section(self):
+        html = "<body><h2>News</h2><p>Nothing new.</p></body>"
+        datum = page_to_data("u", html)
+        assert datum.object["News"] == Atom("Nothing new.")
+
+    def test_empty_section_is_bottom_hence_absent(self):
+        html = "<body><h2>Empty</h2><h2>Next</h2><p>x</p></body>"
+        datum = page_to_data("u", html)
+        assert datum.object.get("Empty") is BOTTOM
+        assert "Empty" not in datum.object
+
+    def test_list_without_links_keeps_item_text(self):
+        html = "<body><h2>Items</h2><ul><li>one</li><li>two</li></ul></body>"
+        datum = page_to_data("u", html)
+        assert datum.object["Items"] == cset("one", "two")
+
+    def test_h1_and_h3_also_sections(self):
+        html = "<body><h1>Top</h1><p>a</p><h3>Low</h3><p>b</p></body>"
+        datum = page_to_data("u", html)
+        assert datum.object["Top"] == Atom("a")
+        assert datum.object["Low"] == Atom("b")
+
+    def test_sections_inside_divs_found(self):
+        html = '<body><div><h2><a href="x.html">X</a></h2></div></body>'
+        datum = page_to_data("u", html)
+        assert datum.object["X"] == Marker("x.html")
+
+    def test_first_section_wins_on_duplicate_labels(self):
+        html = ('<body><h2>S</h2><p>first</p><h2>S</h2><p>second</p>'
+                "</body>")
+        datum = page_to_data("u", html)
+        assert datum.object["S"] == Atom("first")
+
+
+class TestPagesToDataset:
+    def test_site_becomes_dataset_and_links_expand(self):
+        site = {
+            "index.html": ('<title>Home</title><body>'
+                           '<h2><a href="about.html">About</a></h2>'
+                           "</body>"),
+            "about.html": ("<title>About us</title><body>"
+                           "<h2>Story</h2><p>Founded 1999.</p></body>"),
+        }
+        ds = pages_to_dataset(site)
+        assert len(ds) == 2
+        index = ds.find("index.html")
+        expanded = expand_data(index, ds)
+        about = expanded.object["About"]
+        assert isinstance(about, Tuple)
+        assert about["Story"] == Atom("Founded 1999.")

@@ -1,0 +1,86 @@
+"""Tests for the HTML page writer (inverse of the Example 2 mapping)."""
+
+import pytest
+
+from repro.core.builder import cset, data, marker, orv, pset, tup
+from repro.core.errors import CodecError
+from repro.core.objects import Atom
+from repro.web.mapping import page_to_data
+from repro.web.writer import data_to_page
+
+
+def department_page():
+    return data("www.cs.uregina.ca", tup(
+        Title="CSDept",
+        People=cset(tup(Faculty=marker("faculty.html")),
+                    tup(Staff=marker("staff.html"))),
+        Programs=marker("programs.html"),
+        News="Nothing new.",
+    ))
+
+
+class TestRendering:
+    def test_title(self):
+        html = data_to_page(department_page())
+        assert "<title>CSDept</title>" in html
+
+    def test_marker_attribute_is_linked_heading(self):
+        html = data_to_page(department_page())
+        assert '<h2><a href="programs.html">Programs</a></h2>' in html
+
+    def test_set_of_link_tuples_is_a_list(self):
+        html = data_to_page(department_page())
+        assert '<li><a href="faculty.html">Faculty</a></li>' in html
+
+    def test_text_attribute_is_paragraph(self):
+        html = data_to_page(department_page())
+        assert "<h2>News</h2><p>Nothing new.</p>" in html
+
+    def test_partial_set_notes_openness(self):
+        html = data_to_page(data("u", tup(Links=pset("one"))))
+        assert "possibly others" in html
+
+    def test_or_value_rendered_as_visible_conflict(self):
+        html = data_to_page(data("u", tup(
+            Contact=orv(marker("a.html"), marker("b.html")))))
+        assert "conflicting sources report" in html
+        assert 'href="a.html"' in html and 'href="b.html"' in html
+
+    def test_escaping(self):
+        html = data_to_page(data("u", tup(Title='A<B & "C"',
+                                          Note="x<y")))
+        assert "A&lt;B &amp; &quot;C&quot;" in html
+        assert "x&lt;y" in html
+
+    def test_non_tuple_rejected(self):
+        with pytest.raises(CodecError):
+            data_to_page(data("u", Atom(1)))
+
+    def test_unrenderable_attribute_rejected(self):
+        with pytest.raises(CodecError):
+            data_to_page(data("u", tup(Weird=tup(deep=tup(deeper=1)))))
+
+
+class TestRoundTrip:
+    def test_mapping_output_round_trips(self):
+        original = department_page()
+        html = data_to_page(original)
+        again = page_to_data("www.cs.uregina.ca", html)
+        assert again == original
+
+    def test_example2_round_trips(self):
+        from repro.harness.paperdata import EXAMPLE2_HTML, EXAMPLE2_URL
+
+        parsed = page_to_data(EXAMPLE2_URL, EXAMPLE2_HTML)
+        rendered = data_to_page(parsed)
+        assert page_to_data(EXAMPLE2_URL, rendered) == parsed
+
+    def test_generated_site_round_trips(self):
+        from repro.web.mapping import pages_to_dataset
+        from repro.workloads import WebWorkloadSpec, generate_site
+
+        site = pages_to_dataset(generate_site(
+            WebWorkloadSpec(pages=4, seed=6)))
+        for datum in site:
+            url = next(iter(datum.markers)).name
+            assert page_to_data(url, data_to_page(datum)) == datum

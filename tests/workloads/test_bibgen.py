@@ -1,0 +1,146 @@
+"""Tests for the synthetic bibliographic workload generator."""
+
+import pytest
+
+from repro.core.errors import WorkloadError
+from repro.core.objects import Atom, PartialSet, Tuple
+from repro.workloads.bibgen import (
+    BibWorkloadSpec,
+    generate_workload,
+)
+
+
+class TestSpecValidation:
+    def test_negative_entries(self):
+        with pytest.raises(WorkloadError):
+            BibWorkloadSpec(entries=-1)
+
+    def test_zero_sources(self):
+        with pytest.raises(WorkloadError):
+            BibWorkloadSpec(entries=1, sources=0)
+
+    @pytest.mark.parametrize("field", [
+        "overlap", "null_rate", "conflict_rate", "partial_author_rate"])
+    def test_rates_bounded(self, field):
+        with pytest.raises(WorkloadError):
+            BibWorkloadSpec(entries=1, **{field: 1.5})
+
+
+class TestDeterminism:
+    def test_same_seed_same_workload(self):
+        spec = BibWorkloadSpec(entries=50, seed=7)
+        first = generate_workload(spec)
+        second = generate_workload(spec)
+        assert first.sources == second.sources
+        assert first.shared_uids == second.shared_uids
+
+    def test_different_seed_different_workload(self):
+        a = generate_workload(BibWorkloadSpec(entries=50, seed=1))
+        b = generate_workload(BibWorkloadSpec(entries=50, seed=2))
+        assert a.sources != b.sources
+
+
+class TestShape:
+    def setup_method(self):
+        self.workload = generate_workload(
+            BibWorkloadSpec(entries=200, sources=3, overlap=0.4,
+                            null_rate=0.2, conflict_rate=0.2,
+                            partial_author_rate=0.3, seed=42))
+
+    def test_every_entry_held_somewhere(self):
+        held = sum(len(s) for s in self.workload.sources)
+        assert held >= 200  # overlap duplicates entries across sources
+
+    def test_universe_titles_unique(self):
+        titles = [e.title for e in self.workload.universe]
+        assert len(set(titles)) == len(titles)
+
+    def test_data_are_tuples_with_key_fields(self):
+        for source in self.workload.sources:
+            for datum in source:
+                assert isinstance(datum.object, Tuple)
+                assert "type" in datum.object
+                assert "title" in datum.object
+
+    def test_overlap_produces_shared_entries(self):
+        assert self.workload.shared_uids
+
+    def test_partial_author_lists_generated(self):
+        partial = sum(
+            1 for source in self.workload.sources for datum in source
+            if isinstance(datum.object.get("author"), PartialSet))
+        assert partial > 0
+
+    def test_nulls_generated(self):
+        missing_year = sum(
+            1 for source in self.workload.sources for datum in source
+            if "year" not in datum.object)
+        assert missing_year > 0
+
+    def test_markers_unique_within_source(self):
+        for source in self.workload.sources:
+            markers = [next(iter(d.markers)).name for d in source]
+            assert len(set(markers)) == len(markers)
+
+
+class TestMergeExpectations:
+    """The generated workload behaves as the paper predicts."""
+
+    def setup_method(self):
+        self.workload = generate_workload(
+            BibWorkloadSpec(entries=150, sources=2, overlap=0.5,
+                            conflict_rate=0.3, seed=11))
+
+    def test_union_size_matches_ground_truth(self):
+        s1, s2 = self.workload.sources
+        merged = s1.union(s2, self.workload.key)
+        assert len(merged) == self.workload.expected_result_size()
+
+    def test_shared_entries_get_or_markers(self):
+        s1, s2 = self.workload.sources
+        merged = s1.union(s2, self.workload.key)
+        merged_groups = sum(1 for d in merged if len(d.markers) > 1)
+        assert merged_groups == len(self.workload.shared_uids)
+
+    def test_conflicts_only_on_shared_entries(self):
+        from repro.merge.conflicts import find_conflicts
+
+        s1, s2 = self.workload.sources
+        merged = s1.union(s2, self.workload.key)
+        for conflict in find_conflicts(merged):
+            assert len(conflict.datum.markers) > 1
+
+    def test_zero_conflict_rate_zero_value_conflicts(self):
+        clean = generate_workload(
+            BibWorkloadSpec(entries=100, sources=2, overlap=0.5,
+                            conflict_rate=0.0, null_rate=0.0,
+                            partial_author_rate=0.0, seed=3))
+        from repro.merge.conflicts import find_conflicts
+
+        s1, s2 = clean.sources
+        merged = s1.union(s2, clean.key)
+        assert find_conflicts(merged) == []
+
+    def test_intersection_covers_shared_entries(self):
+        s1, s2 = self.workload.sources
+        common = s1.intersection(s2, self.workload.key)
+        # Every shared uid contributes at least the key attributes.
+        titles = {d.object["title"].value for d in common
+                  if "title" in d.object}
+        shared_titles = {e.title for e in self.workload.universe
+                         if e.uid in self.workload.shared_uids}
+        assert titles == shared_titles
+
+
+class TestEdgeSpecs:
+    def test_empty_universe(self):
+        workload = generate_workload(BibWorkloadSpec(entries=0))
+        assert workload.expected_result_size() == 0
+        assert all(len(s) == 0 for s in workload.sources)
+
+    def test_single_source(self):
+        workload = generate_workload(
+            BibWorkloadSpec(entries=30, sources=1, seed=5))
+        assert len(workload.sources) == 1
+        assert len(workload.sources[0]) == 30
+        assert workload.shared_uids == frozenset()

@@ -1,0 +1,117 @@
+"""Tests for the perturbation toolkit."""
+
+import pytest
+
+from repro.core.builder import cset, data, dataset, tup
+from repro.core.errors import WorkloadError
+from repro.core.objects import Atom, CompleteSet, Marker, PartialSet
+from repro.workloads.perturb import (
+    drop_attributes,
+    fork_source,
+    open_sets,
+    perturb_atoms,
+)
+
+KEY = frozenset({"type", "title"})
+
+
+def library():
+    return dataset(
+        ("a", tup(type="Article", title="Oracle", author="Bob King",
+                  year=1980, tags=cset("db", "web"))),
+        ("b", tup(type="Article", title="Ingres", author="Sam Oak",
+                  year=1976, flag=True)),
+    )
+
+
+class TestDropAttributes:
+    def test_rate_zero_is_identity(self):
+        assert drop_attributes(library(), 0.0) == library()
+
+    def test_rate_one_keeps_only_protected(self):
+        result = drop_attributes(library(), 1.0, protect=KEY)
+        for datum in result:
+            assert set(datum.object.attributes) == set(KEY)
+
+    def test_deterministic(self):
+        once = drop_attributes(library(), 0.5, seed=7)
+        twice = drop_attributes(library(), 0.5, seed=7)
+        assert once == twice
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(WorkloadError):
+            drop_attributes(library(), 1.5)
+
+    def test_non_tuple_data_untouched(self):
+        ds = dataset(("x", Atom(1)))
+        assert drop_attributes(ds, 1.0) == ds
+
+
+class TestPerturbAtoms:
+    def test_protected_attributes_stable(self):
+        result = perturb_atoms(library(), 1.0, protect=KEY)
+        for datum in result:
+            assert datum.object["title"] in (Atom("Oracle"),
+                                             Atom("Ingres"))
+
+    def test_rate_one_changes_every_unprotected_atom(self):
+        result = perturb_atoms(library(), 1.0, protect=KEY)
+        entry = result.find("a")
+        assert entry.object["year"] != Atom(1980)
+        assert entry.object["author"] != Atom("Bob King")
+
+    def test_year_drifts_by_one(self):
+        result = perturb_atoms(library(), 1.0, protect=KEY, seed=3)
+        year = result.find("a").object["year"].value
+        assert year in (1979, 1981)
+
+    def test_name_damage_is_initials_or_case(self):
+        result = perturb_atoms(library(), 1.0, protect=KEY, seed=5)
+        author = result.find("a").object["author"].value
+        assert author in ("B. King", "bOB kING")
+
+    def test_boolean_flips(self):
+        result = perturb_atoms(library(), 1.0, protect=KEY)
+        assert result.find("b").object["flag"] == Atom(False)
+
+    def test_sets_not_touched(self):
+        result = perturb_atoms(library(), 1.0, protect=KEY)
+        assert isinstance(result.find("a").object["tags"], CompleteSet)
+
+
+class TestOpenSets:
+    def test_rate_one_demotes_all_complete_sets(self):
+        result = open_sets(library(), 1.0, forget=0.0)
+        tags = result.find("a").object["tags"]
+        assert isinstance(tags, PartialSet)
+        assert len(tags) == 2  # nothing forgotten
+
+    def test_forgetting_keeps_at_least_one_element(self):
+        result = open_sets(library(), 1.0, forget=1.0, seed=2)
+        tags = result.find("a").object["tags"]
+        assert isinstance(tags, PartialSet)
+        assert len(tags) == 1
+
+    def test_rate_zero_identity(self):
+        assert open_sets(library(), 0.0) == library()
+
+
+class TestForkSource:
+    def test_fork_has_fresh_markers(self):
+        fork = fork_source(library(), protect=KEY)
+        assert fork.find("a-copy") is not None
+        assert fork.find("a") is None
+
+    def test_fork_merges_back_with_conflicts(self):
+        from repro.merge.conflicts import find_conflicts
+
+        fork = fork_source(library(), protect=KEY, seed=1,
+                           conflict_rate=0.9, null_rate=0.2)
+        merged = library().union(fork, KEY)
+        # Every original entry pairs with its fork (protected key).
+        assert len(merged) == 2
+        assert find_conflicts(merged)
+
+    def test_fork_deterministic(self):
+        assert fork_source(library(), seed=4, protect=KEY) == \
+            fork_source(library(), seed=4, protect=KEY)

@@ -1,0 +1,52 @@
+"""Tests for the synthetic web-site generator."""
+
+import pytest
+
+from repro.core.errors import WorkloadError
+from repro.web.mapping import pages_to_dataset
+from repro.workloads.webgen import WebWorkloadSpec, generate_site
+
+
+class TestSpec:
+    def test_needs_pages(self):
+        with pytest.raises(WorkloadError):
+            WebWorkloadSpec(pages=0)
+
+    def test_needs_positive_shape(self):
+        with pytest.raises(WorkloadError):
+            WebWorkloadSpec(pages=1, sections_per_page=0)
+        with pytest.raises(WorkloadError):
+            WebWorkloadSpec(pages=1, items_per_list=0)
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        spec = WebWorkloadSpec(pages=5, seed=9)
+        assert generate_site(spec) == generate_site(spec)
+
+    def test_page_count(self):
+        site = generate_site(WebWorkloadSpec(pages=7, seed=1))
+        assert len(site) == 7
+
+    def test_links_stay_inside_the_site(self):
+        import re
+
+        site = generate_site(WebWorkloadSpec(pages=4, seed=2))
+        for html in site.values():
+            for href in re.findall(r'href="([^"]+)"', html):
+                assert href in site
+
+    def test_pages_map_into_the_model(self):
+        site = generate_site(WebWorkloadSpec(pages=3, seed=4))
+        ds = pages_to_dataset(site)
+        assert len(ds) == 3
+        for datum in ds:
+            assert "Title" in datum.object
+
+    def test_expansion_over_generated_site(self):
+        from repro.core.expand import expand_dataset
+
+        site = generate_site(WebWorkloadSpec(pages=3, seed=4))
+        ds = pages_to_dataset(site)
+        expanded = expand_dataset(ds, depth=2)
+        assert len(expanded) == 3

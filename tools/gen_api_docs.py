@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Generate docs/API.md from the package's public surface.
+
+Walks every ``repro`` subpackage, reads its ``__all__`` and docstrings,
+and writes a compact reference: one section per module, one line per
+public name (signature + first docstring sentence). Run from the repo
+root::
+
+    python tools/gen_api_docs.py
+
+The file is generated; edit the docstrings, not docs/API.md.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import sys
+from pathlib import Path
+
+MODULES = [
+    "repro.core",
+    "repro.text",
+    "repro.json_codec",
+    "repro.bibtex",
+    "repro.web",
+    "repro.baselines",
+    "repro.merge",
+    "repro.query",
+    "repro.rules",
+    "repro.store",
+    "repro.schema",
+    "repro.workloads",
+    "repro.properties",
+    "repro.harness",
+    "repro.cli",
+]
+
+HEADER = """# API reference
+
+One line per public name, generated from the docstrings by
+`python tools/gen_api_docs.py`. See `docs/TUTORIAL.md` for a guided
+walkthrough and the module docstrings for full documentation.
+"""
+
+
+def first_sentence(doc: str | None) -> str:
+    if not doc:
+        return ""
+    text = " ".join(doc.strip().split())
+    for terminator in (". ", ".\n"):
+        position = text.find(terminator)
+        if position != -1:
+            return text[:position + 1]
+    return text if text.endswith(".") else text + "."
+
+
+def describe(name: str, value: object) -> str:
+    if inspect.isclass(value):
+        return f"- **`{name}`** (class) — {first_sentence(value.__doc__)}"
+    if inspect.isfunction(value):
+        try:
+            signature = str(inspect.signature(value))
+        except (TypeError, ValueError):
+            signature = "(...)"
+        if len(signature) > 60:
+            signature = "(...)"
+        return (f"- **`{name}{signature}`** — "
+                f"{first_sentence(value.__doc__)}")
+    return f"- **`{name}`** — constant."
+
+
+def main() -> int:
+    sections = [HEADER]
+    for module_name in MODULES:
+        module = importlib.import_module(module_name)
+        exported = getattr(module, "__all__", None)
+        if exported is None:
+            exported = [name for name in vars(module)
+                        if not name.startswith("_")]
+        sections.append(f"\n## `{module_name}`\n")
+        sections.append(first_sentence(module.__doc__) + "\n")
+        for name in exported:
+            value = getattr(module, name, None)
+            if value is None and name != "BOTTOM":
+                continue
+            sections.append(describe(name, value))
+        sections.append("")
+    output = Path(__file__).resolve().parents[1] / "docs" / "API.md"
+    text = "\n".join(sections) + "\n"
+    output.write_text(text)
+    print(f"wrote {output} ({len(text.splitlines())} lines)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
