@@ -25,6 +25,7 @@ from repro.bibtex.names import normalize_name, parse_name_list
 from repro.bibtex.parser import BibEntry, BibFile, parse_bibtex
 from repro.core.builder import atom
 from repro.core.data import Data, DataSet
+from repro.core.intern import intern_data, intern_dataset
 from repro.core.objects import (
     CompleteSet,
     Marker,
@@ -87,8 +88,14 @@ _TYPE_DISPLAY = {
 
 
 def entry_to_data(entry: BibEntry,
-                  policy: BibMappingPolicy = DEFAULT_POLICY) -> Data:
-    """Convert one BibTeX entry to a semistructured datum (Example 1)."""
+                  policy: BibMappingPolicy = DEFAULT_POLICY, *,
+                  intern: bool = False) -> Data:
+    """Convert one BibTeX entry to a semistructured datum (Example 1).
+
+    ``intern=True`` hash-conses the datum's objects
+    (:mod:`repro.core.intern`), so entries repeated across sources share
+    canonical structure and hit the memoized comparison fast paths.
+    """
     fields: dict[str, SSObject] = {}
     type_text = entry.entry_type
     if policy.keep_entry_type_case:
@@ -97,7 +104,8 @@ def entry_to_data(entry: BibEntry,
     fields[policy.type_attribute] = atom(type_text)
     for name, raw in entry.fields.items():
         fields[name] = _field_to_object(name, raw, policy)
-    return Data(Marker(entry.key), Tuple(fields))
+    datum = Data(Marker(entry.key), Tuple(fields))
+    return intern_data(datum) if intern else datum
 
 
 def _field_to_object(name: str, raw: str,
@@ -138,13 +146,15 @@ def _raw_items(raw: str) -> Iterable[str]:
 
 
 def bibfile_to_dataset(bibfile: BibFile,
-                       policy: BibMappingPolicy = DEFAULT_POLICY,
-                       ) -> DataSet:
+                       policy: BibMappingPolicy = DEFAULT_POLICY, *,
+                       intern: bool = False) -> DataSet:
     """Convert a parsed bib file to a data set, one datum per entry."""
-    return DataSet(entry_to_data(entry, policy) for entry in bibfile)
+    converted = DataSet(entry_to_data(entry, policy) for entry in bibfile)
+    return intern_dataset(converted) if intern else converted
 
 
 def parse_bib_source(source: str,
-                     policy: BibMappingPolicy = DEFAULT_POLICY) -> DataSet:
+                     policy: BibMappingPolicy = DEFAULT_POLICY, *,
+                     intern: bool = False) -> DataSet:
     """Parse BibTeX text straight into a data set."""
-    return bibfile_to_dataset(parse_bibtex(source), policy)
+    return bibfile_to_dataset(parse_bibtex(source), policy, intern=intern)

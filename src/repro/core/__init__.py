@@ -10,6 +10,7 @@ from repro.core.builder import (
     cset,
     data,
     dataset,
+    iobj,
     marker,
     obj,
     orv,
@@ -40,6 +41,17 @@ from repro.core.errors import (
     WorkloadError,
 )
 from repro.core.expand import expand_data, expand_dataset, expand_object
+from repro.core.intern import (
+    InternPool,
+    clear_pool,
+    equal,
+    intern,
+    intern_data,
+    intern_dataset,
+    intern_stats,
+    is_interned,
+    on_clear,
+)
 from repro.core.informativeness import (
     comparable,
     data_less_informative,
@@ -86,8 +98,11 @@ __all__ = [
     # data
     "Data", "DataSet",
     # builders
-    "obj", "atom", "marker", "tup", "pset", "cset", "orv", "data",
+    "obj", "iobj", "atom", "marker", "tup", "pset", "cset", "orv", "data",
     "dataset", "bottom",
+    # interning
+    "InternPool", "intern", "intern_data", "intern_dataset",
+    "is_interned", "equal", "clear_pool", "intern_stats", "on_clear",
     # order / informativeness
     "structural_key", "sort_objects", "object_depth", "object_size",
     "less_informative", "strictly_less_informative", "comparable",

@@ -26,6 +26,7 @@ from typing import Iterable, Mapping
 
 from repro.core.data import Data, DataSet
 from repro.core.errors import InvalidObjectError
+from repro.core.intern import intern
 from repro.core.objects import (
     BOTTOM,
     Atom,
@@ -38,7 +39,7 @@ from repro.core.objects import (
 )
 
 __all__ = [
-    "obj", "atom", "marker", "tup", "pset", "cset", "orv", "data",
+    "obj", "iobj", "atom", "marker", "tup", "pset", "cset", "orv", "data",
     "dataset", "bottom",
 ]
 
@@ -66,6 +67,16 @@ def obj(value: object) -> SSObject:
     raise InvalidObjectError(
         f"cannot convert {type(value).__name__} to a model object"
     )
+
+
+def iobj(value: object) -> SSObject:
+    """Like :func:`obj`, but returning the canonical *interned* object.
+
+    The hash-consing front door (:mod:`repro.core.intern`): structurally
+    equal results of ``iobj`` are pointer-identical, so the memoized
+    ``⊴``/compatibility/operation fast paths apply to them.
+    """
+    return intern(obj(value))
 
 
 def atom(value: str | int | float | bool) -> Atom:

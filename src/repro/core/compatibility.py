@@ -22,12 +22,19 @@ Subtleties faithfully reproduced (see DESIGN.md decision D3):
 * identical tuples are *not* automatically compatible: a ``⊥`` (or partial
   set) under a key attribute poisons compatibility, exactly as in the
   paper's ``[A ⇒ a1, B ⇒ ⊥, C ⇒ {c1}]``-vs-itself example.
+
+As in :mod:`repro.core.informativeness`, the default :func:`compatible`
+is a memoized fast path over interned objects; ``naive=True`` runs the
+untouched definitional code as the differential-testing oracle.
 """
 
 from __future__ import annotations
 
 from typing import AbstractSet, Iterable
 
+from repro.core.intern import on_clear as _on_clear
+from repro.core.intern import equal as _equal
+from repro.core.intern import is_interned as _is_interned
 from repro.core.errors import EmptyKeyError
 from repro.core.objects import (
     Atom,
@@ -59,13 +66,25 @@ def check_key(key: Iterable[str]) -> frozenset[str]:
 
 
 def compatible(first: SSObject, second: SSObject,
-               key: AbstractSet[str]) -> bool:
+               key: AbstractSet[str], *, naive: bool = False) -> bool:
     """Return ``True`` iff the objects are compatible wrt ``key`` (Def. 6).
 
     ``key`` must already be non-empty; use :func:`check_key` at API
     boundaries. The key set propagates unchanged into nested tuples, as in
-    the paper.
+    the paper. ``naive=True`` runs the definitional reference code with no
+    caching.
     """
+    if naive:
+        return _naive_compatible(first, second, key)
+    return _fast_compatible(first, second, key)
+
+
+# ---------------------------------------------------------------------------
+# Naive reference implementation (the definitional oracle)
+# ---------------------------------------------------------------------------
+
+def _naive_compatible(first: SSObject, second: SSObject,
+                      key: AbstractSet[str]) -> bool:
     if isinstance(first, Atom) and isinstance(second, Atom):
         return first == second
     if isinstance(first, Marker) and isinstance(second, Marker):
@@ -78,26 +97,76 @@ def compatible(first: SSObject, second: SSObject,
         return first == second
     if isinstance(first, Tuple) and isinstance(second, Tuple):
         return all(
-            compatible(first.get(label), second.get(label), key)
+            _naive_compatible(first.get(label), second.get(label), key)
+            for label in key
+        )
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Memoized fast path
+# ---------------------------------------------------------------------------
+
+#: ``(id(a), id(b), key) -> bool`` with ``id(a) <= id(b)`` — Definition 6
+#: is symmetric in its operands, so one entry serves both orientations.
+_COMPAT_MEMO: dict[tuple[int, int, frozenset[str]], bool] = {}
+_on_clear(_COMPAT_MEMO.clear)
+
+
+def _fast_compatible(first: SSObject, second: SSObject,
+                     key: AbstractSet[str]) -> bool:
+    memoable = _is_interned(first) and _is_interned(second)
+    if memoable:
+        frozen = key if isinstance(key, frozenset) else frozenset(key)
+        left, right = id(first), id(second)
+        if left > right:
+            left, right = right, left
+        memo_key = (left, right, frozen)
+        cached = _COMPAT_MEMO.get(memo_key)
+        if cached is not None:
+            return cached
+    result = _fast_compat_cases(first, second, key)
+    if memoable:
+        _COMPAT_MEMO[memo_key] = result
+    return result
+
+
+def _fast_compat_cases(first: SSObject, second: SSObject,
+                       key: AbstractSet[str]) -> bool:
+    if isinstance(first, Atom) and isinstance(second, Atom):
+        return _equal(first, second)
+    if isinstance(first, Marker) and isinstance(second, Marker):
+        return _equal(first, second)
+    if isinstance(first, OrValue) and isinstance(second, OrValue):
+        return (not first.contains_bottom()
+                and not second.contains_bottom()
+                and (first is second
+                     or first.disjuncts == second.disjuncts))
+    if isinstance(first, CompleteSet) and isinstance(second, CompleteSet):
+        return _equal(first, second)
+    if isinstance(first, Tuple) and isinstance(second, Tuple):
+        return all(
+            _fast_compatible(first.get(label), second.get(label), key)
             for label in key
         )
     return False
 
 
 def compatible_data(first: "Data", second: "Data",
-                    key: AbstractSet[str]) -> bool:
+                    key: AbstractSet[str], *, naive: bool = False) -> bool:
     """Definition 7: data are compatible iff their objects are.
 
     Markers deliberately play no role — the whole point is recognizing the
     same entity across sources that assigned it different markers.
     """
-    return compatible(first.object, second.object, key)
+    return compatible(first.object, second.object, key, naive=naive)
 
 
 def find_compatible(obj: SSObject, candidates: Iterable[SSObject],
-                    key: AbstractSet[str]) -> list[SSObject]:
+                    key: AbstractSet[str], *,
+                    naive: bool = False) -> list[SSObject]:
     """Return the candidates compatible with ``obj`` wrt ``key``, in order."""
-    return [c for c in candidates if compatible(obj, c, key)]
+    return [c for c in candidates if compatible(obj, c, key, naive=naive)]
 
 
 from typing import TYPE_CHECKING

@@ -105,31 +105,38 @@ class Data:
         """Negation of :meth:`is_real`."""
         return not self.is_real()
 
-    def union(self, other: "Data", key: Iterable[str]) -> "Data":
+    def union(self, other: "Data", key: Iterable[str], *,
+              naive: bool = False) -> "Data":
         """Definition 11: ``m1 ∪K m2 : O1 ∪K O2``."""
         checked = check_key(key)
-        return Data(union(self.marker, other.marker, checked),
-                    union(self.object, other.object, checked))
+        return Data(union(self.marker, other.marker, checked, naive=naive),
+                    union(self.object, other.object, checked, naive=naive))
 
-    def intersection(self, other: "Data", key: Iterable[str]) -> "Data":
+    def intersection(self, other: "Data", key: Iterable[str], *,
+                     naive: bool = False) -> "Data":
         """Definition 11: ``m1 ∩K m2 : O1 ∩K O2``."""
         checked = check_key(key)
-        return Data(intersection(self.marker, other.marker, checked),
-                    intersection(self.object, other.object, checked))
+        return Data(
+            intersection(self.marker, other.marker, checked, naive=naive),
+            intersection(self.object, other.object, checked, naive=naive))
 
-    def difference(self, other: "Data", key: Iterable[str]) -> "Data":
+    def difference(self, other: "Data", key: Iterable[str], *,
+                   naive: bool = False) -> "Data":
         """Definition 11: ``m1 −K m2 : O1 −K O2``."""
         checked = check_key(key)
-        return Data(difference(self.marker, other.marker, checked),
-                    difference(self.object, other.object, checked))
+        return Data(
+            difference(self.marker, other.marker, checked, naive=naive),
+            difference(self.object, other.object, checked, naive=naive))
 
-    def compatible(self, other: "Data", key: Iterable[str]) -> bool:
+    def compatible(self, other: "Data", key: Iterable[str], *,
+                   naive: bool = False) -> bool:
         """Definition 7 compatibility (markers play no role)."""
-        return compatible_data(self, other, check_key(key))
+        return compatible_data(self, other, check_key(key), naive=naive)
 
-    def less_informative(self, other: "Data") -> bool:
+    def less_informative(self, other: "Data", *,
+                         naive: bool = False) -> bool:
         """Definition 4: ``self ⊴ other``."""
-        return data_less_informative(self, other)
+        return data_less_informative(self, other, naive=naive)
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Data):
@@ -217,60 +224,68 @@ class DataSet:
 
     # -- Definition 12 ------------------------------------------------------
 
-    def union(self, other: "DataSet", key: Iterable[str]) -> "DataSet":
+    def union(self, other: "DataSet", key: Iterable[str], *,
+              naive: bool = False) -> "DataSet":
         """``S1 ∪K S2``: unmatched data pass through; compatible cross
         pairs are replaced by their Definition 11 union."""
         checked = check_key(key)
-        result, pairs = self._unmatched_and_pairs(other, checked)
+        result, pairs = self._unmatched_and_pairs(other, checked, naive)
         result.extend(
-            d1.union(d2, checked) for d1, d2 in pairs
+            d1.union(d2, checked, naive=naive) for d1, d2 in pairs
         )
         return DataSet(result)
 
     def intersection(self, other: "DataSet",
-                     key: Iterable[str]) -> "DataSet":
+                     key: Iterable[str], *,
+                     naive: bool = False) -> "DataSet":
         """``S1 ∩K S2``: Definition 11 intersections of compatible pairs."""
         checked = check_key(key)
         return DataSet(
-            d1.intersection(d2, checked)
+            d1.intersection(d2, checked, naive=naive)
             for d1 in self._data for d2 in other._data
-            if compatible_data(d1, d2, checked)
+            if compatible_data(d1, d2, checked, naive=naive)
         )
 
-    def difference(self, other: "DataSet", key: Iterable[str]) -> "DataSet":
+    def difference(self, other: "DataSet", key: Iterable[str], *,
+                   naive: bool = False) -> "DataSet":
         """``S1 −K S2``: data of ``S1`` with no compatible partner, plus
         Definition 11 differences of compatible pairs."""
         checked = check_key(key)
         result: list[Data] = []
         for d1 in self._data:
             partners = [d2 for d2 in other._data
-                        if compatible_data(d1, d2, checked)]
+                        if compatible_data(d1, d2, checked, naive=naive)]
             if not partners:
                 result.append(d1)
             else:
-                result.extend(d1.difference(d2, checked) for d2 in partners)
+                result.extend(d1.difference(d2, checked, naive=naive)
+                              for d2 in partners)
         return DataSet(result)
 
     def _unmatched_and_pairs(
             self, other: "DataSet", key: AbstractSet[str],
+            naive: bool = False,
     ) -> tuple[list[Data], list[tuple[Data, Data]]]:
         unmatched: list[Data] = []
         pairs: list[tuple[Data, Data]] = []
         for d1 in self._data:
             partners = [d2 for d2 in other._data
-                        if compatible_data(d1, d2, key)]
+                        if compatible_data(d1, d2, key, naive=naive)]
             if partners:
                 pairs.extend((d1, d2) for d2 in partners)
             else:
                 unmatched.append(d1)
         for d2 in other._data:
-            if not any(compatible_data(d1, d2, key) for d1 in self._data):
+            if not any(compatible_data(d1, d2, key, naive=naive)
+                       for d1 in self._data):
                 unmatched.append(d2)
         return unmatched, pairs
 
-    def less_informative(self, other: "DataSet") -> bool:
+    def less_informative(self, other: "DataSet", *,
+                         naive: bool = False) -> bool:
         """Definition 5: ``self ⊴ other``."""
-        return dataset_less_informative(self._data, other._data)
+        return dataset_less_informative(self._data, other._data,
+                                        naive=naive)
 
     def reduced(self) -> "DataSet":
         """Drop data strictly ⊴ another datum (subsumption reduction).

@@ -19,12 +19,24 @@ Definition 3, case by case:
    element of ``O1 − O2`` is ``⊴`` some element of ``O2 − O1``;
 5. tuples: every attribute of ``O1`` is ``⊴`` the same attribute of
    ``O2`` (absent attributes read as ``⊥``, so ``O2`` may add attributes).
+
+Two implementations live side by side. The *naive* one
+(``less_informative(..., naive=True)``) is the untouched definitional
+code and serves as the reference oracle. The default *fast* path mirrors
+the same cases but short-circuits on identity and memoizes results by
+``id()`` for interned operands (:mod:`repro.core.intern`), making
+repeated checks over shared substructure O(1) cache hits. The
+differential suite (``tests/properties/test_differential.py``) asserts
+the two paths agree on generated inputs.
 """
 
 from __future__ import annotations
 
 from typing import Iterable
 
+from repro.core.intern import on_clear as _on_clear
+from repro.core.intern import equal as _equal
+from repro.core.intern import is_interned as _is_interned
 from repro.core.objects import (
     BOTTOM,
     CompleteSet,
@@ -36,8 +48,23 @@ from repro.core.objects import (
 )
 
 
-def less_informative(first: SSObject, second: SSObject) -> bool:
-    """Return ``True`` iff ``first ⊴ second`` (Definition 3)."""
+def less_informative(first: SSObject, second: SSObject, *,
+                     naive: bool = False) -> bool:
+    """Return ``True`` iff ``first ⊴ second`` (Definition 3).
+
+    ``naive=True`` runs the definitional reference implementation with no
+    caching — the oracle the memoized default is tested against.
+    """
+    if naive:
+        return _naive_less_informative(first, second)
+    return _fast_less_informative(first, second)
+
+
+# ---------------------------------------------------------------------------
+# Naive reference implementation (the definitional oracle)
+# ---------------------------------------------------------------------------
+
+def _naive_less_informative(first: SSObject, second: SSObject) -> bool:
     if first == second:
         return True
     if first is BOTTOM:
@@ -52,7 +79,7 @@ def less_informative(first: SSObject, second: SSObject) -> bool:
         # membership alone would break transitivity — ⟨⟩ ⊴ ⟨a⟩ ⊴ ⟨a⟩|b
         # but ⟨⟩ ∉ {⟨a⟩, b} — while the witness rule keeps ⊴ a partial
         # order and validates Proposition 3 (see DESIGN.md, D2).
-        elif any(less_informative(first, disjunct)
+        elif any(_naive_less_informative(first, disjunct)
                  for disjunct in second.disjuncts):
             return True
     if isinstance(first, PartialSet) and isinstance(
@@ -60,7 +87,7 @@ def less_informative(first: SSObject, second: SSObject) -> bool:
         return _set_less_informative(first.elements, second.elements)
     if isinstance(first, Tuple) and isinstance(second, Tuple):
         return all(
-            less_informative(value, second.get(label))
+            _naive_less_informative(value, second.get(label))
             for label, value in first.items()
         )
     return False
@@ -76,19 +103,76 @@ def _set_less_informative(first: frozenset[SSObject],
     only_left = first - second
     only_right = second - first
     return all(
-        any(less_informative(left, right) for right in only_right)
+        any(_naive_less_informative(left, right) for right in only_right)
         for left in only_left
     )
 
 
-def strictly_less_informative(first: SSObject, second: SSObject) -> bool:
+# ---------------------------------------------------------------------------
+# Memoized fast path
+# ---------------------------------------------------------------------------
+
+#: ``(id(first), id(second)) -> bool`` for interned operand pairs. The
+#: intern pool owns the ids (strong references), so keys stay valid until
+#: the pool — and with it this table — is cleared.
+_LI_MEMO: dict[tuple[int, int], bool] = {}
+_on_clear(_LI_MEMO.clear)
+
+
+def _fast_less_informative(first: SSObject, second: SSObject) -> bool:
+    if first is second or first is BOTTOM:
+        return True
+    memoable = _is_interned(first) and _is_interned(second)
+    if memoable:
+        key = (id(first), id(second))
+        cached = _LI_MEMO.get(key)
+        if cached is not None:
+            return cached
+    result = _fast_li_cases(first, second)
+    if memoable:
+        _LI_MEMO[key] = result
+    return result
+
+
+def _fast_li_cases(first: SSObject, second: SSObject) -> bool:
+    # Mirrors _naive_less_informative case for case; ``_equal`` collapses
+    # to an identity check when both operands are interned.
+    if _equal(first, second):
+        return True
+    if isinstance(second, OrValue):
+        if isinstance(first, OrValue):
+            if first.disjuncts <= second.disjuncts:
+                return True
+        elif any(_fast_less_informative(first, disjunct)
+                 for disjunct in second.disjuncts):
+            return True
+    if isinstance(first, PartialSet) and isinstance(
+            second, (PartialSet, CompleteSet)):
+        only_left = first.elements - second.elements
+        only_right = second.elements - first.elements
+        return all(
+            any(_fast_less_informative(left, right) for right in only_right)
+            for left in only_left
+        )
+    if isinstance(first, Tuple) and isinstance(second, Tuple):
+        return all(
+            _fast_less_informative(value, second.get(label))
+            for label, value in first.items()
+        )
+    return False
+
+
+def strictly_less_informative(first: SSObject, second: SSObject, *,
+                              naive: bool = False) -> bool:
     """Return ``True`` iff ``first ⊴ second`` and ``first ≠ second``."""
-    return first != second and less_informative(first, second)
+    return first != second and less_informative(first, second, naive=naive)
 
 
-def comparable(first: SSObject, second: SSObject) -> bool:
+def comparable(first: SSObject, second: SSObject, *,
+               naive: bool = False) -> bool:
     """Return ``True`` iff the two objects are ordered either way by ``⊴``."""
-    return less_informative(first, second) or less_informative(second, first)
+    return (less_informative(first, second, naive=naive)
+            or less_informative(second, first, naive=naive))
 
 
 def maximal_elements(objects: Iterable[SSObject]) -> list[SSObject]:
@@ -109,14 +193,16 @@ def maximal_elements(objects: Iterable[SSObject]) -> list[SSObject]:
     return sort_objects(maximal)
 
 
-def data_less_informative(first: "Data", second: "Data") -> bool:
+def data_less_informative(first: "Data", second: "Data", *,
+                          naive: bool = False) -> bool:
     """Definition 4: ``m1:O1 ⊴ m2:O2`` iff ``m1 ⊴ m2`` and ``O1 ⊴ O2``."""
-    return (less_informative(first.marker, second.marker)
-            and less_informative(first.object, second.object))
+    return (less_informative(first.marker, second.marker, naive=naive)
+            and less_informative(first.object, second.object, naive=naive))
 
 
 def dataset_less_informative(first: Iterable["Data"],
-                             second: Iterable["Data"]) -> bool:
+                             second: Iterable["Data"], *,
+                             naive: bool = False) -> bool:
     """Definition 5: lift ``⊴`` to sets of semistructured data.
 
     ``S1 ⊴ S2`` iff every datum in ``S1 − S2`` is ``⊴`` some datum in
@@ -127,7 +213,7 @@ def dataset_less_informative(first: Iterable["Data"],
     only_left = left - right
     only_right = right - left
     return all(
-        any(data_less_informative(a, b) for b in only_right)
+        any(data_less_informative(a, b, naive=naive) for b in only_right)
         for a in only_left
     )
 

@@ -45,9 +45,14 @@ class SSObject:
     The class exists for ``isinstance`` checks and shared behaviour; it is
     never instantiated directly. Subclasses are value objects: equality and
     hashing are structural, and instances are immutable after construction.
+
+    Structural hashes are computed once and cached (objects are immutable,
+    so the hash can never change). Deeply nested objects therefore hash in
+    amortized O(1) per node, which keeps set operations, the intern pool
+    (:mod:`repro.core.intern`) and the key index fast on shared structure.
     """
 
-    __slots__ = ()
+    __slots__ = ("_hash_cache",)
 
     #: Short lowercase kind name, stable across releases ("atom", "marker",
     #: "bottom", "or", "partial_set", "complete_set", "tuple").
@@ -66,6 +71,17 @@ class SSObject:
         raise AttributeError(
             f"{type(self).__name__} objects are immutable"
         )
+
+    def _structural_hash(self) -> int:
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def __hash__(self) -> int:
+        try:
+            return self._hash_cache
+        except AttributeError:
+            value = self._structural_hash()
+            object.__setattr__(self, "_hash_cache", value)
+            return value
 
     # Subclasses assign slots in __init__ through object.__setattr__; this
     # helper keeps that one permitted mutation path in a single place.
@@ -96,8 +112,10 @@ class Bottom(SSObject):
     def __eq__(self, other: object) -> bool:
         return other is self
 
-    def __hash__(self) -> int:
+    def _structural_hash(self) -> int:
         return hash("repro.bottom")
+
+    __hash__ = SSObject.__hash__
 
     def __reduce__(self):
         return (Bottom, ())
@@ -139,8 +157,10 @@ class Atom(SSObject):
         return (type(self.value) is type(other.value)
                 and self.value == other.value)
 
-    def __hash__(self) -> int:
+    def _structural_hash(self) -> int:
         return hash(("repro.atom", type(self.value).__name__, self.value))
+
+    __hash__ = SSObject.__hash__
 
 
 class Marker(SSObject):
@@ -169,8 +189,10 @@ class Marker(SSObject):
             return NotImplemented
         return self.name == other.name
 
-    def __hash__(self) -> int:
+    def _structural_hash(self) -> int:
         return hash(("repro.marker", self.name))
+
+    __hash__ = SSObject.__hash__
 
 
 def _check_object(candidate: object, context: str) -> SSObject:
@@ -248,8 +270,10 @@ class OrValue(SSObject):
             return NotImplemented
         return self.disjuncts == other.disjuncts
 
-    def __hash__(self) -> int:
+    def _structural_hash(self) -> int:
         return hash(("repro.or", self.disjuncts))
+
+    __hash__ = SSObject.__hash__
 
 
 def _flatten_disjuncts(disjuncts: Iterable[SSObject]) -> frozenset[SSObject]:
@@ -297,8 +321,10 @@ class _SetObject(SSObject):
             return NotImplemented
         return self.elements == other.elements
 
-    def __hash__(self) -> int:
+    def _structural_hash(self) -> int:
         return hash(("repro.set", self.kind, self.elements))
+
+    __hash__ = SSObject.__hash__
 
 
 class PartialSet(_SetObject):
@@ -421,8 +447,10 @@ class Tuple(SSObject):
             return NotImplemented
         return self._fields == other._fields
 
-    def __hash__(self) -> int:
+    def _structural_hash(self) -> int:
         return hash(("repro.tuple", self._fields))
+
+    __hash__ = SSObject.__hash__
 
 
 def is_set_object(candidate: SSObject) -> bool:

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
+from repro.core.intern import is_interned as _is_interned
+from repro.core.intern import on_clear as _on_clear
 from repro.core.objects import (
     Atom,
     Bottom,
@@ -47,12 +49,29 @@ _KIND_RANK = {
 _ATOM_TYPE_RANK = {bool: 0, int: 1, float: 1, str: 2}
 
 
+#: ``id(obj) -> key`` for interned objects (the pool pins the ids).
+_KEY_MEMO: dict[int, tuple] = {}
+_on_clear(_KEY_MEMO.clear)
+
+
 def structural_key(obj: SSObject) -> tuple:
     """Return a nested tuple that totally orders model objects.
 
     Keys of equal objects are equal; keys of distinct objects differ. The
     key is comparable with keys of any other object, whatever the kinds.
+    Keys of interned objects (:mod:`repro.core.intern`) are computed once
+    and cached by identity.
     """
+    if _is_interned(obj):
+        cached = _KEY_MEMO.get(id(obj))
+        if cached is None:
+            cached = _structural_key(obj)
+            _KEY_MEMO[id(obj)] = cached
+        return cached
+    return _structural_key(obj)
+
+
+def _structural_key(obj: SSObject) -> tuple:
     if isinstance(obj, Bottom):
         return (_KIND_RANK["bottom"],)
     if isinstance(obj, Atom):

@@ -16,6 +16,11 @@ Wire format (one JSON object per model node)::
 The ``type`` discriminator on atoms preserves distinctions JSON would
 merge (``1`` vs ``1.0`` vs ``true``). Decoding validates shape and raises
 :class:`~repro.core.errors.CodecError` with a helpful message.
+
+Every decoding entry point takes ``intern=True`` to return hash-consed
+objects (:mod:`repro.core.intern`): decoded values then share canonical
+substructure with everything else in the pool, so the memoized
+``⊴``/compatibility/operation fast paths apply to them directly.
 """
 
 from __future__ import annotations
@@ -25,6 +30,9 @@ from typing import Any
 
 from repro.core.data import Data, DataSet
 from repro.core.errors import CodecError, ModelError
+from repro.core.intern import intern as _intern_object
+from repro.core.intern import intern_data as _intern_data
+from repro.core.intern import intern_dataset as _intern_dataset
 from repro.core.objects import (
     BOTTOM,
     Atom,
@@ -78,8 +86,16 @@ def _expect(payload: Any, field: str, kind: str) -> Any:
     return payload[field]
 
 
-def decode_object(payload: Any) -> SSObject:
-    """Decode a dict produced by :func:`encode_object`."""
+def decode_object(payload: Any, *, intern: bool = False) -> SSObject:
+    """Decode a dict produced by :func:`encode_object`.
+
+    ``intern=True`` returns the canonical hash-consed object.
+    """
+    decoded = _decode_object(payload)
+    return _intern_object(decoded) if intern else decoded
+
+
+def _decode_object(payload: Any) -> SSObject:
     kind = _expect(payload, "kind", "model")
     if kind == "bottom":
         return BOTTOM
@@ -108,19 +124,19 @@ def decode_object(payload: Any) -> SSObject:
         try:
             # Strict wire format: an "or" node needs >= 2 distinct
             # disjuncts, exactly like the model constructor.
-            return OrValue(decode_object(d) for d in disjuncts)
+            return OrValue(_decode_object(d) for d in disjuncts)
         except ModelError as exc:
             raise CodecError(f"invalid or-value: {exc}") from exc
     if kind == "pset":
         return PartialSet(
-            decode_object(e) for e in _expect(payload, "elements", "pset"))
+            _decode_object(e) for e in _expect(payload, "elements", "pset"))
     if kind == "cset":
         return CompleteSet(
-            decode_object(e) for e in _expect(payload, "elements", "cset"))
+            _decode_object(e) for e in _expect(payload, "elements", "cset"))
     if kind == "tuple":
         fields = _expect(payload, "fields", "tuple")
         try:
-            pairs = [(label, decode_object(value))
+            pairs = [(label, _decode_object(value))
                      for label, value in fields]
         except (TypeError, ValueError) as exc:
             raise CodecError(f"malformed tuple fields: {exc}") from exc
@@ -140,15 +156,16 @@ def encode_data(datum: Data) -> dict[str, Any]:
     }
 
 
-def decode_data(payload: Any) -> Data:
-    """Decode one datum."""
+def decode_data(payload: Any, *, intern: bool = False) -> Data:
+    """Decode one datum (``intern=True`` hash-conses its objects)."""
     if _expect(payload, "kind", "data") != "data":
         raise CodecError("expected a 'data' node")
     try:
-        return Data(decode_object(payload["marker"]),
-                    decode_object(payload["object"]))
+        decoded = Data(_decode_object(payload["marker"]),
+                       _decode_object(payload["object"]))
     except ModelError as exc:
         raise CodecError(f"invalid datum: {exc}") from exc
+    return _intern_data(decoded) if intern else decoded
 
 
 def encode_dataset(dataset: DataSet) -> dict[str, Any]:
@@ -157,12 +174,13 @@ def encode_dataset(dataset: DataSet) -> dict[str, Any]:
             "data": [encode_data(d) for d in dataset]}
 
 
-def decode_dataset(payload: Any) -> DataSet:
-    """Decode a data set."""
+def decode_dataset(payload: Any, *, intern: bool = False) -> DataSet:
+    """Decode a data set (``intern=True`` hash-conses every object)."""
     if _expect(payload, "kind", "dataset") != "dataset":
         raise CodecError("expected a 'dataset' node")
-    return DataSet(decode_data(d) for d in _expect(payload, "data",
-                                                   "dataset"))
+    decoded = DataSet(decode_data(d) for d in _expect(payload, "data",
+                                                      "dataset"))
+    return _intern_dataset(decoded) if intern else decoded
 
 
 def dumps(obj: SSObject, *, indent: int | None = None) -> str:
@@ -170,9 +188,9 @@ def dumps(obj: SSObject, *, indent: int | None = None) -> str:
     return json.dumps(encode_object(obj), indent=indent)
 
 
-def loads(text: str) -> SSObject:
+def loads(text: str, *, intern: bool = False) -> SSObject:
     """Parse a JSON string produced by :func:`dumps`."""
-    return decode_object(_load_json(text))
+    return decode_object(_load_json(text), intern=intern)
 
 
 def dumps_data(datum: Data, *, indent: int | None = None) -> str:
@@ -180,9 +198,9 @@ def dumps_data(datum: Data, *, indent: int | None = None) -> str:
     return json.dumps(encode_data(datum), indent=indent)
 
 
-def loads_data(text: str) -> Data:
+def loads_data(text: str, *, intern: bool = False) -> Data:
     """Parse one datum from JSON text."""
-    return decode_data(_load_json(text))
+    return decode_data(_load_json(text), intern=intern)
 
 
 def dumps_dataset(dataset: DataSet, *, indent: int | None = None) -> str:
@@ -190,9 +208,9 @@ def dumps_dataset(dataset: DataSet, *, indent: int | None = None) -> str:
     return json.dumps(encode_dataset(dataset), indent=indent)
 
 
-def loads_dataset(text: str) -> DataSet:
+def loads_dataset(text: str, *, intern: bool = False) -> DataSet:
     """Parse a data set from JSON text."""
-    return decode_dataset(_load_json(text))
+    return decode_dataset(_load_json(text), intern=intern)
 
 
 def _load_json(text: str) -> Any:

@@ -42,13 +42,18 @@ class ObjectGenerator:
         seed: RNG seed; equal seeds generate equal sequences.
         max_depth: maximum nesting depth of generated objects.
         max_children: maximum elements/disjuncts/attributes per node.
+        rich: widen the shape distribution with or-values of markers
+            (the shape ``∪K`` produces for marker parts) and deeply
+            nested partial/complete sets. Off by default so existing
+            seeded sequences stay byte-identical.
     """
 
     def __init__(self, seed: int = 0, max_depth: int = 3,
-                 max_children: int = 3):
+                 max_children: int = 3, rich: bool = False):
         self._rng = random.Random(seed)
         self._max_depth = max_depth
         self._max_children = max_children
+        self._rich = rich
 
     def atom(self) -> Atom:
         """A random atom from a small pool (collisions are likely)."""
@@ -70,7 +75,31 @@ class ObjectGenerator:
                 lambda: self._set(CompleteSet, remaining - 1),
                 lambda: self.tuple(remaining - 1),
             ]
+            if self._rich:
+                choices += [
+                    self.or_markers,
+                    lambda: self.nested_set(remaining - 1),
+                ]
         return self._rng.choice(choices)()
+
+    def or_markers(self) -> SSObject:
+        """An or-value of distinct markers (the marker-part shape ``∪K``
+        produces when sources disagree on identity)."""
+        count = self._rng.randint(2, max(2, self._max_children))
+        names = self._rng.sample(_MARKER_POOL,
+                                 min(count, len(_MARKER_POOL)))
+        return OrValue.of(*(Marker(name) for name in names))
+
+    def nested_set(self, depth: int | None = None) -> SSObject:
+        """A partial or complete set whose elements are themselves sets,
+        spending the whole remaining depth budget on set nesting."""
+        remaining = self._max_depth if depth is None else depth
+        cls = self._rng.choice([PartialSet, CompleteSet])
+        if remaining <= 0:
+            return cls([self.atom()
+                        for _ in range(self._rng.randint(0, 2))])
+        count = self._rng.randint(1, self._max_children)
+        return cls(self.nested_set(remaining - 1) for _ in range(count))
 
     def _children(self, depth: int, minimum: int = 0) -> list[SSObject]:
         count = self._rng.randint(minimum, self._max_children)

@@ -25,6 +25,7 @@ from typing import Callable, Iterable, Iterator
 from repro.core.compatibility import check_key
 from repro.core.data import Data, DataSet
 from repro.core.errors import CodecError
+from repro.core.intern import intern_data
 from repro.core.objects import Marker, SSObject, Tuple
 from repro.json_codec.codec import decode_dataset, encode_dataset
 from repro.store.index import KeyIndex
@@ -38,14 +39,29 @@ _VERSION = 1
 
 
 class Database:
-    """An updatable, persistable collection of semistructured data."""
+    """An updatable, persistable collection of semistructured data.
 
-    def __init__(self, data: Iterable[Data] = ()):
-        self._data: set[Data] = set(data)
+    With ``intern_objects=True`` (the default) every stored datum is
+    hash-consed on the way in (:mod:`repro.core.intern`): structurally
+    equal objects share one canonical representative, so key-index
+    signatures, compatibility checks and Definition 12 merges all hit
+    the identity-keyed memo tables. Interning preserves equality, so
+    lookups and results are unchanged — only faster. Pass
+    ``intern_objects=False`` to store data exactly as given.
+    """
+
+    def __init__(self, data: Iterable[Data] = (), *,
+                 intern_objects: bool = True):
+        self._intern = intern_objects
+        self._data: set[Data] = set(
+            self._canonical(datum) for datum in data)
         self._marker_index: dict[Marker, set[Data]] = {}
         self._key_indexes: dict[frozenset[str], KeyIndex] = {}
         for datum in self._data:
             self._index_markers(datum)
+
+    def _canonical(self, datum: Data) -> Data:
+        return intern_data(datum) if self._intern else datum
 
     # -- basic collection protocol -------------------------------------------
 
@@ -66,6 +82,7 @@ class Database:
 
     def insert(self, datum: Data) -> bool:
         """Insert a datum; returns ``False`` when already present."""
+        datum = self._canonical(datum)
         if datum in self._data:
             return False
         self._data.add(datum)
@@ -171,8 +188,10 @@ class Database:
     def merge_in(self, source: DataSet, key: Iterable[str]) -> int:
         """Union a new source into the database (Definition 12 via the
         key index). Returns the resulting size."""
+        if self._intern:
+            source = DataSet(intern_data(datum) for datum in source)
         merged = indexed_union(self.snapshot(), source, key)
-        self._data = set(merged)
+        self._data = set(self._canonical(datum) for datum in merged)
         self._marker_index.clear()
         self._key_indexes.clear()
         for datum in self._data:

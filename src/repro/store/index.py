@@ -26,6 +26,8 @@ from __future__ import annotations
 
 from typing import AbstractSet, Hashable, Iterable
 
+from repro.core.intern import is_interned as _is_interned
+from repro.core.intern import on_clear as _on_clear
 from repro.core.data import Data
 from repro.core.objects import (
     BOTTOM,
@@ -61,13 +63,32 @@ def _attr_signature(value: SSObject) -> Hashable | None:
     return None
 
 
+# Signature memo for hash-consed objects: the intern pool keeps strong
+# references, so ids stay valid; the pool's clear hook drops the memo.
+_SIG_MEMO: dict[tuple[int, frozenset[str]], Hashable] = {}
+_on_clear(_SIG_MEMO.clear)
+
+
 def signature(datum: Data, key: AbstractSet[str]) -> Hashable:
     """Classify a datum for the index.
 
     Returns a hashable signature tuple for indexable data, or one of
-    :data:`NEVER_MATCHES` / :data:`UNINDEXABLE`.
+    :data:`NEVER_MATCHES` / :data:`UNINDEXABLE`. Signatures of interned
+    objects are memoized by identity, so rebuilding indexes over a
+    hash-consed store never re-walks an object twice.
     """
     obj = datum.object
+    if _is_interned(obj):
+        memo_key = (id(obj), frozenset(key))
+        cached = _SIG_MEMO.get(memo_key)
+        if cached is None:
+            cached = _signature_impl(obj, key)
+            _SIG_MEMO[memo_key] = cached
+        return cached
+    return _signature_impl(obj, key)
+
+
+def _signature_impl(obj: SSObject, key: AbstractSet[str]) -> Hashable:
     if not isinstance(obj, Tuple):
         # Non-tuple objects follow the general Definition 6 cases, where
         # compatibility IS equality for indexable kinds; markers, atoms,

@@ -14,6 +14,7 @@ from typing import Iterable
 
 from repro.core.compatibility import check_key, compatible_data
 from repro.core.data import Data, DataSet
+from repro.core.intern import equal as _equal
 from repro.store.index import KeyIndex
 
 __all__ = ["indexed_union", "indexed_intersection", "indexed_difference"]
@@ -22,6 +23,14 @@ __all__ = ["indexed_union", "indexed_intersection", "indexed_difference"]
 def _compatible_partners(datum: Data, index: KeyIndex) -> list[Data]:
     return [candidate for candidate in index.candidates(datum)
             if compatible_data(datum, candidate, index.key)]
+
+
+def _same_datum(first: Data, second: Data) -> bool:
+    """Equality with the interned fast path (identity / both-canonical)."""
+    if first is second:
+        return True
+    return (_equal(first.marker, second.marker)
+            and _equal(first.object, second.object))
 
 
 def indexed_union(first: DataSet, second: DataSet,
@@ -38,7 +47,10 @@ def indexed_union(first: DataSet, second: DataSet,
             result.append(datum)
             continue
         matched_second.update(partners)
-        result.extend(datum.union(partner, checked)
+        # d ∪K d = d (Definition 11 merges identical marker and object
+        # parts to themselves), so identical partners skip the merge.
+        result.extend(datum if _same_datum(datum, partner)
+                      else datum.union(partner, checked)
                       for partner in partners)
     # Compatibility is symmetric, so the data of S2 with no partner are
     # exactly those never collected above.
@@ -54,7 +66,10 @@ def indexed_intersection(first: DataSet, second: DataSet,
     index = KeyIndex(second, checked)
     result: list[Data] = []
     for datum in first:
-        result.extend(datum.intersection(partner, checked)
+        # d ∩K d = d, so identical partners skip the merge (the analogous
+        # shortcut is NOT taken for difference, where d −K d ≠ d).
+        result.extend(datum if _same_datum(datum, partner)
+                      else datum.intersection(partner, checked)
                       for partner in _compatible_partners(datum, index))
     return DataSet(result)
 

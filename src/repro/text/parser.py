@@ -187,26 +187,42 @@ class _Parser:
             raise self._fail("trailing input after a complete parse")
 
 
-def parse_object(source: str) -> SSObject:
-    """Parse one object, e.g. ``'[a => <"x">, b => 1|2]'``."""
+def parse_object(source: str, *, intern: bool = False) -> SSObject:
+    """Parse one object, e.g. ``'[a => <"x">, b => 1|2]'``.
+
+    ``intern=True`` returns the canonical hash-consed object
+    (:mod:`repro.core.intern`), enabling the memoized fast paths.
+    """
     parser = _Parser(source)
     result = parser.parse_object()
     parser.expect_eof()
+    if intern:
+        from repro.core.intern import intern as intern_object
+
+        return intern_object(result)
     return result
 
 
-def parse_data(source: str) -> Data:
+def parse_data(source: str, *, intern: bool = False) -> Data:
     """Parse one semistructured datum ``m : O``."""
     parser = _Parser(source)
     result = parser.parse_data()
     parser.expect_eof()
+    if intern:
+        from repro.core.intern import intern_data
+
+        return intern_data(result)
     return result
 
 
-def parse_dataset(source: str) -> DataSet:
+def parse_dataset(source: str, *, intern: bool = False) -> DataSet:
     """Parse a whole source of ``m : O`` entries (``;`` separators
     optional)."""
     parser = _Parser(source)
     result = parser.parse_dataset()
     parser.expect_eof()
+    if intern:
+        from repro.core.intern import intern_dataset
+
+        return intern_dataset(result)
     return result

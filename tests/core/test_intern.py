@@ -1,0 +1,171 @@
+"""Tests for the hash-consing intern pool and its cache contracts."""
+
+import pytest
+
+from repro.core.builder import iobj, obj
+from repro.core.compatibility import compatible
+from repro.core.data import Data, DataSet
+from repro.core.informativeness import less_informative
+from repro.core.intern import (
+    InternPool,
+    clear_pool,
+    equal,
+    intern,
+    intern_data,
+    intern_dataset,
+    intern_stats,
+    is_interned,
+    on_clear,
+)
+from repro.core.objects import (
+    BOTTOM,
+    Atom,
+    CompleteSet,
+    Marker,
+    OrValue,
+    PartialSet,
+    Tuple,
+)
+from repro.core.operations import union
+
+
+def nested(title="Oracle"):
+    return Tuple({
+        "type": Atom("Article"),
+        "title": Atom(title),
+        "author": PartialSet([Atom("Bob"), Atom("Alice")]),
+        "tags": CompleteSet([Atom("db"), Atom("ssd")]),
+    })
+
+
+class TestCanonicalization:
+    def test_structurally_equal_objects_intern_to_one_identity(self):
+        first = intern(nested())
+        second = intern(nested())
+        assert first is second
+
+    def test_field_order_does_not_matter(self):
+        forward = intern(Tuple({"a": Atom(1), "b": Atom(2)}))
+        backward = intern(Tuple({"b": Atom(2), "a": Atom(1)}))
+        assert forward is backward
+
+    def test_children_are_canonical_too(self):
+        container = intern(nested())
+        assert is_interned(container.get("author"))
+        assert intern(PartialSet([Atom("Bob"), Atom("Alice")])) \
+            is container.get("author")
+
+    def test_interning_is_idempotent_and_identity_preserving(self):
+        canonical = intern(nested())
+        assert intern(canonical) is canonical
+
+    def test_bottom_is_its_own_canonical_form(self):
+        assert intern(BOTTOM) is BOTTOM
+        assert is_interned(BOTTOM)
+
+    def test_every_kind_round_trips(self):
+        samples = [Atom("x"), Atom(1), Atom(True), Marker("m"),
+                   OrValue.of(Atom(1), Atom(2)),
+                   PartialSet([Atom("x")]), CompleteSet([]),
+                   Tuple({"A": Marker("m")})]
+        for sample in samples:
+            canonical = intern(sample)
+            assert canonical == sample
+            assert is_interned(canonical)
+
+    def test_iobj_builder_interns(self):
+        value = {"type": "Article", "title": "Oracle"}
+        assert iobj(value) is iobj(value)
+        assert iobj(value) == obj(value)
+        assert is_interned(iobj(value))
+
+
+class TestEqualFastPath:
+    def test_identity_wins(self):
+        canonical = intern(nested())
+        assert equal(canonical, canonical)
+
+    def test_distinct_interned_objects_are_unequal_without_deep_compare(self):
+        assert not equal(intern(nested("A")), intern(nested("B")))
+
+    def test_falls_back_to_deep_equality_for_raw_objects(self):
+        assert equal(nested(), nested())
+        assert not equal(nested("A"), nested("B"))
+        assert equal(intern(nested()), nested())
+
+
+class TestDataInterning:
+    def test_intern_data_canonicalizes_marker_and_object(self):
+        datum = intern_data(Data(Marker("B80"), nested()))
+        assert is_interned(datum.marker)
+        assert is_interned(datum.object)
+        assert datum.object is intern(nested())
+
+    def test_intern_data_reuses_already_canonical_datum(self):
+        datum = intern_data(Data(Marker("B80"), nested()))
+        assert intern_data(datum) is datum
+
+    def test_intern_dataset(self):
+        source = DataSet([Data(Marker("m1"), nested()),
+                          Data(Marker("m2"), nested("Ingres"))])
+        canonical = intern_dataset(source)
+        assert canonical == source
+        assert all(is_interned(d.object) for d in canonical)
+
+
+class TestPoolLifecycle:
+    def test_stats_track_hits_and_misses(self):
+        clear_pool()
+        base = intern_stats()
+        intern(nested())
+        after_miss = intern_stats()
+        assert after_miss["misses"] > base["misses"]
+        intern(nested())
+        assert intern_stats()["hits"] > after_miss["hits"]
+
+    def test_clear_pool_unregisters_objects(self):
+        canonical = intern(nested())
+        assert is_interned(canonical)
+        clear_pool()
+        assert not is_interned(canonical)
+
+    def test_clear_pool_fires_registered_hooks(self):
+        fired = []
+        on_clear(lambda: fired.append(True))
+        clear_pool()
+        assert fired
+
+    def test_private_pool_is_independent(self):
+        pool = InternPool()
+        canonical = pool.intern(nested())
+        assert pool.intern(nested()) is canonical
+        # The default-pool predicate does not know private pools.
+        clear_pool()
+        assert not is_interned(canonical)
+
+
+class TestMemoSafetyAfterClear:
+    K = frozenset({"A", "B"})
+
+    def test_memoized_answers_survive_pool_clears(self):
+        # Fill memos via interned operands, clear everything, re-intern
+        # (ids may or may not be recycled) and check answers still match
+        # the naive oracle — the clear hooks must have dropped the memos.
+        first, second = intern(nested("A")), intern(nested("B"))
+        less_informative(first, second)
+        compatible(first, second, self.K)
+        union(first, second, self.K)
+        clear_pool()
+        first, second = intern(nested("B")), intern(nested("A"))
+        assert less_informative(first, second) == \
+            less_informative(first, second, naive=True)
+        assert compatible(first, second, self.K) == \
+            compatible(first, second, self.K, naive=True)
+        assert union(first, second, self.K) == \
+            union(first, second, self.K, naive=True)
+
+
+class TestRejections:
+    def test_non_model_values_are_rejected(self):
+        with pytest.raises(TypeError):
+            intern("not an object")

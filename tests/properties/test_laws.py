@@ -164,6 +164,67 @@ class TestProposition4:
         assert reports[2].holds
 
 
+class TestPropositionsOnRichShapes:
+    """Props 1-4 re-run over the rich generator (or-values of markers,
+    deeply nested partial/complete sets).
+
+    The universal laws survive the wider shape distribution; the
+    monotonicity claims 4(2) *and* 4(3) — the latter holds on realistic
+    bibliography workloads — both break on adversarial nesting,
+    sharpening the headline finding.
+    """
+
+    def test_prop1_partial_order_holds(self):
+        generator = ObjectGenerator(seed=11, rich=True)
+        for report in check_partial_order(generator.objects(120)):
+            assert report.holds, report.describe()
+            assert report.checks > 0
+
+    def test_prop2_commutativity_holds(self):
+        generator = ObjectGenerator(seed=12, rich=True)
+        pairs = [(generator.object(), generator.object())
+                 for _ in range(400)]
+        for report in check_commutativity(pairs, {"A", "B"}):
+            assert report.holds, report.describe()
+
+    def test_prop3_union_containment_holds(self):
+        for seed in range(25):
+            generator = ObjectGenerator(seed=seed, rich=True)
+            s1, s2 = generator.dataset(5), generator.dataset(5)
+            reports = check_containment(s1, s2, {"A", "B"})
+            assert reports[0].holds, (seed, reports[0].describe())
+            assert reports[1].holds, (seed, reports[1].describe())
+
+    def test_prop4_union_monotonicity_holds(self):
+        for seed in range(25):
+            generator = ObjectGenerator(seed=seed, rich=True)
+            s1, s2 = generator.dataset(5), generator.dataset(5)
+            reports = check_key_monotonicity(s1, s2, {"A"}, {"A", "B"})
+            assert reports[0].holds, (seed, reports[0].describe())
+
+    def test_finding_prop4_intersection_and_difference_fail_on_rich_data(self):
+        broken_intersection = broken_difference = 0
+        for seed in range(10):
+            generator = ObjectGenerator(seed=seed, rich=True)
+            s1, s2 = generator.dataset(5), generator.dataset(5)
+            reports = check_key_monotonicity(s1, s2, {"A"}, {"A", "B"})
+            broken_intersection += not reports[1].holds
+            broken_difference += not reports[2].holds
+        assert broken_intersection > 0
+        assert broken_difference > 0
+
+    def test_rich_mode_actually_widens_the_distribution(self):
+        from repro.core.objects import Marker, OrValue
+        from repro.core.order import object_depth
+
+        generator = ObjectGenerator(seed=5, rich=True, max_depth=4)
+        samples = generator.objects(300)
+        assert any(isinstance(sample, OrValue)
+                   and all(isinstance(d, Marker) for d in sample.disjuncts)
+                   for sample in samples)
+        assert any(object_depth(sample) >= 4 for sample in samples)
+
+
 class TestGenerators:
     def test_deterministic(self):
         first = ObjectGenerator(seed=9).objects(50)

@@ -87,6 +87,30 @@ class TestCompatLookupAndMerge:
         db.insert(data("A78", tup(type="Article", title="Datalog")))
         assert len(db.compatible_with(probe, self.K)) == 1
 
+    def test_key_index_invalidated_by_remove(self):
+        # Regression: a lazily built KeyIndex must not serve stale
+        # entries after a remove.
+        db = Database(sample_data())
+        first, _ = sample_data()
+        probe = data("x", tup(type="Article", title="Oracle", year=1980))
+        assert len(db.compatible_with(probe, self.K)) == 1  # builds index
+        assert db.remove(first)
+        assert len(db.compatible_with(probe, self.K)) == 0
+        # Re-inserting rebuilds again, from another lazily built index.
+        assert db.insert(first)
+        assert len(db.compatible_with(probe, self.K)) == 1
+
+    def test_interning_preserves_lookup_semantics(self):
+        interned = Database(sample_data())
+        raw = Database(sample_data(), intern_objects=False)
+        probe = data("x", tup(type="Article", title="Oracle", year=1980))
+        assert interned.snapshot() == raw.snapshot()
+        assert interned.compatible_with(probe, self.K) == \
+            raw.compatible_with(probe, self.K)
+        first, _ = sample_data()
+        assert interned.remove(first)  # equality-based, not identity
+        assert len(interned) == len(raw) - 1
+
     def test_merge_in_equals_definition12(self):
         from tests.core.test_data import example6_sources
 

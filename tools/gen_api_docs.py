@@ -41,6 +41,36 @@ HEADER = """# API reference
 One line per public name, generated from the docstrings by
 `python tools/gen_api_docs.py`. See `docs/TUTORIAL.md` for a guided
 walkthrough and the module docstrings for full documentation.
+
+## Interning and caching semantics
+
+All model objects are immutable, which makes **hash-consing** sound:
+`repro.core.intern.intern(obj)` (or the builder shortcut `iobj(...)`)
+returns the canonical representative of an object's structural
+equivalence class, so two structurally equal interned objects are
+pointer-identical. The pool holds strong references, guaranteeing a
+canonical object's `id()` is never recycled while the pool lives.
+
+Interning is what unlocks the memoized **fast paths**: `⊴`
+(`less_informative`), key-compatibility (`compatible`) and the key-based
+operations (`union` / `intersection` / `difference`) each keep an
+identity-keyed memo table that is consulted only when *both* operands
+are interned. Equality between interned objects degenerates to an
+identity check (`repro.core.intern.equal`), the store's key-index
+signatures are cached per interned object, and the fast operations
+intern their results so chained operations stay in the fast regime.
+Decoder entry points (`repro.text.parse_*`, `repro.json_codec.loads*`,
+`repro.bibtex` mapping functions) accept `intern=True`;
+`repro.store.Database` interns by default (`intern_objects=False` opts
+out).
+
+Every cached predicate and operation also accepts `naive=True`, which
+bypasses the pool and all memo tables and runs the untouched
+definitional code — the reference oracle the differential test suite
+(`tests/properties/test_differential.py`) checks the fast paths
+against. `clear_pool()` empties the pool **and** every registered memo
+table (they are registered via `repro.core.intern.on_clear`), so stale
+`id()`-keyed entries can never outlive the objects they describe.
 """
 
 
