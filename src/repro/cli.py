@@ -85,7 +85,9 @@ def _key(args: argparse.Namespace) -> frozenset[str]:
 
 
 def _cmd_merge(args: argparse.Namespace) -> int:
-    engine = MergeEngine(MergeSpec(default_key=_key(args)))
+    engine = MergeEngine(MergeSpec(default_key=_key(args),
+                                   strategy=args.strategy,
+                                   parallel=args.parallel))
     for index, path in enumerate(args.files):
         engine.add_source(f"source{index}:{Path(path).name}",
                           _load(path, args.from_format))
@@ -219,6 +221,14 @@ def _build_parser() -> argparse.ArgumentParser:
     merge.add_argument("--on-conflict", choices=("error", "comment"),
                        default="comment",
                        help="BibTeX rendering of or-values")
+    merge.add_argument("--strategy",
+                       choices=("naive", "indexed", "blocked"),
+                       default="blocked",
+                       help="fold organization (identical results; "
+                            "default: blocked)")
+    merge.add_argument("--parallel", type=int, default=0, metavar="N",
+                       help="merge signature blocks on N worker "
+                            "processes (default: 0, sequential)")
     merge.set_defaults(handler=_cmd_merge)
 
     for name, help_text in (("diff", "first source minus the second"),

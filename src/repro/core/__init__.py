@@ -41,6 +41,7 @@ from repro.core.errors import (
     WorkloadError,
 )
 from repro.core.expand import expand_data, expand_dataset, expand_object
+from repro.core.guard import EXTENDED_LIMIT, guarded, recursion_headroom
 from repro.core.intern import (
     InternPool,
     clear_pool,
@@ -114,6 +115,8 @@ __all__ = [
     "union", "intersection", "difference",
     # expand
     "expand_object", "expand_data", "expand_dataset",
+    # recursion guard
+    "guarded", "recursion_headroom", "EXTENDED_LIMIT",
     # traversal
     "walk", "transform", "collect", "contains_kind", "count_kind",
     "format_path", "IN_SET", "IN_OR",

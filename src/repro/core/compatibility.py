@@ -32,6 +32,7 @@ from __future__ import annotations
 
 from typing import AbstractSet, Iterable
 
+from repro.core.guard import guarded as _guarded
 from repro.core.intern import on_clear as _on_clear
 from repro.core.intern import equal as _equal
 from repro.core.intern import is_interned as _is_interned
@@ -65,6 +66,7 @@ def check_key(key: Iterable[str]) -> frozenset[str]:
     return normalized
 
 
+@_guarded
 def compatible(first: SSObject, second: SSObject,
                key: AbstractSet[str], *, naive: bool = False) -> bool:
     """Return ``True`` iff the objects are compatible wrt ``key`` (Def. 6).

@@ -18,6 +18,7 @@ from typing import AbstractSet, Callable, Iterable, Iterator
 
 from repro.core.compatibility import check_key, compatible_data
 from repro.core.errors import InvalidMarkerError
+from repro.core.guard import guarded as _guarded
 from repro.core.informativeness import (
     data_less_informative,
     dataset_less_informative,
@@ -155,6 +156,9 @@ class DataSet:
 
     __slots__ = ("_data",)
 
+    # Guarded: freezing the set hashes every datum, and structural
+    # hashing recurses as deep as the deepest object.
+    @_guarded
     def __init__(self, data: Iterable[Data] = ()):
         items = frozenset(data)
         for item in items:
@@ -224,6 +228,7 @@ class DataSet:
 
     # -- Definition 12 ------------------------------------------------------
 
+    @_guarded
     def union(self, other: "DataSet", key: Iterable[str], *,
               naive: bool = False) -> "DataSet":
         """``S1 ∪K S2``: unmatched data pass through; compatible cross
@@ -235,6 +240,7 @@ class DataSet:
         )
         return DataSet(result)
 
+    @_guarded
     def intersection(self, other: "DataSet",
                      key: Iterable[str], *,
                      naive: bool = False) -> "DataSet":
@@ -246,6 +252,7 @@ class DataSet:
             if compatible_data(d1, d2, checked, naive=naive)
         )
 
+    @_guarded
     def difference(self, other: "DataSet", key: Iterable[str], *,
                    naive: bool = False) -> "DataSet":
         """``S1 −K S2``: data of ``S1`` with no compatible partner, plus

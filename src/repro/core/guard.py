@@ -1,0 +1,134 @@
+"""Recursion-depth guard for deeply nested structures.
+
+Every algorithm of the model — ``⊴`` (Definitions 3-5), compatibility
+(Definitions 6-7), the key-based operations (Definitions 8-12) and the
+JSON codec — recurses along object structure. CPython bounds recursion
+at :func:`sys.getrecursionlimit` (1000 by default), so a few hundred
+nesting levels would surface as a raw ``RecursionError`` from deep
+inside library code; worse, simply raising the limit is unsafe, because
+structural ``__eq__``/``__hash__`` chains alternate Python and C frames
+and can exhaust the *machine* stack long before a large limit triggers.
+
+:func:`guarded` turns that failure mode into a contract: an operation
+that exhausts the default limit is retried once in a dedicated worker
+thread with a large explicit stack (:data:`STACK_BYTES`) and an
+extended recursion limit (:data:`EXTENDED_LIMIT`) — deep C recursion is
+then backed by real stack space. An operation too deep even for the
+extended limit fails with a clear
+:class:`~repro.core.errors.MergeError` instead of an arbitrary-depth
+``RecursionError``. Retrying is sound because every guarded entry point
+is a pure function of immutable values: an interrupted first attempt
+leaves at most *valid* partial memo entries behind.
+"""
+
+from __future__ import annotations
+
+import functools
+import sys
+import threading
+from typing import Any, Callable, TypeVar
+
+from repro.core.errors import MergeError
+
+__all__ = ["EXTENDED_LIMIT", "STACK_BYTES", "guarded",
+           "recursion_headroom"]
+
+#: Recursion limit applied while retrying a guarded operation. Supports
+#: roughly ten thousand nesting levels (each level costs a handful of
+#: frames).
+EXTENDED_LIMIT = 50_000
+
+#: Stack size of the retry thread. Virtual allocation — pages commit
+#: only as the recursion actually deepens.
+STACK_BYTES = 256 * 1024 * 1024
+
+# Marks threads already running under the extended limit; thread-local
+# so one thread's retry cannot mask another thread's genuine overflow.
+_state = threading.local()
+
+
+class recursion_headroom:
+    """Context manager that raises the recursion limit to
+    :data:`EXTENDED_LIMIT` (never lowers it) and restores it on exit.
+
+    Prefer :func:`guarded` for library entry points — it also provides
+    the machine stack that deep C-level recursion needs; this context
+    manager only lifts the interpreter's frame budget.
+    """
+
+    def __enter__(self) -> "recursion_headroom":
+        self._previous = sys.getrecursionlimit()
+        _state.depth = getattr(_state, "depth", 0) + 1
+        if self._previous < EXTENDED_LIMIT:
+            sys.setrecursionlimit(EXTENDED_LIMIT)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        _state.depth -= 1
+        sys.setrecursionlimit(self._previous)
+
+
+def _extended() -> bool:
+    return getattr(_state, "depth", 0) > 0
+
+
+def _too_deep(fn: Callable[..., Any]) -> MergeError:
+    return MergeError(
+        f"{fn.__name__}: structure nesting exceeds the supported depth "
+        f"(recursion limit {EXTENDED_LIMIT})")
+
+
+def _retry_in_deep_thread(fn: Callable[..., Any],
+                          args: tuple, kwargs: dict) -> Any:
+    """Re-run ``fn`` in a fresh thread with a big stack and the
+    extended recursion limit; re-raise whatever it raises."""
+    outcome: dict[str, Any] = {}
+
+    def run() -> None:
+        _state.depth = 1
+        previous = sys.getrecursionlimit()
+        try:
+            if previous < EXTENDED_LIMIT:
+                sys.setrecursionlimit(EXTENDED_LIMIT)
+            outcome["value"] = fn(*args, **kwargs)
+        except BaseException as error:  # re-raised in the caller
+            outcome["error"] = error
+        finally:
+            sys.setrecursionlimit(previous)
+            _state.depth = 0
+
+    previous_stack = threading.stack_size(STACK_BYTES)
+    try:
+        worker = threading.Thread(target=run, name="repro-deep-recursion")
+        worker.start()
+    finally:
+        threading.stack_size(previous_stack)
+    worker.join()
+    if "error" in outcome:
+        error = outcome["error"]
+        if isinstance(error, RecursionError):
+            raise _too_deep(fn) from None
+        raise error
+    return outcome["value"]
+
+
+_F = TypeVar("_F", bound=Callable[..., Any])
+
+
+def guarded(fn: _F) -> _F:
+    """Wrap a pure recursive entry point with the depth guard.
+
+    The happy path costs one extra frame and a zero-cost ``try``; the
+    guard only acts when the wrapped call actually overflows.
+    """
+
+    @functools.wraps(fn)
+    def wrapper(*args: Any, **kwargs: Any) -> Any:
+        try:
+            return fn(*args, **kwargs)
+        except RecursionError:
+            if _extended():
+                raise _too_deep(fn) from None
+            return _retry_in_deep_thread(fn, args, kwargs)
+
+    return wrapper  # type: ignore[return-value]

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 from typing import Iterable
 
+from repro.core.guard import guarded as _guarded
 from repro.core.intern import on_clear as _on_clear
 from repro.core.intern import equal as _equal
 from repro.core.intern import is_interned as _is_interned
@@ -48,6 +49,7 @@ from repro.core.objects import (
 )
 
 
+@_guarded
 def less_informative(first: SSObject, second: SSObject, *,
                      naive: bool = False) -> bool:
     """Return ``True`` iff ``first ⊴ second`` (Definition 3).

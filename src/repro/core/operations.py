@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from typing import AbstractSet, Iterable
 
+from repro.core.guard import guarded as _guarded
 from repro.core.intern import intern as _intern_object
 from repro.core.intern import on_clear as _on_clear
 from repro.core.compatibility import _fast_compatible, compatible
@@ -52,6 +53,7 @@ from repro.core.objects import (
 __all__ = ["union", "intersection", "difference"]
 
 
+@_guarded
 def union(first: SSObject, second: SSObject,
           key: Iterable[str], *, naive: bool = False) -> SSObject:
     """Return ``first ∪K second`` (Definition 8)."""
@@ -60,6 +62,7 @@ def union(first: SSObject, second: SSObject,
     return _fast_union(first, second, check_key(key))
 
 
+@_guarded
 def intersection(first: SSObject, second: SSObject,
                  key: Iterable[str], *, naive: bool = False) -> SSObject:
     """Return ``first ∩K second`` (Definition 9)."""
@@ -68,6 +71,7 @@ def intersection(first: SSObject, second: SSObject,
     return _fast_intersection(first, second, check_key(key))
 
 
+@_guarded
 def difference(first: SSObject, second: SSObject,
                key: Iterable[str], *, naive: bool = False) -> SSObject:
     """Return ``first −K second`` (Definition 10)."""

@@ -30,6 +30,7 @@ from typing import Any
 
 from repro.core.data import Data, DataSet
 from repro.core.errors import CodecError, ModelError
+from repro.core.guard import guarded as _guarded
 from repro.core.intern import intern as _intern_object
 from repro.core.intern import intern_data as _intern_data
 from repro.core.intern import intern_dataset as _intern_dataset
@@ -49,6 +50,7 @@ _ATOM_TYPE_NAMES = {bool: "bool", int: "int", float: "float", str: "str"}
 _ATOM_TYPES_BY_NAME = {"bool": bool, "int": int, "float": float, "str": str}
 
 
+@_guarded
 def encode_object(obj: SSObject) -> dict[str, Any]:
     """Encode a model object to a JSON-serializable dict."""
     if isinstance(obj, Bottom):
@@ -86,6 +88,7 @@ def _expect(payload: Any, field: str, kind: str) -> Any:
     return payload[field]
 
 
+@_guarded
 def decode_object(payload: Any, *, intern: bool = False) -> SSObject:
     """Decode a dict produced by :func:`encode_object`.
 
@@ -147,6 +150,7 @@ def _decode_object(payload: Any) -> SSObject:
     raise CodecError(f"unknown node kind {kind!r}")
 
 
+@_guarded
 def encode_data(datum: Data) -> dict[str, Any]:
     """Encode one datum."""
     return {
@@ -156,6 +160,7 @@ def encode_data(datum: Data) -> dict[str, Any]:
     }
 
 
+@_guarded
 def decode_data(payload: Any, *, intern: bool = False) -> Data:
     """Decode one datum (``intern=True`` hash-conses its objects)."""
     if _expect(payload, "kind", "data") != "data":
@@ -168,12 +173,14 @@ def decode_data(payload: Any, *, intern: bool = False) -> Data:
     return _intern_data(decoded) if intern else decoded
 
 
+@_guarded
 def encode_dataset(dataset: DataSet) -> dict[str, Any]:
     """Encode a whole data set (canonical datum order)."""
     return {"kind": "dataset",
             "data": [encode_data(d) for d in dataset]}
 
 
+@_guarded
 def decode_dataset(payload: Any, *, intern: bool = False) -> DataSet:
     """Decode a data set (``intern=True`` hash-conses every object)."""
     if _expect(payload, "kind", "dataset") != "dataset":
@@ -183,31 +190,37 @@ def decode_dataset(payload: Any, *, intern: bool = False) -> DataSet:
     return _intern_dataset(decoded) if intern else decoded
 
 
+@_guarded
 def dumps(obj: SSObject, *, indent: int | None = None) -> str:
     """Serialize a model object to a JSON string."""
     return json.dumps(encode_object(obj), indent=indent)
 
 
+@_guarded
 def loads(text: str, *, intern: bool = False) -> SSObject:
     """Parse a JSON string produced by :func:`dumps`."""
     return decode_object(_load_json(text), intern=intern)
 
 
+@_guarded
 def dumps_data(datum: Data, *, indent: int | None = None) -> str:
     """Serialize one datum to a JSON string."""
     return json.dumps(encode_data(datum), indent=indent)
 
 
+@_guarded
 def loads_data(text: str, *, intern: bool = False) -> Data:
     """Parse one datum from JSON text."""
     return decode_data(_load_json(text), intern=intern)
 
 
+@_guarded
 def dumps_dataset(dataset: DataSet, *, indent: int | None = None) -> str:
     """Serialize a data set to a JSON string."""
     return json.dumps(encode_dataset(dataset), indent=indent)
 
 
+@_guarded
 def loads_dataset(text: str, *, intern: bool = False) -> DataSet:
     """Parse a data set from JSON text."""
     return decode_dataset(_load_json(text), intern=intern)

@@ -13,6 +13,16 @@ merge multiple Bibtex databases"*. The engine:
 
 ``intersect_all``/``subtract`` expose the other two operations with the
 same per-class key handling.
+
+The fold itself is organized by ``MergeSpec.strategy``: the default
+``"blocked"`` strategy hands each class partition to the k-way
+signature-blocked pipeline (:func:`repro.store.bulk.blocked_union`,
+optionally parallel across worker processes), ``"indexed"`` runs the
+pairwise fold through the key index, and ``"naive"`` keeps the
+definitional :meth:`DataSet.union` scans. All strategies produce
+structurally identical results — the fold order is the source
+registration order in every case, which matters because ``∪K`` is
+commutative but not associative.
 """
 
 from __future__ import annotations
@@ -24,6 +34,12 @@ from repro.core.errors import MergeError
 from repro.merge.conflicts import Conflict, Gap, find_conflicts, find_gaps
 from repro.merge.provenance import SourceCatalog
 from repro.merge.spec import MergeSpec
+from repro.store.bulk import blocked_union
+from repro.store.ops import (
+    indexed_difference,
+    indexed_intersection,
+    indexed_union,
+)
 
 __all__ = ["MergeEngine", "MergeResult", "MergeStats"]
 
@@ -103,8 +119,15 @@ class MergeEngine:
         return {name: DataSet(data) for name, data in classes.items()}
 
     def _combine(self, first: DataSet, second: DataSet,
-                 operation: str) -> DataSet:
-        """Apply a Definition 12 operation per class partition."""
+                 operation: str, *, use_index: bool | None = None) -> DataSet:
+        """Apply a Definition 12 operation per class partition.
+
+        Pairing runs through :mod:`repro.store.ops` (identical results,
+        index-accelerated) unless the spec's strategy is ``"naive"`` or
+        ``use_index=False`` forces the definitional scans.
+        """
+        if use_index is None:
+            use_index = self._spec.strategy != "naive"
         first_parts = self._partition(first)
         second_parts = self._partition(second)
         result: list[Data] = []
@@ -113,12 +136,43 @@ class MergeEngine:
             left = first_parts.get(class_name, DataSet())
             right = second_parts.get(class_name, DataSet())
             if operation == "union":
-                combined = left.union(right, key)
+                combined = (indexed_union(left, right, key) if use_index
+                            else left.union(right, key))
             elif operation == "intersection":
-                combined = left.intersection(right, key)
+                combined = (indexed_intersection(left, right, key)
+                            if use_index
+                            else left.intersection(right, key))
             else:
-                combined = left.difference(right, key)
+                combined = (indexed_difference(left, right, key)
+                            if use_index
+                            else left.difference(right, key))
             result.extend(combined)
+        return DataSet(result)
+
+    def _union_all(self, sources: list[DataSet]) -> DataSet:
+        """Fold ``∪K`` over the sources under the spec's strategy."""
+        if self._spec.strategy != "blocked":
+            merged = sources[0]
+            for source in sources[1:]:
+                merged = self._combine(merged, source, "union")
+            return merged
+        # Blocked: partition every source by class once. The class (the
+        # type attribute's value) is invariant under within-class union,
+        # so the one-time partition equals the per-step partitioning of
+        # the pairwise fold; each class then merges k-way.
+        classes: dict[str, list[list[Data]]] = {}
+        for source in sources:
+            local: dict[str, list[Data]] = {}
+            for datum in source:
+                local.setdefault(self._spec.class_of(datum),
+                                 []).append(datum)
+            for class_name, rows in local.items():
+                classes.setdefault(class_name, []).append(rows)
+        result: list[Data] = []
+        for class_name, slabs in classes.items():
+            key = self._spec.key_for_class(class_name)
+            result.extend(blocked_union(
+                slabs, key, parallel=self._spec.parallel))
         return DataSet(result)
 
     def merge(self) -> MergeResult:
@@ -130,9 +184,7 @@ class MergeEngine:
         deterministic order for reproducible merges.
         """
         sources = self._require_sources(1)
-        merged = sources[0]
-        for source in sources[1:]:
-            merged = self._combine(merged, source, "union")
+        merged = self._union_all(sources)
         conflicts = tuple(find_conflicts(merged))
         gaps = tuple(find_gaps(merged))
         input_count = sum(len(s) for s in sources)

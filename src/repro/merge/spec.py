@@ -29,6 +29,11 @@ __all__ = ["MergeSpec"]
 #: Class name used for data whose object is not a tuple or has no type.
 UNCLASSIFIED = "<unclassified>"
 
+#: Fold strategies the engine understands. All three produce
+#: structurally identical results; they differ only in how the
+#: Definition 12 pairing work is organized.
+STRATEGIES = ("naive", "indexed", "blocked")
+
 
 @dataclass(frozen=True)
 class MergeSpec:
@@ -38,6 +43,14 @@ class MergeSpec:
         default_key: key used for classes without an override.
         type_attribute: tuple attribute that names a datum's class.
         per_class: class name → key override.
+        strategy: how the engine organizes the ``∪K`` fold — ``"naive"``
+            (pairwise :meth:`DataSet.union` scans), ``"indexed"``
+            (pairwise folds through the key index) or ``"blocked"``
+            (the k-way signature-blocked pipeline of
+            :mod:`repro.store.bulk`, the default). Results are
+            structurally identical under every strategy.
+        parallel: worker processes for the blocked strategy's
+            per-block folds; ``0`` (the default) stays sequential.
 
     The type attribute is implicitly part of every key (like in the
     paper's Example 6, where ``K = {type, title}``): the engine partitions
@@ -47,6 +60,8 @@ class MergeSpec:
     default_key: frozenset[str]
     type_attribute: str = "type"
     per_class: Mapping[str, frozenset[str]] = field(default_factory=dict)
+    strategy: str = "blocked"
+    parallel: int = 0
 
     def __post_init__(self):
         object.__setattr__(self, "default_key",
@@ -57,6 +72,14 @@ class MergeSpec:
         object.__setattr__(self, "per_class", validated)
         if not self.type_attribute:
             raise MergeError("type_attribute must be non-empty")
+        if self.strategy not in STRATEGIES:
+            raise MergeError(
+                f"unknown merge strategy {self.strategy!r}; expected one "
+                f"of {', '.join(STRATEGIES)}")
+        if not isinstance(self.parallel, int) or self.parallel < 0:
+            raise MergeError(
+                f"parallel must be a non-negative worker count, got "
+                f"{self.parallel!r}")
 
     def class_of(self, datum: Data) -> str:
         """Return the class name of a datum.

@@ -7,10 +7,19 @@ The paper defers implementation; this package provides it:
   docs for the exceptions);
 * :func:`~repro.store.ops.indexed_union` et al. — Definition 12 in
   O(n + m) instead of O(n·m), bit-identical results (ablation S5);
+* :func:`~repro.store.bulk.blocked_union` /
+  :class:`~repro.store.bulk.IncrementalUnion` — the k-way
+  signature-blocked (optionally parallel) bulk-merge pipeline;
 * :class:`~repro.store.database.Database` — an updatable, file-backed
-  collection with marker and key indexes.
+  collection with incrementally maintained marker and key indexes.
 """
 
+from repro.store.bulk import (
+    IncrementalUnion,
+    UnionDiff,
+    blocked_union,
+    fold_union,
+)
 from repro.store.database import Database
 from repro.store.index import (
     NEVER_MATCHES,
@@ -27,5 +36,6 @@ from repro.store.ops import (
 __all__ = [
     "KeyIndex", "signature", "NEVER_MATCHES", "UNINDEXABLE",
     "indexed_union", "indexed_intersection", "indexed_difference",
+    "blocked_union", "fold_union", "IncrementalUnion", "UnionDiff",
     "Database",
 ]

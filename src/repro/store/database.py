@@ -4,14 +4,18 @@ The paper's §4 names "how to implement the semistructured data model"
 as open work; this module is that implementation at library scale:
 
 * a :class:`Database` holds one :class:`~repro.core.data.DataSet` plus a
-  marker index and (lazily built, automatically invalidated) key indexes;
+  marker index and lazily built, *incrementally maintained* key indexes
+  — ``insert``/``remove``/``merge_in`` patch every live
+  :class:`~repro.store.index.KeyIndex` instead of invalidating it;
 * content-addressed updates: ``insert``/``remove`` return nothing and
   mutate the database, but all returned data values stay immutable;
 * durability through the tagged-JSON codec with atomic file replacement
   (write to a temp file, ``os.replace``), so a crash never leaves a
   half-written database behind;
-* ``merge_in`` ingests another source through the index-accelerated
-  ``∪K``.
+* ``merge_in`` ingests another source as a net
+  :class:`~repro.store.bulk.UnionDiff` against the maintained index
+  (optionally through the parallel blocked pipeline), so an ingest
+  touches only the data the ``∪K`` step actually changed.
 """
 
 from __future__ import annotations
@@ -28,8 +32,8 @@ from repro.core.errors import CodecError
 from repro.core.intern import intern_data
 from repro.core.objects import Marker, SSObject, Tuple
 from repro.json_codec.codec import decode_dataset, encode_dataset
+from repro.store.bulk import blocked_union, union_diff
 from repro.store.index import KeyIndex
-from repro.store.ops import indexed_union
 
 __all__ = ["Database"]
 
@@ -87,7 +91,8 @@ class Database:
             return False
         self._data.add(datum)
         self._index_markers(datum)
-        self._key_indexes.clear()
+        for index in self._key_indexes.values():
+            index.add(datum)
         return True
 
     def insert_all(self, data: Iterable[Data]) -> int:
@@ -99,18 +104,22 @@ class Database:
         if datum not in self._data:
             return False
         self._data.discard(datum)
+        self._unindex_markers(datum)
+        for index in self._key_indexes.values():
+            index.remove(datum)
+        return True
+
+    def _index_markers(self, datum: Data) -> None:
+        for marker in datum.markers:
+            self._marker_index.setdefault(marker, set()).add(datum)
+
+    def _unindex_markers(self, datum: Data) -> None:
         for marker in datum.markers:
             entries = self._marker_index.get(marker)
             if entries is not None:
                 entries.discard(datum)
                 if not entries:
                     del self._marker_index[marker]
-        self._key_indexes.clear()
-        return True
-
-    def _index_markers(self, datum: Data) -> None:
-        for marker in datum.markers:
-            self._marker_index.setdefault(marker, set()).add(datum)
 
     def update(self, marker: Marker | str,
                transform: "Callable[[Data], Data]") -> int:
@@ -185,17 +194,42 @@ class Database:
 
     # -- merging ------------------------------------------------------------------
 
-    def merge_in(self, source: DataSet, key: Iterable[str]) -> int:
-        """Union a new source into the database (Definition 12 via the
-        key index). Returns the resulting size."""
+    def merge_in(self, source: DataSet, key: Iterable[str], *,
+                 parallel: int = 0) -> int:
+        """Union a new source into the database (Definition 12).
+        Returns the resulting size.
+
+        The step is applied as a net diff: only the data the ``∪K``
+        actually replaced or introduced touch the marker index and the
+        maintained key indexes. ``parallel > 0`` routes the union
+        through the blocked pipeline's worker pool
+        (:func:`repro.store.bulk.blocked_union`); results are identical.
+        """
+        checked = check_key(key)
         if self._intern:
             source = DataSet(intern_data(datum) for datum in source)
-        merged = indexed_union(self.snapshot(), source, key)
-        self._data = set(self._canonical(datum) for datum in merged)
-        self._marker_index.clear()
-        self._key_indexes.clear()
-        for datum in self._data:
+        elif not isinstance(source, DataSet):
+            source = DataSet(source)
+        if parallel:
+            merged = set(blocked_union([self.snapshot(), source], checked,
+                                       parallel=parallel))
+            removed = tuple(d for d in self._data if d not in merged)
+            added = tuple(d for d in merged if d not in self._data)
+        else:
+            diff = union_diff(self._data, self._key_index(checked),
+                              source, checked)
+            removed, added = diff.removed, diff.added
+        for datum in removed:
+            self._data.discard(datum)
+            self._unindex_markers(datum)
+            for index in self._key_indexes.values():
+                index.remove(datum)
+        for datum in added:
+            datum = self._canonical(datum)
+            self._data.add(datum)
             self._index_markers(datum)
+            for index in self._key_indexes.values():
+                index.add(datum)
         return len(self._data)
 
     # -- persistence -----------------------------------------------------------------

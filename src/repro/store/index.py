@@ -115,9 +115,17 @@ def _signature_impl(obj: SSObject, key: AbstractSet[str]) -> Hashable:
 
 
 class KeyIndex:
-    """Hash index of a data collection by key signature."""
+    """Hash index of a data collection by key signature.
 
-    def __init__(self, data: Iterable[Data], key: AbstractSet[str]):
+    The index is *incremental*: :meth:`add` and :meth:`remove` maintain
+    it one datum at a time, so a long-lived accumulator (a
+    :class:`~repro.store.database.Database`, or the bulk-merge fold in
+    :mod:`repro.store.bulk`) is indexed once and updated in place
+    instead of being rebuilt after every change.
+    """
+
+    def __init__(self, data: Iterable[Data] = (),
+                 key: AbstractSet[str] = frozenset()):
         self._key = frozenset(key)
         self.buckets: dict[Hashable, list[Data]] = {}
         #: Data requiring pairwise compatibility checks.
@@ -140,6 +148,35 @@ class KeyIndex:
             self.scan_list.append(datum)
         else:
             self.buckets.setdefault(classified, []).append(datum)
+
+    def remove(self, datum: Data) -> bool:
+        """Remove one datum (by equality); ``False`` when absent.
+
+        The signature pins the only place the datum can live, so
+        removal touches a single bucket — or one of the two side lists
+        — rather than the whole index.
+        """
+        classified = signature(datum, self._key)
+        if classified == NEVER_MATCHES:
+            target = self.never_list
+        elif classified == UNINDEXABLE:
+            target = self.scan_list
+        else:
+            bucket = self.buckets.get(classified)
+            if bucket is None:
+                return False
+            try:
+                bucket.remove(datum)
+            except ValueError:
+                return False
+            if not bucket:
+                del self.buckets[classified]
+            return True
+        try:
+            target.remove(datum)
+        except ValueError:
+            return False
+        return True
 
     def candidates(self, datum: Data) -> list[Data]:
         """Data that *might* be compatible with ``datum``.

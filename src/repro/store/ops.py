@@ -40,13 +40,18 @@ def indexed_union(first: DataSet, second: DataSet,
     checked = check_key(key)
     index = KeyIndex(second, checked)
     result: list[Data] = []
-    matched_second: set[Data] = set()
+    # Matched S2 data are tracked by instance identity: the index holds
+    # the very instances ``second`` yields (a DataSet is a frozenset, so
+    # each structural value has exactly one instance), which makes the
+    # id() probe equivalent to structural membership without re-hashing
+    # large Data values on every pass.
+    matched_second: set[int] = set()
     for datum in first:
         partners = _compatible_partners(datum, index)
         if not partners:
             result.append(datum)
             continue
-        matched_second.update(partners)
+        matched_second.update(map(id, partners))
         # d ∪K d = d (Definition 11 merges identical marker and object
         # parts to themselves), so identical partners skip the merge.
         result.extend(datum if _same_datum(datum, partner)
@@ -55,7 +60,7 @@ def indexed_union(first: DataSet, second: DataSet,
     # Compatibility is symmetric, so the data of S2 with no partner are
     # exactly those never collected above.
     result.extend(datum for datum in second
-                  if datum not in matched_second)
+                  if id(datum) not in matched_second)
     return DataSet(result)
 
 

@@ -1,0 +1,144 @@
+"""Deep-nesting stress tests: ≥500-level structures must not surface
+``RecursionError``.
+
+The recursion guard (:mod:`repro.core.guard`) retries an overflowing
+operation under an extended recursion limit and converts a genuinely
+unbounded overflow into a clear :class:`~repro.core.errors.MergeError`.
+These tests drive ``⊴``, union and the JSON codec through structures
+far deeper than CPython's default recursion limit allows.
+"""
+
+import sys
+
+import pytest
+
+from repro.core.builder import atom
+from repro.core.data import Data, DataSet
+from repro.core.errors import MergeError
+from repro.core.guard import EXTENDED_LIMIT, recursion_headroom
+from repro.core.informativeness import less_informative
+from repro.core.objects import CompleteSet, PartialSet, SSObject, Tuple
+from repro.core.operations import union
+from repro.json_codec.codec import (
+    dumps,
+    dumps_data,
+    loads,
+    loads_data,
+)
+
+DEPTH = 600
+K = frozenset({"k"})
+
+
+def deep_tuple(depth: int, leaf: SSObject) -> Tuple:
+    """``[k => key, a => [k => key, a => [... leaf]]]``, built bottom-up."""
+    obj: SSObject = leaf
+    for _ in range(depth):
+        obj = Tuple({"k": atom("key"), "a": obj})
+    return obj
+
+
+def deep_set(depth: int, leaf: SSObject, *, partial: bool) -> SSObject:
+    obj: SSObject = leaf
+    for _ in range(depth):
+        obj = PartialSet([obj]) if partial else CompleteSet([obj])
+    return obj
+
+
+def deep_equal(first, second) -> bool:
+    # Bare ``==`` on deep values is a *caller-side* recursion; tests
+    # compare under explicit headroom like any other consumer would.
+    with recursion_headroom():
+        return first == second
+
+
+def test_default_recursion_limit_is_the_problem():
+    # Sanity: the structures used below really do exceed the default
+    # limit, so a passing suite demonstrates the guard, not luck.
+    assert DEPTH * 2 > sys.getrecursionlimit() // 2
+
+
+class TestLessInformative:
+    def test_deep_tuples_equal(self):
+        first = deep_tuple(DEPTH, atom("leaf"))
+        second = deep_tuple(DEPTH, atom("leaf"))
+        assert less_informative(first, second)
+        assert less_informative(first, second, naive=True)
+
+    def test_deep_tuples_differing_leaf(self):
+        # Bottom leaf on the left: ⊴ holds; extra leaf on the left: not.
+        from repro.core.objects import BOTTOM
+
+        below = deep_tuple(DEPTH, BOTTOM)
+        above = deep_tuple(DEPTH, atom("leaf"))
+        assert less_informative(below, above)
+        assert not less_informative(above, below)
+        assert less_informative(below, above, naive=True)
+        assert not less_informative(above, below, naive=True)
+
+    def test_deep_partial_sets(self):
+        small = deep_set(DEPTH, atom("x"), partial=True)
+        # The partial chain is ⊴ itself (reflexivity through deep walk).
+        assert less_informative(small, small, naive=True)
+
+
+class TestUnion:
+    def test_deep_tuple_union_merges_leaves(self):
+        first = deep_tuple(DEPTH, Tuple({"k": atom("key"),
+                                         "p": atom(1)}))
+        second = deep_tuple(DEPTH, Tuple({"k": atom("key"),
+                                          "q": atom(2)}))
+        merged = union(first, second, K)
+        # Walk down and check the leaves actually merged.
+        node = merged
+        for _ in range(DEPTH):
+            assert isinstance(node, Tuple)
+            node = node.get("a")
+        assert node.get("p") == atom(1)
+        assert node.get("q") == atom(2)
+        assert deep_equal(union(first, second, K, naive=True), merged)
+
+    def test_deep_data_union(self):
+        first = Data("m1", deep_tuple(DEPTH, atom("leaf")))
+        second = Data("m2", deep_tuple(DEPTH, atom("leaf")))
+        merged = first.union(second, K)
+        assert merged.markers == frozenset(first.markers
+                                           | second.markers)
+
+    def test_deep_dataset_union(self):
+        first = DataSet([Data("m1", deep_tuple(DEPTH, atom("leaf")))])
+        second = DataSet([Data("m2", deep_tuple(DEPTH, atom("leaf")))])
+        merged = first.union(second, K)
+        assert len(merged) == 1
+
+
+class TestJsonCodec:
+    def test_deep_tuple_roundtrip(self):
+        obj = deep_tuple(DEPTH, atom("leaf"))
+        assert deep_equal(loads(dumps(obj)), obj)
+
+    def test_deep_set_roundtrip(self):
+        obj = deep_set(DEPTH, atom("x"), partial=False)
+        assert deep_equal(loads(dumps(obj)), obj)
+
+    def test_deep_data_roundtrip(self):
+        datum = Data("m", deep_tuple(DEPTH, atom("leaf")))
+        assert deep_equal(loads_data(dumps_data(datum)), datum)
+
+
+class TestGuardedLimit:
+    def test_absurd_depth_raises_merge_error(self):
+        # Beyond even the extended limit the guard must fail with a
+        # clear library error, never a raw RecursionError.
+        depth = EXTENDED_LIMIT  # each level costs > 1 frame
+        first = deep_tuple(depth, atom("a"))
+        second = deep_tuple(depth, atom("b"))
+        with pytest.raises(MergeError, match="nesting"):
+            union(first, second, K)
+
+    def test_limit_restored_after_guarded_run(self):
+        before = sys.getrecursionlimit()
+        first = deep_tuple(DEPTH, atom("a"))
+        second = deep_tuple(DEPTH, atom("b"))
+        union(first, second, K)
+        assert sys.getrecursionlimit() == before

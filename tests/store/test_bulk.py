@@ -1,0 +1,197 @@
+"""The bulk-merge pipeline must reproduce the naive Definition 12 fold.
+
+``∪K`` is commutative but not associative, so every structural detail of
+the left fold — order, dedup between steps, pass-through of unmatched
+data — must survive signature blocking, incremental accumulation and
+parallel sharding. Each test folds the same sources naively with
+:meth:`DataSet.union` and asserts set equality.
+"""
+
+import pytest
+
+from repro.core.builder import cset, data, dataset, orv, pset, tup
+from repro.core.data import DataSet
+from repro.core.errors import EmptyKeyError, MergeError
+from repro.core.objects import BOTTOM
+from repro.properties import ObjectGenerator
+from repro.store.bulk import (
+    IncrementalUnion,
+    blocked_union,
+    fold_union,
+    union_diff,
+)
+from repro.store.index import KeyIndex
+from tests.core.test_data import example6_sources
+
+K = frozenset({"A", "B"})
+PAPER_K = frozenset({"type", "title"})
+
+
+def naive_fold(sources, key):
+    merged = sources[0]
+    for source in sources[1:]:
+        merged = merged.union(source, key)
+    return merged
+
+
+def random_sources(seed, count=5, size=8):
+    generator = ObjectGenerator(seed=seed)
+    return [generator.dataset(size) for _ in range(count)]
+
+
+class TestBlockedUnion:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_random_k_way(self, seed):
+        sources = random_sources(seed)
+        assert blocked_union(sources, K) == naive_fold(sources, K)
+
+    def test_example6(self):
+        sources = list(example6_sources())
+        assert blocked_union(sources, PAPER_K) == \
+            naive_fold(sources, PAPER_K)
+
+    def test_workload(self):
+        from repro.workloads import BibWorkloadSpec, generate_workload
+
+        workload = generate_workload(BibWorkloadSpec(
+            entries=120, sources=4, overlap=0.4, conflict_rate=0.3,
+            partial_author_rate=0.3, seed=11))
+        assert blocked_union(workload.sources, workload.key) == \
+            naive_fold(workload.sources, workload.key)
+
+    def test_edge_shapes(self):
+        assert blocked_union([], K) == DataSet()
+        single = dataset(("m", tup(A="k", B="b")))
+        assert blocked_union([single], K) == single
+        assert blocked_union([single, DataSet(), DataSet()], K) == single
+        assert blocked_union([DataSet(), single], K) == single
+
+    def test_never_and_scan_classes(self):
+        # ⊥ under a key attribute, partial sets, or-values with ⊥ and
+        # tuple-valued key attributes all take the non-bucket paths.
+        sources = [
+            dataset(("m1", tup(A="k", B="b", p=1)),
+                    ("m2", tup(A="k")),                    # B → ⊥: never
+                    ("m3", tup(A=tup(x=1), B="b", q=2))),  # tuple: scan
+            dataset(("n1", tup(A="k", B="b", r=3)),
+                    ("n2", tup(A=tup(x=1), B="b", s=4)),
+                    ("n3", tup(A=pset(1), B="b")),         # partial: never
+                    ("n4", tup(A=orv(BOTTOM, 1), B="b"))),
+            dataset(("o1", tup(A=tup(x=1), B="b", t=5)),
+                    ("o2", cset(1, 2)),                    # whole-object
+                    ("o3", tup(A="k", B="b", u=6))),
+        ]
+        assert blocked_union(sources, K) == naive_fold(sources, K)
+
+    def test_fold_order_preserved(self):
+        # ∪K is not associative: the fan-in below merges differently
+        # when the fold order changes, so equality with the naive fold
+        # pins the order down.
+        sources = [
+            dataset(("m", tup(A="k", B="b", p=1))),
+            dataset(("n", tup(A="k", B="b", p=2))),
+            dataset(("o", tup(A="k", B="b", p=3))),
+        ]
+        assert blocked_union(sources, K) == naive_fold(sources, K)
+        reordered = [sources[2], sources[0], sources[1]]
+        assert blocked_union(reordered, K) == naive_fold(reordered, K)
+
+    def test_validation(self):
+        with pytest.raises(EmptyKeyError):
+            blocked_union([], frozenset())
+        with pytest.raises(MergeError, match="parallel"):
+            blocked_union([dataset(("m", tup(A="a", B="b")))], K,
+                          parallel=-1)
+
+
+class TestParallel:
+    @pytest.mark.parametrize("seed", (0, 7, 13))
+    def test_matches_naive_fold(self, seed):
+        sources = random_sources(seed, count=4, size=12)
+        expected = naive_fold(sources, K)
+        assert blocked_union(sources, K, parallel=2) == expected
+
+    def test_workload_parallel(self):
+        from repro.workloads import BibWorkloadSpec, generate_workload
+
+        workload = generate_workload(BibWorkloadSpec(
+            entries=80, sources=3, overlap=0.5, conflict_rate=0.3,
+            partial_author_rate=0.2, seed=4))
+        assert blocked_union(workload.sources, workload.key,
+                             parallel=2) == \
+            naive_fold(workload.sources, workload.key)
+
+    def test_fallback_on_broken_pool(self, monkeypatch):
+        import repro.store.bulk as bulk
+
+        def broken(blocks, key, workers):
+            return None
+
+        monkeypatch.setattr(bulk, "_fold_blocks_parallel", broken)
+        sources = random_sources(3, count=3, size=10)
+        assert bulk.blocked_union(sources, K, parallel=4) == \
+            naive_fold(sources, K)
+
+
+class TestIncrementalUnion:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_fold_union_random(self, seed):
+        sources = random_sources(seed, count=4, size=7)
+        assert fold_union(sources, K) == naive_fold(sources, K)
+
+    def test_fold_union_edges(self):
+        assert fold_union([], K) == DataSet()
+        single = dataset(("m", tup(A="k", B="b")))
+        assert fold_union([single], K) == single
+
+    def test_union_step_diffs_apply(self):
+        sources = random_sources(2, count=4, size=8)
+        accumulator = IncrementalUnion(sources[0], K)
+        rolling = set(sources[0])
+        for source in sources[1:]:
+            diff = accumulator.union_step(source)
+            for datum in diff.removed:
+                assert datum in rolling
+                rolling.discard(datum)
+            for datum in diff.added:
+                assert datum not in rolling
+                rolling.add(datum)
+            assert DataSet(rolling) == accumulator.result()
+        assert accumulator.result() == naive_fold(sources, K)
+
+    def test_diff_is_net(self):
+        # Folding in identical data changes nothing: the step's diff
+        # must be empty, not remove-then-re-add.
+        source = dataset(("m", tup(A="k", B="b", p=1)))
+        accumulator = IncrementalUnion(source, K)
+        clone = dataset(("m", tup(A="k", B="b", p=1)))
+        diff = accumulator.union_step(clone)
+        assert diff.unchanged
+        assert accumulator.result() == source
+
+    def test_union_diff_matches_indexed_union(self):
+        from repro.store.ops import indexed_union
+
+        for seed in range(10):
+            generator = ObjectGenerator(seed=seed)
+            current, source = generator.dataset(9), generator.dataset(9)
+            current_set = set(current)
+            diff = union_diff(current_set, KeyIndex(current_set, K),
+                              source, K)
+            patched = (current_set - set(diff.removed)) | set(diff.added)
+            assert DataSet(patched) == indexed_union(current, source, K)
+
+
+class TestInternedSources:
+    def test_shared_instances_across_sources(self):
+        # Hash-consed stores can hand the very same Data instance to
+        # several sources; identity-based bookkeeping must not double
+        # or drop such data.
+        from repro.core.intern import intern_data
+
+        generator = ObjectGenerator(seed=6)
+        base = [intern_data(d) for d in generator.dataset(10)]
+        sources = [DataSet(base[:7]), DataSet(base[4:]),
+                   DataSet(base[::2])]
+        assert blocked_union(sources, K) == naive_fold(sources, K)
+        assert fold_union(sources, K) == naive_fold(sources, K)

@@ -252,3 +252,84 @@ class TestQueryConvenience:
 
         with pytest.raises(QueryError):
             Database(sample_data()).query("not a query")
+
+
+class TestIncrementalIndexes:
+    """Live key indexes must be patched, never silently stale."""
+
+    K = frozenset({"type", "title"})
+
+    def _live_index_matches_rebuild(self, db):
+        live = db._key_index(self.K)
+        rebuilt = Database(db.snapshot())._key_index(self.K)
+        assert sorted(map(repr, live.everything())) == \
+            sorted(map(repr, rebuilt.everything()))
+
+    def test_insert_and_remove_patch_live_indexes(self):
+        from repro.properties import ObjectGenerator
+
+        db = Database(sample_data())
+        probe = data("p", tup(type="Article", title="Oracle"))
+        assert len(db.compatible_with(probe, self.K)) == 1  # builds index
+        extra = data("N99", tup(type="Article", title="Oracle",
+                                note="new"))
+        db.insert(extra)
+        assert extra in db.compatible_with(probe, self.K)
+        db.remove(extra)
+        assert extra not in db.compatible_with(probe, self.K)
+        self._live_index_matches_rebuild(db)
+
+    def test_merge_in_equals_dataset_union(self):
+        from repro.properties import ObjectGenerator
+
+        for seed in range(10):
+            generator = ObjectGenerator(seed=seed)
+            base, source = generator.dataset(9), generator.dataset(9)
+            key = frozenset({"A", "B"})
+            db = Database(base)
+            db._key_index(key)  # force a live index before the merge
+            db.merge_in(source, key)
+            assert db.snapshot() == base.union(source, key), seed
+
+    def test_merge_in_patches_live_indexes(self):
+        db = Database(sample_data())
+        probe = data("p", tup(type="Article", title="Oracle"))
+        db.compatible_with(probe, self.K)
+        db.merge_in(dataset(
+            ("X1", tup(type="Article", title="Oracle", year=1979)),
+            ("X2", tup(type="Book", title="Dragon"))), self.K)
+        merged = db.compatible_with(probe, self.K)
+        assert len(merged) == 1
+        (entry,) = merged
+        assert entry.markers >= {Marker("B80"), Marker("X1")}
+        self._live_index_matches_rebuild(db)
+
+    def test_merge_in_patches_marker_index(self):
+        db = Database(sample_data())
+        db.merge_in(dataset(
+            ("X1", tup(type="Article", title="Oracle", year=1979))),
+            self.K)
+        assert len(db.by_marker("X1")) == 1
+        merged = db.by_marker("B80")
+        assert len(merged) == 1
+        assert merged == db.by_marker("X1")
+
+    def test_merge_in_parallel_matches_sequential(self):
+        from repro.properties import ObjectGenerator
+
+        generator = ObjectGenerator(seed=21)
+        base, source = generator.dataset(12), generator.dataset(12)
+        key = frozenset({"A", "B"})
+        sequential = Database(base)
+        sequential.merge_in(source, key)
+        parallel = Database(base)
+        parallel.merge_in(source, key, parallel=2)
+        assert sequential.snapshot() == parallel.snapshot()
+        assert sequential.snapshot() == base.union(source, key)
+
+    def test_uninterned_database_merge_in(self):
+        db = Database(sample_data(), intern_objects=False)
+        db.merge_in(dataset(
+            ("X1", tup(type="Article", title="Oracle", year=1979))),
+            self.K)
+        assert len(db) == 2

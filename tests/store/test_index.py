@@ -113,3 +113,51 @@ class TestKeyIndex:
         index.add(d)
         assert len(index) == 1
         assert index.candidates(data("x", tup(A="k", B="b"))) == [d]
+
+    def test_incremental_remove_bucket(self):
+        a = data("m", tup(A="k", B="b", p=1))
+        b = data("n", tup(A="k", B="b", q=2))
+        index = KeyIndex([a, b], K)
+        assert index.remove(a) is True
+        assert index.candidates(data("x", tup(A="k", B="b"))) == [b]
+        assert index.remove(a) is False
+        assert index.remove(b) is True
+        # Emptied buckets are dropped entirely.
+        assert index.buckets == {}
+        assert len(index) == 0
+
+    def test_incremental_remove_side_lists(self):
+        never = data("m", tup(A="k"))                 # B missing → ⊥
+        scan = data("n", tup(A=tup(x=1), B="b"))      # tuple key value
+        index = KeyIndex([never, scan], K)
+        assert index.remove(never) is True
+        assert index.remove(scan) is True
+        assert index.remove(scan) is False
+        assert len(index) == 0
+
+    def test_remove_by_equality_not_identity(self):
+        a = data("m", tup(A="k", B="b"))
+        index = KeyIndex([a], K)
+        clone = data("m", tup(A="k", B="b"))
+        assert clone is not a
+        assert index.remove(clone) is True
+        assert len(index) == 0
+
+    def test_remove_missing_from_absent_bucket(self):
+        index = KeyIndex([data("m", tup(A="k", B="b"))], K)
+        assert index.remove(data("x", tup(A="z", B="z"))) is False
+        assert len(index) == 1
+
+    def test_add_remove_round_trip_matches_rebuild(self):
+        from repro.properties import ObjectGenerator
+
+        generator = ObjectGenerator(seed=3)
+        all_data = list(generator.dataset(12))
+        index = KeyIndex(all_data, K)
+        removed = all_data[::2]
+        for datum in removed:
+            assert index.remove(datum) is True
+        kept = [d for d in all_data if d not in removed]
+        rebuilt = KeyIndex(kept, K)
+        assert sorted(map(repr, index.everything())) == \
+            sorted(map(repr, rebuilt.everything()))
