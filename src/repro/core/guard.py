@@ -17,8 +17,16 @@ then backed by real stack space. An operation too deep even for the
 extended limit fails with a clear
 :class:`~repro.core.errors.MergeError` instead of an arbitrary-depth
 ``RecursionError``. Retrying is sound because every guarded entry point
-is a pure function of immutable values: an interrupted first attempt
-leaves at most *valid* partial memo entries behind.
+is a pure function of immutable values *and* the wrapper materializes
+one-shot iterator arguments up front: an interrupted first attempt
+leaves at most *valid* partial memo entries behind, and the retry sees
+exactly the arguments the first attempt saw.
+
+The interpreter's recursion limit is process-global, so extended scopes
+are reference counted under a lock (:func:`_push_limit` /
+:func:`_pop_limit`): the limit is only restored when the *last*
+extended scope — across all threads — exits, never while another
+thread is still deep in its extended recursion.
 """
 
 from __future__ import annotations
@@ -26,6 +34,7 @@ from __future__ import annotations
 import functools
 import sys
 import threading
+from collections.abc import Iterator
 from typing import Any, Callable, TypeVar
 
 from repro.core.errors import MergeError
@@ -42,9 +51,45 @@ EXTENDED_LIMIT = 50_000
 #: only as the recursion actually deepens.
 STACK_BYTES = 256 * 1024 * 1024
 
+#: Fallback stack sizes tried in order when the platform rejects
+#: :data:`STACK_BYTES` (32-bit or otherwise restricted environments).
+#: The extended limit is scaled down with the granted stack so a small
+#: stack is never paired with the full 50k frame budget.
+_STACK_FALLBACKS = (STACK_BYTES, 64 * 1024 * 1024, 16 * 1024 * 1024)
+
 # Marks threads already running under the extended limit; thread-local
 # so one thread's retry cannot mask another thread's genuine overflow.
 _state = threading.local()
+
+# sys.setrecursionlimit is process-global: extended scopes from any
+# thread share one reference count so the limit is restored only when
+# the last scope exits.
+_limit_lock = threading.Lock()
+_limit_scopes = 0
+_saved_limit: int | None = None
+
+
+def _push_limit(limit: int) -> None:
+    """Enter an extended-limit scope: raise the process limit to at
+    least ``limit`` (never lower it) and remember the original."""
+    global _limit_scopes, _saved_limit
+    with _limit_lock:
+        if _limit_scopes == 0:
+            _saved_limit = sys.getrecursionlimit()
+        _limit_scopes += 1
+        if sys.getrecursionlimit() < limit:
+            sys.setrecursionlimit(limit)
+
+
+def _pop_limit() -> None:
+    """Leave an extended-limit scope; restore the original limit only
+    when no other scope (on any thread) is still active."""
+    global _limit_scopes, _saved_limit
+    with _limit_lock:
+        _limit_scopes -= 1
+        if _limit_scopes == 0 and _saved_limit is not None:
+            sys.setrecursionlimit(_saved_limit)
+            _saved_limit = None
 
 
 class recursion_headroom:
@@ -53,19 +98,20 @@ class recursion_headroom:
 
     Prefer :func:`guarded` for library entry points — it also provides
     the machine stack that deep C-level recursion needs; this context
-    manager only lifts the interpreter's frame budget.
+    manager only lifts the interpreter's frame budget. Scopes are
+    reference counted process-wide, so concurrent use from several
+    threads is safe: the limit drops back only after the last scope
+    exits.
     """
 
     def __enter__(self) -> "recursion_headroom":
-        self._previous = sys.getrecursionlimit()
         _state.depth = getattr(_state, "depth", 0) + 1
-        if self._previous < EXTENDED_LIMIT:
-            sys.setrecursionlimit(EXTENDED_LIMIT)
+        _push_limit(EXTENDED_LIMIT)
         return self
 
     def __exit__(self, *exc_info: object) -> None:
         _state.depth -= 1
-        sys.setrecursionlimit(self._previous)
+        _pop_limit()
 
 
 def _extended() -> bool:
@@ -84,20 +130,34 @@ def _retry_in_deep_thread(fn: Callable[..., Any],
     extended recursion limit; re-raise whatever it raises."""
     outcome: dict[str, Any] = {}
 
+    # Platforms may reject large thread stacks; fall back to smaller
+    # ones, scaling the frame budget with the stack actually granted so
+    # the extended limit cannot outrun the machine stack backing it.
+    granted = 0
+    previous_stack: int | None = None
+    for size in _STACK_FALLBACKS:
+        try:
+            previous_stack = threading.stack_size(size)
+            granted = size
+            break
+        except (ValueError, RuntimeError, OverflowError):
+            continue
+    if previous_stack is None:
+        raise _too_deep(fn) from None
+    limit = max(sys.getrecursionlimit(),
+                EXTENDED_LIMIT * granted // STACK_BYTES)
+
     def run() -> None:
         _state.depth = 1
-        previous = sys.getrecursionlimit()
+        _push_limit(limit)
         try:
-            if previous < EXTENDED_LIMIT:
-                sys.setrecursionlimit(EXTENDED_LIMIT)
             outcome["value"] = fn(*args, **kwargs)
         except BaseException as error:  # re-raised in the caller
             outcome["error"] = error
         finally:
-            sys.setrecursionlimit(previous)
+            _pop_limit()
             _state.depth = 0
 
-    previous_stack = threading.stack_size(STACK_BYTES)
     try:
         worker = threading.Thread(target=run, name="repro-deep-recursion")
         worker.start()
@@ -118,12 +178,32 @@ _F = TypeVar("_F", bound=Callable[..., Any])
 def guarded(fn: _F) -> _F:
     """Wrap a pure recursive entry point with the depth guard.
 
-    The happy path costs one extra frame and a zero-cost ``try``; the
-    guard only acts when the wrapped call actually overflows.
+    The happy path costs one extra frame, a per-argument iterator check
+    and a zero-cost ``try``; the guard only acts when the wrapped call
+    actually overflows.
     """
 
     @functools.wraps(fn)
     def wrapper(*args: Any, **kwargs: Any) -> Any:
+        # One-shot iterators (generators, map/filter objects, …) must
+        # be materialized before the first attempt: a retry re-runs
+        # ``fn`` with its original arguments, and an iterator already
+        # (partially) consumed by the interrupted attempt would make
+        # the retry silently return wrong results.
+        if any(isinstance(arg, Iterator) for arg in args) or any(
+                isinstance(val, Iterator) for val in kwargs.values()):
+            try:
+                args = tuple(
+                    list(arg) if isinstance(arg, Iterator) else arg
+                    for arg in args)
+                kwargs = {
+                    name: list(val) if isinstance(val, Iterator) else val
+                    for name, val in kwargs.items()}
+            except RecursionError:
+                # The iterator is now partially consumed; no retry can
+                # reproduce its items, so fail with the depth contract
+                # rather than risk a silently wrong answer.
+                raise _too_deep(fn) from None
         try:
             return fn(*args, **kwargs)
         except RecursionError:

@@ -32,12 +32,14 @@ indexes instead of rebuilding them.
 ``blocked_union(..., parallel=n)`` shards the multi-source blocks over a
 process pool, shipping them through the tagged-JSON codec. Parallelism
 is opt-in, deterministic (the result is a set; block order cannot leak),
-and falls back to the sequential path on any pool or codec failure.
+and falls back to the sequential path — with a ``RuntimeWarning`` — when
+the pool or the inter-process codec is unavailable.
 """
 
 from __future__ import annotations
 
 import json
+import warnings
 from dataclasses import dataclass
 from typing import AbstractSet, Hashable, Iterable, Sequence
 
@@ -168,9 +170,18 @@ def _merge_shard(payload: str) -> str:
 def _fold_blocks_parallel(blocks: list[_Slabs], key: frozenset[str],
                           workers: int) -> list[Data] | None:
     """Fold blocks across a process pool; ``None`` means "fall back to
-    the sequential path" (pool unavailable, codec trouble, …)."""
+    the sequential path" (pool unavailable, codec trouble, …).
+
+    Only *infrastructure* failures trigger the fallback — a broken or
+    unavailable pool, an OS-level resource error, or codec trouble
+    shipping blocks between processes. A genuine bug raised by the fold
+    itself propagates to the caller instead of being masked, and every
+    fallback emits a :class:`RuntimeWarning` so a permanently broken
+    parallel path stays observable.
+    """
     try:
-        from concurrent.futures import ProcessPoolExecutor
+        from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+        from pickle import PicklingError
 
         shards = _shard_blocks(blocks, workers)
         payloads = [
@@ -185,7 +196,13 @@ def _fold_blocks_parallel(blocks: list[_Slabs], key: frozenset[str],
             results = list(pool.map(_merge_shard, payloads))
         return [decode_data(entry)
                 for result in results for entry in json.loads(result)]
-    except (CodecError, OSError, RuntimeError, ValueError, ImportError):
+    except (CodecError, OSError, BrokenExecutor, PicklingError,
+            NotImplementedError, ImportError) as error:
+        warnings.warn(
+            f"parallel block merge unavailable "
+            f"({type(error).__name__}: {error}); "
+            f"falling back to sequential folding",
+            RuntimeWarning, stacklevel=3)
         return None
 
 
@@ -201,8 +218,9 @@ def blocked_union(sources: Iterable[DataSet | Iterable[Data]],
     ``((S1 ∪K S2) ∪K S3) ∪K …`` of :meth:`DataSet.union` — the engine's
     equivalence tests and the pipeline benchmark assert this on every
     run. ``parallel > 0`` folds multi-source blocks on that many worker
-    processes (sharded through the JSON codec) and silently falls back
-    to sequential folding when a pool cannot be used.
+    processes (sharded through the JSON codec) and falls back to
+    sequential folding — emitting a :class:`RuntimeWarning` — when a
+    pool cannot be used.
     """
     checked = check_key(key)
     if parallel < 0:

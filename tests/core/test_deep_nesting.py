@@ -126,6 +126,71 @@ class TestJsonCodec:
         assert deep_equal(loads_data(dumps_data(datum)), datum)
 
 
+class TestGuardIteratorArgs:
+    """A guarded retry re-runs the wrapped call with its original
+    arguments, so one-shot iterators must be materialized up front —
+    an iterator consumed by the interrupted first attempt would make
+    the retry silently drop data."""
+
+    def test_dataset_from_generator_with_deep_datum(self):
+        # Regression: 50 shallow data plus one ~600-deep datum through
+        # a generator used to come back as an EMPTY DataSet — the first
+        # __init__ attempt exhausted the generator inside frozenset(),
+        # overflowed, and the retry saw nothing.
+        def items():
+            for index in range(50):
+                yield Data(f"m{index}", atom(index))
+            yield Data("deep", deep_tuple(DEPTH, atom("leaf")))
+
+        assert len(DataSet(items())) == 51
+
+    def test_dataset_filter_with_deep_data(self):
+        # DataSet.filter feeds a generator expression into the guarded
+        # __init__; deep data must survive the guard's retry.
+        shallow = [Data(f"m{index}", atom(index)) for index in range(20)]
+        deep = Data("deep", deep_tuple(DEPTH, atom("leaf")))
+        full = DataSet([*shallow, deep])
+        assert len(full.filter(lambda d: True)) == 21
+
+    def test_union_with_generator_key(self):
+        # The key may arrive as a generator; the guard must not let the
+        # retry see it exhausted (an empty key changes the semantics).
+        first = DataSet([Data("m1", deep_tuple(DEPTH, atom("leaf")))])
+        second = DataSet([Data("m2", deep_tuple(DEPTH, atom("leaf")))])
+        merged = first.union(second, (label for label in ("k",)))
+        assert merged == first.union(second, K)
+        assert len(merged) == 1
+
+
+class TestConcurrentHeadroom:
+    def test_scope_exit_keeps_other_threads_extended(self):
+        # The recursion limit is process-global: one thread leaving its
+        # extended scope must not clamp the limit while another thread
+        # is still inside its own scope.
+        import threading
+
+        baseline = sys.getrecursionlimit()
+        entered = threading.Event()
+        release = threading.Event()
+
+        def hold():
+            with recursion_headroom():
+                entered.set()
+                release.wait(timeout=30)
+
+        holder = threading.Thread(target=hold)
+        holder.start()
+        try:
+            assert entered.wait(timeout=30)
+            with recursion_headroom():
+                pass  # enter and exit while the holder is still inside
+            assert sys.getrecursionlimit() >= EXTENDED_LIMIT
+        finally:
+            release.set()
+            holder.join()
+        assert sys.getrecursionlimit() == baseline
+
+
 class TestGuardedLimit:
     def test_absurd_depth_raises_merge_error(self):
         # Beyond even the extended limit the guard must fail with a

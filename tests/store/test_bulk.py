@@ -132,6 +132,34 @@ class TestParallel:
         assert bulk.blocked_union(sources, K, parallel=4) == \
             naive_fold(sources, K)
 
+    def test_infrastructure_failure_warns_and_falls_back(self, monkeypatch):
+        # Pool/OS-level failures must not be silent: the sequential
+        # result is still correct, but a RuntimeWarning records that
+        # the parallel path did not run.
+        import repro.store.bulk as bulk
+
+        def no_pool(blocks, shard_count):
+            raise OSError("no processes available")
+
+        monkeypatch.setattr(bulk, "_shard_blocks", no_pool)
+        sources = random_sources(5, count=3, size=10)
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            result = bulk.blocked_union(sources, K, parallel=4)
+        assert result == naive_fold(sources, K)
+
+    def test_genuine_bug_propagates(self, monkeypatch):
+        # A bug inside the fold must surface, not be masked by the
+        # sequential fallback.
+        import repro.store.bulk as bulk
+
+        def buggy(blocks, shard_count):
+            raise KeyError("bug in the fold")
+
+        monkeypatch.setattr(bulk, "_shard_blocks", buggy)
+        sources = random_sources(5, count=3, size=10)
+        with pytest.raises(KeyError, match="bug in the fold"):
+            bulk.blocked_union(sources, K, parallel=4)
+
 
 class TestIncrementalUnion:
     @pytest.mark.parametrize("seed", range(15))
