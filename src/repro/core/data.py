@@ -154,7 +154,7 @@ class Data:
 class DataSet:
     """An immutable set of semistructured data (Definitions 5 and 12)."""
 
-    __slots__ = ("_data",)
+    __slots__ = ("_data", "_marker_map")
 
     # Guarded: freezing the set hashes every datum, and structural
     # hashing recurses as deep as the deepest object.
@@ -206,13 +206,24 @@ class DataSet:
 
         An or-marked datum matches any of its source markers. When several
         data mention the marker the structurally smallest is returned.
+
+        The marker→datum map is built lazily on first use and kept for
+        the lifetime of the set (data sets are immutable, so it can
+        never go stale); repeated lookups are O(1) instead of a scan.
         """
         if isinstance(marker, str):
             marker = Marker(marker)
-        for datum in self:
-            if datum.marker == marker or marker in datum.markers:
-                return datum
-        return None
+        try:
+            mapping = self._marker_map
+        except AttributeError:
+            mapping = {}
+            # Canonical iteration order: the first datum seen for a
+            # marker is the structurally smallest, as documented.
+            for datum in self:
+                for mentioned in datum.markers:
+                    mapping.setdefault(mentioned, datum)
+            object.__setattr__(self, "_marker_map", mapping)
+        return mapping.get(marker)
 
     def filter(self, predicate: Callable[[Data], bool]) -> "DataSet":
         """Return the subset whose data satisfy ``predicate``."""

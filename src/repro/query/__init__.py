@@ -27,12 +27,25 @@ from repro.query.ast import (
     Or,
     Query,
 )
-from repro.query.parser import parse_query, run_query
-from repro.query.paths import evaluate_path, parse_path, path_exists
+from repro.query.compile import compile_condition
+from repro.query.parser import (
+    QuerySpec,
+    parse_query,
+    parse_query_spec,
+    run_query,
+)
+from repro.query.paths import (
+    evaluate_path,
+    iter_path,
+    parse_path,
+    path_exists,
+)
+from repro.query.planner import Plan, Probe, explain_plan, select_data
 
 __all__ = [
     "Query", "Condition", "Eq", "Ne", "Lt", "Le", "Gt", "Ge",
     "Exists", "Contains", "And", "Or", "Not",
-    "parse_query", "run_query",
-    "parse_path", "evaluate_path", "path_exists",
+    "parse_query", "run_query", "parse_query_spec", "QuerySpec",
+    "parse_path", "evaluate_path", "iter_path", "path_exists",
+    "compile_condition", "select_data", "explain_plan", "Plan", "Probe",
 ]

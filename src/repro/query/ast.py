@@ -51,13 +51,27 @@ def _as_steps(path: str | Sequence[str]) -> tuple[str, ...]:
     return tuple(path)
 
 
+def _memo(instance: Condition, slot: str, compute) -> object:
+    """Per-instance memo on a frozen dataclass via ``object.__setattr__``.
+
+    Conditions are immutable, so derived values (parsed steps, coerced
+    targets, compiled predicates) are computed once and pinned on the
+    instance instead of being rebuilt on every ``matches`` call.
+    """
+    cached = instance.__dict__.get(slot)
+    if cached is None:
+        cached = compute()
+        object.__setattr__(instance, slot, cached)
+    return cached
+
+
 @dataclass(frozen=True, eq=False)
 class _PathCondition(Condition):
     path: str | Sequence[str]
 
     @property
     def steps(self) -> tuple[str, ...]:
-        return _as_steps(self.path)
+        return _memo(self, "_steps", lambda: _as_steps(self.path))
 
 
 @dataclass(frozen=True, eq=False)
@@ -75,11 +89,11 @@ class _Comparison(Condition):
 
     @property
     def steps(self) -> tuple[str, ...]:
-        return _as_steps(self.path)
+        return _memo(self, "_steps", lambda: _as_steps(self.path))
 
     @property
     def target(self) -> SSObject:
-        return _to_object(self.value)
+        return _memo(self, "_target", lambda: _to_object(self.value))
 
     def _reached(self, obj: SSObject) -> list[SSObject]:
         return evaluate_path(obj, self.steps, spread=True)
@@ -195,25 +209,44 @@ class Query:
     Queries are immutable; each builder call returns a new query.
     ``run()`` returns a :class:`DataSet` (unordered, set semantics);
     ``rows()`` returns an ordered list honouring ``order_by``.
+
+    Execution routes through the planner
+    (:mod:`repro.query.planner`): the condition is compiled once, and
+    when an :class:`~repro.store.attr_index.AttrIndex` over the queried
+    data is attached (``index=`` or :meth:`with_index`), indexable
+    conjuncts probe it instead of scanning. ``naive=True`` on the
+    executing methods bypasses all of that and runs the definitional
+    full scan — the oracle the planned path must agree with.
     """
 
     def __init__(self, dataset: DataSet,
                  condition: Condition | None = None,
                  projection: tuple[str, ...] | None = None,
                  order: tuple[tuple[str, ...], bool] | None = None,
-                 limit_count: int | None = None):
+                 limit_count: int | None = None, *,
+                 index: "object | None" = None):
         self._dataset = dataset
         self._condition = condition
         self._projection = projection
         self._order = order
         self._limit = limit_count
+        self._index = index
 
     def _derive(self, **changes) -> "Query":
         state = dict(dataset=self._dataset, condition=self._condition,
                      projection=self._projection, order=self._order,
-                     limit_count=self._limit)
+                     limit_count=self._limit, index=self._index)
         state.update(changes)
         return Query(**state)
+
+    def with_index(self, index: "object | None") -> "Query":
+        """Attach an attribute index over the queried data set.
+
+        The index must cover exactly the data being queried (a
+        :class:`~repro.store.database.Database` maintains one and
+        attaches it automatically via :meth:`Database.query`).
+        """
+        return self._derive(index=index)
 
     def where(self, condition: Condition) -> "Query":
         """Add a condition (conjoined with any existing one)."""
@@ -243,7 +276,27 @@ class Query:
             raise QueryError("limit() needs a non-negative count")
         return self._derive(limit_count=count)
 
-    def _selected(self) -> list[Data]:
+    def explain(self) -> "object":
+        """The plan the next execution would use (without running it).
+
+        Returns a :class:`repro.query.planner.Plan`; ``.describe()``
+        renders it as text.
+        """
+        from repro.query.planner import explain_plan
+
+        return explain_plan(self._condition, self._index, self._order,
+                            self._limit)
+
+    def _selected(self, naive: bool = False) -> list[Data]:
+        if naive:
+            return self._selected_naive()
+        from repro.query.planner import select_data
+
+        return select_data(self._dataset, self._condition, self._index,
+                           self._order, self._limit)
+
+    def _selected_naive(self) -> list[Data]:
+        # The definitional full scan: the oracle for the planned path.
         selected = [
             datum for datum in self._dataset
             if self._condition is None
@@ -281,33 +334,38 @@ class Query:
                 projected.append(datum)
         return projected
 
-    def run(self) -> DataSet:
-        """Execute and return the resulting data set (unordered)."""
-        return DataSet(self._project(self._selected()))
+    def run(self, *, naive: bool = False) -> DataSet:
+        """Execute and return the resulting data set (unordered).
 
-    def rows(self) -> list[Data]:
+        ``naive=True`` runs the definitional full scan instead of the
+        planner — the equality oracle for differential tests.
+        """
+        return DataSet(self._project(self._selected(naive)))
+
+    def rows(self, *, naive: bool = False) -> list[Data]:
         """Execute and return an ordered list of results.
 
         Without ``order_by`` the canonical structural order of the source
         data set is used, so the output is still deterministic.
         """
-        return self._project(self._selected())
+        return self._project(self._selected(naive))
 
-    def values(self, path: str) -> list[SSObject]:
+    def values(self, path: str, *, naive: bool = False) -> list[SSObject]:
         """All values the path reaches across matching data."""
         steps = parse_path(path)
         out: set[SSObject] = set()
-        for datum in self.run():
+        for datum in self.run(naive=naive):
             out.update(evaluate_path(datum.object, steps, spread=True))
         from repro.core.order import sort_objects
 
         return sort_objects(out)
 
-    def count(self) -> int:
+    def count(self, *, naive: bool = False) -> int:
         """Number of matching data."""
-        return len(self.run())
+        return len(self.run(naive=naive))
 
-    def group_by(self, path: str) -> dict[SSObject, DataSet]:
+    def group_by(self, path: str, *,
+                 naive: bool = False) -> dict[SSObject, DataSet]:
         """Partition matching data by the values a path reaches.
 
         A datum appears under *every* value its path reaches (sets and
@@ -319,7 +377,7 @@ class Query:
 
         steps = parse_path(path)
         groups: dict[SSObject, list[Data]] = {}
-        selected = self._selected()
+        selected = self._selected(naive)
         projected = self._project(selected)
         for original, kept in zip(selected, projected):
             # Grouping reads the *unprojected* object, so you can group

@@ -27,6 +27,7 @@ sets; :func:`run_query` is the one-shot form.
 from __future__ import annotations
 
 import re
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.core.data import DataSet
@@ -47,7 +48,7 @@ from repro.query.ast import (
     Query,
 )
 
-__all__ = ["parse_query", "run_query"]
+__all__ = ["QuerySpec", "parse_query_spec", "parse_query", "run_query"]
 
 _TOKEN_RE = re.compile(
     r"""
@@ -236,21 +237,49 @@ def _unescape(raw: str) -> str:
     return raw[1:-1].replace('\\"', '"').replace("\\\\", "\\")
 
 
+@dataclass(frozen=True)
+class QuerySpec:
+    """A parsed textual query, reusable across data sets and indexes.
+
+    The condition tree is shared between uses, so per-condition memos
+    (parsed steps, compiled predicate, planner conjunct split) persist —
+    a cached spec re-plans and re-executes without re-walking anything.
+    """
+
+    projection: tuple[str, ...] | None
+    condition: Condition | None
+    order: "tuple[str, bool] | None"
+    limit: int | None
+
+    def query(self, dataset: DataSet, index: object | None = None,
+              ) -> Query:
+        """Bind the spec to a data set (and optional attribute index)."""
+        query = Query(dataset, index=index)
+        if self.condition is not None:
+            query = query.where(self.condition)
+        if self.order is not None:
+            query = query.order_by(self.order[0],
+                                   descending=self.order[1])
+        if self.limit is not None:
+            query = query.limit(self.limit)
+        if self.projection is not None:
+            query = query.select(*self.projection)
+        return query
+
+
+def parse_query_spec(text: str) -> QuerySpec:
+    """Parse a textual query into a reusable :class:`QuerySpec`."""
+    projection, condition, order, limit = _QueryParser(text).parse()
+    return QuerySpec(projection=projection, condition=condition,
+                     order=order, limit=limit)
+
+
 def parse_query(text: str) -> Callable[[DataSet], DataSet]:
     """Compile a textual query into a reusable ``DataSet -> DataSet``."""
-    projection, condition, order, limit = _QueryParser(text).parse()
+    spec = parse_query_spec(text)
 
     def run(dataset: DataSet) -> DataSet:
-        query = Query(dataset)
-        if condition is not None:
-            query = query.where(condition)
-        if order is not None:
-            query = query.order_by(order[0], descending=order[1])
-        if limit is not None:
-            query = query.limit(limit)
-        if projection is not None:
-            query = query.select(*projection)
-        return query.run()
+        return spec.query(dataset).run()
 
     return run
 

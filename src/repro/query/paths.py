@@ -13,7 +13,7 @@ disjuncts — each alternative is a possible value. ``⊥`` yields nothing.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Iterable, Iterator, Sequence
 
 from repro.core.errors import QueryError
 from repro.core.objects import (
@@ -26,7 +26,7 @@ from repro.core.objects import (
 )
 from repro.core.order import sort_objects
 
-__all__ = ["parse_path", "evaluate_path", "path_exists"]
+__all__ = ["parse_path", "evaluate_path", "iter_path", "path_exists"]
 
 
 def parse_path(text: str) -> tuple[str, ...]:
@@ -89,6 +89,59 @@ def evaluate_path(obj: SSObject, path: Sequence[str], *,
     return sort_objects(set(values))
 
 
+def _iter_descend(value: SSObject, path: Sequence[str], index: int,
+                  spread: bool) -> Iterator[SSObject]:
+    if index == len(path):
+        if spread:
+            yield from _iter_unwrap(value)
+        else:
+            yield value
+        return
+    step = path[index]
+    if isinstance(value, Tuple):
+        candidate = value.get(step)
+        if candidate is not BOTTOM:
+            yield from _iter_descend(candidate, path, index + 1, spread)
+    elif isinstance(value, (PartialSet, CompleteSet)):
+        # The step is consumed at a tuple, not here: a set mid-path maps
+        # the remaining path over its elements (matching _descend).
+        for element in value.elements:
+            yield from _iter_descend(element, path, index, spread)
+    elif isinstance(value, OrValue):
+        for disjunct in value.disjuncts:
+            yield from _iter_descend(disjunct, path, index, spread)
+    # atoms, markers and ⊥ have no attributes: contribute nothing
+
+
+def _iter_unwrap(value: SSObject) -> Iterator[SSObject]:
+    if isinstance(value, (PartialSet, CompleteSet)):
+        for element in value.elements:
+            yield from _iter_unwrap(element)
+    elif isinstance(value, OrValue):
+        for disjunct in value.disjuncts:
+            yield from _iter_unwrap(disjunct)
+    elif value is not BOTTOM:
+        yield value
+
+
+def iter_path(obj: SSObject, path: Sequence[str], *,
+              spread: bool = False) -> Iterator[SSObject]:
+    """Lazily yield the values the path reaches in ``obj``.
+
+    The *set* of yielded values equals :func:`evaluate_path` on the same
+    arguments, but values arrive in structural (not canonical) order and
+    may repeat — the right shape for existential checks, which only care
+    whether *some* reached value satisfies a predicate and can stop at
+    the first witness without paying the dedup-and-sort of
+    :func:`evaluate_path`.
+    """
+    return _iter_descend(obj, tuple(path), 0, spread)
+
+
 def path_exists(obj: SSObject, path: Sequence[str]) -> bool:
-    """Whether the path reaches at least one non-``⊥`` value."""
-    return bool(evaluate_path(obj, path))
+    """Whether the path reaches at least one non-``⊥`` value.
+
+    Short-circuits on the first reached value instead of materializing,
+    deduplicating and sorting the full :func:`evaluate_path` result.
+    """
+    return any(True for _ in iter_path(obj, path))

@@ -1,0 +1,255 @@
+"""A planned, index-backed execution engine for queries.
+
+The naive read path walks the whole data set and evaluates the full
+condition against every datum. This module plans instead:
+
+1. the condition is rewritten to negation normal form and its top-level
+   ``And`` spine is split into conjuncts
+   (:func:`repro.query.compile.conjuncts`);
+2. conjuncts an :class:`~repro.store.attr_index.AttrIndex` can answer
+   *exactly* — ``Eq``/``Exists``/``Contains`` on indexed paths, whose
+   existential semantics the index mirrors — become **probes**;
+3. probe candidate sets intersect starting from the most selective
+   (smallest) one, short-circuiting on empty;
+4. the remaining conjuncts form the **residual**, compiled once
+   (:func:`~repro.query.compile.compile_condition`) and run over the
+   candidates only;
+5. ``order_by`` + ``limit`` push down to ``heapq.nsmallest`` /
+   ``nlargest`` so a top-k query never sorts the full match set.
+
+When nothing is indexable (no index, an ``Or`` at the top, negated
+leaves) the plan degrades to a compiled full scan — still faster than
+``matches``, and always available. Results are *identical* to the naive
+scan: probes are exact, the residual preserves the non-probe conjuncts,
+and ordering reproduces the stable-sort/missing-last semantics of
+``Query._selected_naive`` tie for tie. The plan-vs-scan equality oracle
+(tests and ``benchmarks/bench_query_planner.py``) asserts exactly that.
+
+The conjunct split is memoized on the (immutable) condition per covered
+path set, so a cached parsed query re-plans in O(1).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
+
+from repro.core.data import Data, DataSet
+from repro.core.objects import Atom
+from repro.core.order import structural_key
+from repro.query.ast import And, Condition, Contains, Eq, Exists
+from repro.query.compile import compile_condition, conjuncts, nnf
+from repro.query.paths import evaluate_path
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.store.attr_index import AttrIndex
+
+__all__ = ["Plan", "Probe", "select_data", "explain_plan"]
+
+
+@dataclass(frozen=True)
+class Probe:
+    """One index lookup the plan performs."""
+
+    path: str
+    op: str               # "=", "exists" or "contains"
+    value: str | None     # repr of the probed value, None for exists
+    selectivity: int | None = None   # candidate count, when known
+
+    def describe(self) -> str:
+        detail = f" {self.value}" if self.value is not None else ""
+        count = (f" (~{self.selectivity} candidates)"
+                 if self.selectivity is not None else "")
+        return f"probe {self.path} {self.op}{detail}{count}"
+
+
+@dataclass(frozen=True)
+class Plan:
+    """The strategy :func:`select_data` chose, for ``Query.explain()``."""
+
+    strategy: str                    # "index" or "scan"
+    probes: tuple[Probe, ...] = ()
+    residual: str | None = None      # repr of the post-probe condition
+    order_pushdown: bool = False     # heapq top-k instead of full sort
+    reason: str = ""
+    lines: tuple[str, ...] = field(init=False, default=())
+
+    def __post_init__(self):
+        lines = [f"{self.strategy}: {self.reason}"]
+        lines.extend(probe.describe() for probe in self.probes)
+        if self.residual is not None:
+            lines.append(f"residual filter: {self.residual}")
+        if self.order_pushdown:
+            lines.append("order+limit: heapq top-k pushdown")
+        object.__setattr__(self, "lines", tuple(lines))
+
+    def describe(self) -> str:
+        return "\n".join(self.lines)
+
+
+def _probe_kind(conjunct: Condition,
+                paths: frozenset[tuple[str, ...]]) -> str | None:
+    """Classify a conjunct the index can answer exactly, else ``None``."""
+    if isinstance(conjunct, Eq) and conjunct.steps in paths:
+        return "="
+    if isinstance(conjunct, Exists) and conjunct.steps in paths:
+        return "exists"
+    if (isinstance(conjunct, Contains) and conjunct.steps in paths
+            and isinstance(conjunct.target, Atom)
+            and isinstance(conjunct.target.value, str)):
+        return "contains"
+    return None
+
+
+def _split(condition: Condition, paths: frozenset[tuple[str, ...]],
+           ) -> tuple[list[tuple[Condition, str]], Condition | None]:
+    """NNF + conjunct split: ``(indexable probes, residual condition)``.
+
+    Memoized on the condition instance per covered-path set, so cached
+    parsed queries re-plan without re-walking their condition tree.
+    """
+    cached = getattr(condition, "_split_cache", None)
+    if cached is not None and cached[0] == paths:
+        return cached[1], cached[2]
+    probes: list[tuple[Condition, str]] = []
+    residual: Condition | None = None
+    for conjunct in conjuncts(nnf(condition)):
+        kind = _probe_kind(conjunct, paths)
+        if kind is not None:
+            probes.append((conjunct, kind))
+        else:
+            residual = (conjunct if residual is None
+                        else And(residual, conjunct))
+    try:
+        object.__setattr__(condition, "_split_cache",
+                           (paths, probes, residual))
+    except AttributeError:  # slotted user subclass
+        pass
+    return probes, residual
+
+
+def _candidates(conjunct: Condition, kind: str,
+                index: "AttrIndex") -> frozenset[Data]:
+    if kind == "=":
+        return index.equality_candidates(conjunct.steps, conjunct.target)
+    if kind == "exists":
+        return index.exists_candidates(conjunct.steps)
+    return index.contains_candidates(conjunct.steps,
+                                     conjunct.target.value)
+
+
+def _canonical_key(datum: Data) -> tuple:
+    return (structural_key(datum.marker), structural_key(datum.object))
+
+
+def _order_limit(selected: list[Data],
+                 order: tuple[Sequence[str], bool] | None,
+                 limit: int | None) -> list[Data]:
+    """Order/limit over canonically-sorted matches.
+
+    Reproduces the naive semantics exactly: stable sort by the smallest
+    reached value, data the path does not reach last in either
+    direction, ties in canonical order. With a limit the sort becomes a
+    ``heapq`` top-k selection (both heapq selectors are documented
+    equivalent to a stable ``sorted(...)[:n]``).
+    """
+    if order is None:
+        return selected if limit is None else selected[:limit]
+    steps, descending = order
+
+    if descending:
+        # Present data get the *larger* first key so nlargest ranks
+        # them before (i.e. missing data after) in descending order.
+        def sort_key(datum: Data) -> tuple:
+            values = evaluate_path(datum.object, steps, spread=True)
+            return (1, structural_key(values[0])) if values else (0,)
+
+        if limit is not None and limit < len(selected):
+            return heapq.nlargest(limit, selected, key=sort_key)
+        ordered = sorted(selected, key=sort_key, reverse=True)
+    else:
+        def sort_key(datum: Data) -> tuple:
+            values = evaluate_path(datum.object, steps, spread=True)
+            return (0, structural_key(values[0])) if values else (1,)
+
+        if limit is not None and limit < len(selected):
+            return heapq.nsmallest(limit, selected, key=sort_key)
+        ordered = sorted(selected, key=sort_key)
+    return ordered if limit is None else ordered[:limit]
+
+
+def select_data(dataset: DataSet,
+                condition: Condition | None,
+                index: "AttrIndex | None" = None,
+                order: tuple[Sequence[str], bool] | None = None,
+                limit: int | None = None) -> list[Data]:
+    """Plan and execute a selection; result order matches the naive scan.
+
+    ``index`` must index exactly the data in ``dataset`` (candidate
+    sets are defensively intersected with the data set, so a superset
+    index still yields correct results).
+    """
+    if condition is None:
+        selected = list(dataset)
+        return _order_limit(selected, order, limit)
+
+    probes: list[tuple[Condition, str]] = []
+    residual: Condition | None = condition
+    if index is not None and index:
+        probes, residual = _split(condition, index.paths)
+
+    if not probes:
+        predicate = compile_condition(condition)
+        selected = [datum for datum in dataset
+                    if predicate(datum.object)]
+        return _order_limit(selected, order, limit)
+
+    # Residual compiles before probing so operand validation (bad
+    # bounds, non-string Contains) surfaces regardless of candidates.
+    predicate = (compile_condition(residual)
+                 if residual is not None else None)
+    sets = sorted((_candidates(conjunct, kind, index)
+                   for conjunct, kind in probes), key=len)
+    candidates: set[Data] = set(sets[0])
+    for other in sets[1:]:
+        candidates &= other
+        if not candidates:
+            break
+    matched = [datum for datum in candidates
+               if datum in dataset
+               and (predicate is None or predicate(datum.object))]
+    matched.sort(key=_canonical_key)
+    return _order_limit(matched, order, limit)
+
+
+def explain_plan(condition: Condition | None,
+                 index: "AttrIndex | None" = None,
+                 order: tuple[Sequence[str], bool] | None = None,
+                 limit: int | None = None) -> Plan:
+    """The plan :func:`select_data` would choose, without executing it."""
+    pushdown = order is not None and limit is not None
+    if condition is None:
+        return Plan(strategy="scan", order_pushdown=pushdown,
+                    reason="no condition: every datum matches")
+    if index is None or not index:
+        return Plan(strategy="scan", residual=repr(condition),
+                    order_pushdown=pushdown,
+                    reason="no attribute index: compiled full scan")
+    probes, residual = _split(condition, index.paths)
+    if not probes:
+        return Plan(strategy="scan", residual=repr(condition),
+                    order_pushdown=pushdown,
+                    reason="no indexable conjunct: compiled full scan")
+    described = tuple(sorted(
+        (Probe(path=".".join(conjunct.steps), op=kind,
+               value=(None if kind == "exists"
+                      else repr(conjunct.target)),
+               selectivity=len(_candidates(conjunct, kind, index)))
+         for conjunct, kind in probes),
+        key=lambda probe: (probe.selectivity, probe.path)))
+    return Plan(strategy="index", probes=described,
+                residual=None if residual is None else repr(residual),
+                order_pushdown=pushdown,
+                reason=f"intersect {len(described)} probe(s), "
+                       f"most selective first")

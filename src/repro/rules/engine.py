@@ -36,6 +36,7 @@ from repro.rules.ast import (
     Collect,
     Comparison,
     Compat,
+    Const,
     Leq,
     Literal,
     Member,
@@ -124,17 +125,41 @@ def _compare_atoms(op: str, left: SSObject, right: SSObject) -> bool:
 
 
 class Engine:
-    """Evaluates a :class:`~repro.rules.ast.Program` to a fixpoint."""
+    """Evaluates a :class:`~repro.rules.ast.Program` to a fixpoint.
 
-    def __init__(self, program: Program | Iterable[Rule] = ()):
+    Literal matching is index-accelerated by default: every fact row is
+    posted under ``(position, ground object)``, and a body literal with
+    a constant or already-bound argument probes the smallest posting
+    list instead of scanning the predicate's whole extension — the same
+    probe-then-residual discipline as the query planner
+    (:mod:`repro.query.planner`). Results are identical;
+    ``use_index=False`` keeps the definitional scan for differential
+    testing.
+    """
+
+    def __init__(self, program: Program | Iterable[Rule] = (), *,
+                 use_index: bool = True):
         if isinstance(program, Program):
             self._program = program
         else:
             self._program = Program(list(program))
         self._facts: dict[str, set[FactRow]] = defaultdict(set)
+        self._use_index = use_index
+        self._fact_index: dict[
+            str, dict[tuple[int, SSObject], set[FactRow]]] = {}
         self._evaluated = False
 
     # -- loading ---------------------------------------------------------------
+
+    def _add_fact(self, predicate: str, row: FactRow) -> None:
+        rows = self._facts[predicate]
+        if row in rows:
+            return
+        rows.add(row)
+        if self._use_index:
+            index = self._fact_index.setdefault(predicate, {})
+            for position, obj in enumerate(row):
+                index.setdefault((position, obj), set()).add(row)
 
     def assert_fact(self, predicate: str, *args: SSObject) -> None:
         """Add one ground fact."""
@@ -143,7 +168,7 @@ class Engine:
                 raise QueryError(
                     f"facts take model objects, got "
                     f"{type(arg).__name__}")
-        self._facts[predicate].add(tuple(args))
+        self._add_fact(predicate, tuple(args))
         self._evaluated = False
 
     def load_dataset(self, predicate: str, dataset: DataSet) -> None:
@@ -202,7 +227,8 @@ class Engine:
             if not any(new_delta.values()):
                 return
             for name, rows in new_delta.items():
-                self._facts[name].update(rows)
+                for row in rows:
+                    self._add_fact(name, row)
             delta = new_delta
             first_round = False
 
@@ -236,7 +262,7 @@ class Engine:
                         row.append(PartialSet(collected))
                 else:
                     row.append(next(plain))
-            self._facts[rule.head.predicate].add(tuple(row))
+            self._add_fact(rule.head.predicate, tuple(row))
 
     def _solve_body(self, body: Sequence[BodyItem], subst: Substitution,
                     delta: dict[str, set[FactRow]] | None,
@@ -311,7 +337,7 @@ class Engine:
         if delta is not None and index == delta_position:
             rows: Iterable[FactRow] = delta.get(literal.predicate, ())
         else:
-            rows = self._facts.get(literal.predicate, ())
+            rows = self._candidate_rows(literal, subst)
         for row in rows:
             extended = self._match_row(literal, row, subst)
             if extended is not None:
@@ -329,11 +355,44 @@ class Engine:
                 return None
         return current
 
+    def _candidate_rows(self, literal: Literal,
+                        subst: Substitution) -> Iterable[FactRow]:
+        """Rows that can possibly match ``literal`` under ``subst``.
+
+        Every matching row must carry each bound argument's value at
+        that argument's position, so the smallest such posting set is a
+        complete candidate list; unbound or structural (tuple-pattern)
+        positions contribute nothing. Falls back to the predicate's
+        full extension when nothing is bound or indexing is off.
+        """
+        rows: Iterable[FactRow] = self._facts.get(literal.predicate, ())
+        if not self._use_index or not rows:
+            return rows
+        index = self._fact_index.get(literal.predicate)
+        if index is None:
+            return rows
+        best: set[FactRow] | None = None
+        for position, term in enumerate(literal.args):
+            if isinstance(term, Const):
+                value = term.value
+            elif isinstance(term, Var):
+                value = subst.get(term)
+                if value is None:
+                    continue
+            else:
+                continue
+            postings = index.get((position, value))
+            if postings is None:
+                return ()
+            if best is None or len(postings) < len(best):
+                best = postings
+        return rows if best is None else best
+
     def _matches_any(self, literal: Literal,
                      subst: Substitution) -> bool:
         return any(
             self._match_row(literal, row, subst) is not None
-            for row in self._facts.get(literal.predicate, ()))
+            for row in self._candidate_rows(literal, subst))
 
     def _solve_comparison(self, comparison: Comparison,
                           subst: Substitution,

@@ -14,6 +14,7 @@ The paper defers implementation; this package provides it:
   collection with incrementally maintained marker and key indexes.
 """
 
+from repro.store.attr_index import AttrIndex
 from repro.store.bulk import (
     IncrementalUnion,
     UnionDiff,
@@ -34,6 +35,7 @@ from repro.store.ops import (
 )
 
 __all__ = [
+    "AttrIndex",
     "KeyIndex", "signature", "NEVER_MATCHES", "UNINDEXABLE",
     "indexed_union", "indexed_intersection", "indexed_difference",
     "blocked_union", "fold_union", "IncrementalUnion", "UnionDiff",

@@ -1,0 +1,171 @@
+"""Inverted attribute indexes over configurable paths.
+
+The query layer's conditions are *existential* (``Eq("author", "Bob")``
+holds when **some** value the path reaches equals the atom — elements of
+sets and disjuncts of or-values all count), so the honest inverted index
+entry for a datum is the full set of values its paths reach under
+spread evaluation. :class:`AttrIndex` maintains, per configured path,
+
+* a postings map ``reached value → {data}`` — exact support for
+  ``Eq(path, value)``, because ``d ∈ postings[v]`` iff ``v`` is
+  spread-reachable in ``d`` iff ``Eq(path, v).matches(d.object)``;
+* an existence set ``{data where the path reaches ≥ 1 value}`` — exact
+  support for ``Exists(path)``;
+* the postings vocabulary doubles as a ``Contains`` accelerator: the
+  distinct string atoms a path reaches are typically far fewer than the
+  data, so scanning the vocabulary and unioning matching postings beats
+  a full scan.
+
+Like the marker and key indexes on
+:class:`~repro.store.database.Database`, the index is *incremental*:
+``add``/``remove`` patch it one datum at a time. Values are plain model
+objects — hashable, with cached structural hashes — and when the store
+interns (the :class:`Database` default) the postings keys are the
+canonical interned representatives, so every probe hashes a
+pointer-shared object exactly as the key-signature memo in
+:mod:`repro.store.index` does.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.core.data import Data
+from repro.core.errors import QueryError
+from repro.core.objects import Atom, SSObject
+from repro.query.paths import iter_path, parse_path
+
+__all__ = ["AttrIndex"]
+
+#: A parsed attribute path.
+Steps = tuple[str, ...]
+
+
+def _as_steps(path: str | Sequence[str]) -> Steps:
+    if isinstance(path, str):
+        return parse_path(path)
+    steps = tuple(path)
+    if not steps or any(not step for step in steps):
+        raise QueryError(f"invalid index path {path!r}")
+    return steps
+
+
+class AttrIndex:
+    """Incremental inverted index of a data collection by attribute path.
+
+    ``paths`` configures which attribute paths are indexed; data added
+    later are spread through sets and or-values so the index agrees with
+    the existential semantics of conditions. The planner
+    (:mod:`repro.query.planner`) consumes the candidate sets; everything
+    it cannot answer from here falls back to a scan.
+    """
+
+    def __init__(self, paths: Iterable[str | Sequence[str]] = (),
+                 data: Iterable[Data] = ()):
+        self._postings: dict[Steps, dict[SSObject, set[Data]]] = {}
+        self._exists: dict[Steps, set[Data]] = {}
+        for path in paths:
+            steps = _as_steps(path)
+            self._postings.setdefault(steps, {})
+            self._exists.setdefault(steps, set())
+        for datum in data:
+            self.add(datum)
+
+    @property
+    def paths(self) -> frozenset[Steps]:
+        """The parsed paths this index covers."""
+        return frozenset(self._postings)
+
+    def covers(self, path: str | Sequence[str]) -> bool:
+        """Whether the path is indexed."""
+        return _as_steps(path) in self._postings
+
+    def __bool__(self) -> bool:
+        return bool(self._postings)
+
+    def __len__(self) -> int:
+        """Number of indexed paths."""
+        return len(self._postings)
+
+    # -- maintenance -----------------------------------------------------------
+
+    def add_path(self, path: str | Sequence[str],
+                 data: Iterable[Data] = ()) -> Steps:
+        """Start indexing one more path, backfilling from ``data``."""
+        steps = _as_steps(path)
+        if steps in self._postings:
+            return steps
+        postings: dict[SSObject, set[Data]] = {}
+        exists: set[Data] = set()
+        for datum in data:
+            values = set(iter_path(datum.object, steps, spread=True))
+            if values:
+                exists.add(datum)
+                for value in values:
+                    postings.setdefault(value, set()).add(datum)
+        self._postings[steps] = postings
+        self._exists[steps] = exists
+        return steps
+
+    def add(self, datum: Data) -> None:
+        """Index one datum under every configured path."""
+        for steps, postings in self._postings.items():
+            values = set(iter_path(datum.object, steps, spread=True))
+            if values:
+                self._exists[steps].add(datum)
+                for value in values:
+                    postings.setdefault(value, set()).add(datum)
+
+    def remove(self, datum: Data) -> None:
+        """Drop one datum from every configured path.
+
+        Reached values are recomputed (objects are immutable, so they
+        are exactly what :meth:`add` saw), and emptied posting entries
+        are deleted so the vocabulary never outgrows the live data.
+        """
+        for steps, postings in self._postings.items():
+            values = set(iter_path(datum.object, steps, spread=True))
+            if not values:
+                continue
+            self._exists[steps].discard(datum)
+            for value in values:
+                entries = postings.get(value)
+                if entries is not None:
+                    entries.discard(datum)
+                    if not entries:
+                        del postings[value]
+
+    # -- probes ----------------------------------------------------------------
+
+    def equality_candidates(self, steps: Steps,
+                            value: SSObject) -> frozenset[Data]:
+        """Exactly the data where ``Eq(steps, value)`` holds."""
+        entries = self._postings[steps].get(value)
+        return frozenset(entries) if entries else frozenset()
+
+    def exists_candidates(self, steps: Steps) -> frozenset[Data]:
+        """Exactly the data where ``Exists(steps)`` holds."""
+        return frozenset(self._exists.get(steps, ()))
+
+    def contains_candidates(self, steps: Steps,
+                            needle: str) -> frozenset[Data]:
+        """Exactly the data where ``Contains(steps, needle)`` holds.
+
+        Scans the path's vocabulary (distinct reached values) for
+        string atoms containing the needle and unions their postings.
+        """
+        out: set[Data] = set()
+        for value, entries in self._postings[steps].items():
+            if (isinstance(value, Atom) and isinstance(value.value, str)
+                    and needle in value.value):
+                out.update(entries)
+        return frozenset(out)
+
+    def vocabulary(self, path: str | Sequence[str]) -> Iterator[SSObject]:
+        """The distinct values a path reaches across the indexed data."""
+        yield from self._postings[_as_steps(path)]
+
+    def selectivity(self, steps: Steps) -> Mapping[SSObject, int]:
+        """Posting-list sizes per value (diagnostics and ``explain``)."""
+        return {value: len(entries)
+                for value, entries in self._postings[steps].items()}

@@ -32,6 +32,7 @@ from repro.core.errors import CodecError
 from repro.core.intern import intern_data
 from repro.core.objects import Marker, SSObject, Tuple
 from repro.json_codec.codec import decode_dataset, encode_dataset
+from repro.store.attr_index import AttrIndex
 from repro.store.bulk import blocked_union, union_diff
 from repro.store.index import KeyIndex
 
@@ -40,6 +41,10 @@ __all__ = ["Database"]
 #: Format marker written into every database file.
 _FORMAT = "repro-database"
 _VERSION = 1
+
+#: Parsed textual queries cached per database (plans and compiled
+#: predicates live on the cached condition objects).
+_QUERY_CACHE_SIZE = 128
 
 
 class Database:
@@ -55,14 +60,19 @@ class Database:
     """
 
     def __init__(self, data: Iterable[Data] = (), *,
-                 intern_objects: bool = True):
+                 intern_objects: bool = True,
+                 index_paths: Iterable[str] = ()):
         self._intern = intern_objects
         self._data: set[Data] = set(
             self._canonical(datum) for datum in data)
         self._marker_index: dict[Marker, set[Data]] = {}
         self._key_indexes: dict[frozenset[str], KeyIndex] = {}
+        self._attr_index = AttrIndex(index_paths)
+        self._snapshot_cache: DataSet | None = None
+        self._query_cache: dict[str, object] = {}
         for datum in self._data:
             self._index_markers(datum)
+            self._attr_index.add(datum)
 
     def _canonical(self, datum: Data) -> Data:
         return intern_data(datum) if self._intern else datum
@@ -79,8 +89,14 @@ class Database:
         return iter(self.snapshot())
 
     def snapshot(self) -> DataSet:
-        """An immutable view of the current contents."""
-        return DataSet(self._data)
+        """An immutable view of the current contents.
+
+        Snapshots are cached between mutations, so read-heavy
+        workloads (the planned query path) pay the O(n) freeze once.
+        """
+        if self._snapshot_cache is None:
+            self._snapshot_cache = DataSet(self._data)
+        return self._snapshot_cache
 
     # -- updates ---------------------------------------------------------------
 
@@ -90,7 +106,9 @@ class Database:
         if datum in self._data:
             return False
         self._data.add(datum)
+        self._snapshot_cache = None
         self._index_markers(datum)
+        self._attr_index.add(datum)
         for index in self._key_indexes.values():
             index.add(datum)
         return True
@@ -104,7 +122,9 @@ class Database:
         if datum not in self._data:
             return False
         self._data.discard(datum)
+        self._snapshot_cache = None
         self._unindex_markers(datum)
+        self._attr_index.remove(datum)
         for index in self._key_indexes.values():
             index.remove(datum)
         return True
@@ -185,12 +205,50 @@ class Database:
             candidate for candidate in index.candidates(datum)
             if compatible_data(datum, candidate, checked))
 
-    def query(self, text: str) -> DataSet:
-        """Run a textual query (``select ... where ...``) on the
-        current contents."""
-        from repro.query.parser import run_query
+    # -- attribute indexes -------------------------------------------------------
 
-        return run_query(text, self.snapshot())
+    @property
+    def indexed_paths(self) -> frozenset[tuple[str, ...]]:
+        """The attribute paths the query planner can probe."""
+        return self._attr_index.paths
+
+    def create_index(self, path: str) -> None:
+        """Start indexing an attribute path (backfilled immediately).
+
+        Queries whose conditions constrain the path with ``Eq``,
+        ``Exists`` or ``Contains`` then probe the inverted index
+        instead of scanning; ``insert``/``remove``/``update``/
+        ``merge_in`` keep it current incrementally.
+        """
+        self._attr_index.add_path(path, self._data)
+
+    def _parsed(self, text: str):
+        spec = self._query_cache.get(text)
+        if spec is None:
+            from repro.query.parser import parse_query_spec
+
+            spec = parse_query_spec(text)
+            if len(self._query_cache) >= _QUERY_CACHE_SIZE:
+                self._query_cache.pop(next(iter(self._query_cache)))
+            self._query_cache[text] = spec
+        return spec
+
+    def query(self, text: str, *, naive: bool = False) -> DataSet:
+        """Run a textual query (``select ... where ...``) on the
+        current contents.
+
+        Parsed queries are cached by text, and execution routes through
+        the planner with this database's attribute index attached.
+        ``naive=True`` forces the definitional full scan (the oracle).
+        """
+        query = self._parsed(text).query(self.snapshot(),
+                                         index=self._attr_index)
+        return query.run(naive=naive)
+
+    def explain(self, text: str):
+        """The :class:`~repro.query.planner.Plan` for a textual query."""
+        return self._parsed(text).query(self.snapshot(),
+                                        index=self._attr_index).explain()
 
     # -- merging ------------------------------------------------------------------
 
@@ -222,14 +280,18 @@ class Database:
         for datum in removed:
             self._data.discard(datum)
             self._unindex_markers(datum)
+            self._attr_index.remove(datum)
             for index in self._key_indexes.values():
                 index.remove(datum)
         for datum in added:
             datum = self._canonical(datum)
             self._data.add(datum)
             self._index_markers(datum)
+            self._attr_index.add(datum)
             for index in self._key_indexes.values():
                 index.add(datum)
+        if removed or added:
+            self._snapshot_cache = None
         return len(self._data)
 
     # -- persistence -----------------------------------------------------------------

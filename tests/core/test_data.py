@@ -6,6 +6,7 @@ from repro.core.builder import cset, data, dataset, marker, orv, pset, tup
 from repro.core.data import Data, DataSet
 from repro.core.errors import EmptyKeyError, InvalidMarkerError
 from repro.core.objects import BOTTOM, Atom, Marker
+from repro.core.order import structural_key
 
 K = {"type", "title"}
 
@@ -139,6 +140,17 @@ class TestDataSetBasics:
         ds = DataSet([merged])
         assert ds.find("B80") == merged
         assert ds.find("B82") == merged
+
+    def test_find_returns_structurally_smallest_and_is_stable(self):
+        first = data("m", tup(A="a"))
+        second = data("m", tup(A="b"))
+        ds = DataSet([second, first])
+        smallest = min([first, second],
+                       key=lambda d: structural_key(d.object))
+        # Repeated lookups answer from the lazily built marker map and
+        # keep returning the documented structurally-smallest datum.
+        for _ in range(3):
+            assert ds.find("m") == smallest
 
     def test_filter_real_virtual(self):
         real = data("m", tup(A="a"))

@@ -1,0 +1,153 @@
+"""Differential oracle suite: planned query execution vs the full scan.
+
+The planner (``repro.query.planner``) answers a query three ways a full
+scan never does: it compiles the condition into closures, probes the
+inverted attribute index for candidate sets, and pushes ``order_by`` +
+``limit`` down into a heap selection. Each shortcut must be invisible —
+``Query.run(naive=True)`` keeps the definitional path (filter the whole
+data set with ``Condition.matches``, then sort, then slice), and this
+suite drives both over Hypothesis-generated datasets and condition
+trees, asserting identical results.
+
+The generators deliberately produce the planner's awkward cases:
+or-valued and set-valued attributes (existential spread), ``Not``/``Or``
+wrapped around indexable conjuncts (NNF rewriting, scan fallback),
+paths that reach nothing, and indexes covering only a subset of the
+queried paths (residual filtering).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.builder import cset, orv, pset, tup
+from repro.core.data import Data, DataSet
+from repro.core.objects import Atom, Marker
+from repro.query import (
+    And,
+    Contains,
+    Eq,
+    Exists,
+    Ge,
+    Lt,
+    Ne,
+    Not,
+    Or,
+    Query,
+)
+from repro.store import AttrIndex
+
+CASES = settings(max_examples=300, deadline=None)
+
+# Small pools so equalities, index hits and order ties actually occur.
+LABELS = ("type", "author", "year", "title")
+WORDS = ("a", "b", "ab", "ba")
+YEARS = (1, 2, 3)
+
+atom_values = st.one_of(st.sampled_from(WORDS), st.sampled_from(YEARS))
+
+# An attribute value: an atom, an or-value of atoms, or a (partial or
+# complete) set of atoms — the spread cases the index must fan out.
+attr_values = st.one_of(
+    atom_values.map(Atom),
+    st.lists(atom_values, min_size=2, max_size=3, unique=True).map(
+        lambda vs: orv(*vs)),
+    st.lists(atom_values, min_size=0, max_size=3, unique=True).map(
+        lambda vs: cset(*vs)),
+    st.lists(atom_values, min_size=0, max_size=2, unique=True).map(
+        lambda vs: pset(*vs)),
+)
+
+tuples = st.dictionaries(st.sampled_from(LABELS), attr_values,
+                         max_size=4).map(lambda fields: tup(**fields))
+
+
+@st.composite
+def datasets(draw):
+    objects = draw(st.lists(tuples, min_size=0, max_size=8))
+    return DataSet(
+        Data(Marker(f"m{i}"), obj) for i, obj in enumerate(objects)
+    )
+
+
+paths = st.sampled_from(LABELS + ("author.last", "missing"))
+
+leaf_conditions = st.one_of(
+    st.builds(Eq, paths, atom_values),
+    st.builds(Ne, paths, atom_values),
+    st.builds(Exists, paths),
+    st.builds(Contains, paths, st.sampled_from(WORDS)),
+    st.builds(Lt, st.just("year"), st.sampled_from(YEARS)),
+    st.builds(Ge, st.just("year"), st.sampled_from(YEARS)),
+)
+
+
+def _combine(children):
+    return st.one_of(
+        st.builds(And, children, children),
+        st.builds(Or, children, children),
+        st.builds(Not, children),
+    )
+
+
+conditions = st.recursive(leaf_conditions, _combine, max_leaves=6)
+
+# Index none, some, or all of the queried paths: exercises the scan
+# fallback, partially-covered conjunctions (residual filter), and fully
+# covered probes.
+index_choices = st.sampled_from(
+    (None, (), ("type",), ("type", "author"), LABELS))
+
+
+def _query(dataset, condition, index_paths):
+    query = Query(dataset).where(condition)
+    if index_paths is not None:
+        query = query.with_index(AttrIndex(index_paths, dataset))
+    return query
+
+
+@CASES
+@given(datasets(), conditions, index_choices)
+def test_run_matches_naive(dataset, condition, index_paths):
+    query = _query(dataset, condition, index_paths)
+    assert query.run() == query.run(naive=True)
+
+
+@CASES
+@given(datasets(), conditions, index_choices,
+       st.sampled_from(LABELS), st.booleans(),
+       st.one_of(st.none(), st.integers(min_value=0, max_value=5)))
+def test_ordered_limited_rows_match_naive(dataset, condition,
+                                          index_paths, order,
+                                          descending, limit):
+    query = _query(dataset, condition, index_paths).order_by(
+        order, descending=descending)
+    if limit is not None:
+        query = query.limit(limit)
+    assert query.rows() == query.rows(naive=True)
+
+
+@CASES
+@given(datasets(), conditions, st.sampled_from(LABELS))
+def test_group_by_matches_naive(dataset, condition, path):
+    query = _query(dataset, condition, LABELS)
+    assert query.group_by(path) == query.group_by(path, naive=True)
+
+
+@CASES
+@given(datasets(), datasets(), conditions)
+def test_index_stays_exact_across_mutations(initial, extra, condition):
+    """Incrementally patched postings equal a rebuilt index's answers."""
+    index = AttrIndex(LABELS, initial)
+    current = set(initial)
+    for datum in extra:
+        if datum in current:
+            continue
+        index.add(datum)
+        current.add(datum)
+    for datum in list(current)[::2]:
+        index.remove(datum)
+        current.discard(datum)
+
+    dataset = DataSet(current)
+    query = Query(dataset).where(condition).with_index(index)
+    assert query.run() == query.run(naive=True)

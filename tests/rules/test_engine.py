@@ -364,3 +364,60 @@ class TestModelBuiltins:
         pairs = {(row[0].name, row[1].name)
                  for row in engine.facts("same_article")}
         assert pairs == {("B80", "B82"), ("A78", "A78"), ("J88", "P90")}
+
+
+class TestFactIndexDifferential:
+    """The per-position fact index must be invisible: with and without
+    it, every program derives exactly the same facts."""
+
+    PROGRAMS = [
+        "p(1). p(2). q(X) :- p(X).",
+        """
+        parent(@ann, @bob). parent(@bob, @cid). parent(@bob, @dee).
+        grand(X, Z) :- parent(X, Y), parent(Y, Z).
+        sib(X, Y) :- parent(P, X), parent(P, Y), X != Y.
+        """,
+        """
+        edge(1, 2). edge(2, 3). edge(3, 4). edge(4, 2).
+        path(X, Y) :- edge(X, Y).
+        path(X, Z) :- edge(X, Y), path(Y, Z).
+        """,
+        """
+        e([type => "a", n => 1]). e([type => "a", n => 2]).
+        e([type => "b", n => 3]).
+        a(X) :- e(X), X != [type => "b", n => 3].
+        """,
+        """
+        p(1). p(2). p(3). q(2).
+        only(X) :- p(X), not q(X).
+        """,
+    ]
+
+    @pytest.mark.parametrize("source", PROGRAMS)
+    def test_indexed_and_unindexed_agree(self, source):
+        indexed = Engine(parse_program(source))
+        plain = Engine(parse_program(source), use_index=False)
+        indexed.evaluate()
+        plain.evaluate()
+        for name in set(indexed._facts) | set(plain._facts):
+            assert indexed.facts(name) == plain.facts(name), name
+
+    def test_indexed_dataset_load_agrees(self):
+        from tests.core.test_data import example6_sources
+
+        source = """
+        by_type(K, M) :- entry(M, [type => K]).
+        pair(M1, M2) :- entry(M1, O1), entry(M2, O2),
+                        compatible(O1, O2, {"type", "title"}), M1 != M2.
+        """
+        s1, s2 = example6_sources()
+        merged = s1.union(s2, key=("type", "title"))
+        engines = []
+        for use_index in (True, False):
+            engine = Engine(parse_program(source), use_index=use_index)
+            engine.load_dataset("entry", merged)
+            engine.evaluate()
+            engines.append(engine)
+        indexed, plain = engines
+        for name in ("by_type", "pair"):
+            assert indexed.facts(name) == plain.facts(name)

@@ -1,0 +1,138 @@
+"""The inverted attribute index: spread semantics, incrementality."""
+
+import pytest
+
+from repro.core.builder import cset, data, orv, pset, tup
+from repro.core.errors import QueryError
+from repro.core.objects import Atom
+from repro.query.paths import parse_path
+from repro.store.attr_index import AttrIndex
+
+
+def entry(marker, **fields):
+    return data(marker, tup(**fields))
+
+
+TYPE = parse_path("type")
+AUTHOR = parse_path("author")
+LAST = parse_path("authors.last")
+
+
+def small_collection():
+    return [
+        entry("B80", type="Article", author="Bob"),
+        entry("S78", type="Article", author=cset("Sam", "Pat")),
+        entry("A78", type="Article", author=orv("Ann", "Tom")),
+        entry("T79", type="InProc", author="Tom"),
+        entry("N00", title="no type or author"),
+    ]
+
+
+class TestPostings:
+    def test_equality_candidates_are_exact(self):
+        index = AttrIndex(["type", "author"], small_collection())
+        articles = index.equality_candidates(TYPE, Atom("Article"))
+        assert {next(iter(d.markers)).name for d in articles} == \
+            {"B80", "S78", "A78"}
+
+    def test_set_elements_spread(self):
+        index = AttrIndex(["author"], small_collection())
+        sams = index.equality_candidates(AUTHOR, Atom("Sam"))
+        assert {next(iter(d.markers)).name for d in sams} == {"S78"}
+
+    def test_or_value_disjuncts_spread(self):
+        index = AttrIndex(["author"], small_collection())
+        toms = index.equality_candidates(AUTHOR, Atom("Tom"))
+        # Both the certain Tom and the disputed Ann|Tom.
+        assert {next(iter(d.markers)).name for d in toms} == \
+            {"A78", "T79"}
+
+    def test_exists_candidates(self):
+        index = AttrIndex(["author"], small_collection())
+        have = index.exists_candidates(AUTHOR)
+        assert {next(iter(d.markers)).name for d in have} == \
+            {"B80", "S78", "A78", "T79"}
+
+    def test_contains_candidates_scan_the_vocabulary(self):
+        index = AttrIndex(["author"], small_collection())
+        found = index.contains_candidates(AUTHOR, "om")
+        assert {next(iter(d.markers)).name for d in found} == \
+            {"A78", "T79"}
+
+    def test_nested_path_through_set_of_tuples(self):
+        index = AttrIndex(["authors.last"])
+        datum = entry("X", authors=cset(tup(last="Liu"),
+                                        tup(last="Ling")))
+        index.add(datum)
+        assert index.equality_candidates(LAST, Atom("Liu")) == \
+            frozenset({datum})
+
+    def test_missing_value_yields_empty_frozen_set(self):
+        index = AttrIndex(["type"], small_collection())
+        assert index.equality_candidates(TYPE, Atom("Zine")) == frozenset()
+
+    def test_empty_set_valued_attribute_does_not_exist(self):
+        # Spread unwraps an empty set to nothing, matching Exists.
+        index = AttrIndex(["tags"])
+        datum = entry("X", tags=cset())
+        index.add(datum)
+        assert index.exists_candidates(parse_path("tags")) == frozenset()
+
+
+class TestMaintenance:
+    def test_remove_deletes_postings(self):
+        collection = small_collection()
+        index = AttrIndex(["author"], collection)
+        index.remove(collection[3])          # the certain Tom
+        toms = index.equality_candidates(AUTHOR, Atom("Tom"))
+        assert {next(iter(d.markers)).name for d in toms} == {"A78"}
+
+    def test_remove_prunes_empty_vocabulary_entries(self):
+        datum = entry("B80", author="Bob")
+        index = AttrIndex(["author"], [datum])
+        assert Atom("Bob") in set(index.vocabulary("author"))
+        index.remove(datum)
+        assert Atom("Bob") not in set(index.vocabulary("author"))
+        assert index.equality_candidates(AUTHOR, Atom("Bob")) == frozenset()
+
+    def test_add_path_backfills_existing_data(self):
+        collection = small_collection()
+        index = AttrIndex(["type"], collection)
+        assert not index.covers("author")
+        index.add_path("author", collection)
+        assert index.covers("author")
+        assert index.equality_candidates(AUTHOR, Atom("Bob")) != frozenset()
+
+    def test_add_path_is_idempotent(self):
+        collection = small_collection()
+        index = AttrIndex(["author"], collection)
+        index.add_path("author", [])         # must not wipe postings
+        assert index.equality_candidates(AUTHOR, Atom("Bob")) != frozenset()
+
+    def test_unindexed_datum_roundtrip_is_noop(self):
+        index = AttrIndex(["author"])
+        datum = entry("N", title="nothing relevant")
+        index.add(datum)
+        index.remove(datum)
+        assert index.exists_candidates(AUTHOR) == frozenset()
+
+    def test_selectivity_reports_posting_sizes(self):
+        index = AttrIndex(["type"], small_collection())
+        sizes = index.selectivity(TYPE)
+        assert sizes[Atom("Article")] == 3
+        assert sizes[Atom("InProc")] == 1
+
+
+class TestValidation:
+    def test_empty_path_rejected(self):
+        with pytest.raises(QueryError):
+            AttrIndex([""])
+        with pytest.raises(QueryError):
+            AttrIndex([("a", "")])
+
+    def test_partial_set_elements_spread_too(self):
+        index = AttrIndex(["author"])
+        datum = entry("P", author=pset("Joe"))
+        index.add(datum)
+        assert index.equality_candidates(AUTHOR, Atom("Joe")) == \
+            frozenset({datum})

@@ -71,6 +71,30 @@ definitional code — the reference oracle the differential test suite
 against. `clear_pool()` empties the pool **and** every registered memo
 table (they are registered via `repro.core.intern.on_clear`), so stale
 `id()`-keyed entries can never outlive the objects they describe.
+
+## Query planning semantics
+
+`repro.query.Query` executes through a small planner
+(`repro.query.planner`) whenever the query carries an attribute index:
+conditions are compiled once into closure predicates
+(`repro.query.compile.compile_condition`, memoized on the immutable
+condition instance), indexable conjuncts (`Eq`/`Exists`/`Contains` on
+indexed paths) become inverted-index probes whose candidate sets are
+intersected most-selective-first, the remaining *residual* condition
+filters only the candidates, and `order_by` + `limit` push down to a
+bounded heap selection. Queries without a usable probe fall back to a
+compiled full scan; `Query.explain()` returns the `Plan` either way.
+
+The index (`repro.store.AttrIndex`) posts each datum under every value
+its indexed paths reach with **existential spread** — sets and
+or-values fan out to their members — which is exactly the quantifier
+`Condition` evaluation uses, so probes are exact, never approximate.
+`Database(index_paths=...)` / `Database.create_index()` maintain the
+postings incrementally through `insert`/`remove`/`update`/`merge_in`.
+Planned execution is observationally identical to the definitional
+scan: every run method accepts `naive=True` (the full-scan oracle), and
+`tests/properties/test_planner_differential.py` plus the committed
+`BENCH_query.json` benchmark assert planned == naive on every run.
 """
 
 
