@@ -13,6 +13,9 @@ Commands:
 * ``changes OLD NEW`` — entry-level diff between two versions;
 * ``describe FILE`` — inferred schema and merge-key advice;
 * ``rules PROGRAM FILE`` — run a rule program over a data file;
+* ``snapshot save|load|convert`` — persist a database snapshot
+  (``--format json|binary``; binary snapshots carry the key/attribute
+  indexes and load index-warm);
 * ``experiments [ids...]`` — alias for ``python -m repro.harness``.
 
 All commands read/write the three interchange formats through the same
@@ -183,6 +186,37 @@ def _cmd_describe(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_snapshot_save(args: argparse.Namespace) -> int:
+    from repro.store.database import Database
+
+    dataset = _load(args.file, args.from_format)
+    database = Database(dataset, index_paths=tuple(args.index or ()))
+    database.save(args.snapshot, format=args.format)
+    print(f"# saved {len(database)} entries to {args.snapshot} "
+          f"({args.format})", file=sys.stderr)
+    return 0
+
+
+def _cmd_snapshot_load(args: argparse.Namespace) -> int:
+    from repro.store.database import Database
+
+    database = Database.load(args.snapshot)
+    print(f"# loaded {len(database)} entries from {args.snapshot}",
+          file=sys.stderr)
+    _emit(database.snapshot(), args)
+    return 0
+
+
+def _cmd_snapshot_convert(args: argparse.Namespace) -> int:
+    from repro.store.database import Database
+
+    database = Database.load(args.snapshot)
+    database.save(args.dest, format=args.format)
+    print(f"# converted {args.snapshot} -> {args.dest} ({args.format})",
+          file=sys.stderr)
+    return 0
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from repro.harness.runner import main as harness_main
 
@@ -288,6 +322,46 @@ def _build_parser() -> argparse.ArgumentParser:
     describe.add_argument("file", help="input file")
     describe.add_argument("--from", dest="from_format", choices=_FORMATS)
     describe.set_defaults(handler=_cmd_describe)
+
+    snapshot = commands.add_parser(
+        "snapshot", help="save/load/convert database snapshots")
+    snapshot_commands = snapshot.add_subparsers(dest="snapshot_command",
+                                                required=True)
+
+    snap_save = snapshot_commands.add_parser(
+        "save", help="build a database from an interchange file and "
+                     "persist it")
+    snap_save.add_argument("file", help="input file (bib, json, text)")
+    snap_save.add_argument("snapshot", help="snapshot file to write")
+    snap_save.add_argument("--from", dest="from_format", choices=_FORMATS,
+                           help="force the input format")
+    snap_save.add_argument("--format", choices=("json", "binary"),
+                           default="binary",
+                           help="snapshot format (default: binary)")
+    snap_save.add_argument("--index", action="append", metavar="PATH",
+                           help="attribute path to index before saving "
+                                "(repeatable; binary snapshots persist "
+                                "the index)")
+    snap_save.set_defaults(handler=_cmd_snapshot_save)
+
+    snap_load = snapshot_commands.add_parser(
+        "load", help="load a snapshot and emit its contents")
+    snap_load.add_argument("snapshot", help="snapshot file "
+                                            "(format auto-detected)")
+    snap_load.add_argument("--to", choices=_FORMATS, default="text",
+                           help="output format (default: text)")
+    snap_load.add_argument("-o", "--output", help="write to a file")
+    snap_load.set_defaults(handler=_cmd_snapshot_load)
+
+    snap_convert = snapshot_commands.add_parser(
+        "convert", help="re-encode a snapshot in the other format")
+    snap_convert.add_argument("snapshot", help="source snapshot "
+                                               "(format auto-detected)")
+    snap_convert.add_argument("dest", help="destination snapshot file")
+    snap_convert.add_argument("--format", choices=("json", "binary"),
+                              required=True,
+                              help="destination format")
+    snap_convert.set_defaults(handler=_cmd_snapshot_convert)
 
     experiments = commands.add_parser(
         "experiments", help="run the reproduction experiments")

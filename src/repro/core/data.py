@@ -63,7 +63,7 @@ class Data:
     files).
     """
 
-    __slots__ = ("marker", "object")
+    __slots__ = ("marker", "object", "_hash_cache")
 
     def __init__(self, marker: SSObject | str, obj: SSObject):
         if isinstance(marker, str):
@@ -145,7 +145,14 @@ class Data:
         return self.marker == other.marker and self.object == other.object
 
     def __hash__(self) -> int:
-        return hash(("repro.data", self.marker, self.object))
+        # Cached: data live in sets everywhere (DataSet, index postings,
+        # key buckets), so each datum is hashed many times over its life.
+        try:
+            return self._hash_cache
+        except AttributeError:
+            value = hash(("repro.data", self.marker, self.object))
+            object.__setattr__(self, "_hash_cache", value)
+            return value
 
     def __repr__(self) -> str:
         return f"{self.marker!r}:{self.object!r}"

@@ -113,6 +113,30 @@ class InternPool:
         self.misses += 1
         return rebuilt
 
+    def adopt(self, obj: SSObject) -> SSObject:
+        """Intern ``obj`` whose children are already canonical.
+
+        A decoder that builds objects bottom-up from pool
+        representatives (:mod:`repro.binary_codec`) knows every child
+        is canonical, so the :meth:`_rebuild` walk of :meth:`intern`
+        would return ``obj`` unchanged — this skips it and admits
+        ``obj`` directly on a table miss. Calling this with
+        non-canonical children would poison the pool; it is for codec
+        internals, not general use.
+        """
+        if obj is BOTTOM:
+            return obj
+        if id(obj) in self._ids:
+            self.hits += 1
+            return obj
+        canonical = self._table.setdefault(obj, obj)
+        if canonical is obj:
+            self._ids.add(id(obj))
+            self.misses += 1
+        else:
+            self.hits += 1
+        return canonical
+
     def _rebuild(self, obj: SSObject) -> SSObject:
         """Return ``obj`` with all children replaced by canonical ones.
 
@@ -172,6 +196,13 @@ _DEFAULT_POOL = InternPool()
 def intern(obj: SSObject) -> SSObject:
     """Intern ``obj`` in the default pool (see :class:`InternPool`)."""
     return _DEFAULT_POOL.intern(obj)
+
+
+def adopt(obj: SSObject) -> SSObject:
+    """Intern an object with already-canonical children in the default
+    pool (see :meth:`InternPool.adopt`). Codec-internal; deliberately
+    not exported via ``__all__``."""
+    return _DEFAULT_POOL.adopt(obj)
 
 
 def is_interned(obj: SSObject) -> bool:

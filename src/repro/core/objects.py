@@ -228,6 +228,15 @@ class OrValue(SSObject):
             )
         self._init_slot("disjuncts", flat)
 
+    @classmethod
+    def _from_disjuncts(cls, disjuncts: frozenset) -> "OrValue":
+        """Trusted constructor for codecs: ``disjuncts`` must be a
+        frozenset of ≥2 valid model objects, none of them or-values.
+        Callers that cannot prove this must use ``OrValue(...)``."""
+        obj = cls.__new__(cls)
+        obj._init_slot("disjuncts", disjuncts)
+        return obj
+
     @staticmethod
     def of(*disjuncts: SSObject) -> SSObject:
         """Build an or-value, collapsing degenerate cases.
@@ -300,6 +309,14 @@ class _SetObject(SSObject):
             _check_object(element, "set elements") for element in elements
         )
         self._init_slot("elements", checked)
+
+    @classmethod
+    def _from_elements(cls, elements: frozenset) -> "_SetObject":
+        """Trusted constructor for codecs: ``elements`` must be a
+        frozenset of valid model objects (no per-element checks)."""
+        obj = cls.__new__(cls)
+        obj._init_slot("elements", elements)
+        return obj
 
     def __len__(self) -> int:
         return len(self.elements)
@@ -389,6 +406,17 @@ class Tuple(SSObject):
                    if value is not BOTTOM)
         )
         self._init_slot("_fields", normalized)
+
+    @classmethod
+    def _from_sorted_fields(cls, fields: tuple) -> "Tuple":
+        """Trusted constructor for codecs: ``fields`` must be a tuple of
+        ``(label, value)`` pairs with strictly increasing non-empty
+        string labels and no ``⊥`` values — exactly the normal form
+        ``Tuple(...)`` produces. Callers that cannot prove this must go
+        through the validating constructor."""
+        obj = cls.__new__(cls)
+        obj._init_slot("_fields", fields)
+        return obj
 
     @property
     def attributes(self) -> tuple[str, ...]:

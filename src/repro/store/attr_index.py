@@ -76,6 +76,33 @@ class AttrIndex:
         """The parsed paths this index covers."""
         return frozenset(self._postings)
 
+    @classmethod
+    def restore(cls, entries: Iterable[tuple[
+            Steps, dict[SSObject, set[Data]], set[Data]]]) -> "AttrIndex":
+        """Rehydrate an index from persisted ``(steps, postings,
+        exists)`` triples without re-walking any paths.
+
+        Used by the binary snapshot loader, which validates the
+        persisted postings against the dataset's content digest before
+        trusting them.
+        """
+        index = cls()
+        for steps, postings, exists in entries:
+            index._postings[steps] = postings
+            index._exists[steps] = exists
+        return index
+
+    def entries(self) -> Iterator[tuple[
+            Steps, dict[SSObject, set[Data]], set[Data]]]:
+        """Yield ``(steps, postings, exists)`` per indexed path.
+
+        The export counterpart of :meth:`restore`; the snapshot layer
+        serializes these triples verbatim. The yielded mappings are the
+        live structures — callers must not mutate them.
+        """
+        for steps, postings in self._postings.items():
+            yield steps, postings, self._exists[steps]
+
     def covers(self, path: str | Sequence[str]) -> bool:
         """Whether the path is indexed."""
         return _as_steps(path) in self._postings

@@ -30,23 +30,27 @@ indexes instead of rebuilding them.
 
 **Parallel block merging**. Blocks are independent, so
 ``blocked_union(..., parallel=n)`` shards the multi-source blocks over a
-process pool, shipping them through the tagged-JSON codec. Parallelism
-is opt-in, deterministic (the result is a set; block order cannot leak),
-and falls back to the sequential path — with a ``RuntimeWarning`` — when
-the pool or the inter-process codec is unavailable.
+process pool, shipping them through the binary wire format
+(:mod:`repro.binary_codec`): one value table per shard payload, so the
+shared substructure inside a shard crosses the process boundary once,
+and workers decode straight into interned objects instead of parsing
+tagged JSON twice. Parallelism is opt-in, deterministic (the result is
+a set; block order cannot leak), and falls back to the sequential path
+— with a ``RuntimeWarning`` — when the pool or the inter-process codec
+is unavailable.
 """
 
 from __future__ import annotations
 
-import json
+import io
 import warnings
 from dataclasses import dataclass
 from typing import AbstractSet, Hashable, Iterable, Sequence
 
+from repro.binary_codec import Decoder, Encoder
 from repro.core.compatibility import check_key, compatible_data
 from repro.core.data import Data, DataSet
 from repro.core.errors import CodecError, MergeError
-from repro.json_codec.codec import decode_data, encode_data
 from repro.store.index import NEVER_MATCHES, UNINDEXABLE, KeyIndex, signature
 from repro.store.ops import _same_datum
 
@@ -154,17 +158,50 @@ def _shard_blocks(blocks: list[_Slabs], shard_count: int) -> list[list[_Slabs]]:
     return [shard for shard in shards if shard]
 
 
-def _merge_shard(payload: str) -> str:
-    """Process-pool worker: fold every block of one serialized shard."""
-    decoded = json.loads(payload)
-    key = frozenset(decoded["key"])
-    merged: list[dict] = []
-    for slabs in decoded["blocks"]:
-        rows = [[decode_data(entry, intern=True) for entry in slab]
-                for slab in slabs]
-        merged.extend(encode_data(datum)
-                      for datum in _fold_block(rows, key))
-    return json.dumps(merged)
+def _encode_shard(shard: list[_Slabs], key: frozenset[str]) -> bytes:
+    """Serialize one shard (key + blocks of slabs) to wire bytes.
+
+    One :class:`~repro.binary_codec.Encoder` per shard means one value
+    table: a datum repeated across blocks, or substructure shared by
+    hash-consing, crosses the process boundary as a varint ref.
+    """
+    buffer = io.BytesIO()
+    encoder = Encoder(buffer)
+    encoder.write_uvarint(len(key))
+    for attr in sorted(key):
+        encoder.write_string(attr)
+    encoder.write_uvarint(len(shard))
+    for slabs in shard:
+        encoder.write_uvarint(len(slabs))
+        for slab in slabs:
+            encoder.write_uvarint(len(slab))
+            for datum in slab:
+                encoder.write_datum(datum)
+    encoder.flush()
+    return buffer.getvalue()
+
+
+def _merge_shard(payload: bytes) -> bytes:
+    """Process-pool worker: fold every block of one serialized shard.
+
+    Decodes with ``intern=True`` — the worker's fold runs ``∪K`` over
+    canonical objects and hits the identity memo fast paths — and
+    streams the folded data back as one binary payload.
+    """
+    decoder = Decoder(io.BytesIO(payload), intern=True)
+    key = frozenset(decoder.read_string()
+                    for _ in range(decoder.read_uvarint()))
+    buffer = io.BytesIO()
+    encoder = Encoder(buffer)
+    for _ in range(decoder.read_uvarint()):
+        slabs = [[decoder.read_datum()
+                  for _ in range(decoder.read_uvarint())]
+                 for _ in range(decoder.read_uvarint())]
+        for datum in _fold_block(slabs, key):
+            encoder.write_datum(datum)
+    encoder.write_end()
+    encoder.flush()
+    return buffer.getvalue()
 
 
 def _fold_blocks_parallel(blocks: list[_Slabs], key: frozenset[str],
@@ -184,18 +221,11 @@ def _fold_blocks_parallel(blocks: list[_Slabs], key: frozenset[str],
         from pickle import PicklingError
 
         shards = _shard_blocks(blocks, workers)
-        payloads = [
-            json.dumps({
-                "key": sorted(key),
-                "blocks": [[[encode_data(datum) for datum in slab]
-                            for slab in slabs] for slabs in shard],
-            })
-            for shard in shards
-        ]
+        payloads = [_encode_shard(shard, key) for shard in shards]
         with ProcessPoolExecutor(max_workers=len(shards)) as pool:
             results = list(pool.map(_merge_shard, payloads))
-        return [decode_data(entry)
-                for result in results for entry in json.loads(result)]
+        return [datum for result in results
+                for datum in Decoder(io.BytesIO(result)).iter_data()]
     except (CodecError, OSError, BrokenExecutor, PicklingError,
             NotImplementedError, ImportError) as error:
         warnings.warn(
@@ -218,9 +248,9 @@ def blocked_union(sources: Iterable[DataSet | Iterable[Data]],
     ``((S1 ∪K S2) ∪K S3) ∪K …`` of :meth:`DataSet.union` — the engine's
     equivalence tests and the pipeline benchmark assert this on every
     run. ``parallel > 0`` folds multi-source blocks on that many worker
-    processes (sharded through the JSON codec) and falls back to
-    sequential folding — emitting a :class:`RuntimeWarning` — when a
-    pool cannot be used.
+    processes (sharded through the binary wire format of
+    :mod:`repro.binary_codec`) and falls back to sequential folding —
+    emitting a :class:`RuntimeWarning` — when a pool cannot be used.
     """
     checked = check_key(key)
     if parallel < 0:

@@ -9,9 +9,16 @@ as open work; this module is that implementation at library scale:
   :class:`~repro.store.index.KeyIndex` instead of invalidating it;
 * content-addressed updates: ``insert``/``remove`` return nothing and
   mutate the database, but all returned data values stay immutable;
-* durability through the tagged-JSON codec with atomic file replacement
-  (write to a temp file, ``os.replace``), so a crash never leaves a
-  half-written database behind;
+* durability through atomic file replacement — write to a temp file,
+  ``flush`` + ``fsync`` it (and the containing directory on POSIX),
+  then ``os.replace`` — so a crash never leaves a half-written or
+  silently empty database behind. Two on-disk formats:
+  ``format="json"`` (the tagged-JSON codec, human-greppable) and
+  ``format="binary"`` (:mod:`repro.binary_codec` — deduplicated value
+  table, streamed data, and the key/attribute index signatures
+  persisted alongside the data so a cold :meth:`load` starts
+  index-warm: the saved postings are validated against a content
+  digest of the dataset section and only rebuilt on mismatch);
 * ``merge_in`` ingests another source as a net
   :class:`~repro.store.bulk.UnionDiff` against the maintained index
   (optionally through the parallel blocked pipeline), so an ingest
@@ -20,12 +27,15 @@ as open work; this module is that implementation at library scale:
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import tempfile
 from pathlib import Path
-from typing import Callable, Iterable, Iterator
+from typing import IO, Callable, Hashable, Iterable, Iterator
 
+from repro import binary_codec
+from repro.binary_codec import Decoder, Encoder
 from repro.core.compatibility import check_key
 from repro.core.data import Data, DataSet
 from repro.core.errors import CodecError
@@ -38,9 +48,21 @@ from repro.store.index import KeyIndex
 
 __all__ = ["Database"]
 
-#: Format marker written into every database file.
+#: Format marker written into every JSON database file.
 _FORMAT = "repro-database"
 _VERSION = 1
+
+#: Magic prefix of binary database files (followed by the container
+#: version, the embedded codec version, and a flags varint).
+_BINARY_MAGIC = b"RPDB"
+_BINARY_VERSION = 1
+
+#: Container flag: the store interns its objects.
+_FLAG_INTERNED = 1
+
+#: Signature kinds in the persisted key-index section.
+_SIG_WHOLE = 0
+_SIG_TUPLE = 1
 
 #: Parsed textual queries cached per database (plans and compiled
 #: predicates live on the cached condition objects).
@@ -296,33 +318,88 @@ class Database:
 
     # -- persistence -----------------------------------------------------------------
 
-    def save(self, path: str | Path) -> None:
-        """Write the database to ``path`` atomically."""
-        payload = {
-            "format": _FORMAT,
-            "version": _VERSION,
-            "dataset": encode_dataset(self.snapshot()),
-        }
+    def save(self, path: str | Path, *, format: str = "json") -> None:
+        """Write the database to ``path`` atomically and durably.
+
+        The payload goes to a temp file in the target directory, is
+        flushed and fsynced, and only then ``os.replace``d over the
+        target (the directory entry is fsynced too on POSIX) — a crash
+        at any point leaves either the old file or the new one, never a
+        torn or empty write.
+
+        ``format="binary"`` writes the :mod:`repro.binary_codec`
+        container: the dataset streamed through a deduplicating value
+        table, followed by the current key-index and attribute-index
+        signatures keyed to a content digest, so :meth:`load` can
+        restore the indexes without recomputing a single signature.
+        """
+        if format not in ("json", "binary"):
+            raise CodecError(
+                f"unknown database format {format!r} "
+                f"(expected 'json' or 'binary')")
         target = Path(path)
         target.parent.mkdir(parents=True, exist_ok=True)
         descriptor, temp_name = tempfile.mkstemp(
             dir=target.parent, prefix=target.name, suffix=".tmp")
         try:
-            with os.fdopen(descriptor, "w") as handle:
-                json.dump(payload, handle)
+            if format == "binary":
+                with os.fdopen(descriptor, "wb") as handle:
+                    self._write_binary(handle)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+            else:
+                payload = {
+                    "format": _FORMAT,
+                    "version": _VERSION,
+                    "dataset": encode_dataset(self.snapshot()),
+                }
+                with os.fdopen(descriptor, "w") as handle:
+                    json.dump(payload, handle)
+                    handle.flush()
+                    os.fsync(handle.fileno())
             os.replace(temp_name, target)
+            _fsync_directory(target.parent)
         except BaseException:
             if os.path.exists(temp_name):
                 os.unlink(temp_name)
             raise
 
     @classmethod
-    def load(cls, path: str | Path) -> "Database":
-        """Read a database written by :meth:`save`."""
+    def load(cls, path: str | Path, *,
+             format: str | None = None) -> "Database":
+        """Read a database written by :meth:`save`.
+
+        The on-disk format is auto-detected (binary files start with a
+        magic prefix); pass ``format="json"``/``"binary"`` to force.
+        Binary loads restore the persisted key/attribute indexes when
+        the stored content digest matches the dataset section, and
+        rebuild them otherwise.
+        """
+        if format is None:
+            try:
+                with open(path, "rb") as probe:
+                    magic = probe.read(len(_BINARY_MAGIC))
+            except OSError as exc:
+                raise CodecError(
+                    f"cannot read database {path}: {exc}") from exc
+            format = "binary" if magic == _BINARY_MAGIC else "json"
+        if format == "binary":
+            try:
+                with open(path, "rb") as handle:
+                    return cls._read_binary(handle)
+            except OSError as exc:
+                raise CodecError(
+                    f"cannot read database {path}: {exc}") from exc
+        if format != "json":
+            raise CodecError(
+                f"unknown database format {format!r} "
+                f"(expected 'json' or 'binary')")
         try:
             with open(path) as handle:
                 payload = json.load(handle)
-        except (OSError, json.JSONDecodeError) as exc:
+        except (OSError, ValueError) as exc:
+            # ValueError covers JSONDecodeError and the UnicodeDecodeError
+            # a binary file raises when force-read as JSON text.
             raise CodecError(f"cannot read database {path}: {exc}") from exc
         if not isinstance(payload, dict) or \
                 payload.get("format") != _FORMAT:
@@ -331,3 +408,248 @@ class Database:
             raise CodecError(
                 f"unsupported database version {payload.get('version')!r}")
         return cls(decode_dataset(payload["dataset"]))
+
+    # -- binary container ---------------------------------------------------------
+
+    def _write_binary(self, handle: IO[bytes]) -> None:
+        """Stream the binary container: header, dataset, digest, indexes.
+
+        The dataset section iterates the raw element set (no canonical
+        sort — ``structural_key`` recursion stays off the persistence
+        path). Index sections reference data by their position in the
+        written stream and subobjects by their codec value-table refs,
+        so persisting the indexes costs varints, not re-encoded values.
+        """
+        # An interned database never holds two structurally equal but
+        # distinct objects, so identity dedup alone is complete there.
+        encoder = Encoder(handle, hasher=hashlib.sha256(), header=False,
+                          dedup_shapes=not self._intern)
+        encoder.write_bytes(_BINARY_MAGIC)
+        encoder.write_uvarint(_BINARY_VERSION)
+        encoder.write_uvarint(binary_codec.VERSION)
+        encoder.write_uvarint(_FLAG_INTERNED if self._intern else 0)
+        # order maps id(datum) -> pre-packed position varint: index
+        # sections reference each datum ~once per indexed path, so
+        # packing the position once amortizes across all of them.
+        order: dict[int, bytes] = {}
+        for position, datum in enumerate(self._data):
+            order[id(datum)] = binary_codec.pack_uvarint(position)
+            encoder.write_datum(datum)
+        encoder.write_end()
+        # Digest of everything up to and including END pins the index
+        # sections to this exact dataset encoding.
+        encoder.write_string(encoder.hexdigest())
+        self._write_attr_section(encoder, order)
+        self._write_key_section(encoder, order)
+        encoder.flush()
+
+    @staticmethod
+    def _write_data_refs(encoder: Encoder, data: Iterable[Data],
+                         order: dict[int, bytes]) -> None:
+        refs = [order[id(datum)] for datum in data]
+        encoder.write_uvarint(len(refs))
+        encoder.write_bytes(b"".join(refs))
+
+    def _write_attr_section(self, encoder: Encoder,
+                            order: dict[int, bytes]) -> None:
+        entries = list(self._attr_index.entries())
+        encoder.write_uvarint(len(entries))
+        for steps, postings, exists in entries:
+            encoder.write_uvarint(len(steps))
+            for step in steps:
+                encoder.write_string(step)
+            self._write_data_refs(encoder, exists, order)
+            encoder.write_uvarint(len(postings))
+            for value, holders in postings.items():
+                encoder.write_ref(value)
+                self._write_data_refs(encoder, holders, order)
+
+    def _write_key_section(self, encoder: Encoder,
+                           order: dict[int, bytes]) -> None:
+        encoder.write_uvarint(len(self._key_indexes))
+        for key, index in self._key_indexes.items():
+            encoder.write_uvarint(len(key))
+            for attr in sorted(key):
+                encoder.write_string(attr)
+            encoder.write_uvarint(len(index.buckets))
+            for sig, bucket in index.buckets.items():
+                self._write_signature(encoder, sig)
+                self._write_data_refs(encoder, bucket, order)
+            self._write_data_refs(encoder, index.scan_list, order)
+            self._write_data_refs(encoder, index.never_list, order)
+
+    @staticmethod
+    def _write_signature(encoder: Encoder, sig: Hashable) -> None:
+        kind, payload = sig  # buckets never hold NEVER/UNINDEXABLE
+        if kind == "whole":
+            encoder.write_uvarint(_SIG_WHOLE)
+            encoder.write_ref(payload)
+        else:
+            encoder.write_uvarint(_SIG_TUPLE)
+            encoder.write_uvarint(len(payload))
+            for label, attr in payload:
+                encoder.write_string(label)
+                encoder.write_ref(attr)
+
+    @classmethod
+    def _read_binary(cls, handle: IO[bytes]) -> "Database":
+        decoder = Decoder(handle, hasher=hashlib.sha256(), header=False)
+        magic = decoder.read_bytes(len(_BINARY_MAGIC))
+        if magic != _BINARY_MAGIC:
+            raise CodecError("not a repro binary database file")
+        container_version = decoder.read_uvarint()
+        if container_version != _BINARY_VERSION:
+            raise CodecError(
+                f"unsupported database version {container_version!r}")
+        codec_version = decoder.read_uvarint()
+        if codec_version != binary_codec.VERSION:
+            raise CodecError(
+                f"unsupported binary codec version {codec_version!r} "
+                f"(this build reads version {binary_codec.VERSION})")
+        interned = bool(decoder.read_uvarint() & _FLAG_INTERNED)
+        decoder.intern = interned
+        data_order = list(decoder.iter_data())
+        if not decoder.ended:
+            # EOF landed on a frame boundary before the END marker — a
+            # truncated file must never load as a smaller database.
+            raise CodecError(
+                "truncated binary database: dataset section has no "
+                "END frame")
+        dataset_digest = decoder.hexdigest()
+
+        database = cls.__new__(cls)
+        database._intern = interned
+        database._data = set(data_order)
+        database._marker_index = {}
+        database._key_indexes = {}
+        database._attr_index = AttrIndex()
+        database._snapshot_cache = None
+        database._query_cache = {}
+        for datum in database._data:
+            database._index_markers(datum)
+
+        # The index sections are an optimization, never a correctness
+        # dependency: any parse problem or digest mismatch falls back
+        # to rebuilding from the data (keeping the recorded paths/keys
+        # when the section structure itself was readable).
+        attr_entries: list | None = None
+        key_structs: list | None = None
+        stored_digest = None
+        try:
+            stored_digest = decoder.read_string()
+            attr_entries = cls._read_attr_section(decoder, data_order)
+            key_structs = cls._read_key_section(decoder, data_order)
+        except CodecError:
+            pass
+        if (stored_digest == dataset_digest and attr_entries is not None
+                and key_structs is not None):
+            database._attr_index = AttrIndex.restore(attr_entries)
+            database._key_indexes = {
+                key: KeyIndex.restore(key, buckets, scan, never)
+                for key, buckets, scan, never in key_structs}
+        else:
+            if attr_entries:
+                database._attr_index = AttrIndex(
+                    [steps for steps, _, _ in attr_entries], data_order)
+            if key_structs:
+                database._key_indexes = {
+                    key: KeyIndex(database._data, key)
+                    for key, _, _, _ in key_structs}
+        return database
+
+    @staticmethod
+    def _read_data_refs(decoder: Decoder,
+                        data_order: list[Data]) -> set[Data]:
+        count = decoder.read_uvarint()
+        refs = decoder.read_uvarint_seq(count)
+        try:
+            return set(map(data_order.__getitem__, refs))
+        except IndexError:
+            bad = next(ref for ref in refs if ref >= len(data_order))
+            raise CodecError(
+                f"invalid datum reference {bad} in index section") \
+                from None
+
+    @staticmethod
+    def _read_data_ref_list(decoder: Decoder,
+                            data_order: list[Data]) -> list[Data]:
+        """Like :meth:`_read_data_refs` but preserves the written order
+        (key-index buckets are lists, so no set needs building)."""
+        count = decoder.read_uvarint()
+        refs = decoder.read_uvarint_seq(count)
+        try:
+            return list(map(data_order.__getitem__, refs))
+        except IndexError:
+            bad = next(ref for ref in refs if ref >= len(data_order))
+            raise CodecError(
+                f"invalid datum reference {bad} in index section") \
+                from None
+
+    @classmethod
+    def _read_attr_section(cls, decoder: Decoder,
+                           data_order: list[Data]) -> list:
+        entries = []
+        for _ in range(decoder.read_uvarint()):
+            steps = tuple(decoder.read_label()
+                          for _ in range(decoder.read_uvarint()))
+            exists = cls._read_data_refs(decoder, data_order)
+            postings = {}
+            for _ in range(decoder.read_uvarint()):
+                value = decoder.node(decoder.read_uvarint())
+                postings[value] = cls._read_data_refs(decoder, data_order)
+            entries.append((steps, postings, exists))
+        return entries
+
+    @classmethod
+    def _read_key_section(cls, decoder: Decoder,
+                          data_order: list[Data]) -> list:
+        structs = []
+        for _ in range(decoder.read_uvarint()):
+            key = frozenset(decoder.read_label()
+                            for _ in range(decoder.read_uvarint()))
+            buckets = {}
+            for _ in range(decoder.read_uvarint()):
+                sig = cls._read_signature(decoder)
+                buckets[sig] = cls._read_data_ref_list(
+                    decoder, data_order)
+            scan = cls._read_data_ref_list(decoder, data_order)
+            never = cls._read_data_ref_list(decoder, data_order)
+            structs.append((key, buckets, scan, never))
+        return structs
+
+    @staticmethod
+    def _read_signature(decoder: Decoder) -> Hashable:
+        # Tuple signatures dominate (every fully-keyed datum gets one),
+        # so they are dispatched first with bound locals.
+        kind = decoder.read_uvarint()
+        if kind == _SIG_TUPLE:
+            read_label = decoder.read_label
+            read_uvarint = decoder.read_uvarint
+            node = decoder.node
+            return ("tuple", tuple(
+                (read_label(), node(read_uvarint()))
+                for _ in range(read_uvarint())))
+        if kind == _SIG_WHOLE:
+            return ("whole", decoder.node(decoder.read_uvarint()))
+        raise CodecError(f"unknown signature kind {kind!r}")
+
+
+def _fsync_directory(path: Path) -> None:
+    """Best-effort fsync of a directory entry (POSIX only).
+
+    ``os.replace`` makes the rename atomic, but the *directory* write
+    that records it can still sit in the page cache; without this a
+    crash right after save can resurface the old file.
+    """
+    if os.name != "posix":
+        return
+    try:
+        descriptor = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(descriptor)
+    except OSError:
+        pass
+    finally:
+        os.close(descriptor)

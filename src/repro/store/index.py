@@ -139,6 +139,26 @@ class KeyIndex:
     def key(self) -> frozenset[str]:
         return self._key
 
+    @classmethod
+    def restore(cls, key: AbstractSet[str],
+                buckets: dict[Hashable, list[Data]],
+                scan_list: list[Data],
+                never_list: list[Data]) -> "KeyIndex":
+        """Rehydrate an index from persisted structures without
+        recomputing any signatures.
+
+        The caller (binary snapshot load) vouches that ``buckets`` keys
+        are exactly what :func:`signature` would produce for their data
+        under ``key`` — the snapshot layer guarantees this by persisting
+        the signatures alongside the data and validating the pairing
+        digest before restoring.
+        """
+        index = cls((), key)
+        index.buckets = buckets
+        index.scan_list = scan_list
+        index.never_list = never_list
+        return index
+
     def add(self, datum: Data) -> None:
         """Insert one datum."""
         classified = signature(datum, self._key)

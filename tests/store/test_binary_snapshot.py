@@ -1,0 +1,254 @@
+"""Binary database snapshots: warm indexes, digest validation, fsync.
+
+The binary container must (a) round-trip the dataset exactly as the
+JSON format does, (b) restore the persisted key/attribute indexes when
+the content digest matches — giving cold loads the same query plans and
+merge behaviour as the live database — and (c) fall back to rebuilding
+when the index sections are damaged, never to wrong answers. The
+durability tests pin the fsync-before-replace contract for both
+formats.
+"""
+
+import os
+
+import pytest
+
+from repro.core.builder import cset, data, orv, pset, tup
+from repro.core.errors import CodecError
+from repro.store import Database
+from repro.store.database import _BINARY_MAGIC
+
+
+def build_database(entries=40, index_paths=("type", "title", "year")):
+    rows = [
+        data(f"m{i}", tup(type="Article", title=f"T{i % 15}",
+                          year=1980 + i % 10, author=f"A{i % 4}",
+                          tags=pset(f"t{i % 3}", "common"),
+                          status=orv("draft", "final"),
+                          committee=cset("x", "y")))
+        for i in range(entries)
+    ]
+    database = Database(rows, index_paths=index_paths)
+    # Touch a key lookup so a KeyIndex exists to persist.
+    database.compatible_with(rows[0], {"type", "title"})
+    return database
+
+
+class TestBinaryRoundTrip:
+    def test_matches_json_loaded_database(self, tmp_path):
+        database = build_database()
+        binary_path = tmp_path / "db.bin"
+        json_path = tmp_path / "db.json"
+        database.save(binary_path, format="binary")
+        database.save(json_path, format="json")
+        from_binary = Database.load(binary_path)
+        from_json = Database.load(json_path)
+        assert from_binary.snapshot() == from_json.snapshot() \
+            == database.snapshot()
+
+    def test_format_autodetected(self, tmp_path):
+        database = build_database(entries=5)
+        path = tmp_path / "db.snapshot"  # no format-revealing suffix
+        database.save(path, format="binary")
+        assert path.read_bytes()[:4] == _BINARY_MAGIC
+        assert Database.load(path).snapshot() == database.snapshot()
+        database.save(path, format="json")
+        assert Database.load(path).snapshot() == database.snapshot()
+
+    def test_forced_format_mismatch_rejected(self, tmp_path):
+        database = build_database(entries=3)
+        path = tmp_path / "db.bin"
+        database.save(path, format="binary")
+        with pytest.raises(CodecError):
+            Database.load(path, format="json")
+
+    def test_unknown_format_rejected(self, tmp_path):
+        database = build_database(entries=3)
+        with pytest.raises(CodecError, match="unknown database format"):
+            database.save(tmp_path / "db.x", format="pickle")
+        database.save(tmp_path / "db.bin", format="binary")
+        with pytest.raises(CodecError, match="unknown database format"):
+            Database.load(tmp_path / "db.bin", format="pickle")
+
+    def test_non_interned_database_round_trips(self, tmp_path):
+        rows = [data(f"m{i}", tup(type="t", title=f"x{i}"))
+                for i in range(10)]
+        database = Database(rows, intern_objects=False)
+        path = tmp_path / "db.bin"
+        database.save(path, format="binary")
+        loaded = Database.load(path)
+        assert loaded.snapshot() == database.snapshot()
+        assert loaded._intern is False
+
+    def test_empty_database(self, tmp_path):
+        path = tmp_path / "empty.bin"
+        Database().save(path, format="binary")
+        assert len(Database.load(path)) == 0
+
+
+class TestWarmIndexes:
+    def test_attr_index_restored_equal_to_rebuilt(self, tmp_path):
+        database = build_database()
+        path = tmp_path / "db.bin"
+        database.save(path, format="binary")
+        loaded = Database.load(path)
+        rebuilt = Database(loaded.snapshot(),
+                           index_paths=("type", "title", "year"))
+        assert loaded.indexed_paths == rebuilt.indexed_paths
+        # Postings must be identical, not merely query-equivalent.
+        restored = {steps: (postings, exists) for steps, postings, exists
+                    in loaded._attr_index.entries()}
+        for steps, postings, exists in rebuilt._attr_index.entries():
+            assert restored[steps][0] == postings
+            assert restored[steps][1] == exists
+        for text in ('select * where title = "T3"',
+                     'select * where year >= 1985 and type = "Article"',
+                     'select * where exists tags'):
+            assert loaded.query(text) == rebuilt.query(text)
+            assert loaded.query(text) == loaded.query(text, naive=True)
+        assert loaded.explain(
+            'select * where title = "T3"').strategy == "index"
+
+    def test_key_indexes_restored(self, tmp_path):
+        database = build_database()
+        key = frozenset({"type", "title"})
+        path = tmp_path / "db.bin"
+        database.save(path, format="binary")
+        loaded = Database.load(path)
+        assert key in loaded._key_indexes
+        original = database._key_indexes[key]
+        restored = loaded._key_indexes[key]
+        assert len(restored) == len(original)
+        assert set(restored.buckets) == set(original.buckets)
+        for sig, bucket in original.buckets.items():
+            assert set(restored.buckets[sig]) == set(bucket)
+        # The restored index must behave identically on lookups.
+        probe = data("p", tup(type="Article", title="T3", extra=1))
+        assert loaded.compatible_with(probe, key) == \
+            database.compatible_with(probe, key)
+
+    def test_restored_index_stays_maintainable(self, tmp_path):
+        database = build_database()
+        path = tmp_path / "db.bin"
+        database.save(path, format="binary")
+        loaded = Database.load(path)
+        fresh = data("new", tup(type="Article", title="Fresh",
+                                year=2000))
+        loaded.insert(fresh)
+        assert loaded.query('select * where title = "Fresh"') == \
+            loaded.query('select * where title = "Fresh"', naive=True)
+        loaded.remove(fresh)
+        assert len(loaded.query('select * where title = "Fresh"')) == 0
+
+    def test_digest_mismatch_rebuilds_indexes(self, tmp_path):
+        import re
+
+        database = build_database()
+        path = tmp_path / "db.bin"
+        database.save(path, format="binary")
+        raw = path.read_bytes()
+        # The stored digest is the only 64-char lowercase-hex run in
+        # the file; flip one of its characters so it stays parseable
+        # but no longer matches the dataset section.
+        match = re.search(rb"[0-9a-f]{64}", raw)
+        assert match is not None
+        position = match.start()
+        flipped = b"0" if raw[position:position + 1] != b"0" else b"1"
+        broken = tmp_path / "broken.bin"
+        broken.write_bytes(raw[:position] + flipped
+                           + raw[position + 1:])
+        loaded = Database.load(broken)
+        # Indexes were rebuilt, not restored — same data, same answers.
+        assert loaded.snapshot() == database.snapshot()
+        assert loaded.indexed_paths == database.indexed_paths
+        for text in ('select * where title = "T3"',
+                     'select * where exists tags'):
+            assert loaded.query(text) == loaded.query(text, naive=True)
+            assert loaded.query(text) == database.query(text)
+
+    def test_truncated_index_section_rebuilds(self, tmp_path):
+        database = build_database()
+        path = tmp_path / "db.bin"
+        database.save(path, format="binary")
+        raw = path.read_bytes()
+        truncated = tmp_path / "truncated.bin"
+        truncated.write_bytes(raw[:len(raw) - 20])
+        loaded = Database.load(truncated)
+        assert loaded.snapshot() == database.snapshot()
+
+    def test_truncated_dataset_section_raises(self, tmp_path):
+        database = build_database()
+        path = tmp_path / "db.bin"
+        database.save(path, format="binary")
+        raw = path.read_bytes()
+        stub = tmp_path / "stub.bin"
+        stub.write_bytes(raw[:40])
+        with pytest.raises(CodecError):
+            Database.load(stub)
+
+
+class TestBinaryVersioning:
+    def test_container_version_rejected(self, tmp_path):
+        database = build_database(entries=3)
+        path = tmp_path / "db.bin"
+        database.save(path, format="binary")
+        raw = bytearray(path.read_bytes())
+        assert raw[4] == 1  # container version varint
+        raw[4] = 99
+        bad = tmp_path / "bad.bin"
+        bad.write_bytes(bytes(raw))
+        with pytest.raises(CodecError, match="version"):
+            Database.load(bad)
+
+    def test_codec_version_rejected(self, tmp_path):
+        database = build_database(entries=3)
+        path = tmp_path / "db.bin"
+        database.save(path, format="binary")
+        raw = bytearray(path.read_bytes())
+        raw[5] = 99  # embedded codec version varint
+        bad = tmp_path / "bad.bin"
+        bad.write_bytes(bytes(raw))
+        with pytest.raises(CodecError, match="codec version"):
+            Database.load(bad)
+
+    def test_not_a_database_file(self, tmp_path):
+        path = tmp_path / "noise.bin"
+        path.write_bytes(b"RPDBgarbage")
+        with pytest.raises(CodecError):
+            Database.load(path)
+
+
+class TestDurability:
+    @pytest.mark.parametrize("format", ["json", "binary"])
+    def test_save_fsyncs_file_before_replace(self, tmp_path,
+                                             monkeypatch, format):
+        events = []
+        real_fsync = os.fsync
+        real_replace = os.replace
+
+        def record_fsync(descriptor):
+            events.append("fsync")
+            return real_fsync(descriptor)
+
+        def record_replace(src, dst):
+            events.append("replace")
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os, "fsync", record_fsync)
+        monkeypatch.setattr(os, "replace", record_replace)
+        build_database(entries=3).save(tmp_path / "db", format=format)
+        assert "fsync" in events
+        assert events.index("fsync") < events.index("replace")
+
+    @pytest.mark.parametrize("format", ["json", "binary"])
+    def test_failed_save_leaves_no_temp_file(self, tmp_path,
+                                             monkeypatch, format):
+        def explode(descriptor):
+            raise OSError("disk gone")
+
+        monkeypatch.setattr(os, "fsync", explode)
+        database = build_database(entries=3)
+        with pytest.raises(OSError):
+            database.save(tmp_path / "db", format=format)
+        assert [p for p in tmp_path.iterdir()
+                if p.suffix == ".tmp"] == []

@@ -121,6 +121,48 @@ class TestParallel:
                              parallel=2) == \
             naive_fold(workload.sources, workload.key)
 
+    def test_parallel_identical_to_sequential_no_fallback(self):
+        # The binary shard IPC regression: parallel results must be
+        # identical to the sequential blocked fold, and must come from
+        # the actual worker pool — any codec trouble shipping shards
+        # would surface here as the fallback RuntimeWarning.
+        import warnings
+
+        from repro.workloads import BibWorkloadSpec, generate_workload
+
+        workload = generate_workload(BibWorkloadSpec(
+            entries=100, sources=3, overlap=0.5, conflict_rate=0.4,
+            null_rate=0.2, partial_author_rate=0.4, seed=23))
+        sequential = blocked_union(workload.sources, workload.key)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            parallel = blocked_union(workload.sources, workload.key,
+                                     parallel=2)
+        assert parallel == sequential
+
+    def test_shard_wire_roundtrip(self):
+        # The worker protocol in isolation: encode a shard, run the
+        # worker in-process, decode — result equals the direct fold.
+        import io
+
+        from repro.binary_codec import Decoder
+        from repro.store.bulk import (
+            _encode_shard,
+            _fold_block,
+            _merge_shard,
+        )
+
+        slabs = [
+            [data("m1", tup(A="k", B="b", p=1)),
+             data("m2", tup(A="k2", B="b", p=2))],
+            [data("n1", tup(A="k", B="b", q=3))],
+        ]
+        blocks = [slabs]
+        payload = _encode_shard(blocks, K)
+        result = _merge_shard(payload)
+        decoded = set(Decoder(io.BytesIO(result)).iter_data())
+        assert decoded == set(_fold_block(slabs, K))
+
     def test_fallback_on_broken_pool(self, monkeypatch):
         import repro.store.bulk as bulk
 

@@ -22,6 +22,7 @@ MODULES = [
     "repro.core",
     "repro.text",
     "repro.json_codec",
+    "repro.binary_codec",
     "repro.bibtex",
     "repro.web",
     "repro.baselines",
