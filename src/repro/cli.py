@@ -127,7 +127,16 @@ def _cmd_convert(args: argparse.Namespace) -> int:
 
 def _cmd_query(args: argparse.Namespace) -> int:
     dataset = _load(args.file, args.from_format)
-    _emit(run_query(args.query, dataset), args)
+    if args.index or args.parallel:
+        # Route through a Database so the query gets the planner's
+        # attribute-index probes and/or the sharded parallel executor.
+        from repro.store.database import Database
+
+        with Database(dataset, index_paths=args.index or ()) as database:
+            _emit(database.query(args.query, parallel=args.parallel),
+                  args)
+    else:
+        _emit(run_query(args.query, dataset), args)
     return 0
 
 
@@ -288,6 +297,12 @@ def _build_parser() -> argparse.ArgumentParser:
     query.add_argument("--from", dest="from_format", choices=_FORMATS)
     query.add_argument("--to", choices=_FORMATS, default="text")
     query.add_argument("-o", "--output")
+    query.add_argument("--index", action="append", metavar="PATH",
+                       help="build an attribute index over PATH before "
+                            "querying (repeatable)")
+    query.add_argument("--parallel", type=int, default=0, metavar="N",
+                       help="fan the scan phase out over N shard "
+                            "workers (0 = sequential)")
     query.set_defaults(handler=_cmd_query)
 
     sync_cmd = commands.add_parser(

@@ -27,7 +27,8 @@ from repro.query.ast import (
     Or,
     Query,
 )
-from repro.query.compile import compile_condition
+from repro.query.compile import compile_condition, invalidation_profile
+from repro.query.parallel import ParallelExecutor
 from repro.query.parser import (
     QuerySpec,
     parse_query,
@@ -47,5 +48,7 @@ __all__ = [
     "Exists", "Contains", "And", "Or", "Not",
     "parse_query", "run_query", "parse_query_spec", "QuerySpec",
     "parse_path", "evaluate_path", "iter_path", "path_exists",
-    "compile_condition", "select_data", "explain_plan", "Plan", "Probe",
+    "compile_condition", "invalidation_profile",
+    "select_data", "explain_plan", "Plan", "Probe",
+    "ParallelExecutor",
 ]

@@ -25,7 +25,7 @@ from repro.query.paths import evaluate_path, parse_path
 
 __all__ = [
     "Condition", "Eq", "Ne", "Lt", "Le", "Gt", "Ge", "Exists",
-    "Contains", "And", "Or", "Not", "Query",
+    "Contains", "And", "Or", "Not", "Query", "project_data",
 ]
 
 
@@ -43,6 +43,14 @@ class Condition:
 
     def __invert__(self) -> "Condition":
         return Not(self)
+
+    def __getstate__(self) -> dict:
+        # Memoized derivations (compiled closures, parsed steps, the
+        # invalidation profile) are unpicklable or redundant; strip them
+        # so conditions travel to parallel query workers, which rebuild
+        # them locally on first use.
+        return {key: value for key, value in self.__dict__.items()
+                if not key.startswith("_")}
 
 
 def _as_steps(path: str | Sequence[str]) -> tuple[str, ...]:
@@ -203,6 +211,25 @@ class Not(Condition):
         return not self.inner.matches(obj)
 
 
+def project_data(selected: list[Data],
+                 projection: tuple[str, ...] | None) -> list[Data]:
+    """Project tuple-valued data onto the given top-level attributes.
+
+    Non-tuple data pass through unchanged; ``projection=None`` is the
+    identity. Shared by :class:`Query` and the parallel executor.
+    """
+    if projection is None:
+        return selected
+    projected = []
+    for datum in selected:
+        if isinstance(datum.object, Tuple):
+            projected.append(
+                Data(datum.marker, datum.object.project(projection)))
+        else:
+            projected.append(datum)
+    return projected
+
+
 class Query:
     """Fluent select/where/project/order/limit over a :class:`DataSet`.
 
@@ -322,17 +349,7 @@ class Query:
         return selected
 
     def _project(self, selected: list[Data]) -> list[Data]:
-        if self._projection is None:
-            return selected
-        projected = []
-        for datum in selected:
-            if isinstance(datum.object, Tuple):
-                projected.append(
-                    Data(datum.marker,
-                         datum.object.project(self._projection)))
-            else:
-                projected.append(datum)
-        return projected
+        return project_data(selected, self._projection)
 
     def run(self, *, naive: bool = False) -> DataSet:
         """Execute and return the resulting data set (unordered).

@@ -52,7 +52,8 @@ from repro.query.ast import (
 )
 from repro.query.paths import iter_path
 
-__all__ = ["compile_condition", "nnf", "conjuncts"]
+__all__ = ["compile_condition", "nnf", "conjuncts",
+           "invalidation_profile"]
 
 #: A compiled predicate over a datum's object.
 Predicate = Callable[[SSObject], bool]
@@ -95,6 +96,58 @@ def conjuncts(condition: Condition) -> list[Condition]:
     if isinstance(condition, And):
         return conjuncts(condition.left) + conjuncts(condition.right)
     return [condition]
+
+
+#: Positive leaf kinds: each holds only when *some* value reached by
+#: its path satisfies the leaf, so a datum reaching nothing under the
+#: path can neither start nor stop matching.
+_POSITIVE_LEAVES = (Eq, Ne, Lt, Le, Gt, Ge, Contains, Exists)
+
+
+def invalidation_profile(
+        condition: Condition) -> tuple[frozenset[tuple[str, ...]], bool]:
+    """``(footprint paths, positive)`` for cache invalidation.
+
+    The footprint is every path a leaf of the condition mentions. When
+    ``positive`` is ``True`` the condition's negation normal form
+    contains only the built-in existential leaves, and a datum that
+    reaches no value under any footprint path provably cannot match —
+    so a write whose delta is disjoint from the footprint leaves the
+    query's result untouched (the re-tag rule of
+    :class:`repro.store.cache.QueryResultCache`). Negated leaves can
+    match data *lacking* a path, and user-defined condition subclasses
+    are opaque; both force ``positive=False`` (evict on every write).
+
+    Memoized on the (immutable) condition instance.
+    """
+    cached = getattr(condition, "_invalidation", None)
+    if cached is not None:
+        return cached
+    paths: set[tuple[str, ...]] = set()
+    positive = _profile_walk(nnf(condition), paths)
+    profile = (frozenset(paths), positive)
+    try:
+        object.__setattr__(condition, "_invalidation", profile)
+    except AttributeError:  # slotted user subclass
+        pass
+    return profile
+
+
+def _profile_walk(condition: Condition,
+                  paths: set[tuple[str, ...]]) -> bool:
+    if isinstance(condition, (And, Or)):
+        left = _profile_walk(condition.left, paths)
+        right = _profile_walk(condition.right, paths)
+        return left and right
+    if isinstance(condition, Not):
+        _profile_walk(condition.inner, paths)
+        return False
+    if isinstance(condition, _POSITIVE_LEAVES):
+        paths.add(condition.steps)
+        # Exact leaf kinds only: a subclass may override ``matches``
+        # with semantics the footprint argument does not cover.
+        return type(condition) in _POSITIVE_LEAVES
+    return False
 
 
 def _compile_eq(condition: Eq) -> Predicate:

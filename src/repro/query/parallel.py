@@ -1,0 +1,317 @@
+"""Sharded parallel execution of the scan/residual query phase.
+
+The planner's index path answers probe-friendly queries in microseconds,
+but a residual-heavy plan — conditions over unindexed paths, ``Or`` at
+the top, negated leaves — degenerates to a compiled full scan that is
+CPU-bound and embarrassingly parallel. :class:`ParallelExecutor` shards
+that scan:
+
+* the dataset's canonical order is materialized once and split into
+  **contiguous shards**, so a shard-local position plus the shard offset
+  is a global canonical position;
+* ``mode="process"`` ships each shard to a dedicated worker process
+  **once**, through the binary wire format of :mod:`repro.binary_codec`
+  (one value table per shard — shared substructure crosses the process
+  boundary as varint refs, and workers decode straight into interned
+  objects), then serves any number of queries over the resident shard.
+  Per query only the condition travels out (conditions strip their
+  compiled-closure memos when pickled) and match *positions* — plain
+  ints — travel back;
+* ``mode="thread"`` runs the same shard logic on a thread pool over the
+  parent's own objects: no codec, no resident workers, useful when scans
+  release the GIL rarely but fan-out cost must stay near zero;
+* ``order_by`` + ``limit`` push down per shard
+  (:func:`repro.query.planner.shard_positions`): any global top-k
+  element ranks within its own shard's stable top-k, so each worker
+  returns at most ``limit`` positions and the parent's final
+  :func:`~repro.query.planner._order_limit` pass over the merged
+  superset reproduces the sequential result exactly.
+
+Routing stays plan-aware: :meth:`ParallelExecutor.select` runs
+probe-capable plans inline (an index probe is faster than any fan-out)
+and only fans out scan-strategy plans. Like the bulk-merge pool
+(:mod:`repro.store.bulk`), *infrastructure* failures — a dead worker, a
+pipe error, codec trouble — fall back to the sequential scan with a
+:class:`RuntimeWarning`; genuine query errors raised by a worker
+propagate.
+
+The executor pins the exact data it was built from, so a
+:class:`~repro.store.database.Database` rebuilds it per generation: all
+queries served by one executor see one immutable snapshot.
+"""
+
+from __future__ import annotations
+
+import io
+import pickle
+import threading
+import warnings
+from typing import TYPE_CHECKING, Sequence
+
+from repro.binary_codec import Decoder, Encoder
+from repro.core.data import Data, DataSet
+from repro.core.errors import CodecError, QueryError
+from repro.query.ast import Condition
+from repro.query.planner import (
+    _order_limit,
+    explain_plan,
+    select_data,
+    shard_positions,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.store.attr_index import AttrIndex
+
+__all__ = ["ParallelExecutor"]
+
+#: Infrastructure failures that trigger the sequential fallback.
+_INFRA_ERRORS = (CodecError, OSError, EOFError, pickle.PicklingError,
+                 ValueError, ImportError, NotImplementedError)
+
+
+def _encode_shard(shard: Sequence[Data]) -> bytes:
+    """One shard as wire bytes: a count-prefixed run of data with a
+    single value table."""
+    buffer = io.BytesIO()
+    encoder = Encoder(buffer)
+    encoder.write_uvarint(len(shard))
+    for datum in shard:
+        encoder.write_datum(datum)
+    encoder.flush()
+    return buffer.getvalue()
+
+
+def _shard_server(connection) -> None:
+    """Worker process main loop: hold one decoded shard, answer queries.
+
+    Protocol (parent → worker): ``("data", payload)`` exactly once, then
+    any number of ``("query", condition, order, limit)``, finally
+    ``("stop",)``. Every request gets one reply: ``("ok", result)`` or
+    ``("err", type_name, message)``.
+    """
+    shard: list[Data] = []
+    try:
+        while True:
+            try:
+                message = connection.recv()
+            except (EOFError, OSError):
+                return
+            kind = message[0]
+            if kind == "stop":
+                return
+            try:
+                if kind == "data":
+                    decoder = Decoder(io.BytesIO(message[1]), intern=True)
+                    shard = [decoder.read_datum()
+                             for _ in range(decoder.read_uvarint())]
+                    connection.send(("ok", len(shard)))
+                elif kind == "query":
+                    _, condition, order, limit = message
+                    positions = shard_positions(shard, condition,
+                                                order, limit)
+                    connection.send(("ok", positions))
+                else:
+                    connection.send(("err", "ValueError",
+                                     f"unknown request {kind!r}"))
+            except Exception as error:  # noqa: BLE001 - shipped to parent
+                connection.send(
+                    ("err", type(error).__name__, str(error)))
+    finally:
+        connection.close()
+
+
+class ParallelExecutor:
+    """A pool of shard workers serving one immutable dataset snapshot.
+
+    ``workers`` bounds the shard count (small datasets use fewer);
+    ``index`` enables plan-aware routing (probe plans run inline);
+    ``mode`` is ``"process"`` (resident shard servers over the binary
+    codec) or ``"thread"`` (shared-memory thread pool). The executor is
+    thread-safe: concurrent :meth:`select` calls serialize on the pipe
+    fan-out, which is cheap next to the sharded work itself.
+    """
+
+    def __init__(self, dataset: DataSet, *, workers: int,
+                 index: "AttrIndex | None" = None,
+                 mode: str = "process", timeout: float = 120.0):
+        if workers < 1:
+            raise QueryError(f"workers must be >= 1, got {workers}")
+        if mode not in ("process", "thread"):
+            raise QueryError(f"unknown parallel mode {mode!r}")
+        self._dataset = dataset
+        self._index = index
+        self._mode = mode
+        self._timeout = timeout
+        self._order: list[Data] = list(dataset)
+        self._lock = threading.Lock()
+        self._closed = False
+        self._processes: list = []
+        self._pipes: list = []
+        self._offsets: list[int] = []
+        self._shards: list[list[Data]] = []
+        size = len(self._order)
+        count = max(1, min(workers, size)) if size else 1
+        step = -(-size // count) if size else 1
+        offset = 0
+        while offset < size:
+            self._shards.append(self._order[offset:offset + step])
+            self._offsets.append(offset)
+            offset += step
+        if not self._shards:
+            self._shards = [[]]
+            self._offsets = [0]
+        if mode == "process":
+            self._start_processes()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def _start_processes(self) -> None:
+        """Spawn one resident shard server per shard; ship shards once.
+
+        Any failure here tears the half-built pool down and degrades the
+        executor to thread mode with a :class:`RuntimeWarning` — callers
+        never see a broken pool.
+        """
+        import multiprocessing
+
+        try:
+            for shard in self._shards:
+                parent, child = multiprocessing.Pipe()
+                process = multiprocessing.Process(
+                    target=_shard_server, args=(child,), daemon=True)
+                process.start()
+                child.close()
+                self._processes.append(process)
+                self._pipes.append(parent)
+            for pipe, shard in zip(self._pipes, self._shards):
+                pipe.send(("data", _encode_shard(shard)))
+            for pipe in self._pipes:
+                reply = self._receive(pipe)
+                if reply[0] != "ok":
+                    raise OSError(f"shard load failed: {reply!r}")
+        except _INFRA_ERRORS as error:
+            self._teardown()
+            self._mode = "thread"
+            warnings.warn(
+                f"parallel query workers unavailable "
+                f"({type(error).__name__}: {error}); "
+                f"degrading to thread mode",
+                RuntimeWarning, stacklevel=3)
+
+    def _receive(self, pipe):
+        if not pipe.poll(self._timeout):
+            raise OSError("shard worker timed out")
+        return pipe.recv()
+
+    def _teardown(self) -> None:
+        for pipe in self._pipes:
+            try:
+                pipe.send(("stop",))
+            except (OSError, ValueError, BrokenPipeError):
+                pass
+            try:
+                pipe.close()
+            except OSError:
+                pass
+        for process in self._processes:
+            process.join(timeout=1.0)
+            if process.is_alive():
+                process.terminate()
+        self._processes = []
+        self._pipes = []
+
+    def close(self) -> None:
+        """Stop the workers; the executor is unusable afterwards."""
+        with self._lock:
+            if not self._closed:
+                self._teardown()
+                self._closed = True
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def mode(self) -> str:
+        return self._mode
+
+    @property
+    def workers(self) -> int:
+        return len(self._shards)
+
+    # -- execution -------------------------------------------------------------
+
+    def select(self, condition: Condition | None,
+               order: tuple[Sequence[str], bool] | None = None,
+               limit: int | None = None) -> list[Data]:
+        """Plan-aware parallel selection; result equals
+        :func:`~repro.query.planner.select_data` exactly.
+
+        Probe-capable plans (and trivially small datasets) run inline;
+        scan-strategy plans fan out across the shard workers.
+        """
+        if self._closed:
+            raise QueryError("executor is closed")
+        plan = explain_plan(condition, self._index, order, limit)
+        if plan.strategy == "index" or len(self._shards) < 2:
+            return select_data(self._dataset, condition, self._index,
+                               order, limit)
+        merged = self._fanout(condition, order, limit)
+        if merged is None:
+            return select_data(self._dataset, condition, self._index,
+                               order, limit)
+        return _order_limit(merged, order, limit)
+
+    def _fanout(self, condition, order, limit) -> list[Data] | None:
+        """Run the sharded scan; ``None`` means "fall back sequential".
+
+        The merged survivor list is in global canonical order: shards
+        are contiguous canonical slices and each worker returns
+        ascending shard-local positions.
+        """
+        if self._mode == "thread":
+            return self._fanout_threads(condition, order, limit)
+        with self._lock:
+            if not self._pipes:
+                return self._fanout_threads(condition, order, limit)
+            try:
+                for pipe in self._pipes:
+                    pipe.send(("query", condition, order, limit))
+                # Drain every pipe before acting on failures, so one
+                # erroring shard cannot desynchronize the others.
+                replies = [self._receive(pipe) for pipe in self._pipes]
+                merged: list[Data] = []
+                for reply, offset in zip(replies, self._offsets):
+                    if reply[0] != "ok":
+                        _, name, message = reply
+                        if name == "QueryError":
+                            raise QueryError(message)
+                        raise RuntimeError(
+                            f"shard worker failed: {name}: {message}")
+                    merged.extend(self._order[offset + position]
+                                  for position in reply[1])
+                return merged
+            except _INFRA_ERRORS as error:
+                self._teardown()
+                self._mode = "thread"
+                warnings.warn(
+                    f"parallel query fan-out failed "
+                    f"({type(error).__name__}: {error}); "
+                    f"falling back to sequential scan",
+                    RuntimeWarning, stacklevel=3)
+                return None
+
+    def _fanout_threads(self, condition, order, limit) -> list[Data]:
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=len(self._shards)) as pool:
+            futures = [pool.submit(shard_positions, shard, condition,
+                                   order, limit)
+                       for shard in self._shards]
+            merged: list[Data] = []
+            for future, offset in zip(futures, self._offsets):
+                merged.extend(self._order[offset + position]
+                              for position in future.result())
+        return merged

@@ -11,7 +11,10 @@ The paper defers implementation; this package provides it:
   :class:`~repro.store.bulk.IncrementalUnion` — the k-way
   signature-blocked (optionally parallel) bulk-merge pipeline;
 * :class:`~repro.store.database.Database` — an updatable, file-backed
-  collection with incrementally maintained marker and key indexes.
+  collection with incrementally maintained marker and key indexes,
+  MVCC generation snapshots (:class:`~repro.store.database.DatabaseView`
+  pins one generation for lock-free reads) and an epoch-invalidated
+  query-result cache (:class:`~repro.store.cache.QueryResultCache`).
 """
 
 from repro.store.attr_index import AttrIndex
@@ -21,7 +24,8 @@ from repro.store.bulk import (
     blocked_union,
     fold_union,
 )
-from repro.store.database import Database
+from repro.store.cache import LRUCache, QueryResultCache
+from repro.store.database import Database, DatabaseView
 from repro.store.index import (
     NEVER_MATCHES,
     UNINDEXABLE,
@@ -39,5 +43,5 @@ __all__ = [
     "KeyIndex", "signature", "NEVER_MATCHES", "UNINDEXABLE",
     "indexed_union", "indexed_intersection", "indexed_difference",
     "blocked_union", "fold_union", "IncrementalUnion", "UnionDiff",
-    "Database",
+    "Database", "DatabaseView", "LRUCache", "QueryResultCache",
 ]

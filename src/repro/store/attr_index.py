@@ -162,6 +162,88 @@ class AttrIndex:
                     if not entries:
                         del postings[value]
 
+    # -- copy-on-write ---------------------------------------------------------
+
+    def with_path(self, path: str | Sequence[str],
+                  data: Iterable[Data] = ()) -> "AttrIndex":
+        """A new index additionally covering ``path``; ``self`` is
+        untouched and the existing paths' structures are shared.
+
+        The non-mutating counterpart of :meth:`add_path`, for stores
+        that publish immutable state records.
+        """
+        steps = _as_steps(path)
+        if steps in self._postings:
+            return self
+        index = AttrIndex.__new__(AttrIndex)
+        index._postings = dict(self._postings)
+        index._exists = dict(self._exists)
+        backfill: dict[SSObject, set[Data]] = {}
+        exists: set[Data] = set()
+        for datum in data:
+            values = set(iter_path(datum.object, steps, spread=True))
+            if values:
+                exists.add(datum)
+                for value in values:
+                    backfill.setdefault(value, set()).add(datum)
+        index._postings[steps] = backfill
+        index._exists[steps] = exists
+        return index
+
+    def patched(self, removed: Iterable[Data], added: Iterable[Data],
+                ) -> tuple["AttrIndex", frozenset[Steps]]:
+        """``(new index, touched paths)`` after a batch delta; ``self``
+        is untouched.
+
+        Structures for paths no delta datum reaches are shared with the
+        old index; a touched path gets a shallow-copied postings map in
+        which only the posting sets of affected values (and the exists
+        set) are rebuilt. The touched-path set is exactly the invalidation
+        information :meth:`repro.store.cache.QueryResultCache.commit`
+        needs, computed as a by-product.
+        """
+        removed = list(removed)
+        added = list(added)
+        index = AttrIndex.__new__(AttrIndex)
+        index._postings = dict(self._postings)
+        index._exists = dict(self._exists)
+        touched: set[Steps] = set()
+        for steps in self._postings:
+            rem_values: dict[Data, set[SSObject]] = {}
+            add_values: dict[Data, set[SSObject]] = {}
+            for datum in removed:
+                values = set(iter_path(datum.object, steps, spread=True))
+                if values:
+                    rem_values[datum] = values
+            for datum in added:
+                values = set(iter_path(datum.object, steps, spread=True))
+                if values:
+                    add_values[datum] = values
+            if not rem_values and not add_values:
+                continue
+            touched.add(steps)
+            postings = dict(self._postings[steps])
+            affected: dict[SSObject, tuple[set[Data], set[Data]]] = {}
+            for datum, values in rem_values.items():
+                for value in values:
+                    affected.setdefault(value, (set(), set()))[0].add(datum)
+            for datum, values in add_values.items():
+                for value in values:
+                    affected.setdefault(value, (set(), set()))[1].add(datum)
+            for value, (rem, add) in affected.items():
+                base = postings.get(value, frozenset())
+                rebuilt = (set(base) - rem) | add
+                if rebuilt:
+                    postings[value] = rebuilt
+                else:
+                    postings.pop(value, None)
+            exists = set(self._exists[steps])
+            exists.difference_update(rem_values)
+            exists.update(add_values)
+            index._postings[steps] = postings
+            index._exists[steps] = exists
+        return index, frozenset(touched)
+
     # -- probes ----------------------------------------------------------------
 
     def equality_candidates(self, steps: Steps,

@@ -4,9 +4,23 @@ The paper's §4 names "how to implement the semistructured data model"
 as open work; this module is that implementation at library scale:
 
 * a :class:`Database` holds one :class:`~repro.core.data.DataSet` plus a
-  marker index and lazily built, *incrementally maintained* key indexes
-  — ``insert``/``remove``/``merge_in`` patch every live
-  :class:`~repro.store.index.KeyIndex` instead of invalidating it;
+  marker index and lazily built key indexes, all published together as
+  one immutable **state record** (:class:`_DBState`) tagged with a
+  monotonically increasing *generation*;
+* **MVCC-style concurrency**: every mutation
+  (``insert``/``remove``/``update``/``set_attribute``/``merge_in``)
+  serializes behind a writer lock, patches the indexes copy-on-write
+  and publishes the next generation by swapping one attribute — readers
+  never lock, never block, and never observe a torn write, because a
+  single read of ``self._state`` pins a complete consistent view
+  (:meth:`Database.view` hands that pin out explicitly for multi-query
+  reads at one generation);
+* an **epoch-invalidated query-result cache**
+  (:class:`~repro.store.cache.QueryResultCache`): textual query results
+  are cached per generation, and a write whose delta is disjoint from a
+  cached query's footprint paths re-tags the entry to the new
+  generation instead of evicting it, so read-mostly workloads keep
+  their cache across unrelated writes;
 * content-addressed updates: ``insert``/``remove`` return nothing and
   mutate the database, but all returned data values stay immutable;
 * durability through atomic file replacement — write to a temp file,
@@ -23,6 +37,11 @@ as open work; this module is that implementation at library scale:
   :class:`~repro.store.bulk.UnionDiff` against the maintained index
   (optionally through the parallel blocked pipeline), so an ingest
   touches only the data the ``∪K`` step actually changed.
+
+The memory-model assumption is CPython's: publishing a fully built
+state record by assigning one attribute is atomic under the GIL, and
+every reader works off the single record it read first. DESIGN.md
+("Concurrency and caching") spells out the protocol.
 """
 
 from __future__ import annotations
@@ -31,6 +50,7 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
 from pathlib import Path
 from typing import IO, Callable, Hashable, Iterable, Iterator
 
@@ -44,9 +64,10 @@ from repro.core.objects import Marker, SSObject, Tuple
 from repro.json_codec.codec import decode_dataset, encode_dataset
 from repro.store.attr_index import AttrIndex
 from repro.store.bulk import blocked_union, union_diff
+from repro.store.cache import LRUCache, QueryResultCache
 from repro.store.index import KeyIndex
 
-__all__ = ["Database"]
+__all__ = ["Database", "DatabaseView"]
 
 #: Format marker written into every JSON database file.
 _FORMAT = "repro-database"
@@ -68,6 +89,95 @@ _SIG_TUPLE = 1
 #: predicates live on the cached condition objects).
 _QUERY_CACHE_SIZE = 128
 
+#: Default capacity of the per-generation query-result cache.
+_RESULT_CACHE_SIZE = 256
+
+
+class _DBState:
+    """One published generation: data plus every derived index.
+
+    Instances are immutable once published (the only post-publish write
+    is the benign lazy :meth:`dataset` memo); a single read of
+    ``Database._state`` therefore pins a complete, mutually consistent
+    view of the store.
+    """
+
+    __slots__ = ("generation", "data", "marker_index", "key_indexes",
+                 "attr_index", "_dataset")
+
+    def __init__(self, generation: int, data: frozenset[Data],
+                 marker_index: dict[Marker, set[Data]],
+                 key_indexes: dict[frozenset[str], KeyIndex],
+                 attr_index: AttrIndex,
+                 dataset: DataSet | None = None):
+        self.generation = generation
+        self.data = data
+        self.marker_index = marker_index
+        self.key_indexes = key_indexes
+        self.attr_index = attr_index
+        self._dataset = dataset
+
+    def dataset(self) -> DataSet:
+        """The frozen :class:`DataSet`, built once per generation.
+
+        The memo assignment races benignly: two readers may both build
+        structurally equal sets, one wins, both are correct.
+        """
+        cached = self._dataset
+        if cached is None:
+            cached = DataSet(self.data)
+            self._dataset = cached
+        return cached
+
+    def with_key_indexes(self, key_indexes) -> "_DBState":
+        """Same generation, one more lazily built key index."""
+        return _DBState(self.generation, self.data, self.marker_index,
+                        key_indexes, self.attr_index, self._dataset)
+
+    def with_attr_index(self, attr_index: AttrIndex) -> "_DBState":
+        """Same generation, one more indexed attribute path."""
+        return _DBState(self.generation, self.data, self.marker_index,
+                        self.key_indexes, attr_index, self._dataset)
+
+
+def _build_marker_index(data: Iterable[Data]) -> dict[Marker, set[Data]]:
+    index: dict[Marker, set[Data]] = {}
+    for datum in data:
+        for marker in datum.markers:
+            index.setdefault(marker, set()).add(datum)
+    return index
+
+
+def _patched_markers(marker_index: dict[Marker, set[Data]],
+                     removed: Iterable[Data],
+                     added: Iterable[Data]) -> dict[Marker, set[Data]]:
+    """Copy-on-write marker-index patch: the outer dict is shallow
+    copied, per-marker sets are copied only when the delta touches
+    them."""
+    index = dict(marker_index)
+    copied: set[Marker] = set()
+    for datum in removed:
+        for marker in datum.markers:
+            entries = index.get(marker)
+            if entries is None:
+                continue
+            if marker not in copied:
+                entries = set(entries)
+                index[marker] = entries
+                copied.add(marker)
+            entries.discard(datum)
+            if not entries:
+                del index[marker]
+    for datum in added:
+        for marker in datum.markers:
+            entries = index.get(marker)
+            if entries is None or marker not in copied:
+                entries = set(entries) if entries is not None else set()
+                index[marker] = entries
+                copied.add(marker)
+            entries.add(datum)
+    return index
+
 
 class Database:
     """An updatable, persistable collection of semistructured data.
@@ -79,22 +189,38 @@ class Database:
     the identity-keyed memo tables. Interning preserves equality, so
     lookups and results are unchanged — only faster. Pass
     ``intern_objects=False`` to store data exactly as given.
+
+    The store is safe for concurrent use: reads (queries, lookups,
+    snapshots, views) are lock-free against the last published
+    generation, writes serialize behind an internal writer lock.
+    ``result_cache_size`` bounds the epoch-invalidated query-result
+    cache (``0`` disables it).
     """
 
     def __init__(self, data: Iterable[Data] = (), *,
                  intern_objects: bool = True,
-                 index_paths: Iterable[str] = ()):
+                 index_paths: Iterable[str] = (),
+                 result_cache_size: int = _RESULT_CACHE_SIZE):
         self._intern = intern_objects
-        self._data: set[Data] = set(
-            self._canonical(datum) for datum in data)
-        self._marker_index: dict[Marker, set[Data]] = {}
-        self._key_indexes: dict[frozenset[str], KeyIndex] = {}
-        self._attr_index = AttrIndex(index_paths)
-        self._snapshot_cache: DataSet | None = None
-        self._query_cache: dict[str, object] = {}
-        for datum in self._data:
-            self._index_markers(datum)
-            self._attr_index.add(datum)
+        initial = set(self._canonical(datum) for datum in data)
+        state = _DBState(
+            generation=0,
+            data=frozenset(initial),
+            marker_index=_build_marker_index(initial),
+            key_indexes={},
+            attr_index=AttrIndex(index_paths, initial),
+        )
+        self._init_runtime(state, result_cache_size)
+
+    def _init_runtime(self, state: _DBState,
+                      result_cache_size: int = _RESULT_CACHE_SIZE) -> None:
+        """Attach the mutable runtime (locks, caches) around a state."""
+        self._lock = threading.RLock()
+        self._parsed_cache = LRUCache(_QUERY_CACHE_SIZE)
+        self._results = QueryResultCache(result_cache_size)
+        self._executor_lock = threading.Lock()
+        self._executor_slot: tuple | None = None
+        self._state = state
 
     def _canonical(self, datum: Data) -> Data:
         return intern_data(datum) if self._intern else datum
@@ -102,66 +228,120 @@ class Database:
     # -- basic collection protocol -------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._data)
+        return len(self._state.data)
 
     def __contains__(self, datum: object) -> bool:
-        return datum in self._data
+        return datum in self._state.data
 
     def __iter__(self) -> Iterator[Data]:
         return iter(self.snapshot())
 
+    @property
+    def generation(self) -> int:
+        """The published generation; bumped by every effective write."""
+        return self._state.generation
+
     def snapshot(self) -> DataSet:
         """An immutable view of the current contents.
 
-        Snapshots are cached between mutations, so read-heavy
-        workloads (the planned query path) pay the O(n) freeze once.
+        One :class:`DataSet` is built per generation, so read-heavy
+        workloads pay the O(n) freeze once per write batch.
         """
-        if self._snapshot_cache is None:
-            self._snapshot_cache = DataSet(self._data)
-        return self._snapshot_cache
+        return self._state.dataset()
+
+    def view(self) -> "DatabaseView":
+        """Pin the current generation for a consistent multi-read.
+
+        The view serves queries, lookups and snapshots against exactly
+        the state published at creation time, unaffected by concurrent
+        writers — the cheap MVCC read transaction.
+        """
+        return DatabaseView(self, self._state)
+
+    # -- internal state for compatibility helpers ----------------------------
+
+    @property
+    def _data(self) -> frozenset[Data]:
+        return self._state.data
+
+    @property
+    def _marker_index(self) -> dict[Marker, set[Data]]:
+        return self._state.marker_index
+
+    @property
+    def _key_indexes(self) -> dict[frozenset[str], KeyIndex]:
+        return self._state.key_indexes
+
+    @property
+    def _attr_index(self) -> AttrIndex:
+        return self._state.attr_index
 
     # -- updates ---------------------------------------------------------------
+
+    def _apply(self, removed: Iterable[Data], added: Iterable[Data],
+               ) -> tuple[tuple[Data, ...], tuple[Data, ...]]:
+        """Apply one write batch; returns the net ``(removed, added)``.
+
+        Must run under the writer lock. The next state is assembled
+        copy-on-write off the current one, the result cache commits the
+        epoch step, and only then is the new generation published — a
+        reader that pins the old state mid-write keeps a fully
+        consistent view, and no reader at the new generation can ever
+        hit a stale cache entry.
+        """
+        state = self._state
+        added_set = set(added)
+        removed_set = set(removed)
+        delta_removed = tuple(datum for datum in removed_set
+                              if datum in state.data
+                              and datum not in added_set)
+        delta_added = tuple(datum for datum in added_set
+                            if datum not in state.data)
+        if not delta_removed and not delta_added:
+            return (), ()
+        new_data = frozenset(
+            (state.data - frozenset(delta_removed)) | frozenset(delta_added))
+        attr_index, touched = state.attr_index.patched(
+            delta_removed, delta_added)
+        next_state = _DBState(
+            generation=state.generation + 1,
+            data=new_data,
+            marker_index=_patched_markers(
+                state.marker_index, delta_removed, delta_added),
+            key_indexes={
+                key: index.patched(delta_removed, delta_added)
+                for key, index in state.key_indexes.items()},
+            attr_index=attr_index,
+        )
+        self._results.commit(state.generation, next_state.generation,
+                             delta_removed + delta_added, touched,
+                             attr_index.paths)
+        self._state = next_state
+        return delta_removed, delta_added
 
     def insert(self, datum: Data) -> bool:
         """Insert a datum; returns ``False`` when already present."""
         datum = self._canonical(datum)
-        if datum in self._data:
-            return False
-        self._data.add(datum)
-        self._snapshot_cache = None
-        self._index_markers(datum)
-        self._attr_index.add(datum)
-        for index in self._key_indexes.values():
-            index.add(datum)
-        return True
+        with self._lock:
+            _, added = self._apply((), (datum,))
+            return bool(added)
 
     def insert_all(self, data: Iterable[Data]) -> int:
-        """Insert many; returns how many were new."""
-        return sum(1 for datum in data if self.insert(datum))
+        """Insert many; returns how many were new.
+
+        One batch, one generation: the whole insert publishes a single
+        new state and pays cache invalidation once, not per datum.
+        """
+        batch = [self._canonical(datum) for datum in data]
+        with self._lock:
+            _, added = self._apply((), batch)
+            return len(added)
 
     def remove(self, datum: Data) -> bool:
         """Remove a datum; returns ``False`` when absent."""
-        if datum not in self._data:
-            return False
-        self._data.discard(datum)
-        self._snapshot_cache = None
-        self._unindex_markers(datum)
-        self._attr_index.remove(datum)
-        for index in self._key_indexes.values():
-            index.remove(datum)
-        return True
-
-    def _index_markers(self, datum: Data) -> None:
-        for marker in datum.markers:
-            self._marker_index.setdefault(marker, set()).add(datum)
-
-    def _unindex_markers(self, datum: Data) -> None:
-        for marker in datum.markers:
-            entries = self._marker_index.get(marker)
-            if entries is not None:
-                entries.discard(datum)
-                if not entries:
-                    del self._marker_index[marker]
+        with self._lock:
+            removed, _ = self._apply((datum,), ())
+            return bool(removed)
 
     def update(self, marker: Marker | str,
                transform: "Callable[[Data], Data]") -> int:
@@ -169,20 +349,26 @@ class Database:
 
         Returns how many data were actually changed. ``transform``
         receives each datum and returns its replacement (data are
-        immutable, so updates are replacements).
+        immutable, so updates are replacements). The whole rewrite is
+        one atomic batch: readers observe either every replacement or
+        none.
         """
-        targets = list(self.by_marker(marker))
-        changed = 0
-        for datum in targets:
-            replacement = transform(datum)
-            if not isinstance(replacement, Data):
-                raise CodecError(
-                    "update transform must return a Data value")
-            if replacement != datum:
-                self.remove(datum)
-                self.insert(replacement)
-                changed += 1
-        return changed
+        with self._lock:
+            targets = list(self.by_marker(marker))
+            removals: list[Data] = []
+            additions: list[Data] = []
+            changed = 0
+            for datum in targets:
+                replacement = transform(datum)
+                if not isinstance(replacement, Data):
+                    raise CodecError(
+                        "update transform must return a Data value")
+                if replacement != datum:
+                    removals.append(datum)
+                    additions.append(self._canonical(replacement))
+                    changed += 1
+            self._apply(removals, additions)
+            return changed
 
     def set_attribute(self, marker: Marker | str, label: str,
                       value: SSObject) -> int:
@@ -206,14 +392,24 @@ class Database:
         """All data whose marker part mentions ``marker``."""
         if isinstance(marker, str):
             marker = Marker(marker)
-        return DataSet(self._marker_index.get(marker, set()))
+        return DataSet(self._state.marker_index.get(marker, set()))
 
     def _key_index(self, key: frozenset[str]) -> KeyIndex:
-        index = self._key_indexes.get(key)
-        if index is None:
-            index = KeyIndex(self._data, key)
-            self._key_indexes[key] = index
-        return index
+        state = self._state
+        index = state.key_indexes.get(key)
+        if index is not None:
+            return index
+        with self._lock:
+            # Re-check: another thread may have built it meanwhile.
+            state = self._state
+            index = state.key_indexes.get(key)
+            if index is None:
+                index = KeyIndex(state.data, key)
+                key_indexes = dict(state.key_indexes)
+                key_indexes[key] = index
+                # Same generation: adding an index changes no result.
+                self._state = state.with_key_indexes(key_indexes)
+            return index
 
     def compatible_with(self, datum: Data,
                         key: Iterable[str]) -> DataSet:
@@ -232,7 +428,7 @@ class Database:
     @property
     def indexed_paths(self) -> frozenset[tuple[str, ...]]:
         """The attribute paths the query planner can probe."""
-        return self._attr_index.paths
+        return self._state.attr_index.paths
 
     def create_index(self, path: str) -> None:
         """Start indexing an attribute path (backfilled immediately).
@@ -242,35 +438,132 @@ class Database:
         instead of scanning; ``insert``/``remove``/``update``/
         ``merge_in`` keep it current incrementally.
         """
-        self._attr_index.add_path(path, self._data)
+        with self._lock:
+            state = self._state
+            attr_index = state.attr_index.with_path(path, state.data)
+            if attr_index is not state.attr_index:
+                # Same generation: an extra index changes plans, never
+                # results, so cached entries stay valid.
+                self._state = state.with_attr_index(attr_index)
+
+    # -- queries -----------------------------------------------------------------
 
     def _parsed(self, text: str):
-        spec = self._query_cache.get(text)
-        if spec is None:
+        def parse():
             from repro.query.parser import parse_query_spec
 
-            spec = parse_query_spec(text)
-            if len(self._query_cache) >= _QUERY_CACHE_SIZE:
-                self._query_cache.pop(next(iter(self._query_cache)))
-            self._query_cache[text] = spec
-        return spec
+            return parse_query_spec(text)
 
-    def query(self, text: str, *, naive: bool = False) -> DataSet:
+        return self._parsed_cache.get_or_add(text, parse)
+
+    def _cache_profile(self, spec) -> tuple[frozenset, bool]:
+        """``(footprint, safe)`` of a parsed query for the result cache.
+
+        A ``select`` without a ``where`` matches everything — every
+        write changes it, so it is never re-taggable.
+        """
+        if spec.condition is None:
+            return frozenset(), False
+        from repro.query.compile import invalidation_profile
+
+        return invalidation_profile(spec.condition)
+
+    def _query_at(self, state: _DBState, text: str, *,
+                  naive: bool = False, parallel: int = 0,
+                  parallel_mode: str = "process") -> DataSet:
+        """Execute a textual query against one pinned state."""
+        spec = self._parsed(text)
+        if naive:
+            # The definitional oracle: no cache, no planner, no pool.
+            return spec.query(state.dataset(),
+                              index=state.attr_index).run(naive=True)
+        cached = self._results.lookup(text, state.generation)
+        if cached is not None:
+            return cached
+        if parallel:
+            from repro.query.ast import project_data
+
+            executor = self._executor(state, parallel, parallel_mode)
+            selected = executor.select(spec.condition,
+                                       spec.order_steps(), spec.limit)
+            result = DataSet(project_data(selected, spec.projection))
+        else:
+            result = spec.query(state.dataset(),
+                                index=state.attr_index).run()
+        paths, safe = self._cache_profile(spec)
+        self._results.store(text, state.generation, result, paths, safe)
+        return result
+
+    def query(self, text: str, *, naive: bool = False,
+              parallel: int = 0,
+              parallel_mode: str = "process") -> DataSet:
         """Run a textual query (``select ... where ...``) on the
         current contents.
 
-        Parsed queries are cached by text, and execution routes through
-        the planner with this database's attribute index attached.
-        ``naive=True`` forces the definitional full scan (the oracle).
+        Parsed queries are cached by text (a true LRU), results are
+        cached per generation with epoch invalidation, and execution
+        routes through the planner with this database's attribute index
+        attached. ``parallel=N`` fans the scan/residual phase of
+        scan-strategy plans out over ``N`` shard workers
+        (:class:`repro.query.parallel.ParallelExecutor`;
+        ``parallel_mode`` picks ``"process"`` or ``"thread"``).
+        ``naive=True`` forces the definitional full scan (the oracle),
+        bypassing every cache.
         """
-        query = self._parsed(text).query(self.snapshot(),
-                                         index=self._attr_index)
-        return query.run(naive=naive)
+        return self._query_at(self._state, text, naive=naive,
+                              parallel=parallel,
+                              parallel_mode=parallel_mode)
 
     def explain(self, text: str):
         """The :class:`~repro.query.planner.Plan` for a textual query."""
-        return self._parsed(text).query(self.snapshot(),
-                                        index=self._attr_index).explain()
+        state = self._state
+        return self._parsed(text).query(state.dataset(),
+                                        index=state.attr_index).explain()
+
+    def cache_stats(self) -> dict[str, int]:
+        """Result-cache counters (hits/misses/retags/evictions)."""
+        return self._results.stats()
+
+    # -- parallel execution ------------------------------------------------------
+
+    def _executor(self, state: _DBState, workers: int, mode: str):
+        """The shard-worker pool for one generation, built on demand.
+
+        One executor serves one generation: a write retires the pool
+        (its shards are stale) and the next parallel query rebuilds it
+        from the new state.
+        """
+        from repro.query.parallel import ParallelExecutor
+
+        with self._executor_lock:
+            slot = self._executor_slot
+            if slot is not None:
+                generation, slot_workers, slot_mode, executor = slot
+                if (generation == state.generation
+                        and slot_workers == workers
+                        and slot_mode == mode):
+                    return executor
+                executor.close()
+                self._executor_slot = None
+            executor = ParallelExecutor(
+                state.dataset(), workers=workers,
+                index=state.attr_index, mode=mode)
+            self._executor_slot = (state.generation, workers, mode,
+                                   executor)
+            return executor
+
+    def close(self) -> None:
+        """Release the parallel worker pool, if one is running."""
+        with self._executor_lock:
+            if self._executor_slot is not None:
+                self._executor_slot[3].close()
+                self._executor_slot = None
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- merging ------------------------------------------------------------------
 
@@ -281,8 +574,10 @@ class Database:
 
         The step is applied as a net diff: only the data the ``∪K``
         actually replaced or introduced touch the marker index and the
-        maintained key indexes. ``parallel > 0`` routes the union
-        through the blocked pipeline's worker pool
+        maintained key indexes, and the whole step is one atomic batch
+        — concurrent readers see the store before or after the merge,
+        never partway. ``parallel > 0`` routes the union through the
+        blocked pipeline's worker pool
         (:func:`repro.store.bulk.blocked_union`); results are identical.
         """
         checked = check_key(key)
@@ -290,31 +585,21 @@ class Database:
             source = DataSet(intern_data(datum) for datum in source)
         elif not isinstance(source, DataSet):
             source = DataSet(source)
-        if parallel:
-            merged = set(blocked_union([self.snapshot(), source], checked,
-                                       parallel=parallel))
-            removed = tuple(d for d in self._data if d not in merged)
-            added = tuple(d for d in merged if d not in self._data)
-        else:
-            diff = union_diff(self._data, self._key_index(checked),
-                              source, checked)
-            removed, added = diff.removed, diff.added
-        for datum in removed:
-            self._data.discard(datum)
-            self._unindex_markers(datum)
-            self._attr_index.remove(datum)
-            for index in self._key_indexes.values():
-                index.remove(datum)
-        for datum in added:
-            datum = self._canonical(datum)
-            self._data.add(datum)
-            self._index_markers(datum)
-            self._attr_index.add(datum)
-            for index in self._key_indexes.values():
-                index.add(datum)
-        if removed or added:
-            self._snapshot_cache = None
-        return len(self._data)
+        with self._lock:
+            data = self._state.data
+            if parallel:
+                merged = set(blocked_union(
+                    [self.snapshot(), source], checked,
+                    parallel=parallel))
+                removed = tuple(d for d in data if d not in merged)
+                added = tuple(d for d in merged if d not in data)
+            else:
+                diff = union_diff(data, self._key_index(checked),
+                                  source, checked)
+                removed, added = diff.removed, diff.added
+            self._apply(removed,
+                        tuple(self._canonical(datum) for datum in added))
+            return len(self._state.data)
 
     # -- persistence -----------------------------------------------------------------
 
@@ -325,7 +610,9 @@ class Database:
         flushed and fsynced, and only then ``os.replace``d over the
         target (the directory entry is fsynced too on POSIX) — a crash
         at any point leaves either the old file or the new one, never a
-        torn or empty write.
+        torn or empty write. The written contents are one generation:
+        the state is pinned once, so a concurrent writer cannot tear
+        the file's dataset/index sections apart.
 
         ``format="binary"`` writes the :mod:`repro.binary_codec`
         container: the dataset streamed through a deduplicating value
@@ -337,6 +624,7 @@ class Database:
             raise CodecError(
                 f"unknown database format {format!r} "
                 f"(expected 'json' or 'binary')")
+        state = self._state
         target = Path(path)
         target.parent.mkdir(parents=True, exist_ok=True)
         descriptor, temp_name = tempfile.mkstemp(
@@ -344,14 +632,14 @@ class Database:
         try:
             if format == "binary":
                 with os.fdopen(descriptor, "wb") as handle:
-                    self._write_binary(handle)
+                    self._write_binary(handle, state)
                     handle.flush()
                     os.fsync(handle.fileno())
             else:
                 payload = {
                     "format": _FORMAT,
                     "version": _VERSION,
-                    "dataset": encode_dataset(self.snapshot()),
+                    "dataset": encode_dataset(state.dataset()),
                 }
                 with os.fdopen(descriptor, "w") as handle:
                     json.dump(payload, handle)
@@ -411,14 +699,15 @@ class Database:
 
     # -- binary container ---------------------------------------------------------
 
-    def _write_binary(self, handle: IO[bytes]) -> None:
+    def _write_binary(self, handle: IO[bytes], state: _DBState) -> None:
         """Stream the binary container: header, dataset, digest, indexes.
 
-        The dataset section iterates the raw element set (no canonical
-        sort — ``structural_key`` recursion stays off the persistence
-        path). Index sections reference data by their position in the
-        written stream and subobjects by their codec value-table refs,
-        so persisting the indexes costs varints, not re-encoded values.
+        The dataset section iterates the pinned state's raw element set
+        (no canonical sort — ``structural_key`` recursion stays off the
+        persistence path). Index sections reference data by their
+        position in the written stream and subobjects by their codec
+        value-table refs, so persisting the indexes costs varints, not
+        re-encoded values.
         """
         # An interned database never holds two structurally equal but
         # distinct objects, so identity dedup alone is complete there.
@@ -432,15 +721,15 @@ class Database:
         # sections reference each datum ~once per indexed path, so
         # packing the position once amortizes across all of them.
         order: dict[int, bytes] = {}
-        for position, datum in enumerate(self._data):
+        for position, datum in enumerate(state.data):
             order[id(datum)] = binary_codec.pack_uvarint(position)
             encoder.write_datum(datum)
         encoder.write_end()
         # Digest of everything up to and including END pins the index
         # sections to this exact dataset encoding.
         encoder.write_string(encoder.hexdigest())
-        self._write_attr_section(encoder, order)
-        self._write_key_section(encoder, order)
+        self._write_attr_section(encoder, order, state.attr_index)
+        self._write_key_section(encoder, order, state.key_indexes)
         encoder.flush()
 
     @staticmethod
@@ -451,8 +740,9 @@ class Database:
         encoder.write_bytes(b"".join(refs))
 
     def _write_attr_section(self, encoder: Encoder,
-                            order: dict[int, bytes]) -> None:
-        entries = list(self._attr_index.entries())
+                            order: dict[int, bytes],
+                            attr_index: AttrIndex) -> None:
+        entries = list(attr_index.entries())
         encoder.write_uvarint(len(entries))
         for steps, postings, exists in entries:
             encoder.write_uvarint(len(steps))
@@ -465,9 +755,11 @@ class Database:
                 self._write_data_refs(encoder, holders, order)
 
     def _write_key_section(self, encoder: Encoder,
-                           order: dict[int, bytes]) -> None:
-        encoder.write_uvarint(len(self._key_indexes))
-        for key, index in self._key_indexes.items():
+                           order: dict[int, bytes],
+                           key_indexes: dict[frozenset[str], KeyIndex],
+                           ) -> None:
+        encoder.write_uvarint(len(key_indexes))
+        for key, index in key_indexes.items():
             encoder.write_uvarint(len(key))
             for attr in sorted(key):
                 encoder.write_string(attr)
@@ -517,16 +809,9 @@ class Database:
                 "END frame")
         dataset_digest = decoder.hexdigest()
 
-        database = cls.__new__(cls)
-        database._intern = interned
-        database._data = set(data_order)
-        database._marker_index = {}
-        database._key_indexes = {}
-        database._attr_index = AttrIndex()
-        database._snapshot_cache = None
-        database._query_cache = {}
-        for datum in database._data:
-            database._index_markers(datum)
+        data = frozenset(data_order)
+        attr_index = AttrIndex()
+        key_indexes: dict[frozenset[str], KeyIndex] = {}
 
         # The index sections are an optimization, never a correctness
         # dependency: any parse problem or digest mismatch falls back
@@ -543,18 +828,28 @@ class Database:
             pass
         if (stored_digest == dataset_digest and attr_entries is not None
                 and key_structs is not None):
-            database._attr_index = AttrIndex.restore(attr_entries)
-            database._key_indexes = {
+            attr_index = AttrIndex.restore(attr_entries)
+            key_indexes = {
                 key: KeyIndex.restore(key, buckets, scan, never)
                 for key, buckets, scan, never in key_structs}
         else:
             if attr_entries:
-                database._attr_index = AttrIndex(
+                attr_index = AttrIndex(
                     [steps for steps, _, _ in attr_entries], data_order)
             if key_structs:
-                database._key_indexes = {
-                    key: KeyIndex(database._data, key)
+                key_indexes = {
+                    key: KeyIndex(data, key)
                     for key, _, _, _ in key_structs}
+
+        database = cls.__new__(cls)
+        database._intern = interned
+        database._init_runtime(_DBState(
+            generation=0,
+            data=data,
+            marker_index=_build_marker_index(data),
+            key_indexes=key_indexes,
+            attr_index=attr_index,
+        ))
         return database
 
     @staticmethod
@@ -632,6 +927,57 @@ class Database:
         if kind == _SIG_WHOLE:
             return ("whole", decoder.node(decoder.read_uvarint()))
         raise CodecError(f"unknown signature kind {kind!r}")
+
+
+class DatabaseView:
+    """A pinned read transaction: one generation, many reads.
+
+    Obtained from :meth:`Database.view`. Every method answers against
+    the state published when the view was taken — a concurrent writer
+    can advance the database arbitrarily without the view noticing.
+    Cached results consulted (and contributed) by :meth:`query` are
+    tagged with the view's generation, so a view never reads a result
+    from any other generation.
+    """
+
+    __slots__ = ("_database", "_state")
+
+    def __init__(self, database: Database, state: _DBState):
+        self._database = database
+        self._state = state
+
+    @property
+    def generation(self) -> int:
+        return self._state.generation
+
+    def __len__(self) -> int:
+        return len(self._state.data)
+
+    def __contains__(self, datum: object) -> bool:
+        return datum in self._state.data
+
+    def __iter__(self) -> Iterator[Data]:
+        return iter(self.snapshot())
+
+    def snapshot(self) -> DataSet:
+        """The pinned generation's frozen contents."""
+        return self._state.dataset()
+
+    def by_marker(self, marker: Marker | str) -> DataSet:
+        """All pinned data whose marker part mentions ``marker``."""
+        if isinstance(marker, str):
+            marker = Marker(marker)
+        return DataSet(self._state.marker_index.get(marker, set()))
+
+    def query(self, text: str, *, naive: bool = False) -> DataSet:
+        """Run a textual query against the pinned generation."""
+        return self._database._query_at(self._state, text, naive=naive)
+
+    def explain(self, text: str):
+        """The plan the pinned generation would use for a query."""
+        state = self._state
+        return self._database._parsed(text).query(
+            state.dataset(), index=state.attr_index).explain()
 
 
 def _fsync_directory(path: Path) -> None:

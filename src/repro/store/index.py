@@ -198,6 +198,78 @@ class KeyIndex:
             return False
         return True
 
+    def patched(self, removed: Iterable[Data],
+                added: Iterable[Data]) -> "KeyIndex":
+        """A new index reflecting a batch delta; ``self`` is untouched.
+
+        Copy-on-write: the buckets map is shallow-copied and each
+        bucket (or side list) is copied at most once, the first time the
+        delta touches it — untouched buckets stay shared with the old
+        index. Store layers that publish immutable state records use
+        this instead of the in-place :meth:`add`/:meth:`remove`.
+        """
+        index = KeyIndex.__new__(KeyIndex)
+        index._key = self._key
+        index.buckets = dict(self.buckets)
+        index.scan_list = self.scan_list
+        index.never_list = self.never_list
+        copied: set[Hashable] = set()
+        copied_scan = copied_never = False
+
+        for datum in removed:
+            classified = signature(datum, self._key)
+            if classified == NEVER_MATCHES:
+                if not copied_never:
+                    index.never_list = list(index.never_list)
+                    copied_never = True
+                try:
+                    index.never_list.remove(datum)
+                except ValueError:
+                    pass
+            elif classified == UNINDEXABLE:
+                if not copied_scan:
+                    index.scan_list = list(index.scan_list)
+                    copied_scan = True
+                try:
+                    index.scan_list.remove(datum)
+                except ValueError:
+                    pass
+            else:
+                bucket = index.buckets.get(classified)
+                if bucket is None:
+                    continue
+                if classified not in copied:
+                    bucket = list(bucket)
+                    index.buckets[classified] = bucket
+                    copied.add(classified)
+                try:
+                    bucket.remove(datum)
+                except ValueError:
+                    continue
+                if not bucket:
+                    del index.buckets[classified]
+
+        for datum in added:
+            classified = signature(datum, self._key)
+            if classified == NEVER_MATCHES:
+                if not copied_never:
+                    index.never_list = list(index.never_list)
+                    copied_never = True
+                index.never_list.append(datum)
+            elif classified == UNINDEXABLE:
+                if not copied_scan:
+                    index.scan_list = list(index.scan_list)
+                    copied_scan = True
+                index.scan_list.append(datum)
+            else:
+                bucket = index.buckets.get(classified)
+                if bucket is None or classified not in copied:
+                    bucket = list(bucket) if bucket is not None else []
+                    index.buckets[classified] = bucket
+                    copied.add(classified)
+                bucket.append(datum)
+        return index
+
     def candidates(self, datum: Data) -> list[Data]:
         """Data that *might* be compatible with ``datum``.
 

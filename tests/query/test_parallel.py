@@ -1,0 +1,223 @@
+"""Tests for the sharded parallel query executor.
+
+Every execution mode — process shard servers, thread pool, and the
+plan-aware inline route — must agree bit-for-bit with the sequential
+planner, which in turn agrees with the naive oracle.
+"""
+
+import pickle
+import warnings
+
+import pytest
+
+from repro.core.builder import data, tup
+from repro.core.data import DataSet
+from repro.core.errors import QueryError
+from repro.query import (
+    And,
+    Contains,
+    Eq,
+    Exists,
+    Ge,
+    Not,
+    Or,
+    ParallelExecutor,
+    Query,
+    compile_condition,
+    select_data,
+)
+from repro.query.parser import parse_query_spec
+from repro.query.planner import shard_positions
+from repro.store import AttrIndex, Database
+
+
+def make_dataset(count: int = 60) -> DataSet:
+    rows = []
+    for uid in range(count):
+        fields = {"type": "Article" if uid % 2 else "InProc",
+                  "title": f"Paper {uid:03d}",
+                  "author": f"Author {uid % 7}"}
+        if uid % 5:
+            fields["year"] = 1970 + (uid % 30)
+        rows.append(data(f"m{uid}", tup(**fields)))
+    return DataSet(rows)
+
+
+CONDITIONS = [
+    None,
+    Contains("title", "1"),
+    And(Contains("author", "3"), Ge("year", 1980)),
+    Or(Eq("type", "Article"), Contains("title", "00")),
+    Not(Exists("year")),
+]
+
+ORDERINGS = [
+    (None, None),
+    (None, 10),
+    ((("year",), False), None),
+    ((("year",), False), 5),
+    ((("year",), True), 7),
+    ((("title",), False), 3),
+]
+
+
+class TestShardPositions:
+    def test_positions_cover_matches(self):
+        dataset = make_dataset()
+        rows = list(dataset)
+        condition = Contains("title", "1")
+        predicate = compile_condition(condition)
+        positions = shard_positions(rows, condition)
+        assert positions == [index for index, datum in enumerate(rows)
+                             if predicate(datum.object)]
+
+    def test_topk_superset_argument(self):
+        # The union of per-shard top-k positions must contain the
+        # global top-k for every split point.
+        dataset = make_dataset()
+        rows = list(dataset)
+        order, limit = (("year",), False), 5
+        expected = select_data(dataset, None, None, order, limit)
+        for split in (1, 7, 20, 31, len(rows)):
+            shards = [rows[:split], rows[split:]]
+            merged = []
+            offset = 0
+            for shard in shards:
+                merged.extend(shard[position] for position in
+                              shard_positions(shard, None, order, limit))
+                offset += len(shard)
+            assert set(expected) <= set(merged)
+
+
+class TestModeEquality:
+    @pytest.mark.parametrize("mode", ["thread", "process"])
+    def test_all_conditions_and_orderings(self, mode):
+        dataset = make_dataset()
+        with ParallelExecutor(dataset, workers=3, mode=mode) as executor:
+            for condition in CONDITIONS:
+                for order, limit in ORDERINGS:
+                    sequential = select_data(dataset, condition, None,
+                                             order, limit)
+                    parallel = executor.select(condition, order, limit)
+                    assert parallel == sequential, (condition, order,
+                                                    limit)
+                    if order is None and limit is None:
+                        naive = Query(dataset,
+                                      condition)._selected_naive()
+                        assert parallel == naive, condition
+
+    def test_probe_plans_route_inline(self):
+        dataset = make_dataset()
+        index = AttrIndex(["type"], dataset)
+        with ParallelExecutor(dataset, workers=3, mode="thread",
+                              index=index) as executor:
+            condition = Eq("type", "Article")
+            expected = select_data(dataset, condition, index)
+            assert executor.select(condition) == expected
+
+    def test_single_worker_runs_inline(self):
+        dataset = make_dataset(10)
+        with ParallelExecutor(dataset, workers=1,
+                              mode="thread") as executor:
+            assert executor.select(Contains("title", "0")) == \
+                select_data(dataset, Contains("title", "0"), None)
+
+    def test_empty_dataset(self):
+        with ParallelExecutor(DataSet(), workers=4,
+                              mode="thread") as executor:
+            assert executor.select(None) == []
+
+
+class TestDatabaseIntegration:
+    @pytest.mark.parametrize("mode", ["thread", "process"])
+    def test_textual_queries_agree_with_naive(self, mode):
+        db = Database(make_dataset(), index_paths=["type"],
+                      result_cache_size=0)
+        texts = [
+            'select * where title contains "1"',
+            'select * where author contains "3" and year >= 1980',
+            'select title where exists year order by year limit 5',
+            'select * where not exists year',
+            'select title, year where year >= 1975 order by year desc '
+            'limit 4',
+        ]
+        with db:
+            for text in texts:
+                parallel = db.query(text, parallel=3,
+                                    parallel_mode=mode)
+                assert parallel == db.query(text, naive=True), text
+
+    def test_executor_retires_on_write(self):
+        db = Database(make_dataset(30), result_cache_size=0)
+        text = 'select * where title contains "0"'
+        with db:
+            before = db.query(text, parallel=2, parallel_mode="thread")
+            assert before == db.query(text, naive=True)
+            db.insert(data("extra", tup(type="Article",
+                                        title="Paper 000 bis")))
+            after = db.query(text, parallel=2, parallel_mode="thread")
+            assert after == db.query(text, naive=True)
+            assert len(after) == len(before) + 1
+
+    def test_bad_worker_count_rejected(self):
+        with pytest.raises(QueryError):
+            ParallelExecutor(make_dataset(5), workers=0)
+        with pytest.raises(QueryError):
+            ParallelExecutor(make_dataset(5), workers=2, mode="rocket")
+
+    def test_closed_executor_rejects(self):
+        executor = ParallelExecutor(make_dataset(5), workers=2,
+                                    mode="thread")
+        executor.close()
+        with pytest.raises(QueryError):
+            executor.select(None)
+
+
+class TestConditionPickling:
+    def test_compiled_condition_still_pickles(self):
+        condition = And(Contains("title", "1"), Ge("year", 1980))
+        predicate = compile_condition(condition)   # attaches closures
+        assert predicate is not None
+        clone = pickle.loads(pickle.dumps(condition))
+        dataset = make_dataset(20)
+        for datum in dataset:
+            assert clone.matches(datum.object) == \
+                condition.matches(datum.object)
+
+    def test_parsed_spec_condition_pickles_after_planning(self):
+        spec = parse_query_spec(
+            'select * where title contains "1" and year >= 1980')
+        db = Database(make_dataset(20), index_paths=["type"])
+        db.query('select * where title contains "1" and year >= 1980')
+        clone = pickle.loads(pickle.dumps(spec.condition))
+        for datum in db.snapshot():
+            assert clone.matches(datum.object) == \
+                spec.condition.matches(datum.object)
+
+    def test_memos_are_stripped(self):
+        condition = Contains("title", "x")
+        compile_condition(condition)
+        state = condition.__getstate__()
+        assert "_compiled" not in state
+        assert all(not key.startswith("_") for key in state)
+
+
+class TestFallback:
+    def test_worker_loss_degrades_with_warning(self):
+        dataset = make_dataset(40)
+        executor = ParallelExecutor(dataset, workers=2, mode="process")
+        if executor.mode != "process":   # pool never came up here
+            executor.close()
+            pytest.skip("process pool unavailable on this host")
+        for process in executor._processes:
+            process.terminate()
+            process.join()
+        condition = Contains("title", "1")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            result = executor.select(condition)
+        assert result == select_data(dataset, condition, None)
+        assert any(issubclass(warning.category, RuntimeWarning)
+                   for warning in caught)
+        assert executor.mode == "thread"
+        executor.close()

@@ -1,0 +1,392 @@
+"""Tests for the concurrent serving layer: MVCC generation snapshots,
+the epoch-invalidated result cache and the shared LRU core.
+
+The crown jewels are the interleaving suites at the bottom: reader
+threads race a writer and every observed result must be bit-identical
+to a ``naive=True`` full scan at the generation it claims to be from —
+the zero-stale-reads, zero-torn-reads contract.
+"""
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.builder import data, tup
+from repro.core.data import DataSet
+from repro.core.objects import BOTTOM
+from repro.store import Database, LRUCache, QueryResultCache
+from repro.store.cache import PRECISION_CAP
+
+
+def entry(uid: int, **fields) -> "object":
+    fields.setdefault("type", "Article")
+    fields.setdefault("title", f"Title {uid:04d}")
+    return data(f"m{uid}", tup(**fields))
+
+
+def fill(count: int, **fields) -> list:
+    return [entry(uid, **fields) for uid in range(count)]
+
+
+# ---------------------------------------------------------------------------
+# LRUCache
+# ---------------------------------------------------------------------------
+
+class TestLRUCache:
+    def test_put_get(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.get("missing") is None
+        assert cache.get("missing", 7) == 7
+
+    def test_eviction_is_lru_not_fifo(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")            # promote: "b" is now least recent
+        cache.put("c", 3)
+        assert cache.get("a") == 1
+        assert cache.get("b") is None
+        assert cache.get("c") == 3
+
+    def test_get_or_add_caches_one_value(self):
+        cache = LRUCache(4)
+        calls = []
+        first = cache.get_or_add("k", lambda: calls.append(1) or "v1")
+        second = cache.get_or_add("k", lambda: calls.append(2) or "v2")
+        assert first == second == "v1"
+        assert calls == [1]
+
+    def test_zero_capacity_disables(self):
+        cache = LRUCache(0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert cache.get_or_add("a", lambda: 5) == 5
+        assert len(cache) == 0
+
+
+class TestParsedQueryLRU:
+    def test_parsed_specs_are_cached_by_identity(self):
+        db = Database(fill(3))
+        text = 'select * where type = "Article"'
+        assert db._parsed(text) is db._parsed(text)
+
+    def test_hit_promotes_over_eviction(self):
+        from repro.store import database as database_module
+
+        db = Database(fill(3))
+        hot = 'select * where type = "Article"'
+        spec = db._parsed(hot)
+        for index in range(database_module._QUERY_CACHE_SIZE):
+            db._parsed(f'select * where year = {index}')
+            db._parsed(hot)       # keep promoting the hot query
+        assert db._parsed(hot) is spec
+
+
+# ---------------------------------------------------------------------------
+# Generations and views
+# ---------------------------------------------------------------------------
+
+class TestGenerations:
+    def test_every_mutation_bumps_once(self):
+        db = Database()
+        assert db.generation == 0
+        first = entry(1)
+        db.insert(first)
+        assert db.generation == 1
+        db.insert(first)                  # duplicate: no-op, no bump
+        assert db.generation == 1
+        db.insert_all(fill(10))
+        assert db.generation == 2         # one bump for the whole batch
+        db.remove(first)
+        assert db.generation == 3
+        # Binding a nonexistent attribute to ⊥ changes nothing: no bump.
+        db.set_attribute("m2", "year", BOTTOM)
+        assert db.generation == 3
+
+    def test_insert_all_counts_new_only(self):
+        db = Database(fill(5))
+        assert db.insert_all(fill(8)) == 3
+        assert db.generation == 1
+
+    def test_snapshot_identity_per_generation(self):
+        db = Database(fill(3))
+        first = db.snapshot()
+        assert db.snapshot() is first
+        db.create_index("type")           # same generation, same snapshot
+        assert db.snapshot() is first
+        db.insert(entry(99))
+        assert db.snapshot() is not first
+
+    def test_view_pins_generation(self):
+        db = Database(fill(4))
+        view = db.view()
+        pinned = view.snapshot()
+        db.insert_all(fill(8))
+        assert view.generation == 0
+        assert db.generation == 1
+        assert len(view) == 4
+        assert view.snapshot() is pinned
+        assert len(db) == 8
+        assert view.query('select * where type = "Article"') == pinned
+
+    def test_view_by_marker_is_pinned(self):
+        db = Database(fill(2))
+        view = db.view()
+        db.remove(entry(0))
+        assert len(view.by_marker("m0")) == 1
+        assert len(db.by_marker("m0")) == 0
+
+    def test_update_is_one_atomic_batch(self):
+        db = Database(fill(4, author="Bob"))
+        generation = db.generation
+        changed = db.update("m1", lambda datum: entry(1, author="Alice"))
+        assert changed == 1
+        assert db.generation == generation + 1
+
+
+# ---------------------------------------------------------------------------
+# Result cache: epochs, retags, precise invalidation
+# ---------------------------------------------------------------------------
+
+class TestResultCache:
+    def test_hit_requires_exact_generation(self):
+        cache = QueryResultCache(8)
+        cache.store("q", 3, "result", frozenset(), True)
+        assert cache.lookup("q", 3) == "result"
+        assert cache.lookup("q", 2) is None
+        assert cache.lookup("q", 4) is None
+
+    def test_laggard_store_never_clobbers_newer(self):
+        cache = QueryResultCache(8)
+        cache.store("q", 5, "new", frozenset(), True)
+        cache.store("q", 4, "old", frozenset(), True)
+        assert cache.lookup("q", 5) == "new"
+        assert cache.lookup("q", 4) is None
+
+    def test_disjoint_write_retags(self):
+        db = Database(fill(20, year=1980), index_paths=["type"])
+        text = 'select * where year >= 1975'
+        result = db.query(text)
+        db.insert(entry(999, type="Venue", title="No Year Here"))
+        stats = db.cache_stats()
+        assert stats["retags"] == 1
+        # The retagged entry serves the new generation without rerun.
+        hits_before = stats["hits"]
+        assert db.query(text) == result
+        assert db.cache_stats()["hits"] == hits_before + 1
+        assert db.query(text, naive=True) == result
+
+    def test_footprint_write_evicts(self):
+        db = Database(fill(20, year=1980))
+        text = 'select * where year >= 1975'
+        db.query(text)
+        db.insert(entry(999, year=2001))
+        stats = db.cache_stats()
+        assert stats["retags"] == 0
+        assert stats["entries"] == 0
+        assert len(db.query(text)) == 21
+        assert db.query(text) == db.query(text, naive=True)
+
+    def test_select_all_always_evicts(self):
+        db = Database(fill(5))
+        db.query("select *")
+        db.insert(entry(77, type="Unrelated"))
+        assert db.cache_stats()["entries"] == 0
+        assert len(db.query("select *")) == 6
+
+    def test_negated_condition_always_evicts(self):
+        # not exists(year) matches data *lacking* the path, so a write
+        # that never touches "year" can still change the result.
+        db = Database(fill(5, year=1990))
+        text = "select * where not exists year"
+        assert len(db.query(text)) == 0
+        db.insert(entry(50, type="Venue", title="No Year"))
+        assert db.cache_stats()["entries"] == 0
+        assert len(db.query(text)) == 1
+        assert db.query(text) == db.query(text, naive=True)
+
+    def test_indexed_touch_information_is_used(self):
+        # Write touches an *indexed* footprint path: evict, no delta walk.
+        db = Database(fill(10, year=1980), index_paths=["year"])
+        text = "select * where year = 1980"
+        db.query(text)
+        db.insert(entry(100, year=1980))
+        assert db.cache_stats()["entries"] == 0
+        assert len(db.query(text)) == 11
+
+    def test_large_delta_falls_back_conservatively(self):
+        db = Database(fill(4, year=1980))
+        text = 'select * where year >= 1975'
+        db.query(text)
+        # A batch beyond PRECISION_CAP of footprint-disjoint data: the
+        # commit skips the per-datum walk and conservatively evicts.
+        batch = [entry(1000 + uid, type="Venue", title=f"V{uid}")
+                 for uid in range(PRECISION_CAP + 1)]
+        db.insert_all(batch)
+        assert db.cache_stats()["retags"] == 0
+        assert db.query(text) == db.query(text, naive=True)
+
+    def test_cache_disabled(self):
+        db = Database(fill(5), result_cache_size=0)
+        text = 'select * where type = "Article"'
+        assert db.query(text) == db.query(text)
+        assert db.cache_stats()["entries"] == 0
+        assert db.cache_stats()["hits"] == 0
+
+    def test_naive_bypasses_cache(self):
+        db = Database(fill(5))
+        text = 'select * where type = "Article"'
+        db.query(text, naive=True)
+        assert db.cache_stats()["entries"] == 0
+
+
+# ---------------------------------------------------------------------------
+# Threaded interleaving: zero stale reads, zero torn reads
+# ---------------------------------------------------------------------------
+
+QUERIES = (
+    'select * where type = "Article"',
+    'select * where year >= 1985',
+    'select title where year >= 1980 order by year limit 7',
+    'select * where title contains "1"',
+    'select * where not exists year',
+    'select *',
+)
+
+
+@pytest.mark.stress
+class TestThreadedInterleaving:
+    def test_readers_race_merge_writer(self):
+        db = Database(fill(60, year=1980), index_paths=["type", "year"])
+        errors: list[str] = []
+        stop = threading.Event()
+
+        def reader(worker: int) -> None:
+            while not stop.is_set():
+                view = db.view()
+                for text in QUERIES:
+                    got = view.query(text)
+                    expected = view.query(text, naive=True)
+                    if got != expected:
+                        errors.append(
+                            f"reader {worker}: stale/torn result for "
+                            f"{text!r} at generation {view.generation}")
+                        return
+
+        def writer() -> None:
+            for round_index in range(15):
+                batch = [entry(1000 + 100 * round_index + uid,
+                               year=1985 + round_index)
+                         for uid in range(5)]
+                db.merge_in(DataSet(batch), {"type", "title"})
+                db.insert(entry(5000 + round_index, type="Venue",
+                                title=f"Venue {round_index}"))
+                db.remove(entry(1000 + 100 * round_index,
+                                year=1985 + round_index))
+            stop.set()
+
+        threads = [threading.Thread(target=reader, args=(index,))
+                   for index in range(4)]
+        writer_thread = threading.Thread(target=writer)
+        for thread in threads:
+            thread.start()
+        writer_thread.start()
+        writer_thread.join(timeout=120)
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not errors, errors[0]
+        assert not writer_thread.is_alive()
+
+    def test_cached_reads_race_disjoint_writer(self):
+        # Writers only add footprint-disjoint data, so cached entries
+        # survive by re-tagging — and must still be exactly right.
+        db = Database(fill(50, year=1980), index_paths=["year"])
+        text = 'select * where year >= 1975'
+        errors: list[str] = []
+        stop = threading.Event()
+
+        def reader() -> None:
+            while not stop.is_set():
+                view = db.view()
+                if view.query(text) != view.query(text, naive=True):
+                    errors.append("stale cached read")
+                    return
+
+        def writer() -> None:
+            for index in range(40):
+                db.insert(entry(9000 + index, type="Venue",
+                                title=f"V{index}"))
+            stop.set()
+
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        writer_thread = threading.Thread(target=writer)
+        for thread in threads:
+            thread.start()
+        writer_thread.start()
+        writer_thread.join(timeout=120)
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not errors, errors[0]
+        assert db.cache_stats()["retags"] > 0
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis: random write/query interleavings across threads
+# ---------------------------------------------------------------------------
+
+write_ops = st.lists(
+    st.tuples(st.sampled_from(["insert", "remove", "batch", "venue"]),
+              st.integers(min_value=0, max_value=30)),
+    min_size=1, max_size=12)
+
+
+@pytest.mark.stress
+@settings(max_examples=20, deadline=None)
+@given(ops=write_ops, query_picks=st.lists(
+    st.integers(min_value=0, max_value=len(QUERIES) - 1),
+    min_size=1, max_size=6))
+def test_random_interleaving_never_reads_stale(ops, query_picks):
+    """Random writes race cached queries across threads; every cached
+    result equals a fresh naive scan at the same generation."""
+    db = Database(fill(15, year=1980), index_paths=["type"])
+    errors: list[str] = []
+    stop = threading.Event()
+
+    def reader() -> None:
+        while not stop.is_set():
+            view = db.view()
+            for pick in query_picks:
+                text = QUERIES[pick]
+                if view.query(text) != view.query(text, naive=True):
+                    errors.append(
+                        f"stale result for {text!r} at generation "
+                        f"{view.generation}")
+                    return
+
+    def writer() -> None:
+        for op, uid in ops:
+            if op == "insert":
+                db.insert(entry(100 + uid, year=1985))
+            elif op == "remove":
+                db.remove(entry(uid, year=1980))
+            elif op == "batch":
+                db.insert_all(fill(uid, year=1990))
+            else:
+                db.insert(entry(200 + uid, type="Venue",
+                                title=f"V{uid}"))
+        stop.set()
+
+    reader_thread = threading.Thread(target=reader)
+    writer_thread = threading.Thread(target=writer)
+    reader_thread.start()
+    writer_thread.start()
+    writer_thread.join(timeout=60)
+    stop.set()
+    reader_thread.join(timeout=60)
+    assert not errors, errors[0]
