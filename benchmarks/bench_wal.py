@@ -1,0 +1,316 @@
+#!/usr/bin/env python
+"""Benchmark: write-ahead-log durability — commit overhead & recovery.
+
+Four phases measure what incremental durability costs and what
+compaction buys:
+
+* ``commit_latency`` — per-commit wall time for the same insert
+  workload against a transient :class:`Database`, a durable store
+  (``Database.open``, fsync per commit) and a durable store with
+  ``fsync=False``; ``commit_overhead_x`` (durable / transient) is
+  reported for the record but *not* gated — it measures the disk, not
+  the code;
+* ``batch_commit`` — N durable single-datum commits (N frames, N
+  fsyncs) vs one durable ``insert_all`` batch (one frame, one fsync);
+  the ratio is ``batch_commit_speedup``, the amortization the batch
+  commit path exists to provide;
+* ``recovery`` — ``Database.open`` replay time at growing log lengths
+  (a quarter, half and the full log), pinned cold (fresh intern pool)
+  each run;
+* ``compaction`` — reopening the full-log store vs reopening an
+  identical store after ``compact()``; the ratio is
+  ``recovery_speedup``, the restart-latency payoff of folding the log
+  into the snapshot.
+
+Correctness oracles run on **every** run, full and smoke: the reopened
+store equals the live one, the compacted store equals the uncompacted
+one, replaying a log prefix lands on exactly that generation, and
+point-in-time recovery reproduces the state the workload recorded
+mid-build. ``recovery_speedup`` and ``batch_commit_speedup`` are gated
+by ``tools/check_bench_regression.py``; the full run additionally
+enforces mild absolute floors.
+
+Standalone (CI smoke-runs it; pytest is not required)::
+
+    PYTHONPATH=src python benchmarks/bench_wal.py           # full
+    PYTHONPATH=src python benchmarks/bench_wal.py --smoke   # CI
+    PYTHONPATH=src python benchmarks/bench_wal.py --out b.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+_SRC = str(Path(__file__).resolve().parents[1] / "src")
+sys.path.insert(0, _SRC)
+
+from repro.core.builder import data, tup  # noqa: E402
+from repro.core.intern import clear_pool  # noqa: E402
+from repro.store.database import Database  # noqa: E402
+from repro.store.wal import scan_wal, wal_path  # noqa: E402
+
+#: Full-run acceptance floors for the two gated headline ratios.
+MIN_RECOVERY_SPEEDUP = 1.2
+MIN_BATCH_SPEEDUP = 3.0
+
+#: Each timed phase runs this many times and reports the fastest —
+#: the min damps scheduler and page-cache noise on shared machines.
+REPEAT = 3
+
+
+def _row(i: int):
+    return data(f"m{i}", tup(type="Article", title=f"T{i % 50}",
+                             year=1980 + i % 40, author=f"A{i % 17}",
+                             pages=i))
+
+
+def _cold():
+    clear_pool()
+    gc.collect()
+
+
+def _best(action, *, before=None, repeat=REPEAT):
+    """Fastest-of-``repeat`` wall time plus the last result."""
+    best = None
+    result = None
+    for _ in range(repeat):
+        if before is not None:
+            before()
+        start = time.perf_counter()
+        result = action()
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best, result
+
+
+def _phase_commit_latency(commits: int) -> dict:
+    """Per-commit wall time: transient vs durable vs fsync-less."""
+    rows = [_row(i) for i in range(commits)]
+
+    def transient():
+        db = Database()
+        for row in rows:
+            db.insert(row)
+        return db
+
+    def durable(fsync: bool):
+        tmp = Path(tempfile.mkdtemp(prefix="repro-bench-wal-"))
+        try:
+            db = Database.open(tmp / "db.bin", auto_compact=False,
+                               fsync=fsync)
+            for row in rows:
+                db.insert(row)
+            db.close()
+        finally:
+            shutil.rmtree(tmp, ignore_errors=True)
+
+    transient_seconds, _ = _best(transient, before=_cold)
+    durable_seconds, _ = _best(lambda: durable(True), before=_cold)
+    nofsync_seconds, _ = _best(lambda: durable(False), before=_cold)
+    return {
+        "commits": commits,
+        "transient_us_per_commit": round(
+            transient_seconds / commits * 1e6, 2),
+        "durable_us_per_commit": round(
+            durable_seconds / commits * 1e6, 2),
+        "durable_nofsync_us_per_commit": round(
+            nofsync_seconds / commits * 1e6, 2),
+        "commit_overhead_x": round(durable_seconds / transient_seconds,
+                                   2) if transient_seconds else None,
+    }
+
+
+def _phase_batch_commit(commits: int) -> dict:
+    """N one-datum frames + N fsyncs vs one frame + one fsync."""
+    rows = [_row(i) for i in range(commits)]
+
+    def individual():
+        tmp = Path(tempfile.mkdtemp(prefix="repro-bench-wal-"))
+        try:
+            db = Database.open(tmp / "db.bin", auto_compact=False)
+            for row in rows:
+                db.insert(row)
+            count = len(db)
+            db.close()
+            return count
+        finally:
+            shutil.rmtree(tmp, ignore_errors=True)
+
+    def batch():
+        tmp = Path(tempfile.mkdtemp(prefix="repro-bench-wal-"))
+        try:
+            db = Database.open(tmp / "db.bin", auto_compact=False)
+            db.insert_all(rows)
+            count = len(db)
+            db.close()
+            return count
+        finally:
+            shutil.rmtree(tmp, ignore_errors=True)
+
+    individual_seconds, individual_count = _best(individual,
+                                                 before=_cold)
+    batch_seconds, batch_count = _best(batch, before=_cold)
+    assert individual_count == batch_count == len(rows)
+    return {
+        "commits": commits,
+        "individual_seconds": round(individual_seconds, 6),
+        "batch_seconds": round(batch_seconds, 6),
+        "batch_commit_speedup": round(
+            individual_seconds / batch_seconds, 2)
+        if batch_seconds else None,
+    }
+
+
+def _timed_open(path: Path) -> tuple[float, int]:
+    """Cold ``Database.open`` wall time and the landed generation."""
+
+    def action():
+        db = Database.open(path, auto_compact=False)
+        try:
+            return db.generation
+        finally:
+            db.close()
+
+    return _best(action, before=_cold)
+
+
+def run(commits: int) -> dict:
+    report: dict = {"benchmark": "wal",
+                    "workload": {"commits": commits}}
+    oracle_failures: list[str] = []
+    with tempfile.TemporaryDirectory(prefix="repro-bench-wal-") as tmp:
+        base = Path(tmp)
+        full_path = base / "full" / "db.bin"
+        full_path.parent.mkdir()
+
+        # Build the reference store one commit at a time, recording
+        # the mid-build state point-in-time recovery must reproduce.
+        db = Database.open(full_path, auto_compact=False)
+        checkpoint_generation = commits // 2
+        checkpoint_state = None
+        for i in range(commits):
+            db.insert(_row(i))
+            if db.generation == checkpoint_generation:
+                checkpoint_state = db.snapshot()
+        live_state = db.snapshot()
+        db.close()
+
+        log_bytes = wal_path(full_path).read_bytes()
+        scan = scan_wal(wal_path(full_path))
+        bounds = scan.offsets + [scan.valid_length]
+        assert len(scan.frames) == commits
+
+        # recovery: replay time at a quarter, half and the full log.
+        recovery = []
+        for fraction, count in (("quarter", commits // 4),
+                                ("half", commits // 2),
+                                ("full", commits)):
+            prefix_path = base / f"replay-{fraction}" / "db.bin"
+            prefix_path.parent.mkdir()
+            wal_path(prefix_path).write_bytes(log_bytes[:bounds[count]])
+            seconds, generation = _timed_open(prefix_path)
+            if generation != count:
+                oracle_failures.append(
+                    f"replaying {count} frames landed on generation "
+                    f"{generation}")
+            recovery.append({"frames": count,
+                             "open_seconds": round(seconds, 6)})
+        full_open_seconds = recovery[-1]["open_seconds"]
+
+        # compaction: an identical store, log folded into the snapshot.
+        compact_path = base / "compacted" / "db.bin"
+        compact_path.parent.mkdir()
+        wal_path(compact_path).write_bytes(log_bytes)
+        compacted = Database.open(compact_path, auto_compact=False)
+        compacted.compact()
+        compacted_state = compacted.snapshot()
+        compacted.close()
+        compacted_open_seconds, compacted_generation = _timed_open(
+            compact_path)
+        if compacted_generation != commits:
+            oracle_failures.append(
+                f"compacted store reopened at generation "
+                f"{compacted_generation}, not {commits}")
+
+        # Oracles: reopen equals live equals compacted; point-in-time
+        # recovery reproduces the recorded mid-build state.
+        reopened = Database.open(full_path, auto_compact=False)
+        if reopened.snapshot() != live_state:
+            oracle_failures.append(
+                "reopened store differs from the live one")
+        reopened.close()
+        if compacted_state != live_state:
+            oracle_failures.append(
+                "compacted store differs from the uncompacted one")
+        historical = Database.recover_to(full_path,
+                                         checkpoint_generation)
+        if checkpoint_state is None or \
+                historical.snapshot() != checkpoint_state:
+            oracle_failures.append(
+                f"recover_to({checkpoint_generation}) differs from the "
+                f"recorded mid-build state")
+
+        report["commit_latency"] = _phase_commit_latency(commits)
+        report["batch_commit"] = _phase_batch_commit(commits)
+        report["recovery"] = recovery
+        report["compaction"] = {
+            "full_wal_open_seconds": full_open_seconds,
+            "compacted_open_seconds": round(compacted_open_seconds, 6),
+            "wal_bytes": len(log_bytes),
+            "snapshot_bytes": compact_path.stat().st_size,
+        }
+
+    report["recovery_speedup"] = round(
+        full_open_seconds / compacted_open_seconds, 2) \
+        if compacted_open_seconds else None
+    report["batch_commit_speedup"] = \
+        report["batch_commit"]["batch_commit_speedup"]
+    report["commit_overhead_x"] = \
+        report["commit_latency"]["commit_overhead_x"]
+    report["oracle_failures"] = oracle_failures
+    report["oracles_ok"] = not oracle_failures
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small workload for CI (skips the "
+                             "absolute speedup floors, keeps every "
+                             "correctness oracle)")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="write the JSON report to this path")
+    args = parser.parse_args(argv)
+
+    report = run(commits=80 if args.smoke else 600)
+
+    text = json.dumps(report, indent=2)
+    print(text)
+    if args.out:
+        args.out.write_text(text + "\n")
+
+    if not report["oracles_ok"]:
+        for failure in report["oracle_failures"]:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    if not args.smoke:
+        floors = (("recovery_speedup", MIN_RECOVERY_SPEEDUP),
+                  ("batch_commit_speedup", MIN_BATCH_SPEEDUP))
+        for ratio, floor in floors:
+            if report[ratio] is None or report[ratio] < floor:
+                print(f"FAIL: {ratio} {report[ratio]}x is below the "
+                      f"{floor}x floor", file=sys.stderr)
+                return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,9 @@ Commands:
 * ``snapshot save|load|convert`` — persist a database snapshot
   (``--format json|binary``; binary snapshots carry the key/attribute
   indexes and load index-warm);
+* ``wal info|compact|recover`` — inspect a durable store's write-ahead
+  log, fold it into the snapshot, or emit the contents as of any
+  logged generation (point-in-time recovery);
 * ``experiments [ids...]`` — alias for ``python -m repro.harness``.
 
 All commands read/write the three interchange formats through the same
@@ -226,6 +229,66 @@ def _cmd_snapshot_convert(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_wal_info(args: argparse.Namespace) -> int:
+    from repro.store.database import Database
+    from repro.store.wal import scan_wal, wal_path
+
+    snapshot = Path(args.snapshot)
+    if snapshot.exists():
+        generation = Database.load(snapshot).generation
+        print(f"snapshot: {snapshot} (generation {generation}, "
+              f"{snapshot.stat().st_size} bytes)")
+    else:
+        print(f"snapshot: {snapshot} (absent; recovery replays onto an "
+              f"empty store)")
+    log_path = wal_path(snapshot)
+    scan = scan_wal(log_path)
+    if not scan.exists:
+        print(f"log: {log_path} (absent)")
+        return 0
+    if not scan.header_valid:
+        print(f"log: {log_path} (corrupt header; {scan.file_size} "
+              f"bytes ignored)")
+        return 0
+    torn = scan.file_size - scan.valid_length
+    print(f"log: {log_path} (base generation {scan.base_generation}, "
+          f"{len(scan.frames)} frames, {scan.valid_length} bytes"
+          + (f", {torn} torn tail bytes" if torn else "") + ")")
+    for frame in scan.frames:
+        print(f"  generation {frame.generation}: "
+              f"-{len(frame.removed)}/+{len(frame.added)}")
+    print(f"last recoverable generation: {scan.last_generation}")
+    return 0
+
+
+def _cmd_wal_compact(args: argparse.Namespace) -> int:
+    from repro.store.database import Database
+    from repro.store.wal import wal_path
+
+    with Database.open(args.snapshot, auto_compact=False) as database:
+        generation = database.generation
+        database.compact()
+    log_size = wal_path(args.snapshot).stat().st_size
+    print(f"# compacted {args.snapshot} at generation {generation} "
+          f"(log now {log_size} bytes)", file=sys.stderr)
+    return 0
+
+
+def _cmd_wal_recover(args: argparse.Namespace) -> int:
+    from repro.store.database import Database
+
+    database = Database.recover_to(args.snapshot, args.generation)
+    print(f"# recovered {len(database)} entries as of generation "
+          f"{database.generation}", file=sys.stderr)
+    if args.save:
+        database.save(args.save, format=args.format)
+        print(f"# saved to {args.save} ({args.format})",
+              file=sys.stderr)
+        return 0
+    _emit(database.snapshot(), args)
+    return 0
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from repro.harness.runner import main as harness_main
 
@@ -377,6 +440,41 @@ def _build_parser() -> argparse.ArgumentParser:
                               required=True,
                               help="destination format")
     snap_convert.set_defaults(handler=_cmd_snapshot_convert)
+
+    wal = commands.add_parser(
+        "wal", help="inspect/compact/recover a durable store's "
+                    "write-ahead log")
+    wal_commands = wal.add_subparsers(dest="wal_command", required=True)
+
+    wal_info = wal_commands.add_parser(
+        "info", help="show the log's frames and recoverable range")
+    wal_info.add_argument("snapshot", help="durable snapshot path "
+                                           "(log lives at <path>.wal)")
+    wal_info.set_defaults(handler=_cmd_wal_info)
+
+    wal_compact = wal_commands.add_parser(
+        "compact", help="fold the log into the snapshot and truncate "
+                        "it")
+    wal_compact.add_argument("snapshot", help="durable snapshot path")
+    wal_compact.set_defaults(handler=_cmd_wal_compact)
+
+    wal_recover = wal_commands.add_parser(
+        "recover", help="emit the store as of a logged generation")
+    wal_recover.add_argument("snapshot", help="durable snapshot path")
+    wal_recover.add_argument("--generation", type=int, default=None,
+                             help="target generation (default: the "
+                                  "last intact frame)")
+    wal_recover.add_argument("--to", choices=_FORMATS, default="text",
+                             help="output format (default: text)")
+    wal_recover.add_argument("-o", "--output", help="write to a file")
+    wal_recover.add_argument("--save", metavar="SNAPSHOT",
+                             help="instead of emitting, save the "
+                                  "recovered state as a new snapshot")
+    wal_recover.add_argument("--format", choices=("json", "binary"),
+                             default="binary",
+                             help="format for --save "
+                                  "(default: binary)")
+    wal_recover.set_defaults(handler=_cmd_wal_recover)
 
     experiments = commands.add_parser(
         "experiments", help="run the reproduction experiments")

@@ -14,7 +14,12 @@ The paper defers implementation; this package provides it:
   collection with incrementally maintained marker and key indexes,
   MVCC generation snapshots (:class:`~repro.store.database.DatabaseView`
   pins one generation for lock-free reads) and an epoch-invalidated
-  query-result cache (:class:`~repro.store.cache.QueryResultCache`).
+  query-result cache (:class:`~repro.store.cache.QueryResultCache`);
+* :class:`~repro.store.wal.WriteAheadLog` — incremental durability:
+  ``Database.open(path, durable=True)`` logs every committed batch's
+  net diff (CRC-framed, fsynced before the MVCC publish), replays
+  log-on-top-of-snapshot on reopen, compacts past a size threshold
+  and recovers to any logged generation (``Database.recover_to``).
 """
 
 from repro.store.attr_index import AttrIndex
@@ -37,6 +42,7 @@ from repro.store.ops import (
     indexed_intersection,
     indexed_union,
 )
+from repro.store.wal import WalFrame, WalScan, WriteAheadLog, scan_wal
 
 __all__ = [
     "AttrIndex",
@@ -44,4 +50,5 @@ __all__ = [
     "indexed_union", "indexed_intersection", "indexed_difference",
     "blocked_union", "fold_union", "IncrementalUnion", "UnionDiff",
     "Database", "DatabaseView", "LRUCache", "QueryResultCache",
+    "WriteAheadLog", "WalFrame", "WalScan", "scan_wal",
 ]

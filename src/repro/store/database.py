@@ -36,7 +36,15 @@ as open work; this module is that implementation at library scale:
 * ``merge_in`` ingests another source as a net
   :class:`~repro.store.bulk.UnionDiff` against the maintained index
   (optionally through the parallel blocked pipeline), so an ingest
-  touches only the data the ``∪K`` step actually changed.
+  touches only the data the ``∪K`` step actually changed;
+* **incremental durability** through a write-ahead log
+  (:mod:`repro.store.wal`): :meth:`Database.open` with
+  ``durable=True`` appends every committed batch's net diff to an
+  fsynced log *before* publishing the new state, replays
+  log-on-top-of-snapshot when reopening (torn tails truncated, never
+  fatal), compacts snapshot + log past a size threshold on a
+  background thread, and recovers to any logged generation
+  (:meth:`Database.recover_to`).
 
 The memory-model assumption is CPython's: publishing a fully built
 state record by assigning one attribute is atomic under the GIL, and
@@ -51,6 +59,7 @@ import json
 import os
 import tempfile
 import threading
+import warnings
 from pathlib import Path
 from typing import IO, Callable, Hashable, Iterable, Iterator
 
@@ -66,6 +75,13 @@ from repro.store.attr_index import AttrIndex
 from repro.store.bulk import blocked_union, union_diff
 from repro.store.cache import LRUCache, QueryResultCache
 from repro.store.index import KeyIndex
+from repro.store.wal import (
+    WalFrame,
+    WriteAheadLog,
+    _maybe_crash,
+    scan_wal,
+    wal_path,
+)
 
 __all__ = ["Database", "DatabaseView"]
 
@@ -74,9 +90,13 @@ _FORMAT = "repro-database"
 _VERSION = 1
 
 #: Magic prefix of binary database files (followed by the container
-#: version, the embedded codec version, and a flags varint).
+#: version, the embedded codec version, a flags varint and — from
+#: container version 2 — the snapshot's generation varint).
 _BINARY_MAGIC = b"RPDB"
-_BINARY_VERSION = 1
+_BINARY_VERSION = 2
+
+#: Container versions this build can read (1 has no generation field).
+_BINARY_READABLE = (1, 2)
 
 #: Container flag: the store interns its objects.
 _FLAG_INTERNED = 1
@@ -91,6 +111,11 @@ _QUERY_CACHE_SIZE = 128
 
 #: Default capacity of the per-generation query-result cache.
 _RESULT_CACHE_SIZE = 256
+
+#: Default WAL size (bytes) past which a durable database compacts:
+#: the snapshot is rewritten at the current generation and the log is
+#: truncated to the frames committed after it.
+_COMPACT_BYTES = 4 << 20
 
 
 class _DBState:
@@ -220,6 +245,15 @@ class Database:
         self._results = QueryResultCache(result_cache_size)
         self._executor_lock = threading.Lock()
         self._executor_slot: tuple | None = None
+        # Durability runtime: populated by Database.open(durable=True);
+        # a plain in-memory database never touches the log.
+        self._wal: WriteAheadLog | None = None
+        self._path: Path | None = None
+        self._snapshot_format = "binary"
+        self._compact_bytes = _COMPACT_BYTES
+        self._auto_compact = False
+        self._compact_lock = threading.Lock()
+        self._compact_thread: threading.Thread | None = None
         self._state = state
 
     def _canonical(self, datum: Data) -> Data:
@@ -283,11 +317,13 @@ class Database:
         """Apply one write batch; returns the net ``(removed, added)``.
 
         Must run under the writer lock. The next state is assembled
-        copy-on-write off the current one, the result cache commits the
-        epoch step, and only then is the new generation published — a
-        reader that pins the old state mid-write keeps a fully
-        consistent view, and no reader at the new generation can ever
-        hit a stale cache entry.
+        copy-on-write off the current one, the write-ahead log (when
+        the database is durable) appends and fsyncs the net diff, the
+        result cache commits the epoch step, and only then is the new
+        generation published — a reader that pins the old state
+        mid-write keeps a fully consistent view, no reader at the new
+        generation can ever hit a stale cache entry, and no reader can
+        ever observe a generation whose frame is not on disk.
         """
         state = self._state
         added_set = set(added)
@@ -313,10 +349,21 @@ class Database:
                 for key, index in state.key_indexes.items()},
             attr_index=attr_index,
         )
+        log = self._wal
+        if log is not None:
+            # Write-ahead ordering: the frame must be durable before
+            # any reader can pin the generation it creates. An append
+            # failure leaves the old state published and the log
+            # truncated back to its last good frame.
+            log.append(next_state.generation, delta_removed,
+                       delta_added)
         self._results.commit(state.generation, next_state.generation,
                              delta_removed + delta_added, touched,
                              attr_index.paths)
         self._state = next_state
+        if (log is not None and self._auto_compact
+                and log.size >= self._compact_bytes):
+            self._spawn_compaction()
         return delta_removed, delta_added
 
     def insert(self, datum: Data) -> bool:
@@ -553,11 +600,22 @@ class Database:
             return executor
 
     def close(self) -> None:
-        """Release the parallel worker pool, if one is running."""
+        """Release the parallel worker pool and the write-ahead log.
+
+        A running background compaction is joined first so the log and
+        snapshot are left in a consistent resting state. Closing is
+        safe at any time: every committed generation is already on
+        disk, so close() adds no durability of its own.
+        """
         with self._executor_lock:
             if self._executor_slot is not None:
                 self._executor_slot[3].close()
                 self._executor_slot = None
+        thread = self._compact_thread
+        if thread is not None and thread.is_alive():
+            thread.join(timeout=60)
+        if self._wal is not None:
+            self._wal.close()
 
     def __enter__(self) -> "Database":
         return self
@@ -601,6 +659,247 @@ class Database:
                         tuple(self._canonical(datum) for datum in added))
             return len(self._state.data)
 
+    # -- incremental durability --------------------------------------------------
+
+    @property
+    def wal(self) -> WriteAheadLog | None:
+        """The attached write-ahead log (``None`` unless opened
+        durable)."""
+        return self._wal
+
+    @classmethod
+    def open(cls, path: str | Path, *, durable: bool = True,
+             intern_objects: bool = True,
+             index_paths: Iterable[str] = (),
+             result_cache_size: int = _RESULT_CACHE_SIZE,
+             compact_bytes: int = _COMPACT_BYTES,
+             auto_compact: bool = True,
+             fsync: bool = True) -> "Database":
+        """Open a durable database: snapshot plus write-ahead log.
+
+        ``path`` is the snapshot file (created on first compaction if
+        missing); the log lives beside it at ``<path>.wal``. Recovery
+        replays the log's longest intact frame prefix on top of the
+        snapshot — a torn or corrupt tail is truncated, never fatal —
+        and lands on exactly the last durably committed generation.
+        From then on every committed write batch is appended to the
+        log and fsynced *before* the new generation is published, so a
+        crash (power loss, SIGKILL) at any instant loses at most the
+        single commit whose frame never reached the disk.
+
+        Once the log exceeds ``compact_bytes``, a background thread
+        rewrites the snapshot at the current generation and truncates
+        the log (``auto_compact=False`` leaves that to explicit
+        :meth:`compact` calls). ``fsync=False`` trades the per-commit
+        fsync away for speed (contents survive process death but not
+        power loss). ``durable=False`` degrades to a plain
+        :meth:`load`.
+
+        ``intern_objects``/``index_paths``/``result_cache_size`` apply
+        to a freshly created store; an existing snapshot keeps its own
+        interning flag and persisted indexes (``index_paths`` are
+        still ensured via :meth:`create_index`).
+        """
+        target = Path(path)
+        if not durable:
+            return cls.load(target)
+        if target.exists():
+            database = cls.load(target)
+            with open(target, "rb") as probe:
+                magic = probe.read(len(_BINARY_MAGIC))
+            snapshot_format = ("binary" if magic == _BINARY_MAGIC
+                               else "json")
+        else:
+            database = cls((), intern_objects=intern_objects,
+                           result_cache_size=result_cache_size)
+            snapshot_format = "binary"
+        log_path = wal_path(target)
+        scan = scan_wal(log_path, intern=database._intern)
+        if scan.exists and scan.header_valid:
+            if (scan.base_generation or 0) > database.generation:
+                raise CodecError(
+                    f"write-ahead log {log_path} starts at generation "
+                    f"{scan.base_generation}, ahead of the snapshot "
+                    f"(generation {database.generation})")
+            database._replay_frames(scan.frames)
+        log = WriteAheadLog(log_path,
+                            base_generation=database.generation,
+                            interned=database._intern, fsync=fsync,
+                            scan=scan)
+        if log.last_generation != database.generation:
+            # The snapshot is ahead of every logged frame (an
+            # out-of-band save, or a log from an older incarnation):
+            # the frames are already reflected, and the next append
+            # must chain from the snapshot's generation.
+            log.rebase(database.generation)
+        database._path = target
+        database._snapshot_format = snapshot_format
+        database._compact_bytes = compact_bytes
+        database._auto_compact = auto_compact
+        database._wal = log
+        for indexed in index_paths:
+            database.create_index(indexed)
+        return database
+
+    @classmethod
+    def recover_to(cls, path: str | Path,
+                   generation: int | None = None) -> "Database":
+        """Point-in-time recovery: the store as of one logged
+        generation.
+
+        Replays the write-ahead log beside ``path`` only up to
+        ``generation`` (default: the last intact frame) and returns a
+        plain in-memory database pinned there — no log is attached, so
+        inspecting (or :meth:`save`-ing) the historical state never
+        forks the durable history. Raises :class:`CodecError` for a
+        generation older than the snapshot (compaction discarded its
+        history) or newer than anything logged.
+        """
+        target = Path(path)
+        database = cls.load(target) if target.exists() else cls()
+        scan = scan_wal(wal_path(target), intern=database._intern)
+        frames: list[WalFrame] = []
+        if scan.exists and scan.header_valid:
+            if (scan.base_generation or 0) > database.generation:
+                raise CodecError(
+                    f"write-ahead log starts at generation "
+                    f"{scan.base_generation}, ahead of the snapshot "
+                    f"(generation {database.generation})")
+            frames = scan.frames
+        top = max(database.generation,
+                  frames[-1].generation if frames else 0)
+        if generation is None:
+            generation = top
+        if generation < database.generation:
+            raise CodecError(
+                f"generation {generation} predates the snapshot "
+                f"(generation {database.generation}); compaction "
+                f"discarded its history")
+        if generation > top:
+            raise CodecError(
+                f"generation {generation} was never logged "
+                f"(latest recoverable is {top})")
+        database._replay_frames(frames, upto=generation)
+        return database
+
+    def _replay_frames(self, frames: Iterable[WalFrame],
+                       upto: int | None = None) -> None:
+        """Rebuild this store's state from logged frames (open-time
+        only — no locks, no cache commits, no log appends).
+
+        Replay is idempotent: each frame's diff is renormalized
+        against the running contents, so frames the snapshot already
+        contains (the crash-mid-compaction window) fall out as no-ops
+        while the final generation still lands on the last frame
+        replayed. Indexes are patched copy-on-write per frame, keeping
+        an index-warm snapshot load warm through replay.
+        """
+        state = self._state
+        data = set(state.data)
+        marker_index = state.marker_index
+        attr_index = state.attr_index
+        key_indexes = state.key_indexes
+        generation = state.generation
+        changed = False
+        for frame in frames:
+            if upto is not None and frame.generation > upto:
+                break
+            generation = max(generation, frame.generation)
+            added_set = set(frame.added)
+            delta_removed = tuple(datum for datum in frame.removed
+                                  if datum in data
+                                  and datum not in added_set)
+            delta_added = tuple(datum for datum in frame.added
+                                if datum not in data)
+            if not delta_removed and not delta_added:
+                continue
+            changed = True
+            data.difference_update(delta_removed)
+            data.update(delta_added)
+            marker_index = _patched_markers(marker_index, delta_removed,
+                                            delta_added)
+            attr_index, _ = attr_index.patched(delta_removed,
+                                               delta_added)
+            key_indexes = {
+                key: index.patched(delta_removed, delta_added)
+                for key, index in key_indexes.items()}
+        if not changed and generation == state.generation:
+            return
+        self._state = _DBState(
+            generation=generation,
+            data=frozenset(data) if changed else state.data,
+            marker_index=marker_index,
+            key_indexes=key_indexes,
+            attr_index=attr_index,
+            dataset=None if changed else state._dataset,
+        )
+
+    def compact(self) -> None:
+        """Rewrite the snapshot at the current generation and truncate
+        the log to the frames committed after it.
+
+        Crash-safe at every instant: the new snapshot temp and the new
+        log temp are both fsynced before either replace; the snapshot
+        is replaced *first*, so a crash between the two replaces
+        leaves new-snapshot + old-log — and replaying the old log's
+        frames over the new snapshot is a no-op by idempotent replay.
+        Writers keep committing while the snapshot temp is written;
+        the brief swap itself serializes behind the writer lock so no
+        freshly appended frame can be dropped.
+        """
+        log = self._wal
+        if log is None:
+            raise CodecError(
+                "compact() requires a durable database "
+                "(Database.open(path, durable=True))")
+        with self._compact_lock:
+            with self._lock:
+                state = self._state
+                offset = log.size
+            target = self._path
+            assert target is not None
+            target.parent.mkdir(parents=True, exist_ok=True)
+            snapshot_temp: str | None = self._write_snapshot_temp(
+                state, target, self._snapshot_format)
+            try:
+                with self._lock:
+                    tail = log.read_from(offset)
+                    log_temp: str | None = log.rewrite_temp(
+                        state.generation, tail)
+                    try:
+                        _maybe_crash("compact-pre-snapshot-swap")
+                        os.replace(snapshot_temp, target)
+                        snapshot_temp = None
+                        _fsync_directory(target.parent)
+                        _maybe_crash("compact-pre-wal-swap")
+                        log.swap(log_temp, state.generation)
+                        log_temp = None
+                    finally:
+                        if log_temp and os.path.exists(log_temp):
+                            os.unlink(log_temp)
+            finally:
+                if snapshot_temp and os.path.exists(snapshot_temp):
+                    os.unlink(snapshot_temp)
+
+    def _spawn_compaction(self) -> None:
+        """Kick off one background compaction (writer lock held)."""
+        thread = self._compact_thread
+        if thread is not None and thread.is_alive():
+            return
+
+        def run() -> None:
+            try:
+                self.compact()
+            except BaseException as exc:  # pragma: no cover - disk I/O
+                warnings.warn(
+                    f"background WAL compaction failed: {exc}",
+                    RuntimeWarning, stacklevel=2)
+
+        thread = threading.Thread(target=run, name="repro-wal-compact",
+                                  daemon=True)
+        self._compact_thread = thread
+        thread.start()
+
     # -- persistence -----------------------------------------------------------------
 
     def save(self, path: str | Path, *, format: str = "json") -> None:
@@ -627,6 +926,19 @@ class Database:
         state = self._state
         target = Path(path)
         target.parent.mkdir(parents=True, exist_ok=True)
+        temp_name = self._write_snapshot_temp(state, target, format)
+        try:
+            os.replace(temp_name, target)
+            _fsync_directory(target.parent)
+        except BaseException:
+            if os.path.exists(temp_name):
+                os.unlink(temp_name)
+            raise
+
+    def _write_snapshot_temp(self, state: _DBState, target: Path,
+                             format: str) -> str:
+        """Write one pinned state to an fsynced temp file beside
+        ``target``; returns the temp name (caller replaces/unlinks)."""
         descriptor, temp_name = tempfile.mkstemp(
             dir=target.parent, prefix=target.name, suffix=".tmp")
         try:
@@ -639,18 +951,18 @@ class Database:
                 payload = {
                     "format": _FORMAT,
                     "version": _VERSION,
+                    "generation": state.generation,
                     "dataset": encode_dataset(state.dataset()),
                 }
                 with os.fdopen(descriptor, "w") as handle:
                     json.dump(payload, handle)
                     handle.flush()
                     os.fsync(handle.fileno())
-            os.replace(temp_name, target)
-            _fsync_directory(target.parent)
         except BaseException:
             if os.path.exists(temp_name):
                 os.unlink(temp_name)
             raise
+        return temp_name
 
     @classmethod
     def load(cls, path: str | Path, *,
@@ -695,7 +1007,17 @@ class Database:
         if payload.get("version") != _VERSION:
             raise CodecError(
                 f"unsupported database version {payload.get('version')!r}")
-        return cls(decode_dataset(payload["dataset"]))
+        generation = payload.get("generation", 0)
+        if not isinstance(generation, int) or generation < 0:
+            raise CodecError(
+                f"invalid snapshot generation {generation!r}")
+        database = cls(decode_dataset(payload["dataset"]))
+        if generation:
+            state = database._state
+            database._state = _DBState(
+                generation, state.data, state.marker_index,
+                state.key_indexes, state.attr_index, state._dataset)
+        return database
 
     # -- binary container ---------------------------------------------------------
 
@@ -717,6 +1039,7 @@ class Database:
         encoder.write_uvarint(_BINARY_VERSION)
         encoder.write_uvarint(binary_codec.VERSION)
         encoder.write_uvarint(_FLAG_INTERNED if self._intern else 0)
+        encoder.write_uvarint(state.generation)
         # order maps id(datum) -> pre-packed position varint: index
         # sections reference each datum ~once per indexed path, so
         # packing the position once amortizes across all of them.
@@ -790,7 +1113,7 @@ class Database:
         if magic != _BINARY_MAGIC:
             raise CodecError("not a repro binary database file")
         container_version = decoder.read_uvarint()
-        if container_version != _BINARY_VERSION:
+        if container_version not in _BINARY_READABLE:
             raise CodecError(
                 f"unsupported database version {container_version!r}")
         codec_version = decoder.read_uvarint()
@@ -799,6 +1122,10 @@ class Database:
                 f"unsupported binary codec version {codec_version!r} "
                 f"(this build reads version {binary_codec.VERSION})")
         interned = bool(decoder.read_uvarint() & _FLAG_INTERNED)
+        # Version 1 predates the generation field; such snapshots
+        # reopen at generation 0 (they never had a paired WAL).
+        generation = (decoder.read_uvarint()
+                      if container_version >= 2 else 0)
         decoder.intern = interned
         data_order = list(decoder.iter_data())
         if not decoder.ended:
@@ -844,7 +1171,7 @@ class Database:
         database = cls.__new__(cls)
         database._intern = interned
         database._init_runtime(_DBState(
-            generation=0,
+            generation=generation,
             data=data,
             marker_index=_build_marker_index(data),
             key_indexes=key_indexes,

@@ -1,0 +1,483 @@
+"""Write-ahead log: incremental durability for :class:`Database`.
+
+Full-snapshot persistence (``Database.save``) makes every commit after
+the last save volatile; this module closes that gap. Every committed
+write batch — the net ``(removed, added)`` diff the single batch
+``_apply`` path already computes, plus its generation number — is
+appended to an on-disk log *before* the new MVCC state is published,
+so a crash at any instant loses at most the one commit whose frame
+never reached the disk. Reopening replays log-on-top-of-snapshot and
+lands on exactly the last durably committed generation: the paper's
+partial-information values (⊥, or-values, partial sets) ride through
+unchanged because frames carry full :class:`~repro.core.data.Data`
+values in the :mod:`repro.binary_codec` wire format.
+
+On-disk layout (all integers are LEB128 varints)::
+
+    wal     := header frame*
+    header  := magic "RPWL", varint version, varint base-generation,
+               varint flags, crc32(header bytes) LE32
+    frame   := varint len(payload), payload, crc32(payload) LE32
+    payload := binary-codec stream (no stream header):
+               varint generation,
+               varint n-removed, n-removed datum records,
+               varint n-added,   n-added   datum records
+
+``base-generation`` is the generation of the snapshot the log applies
+on top of; frame generations are the contiguous run ``base+1, base+2,
+…``. Each frame is a self-contained codec stream (its own value
+table), so one torn frame can never corrupt its neighbours.
+
+**Recovery is never fatal.** :func:`scan_wal` accepts arbitrary bytes
+and returns the longest intact frame prefix: it stops at the first
+frame whose length field is malformed, whose CRC-32 does not match,
+whose payload does not decode, or whose generation breaks the
+contiguous run (a duplicated or replayed frame ends the valid prefix
+exactly like a torn one). A corrupt header yields an empty prefix —
+recovery then falls back to the snapshot alone. Opening a
+:class:`WriteAheadLog` for writing truncates the invalid tail so the
+next append extends a fully valid log.
+
+**Crash-point instrumentation.** The commit and compaction paths call
+:func:`_maybe_crash` at named points (``pre-append``, ``mid-append``,
+``pre-fsync``, ``post-fsync``, ``compact-pre-snapshot-swap``,
+``compact-pre-wal-swap``). When the ``REPRO_WAL_CRASH`` environment
+variable names a point (optionally ``point:N`` for the N-th hit), the
+process SIGKILLs itself there — no cleanup handlers, no flushes — so
+the crash-simulation harness (``tests/harness/crashsim.py``) can
+exercise every ordering window of the commit protocol with a real
+process death. ``mid-append`` additionally writes only half the frame
+first, simulating a torn write.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import signal
+import tempfile
+import zlib
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.binary_codec import Decoder, Encoder, pack_uvarint
+from repro.core.data import Data
+from repro.core.errors import CodecError
+
+__all__ = ["WriteAheadLog", "WalFrame", "WalScan", "scan_wal",
+           "wal_path", "encode_frame", "decode_frame_payload"]
+
+#: Magic prefix of a write-ahead log file.
+WAL_MAGIC = b"RPWL"
+
+#: Log format version; bumped on incompatible changes.
+WAL_VERSION = 1
+
+#: Header flag: frames were written from an interning database.
+_FLAG_INTERNED = 1
+
+#: Environment variable arming a crash point: ``"point"`` or
+#: ``"point:N"`` (SIGKILL on the N-th hit; default the first).
+CRASH_ENV = "REPRO_WAL_CRASH"
+
+#: Per-point hit counters for ``point:N`` crash specs.
+_crash_hits: dict[str, int] = {}
+
+
+def _crash_armed(point: str) -> bool:
+    """Whether this hit of ``point`` is the one the environment arms."""
+    spec = os.environ.get(CRASH_ENV)
+    if not spec:
+        return False
+    name, _, nth = spec.partition(":")
+    if name != point:
+        return False
+    hits = _crash_hits.get(point, 0) + 1
+    _crash_hits[point] = hits
+    return hits == (int(nth) if nth else 1)
+
+
+def _kill_self() -> None:
+    """Die instantly — no atexit, no buffers, no finally blocks."""
+    if hasattr(signal, "SIGKILL"):
+        os.kill(os.getpid(), signal.SIGKILL)
+    os._exit(137)  # non-POSIX fallback; still skips cleanup
+
+
+def _maybe_crash(point: str) -> None:
+    if _crash_armed(point):
+        _kill_self()
+
+
+def wal_path(snapshot_path: str | Path) -> Path:
+    """The log path paired with a snapshot path (``<snapshot>.wal``)."""
+    return Path(str(snapshot_path) + ".wal")
+
+
+class WalFrame:
+    """One committed write batch: generation plus its net diff."""
+
+    __slots__ = ("generation", "removed", "added")
+
+    def __init__(self, generation: int, removed: tuple[Data, ...],
+                 added: tuple[Data, ...]):
+        self.generation = generation
+        self.removed = removed
+        self.added = added
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"WalFrame(generation={self.generation}, "
+                f"-{len(self.removed)}/+{len(self.added)})")
+
+
+class WalScan:
+    """The result of :func:`scan_wal`: the longest intact prefix.
+
+    ``valid_length`` is the byte offset at which validity ends —
+    everything past it is a torn or corrupt tail (or, for an invalid
+    header, the whole file). ``offsets[i]`` is the byte offset at which
+    ``frames[i]`` starts, so callers can map byte positions to frames.
+    """
+
+    __slots__ = ("exists", "header_valid", "base_generation", "interned",
+                 "frames", "offsets", "valid_length", "file_size")
+
+    def __init__(self, *, exists: bool, header_valid: bool,
+                 base_generation: int | None, interned: bool,
+                 frames: list[WalFrame], offsets: list[int],
+                 valid_length: int, file_size: int):
+        self.exists = exists
+        self.header_valid = header_valid
+        self.base_generation = base_generation
+        self.interned = interned
+        self.frames = frames
+        self.offsets = offsets
+        self.valid_length = valid_length
+        self.file_size = file_size
+
+    @property
+    def last_generation(self) -> int:
+        """The generation recovery lands on (base if no frames)."""
+        if self.frames:
+            return self.frames[-1].generation
+        return self.base_generation or 0
+
+
+def _uvarint_at(blob: bytes, pos: int) -> tuple[int, int] | None:
+    """Decode a varint at ``pos``; ``None`` when malformed/truncated."""
+    value = 0
+    shift = 0
+    size = len(blob)
+    while pos < size:
+        byte = blob[pos]
+        pos += 1
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value, pos
+        shift += 7
+        if shift > 63:
+            return None
+    return None
+
+
+def encode_frame(generation: int, removed: Sequence[Data],
+                 added: Sequence[Data]) -> bytes:
+    """Serialize one commit as a length-prefixed, CRC-checked frame."""
+    buffer = io.BytesIO()
+    encoder = Encoder(buffer, header=False)
+    encoder.write_uvarint(generation)
+    encoder.write_uvarint(len(removed))
+    for datum in removed:
+        encoder.write_datum(datum)
+    encoder.write_uvarint(len(added))
+    for datum in added:
+        encoder.write_datum(datum)
+    encoder.flush()
+    payload = buffer.getvalue()
+    return (pack_uvarint(len(payload)) + payload
+            + zlib.crc32(payload).to_bytes(4, "little"))
+
+
+def decode_frame_payload(payload: bytes, *, intern: bool) -> WalFrame:
+    """Parse one frame payload; raises :class:`CodecError` on damage."""
+    decoder = Decoder(io.BytesIO(payload), header=False, intern=intern)
+    generation = decoder.read_uvarint()
+    removed = tuple(decoder.read_datum()
+                    for _ in range(decoder.read_uvarint()))
+    added = tuple(decoder.read_datum()
+                  for _ in range(decoder.read_uvarint()))
+    return WalFrame(generation, removed, added)
+
+
+def _header_bytes(base_generation: int, interned: bool) -> bytes:
+    body = (WAL_MAGIC + pack_uvarint(WAL_VERSION)
+            + pack_uvarint(base_generation)
+            + pack_uvarint(_FLAG_INTERNED if interned else 0))
+    return body + zlib.crc32(body).to_bytes(4, "little")
+
+
+def _parse_header(blob: bytes) -> tuple[int, bool, int] | None:
+    """``(base_generation, interned, end_offset)``; ``None`` if bad."""
+    if blob[:len(WAL_MAGIC)] != WAL_MAGIC:
+        return None
+    at = _uvarint_at(blob, len(WAL_MAGIC))
+    if at is None or at[0] != WAL_VERSION:
+        return None
+    at = _uvarint_at(blob, at[1])
+    if at is None:
+        return None
+    base, pos = at
+    at = _uvarint_at(blob, pos)
+    if at is None:
+        return None
+    flags, pos = at
+    if pos + 4 > len(blob):
+        return None
+    if zlib.crc32(blob[:pos]) != int.from_bytes(blob[pos:pos + 4],
+                                                "little"):
+        return None
+    return base, bool(flags & _FLAG_INTERNED), pos + 4
+
+
+def scan_wal(path: str | Path, *, intern: bool = False) -> WalScan:
+    """Read a log, returning its longest intact frame prefix.
+
+    Never raises on damaged content: any malformed length, CRC
+    mismatch, undecodable payload or non-contiguous generation ends the
+    valid prefix at the previous frame boundary. A missing file or a
+    corrupt header yields an empty prefix (``header_valid`` tells the
+    two apart from a merely frameless log).
+    """
+    try:
+        blob = Path(path).read_bytes()
+    except OSError:
+        return WalScan(exists=False, header_valid=False,
+                       base_generation=None, interned=intern,
+                       frames=[], offsets=[], valid_length=0,
+                       file_size=0)
+    parsed = _parse_header(blob)
+    if parsed is None:
+        return WalScan(exists=True, header_valid=False,
+                       base_generation=None, interned=intern,
+                       frames=[], offsets=[], valid_length=0,
+                       file_size=len(blob))
+    base, interned_flag, pos = parsed
+    frames: list[WalFrame] = []
+    offsets: list[int] = []
+    valid_length = pos
+    expected = base + 1
+    size = len(blob)
+    while pos < size:
+        start = pos
+        at = _uvarint_at(blob, pos)
+        if at is None:
+            break
+        length, pos = at
+        end = pos + length
+        if end + 4 > size:
+            break
+        payload = blob[pos:end]
+        if zlib.crc32(payload) != int.from_bytes(blob[end:end + 4],
+                                                 "little"):
+            break
+        try:
+            frame = decode_frame_payload(payload, intern=intern)
+        except CodecError:
+            break
+        if frame.generation != expected:
+            # A duplicated, replayed or reordered frame: the log's
+            # contiguous-generation invariant is broken, so the valid
+            # prefix ends here exactly as it would at a torn write.
+            break
+        frames.append(frame)
+        offsets.append(start)
+        expected += 1
+        pos = end + 4
+        valid_length = pos
+    return WalScan(exists=True, header_valid=True, base_generation=base,
+                   interned=interned_flag, frames=frames,
+                   offsets=offsets, valid_length=valid_length,
+                   file_size=len(blob))
+
+
+def _fsync_directory(path: Path) -> None:
+    """Best-effort fsync of a directory entry (POSIX only)."""
+    if os.name != "posix":
+        return
+    try:
+        descriptor = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(descriptor)
+    except OSError:
+        pass
+    finally:
+        os.close(descriptor)
+
+
+class WriteAheadLog:
+    """An append-only commit log paired with one snapshot file.
+
+    Opening repairs the log in place: a torn or corrupt tail found by
+    :func:`scan_wal` is truncated away, and a missing or header-corrupt
+    file is recreated fresh at ``base_generation``. Appends are
+    serialized by the owning :class:`~repro.store.database.Database`'s
+    writer lock; each one is flushed and fsynced before it returns, so
+    a frame that was appended is a frame recovery will see.
+    """
+
+    def __init__(self, path: str | Path, *, base_generation: int = 0,
+                 interned: bool = True, fsync: bool = True,
+                 scan: WalScan | None = None):
+        self._path = Path(path)
+        self._fsync = fsync
+        self._handle = None
+        if scan is None:
+            scan = scan_wal(self._path, intern=interned)
+        if scan.exists and scan.header_valid:
+            self.interned = scan.interned
+            self.base_generation = scan.base_generation or 0
+            self.last_generation = scan.last_generation
+            if scan.valid_length < scan.file_size:
+                # Torn/corrupt tail: truncate so appends extend a
+                # fully valid log instead of burying frames behind
+                # garbage the scanner would stop at.
+                with open(self._path, "r+b") as repair:
+                    repair.truncate(scan.valid_length)
+                    repair.flush()
+                    os.fsync(repair.fileno())
+            self.size = scan.valid_length
+            self._handle = open(self._path, "ab")
+        else:
+            self.interned = interned
+            self._create(base_generation)
+
+    def _create(self, base_generation: int) -> None:
+        """(Re)write an empty log durably: header only."""
+        header = _header_bytes(base_generation, self.interned)
+        temp = self._write_temp(header)
+        os.replace(temp, self._path)
+        _fsync_directory(self._path.parent)
+        self.base_generation = base_generation
+        self.last_generation = base_generation
+        self.size = len(header)
+        if self._handle is not None:
+            self._handle.close()
+        self._handle = open(self._path, "ab")
+
+    def _write_temp(self, content: bytes) -> str:
+        """Write ``content`` to an fsynced temp file in the log's
+        directory; returns its name (caller replaces or unlinks)."""
+        descriptor, temp_name = tempfile.mkstemp(
+            dir=self._path.parent, prefix=self._path.name, suffix=".tmp")
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                handle.write(content)
+                handle.flush()
+                os.fsync(handle.fileno())
+        except BaseException:
+            if os.path.exists(temp_name):
+                os.unlink(temp_name)
+            raise
+        return temp_name
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    @property
+    def closed(self) -> bool:
+        return self._handle is None
+
+    def append(self, generation: int, removed: Iterable[Data],
+               added: Iterable[Data]) -> None:
+        """Durably log one commit; must precede the MVCC publish.
+
+        The frame is written, flushed and fsynced before this returns:
+        once a reader can observe the new generation, its frame is on
+        disk. On any write/fsync failure the partial frame is truncated
+        away again, so a failed append never leaves bytes a later
+        append would bury mid-log.
+        """
+        handle = self._handle
+        if handle is None:
+            raise CodecError("write-ahead log is closed")
+        if generation != self.last_generation + 1:
+            raise CodecError(
+                f"non-contiguous WAL append: generation {generation} "
+                f"after {self.last_generation}")
+        frame = encode_frame(generation, tuple(removed), tuple(added))
+        _maybe_crash("pre-append")
+        if _crash_armed("mid-append"):
+            # Torn-write simulation: half a frame reaches the OS, then
+            # the process dies. Recovery must truncate it.
+            handle.write(frame[:max(1, len(frame) // 2)])
+            handle.flush()
+            _kill_self()
+        try:
+            handle.write(frame)
+            handle.flush()
+            _maybe_crash("pre-fsync")
+            if self._fsync:
+                os.fsync(handle.fileno())
+            _maybe_crash("post-fsync")
+        except BaseException:
+            try:
+                handle.truncate(self.size)
+                handle.flush()
+                os.fsync(handle.fileno())
+            except OSError:
+                pass
+            raise
+        self.size += len(frame)
+        self.last_generation = generation
+
+    def read_from(self, offset: int) -> bytes:
+        """The raw log bytes from ``offset`` to the current end —
+        the frames a compaction pinned *after* its snapshot state."""
+        with open(self._path, "rb") as handle:
+            handle.seek(offset)
+            return handle.read(self.size - offset)
+
+    def rewrite_temp(self, base_generation: int, tail: bytes) -> str:
+        """An fsynced temp file holding ``header(base) + tail``; the
+        compaction protocol replaces the log with it *after* the new
+        snapshot is in place."""
+        return self._write_temp(
+            _header_bytes(base_generation, self.interned) + tail)
+
+    def swap(self, temp_name: str, base_generation: int) -> None:
+        """Atomically adopt a :meth:`rewrite_temp` file as the log.
+
+        ``last_generation`` is unchanged: the tail frames carried over
+        keep the log's head exactly where the writer lock last left it.
+        """
+        size = os.path.getsize(temp_name)
+        os.replace(temp_name, self._path)
+        _fsync_directory(self._path.parent)
+        if self._handle is not None:
+            self._handle.close()
+        self._handle = open(self._path, "ab")
+        self.base_generation = base_generation
+        self.size = size
+
+    def rebase(self, generation: int) -> None:
+        """Reset to an empty log at ``generation`` (frames discarded).
+
+        Used when a snapshot is ahead of every logged frame — the
+        frames are already reflected in it, and the next append must
+        chain from the snapshot's generation.
+        """
+        self._create(generation)
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

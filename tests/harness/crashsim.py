@@ -1,0 +1,134 @@
+"""Crash-simulation fixture: kill a durable workload, then recover.
+
+Durability claims are only as strong as the deaths they survive, so
+this harness runs a deterministic mutation workload against
+``Database.open`` in a *separate process* and SIGKILLs it at an
+instrumented commit-path crash point (``REPRO_WAL_CRASH``, see
+``repro.store.wal``) — a real process death, not a raised exception, so
+no ``finally`` block or atexit handler can paper over a broken fsync
+ordering.
+
+The workload is shared, deterministic code: commit ``k`` inserts,
+updates or removes depending on ``k % 3``, so the parent process can
+compute the exact expected ``DataSet`` for *every* generation
+(:func:`expected_states`) without reading anything back from the child.
+A recovery assertion is then simply ``reopened.snapshot() ==
+expected_states(n)[reopened.generation]`` — the reopened database must
+equal a state the workload actually committed, never a torn hybrid.
+
+Run directly (``python tests/harness/crashsim.py <db-path> <commits>
+[compact-at]``) the module executes the workload and exits 0; the test
+suite launches it via :func:`run_workload_process` with a crash point
+armed and asserts on the SIGKILL and on what recovery finds.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parents[2]
+_SRC = _REPO_ROOT / "src"
+if str(_SRC) not in sys.path:  # direct invocation: make repro importable
+    sys.path.insert(0, str(_SRC))
+
+from repro.core.builder import data, tup  # noqa: E402
+from repro.store import Database  # noqa: E402
+from repro.store.wal import CRASH_ENV  # noqa: E402
+
+
+def apply_commit(db: Database, k: int) -> None:
+    """Apply deterministic commit ``k`` (1-based); bumps exactly one
+    generation.
+
+    The cycle exercises every frame shape: ``k % 3 == 1`` inserts a
+    fresh datum (add-only frame), ``k % 3 == 2`` rewrites the previous
+    commit's datum (remove+add frame), ``k % 3 == 0`` deletes the datum
+    the cycle rewrote (remove-only frame).
+    """
+    phase = k % 3
+    if phase == 1:
+        assert db.insert(
+            data(f"m{k}", tup(kind="row", seq=k, title=f"T{k}")))
+    elif phase == 2:
+        marker = f"m{k - 1}"
+        changed = db.update(
+            marker,
+            lambda _d: data(marker,
+                            tup(kind="row", seq=k, title=f"T{k - 1}",
+                                rev=1)))
+        assert changed == 1
+    else:
+        victims = list(db.by_marker(f"m{k - 2}"))
+        assert len(victims) == 1
+        assert db.remove(victims[0])
+
+
+def expected_states(commits: int):
+    """``states[g]`` = the exact DataSet after commit ``g`` (0-based
+    entry is the empty initial state)."""
+    db = Database()
+    states = [db.snapshot()]
+    for k in range(1, commits + 1):
+        apply_commit(db, k)
+        states.append(db.snapshot())
+    return states
+
+
+def run_workload(path: str | Path, commits: int,
+                 compact_at: int | None = None) -> None:
+    """Open ``path`` durably and apply commits up to ``commits``.
+
+    Resumes from the database's current generation, so a recovered
+    store can be driven to completion by simply calling this again.
+    """
+    db = Database.open(Path(path), auto_compact=False)
+    try:
+        for k in range(db.generation + 1, commits + 1):
+            apply_commit(db, k)
+            if compact_at is not None and k == compact_at:
+                db.compact()
+    finally:
+        db.close()
+
+
+def run_workload_process(path: str | Path, commits: int, *,
+                         crash_point: str | None = None,
+                         occurrence: int = 1,
+                         compact_at: int | None = None,
+                         timeout: float = 120.0):
+    """Run the workload in a child process, optionally armed to crash.
+
+    Returns the :class:`subprocess.CompletedProcess`; the caller
+    asserts on ``returncode`` (``-SIGKILL`` when armed, ``0`` when
+    not) and then reopens ``path`` to inspect what survived.
+    """
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(_SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    if crash_point is None:
+        env.pop(CRASH_ENV, None)
+    else:
+        env[CRASH_ENV] = (crash_point if occurrence == 1
+                          else f"{crash_point}:{occurrence}")
+    argv = [sys.executable, str(Path(__file__).resolve()), str(path),
+            str(commits)]
+    if compact_at is not None:
+        argv.append(str(compact_at))
+    return subprocess.run(argv, env=env, capture_output=True, text=True,
+                          timeout=timeout)
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print("usage: crashsim.py <db-path> <commits> [compact-at]",
+              file=sys.stderr)
+        return 2
+    compact_at = int(argv[2]) if len(argv) > 2 else None
+    run_workload(argv[0], int(argv[1]), compact_at)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -193,3 +193,66 @@ class TestRulesCommand:
         program = tmp_path / "bad.rules"
         program.write_text("p(X :- broken.")
         assert main(["rules", str(program), str(a)]) == 2
+
+
+class TestWalCommands:
+    @pytest.fixture
+    def durable_store(self, tmp_path):
+        from repro.store import Database
+
+        from tests.harness.crashsim import apply_commit
+
+        path = tmp_path / "db.bin"
+        db = Database.open(path, auto_compact=False)
+        for k in range(1, 6):
+            apply_commit(db, k)
+        db.close()
+        return path
+
+    def test_info_lists_frames(self, durable_store, capsys):
+        assert main(["wal", "info", str(durable_store)]) == 0
+        out = capsys.readouterr().out
+        assert "base generation 0" in out
+        assert "5 frames" in out
+        assert "last recoverable generation: 5" in out
+
+    def test_info_absent_log(self, tmp_path, capsys):
+        assert main(["wal", "info", str(tmp_path / "nothing.bin")]) == 0
+        out = capsys.readouterr().out
+        assert "absent" in out
+
+    def test_compact_truncates_log(self, durable_store, capsys):
+        from repro.store import scan_wal
+        from repro.store.wal import wal_path
+
+        assert main(["wal", "compact", str(durable_store)]) == 0
+        assert "generation 5" in capsys.readouterr().err
+        scan = scan_wal(wal_path(durable_store))
+        assert scan.base_generation == 5
+        assert scan.frames == []
+
+    def test_recover_emits_historical_state(self, durable_store, capsys):
+        assert main(["wal", "recover", str(durable_store),
+                     "--generation", "4"]) == 0
+        captured = capsys.readouterr()
+        assert "as of generation 4" in captured.err
+        assert "m4" in captured.out
+
+    def test_recover_default_is_latest(self, durable_store, capsys):
+        assert main(["wal", "recover", str(durable_store)]) == 0
+        assert "as of generation 5" in capsys.readouterr().err
+
+    def test_recover_save_writes_snapshot(self, durable_store, tmp_path,
+                                          capsys):
+        from repro.store import Database
+
+        side = tmp_path / "as-of-3.bin"
+        assert main(["wal", "recover", str(durable_store),
+                     "--generation", "3", "--save", str(side)]) == 0
+        assert Database.load(side).generation == 3
+
+    def test_recover_out_of_range_fails_cleanly(self, durable_store,
+                                                capsys):
+        assert main(["wal", "recover", str(durable_store),
+                     "--generation", "9"]) == 2
+        assert "never logged" in capsys.readouterr().err

@@ -193,7 +193,7 @@ class TestBinaryVersioning:
         path = tmp_path / "db.bin"
         database.save(path, format="binary")
         raw = bytearray(path.read_bytes())
-        assert raw[4] == 1  # container version varint
+        assert raw[4] == 2  # container version varint
         raw[4] = 99
         bad = tmp_path / "bad.bin"
         bad.write_bytes(bytes(raw))

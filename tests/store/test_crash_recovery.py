@@ -1,0 +1,154 @@
+"""SIGKILL crash-recovery suite: every commit-path window, real deaths.
+
+Each test launches the deterministic workload of
+``tests/harness/crashsim.py`` in a subprocess with one instrumented
+crash point armed (``REPRO_WAL_CRASH``), waits for the SIGKILL, then
+reopens the database in-process and asserts the recovered state *is* a
+state the workload actually committed — computed independently by
+replaying the same deterministic commits in memory, never read back
+from the wreckage.
+
+The per-point generation bounds pin the commit protocol's ordering
+guarantees:
+
+* ``pre-append`` / ``mid-append`` — the frame never (fully) reached
+  the log, so recovery lands exactly one generation back;
+* ``pre-fsync`` — the frame was written and flushed but not fsynced;
+  after a process kill the page cache survives, so recovery may land
+  on either side (a power loss could lose it — both are committed
+  states, which is all the contract promises);
+* ``post-fsync`` — the frame is durable even though the in-memory
+  publish never happened: recovery must land *on* it;
+* ``compact-pre-snapshot-swap`` / ``compact-pre-wal-swap`` — a death
+  between compaction's two atomic replaces must be invisible:
+  snapshot-then-log ordering plus idempotent replay land on the
+  pinned generation either way.
+
+Every test finishes by driving the recovered store to the workload's
+final state, proving recovery returns a *live* database, not a relic.
+"""
+
+import signal
+
+import pytest
+
+from repro.store import Database, scan_wal
+from repro.store.wal import wal_path
+
+from tests.harness.crashsim import (
+    expected_states,
+    run_workload,
+    run_workload_process,
+)
+
+pytestmark = [
+    pytest.mark.crash,
+    pytest.mark.skipif(not hasattr(signal, "SIGKILL"),
+                       reason="requires SIGKILL"),
+]
+
+COMMITS = 7
+
+
+def reopen_and_check(db_path, commits=COMMITS):
+    """Reopen after a crash; assert prefix-consistency; return gen."""
+    states = expected_states(commits)
+    db = Database.open(db_path, auto_compact=False)
+    try:
+        generation = db.generation
+        assert 0 <= generation <= commits
+        assert db.snapshot() == states[generation]
+    finally:
+        db.close()
+    return generation
+
+
+def finish_and_check(db_path, commits=COMMITS):
+    """The recovered store must accept the remaining commits."""
+    run_workload(db_path, commits)
+    states = expected_states(commits)
+    db = Database.open(db_path, auto_compact=False)
+    try:
+        assert db.generation == commits
+        assert db.snapshot() == states[commits]
+    finally:
+        db.close()
+
+
+def crash_at(db_path, point, occurrence, compact_at=None):
+    result = run_workload_process(db_path, COMMITS, crash_point=point,
+                                  occurrence=occurrence,
+                                  compact_at=compact_at)
+    assert result.returncode == -signal.SIGKILL, (
+        f"child survived crash point {point!r}: "
+        f"rc={result.returncode}\n{result.stdout}\n{result.stderr}")
+    return result
+
+
+class TestCommitPathCrashes:
+    @pytest.mark.parametrize("occurrence", [1, 3, 6])
+    @pytest.mark.parametrize("point", ["pre-append", "mid-append"])
+    def test_frame_not_logged_loses_exactly_one_commit(
+            self, tmp_path, point, occurrence):
+        db_path = tmp_path / "db.bin"
+        crash_at(db_path, point, occurrence)
+        generation = reopen_and_check(db_path)
+        assert generation == occurrence - 1
+        finish_and_check(db_path)
+
+    @pytest.mark.parametrize("occurrence", [1, 4])
+    def test_pre_fsync_lands_on_either_side(self, tmp_path, occurrence):
+        db_path = tmp_path / "db.bin"
+        crash_at(db_path, "pre-fsync", occurrence)
+        generation = reopen_and_check(db_path)
+        assert generation in (occurrence - 1, occurrence)
+        finish_and_check(db_path)
+
+    @pytest.mark.parametrize("occurrence", [1, 5])
+    def test_post_fsync_commit_survives_unpublished(self, tmp_path,
+                                                    occurrence):
+        db_path = tmp_path / "db.bin"
+        crash_at(db_path, "post-fsync", occurrence)
+        generation = reopen_and_check(db_path)
+        assert generation == occurrence
+        finish_and_check(db_path)
+
+
+class TestCompactionCrashes:
+    COMPACT_AT = 4
+
+    @pytest.mark.parametrize("point", ["compact-pre-snapshot-swap",
+                                       "compact-pre-wal-swap"])
+    def test_death_between_replaces_is_invisible(self, tmp_path, point):
+        db_path = tmp_path / "db.bin"
+        crash_at(db_path, point, 1, compact_at=self.COMPACT_AT)
+        generation = reopen_and_check(db_path)
+        assert generation == self.COMPACT_AT
+        # A half-finished compaction must not wedge the next one.
+        db = Database.open(db_path, auto_compact=False)
+        try:
+            db.compact()
+            scan = scan_wal(wal_path(db_path))
+            assert scan.base_generation == self.COMPACT_AT
+            assert scan.frames == []
+        finally:
+            db.close()
+        reopen_and_check(db_path)
+        finish_and_check(db_path)
+
+    def test_crash_after_successful_compaction(self, tmp_path):
+        db_path = tmp_path / "db.bin"
+        crash_at(db_path, "post-fsync", 6, compact_at=self.COMPACT_AT)
+        generation = reopen_and_check(db_path)
+        assert generation == 6
+        scan = scan_wal(wal_path(db_path))
+        assert scan.base_generation == self.COMPACT_AT
+        finish_and_check(db_path)
+
+
+class TestNoCrashControl:
+    def test_workload_completes_cleanly(self, tmp_path):
+        db_path = tmp_path / "db.bin"
+        result = run_workload_process(db_path, COMMITS)
+        assert result.returncode == 0, result.stderr
+        assert reopen_and_check(db_path) == COMMITS

@@ -1,0 +1,182 @@
+"""``Database.load`` failure paths: damaged files fail loudly or load
+exactly right — never a silently wrong database.
+
+Durability work (the WAL) leans on snapshot loading as its foundation,
+so this file pins the loader's behaviour on everything short of a
+pristine file: format autodetection corner cases, malformed JSON
+payloads, a byte-by-byte truncation sweep of the binary container, and
+the generation field both formats now persist. The sweep's invariant
+is the loader's whole contract in one line: every truncation either
+raises :class:`CodecError` or yields a database equal to the original
+(the index sections are redundant — losing them rebuilds, losing
+dataset bytes raises).
+"""
+
+import json
+
+import pytest
+
+from repro.core.builder import cset, data, orv, pset, tup
+from repro.core.errors import CodecError
+from repro.store import Database
+from repro.store.database import _FORMAT, _VERSION
+
+from tests.harness.crashsim import apply_commit
+
+
+def build_database(entries=12):
+    rows = [
+        data(f"m{i}", tup(type="Article", title=f"T{i % 5}",
+                          year=1990 + i % 4,
+                          tags=pset(f"t{i % 3}"),
+                          status=orv("draft", "final"),
+                          committee=cset("x", "y")))
+        for i in range(entries)
+    ]
+    return Database(rows, index_paths=("type", "title"))
+
+
+class TestAutodetection:
+    def test_missing_file(self, tmp_path):
+        absent = tmp_path / "absent.bin"
+        with pytest.raises(CodecError, match="cannot read"):
+            Database.load(absent)
+        with pytest.raises(CodecError, match="cannot read"):
+            Database.load(absent, format="binary")
+        with pytest.raises(CodecError, match="cannot read"):
+            Database.load(absent, format="json")
+
+    def test_empty_file(self, tmp_path):
+        empty = tmp_path / "empty.bin"
+        empty.write_bytes(b"")
+        with pytest.raises(CodecError):
+            Database.load(empty)
+
+    def test_shorter_than_the_magic(self, tmp_path):
+        stub = tmp_path / "stub.bin"
+        stub.write_bytes(b"RP")
+        with pytest.raises(CodecError):
+            Database.load(stub)
+
+    def test_arbitrary_garbage(self, tmp_path):
+        noise = tmp_path / "noise.bin"
+        noise.write_bytes(bytes(range(256)))
+        with pytest.raises(CodecError):
+            Database.load(noise)
+
+    def test_suffix_does_not_drive_detection(self, tmp_path):
+        database = build_database(entries=4)
+        json_named = tmp_path / "actually-binary.json"
+        binary_named = tmp_path / "actually-json.bin"
+        database.save(json_named, format="binary")
+        database.save(binary_named, format="json")
+        assert Database.load(json_named).snapshot() == \
+            database.snapshot()
+        assert Database.load(binary_named).snapshot() == \
+            database.snapshot()
+
+    def test_forcing_binary_on_a_json_file_raises(self, tmp_path):
+        path = tmp_path / "db.json"
+        build_database(entries=3).save(path, format="json")
+        with pytest.raises(CodecError):
+            Database.load(path, format="binary")
+
+
+class TestJsonPayloads:
+    def write(self, tmp_path, payload):
+        path = tmp_path / "db.json"
+        path.write_text(json.dumps(payload))
+        return path
+
+    def test_not_an_object(self, tmp_path):
+        path = self.write(tmp_path, ["not", "a", "database"])
+        with pytest.raises(CodecError, match="not a repro database"):
+            Database.load(path)
+
+    def test_wrong_format_marker(self, tmp_path):
+        path = self.write(tmp_path, {"format": "something-else",
+                                     "version": _VERSION, "dataset": []})
+        with pytest.raises(CodecError, match="not a repro database"):
+            Database.load(path)
+
+    def test_unsupported_version(self, tmp_path):
+        path = self.write(tmp_path, {"format": _FORMAT, "version": 99,
+                                     "dataset": []})
+        with pytest.raises(CodecError, match="version"):
+            Database.load(path)
+
+    @pytest.mark.parametrize("generation", [-1, "three", 1.5, None])
+    def test_invalid_generation_value(self, tmp_path, generation):
+        path = self.write(tmp_path, {"format": _FORMAT,
+                                     "version": _VERSION,
+                                     "generation": generation,
+                                     "dataset": []})
+        with pytest.raises(CodecError, match="generation"):
+            Database.load(path)
+
+    def test_generation_defaults_to_zero_when_absent(self, tmp_path):
+        # Pre-WAL snapshots have no generation key; they load at 0.
+        from repro.core.data import DataSet
+        from repro.json_codec import encode_dataset
+        path = self.write(tmp_path, {"format": _FORMAT,
+                                     "version": _VERSION,
+                                     "dataset": encode_dataset(
+                                         DataSet())})
+        assert Database.load(path).generation == 0
+
+    def test_truncated_json_raises(self, tmp_path):
+        path = tmp_path / "db.json"
+        build_database(entries=3).save(path, format="json")
+        path.write_text(path.read_text()[:-15])
+        with pytest.raises(CodecError, match="cannot read"):
+            Database.load(path)
+
+
+class TestBinaryTruncationSweep:
+    def test_every_truncation_raises_or_loads_exactly(self, tmp_path):
+        database = build_database()
+        path = tmp_path / "db.bin"
+        database.save(path, format="binary")
+        raw = path.read_bytes()
+        target = tmp_path / "cut.bin"
+        rebuilt_from_lost_indexes = 0
+        step = max(1, len(raw) // 200)  # ~200 cuts, ends inclusive
+        cuts = sorted(set(range(0, len(raw), step)) | {len(raw) - 1})
+        for cut in cuts:
+            target.write_bytes(raw[:cut])
+            try:
+                loaded = Database.load(target)
+            except CodecError:
+                continue
+            # A cut that loads must have lost only index sections:
+            # identical data, identical answers.
+            assert loaded.snapshot() == database.snapshot()
+            rebuilt_from_lost_indexes += 1
+        assert rebuilt_from_lost_indexes > 0  # the sweep saw both arms
+
+    def test_dataset_truncation_always_raises(self, tmp_path):
+        database = build_database()
+        path = tmp_path / "db.bin"
+        database.save(path, format="binary")
+        raw = path.read_bytes()
+        # Well inside the dataset section: content is unrecoverable.
+        for cut in (6, len(raw) // 4, len(raw) // 3):
+            stub = path.with_name(f"stub{cut}.bin")
+            stub.write_bytes(raw[:cut])
+            with pytest.raises(CodecError):
+                Database.load(stub)
+
+
+class TestGenerationRoundTrip:
+    @pytest.mark.parametrize("format", ["json", "binary"])
+    def test_generation_survives_save_and_load(self, tmp_path, format):
+        db = Database.open(tmp_path / "seed.bin", auto_compact=False)
+        for k in range(1, 6):
+            apply_commit(db, k)
+        assert db.generation == 5
+        path = tmp_path / f"out.{format}"
+        db.save(path, format=format)
+        db.close()
+        loaded = Database.load(path)
+        assert loaded.generation == 5
+        assert loaded.snapshot() == db.snapshot()

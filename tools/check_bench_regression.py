@@ -58,6 +58,8 @@ REGISTRY: dict[str, tuple[str, tuple[str, ...]]] = {
                        "phases.conjunctive.speedup")),
     "snapshot": ("benchmarks/bench_snapshot.py",
                  ("save_speedup", "cold_load_speedup")),
+    "wal": ("benchmarks/bench_wal.py",
+            ("recovery_speedup", "batch_commit_speedup")),
 }
 
 
