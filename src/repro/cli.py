@@ -130,6 +130,14 @@ def _cmd_convert(args: argparse.Namespace) -> int:
 
 def _cmd_query(args: argparse.Namespace) -> int:
     dataset = _load(args.file, args.from_format)
+    if args.explain:
+        # The plan sees exactly what execution would: the database's
+        # attribute index and columnar shredding.
+        from repro.store.database import Database
+
+        with Database(dataset, index_paths=args.index or ()) as database:
+            print(database.explain(args.query, analyze=True).describe())
+        return 0
     if args.index or args.parallel:
         # Route through a Database so the query gets the planner's
         # attribute-index probes and/or the sharded parallel executor.
@@ -366,6 +374,10 @@ def _build_parser() -> argparse.ArgumentParser:
     query.add_argument("--parallel", type=int, default=0, metavar="N",
                        help="fan the scan phase out over N shard "
                             "workers (0 = sequential)")
+    query.add_argument("--explain", action="store_true",
+                       help="print the physical plan (strategy, "
+                            "estimated and actual rows) instead of "
+                            "the results")
     query.set_defaults(handler=_cmd_query)
 
     sync_cmd = commands.add_parser(

@@ -161,7 +161,7 @@ class Data:
 class DataSet:
     """An immutable set of semistructured data (Definitions 5 and 12)."""
 
-    __slots__ = ("_data", "_marker_map")
+    __slots__ = ("_data", "_marker_map", "_sorted")
 
     # Guarded: freezing the set hashes every datum, and structural
     # hashing recurses as deep as the deepest object.
@@ -183,11 +183,20 @@ class DataSet:
         return len(self._data)
 
     def __iter__(self) -> Iterator[Data]:
-        return iter(sorted(
-            self._data,
-            key=lambda d: (structural_key(d.marker),
-                           structural_key(d.object)),
-        ))
+        # The canonical order is memoized like ``find``'s marker map:
+        # sets are immutable, and every consumer of the order — query
+        # scans, shard splits, columnar shredding — iterates the same
+        # set many times.
+        try:
+            ordered = self._sorted
+        except AttributeError:
+            ordered = tuple(sorted(
+                self._data,
+                key=lambda d: (structural_key(d.marker),
+                               structural_key(d.object)),
+            ))
+            object.__setattr__(self, "_sorted", ordered)
+        return iter(ordered)
 
     def __contains__(self, item: object) -> bool:
         return item in self._data

@@ -27,7 +27,11 @@ from repro.query.ast import (
     Or,
     Query,
 )
-from repro.query.compile import compile_condition, invalidation_profile
+from repro.query.compile import (
+    compile_columnar,
+    compile_condition,
+    invalidation_profile,
+)
 from repro.query.parallel import ParallelExecutor
 from repro.query.parser import (
     QuerySpec,
@@ -41,14 +45,21 @@ from repro.query.paths import (
     parse_path,
     path_exists,
 )
-from repro.query.planner import Plan, Probe, explain_plan, select_data
+from repro.query.planner import (
+    Plan,
+    Probe,
+    columnar_shard_positions,
+    explain_plan,
+    select_data,
+)
 
 __all__ = [
     "Query", "Condition", "Eq", "Ne", "Lt", "Le", "Gt", "Ge",
     "Exists", "Contains", "And", "Or", "Not",
     "parse_query", "run_query", "parse_query_spec", "QuerySpec",
     "parse_path", "evaluate_path", "iter_path", "path_exists",
-    "compile_condition", "invalidation_profile",
+    "compile_condition", "compile_columnar", "invalidation_profile",
     "select_data", "explain_plan", "Plan", "Probe",
+    "columnar_shard_positions",
     "ParallelExecutor",
 ]

@@ -251,20 +251,35 @@ class Query:
                  projection: tuple[str, ...] | None = None,
                  order: tuple[tuple[str, ...], bool] | None = None,
                  limit_count: int | None = None, *,
-                 index: "object | None" = None):
+                 index: "object | None" = None,
+                 columns: "object | None" = None):
         self._dataset = dataset
         self._condition = condition
         self._projection = projection
         self._order = order
         self._limit = limit_count
         self._index = index
+        self._columns = columns
 
     def _derive(self, **changes) -> "Query":
         state = dict(dataset=self._dataset, condition=self._condition,
                      projection=self._projection, order=self._order,
-                     limit_count=self._limit, index=self._index)
+                     limit_count=self._limit, index=self._index,
+                     columns=self._columns)
         state.update(changes)
         return Query(**state)
+
+    def with_columns(self, columns: "object | None") -> "Query":
+        """Attach a columnar shredding of the queried data set.
+
+        ``columns`` is a :class:`~repro.store.columnar.ColumnStore`
+        over exactly this data — or a zero-argument callable building
+        one lazily (what :class:`~repro.store.database.Database`
+        attaches, so un-run queries never pay for shredding). Enables
+        the planner's columnar scan strategy; a stale or empty store is
+        ignored and the row scan runs instead.
+        """
+        return self._derive(columns=columns)
 
     def with_index(self, index: "object | None") -> "Query":
         """Attach an attribute index over the queried data set.
@@ -303,16 +318,26 @@ class Query:
             raise QueryError("limit() needs a non-negative count")
         return self._derive(limit_count=count)
 
-    def explain(self) -> "object":
-        """The plan the next execution would use (without running it).
+    def explain(self, *, analyze: bool = False) -> "object":
+        """The plan the next execution would use.
 
         Returns a :class:`repro.query.planner.Plan`; ``.describe()``
-        renders it as text.
+        renders it as text, including the chosen physical strategy
+        (``index`` / ``columnar`` / ``row-scan``) and the planner's
+        estimated row count. ``analyze=True`` also *executes* the plan
+        and fills in ``actual_rows``.
         """
+        import dataclasses
+
         from repro.query.planner import explain_plan
 
-        return explain_plan(self._condition, self._index, self._order,
-                            self._limit)
+        plan = explain_plan(self._condition, self._index, self._order,
+                            self._limit, columns=self._columns,
+                            size=len(self._dataset))
+        if analyze:
+            plan = dataclasses.replace(
+                plan, actual_rows=len(self._selected()))
+        return plan
 
     def _selected(self, naive: bool = False) -> list[Data]:
         if naive:
@@ -320,7 +345,8 @@ class Query:
         from repro.query.planner import select_data
 
         return select_data(self._dataset, self._condition, self._index,
-                           self._order, self._limit)
+                           self._order, self._limit,
+                           columns=self._columns)
 
     def _selected_naive(self) -> list[Data]:
         # The definitional full scan: the oracle for the planned path.

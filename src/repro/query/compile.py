@@ -34,7 +34,16 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.core.errors import QueryError
-from repro.core.objects import Atom, SSObject
+from repro.core.objects import (
+    BOTTOM,
+    Atom,
+    CompleteSet,
+    Marker,
+    OrValue,
+    PartialSet,
+    SSObject,
+    Tuple,
+)
 from repro.query.ast import (
     And,
     Condition,
@@ -52,7 +61,7 @@ from repro.query.ast import (
 )
 from repro.query.paths import iter_path
 
-__all__ = ["compile_condition", "nnf", "conjuncts",
+__all__ = ["compile_condition", "compile_columnar", "nnf", "conjuncts",
            "invalidation_profile"]
 
 #: A compiled predicate over a datum's object.
@@ -263,6 +272,142 @@ def compile_condition(condition: Condition) -> Predicate:
         cached = _compile_node(nnf(condition))
         try:
             object.__setattr__(condition, "_compiled", cached)
+        except AttributeError:  # e.g. a slotted user subclass
+            pass
+    return cached
+
+
+# -- column-at-a-time compilation ----------------------------------------------
+#
+# A *columnar program* is a closure over a duck-typed column store (see
+# :class:`repro.store.columnar.ColumnStore`): ``program(store)`` returns
+# ``(true_bits, maybe_bits)`` — disjoint bitsets over the store's
+# shredded universe. ``true_bits`` rows definitely match, ``maybe_bits``
+# rows need the compiled row predicate (or-value/⊥ sidecars), every
+# other universe row definitely does not match. Residue rows are outside
+# the universe and always row-evaluated by the caller.
+#
+# Tri-state algebra over ``(T, M)`` pairs with universe ``U``:
+#
+# * ``And``: ``T = Ta & Tb``; ``M = ((Ta|Ma) & (Tb|Mb)) & ~T``
+# * ``Or``:  ``T = Ta | Tb``; ``M = (Ma | Mb) & ~T``
+# * ``Not``: ``T' = U & ~(T | M)``; ``M' = M``
+#
+# The maybe set only ever narrows downstream work — it never admits a
+# wrong definite answer, which is what keeps columnar == row-scan exact.
+
+#: A compiled columnar program, or ``None`` when the condition cannot
+#: be answered column-at-a-time (row scan takes over).
+ColumnarProgram = Callable[[object], "tuple[int, int]"]
+
+_COLUMNAR_ORDERED = {Lt: "lt", Le: "le", Gt: "gt", Ge: "ge"}
+
+#: Exact model types a columnar leaf knows how to compare against.
+#: Subclasses may override equality, so they bail to the row scan.
+_MODEL_TYPES = (Atom, Marker, type(BOTTOM), OrValue, PartialSet,
+                CompleteSet, Tuple)
+
+_COLUMNAR_MISSING = object()
+
+
+def _columnar_steps(condition: Condition) -> tuple | None:
+    """The leaf's path steps, or ``None`` if columns can't answer it.
+
+    An empty path reaches the row object itself — only the row scan
+    sees that — and any condition subclass may override ``matches``,
+    so only the exact built-in leaf types compile.
+    """
+    steps = condition.steps
+    if not steps:
+        return None
+    return steps
+
+
+def _columnar_node(condition: Condition) -> ColumnarProgram | None:
+    kind = type(condition)
+    if kind is Not:
+        inner = _columnar_node(condition.inner)
+        if inner is None:
+            return None
+
+        def negation(store):
+            true_bits, maybe_bits = inner(store)
+            return (store.universe_mask & ~(true_bits | maybe_bits),
+                    maybe_bits)
+
+        return negation
+    if kind is And or kind is Or:
+        left = _columnar_node(condition.left)
+        right = _columnar_node(condition.right)
+        if left is None or right is None:
+            return None
+        if kind is And:
+            def conjunction(store):
+                ta, ma = left(store)
+                tb, mb = right(store)
+                true_bits = ta & tb
+                return (true_bits,
+                        ((ta | ma) & (tb | mb)) & ~true_bits)
+
+            return conjunction
+
+        def disjunction(store):
+            ta, ma = left(store)
+            tb, mb = right(store)
+            true_bits = ta | tb
+            return true_bits, (ma | mb) & ~true_bits
+
+        return disjunction
+    if kind is Exists:
+        steps = _columnar_steps(condition)
+        if steps is None:
+            return None
+        return lambda store: store.leaf_exists(steps)
+    if kind is Eq or kind is Ne:
+        steps = _columnar_steps(condition)
+        target = condition.target
+        if steps is None or type(target) not in _MODEL_TYPES:
+            return None
+        if kind is Eq:
+            return lambda store: store.leaf_eq(steps, target)
+        return lambda store: store.leaf_ne(steps, target)
+    op_name = _COLUMNAR_ORDERED.get(kind)
+    if op_name is not None:
+        steps = _columnar_steps(condition)
+        target = condition.target
+        # Invalid bounds bail to the row compiler, which raises the
+        # canonical QueryError; duplicating the check here would only
+        # duplicate the message.
+        if (steps is None or type(target) is not Atom
+                or isinstance(target.value, bool)
+                or not isinstance(target.value, (int, float, str))):
+            return None
+        bound = target.value
+        return lambda store: store.leaf_ordered(steps, op_name, bound)
+    if kind is Contains:
+        steps = _columnar_steps(condition)
+        target = condition.target
+        if (steps is None or type(target) is not Atom
+                or not isinstance(target.value, str)):
+            return None
+        needle = target.value
+        return lambda store: store.leaf_contains(steps, needle)
+    return None  # user-defined condition subclass: row scan only
+
+
+def compile_columnar(condition: Condition) -> ColumnarProgram | None:
+    """Compile a condition into a columnar bitset program, if possible.
+
+    Returns ``None`` when any part of the tree needs the row scan —
+    an empty path, a user-defined condition subclass, a non-model
+    comparison target, an invalid operand. Memoized on the condition
+    instance (``None`` included, hence the sentinel).
+    """
+    cached = getattr(condition, "_columnar", _COLUMNAR_MISSING)
+    if cached is _COLUMNAR_MISSING:
+        cached = _columnar_node(nnf(condition))
+        try:
+            object.__setattr__(condition, "_columnar", cached)
         except AttributeError:  # e.g. a slotted user subclass
             pass
     return cached

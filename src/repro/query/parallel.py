@@ -9,17 +9,21 @@ that scan:
 * the dataset's canonical order is materialized once and split into
   **contiguous shards**, so a shard-local position plus the shard offset
   is a global canonical position;
-* ``mode="process"`` ships each shard to a dedicated worker process
-  **once**, through the binary wire format of :mod:`repro.binary_codec`
-  (one value table per shard — shared substructure crosses the process
-  boundary as varint refs, and workers decode straight into interned
-  objects), then serves any number of queries over the resident shard.
-  Per query only the condition travels out (conditions strip their
+* ``mode="process"`` shreds each shard into a
+  :class:`~repro.store.columnar.ColumnStore` and ships the *columns* to
+  a dedicated worker process **once**, through the binary wire format of
+  :mod:`repro.binary_codec` (labels travel once per column instead of
+  once per row, and the value table dedups repeated values), then serves
+  any number of queries over the resident shard store — columnar bitset
+  evaluation when the condition compiles, row logic otherwise. Per query
+  only the condition travels out (conditions strip their
   compiled-closure memos when pickled) and match *positions* — plain
   ints — travel back;
 * ``mode="thread"`` runs the same shard logic on a thread pool over the
   parent's own objects: no codec, no resident workers, useful when scans
-  release the GIL rarely but fan-out cost must stay near zero;
+  release the GIL rarely but fan-out cost must stay near zero. Shard
+  column stores build lazily on first use and stay cached for the
+  executor's lifetime, so repeated queries re-shred nothing;
 * ``order_by`` + ``limit`` push down per shard
   (:func:`repro.query.planner.shard_positions`): any global top-k
   element ranks within its own shard's stable top-k, so each worker
@@ -54,9 +58,9 @@ from repro.core.errors import CodecError, QueryError
 from repro.query.ast import Condition
 from repro.query.planner import (
     _order_limit,
+    columnar_shard_positions,
     explain_plan,
     select_data,
-    shard_positions,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -69,14 +73,20 @@ _INFRA_ERRORS = (CodecError, OSError, EOFError, pickle.PicklingError,
                  ValueError, ImportError, NotImplementedError)
 
 
+def _shard_store(shard: Sequence[Data]):
+    """Shred one contiguous canonical shard into a column store."""
+    from repro.store.columnar import ColumnStore
+
+    return ColumnStore.build(shard, ordered=True)
+
+
 def _encode_shard(shard: Sequence[Data]) -> bytes:
-    """One shard as wire bytes: a count-prefixed run of data with a
-    single value table."""
+    """One shard as wire bytes: its column store in shard layout."""
+    from repro.store.columnar import write_column_shard
+
     buffer = io.BytesIO()
     encoder = Encoder(buffer)
-    encoder.write_uvarint(len(shard))
-    for datum in shard:
-        encoder.write_datum(datum)
+    write_column_shard(encoder, _shard_store(shard))
     encoder.flush()
     return buffer.getvalue()
 
@@ -88,8 +98,14 @@ def _shard_server(connection) -> None:
     any number of ``("query", condition, order, limit)``, finally
     ``("stop",)``. Every request gets one reply: ``("ok", result)`` or
     ``("err", type_name, message)``.
+
+    The shard arrives as a column store and stays resident in that
+    shape: each query evaluates column-at-a-time where it can and walks
+    only maybe/residue rows.
     """
-    shard: list[Data] = []
+    from repro.store.columnar import read_column_shard
+
+    store = None
     try:
         while True:
             try:
@@ -102,13 +118,12 @@ def _shard_server(connection) -> None:
             try:
                 if kind == "data":
                     decoder = Decoder(io.BytesIO(message[1]), intern=True)
-                    shard = [decoder.read_datum()
-                             for _ in range(decoder.read_uvarint())]
-                    connection.send(("ok", len(shard)))
+                    store = read_column_shard(decoder)
+                    connection.send(("ok", store.size))
                 elif kind == "query":
                     _, condition, order, limit = message
-                    positions = shard_positions(shard, condition,
-                                                order, limit)
+                    positions = columnar_shard_positions(
+                        store, condition, order, limit)
                     connection.send(("ok", positions))
                 else:
                     connection.send(("err", "ValueError",
@@ -160,6 +175,9 @@ class ParallelExecutor:
         if not self._shards:
             self._shards = [[]]
             self._offsets = [0]
+        # Thread-mode shard column stores, shredded lazily on first use
+        # and cached for the executor's (single-generation) lifetime.
+        self._shard_stores: list = [None] * len(self._shards)
         if mode == "process":
             self._start_processes()
 
@@ -303,13 +321,26 @@ class ParallelExecutor:
                     RuntimeWarning, stacklevel=3)
                 return None
 
+    def _thread_shard_store(self, position: int):
+        store = self._shard_stores[position]
+        if store is None:
+            # Benign race: concurrent queries may both shred the same
+            # shard; the stores are equivalent and one wins.
+            store = _shard_store(self._shards[position])
+            self._shard_stores[position] = store
+        return store
+
     def _fanout_threads(self, condition, order, limit) -> list[Data]:
         from concurrent.futures import ThreadPoolExecutor
 
+        def run(position: int) -> list[int]:
+            return columnar_shard_positions(
+                self._thread_shard_store(position), condition, order,
+                limit)
+
         with ThreadPoolExecutor(max_workers=len(self._shards)) as pool:
-            futures = [pool.submit(shard_positions, shard, condition,
-                                   order, limit)
-                       for shard in self._shards]
+            futures = [pool.submit(run, position)
+                       for position in range(len(self._shards))]
             merged: list[Data] = []
             for future, offset in zip(futures, self._offsets):
                 merged.extend(self._order[offset + position]

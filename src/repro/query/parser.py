@@ -261,9 +261,10 @@ class QuerySpec:
         return parse_path(self.order[0]), self.order[1]
 
     def query(self, dataset: DataSet, index: object | None = None,
-              ) -> Query:
-        """Bind the spec to a data set (and optional attribute index)."""
-        query = Query(dataset, index=index)
+              columns: object | None = None) -> Query:
+        """Bind the spec to a data set (and optional attribute index
+        and columnar shredding)."""
+        query = Query(dataset, index=index, columns=columns)
         if self.condition is not None:
             query = query.where(self.condition)
         if self.order is not None:

@@ -18,10 +18,17 @@ condition against every datum. This module plans instead:
    ``nlargest`` so a top-k query never sorts the full match set.
 
 When nothing is indexable (no index, an ``Or`` at the top, negated
-leaves) the plan degrades to a compiled full scan — still faster than
-``matches``, and always available. Results are *identical* to the naive
-scan: probes are exact, the residual preserves the non-probe conjuncts,
-and ordering reproduces the stable-sort/missing-last semantics of
+leaves) the plan picks between two scan strategies. If the snapshot has
+a columnar shredding (:class:`repro.store.columnar.ColumnStore`) and
+the condition compiles to a bitset program
+(:func:`~repro.query.compile.compile_columnar`), the **columnar scan**
+answers the shredded rows with bitset algebra and row-evaluates only
+the maybe-sidecar and residue rows. Otherwise the **row scan** — the
+compiled full scan — runs; it is still faster than ``matches``, and
+always available. Results are *identical* to the naive scan: probes are
+exact, the residual preserves the non-probe conjuncts, columnar
+definite sets are exact by the shred invariants, and ordering
+reproduces the stable-sort/missing-last semantics of
 ``Query._selected_naive`` tie for tie. The plan-vs-scan equality oracle
 (tests and ``benchmarks/bench_query_planner.py``) asserts exactly that.
 
@@ -39,14 +46,20 @@ from repro.core.data import Data, DataSet
 from repro.core.objects import Atom
 from repro.core.order import structural_key
 from repro.query.ast import And, Condition, Contains, Eq, Exists
-from repro.query.compile import compile_condition, conjuncts, nnf
+from repro.query.compile import (
+    compile_columnar,
+    compile_condition,
+    conjuncts,
+    nnf,
+)
 from repro.query.paths import evaluate_path
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.store.attr_index import AttrIndex
+    from repro.store.columnar import ColumnStore
 
 __all__ = ["Plan", "Probe", "select_data", "explain_plan",
-           "shard_positions"]
+           "shard_positions", "columnar_shard_positions"]
 
 
 @dataclass(frozen=True)
@@ -69,11 +82,13 @@ class Probe:
 class Plan:
     """The strategy :func:`select_data` chose, for ``Query.explain()``."""
 
-    strategy: str                    # "index" or "scan"
+    strategy: str                    # "index", "columnar" or "row-scan"
     probes: tuple[Probe, ...] = ()
     residual: str | None = None      # repr of the post-probe condition
     order_pushdown: bool = False     # heapq top-k instead of full sort
     reason: str = ""
+    estimated_rows: int | None = None   # planner's upper-bound estimate
+    actual_rows: int | None = None      # filled by explain(analyze=True)
     lines: tuple[str, ...] = field(init=False, default=())
 
     def __post_init__(self):
@@ -83,6 +98,10 @@ class Plan:
             lines.append(f"residual filter: {self.residual}")
         if self.order_pushdown:
             lines.append("order+limit: heapq top-k pushdown")
+        if self.estimated_rows is not None:
+            lines.append(f"estimated rows: ~{self.estimated_rows}")
+        if self.actual_rows is not None:
+            lines.append(f"actual rows: {self.actual_rows}")
         object.__setattr__(self, "lines", tuple(lines))
 
     def describe(self) -> str:
@@ -206,6 +225,41 @@ def shard_positions(shard: Sequence[Data],
         predicate = compile_condition(condition)
         matched = [position for position, datum in enumerate(shard)
                    if predicate(datum.object)]
+    return _limit_positions(shard, matched, order, limit)
+
+
+def columnar_shard_positions(
+        store: "ColumnStore",
+        condition: Condition | None,
+        order: tuple[Sequence[str], bool] | None = None,
+        limit: int | None = None) -> list[int]:
+    """:func:`shard_positions` over a shard's column store.
+
+    ``store`` must be tombstone-free (freshly built or decoded from the
+    wire, as every executor shard store is), so its positions coincide
+    with shard positions. Conditions the columns can't answer — or
+    shards whose rows all fell to the residue — degrade to exactly the
+    row logic of :func:`shard_positions`.
+    """
+    rows = store.rows
+    if condition is None:
+        matched = list(range(store.size))
+    else:
+        predicate = compile_condition(condition)
+        program = (compile_columnar(condition)
+                   if store.shredded_count else None)
+        if program is not None:
+            matched = store.match_positions(program, predicate)
+        else:
+            matched = [position for position, datum in enumerate(rows)
+                       if predicate(datum.object)]
+    return _limit_positions(rows, matched, order, limit)
+
+
+def _limit_positions(rows: Sequence[Data], matched: list[int],
+                     order: tuple[Sequence[str], bool] | None,
+                     limit: int | None) -> list[int]:
+    """The shard-local ``order_by`` + ``limit`` pushdown tail."""
     if order is None:
         return matched if limit is None else matched[:limit]
     if limit is None or limit >= len(matched):
@@ -213,30 +267,52 @@ def shard_positions(shard: Sequence[Data],
     steps, descending = order
     if descending:
         def sort_key(position: int) -> tuple:
-            values = evaluate_path(shard[position].object, steps,
+            values = evaluate_path(rows[position].object, steps,
                                    spread=True)
             return (1, structural_key(values[0])) if values else (0,)
 
         return sorted(heapq.nlargest(limit, matched, key=sort_key))
 
     def sort_key(position: int) -> tuple:
-        values = evaluate_path(shard[position].object, steps,
+        values = evaluate_path(rows[position].object, steps,
                                spread=True)
         return (0, structural_key(values[0])) if values else (1,)
 
     return sorted(heapq.nsmallest(limit, matched, key=sort_key))
 
 
+def _resolve_columns(columns, size: int | None) -> "ColumnStore | None":
+    """Resolve a column-store argument into a usable store, or ``None``.
+
+    ``columns`` may be a store, a zero-argument callable producing one
+    lazily (the ``_DBState.columns`` bound method), or ``None``. Stores
+    that don't cover the data being queried (stale, or a different
+    snapshot) and stores with nothing shredded are rejected — the row
+    scan is always correct.
+    """
+    if columns is None:
+        return None
+    store = columns() if callable(columns) else columns
+    if store is None or not store.shredded_count:
+        return None
+    if size is not None and store.alive_count != size:
+        return None
+    return store
+
+
 def select_data(dataset: DataSet,
                 condition: Condition | None,
                 index: "AttrIndex | None" = None,
                 order: tuple[Sequence[str], bool] | None = None,
-                limit: int | None = None) -> list[Data]:
+                limit: int | None = None,
+                columns=None) -> list[Data]:
     """Plan and execute a selection; result order matches the naive scan.
 
     ``index`` must index exactly the data in ``dataset`` (candidate
     sets are defensively intersected with the data set, so a superset
-    index still yields correct results).
+    index still yields correct results). ``columns`` optionally names
+    the snapshot's :class:`~repro.store.columnar.ColumnStore` (or a
+    lazy callable producing it) for the columnar scan strategy.
     """
     if condition is None:
         selected = list(dataset)
@@ -248,7 +324,16 @@ def select_data(dataset: DataSet,
         probes, residual = _split(condition, index.paths)
 
     if not probes:
+        # Compile first: operand validation must surface identically on
+        # every scan strategy. The column store only resolves (and a
+        # lazy one only builds) when the condition actually compiled.
         predicate = compile_condition(condition)
+        program = compile_columnar(condition)
+        store = (_resolve_columns(columns, len(dataset))
+                 if program is not None else None)
+        if store is not None:
+            selected = store.matches(program, predicate)
+            return _order_limit(selected, order, limit)
         selected = [datum for datum in dataset
                     if predicate(datum.object)]
         return _order_limit(selected, order, limit)
@@ -271,24 +356,54 @@ def select_data(dataset: DataSet,
     return _order_limit(matched, order, limit)
 
 
+def _scan_plan(condition: Condition, reason: str, pushdown: bool,
+               columns, size: int | None) -> Plan:
+    """The scan strategy :func:`select_data` would fall back to."""
+    program = compile_columnar(condition)
+    store = (_resolve_columns(columns, size)
+             if program is not None else None)
+    if store is not None:
+        # Running the program *is* the estimate (bitset popcounts are
+        # cheap), and it warms the column memos the execution reuses.
+        true_bits, maybe_bits = program(store)
+        estimated = (true_bits.bit_count()
+                     + (maybe_bits | store.residue_mask).bit_count())
+        return Plan(strategy="columnar", residual=repr(condition),
+                    order_pushdown=pushdown,
+                    estimated_rows=estimated,
+                    reason=f"{reason}: bitset scan over "
+                           f"{store.shredded_count} shredded rows, "
+                           f"row fallback on {store.residue_count} "
+                           f"residue rows")
+    return Plan(strategy="row-scan", residual=repr(condition),
+                order_pushdown=pushdown, estimated_rows=size,
+                reason=f"{reason}: compiled full scan")
+
+
 def explain_plan(condition: Condition | None,
                  index: "AttrIndex | None" = None,
                  order: tuple[Sequence[str], bool] | None = None,
-                 limit: int | None = None) -> Plan:
-    """The plan :func:`select_data` would choose, without executing it."""
+                 limit: int | None = None,
+                 columns=None,
+                 size: int | None = None) -> Plan:
+    """The plan :func:`select_data` would choose, without executing it.
+
+    ``estimated_rows`` is an upper bound: exact for index probes and
+    definite columnar matches, plus every maybe/residue row a per-row
+    check could still admit (``size`` for a blind row scan).
+    """
     pushdown = order is not None and limit is not None
     if condition is None:
-        return Plan(strategy="scan", order_pushdown=pushdown,
+        return Plan(strategy="row-scan", order_pushdown=pushdown,
+                    estimated_rows=size,
                     reason="no condition: every datum matches")
     if index is None or not index:
-        return Plan(strategy="scan", residual=repr(condition),
-                    order_pushdown=pushdown,
-                    reason="no attribute index: compiled full scan")
+        return _scan_plan(condition, "no attribute index", pushdown,
+                          columns, size)
     probes, residual = _split(condition, index.paths)
     if not probes:
-        return Plan(strategy="scan", residual=repr(condition),
-                    order_pushdown=pushdown,
-                    reason="no indexable conjunct: compiled full scan")
+        return _scan_plan(condition, "no indexable conjunct", pushdown,
+                          columns, size)
     described = tuple(sorted(
         (Probe(path=".".join(conjunct.steps), op=kind,
                value=(None if kind == "exists"
@@ -299,5 +414,6 @@ def explain_plan(condition: Condition | None,
     return Plan(strategy="index", probes=described,
                 residual=None if residual is None else repr(residual),
                 order_pushdown=pushdown,
+                estimated_rows=described[0].selectivity,
                 reason=f"intersect {len(described)} probe(s), "
                        f"most selective first")

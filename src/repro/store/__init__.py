@@ -19,7 +19,12 @@ The paper defers implementation; this package provides it:
   ``Database.open(path, durable=True)`` logs every committed batch's
   net diff (CRC-framed, fsynced before the MVCC publish), replays
   log-on-top-of-snapshot on reopen, compacts past a size threshold
-  and recovers to any logged generation (``Database.recover_to``).
+  and recovers to any logged generation (``Database.recover_to``);
+* :class:`~repro.store.columnar.ColumnStore` — the physical layout:
+  canonical tuples shredded into per-attribute columns (flat primitive
+  arrays plus present/irregular sidecar bitsets, too-irregular rows in
+  a row-fallback residue) powering the planner's columnar scan
+  strategy and the parallel executor's column-shard wire format.
 """
 
 from repro.store.attr_index import AttrIndex
@@ -30,6 +35,13 @@ from repro.store.bulk import (
     fold_union,
 )
 from repro.store.cache import LRUCache, QueryResultCache
+from repro.store.columnar import (
+    Column,
+    ColumnStore,
+    bit_positions,
+    read_column_shard,
+    write_column_shard,
+)
 from repro.store.database import Database, DatabaseView
 from repro.store.index import (
     NEVER_MATCHES,
@@ -51,4 +63,6 @@ __all__ = [
     "blocked_union", "fold_union", "IncrementalUnion", "UnionDiff",
     "Database", "DatabaseView", "LRUCache", "QueryResultCache",
     "WriteAheadLog", "WalFrame", "WalScan", "scan_wal",
+    "ColumnStore", "Column", "bit_positions",
+    "write_column_shard", "read_column_shard",
 ]

@@ -1,0 +1,712 @@
+"""Columnar shredding of canonical data: the physical layout layer.
+
+Logically every datum is an object tree (⊥, or-values, partial sets —
+the paper's full algebra). Physically, most rows in a large store are
+flat tuples of scalar attributes, and residual-heavy queries that walk
+each tree row by row leave an order of magnitude on the table. This
+module decouples the two: a :class:`ColumnStore` *shreds* a snapshot's
+data into per-attribute columns — flat Python lists of primitives plus
+bitset sidecars — and the column-at-a-time evaluator
+(:func:`repro.query.compile.compile_columnar`) answers conditions with
+big-int bitset algebra instead of per-row tree walks.
+
+Shredding is per *field*, with a row-level fallback:
+
+* an attribute bound to a plain :class:`~repro.core.objects.Atom`
+  becomes a **scalar** entry: its primitive value lands in the column's
+  flat array and the ``present`` bit is set;
+* an attribute bound to a marker, an or-value or a (partial/complete)
+  set whose flattened members are all leaves becomes an **irregular**
+  entry: the ``present`` bit records whether the path reaches at least
+  one value, the ``irregular`` bit marks the row for per-row evaluation
+  wherever a value predicate needs more than existence (the "maybe"
+  sidecar — columns carry tri-state answers, they never pretend partial
+  data is complete);
+* a row with a nested tuple anywhere below a top-level attribute (or a
+  non-standard object subclass) is left whole in the **residue**: the
+  row scan remains its evaluator, exactly as before.
+
+Top-level non-tuple objects (atoms, markers, ⊥, sets of leaves) shred
+to field-less rows — every column is absent, which is precisely what
+every path reaches on them.
+
+The resulting masks make three facts *exact* for shredded rows, and the
+evaluator leans on all of them:
+
+1. a single-step path reaches exactly the column's entries;
+2. a multi-step path reaches nothing (nested tuples force residue);
+3. ``present`` is existence — or-value/⊥ uncertainty only widens the
+   ``irregular`` "maybe" set, never the definite sets.
+
+Stores are immutable. :meth:`ColumnStore.patched` produces the next
+generation copy-on-write, mirroring ``AttrIndex.patched``: removals
+only set tombstone bits (scan results are masked, arrays never shrink
+eagerly), additions append, and past a drift threshold the store
+rebuilds compactly. Classification is fully iterative and the
+entry points are routed through :mod:`repro.core.guard`, so
+pathologically deep objects cannot blow the recursion limit — they
+simply land in the residue.
+
+:func:`write_column_shard` / :func:`read_column_shard` put the same
+layout on the binary-codec wire, so the parallel executor ships column
+shards — not object trees — to its workers.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Callable, Iterable, Sequence
+
+from repro.core.data import Data, DataSet
+from repro.core.guard import guarded as _guarded
+from repro.core.objects import (
+    BOTTOM,
+    Atom,
+    CompleteSet,
+    Marker,
+    OrValue,
+    PartialSet,
+    SSObject,
+    Tuple,
+)
+from repro.core.order import structural_key
+
+__all__ = ["Column", "ColumnStore", "bit_positions",
+           "write_column_shard", "read_column_shard"]
+
+#: Set-bit offsets within one byte value, for fast bitset iteration.
+_BYTE_BITS = tuple(
+    tuple(bit for bit in range(8) if value >> bit & 1)
+    for value in range(256))
+
+#: Past this many tombstoned positions (and more dead than alive),
+#: ``patched`` rebuilds compactly instead of patching.
+_REBUILD_DEAD = 64
+
+#: Ordered-comparison scans memoized per column, capped per store.
+_SCAN_MEMO_CAP = 128
+
+_ORDERED_OPS = {"lt": operator.lt, "le": operator.le,
+                "gt": operator.gt, "ge": operator.ge}
+
+
+def bit_positions(bits: int) -> list[int]:
+    """Ascending positions of the set bits of a non-negative int.
+
+    The workhorse of bitset→row translation: byte-at-a-time through a
+    256-entry offset table, so sparse masks cost O(size/8) regardless
+    of how few bits are set.
+    """
+    if bits <= 0:
+        return []
+    out: list[int] = []
+    raw = bits.to_bytes((bits.bit_length() + 7) >> 3, "little")
+    for index, byte in enumerate(raw):
+        if byte:
+            base = index << 3
+            out.extend(base + bit for bit in _BYTE_BITS[byte])
+    return out
+
+
+class _BitBuilder:
+    """Accumulate single bits into an int without quadratic shifting.
+
+    ``bits |= 1 << i`` per row is O(n) per update on big ints; a
+    bytearray keeps each update O(1) and converts once at the end.
+    """
+
+    __slots__ = ("_buf",)
+
+    def __init__(self, size: int):
+        self._buf = bytearray((size + 7) >> 3)
+
+    def set(self, position: int) -> None:
+        self._buf[position >> 3] |= 1 << (position & 7)
+
+    def value(self) -> int:
+        return int.from_bytes(self._buf, "little")
+
+
+def _canonical_key(datum: Data) -> tuple:
+    return (structural_key(datum.marker), structural_key(datum.object))
+
+
+#: Field classification results. ``None`` means "this row cannot be
+#: shredded" (a nested tuple or unknown container below the field).
+_SCALAR = "scalar"
+_IRREGULAR = "irregular"
+
+
+def _classify_value(value: SSObject):
+    """Classify one attribute value; iterative, never recursive.
+
+    Returns ``(_SCALAR, primitive)``, ``(_IRREGULAR, reaches_any)`` or
+    ``None`` (force the whole row into the residue).
+    """
+    if type(value) is Atom:
+        return (_SCALAR, value.value)
+    if isinstance(value, Tuple):
+        return None
+    if isinstance(value, (OrValue, PartialSet, CompleteSet)):
+        present = False
+        stack = list(value.disjuncts if isinstance(value, OrValue)
+                     else value.elements)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, Tuple):
+                return None
+            if isinstance(node, (PartialSet, CompleteSet)):
+                stack.extend(node.elements)
+            elif isinstance(node, OrValue):
+                stack.extend(node.disjuncts)
+            elif node is not BOTTOM:
+                present = True
+        return (_IRREGULAR, present)
+    if value is BOTTOM:
+        # Unreachable in canonical tuples (⊥ fields are stripped), but
+        # classify it anyway: ⊥ reaches nothing.
+        return (_IRREGULAR, False)
+    # Markers and leaf-like subclasses: reachable, per-row for values.
+    return (_IRREGULAR, True)
+
+
+def _shreddable_top(obj: SSObject) -> bool:
+    """Whether a non-tuple top-level object shreds to a field-less row.
+
+    True exactly when no path can reach a value inside it through a
+    tuple — i.e. its flattened members contain no tuples.
+    """
+    if isinstance(obj, Tuple):
+        return False
+    if isinstance(obj, (OrValue, PartialSet, CompleteSet)):
+        stack = list(obj.disjuncts if isinstance(obj, OrValue)
+                     else obj.elements)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, Tuple):
+                return False
+            if isinstance(node, (PartialSet, CompleteSet)):
+                stack.extend(node.elements)
+            elif isinstance(node, OrValue):
+                stack.extend(node.disjuncts)
+        return True
+    return True  # atoms, markers, ⊥, leaf-like subclasses
+
+
+class Column:
+    """One attribute path's physical column.
+
+    ``values`` is a flat list indexed by row position: the primitive
+    atom value at scalar positions, ``None`` elsewhere (atom values are
+    never ``None``, so no sentinel collision). ``present`` and
+    ``irregular`` are position bitsets; ``extras`` maps irregular
+    positions to the original field object (needed to re-materialize
+    rows from the wire). Bits at tombstoned positions are masked by the
+    store, never cleared here.
+    """
+
+    __slots__ = ("values", "present", "irregular", "extras",
+                 "_eq_index", "_scan_memo")
+
+    def __init__(self, values: list, present: int, irregular: int,
+                 extras: dict[int, SSObject]):
+        self.values = values
+        self.present = present
+        self.irregular = irregular
+        self.extras = extras
+        self._eq_index: dict | None = None
+        self._scan_memo: dict = {}
+
+    def eq_bits(self, primitive) -> int:
+        """Unmasked positions whose scalar entry type-strictly equals
+        ``primitive`` (mirrors ``Atom.__eq__``: ``1``, ``True`` and
+        ``1.0`` are three different keys)."""
+        index = self._eq_index
+        if index is None:
+            buckets: dict[tuple, _BitBuilder] = {}
+            size = len(self.values)
+            for position, value in enumerate(self.values):
+                if value is None:
+                    continue
+                key = (type(value), value)
+                builder = buckets.get(key)
+                if builder is None:
+                    builder = buckets[key] = _BitBuilder(size)
+                builder.set(position)
+            index = {key: builder.value()
+                     for key, builder in buckets.items()}
+            self._eq_index = index
+        return index.get((type(primitive), primitive), 0)
+
+    def ordered_bits(self, op_name: str, bound) -> int:
+        """Unmasked positions whose scalar entry satisfies the ordered
+        comparison; type-specialized like the compiled row predicate
+        (numbers with numbers, strings with strings, never booleans)."""
+        memo_key = ("o", op_name, type(bound), bound)
+        cached = self._scan_memo.get(memo_key)
+        if cached is not None:
+            return cached
+        op = _ORDERED_OPS[op_name]
+        builder = _BitBuilder(len(self.values))
+        if isinstance(bound, str):
+            for position, value in enumerate(self.values):
+                if isinstance(value, str) and op(value, bound):
+                    builder.set(position)
+        else:
+            for position, value in enumerate(self.values):
+                if (isinstance(value, (int, float))
+                        and not isinstance(value, bool)
+                        and op(value, bound)):
+                    builder.set(position)
+        bits = builder.value()
+        if len(self._scan_memo) >= _SCAN_MEMO_CAP:
+            self._scan_memo.clear()
+        self._scan_memo[memo_key] = bits
+        return bits
+
+    def contains_bits(self, needle: str) -> int:
+        """Unmasked positions whose scalar string entry contains
+        ``needle``."""
+        memo_key = ("c", needle)
+        cached = self._scan_memo.get(memo_key)
+        if cached is not None:
+            return cached
+        builder = _BitBuilder(len(self.values))
+        for position, value in enumerate(self.values):
+            if isinstance(value, str) and needle in value:
+                builder.set(position)
+        bits = builder.value()
+        if len(self._scan_memo) >= _SCAN_MEMO_CAP:
+            self._scan_memo.clear()
+        self._scan_memo[memo_key] = bits
+        return bits
+
+
+class _ColumnBuilder:
+    __slots__ = ("values", "present", "irregular", "extras")
+
+    def __init__(self, size: int):
+        self.values: list = [None] * size
+        self.present = _BitBuilder(size)
+        self.irregular = _BitBuilder(size)
+        self.extras: dict[int, SSObject] = {}
+
+    def finish(self) -> Column:
+        return Column(self.values, self.present.value(),
+                      self.irregular.value(), self.extras)
+
+
+class ColumnStore:
+    """Shredded columns plus a row-fallback residue for one snapshot.
+
+    Positions are stable row indices into :attr:`rows`; all masks are
+    big-int bitsets over positions. Instances are immutable once built
+    (column scan memos are the only lazy writes, and they are benign),
+    so one store can serve lock-free readers like every other
+    per-generation structure in this repo.
+    """
+
+    __slots__ = ("_rows", "_positions", "_columns", "_labels",
+                 "_shredded", "_dead", "_size", "_ordered",
+                 "_universe", "_residue", "_alive_count")
+
+    def __init__(self, rows: list[Data], positions: dict[Data, int],
+                 columns: dict[str, Column], shredded: int, dead: int,
+                 ordered: bool):
+        self._rows = rows
+        self._positions = positions
+        self._columns = columns
+        self._labels = tuple(sorted(columns))
+        self._shredded = shredded
+        self._dead = dead
+        self._size = len(rows)
+        self._ordered = ordered
+        alive = ((1 << self._size) - 1) & ~dead
+        self._universe = shredded & alive
+        self._residue = alive & ~shredded
+        self._alive_count = alive.bit_count()
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    @_guarded
+    def build(cls, data: Iterable[Data], *,
+              ordered: bool | None = None) -> "ColumnStore":
+        """Shred ``data`` (distinct data) into a fresh store.
+
+        ``ordered`` records whether row positions follow the canonical
+        data order; it defaults to ``True`` for a :class:`DataSet`
+        (whose iteration is canonical) and ``False`` otherwise. Pass
+        ``ordered=True`` for a pre-sorted slice (a parallel shard).
+        """
+        if ordered is None:
+            ordered = isinstance(data, DataSet)
+        rows = list(data)
+        size = len(rows)
+        shredded = _BitBuilder(size)
+        builders: dict[str, _ColumnBuilder] = {}
+        for position, datum in enumerate(rows):
+            obj = datum.object
+            if type(obj) is Tuple:
+                specs = []
+                for label, value in obj.items():
+                    spec = _classify_value(value)
+                    if spec is None:
+                        specs = None
+                        break
+                    specs.append((label, spec, value))
+                if specs is None:
+                    continue  # residue row
+                shredded.set(position)
+                for label, (kind, payload), value in specs:
+                    column = builders.get(label)
+                    if column is None:
+                        column = builders[label] = _ColumnBuilder(size)
+                    if kind is _SCALAR:
+                        column.values[position] = payload
+                        column.present.set(position)
+                    elif payload:  # irregular entry reaching >=1 value
+                        column.present.set(position)
+                        column.irregular.set(position)
+                        column.extras[position] = value
+                    # irregular reaching nothing: all bits stay clear —
+                    # indistinguishable from absent for every path.
+            elif _shreddable_top(obj):
+                shredded.set(position)  # field-less row
+            # else: residue row
+        columns = {label: builder.finish()
+                   for label, builder in builders.items()}
+        positions = {datum: position
+                     for position, datum in enumerate(rows)}
+        return cls(rows, positions, columns, shredded.value(), 0,
+                   ordered)
+
+    @_guarded
+    def patched(self, removed: Iterable[Data],
+                added: Iterable[Data]) -> "ColumnStore":
+        """The next generation's store, copy-on-write.
+
+        Removals tombstone positions (masks carry liveness; arrays are
+        shared untouched). Additions append — re-adding a tombstoned
+        datum resurrects its position. When tombstones outnumber live
+        rows the store rebuilds compactly in canonical order.
+        """
+        dead = self._dead
+        removal_mask = _BitBuilder(self._size)
+        for datum in removed:
+            position = self._positions.get(datum)
+            if position is not None:
+                removal_mask.set(position)
+        dead |= removal_mask.value()
+
+        appended: list[Data] = []
+        resurrect = _BitBuilder(self._size)
+        for datum in added:
+            position = self._positions.get(datum)
+            if position is None:
+                appended.append(datum)
+            elif dead >> position & 1:
+                resurrect.set(position)
+        dead &= ~resurrect.value()
+
+        old_size = self._size
+        if appended:
+            tail = ColumnStore.build(appended, ordered=False)
+            rows = self._rows + tail._rows
+            positions = dict(self._positions)
+            for offset, datum in enumerate(tail._rows):
+                positions[datum] = old_size + offset
+            pad = [None] * len(appended)
+            columns: dict[str, Column] = {}
+            for label, column in self._columns.items():
+                tail_column = tail._columns.get(label)
+                if tail_column is None:
+                    columns[label] = Column(
+                        column.values + pad, column.present,
+                        column.irregular, column.extras)
+                else:
+                    extras = dict(column.extras)
+                    extras.update(
+                        (old_size + position, value)
+                        for position, value in tail_column.extras.items())
+                    columns[label] = Column(
+                        column.values + tail_column.values,
+                        column.present | tail_column.present << old_size,
+                        column.irregular
+                        | tail_column.irregular << old_size,
+                        extras)
+            head_pad = [None] * old_size
+            for label, tail_column in tail._columns.items():
+                if label in columns:
+                    continue
+                columns[label] = Column(
+                    head_pad + tail_column.values,
+                    tail_column.present << old_size,
+                    tail_column.irregular << old_size,
+                    {old_size + position: value
+                     for position, value in tail_column.extras.items()})
+            shredded = self._shredded | tail._shredded << old_size
+            ordered = False
+        else:
+            rows = self._rows
+            positions = self._positions
+            columns = self._columns
+            shredded = self._shredded
+            ordered = self._ordered
+
+        result = ColumnStore(rows, positions, columns, shredded, dead,
+                             ordered)
+        dead_count = dead.bit_count()
+        if dead_count > _REBUILD_DEAD and 2 * dead_count > result._size:
+            alive = [rows[position]
+                     for position in bit_positions(
+                         ((1 << result._size) - 1) & ~dead)]
+            alive.sort(key=_canonical_key)
+            return ColumnStore.build(alive, ordered=True)
+        return result
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def rows(self) -> list[Data]:
+        """The position-indexed row list (tombstones included)."""
+        return self._rows
+
+    @property
+    def size(self) -> int:
+        """Total positions, live and tombstoned."""
+        return self._size
+
+    @property
+    def alive_count(self) -> int:
+        """Live rows (shredded plus residue)."""
+        return self._alive_count
+
+    @property
+    def shredded_count(self) -> int:
+        """Live rows answered by the columns."""
+        return self._universe.bit_count()
+
+    @property
+    def residue_count(self) -> int:
+        """Live rows only the row scan can answer."""
+        return self._residue.bit_count()
+
+    @property
+    def labels(self) -> tuple[str, ...]:
+        """Shredded attribute labels, sorted."""
+        return self._labels
+
+    @property
+    def ordered(self) -> bool:
+        """Whether ascending position is canonical data order."""
+        return self._ordered
+
+    @property
+    def universe_mask(self) -> int:
+        """Bitset of live shredded rows — the complement base for
+        negation in the tri-state evaluator."""
+        return self._universe
+
+    @property
+    def residue_mask(self) -> int:
+        """Bitset of live residue rows (always per-row evaluated)."""
+        return self._residue
+
+    # -- leaf evaluation -------------------------------------------------------
+    #
+    # Every method returns ``(true_bits, maybe_bits)`` — disjoint
+    # subsets of ``universe_mask``. Rows in neither set *definitively*
+    # fail the leaf. Exactness relies on the shred invariants: nested
+    # tuples are residue, so on shredded rows a one-step path reaches
+    # exactly the column and a longer path reaches nothing.
+
+    def leaf_eq(self, steps: Sequence[str],
+                target: SSObject) -> tuple[int, int]:
+        if len(steps) != 1:
+            return (0, 0)
+        column = self._columns.get(steps[0])
+        if column is None:
+            return (0, 0)
+        maybe = column.irregular & self._universe
+        if type(target) is Atom:
+            return (column.eq_bits(target.value) & self._universe, maybe)
+        # Scalar atoms never equal a non-atom target; irregular rows
+        # (marker or mixed leaves) go per-row.
+        return (0, maybe)
+
+    def leaf_ne(self, steps: Sequence[str],
+                target: SSObject) -> tuple[int, int]:
+        if len(steps) != 1:
+            return (0, 0)
+        column = self._columns.get(steps[0])
+        if column is None:
+            return (0, 0)
+        scalar = (column.present & ~column.irregular) & self._universe
+        maybe = column.irregular & self._universe
+        if type(target) is Atom:
+            return (scalar & ~column.eq_bits(target.value), maybe)
+        return (scalar, maybe)  # an atom always differs from a non-atom
+
+    def leaf_ordered(self, steps: Sequence[str], op_name: str,
+                     bound) -> tuple[int, int]:
+        if len(steps) != 1:
+            return (0, 0)
+        column = self._columns.get(steps[0])
+        if column is None:
+            return (0, 0)
+        return (column.ordered_bits(op_name, bound) & self._universe,
+                column.irregular & self._universe)
+
+    def leaf_contains(self, steps: Sequence[str],
+                      needle: str) -> tuple[int, int]:
+        if len(steps) != 1:
+            return (0, 0)
+        column = self._columns.get(steps[0])
+        if column is None:
+            return (0, 0)
+        return (column.contains_bits(needle) & self._universe,
+                column.irregular & self._universe)
+
+    def leaf_exists(self, steps: Sequence[str]) -> tuple[int, int]:
+        if len(steps) != 1:
+            return (0, 0)
+        column = self._columns.get(steps[0])
+        if column is None:
+            return (0, 0)
+        # ``present`` is existence even on irregular rows: the bit is
+        # set exactly when the path reaches >=1 non-⊥ value.
+        return (column.present & self._universe, 0)
+
+    # -- selection -------------------------------------------------------------
+
+    def match_positions(self, program, predicate:
+                        Callable[[SSObject], bool]) -> list[int]:
+        """Ascending live positions matching a compiled columnar
+        ``program``, with ``predicate`` (the compiled row condition)
+        deciding maybe-rows and the residue."""
+        true_bits, maybe_bits = program(self)
+        check = maybe_bits | self._residue
+        definite = bit_positions(true_bits)
+        if not check:
+            return definite
+        rows = self._rows
+        checked = [position for position in bit_positions(check)
+                   if predicate(rows[position].object)]
+        if not definite:
+            return checked
+        if not checked:
+            return definite
+        import heapq
+
+        return list(heapq.merge(definite, checked))
+
+    def matches(self, program, predicate:
+                Callable[[SSObject], bool]) -> list[Data]:
+        """Matching rows in canonical data order (the row-scan order)."""
+        selected = [self._rows[position]
+                    for position in self.match_positions(program,
+                                                         predicate)]
+        if not self._ordered:
+            selected.sort(key=_canonical_key)
+        return selected
+
+
+# -- wire format ---------------------------------------------------------------
+
+
+def write_column_shard(encoder, store: ColumnStore) -> None:
+    """Serialize a freshly built (tombstone-free) store column-wise.
+
+    Layout: row count; the residue and field-less rows as full data
+    (position-tagged); the shredded mask; then the tuple rows as one
+    marker stream plus per-column tagged entry streams — labels travel
+    once per column instead of once per row, and the codec's value
+    table still deduplicates repeated values across columns.
+    """
+    size = store.size
+    tuple_positions = []
+    object_positions = []
+    rows = store.rows
+    shredded = store.universe_mask
+    for position in range(size):
+        if (shredded >> position & 1
+                and type(rows[position].object) is Tuple):
+            tuple_positions.append(position)
+        else:
+            object_positions.append(position)
+    encoder.write_uvarint(size)
+    encoder.write_uvarint(len(object_positions))
+    for position in object_positions:
+        encoder.write_uvarint(position)
+        encoder.write_datum(rows[position])
+    mask_raw = shredded.to_bytes((size + 7) >> 3 or 1, "little")
+    encoder.write_uvarint(len(mask_raw))
+    encoder.write_bytes(mask_raw)
+    for position in tuple_positions:
+        encoder.write_object(rows[position].marker)
+    encoder.write_uvarint(len(store.labels))
+    for label in store.labels:
+        encoder.write_string(label)
+        column = store._columns[label]
+        values = column.values
+        irregular = column.irregular
+        extras = column.extras
+        present = column.present
+        for position in tuple_positions:
+            if irregular >> position & 1:
+                encoder.write_uvarint(2)
+                encoder.write_object(extras[position])
+            elif present >> position & 1:
+                encoder.write_uvarint(1)
+                encoder.write_object(Atom(values[position]))
+            else:
+                encoder.write_uvarint(0)
+
+
+def read_column_shard(decoder) -> ColumnStore:
+    """Decode :func:`write_column_shard` output into a live store.
+
+    Tuple rows are re-materialized from the column entries through the
+    trusted ``Tuple._from_sorted_fields`` constructor (labels arrive
+    strictly sorted, values are never ⊥) — the rebuilt rows are
+    predicate-equivalent to the originals, which is all position-based
+    query answering needs.
+    """
+    size = decoder.read_uvarint()
+    rows: list[Data | None] = [None] * size
+    object_count = decoder.read_uvarint()
+    for _ in range(object_count):
+        position = decoder.read_uvarint()
+        rows[position] = decoder.read_datum()
+    mask_len = decoder.read_uvarint()
+    shredded = int.from_bytes(decoder.read_bytes(mask_len), "little")
+    tuple_positions = [position for position in range(size)
+                       if rows[position] is None]
+    markers = [decoder.read_object() for _ in tuple_positions]
+    column_count = decoder.read_uvarint()
+    columns: dict[str, Column] = {}
+    fields: dict[int, list] = {position: [] for position in tuple_positions}
+    for _ in range(column_count):
+        label = decoder.read_string()
+        builder = _ColumnBuilder(size)
+        for position in tuple_positions:
+            tag = decoder.read_uvarint()
+            if tag == 0:
+                continue
+            value = decoder.read_object()
+            if tag == 1:
+                builder.values[position] = value.value
+                builder.present.set(position)
+            else:
+                builder.present.set(position)
+                builder.irregular.set(position)
+                builder.extras[position] = value
+            fields[position].append((label, value))
+        columns[label] = builder.finish()
+    for position, marker in zip(tuple_positions, markers):
+        obj = Tuple._from_sorted_fields(tuple(fields[position]))
+        rows[position] = Data(marker, obj)
+    positions = {datum: position
+                 for position, datum in enumerate(rows)}
+    return ColumnStore(rows, positions, columns, shredded, 0, True)

@@ -128,19 +128,21 @@ class _DBState:
     """
 
     __slots__ = ("generation", "data", "marker_index", "key_indexes",
-                 "attr_index", "_dataset")
+                 "attr_index", "_dataset", "_columns")
 
     def __init__(self, generation: int, data: frozenset[Data],
                  marker_index: dict[Marker, set[Data]],
                  key_indexes: dict[frozenset[str], KeyIndex],
                  attr_index: AttrIndex,
-                 dataset: DataSet | None = None):
+                 dataset: DataSet | None = None,
+                 columns=None):
         self.generation = generation
         self.data = data
         self.marker_index = marker_index
         self.key_indexes = key_indexes
         self.attr_index = attr_index
         self._dataset = dataset
+        self._columns = columns
 
     def dataset(self) -> DataSet:
         """The frozen :class:`DataSet`, built once per generation.
@@ -154,15 +156,33 @@ class _DBState:
             self._dataset = cached
         return cached
 
+    def columns(self):
+        """The generation's columnar shredding, built on first use.
+
+        Like :meth:`dataset`, the memo races benignly. Generations
+        created by ``_apply`` inherit a copy-on-write ``patched()``
+        store instead of rebuilding, so once any generation has paid
+        the shred, every successor updates incrementally.
+        """
+        cached = self._columns
+        if cached is None:
+            from repro.store.columnar import ColumnStore
+
+            cached = ColumnStore.build(self.dataset())
+            self._columns = cached
+        return cached
+
     def with_key_indexes(self, key_indexes) -> "_DBState":
         """Same generation, one more lazily built key index."""
         return _DBState(self.generation, self.data, self.marker_index,
-                        key_indexes, self.attr_index, self._dataset)
+                        key_indexes, self.attr_index, self._dataset,
+                        self._columns)
 
     def with_attr_index(self, attr_index: AttrIndex) -> "_DBState":
         """Same generation, one more indexed attribute path."""
         return _DBState(self.generation, self.data, self.marker_index,
-                        self.key_indexes, attr_index, self._dataset)
+                        self.key_indexes, attr_index, self._dataset,
+                        self._columns)
 
 
 def _build_marker_index(data: Iterable[Data]) -> dict[Marker, set[Data]]:
@@ -244,7 +264,8 @@ class Database:
         self._parsed_cache = LRUCache(_QUERY_CACHE_SIZE)
         self._results = QueryResultCache(result_cache_size)
         self._executor_lock = threading.Lock()
-        self._executor_slot: tuple | None = None
+        self._executor_slots: dict[tuple[int, str], object] = {}
+        self._executor_generation: int | None = None
         # Durability runtime: populated by Database.open(durable=True);
         # a plain in-memory database never touches the log.
         self._wal: WriteAheadLog | None = None
@@ -339,6 +360,10 @@ class Database:
             (state.data - frozenset(delta_removed)) | frozenset(delta_added))
         attr_index, touched = state.attr_index.patched(
             delta_removed, delta_added)
+        # The columnar shredding patches copy-on-write like every other
+        # index — but only if some generation already built it; an
+        # unshreded store stays lazy (columns=None) across writes.
+        prev_columns = state._columns
         next_state = _DBState(
             generation=state.generation + 1,
             data=new_data,
@@ -348,6 +373,9 @@ class Database:
                 key: index.patched(delta_removed, delta_added)
                 for key, index in state.key_indexes.items()},
             attr_index=attr_index,
+            columns=(None if prev_columns is None
+                     else prev_columns.patched(delta_removed,
+                                               delta_added)),
         )
         log = self._wal
         if log is not None:
@@ -535,8 +563,12 @@ class Database:
                                        spec.order_steps(), spec.limit)
             result = DataSet(project_data(selected, spec.projection))
         else:
+            # ``columns`` stays a bound method: the shredding is only
+            # built (lazily, once per lineage) if the planner actually
+            # picks the columnar strategy for this condition.
             result = spec.query(state.dataset(),
-                                index=state.attr_index).run()
+                                index=state.attr_index,
+                                columns=state.columns).run()
         paths, safe = self._cache_profile(spec)
         self._results.store(text, state.generation, result, paths, safe)
         return result
@@ -561,11 +593,17 @@ class Database:
                               parallel=parallel,
                               parallel_mode=parallel_mode)
 
-    def explain(self, text: str):
-        """The :class:`~repro.query.planner.Plan` for a textual query."""
+    def explain(self, text: str, *, analyze: bool = False):
+        """The :class:`~repro.query.planner.Plan` for a textual query.
+
+        The plan names the physical strategy (``index`` / ``columnar``
+        / ``row-scan``) and the planner's estimated row count;
+        ``analyze=True`` also executes it and reports ``actual_rows``.
+        """
         state = self._state
-        return self._parsed(text).query(state.dataset(),
-                                        index=state.attr_index).explain()
+        return self._parsed(text).query(
+            state.dataset(), index=state.attr_index,
+            columns=state.columns).explain(analyze=analyze)
 
     def cache_stats(self) -> dict[str, int]:
         """Result-cache counters (hits/misses/retags/evictions)."""
@@ -576,31 +614,29 @@ class Database:
     def _executor(self, state: _DBState, workers: int, mode: str):
         """The shard-worker pool for one generation, built on demand.
 
-        One executor serves one generation: a write retires the pool
-        (its shards are stale) and the next parallel query rebuilds it
-        from the new state.
+        Executors cache per ``(workers, mode)`` so alternating pool
+        shapes on an unchanged store never re-shard or re-ship the
+        data; a write retires every pool (their shards are stale) and
+        the next parallel query rebuilds from the new state.
         """
         from repro.query.parallel import ParallelExecutor
 
         with self._executor_lock:
-            slot = self._executor_slot
-            if slot is not None:
-                generation, slot_workers, slot_mode, executor = slot
-                if (generation == state.generation
-                        and slot_workers == workers
-                        and slot_mode == mode):
-                    return executor
-                executor.close()
-                self._executor_slot = None
-            executor = ParallelExecutor(
-                state.dataset(), workers=workers,
-                index=state.attr_index, mode=mode)
-            self._executor_slot = (state.generation, workers, mode,
-                                   executor)
+            if self._executor_generation != state.generation:
+                for executor in self._executor_slots.values():
+                    executor.close()
+                self._executor_slots.clear()
+                self._executor_generation = state.generation
+            executor = self._executor_slots.get((workers, mode))
+            if executor is None:
+                executor = ParallelExecutor(
+                    state.dataset(), workers=workers,
+                    index=state.attr_index, mode=mode)
+                self._executor_slots[(workers, mode)] = executor
             return executor
 
     def close(self) -> None:
-        """Release the parallel worker pool and the write-ahead log.
+        """Release the parallel worker pools and the write-ahead log.
 
         A running background compaction is joined first so the log and
         snapshot are left in a consistent resting state. Closing is
@@ -608,9 +644,9 @@ class Database:
         disk, so close() adds no durability of its own.
         """
         with self._executor_lock:
-            if self._executor_slot is not None:
-                self._executor_slot[3].close()
-                self._executor_slot = None
+            for executor in self._executor_slots.values():
+                executor.close()
+            self._executor_slots.clear()
         thread = self._compact_thread
         if thread is not None and thread.is_alive():
             thread.join(timeout=60)
@@ -1300,11 +1336,12 @@ class DatabaseView:
         """Run a textual query against the pinned generation."""
         return self._database._query_at(self._state, text, naive=naive)
 
-    def explain(self, text: str):
+    def explain(self, text: str, *, analyze: bool = False):
         """The plan the pinned generation would use for a query."""
         state = self._state
         return self._database._parsed(text).query(
-            state.dataset(), index=state.attr_index).explain()
+            state.dataset(), index=state.attr_index,
+            columns=state.columns).explain(analyze=analyze)
 
 
 def _fsync_directory(path: Path) -> None:

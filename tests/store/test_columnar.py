@@ -1,0 +1,329 @@
+"""Unit tests for the columnar shredding layer.
+
+Covers the shred classification rules (scalar / irregular sidecar /
+row-fallback residue / field-less tops), the bitset plumbing,
+copy-on-write ``patched()`` including tombstones, resurrection and the
+compacting drift rebuild, the column-shard wire format, and the
+≥600-deep pathological-nesting regression the binary codec set the
+precedent for: analysis is iterative (and guarded), so deep objects
+classify without blowing the recursion limit.
+"""
+
+import io
+
+from repro.binary_codec import Decoder, Encoder
+from repro.core.builder import atom, cset, orv, pset, tup
+from repro.core.data import Data, DataSet
+from repro.core.objects import Atom, Marker, Tuple
+from repro.query import Eq, Exists, Ge, Query
+from repro.store.columnar import (
+    ColumnStore,
+    bit_positions,
+    read_column_shard,
+    write_column_shard,
+)
+
+
+def datum(name, obj):
+    return Data(Marker(name), obj)
+
+
+def flat(name, **fields):
+    return datum(name, tup(**fields))
+
+
+def library():
+    return DataSet([
+        flat("a1", type="Article", year=1999, title="foo bar"),
+        flat("a2", type="Article", year=2005, title="baz"),
+        flat("b1", type="Book", title="no year"),
+        datum("or1", tup(type=atom("Article"),
+                         year=orv(1990, 1991), title=atom("maybe"))),
+        datum("set1", tup(type=atom("Article"),
+                          author=cset("ann", "bob"), year=atom(2001))),
+        datum("res1", tup(type=atom("Article"),
+                          venue=tup(name="EDBT", year=2000))),
+        datum("top1", atom("loose atom")),
+    ])
+
+
+class TestBitPositions:
+    def test_empty(self):
+        assert bit_positions(0) == []
+
+    def test_byte_boundaries(self):
+        bits = (1 << 0) | (1 << 7) | (1 << 8) | (1 << 63) | (1 << 64)
+        assert bit_positions(bits) == [0, 7, 8, 63, 64]
+
+    def test_round_trip(self):
+        positions = [0, 3, 17, 255, 256, 1000]
+        bits = 0
+        for position in positions:
+            bits |= 1 << position
+        assert bit_positions(bits) == positions
+
+
+class TestBuildClassification:
+    def test_scalar_rows_shred(self):
+        store = ColumnStore.build(library())
+        assert store.size == 7
+        # Everything but the nested-tuple row is answerable by columns.
+        assert store.shredded_count == 6
+        assert store.residue_count == 1
+        assert "year" in store.labels and "author" in store.labels
+
+    def test_nested_tuple_is_residue(self):
+        store = ColumnStore.build(DataSet([
+            datum("r", tup(type=atom("Article"),
+                           venue=tup(name="EDBT"))),
+        ]))
+        assert store.shredded_count == 0
+        assert store.residue_count == 1
+
+    def test_tuple_inside_set_is_residue(self):
+        store = ColumnStore.build(DataSet([
+            datum("r", tup(parts=cset(tup(x=atom(1))))),
+        ]))
+        assert store.residue_count == 1
+
+    def test_tuple_subclass_is_residue(self):
+        class OddTuple(Tuple):
+            pass
+
+        store = ColumnStore.build(
+            [datum("r", OddTuple({"a": atom(1)}))], ordered=False)
+        assert store.residue_count == 1
+
+    def test_top_level_leaves_shred_fieldless(self):
+        store = ColumnStore.build(DataSet([
+            datum("a", atom(1)),
+            datum("m", Marker("loose")),
+            datum("s", pset(1, 2)),
+        ]))
+        assert store.shredded_count == 3
+        assert store.labels == ()
+
+    def test_top_level_set_with_tuple_is_residue(self):
+        store = ColumnStore.build(DataSet([
+            datum("s", cset(tup(x=atom(1)))),
+        ]))
+        assert store.residue_count == 1
+
+    def test_or_value_field_is_irregular(self):
+        store = ColumnStore.build(DataSet([
+            datum("d", tup(year=orv(1990, 1991))),
+        ]))
+        true_bits, maybe_bits = store.leaf_eq(("year",), Atom(1990))
+        assert true_bits == 0 and maybe_bits != 0
+
+    def test_empty_set_field_reads_as_absent(self):
+        data = DataSet([datum("d", tup(tags=cset(), type=atom("X")))])
+        store = ColumnStore.build(data)
+        true_bits, maybe_bits = store.leaf_exists(("tags",))
+        assert true_bits == 0 and maybe_bits == 0
+        # The naive evaluator agrees: an empty set reaches nothing.
+        query = Query(data).where(Exists("tags")).with_columns(store)
+        assert query.run() == query.run(naive=True)
+
+    def test_exists_is_exact_on_irregular_rows(self):
+        store = ColumnStore.build(DataSet([
+            datum("d", tup(author=cset("ann", "bob"))),
+        ]))
+        true_bits, maybe_bits = store.leaf_exists(("author",))
+        assert true_bits != 0 and maybe_bits == 0
+
+    def test_strict_atom_typing_in_eq_index(self):
+        data = DataSet([
+            datum("i", tup(v=atom(1))),
+            datum("b", tup(v=atom(True))),
+            datum("f", tup(v=Atom(1.0))),
+        ])
+        store = ColumnStore.build(data)
+        for value in (1, True, 1.0):
+            true_bits, _ = store.leaf_eq(("v",), Atom(value))
+            assert true_bits.bit_count() == 1
+            query = Query(data).where(Eq("v", value)).with_columns(store)
+            assert query.run() == query.run(naive=True)
+
+    def test_multi_step_paths_reach_nothing_on_shredded_rows(self):
+        data = library()
+        store = ColumnStore.build(data)
+        query = (Query(data).where(Exists("venue.name"))
+                 .with_columns(store))
+        # Only the residue row can answer a nested path; shredded rows
+        # are definite misses by the shred invariant.
+        assert query.run() == query.run(naive=True)
+        assert len(query.run()) == 1
+
+
+class TestPatched:
+    def test_remove_tombstones(self):
+        data = list(library())
+        store = ColumnStore.build(DataSet(data))
+        patched = store.patched([data[0]], [])
+        assert patched.size == store.size
+        assert patched.alive_count == store.alive_count - 1
+        query_data = DataSet(data[1:])
+        query = (Query(query_data).where(Eq("type", "Article"))
+                 .with_columns(patched))
+        assert query.run() == query.run(naive=True)
+
+    def test_readd_resurrects_position(self):
+        data = list(library())
+        store = ColumnStore.build(DataSet(data))
+        removed = store.patched([data[0]], [])
+        revived = removed.patched([], [data[0]])
+        assert revived.size == store.size  # no duplicate row appended
+        assert revived.alive_count == store.alive_count
+
+    def test_append_new_rows_and_labels(self):
+        data = list(library())
+        store = ColumnStore.build(DataSet(data))
+        extra = [flat("n1", type="New", pages=12),
+                 datum("n2", tup(venue=tup(x=atom(1))))]
+        patched = store.patched([], extra)
+        assert patched.size == store.size + 2
+        assert "pages" in patched.labels
+        assert patched.residue_count == store.residue_count + 1
+        combined = DataSet(data + extra)
+        query = (Query(combined).where(Ge("pages", 10))
+                 .with_columns(patched))
+        assert query.run() == query.run(naive=True)
+
+    def test_append_marks_unordered_then_sorts(self):
+        data = list(library())
+        store = ColumnStore.build(DataSet(data))
+        extra = flat("zz", type="Article", year=1960)
+        patched = store.patched([], [extra])
+        assert not patched.ordered
+        combined = DataSet(data + [extra])
+        query = (Query(combined).where(Exists("type"))
+                 .with_columns(patched))
+        assert query.rows() == query.rows(naive=True)
+
+    def test_drift_rebuild_compacts(self):
+        data = [flat(f"m{i:04d}", type="T", year=1900 + i)
+                for i in range(200)]
+        store = ColumnStore.build(DataSet(data))
+        patched = store.patched(data[:150], [])
+        # 150 tombstones on 200 rows crosses the drift threshold: the
+        # store rebuilds compactly with only the 50 live rows.
+        assert patched.size == 50
+        assert patched.alive_count == 50
+        assert patched.ordered
+        query_data = DataSet(data[150:])
+        query = (Query(query_data).where(Ge("year", 1900))
+                 .with_columns(patched))
+        assert query.rows() == query.rows(naive=True)
+
+    def test_database_lineage_patches_not_rebuilds(self):
+        from repro.store.database import Database
+
+        db = Database(list(library()), result_cache_size=0)
+        text = 'select * where type = "Article"'
+        assert db.query(text) == db.query(text, naive=True)
+        first = db._state.columns()
+        db.insert(flat("x9", type="Article", year=2024))
+        second = db._state._columns
+        # _apply patched the existing store copy-on-write.
+        assert second is not None and second is not first
+        assert db.query(text) == db.query(text, naive=True)
+
+
+class TestWireFormat:
+    def round_trip(self, rows):
+        store = ColumnStore.build(rows, ordered=True)
+        buffer = io.BytesIO()
+        encoder = Encoder(buffer)
+        write_column_shard(encoder, store)
+        encoder.flush()
+        decoder = Decoder(io.BytesIO(buffer.getvalue()), intern=True)
+        return store, read_column_shard(decoder)
+
+    def test_rows_rematerialize_exactly(self):
+        rows = list(library())
+        store, decoded = self.round_trip(rows)
+        assert decoded.size == store.size
+        assert decoded.rows == rows
+        assert decoded.shredded_count == store.shredded_count
+
+    def test_match_positions_agree(self):
+        from repro.query.planner import columnar_shard_positions
+
+        rows = list(library())
+        store, decoded = self.round_trip(rows)
+        for condition in (Eq("type", "Article"),
+                          Ge("year", 2000) | Exists("author"),
+                          ~Exists("year")):
+            assert (columnar_shard_positions(store, condition)
+                    == columnar_shard_positions(decoded, condition))
+
+    def test_empty_set_field_is_predicate_equivalent(self):
+        rows = [datum("d", tup(tags=cset(), type=atom("X")))]
+        store, decoded = self.round_trip(rows)
+        # The empty-set field is dropped on the wire (it reaches
+        # nothing under every path), so the rebuilt row differs
+        # structurally but answers every query identically.
+        true_bits, maybe_bits = decoded.leaf_exists(("tags",))
+        assert true_bits == 0 and maybe_bits == 0
+        true_bits, _ = decoded.leaf_eq(("type",), Atom("X"))
+        assert true_bits == 1
+
+    def test_empty_shard(self):
+        store, decoded = self.round_trip([])
+        assert decoded.size == 0
+
+
+DEPTH = 600
+
+
+def deep_set(depth):
+    obj = atom("leaf")
+    for _ in range(depth):
+        obj = pset(obj)
+    return obj
+
+
+def deep_tuple(depth):
+    obj = atom("leaf")
+    for _ in range(depth):
+        obj = Tuple({"a": obj})
+    return obj
+
+
+class TestDeepNesting:
+    """Satellite regression: the shredder is iterative, so ≥600-deep
+    objects classify instead of overflowing (mirrors the binary-codec
+    depth assertion)."""
+
+    def test_deep_set_field_classifies_irregular(self):
+        rows = [datum("deep", tup(blob=deep_set(DEPTH),
+                                  type=atom("Deep"))),
+                flat("flat", type="Flat")]
+        store = ColumnStore.build(rows, ordered=False)
+        assert store.shredded_count == 2
+        true_bits, maybe_bits = store.leaf_exists(("blob",))
+        assert true_bits.bit_count() == 1 and maybe_bits == 0
+        # Value predicates on the deep column go per-row only where the
+        # sidecar is set; Eq on the *other* column stays pure bitset.
+        true_bits, maybe_bits = store.leaf_eq(("type",), Atom("Flat"))
+        assert true_bits.bit_count() == 1
+
+    def test_deep_tuple_chain_falls_to_residue(self):
+        rows = [datum("deep", tup(blob=deep_tuple(DEPTH))),
+                flat("flat", type="Flat")]
+        store = ColumnStore.build(rows, ordered=False)
+        assert store.residue_count == 1
+        assert store.shredded_count == 1
+
+    def test_deep_top_level_set_shreds_fieldless(self):
+        rows = [datum("deep", deep_set(DEPTH))]
+        store = ColumnStore.build(rows, ordered=False)
+        assert store.shredded_count == 1
+
+    def test_patched_stays_iterative_at_depth(self):
+        store = ColumnStore.build([flat("flat", type="Flat")],
+                                  ordered=False)
+        patched = store.patched(
+            [], [datum("deep", tup(blob=deep_set(DEPTH)))])
+        assert patched.shredded_count == 2

@@ -48,6 +48,8 @@ TOLERANCE = 2.0
 #: name -> (benchmark script, dotted paths of its headline ratios).
 #: Each path must resolve to a number in the benchmark's JSON report.
 REGISTRY: dict[str, tuple[str, tuple[str, ...]]] = {
+    "columnar": ("benchmarks/bench_columnar.py",
+                 ("residual_speedup",)),
     "concurrency": ("benchmarks/bench_concurrency.py",
                     ("cached_read_speedup", "parallel_speedup")),
     "interning": ("benchmarks/bench_interning.py", ("speedup",)),
