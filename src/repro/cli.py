@@ -6,7 +6,9 @@ Commands:
   ``∪K``, print the conflict report, emit merged BibTeX (or JSON/text);
 * ``convert FILE`` — convert between formats (bib, json, text) inferred
   from extensions or forced with ``--from``/``--to``;
-* ``query FILE "select ..."`` — run a textual query against a file;
+* ``query FILE "select ..."`` — run a textual query against a file
+  (selections, aggregates with ``group by``, and — with
+  ``--join QUERY --on PATH`` — hash joins of two selections);
 * ``diff A.bib B.bib`` / ``intersect A.bib B.bib`` — the other two
   operations;
 * ``sync BASE MINE THEIRS`` — three-way, ancestor-aware merge;
@@ -128,8 +130,80 @@ def _cmd_convert(args: argparse.Namespace) -> int:
     return 0
 
 
+def _format_value(value: object) -> str:
+    from repro.core.objects import SSObject
+    from repro.text import format_object
+
+    if isinstance(value, SSObject):
+        return format_object(value)
+    return repr(value)
+
+
+def _render_aggregate(result: dict) -> str:
+    """Render an aggregate result (possibly grouped) as text.
+
+    Ungrouped results map ``label -> value``; grouped results map
+    ``group key (an object) -> {label: value}``. Values may be plain
+    scalars, :class:`~repro.query.aggregates.Bounds` intervals, or
+    or-valued objects — all partiality stays visible in the output.
+    """
+    lines = []
+    for key, value in result.items():
+        if isinstance(key, str):
+            lines.append(f"{key} = {_format_value(value)}")
+        else:
+            lines.append(f"group {_format_value(key)}:")
+            for name, inner in value.items():
+                lines.append(f"  {name} = {_format_value(inner)}")
+    return "\n".join(lines)
+
+
+def _render_join_rows(rows) -> str:
+    """Render join output, one left/right pair per line.
+
+    ``?`` flags a *maybe* pair — one that matches only under some
+    resolution of an or-value or ⊥ on a join path.
+    """
+    from repro.text import format_data
+
+    lines = []
+    for row in rows:
+        flag = "? " if row.maybe else "  "
+        lines.append(f"{flag}{format_data(row.left)}  |x|  "
+                     f"{format_data(row.right)}")
+    return "\n".join(lines)
+
+
+def _print(text: str, args: argparse.Namespace) -> None:
+    if args.output:
+        Path(args.output).write_text(text + "\n")
+    else:
+        print(text)
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.query.parser import parse_query_spec
+
     dataset = _load(args.file, args.from_format)
+    if args.join and not args.on:
+        raise ReproError("--join requires at least one --on key path")
+    if args.on and not args.join:
+        raise ReproError("--on only applies with --join")
+    if args.join:
+        # Two selections of the same store joined on key path(s);
+        # explain renders the JoinPlan (build/probe, est vs actual).
+        from repro.store.database import Database
+
+        with Database(dataset, index_paths=args.index or ()) as database:
+            on = tuple(args.on)
+            if args.explain:
+                plan = database.explain_join(args.query, args.join, on,
+                                             analyze=True)
+                print(plan.describe())
+                return 0
+            rows = database.join_query(args.query, args.join, on)
+            _print(_render_join_rows(rows), args)
+        return 0
     if args.explain:
         # The plan sees exactly what execution would: the database's
         # attribute index and columnar shredding.
@@ -138,16 +212,24 @@ def _cmd_query(args: argparse.Namespace) -> int:
         with Database(dataset, index_paths=args.index or ()) as database:
             print(database.explain(args.query, analyze=True).describe())
         return 0
+    is_aggregate = parse_query_spec(args.query).is_aggregate
     if args.index or args.parallel:
         # Route through a Database so the query gets the planner's
         # attribute-index probes and/or the sharded parallel executor.
         from repro.store.database import Database
 
         with Database(dataset, index_paths=args.index or ()) as database:
-            _emit(database.query(args.query, parallel=args.parallel),
-                  args)
+            result = database.query(args.query, parallel=args.parallel)
+            if is_aggregate:
+                _print(_render_aggregate(result), args)
+            else:
+                _emit(result, args)
     else:
-        _emit(run_query(args.query, dataset), args)
+        result = run_query(args.query, dataset)
+        if is_aggregate:
+            _print(_render_aggregate(result), args)
+        else:
+            _emit(result, args)
     return 0
 
 
@@ -378,6 +460,13 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="print the physical plan (strategy, "
                             "estimated and actual rows) instead of "
                             "the results")
+    query.add_argument("--join", metavar="QUERY",
+                       help="a second 'select ...' over the same file; "
+                            "hash-join its rows with the main query's "
+                            "on the --on key path(s)")
+    query.add_argument("--on", action="append", metavar="PATH",
+                       help="join key path (repeatable; required with "
+                            "--join)")
     query.set_defaults(handler=_cmd_query)
 
     sync_cmd = commands.add_parser(

@@ -12,6 +12,15 @@ Textual form::
     run_query('select title where type = "Article" and year >= 1980', ds)
 """
 
+from repro.query.aggregates import (
+    AggregateSpec,
+    Bounds,
+    Collect,
+    Count,
+    Max,
+    Min,
+    Sum,
+)
 from repro.query.ast import (
     And,
     Condition,
@@ -27,6 +36,7 @@ from repro.query.ast import (
     Or,
     Query,
 )
+from repro.query.join import JoinQuery, JoinRow
 from repro.query.compile import (
     compile_columnar,
     compile_condition,
@@ -46,6 +56,8 @@ from repro.query.paths import (
     path_exists,
 )
 from repro.query.planner import (
+    AggregatePlan,
+    JoinPlan,
     Plan,
     Probe,
     columnar_shard_positions,
@@ -56,10 +68,13 @@ from repro.query.planner import (
 __all__ = [
     "Query", "Condition", "Eq", "Ne", "Lt", "Le", "Gt", "Ge",
     "Exists", "Contains", "And", "Or", "Not",
+    "JoinQuery", "JoinRow",
+    "AggregateSpec", "Bounds", "Count", "Sum", "Min", "Max", "Collect",
     "parse_query", "run_query", "parse_query_spec", "QuerySpec",
     "parse_path", "evaluate_path", "iter_path", "path_exists",
     "compile_condition", "compile_columnar", "invalidation_profile",
     "select_data", "explain_plan", "Plan", "Probe",
+    "JoinPlan", "AggregatePlan",
     "columnar_shard_positions",
     "ParallelExecutor",
 ]

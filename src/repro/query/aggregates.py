@@ -1,0 +1,829 @@
+"""⊥/or-value-aware aggregation over partial data.
+
+Aggregates (``count``, ``sum``, ``min``, ``max``, ``collect``) follow
+the paper's reading of partial information: an or-value means *exactly
+one* of its disjuncts holds, a ⊥ disjunct means "or no value at all",
+and set members all hold simultaneously. An aggregate therefore has a
+*set of possible outcomes* — one per resolution of the or-values — and
+this module never collapses that set into a silently wrong scalar:
+
+* one possible outcome → a plain Python number (or ``None``);
+* a few possible outcomes → an :class:`~repro.core.objects.OrValue`
+  of the alternatives (with a ⊥ disjunct when "no value" is possible);
+* too many to enumerate (past :data:`OR_CAP`) → a :class:`Bounds`
+  ``[lo, hi]`` interval covering every possible numeric outcome.
+
+``collect`` is the exception: it returns every value the path can
+reach under *some* resolution (the spread semantics of
+:func:`~repro.query.paths.evaluate_path`), which is already an exact
+description of the possibilities.
+
+The same accumulator runs three ways and must agree exactly:
+
+* :func:`aggregate_rows` — the per-row definitional oracle
+  (``naive=True``);
+* :func:`aggregate_columnar` — the vectorized kernel over a
+  :class:`~repro.store.columnar.ColumnStore`: scalar rows fold through
+  flat primitive arrays (:meth:`Column.numeric_stats`, popcounts,
+  eq-index buckets) and only irregular/residue rows fall back to the
+  per-row resolver;
+* the parallel partial-aggregate pushdown
+  (:meth:`~repro.query.parallel.ParallelExecutor.aggregate`): each
+  shard returns its accumulators as a :meth:`Accumulator.payload`,
+  and the parent merges them.
+
+Agreement across all three holds because an accumulator is a *bag of
+contributions* combined by a deterministic, order-independent fold:
+exact contributions commute, and uncertain contributions are sorted
+before the possible-outcome set is enumerated. (Float sums are exact
+only up to float associativity — integer data, the common case, is
+bit-exact.)
+
+Grouped aggregation (:func:`group_aggregate_rows` /
+:func:`group_aggregate_columnar`) keeps the overlapping-groups
+semantics of ``Query.group_by``: set-valued keys place a row in every
+member's group *definitely*, while or-valued keys place it in each
+disjunct's group *uncertainly* — the row's contributions to such a
+group gain an "absent" alternative, so the group's ``count`` becomes a
+``[lo, hi]`` and its ``sum`` an or-value/bounds. Rows whose key path
+reaches nothing group under ⊥.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping, Sequence
+
+from repro.core.intern import is_interned as _is_interned
+from repro.core.intern import on_clear as _on_clear
+from repro.core.data import Data
+from repro.core.errors import QueryError
+from repro.core.objects import (
+    BOTTOM,
+    Atom,
+    CompleteSet,
+    OrValue,
+    PartialSet,
+    SSObject,
+    Tuple,
+)
+from repro.core.order import sort_objects, structural_key
+from repro.query.paths import evaluate_path, parse_path
+
+__all__ = [
+    "AggregateSpec", "Bounds", "Count", "Sum", "Min", "Max", "Collect",
+    "Accumulator", "path_alternatives", "aggregate_rows",
+    "aggregate_columnar", "group_aggregate_rows",
+    "group_aggregate_columnar", "partial_aggregate_columnar",
+    "partial_group_columnar", "merge_grouped", "finish_grouped",
+    "grouped_payload", "grouped_from_payload",
+]
+
+#: Alternatives tracked per row before degrading to interval bounds.
+_ALT_CAP = 24
+
+#: Possible aggregate outcomes enumerated before collapsing to Bounds.
+OR_CAP = 8
+
+_AGG_KINDS = ("count", "sum", "min", "max", "collect")
+
+
+@dataclass(frozen=True)
+class Bounds:
+    """A ``[lo, hi]`` interval of possible aggregate outcomes.
+
+    Returned when partial inputs make the exact outcome unknowable (or
+    too many alternatives to enumerate): the true value lies somewhere
+    in the closed interval. ``lo == hi`` never happens — that collapses
+    to the plain number.
+    """
+
+    lo: float
+    hi: float
+
+    def __repr__(self) -> str:
+        return f"[{self.lo}, {self.hi}]"
+
+    def __contains__(self, value: object) -> bool:
+        return (isinstance(value, (int, float))
+                and self.lo <= value <= self.hi)
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """One aggregate operation: a kind plus the aggregated path.
+
+    ``path`` is ``None`` only for ``count(*)`` (count matching rows).
+    """
+
+    kind: str
+    path: str | None = None
+
+    def __post_init__(self):
+        if self.kind not in _AGG_KINDS:
+            raise QueryError(f"unknown aggregate {self.kind!r}")
+        if self.path is None and self.kind != "count":
+            raise QueryError(f"{self.kind}() needs a path")
+
+    @property
+    def steps(self) -> tuple[str, ...] | None:
+        return None if self.path is None else parse_path(self.path)
+
+    def label(self) -> str:
+        return f"{self.kind}({self.path if self.path is not None else '*'})"
+
+
+def Count(path: str | None = None) -> AggregateSpec:
+    """Count rows where the path reaches a value (``count(*)``: all)."""
+    return AggregateSpec("count", path)
+
+
+def Sum(path: str) -> AggregateSpec:
+    """Sum of the numeric values the path reaches (set semantics)."""
+    return AggregateSpec("sum", path)
+
+
+def Min(path: str) -> AggregateSpec:
+    """Smallest numeric value the path reaches."""
+    return AggregateSpec("min", path)
+
+
+def Max(path: str) -> AggregateSpec:
+    """Largest numeric value the path reaches."""
+    return AggregateSpec("max", path)
+
+
+def Collect(path: str) -> AggregateSpec:
+    """Every value the path can reach, in canonical order."""
+    return AggregateSpec("collect", path)
+
+
+# -- possible-value resolution -------------------------------------------------
+#
+# ``path_alternatives`` is the semantic core shared by every execution
+# strategy (and by the hash join's key extraction): the possible *sets
+# of values* a row contributes at a path, one alternative per
+# resolution of its or-values. Alternatives are canonical — each is a
+# structurally sorted, deduplicated tuple (reached values are sets, so
+# an alternative where two branches resolve to the same value holds it
+# once) — and the alternative list itself is sorted and deduplicated.
+# ``None`` means the fan-out exceeded _ALT_CAP and callers must degrade
+# to interval bounds over the spread (union-of-possible) values.
+
+_ALT_MEMO: dict[tuple[int, tuple[str, ...]], object] = {}
+_on_clear(_ALT_MEMO.clear)
+
+_EMPTY = ((),)
+
+
+def _dedup_alts(alts: Iterable[tuple]) -> tuple[tuple, ...] | None:
+    seen = {}
+    for alt in alts:
+        seen.setdefault(alt, None)
+        if len(seen) > _ALT_CAP:
+            return None
+    return tuple(sorted(seen, key=lambda alt: tuple(map(structural_key,
+                                                        alt))))
+
+
+def _merge_alt(left: tuple, right: tuple) -> tuple:
+    if not left:
+        return right
+    if not right:
+        return left
+    merged = set(left)
+    merged.update(right)
+    return tuple(sort_objects(merged))
+
+
+def _alts_for(value: SSObject, steps: tuple[str, ...]):
+    if isinstance(value, OrValue):
+        # Exactly one disjunct holds: alternatives union.
+        collected: list[tuple] = []
+        for disjunct in value:
+            sub = _alts_for(disjunct, steps)
+            if sub is None:
+                return None
+            collected.extend(sub)
+        return _dedup_alts(collected)
+    if isinstance(value, (PartialSet, CompleteSet)):
+        # Every member holds: cartesian combination of member choices.
+        combined: tuple[tuple, ...] = _EMPTY
+        for member in value:
+            sub = _alts_for(member, steps)
+            if sub is None:
+                return None
+            if sub == _EMPTY:
+                continue
+            product = [_merge_alt(left, right)
+                       for left in combined for right in sub]
+            combined = _dedup_alts(product)
+            if combined is None:
+                return None
+        return combined
+    if steps:
+        if isinstance(value, Tuple):
+            return _alts_for(value.get(steps[0]), steps[1:])
+        return _EMPTY  # a leaf mid-path reaches nothing
+    if value is BOTTOM:
+        return _EMPTY
+    return ((value,),)
+
+
+def path_alternatives(obj: SSObject, steps: Sequence[str]):
+    """Possible value-tuples ``obj`` contributes at ``steps``.
+
+    Returns a sorted tuple of alternatives (each a canonical tuple of
+    values; ``()`` is the "no value" alternative) or ``None`` when the
+    or-value fan-out exceeds the cap. Memoized identity-keyed for
+    interned objects — the memo is registered with the interning pool
+    and cleared with it.
+    """
+    steps = tuple(steps)
+    if _is_interned(obj):
+        key = (id(obj), steps)
+        cached = _ALT_MEMO.get(key)
+        if cached is None:
+            cached = _ALT_MEMO[key] = (_alts_for(obj, steps),)
+        return cached[0]
+    return _alts_for(obj, steps)
+
+
+def _is_number(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _numeric_leaves(alt: tuple) -> list:
+    return [value.value for value in alt
+            if type(value) is Atom and _is_number(value.value)]
+
+
+def _none_last_value(value) -> tuple:
+    return (value is None, 0 if value is None else value)
+
+
+def _none_last_key(alt: tuple) -> tuple:
+    return tuple(_none_last_value(value) for value in alt)
+
+
+# -- the mergeable accumulator -------------------------------------------------
+
+
+class Accumulator:
+    """One aggregate's partial state — mergeable across shards.
+
+    Contributions accumulate into three commutative buckets: an exact
+    part (plain numbers / a definite count / collected values), a list
+    of per-row *alternative* contributions (the or-value cases), and a
+    list of coarse ``(lo, hi)`` ranges (rows past the alternative cap).
+    :meth:`finish` combines them deterministically — the alternative
+    list is sorted before enumeration — so a merge of shard
+    accumulators finishes to exactly the sequential result.
+    """
+
+    __slots__ = ("kind", "lo_count", "hi_count", "exact", "best",
+                 "alts", "ranges", "values")
+
+    def __init__(self, kind: str):
+        self.kind = kind
+        self.lo_count = 0
+        self.hi_count = 0
+        self.exact: float = 0
+        self.best = None
+        self.alts: list[tuple] = []
+        self.ranges: list[tuple] = []
+        self.values: set[SSObject] = set()
+
+    # -- contribution intake ---------------------------------------------------
+
+    def add_membership(self, definite: bool) -> None:
+        """A ``count(*)`` row: definitely or maybe in the selection."""
+        if definite:
+            self.lo_count += 1
+        self.hi_count += 1
+
+    def add_row(self, alternatives: tuple[tuple, ...]) -> None:
+        """Fold one row's value alternatives (see
+        :func:`path_alternatives`)."""
+        kind = self.kind
+        if kind == "collect":
+            for alt in alternatives:
+                self.values.update(alt)
+            return
+        if kind == "count":
+            reached = [bool(alt) for alt in alternatives]
+            if any(reached):
+                self.hi_count += 1
+                if all(reached):
+                    self.lo_count += 1
+            return
+        if kind == "sum":
+            sums = sorted({sum(_numeric_leaves(alt)) for alt in alternatives})
+            if len(sums) == 1:
+                self.exact += sums[0]
+            elif sums:
+                self.alts.append(tuple(sums))
+            return
+        # min / max
+        pick = min if kind == "min" else max
+        bests = {pick(values) if (values := _numeric_leaves(alt)) else None
+                 for alt in alternatives}
+        if len(bests) == 1:
+            self._merge_best(bests.pop())
+        elif bests:
+            self.alts.append(tuple(sorted(bests, key=_none_last_value)))
+
+    def add_exploded(self, possible: Iterable[SSObject]) -> None:
+        """A row whose alternative fan-out exceeded the cap: fold the
+        coarsest sound contribution from its spread possible values."""
+        possible = list(possible)
+        kind = self.kind
+        if kind == "collect":
+            self.values.update(possible)
+            return
+        if kind == "count":
+            if possible:
+                self.hi_count += 1
+            return
+        numbers = [value.value for value in possible
+                   if type(value) is Atom and _is_number(value.value)]
+        if not numbers:
+            return
+        if kind == "sum":
+            lo = sum(n for n in numbers if n < 0)
+            hi = sum(n for n in numbers if n > 0)
+            self.ranges.append((min(lo, 0), max(hi, 0)))
+        else:
+            self.ranges.append((min(numbers), max(numbers)))
+
+    # -- vectorized intake (the columnar kernel's fast paths) -----------------
+
+    def add_definite_count(self, rows: int) -> None:
+        self.lo_count += rows
+        self.hi_count += rows
+
+    def add_numeric_stats(self, total, minimum, maximum) -> None:
+        if self.kind == "sum":
+            self.exact += total
+        elif minimum is not None:
+            self._merge_best(minimum if self.kind == "min" else maximum)
+
+    def add_values(self, values: Iterable[SSObject]) -> None:
+        self.values.update(values)
+
+    def _merge_best(self, value) -> None:
+        if value is None:
+            return
+        if self.best is None:
+            self.best = value
+        else:
+            self.best = (min if self.kind == "min" else max)(self.best,
+                                                             value)
+
+    # -- merge / finish --------------------------------------------------------
+
+    def merge(self, other: "Accumulator") -> None:
+        if other.kind != self.kind:
+            raise QueryError("cannot merge accumulators of different kinds")
+        self.lo_count += other.lo_count
+        self.hi_count += other.hi_count
+        self.exact += other.exact
+        self._merge_best(other.best)
+        self.alts.extend(other.alts)
+        self.ranges.extend(other.ranges)
+        self.values.update(other.values)
+
+    def finish(self):
+        kind = self.kind
+        if kind == "collect":
+            return tuple(sort_objects(self.values))
+        if kind == "count":
+            if self.lo_count == self.hi_count:
+                return self.lo_count
+            return Bounds(self.lo_count, self.hi_count)
+        if kind == "sum":
+            return self._finish_sum()
+        return self._finish_minmax()
+
+    def _finish_sum(self):
+        base = self.exact
+        if not self.alts and not self.ranges:
+            return base
+        alts = sorted(self.alts)
+        lo = base + sum(alt[0] for alt in alts) + sum(r[0]
+                                                      for r in self.ranges)
+        hi = base + sum(alt[-1] for alt in alts) + sum(r[1]
+                                                       for r in self.ranges)
+        if not self.ranges:
+            possible = {0}
+            for alt in alts:
+                possible = {s + a for s in possible for a in alt}
+                if len(possible) > OR_CAP:
+                    break
+            else:
+                possible = sorted(base + s for s in possible)
+                if len(possible) == 1:
+                    return possible[0]
+                return OrValue.of(*(Atom(v) for v in possible))
+        if lo == hi:
+            return lo
+        return Bounds(lo, hi)
+
+    def _finish_minmax(self):
+        pick = min if self.kind == "min" else max
+        if not self.alts and not self.ranges:
+            return self.best
+        candidates = [v for alt in self.alts for v in alt if v is not None]
+        candidates.extend(v for r in self.ranges for v in r)
+        if self.best is not None:
+            candidates.append(self.best)
+        if not self.ranges:
+            possible = {self.best}
+            for alt in sorted(self.alts, key=_none_last_key):
+                possible = {self._pair(pick, s, a)
+                            for s in possible for a in alt}
+                if len(possible) > OR_CAP:
+                    break
+            else:
+                if len(possible) == 1:
+                    return possible.pop()
+                numbers = sorted(v for v in possible if v is not None)
+                atoms = [Atom(v) for v in numbers]
+                if None in possible:
+                    return OrValue.of(*atoms, BOTTOM)
+                return OrValue.of(*atoms)
+        # Past the cap: the coarsest sound interval over every numeric
+        # candidate (a simultaneously possible "no value" outcome is
+        # subsumed by the interval — documented, never a wrong scalar).
+        if not candidates:
+            return None
+        lo, hi = min(candidates), max(candidates)
+        if lo == hi:
+            return lo
+        return Bounds(lo, hi)
+
+    @staticmethod
+    def _pair(pick, left, right):
+        if left is None:
+            return right
+        if right is None:
+            return left
+        return pick(left, right)
+
+    # -- wire format (parallel partial-aggregate pushdown) --------------------
+
+    def payload(self) -> tuple:
+        """Pure-python/bytes state, safe to pickle across a pipe
+        (:class:`~repro.core.objects.SSObject` values travel through
+        the binary codec)."""
+        from repro.binary_codec import dumps_object
+
+        return (self.kind, self.lo_count, self.hi_count, self.exact,
+                self.best, tuple(self.alts), tuple(self.ranges),
+                tuple(dumps_object(value)
+                      for value in sort_objects(self.values)))
+
+    @classmethod
+    def from_payload(cls, payload: tuple) -> "Accumulator":
+        from repro.binary_codec import loads_object
+
+        acc = cls(payload[0])
+        (acc.lo_count, acc.hi_count, acc.exact,
+         acc.best) = payload[1:5]
+        acc.alts = [tuple(alt) for alt in payload[5]]
+        acc.ranges = [tuple(r) for r in payload[6]]
+        acc.values = {loads_object(blob, intern=True)
+                      for blob in payload[7]}
+        return acc
+
+
+# -- per-row intake shared by oracle and kernel fall-backs ---------------------
+
+
+def _add_object(acc: Accumulator, obj: SSObject,
+                steps: tuple[str, ...] | None) -> None:
+    if steps is None:
+        acc.add_membership(True)
+        return
+    alternatives = path_alternatives(obj, steps)
+    if alternatives is None:
+        acc.add_exploded(evaluate_path(obj, steps, spread=True))
+    else:
+        acc.add_row(alternatives)
+
+
+def _normalize(aggs) -> dict[str, AggregateSpec]:
+    """Accept ``{name: spec}`` or a sequence of specs (auto-labeled by
+    :meth:`AggregateSpec.label`, numbered on collision)."""
+    if not aggs:
+        raise QueryError("aggregate() needs at least one aggregate")
+    if not isinstance(aggs, Mapping):
+        named: dict[str, AggregateSpec] = {}
+        for spec in aggs:
+            label = spec.label() if isinstance(spec, AggregateSpec) else "?"
+            name, counter = label, 2
+            while name in named:
+                name, counter = f"{label}_{counter}", counter + 1
+            named[name] = spec
+        aggs = named
+    out: dict[str, AggregateSpec] = {}
+    for name, spec in aggs.items():
+        if not isinstance(spec, AggregateSpec):
+            raise QueryError(f"{name!r} is not an AggregateSpec")
+        out[name] = spec
+    return out
+
+
+def aggregate_rows(data: Iterable[Data],
+                   aggs: Mapping[str, AggregateSpec]) -> dict[str, object]:
+    """The per-row definitional oracle: fold every row through
+    :func:`path_alternatives` and finish."""
+    aggs = _normalize(aggs)
+    accs = {name: Accumulator(spec.kind) for name, spec in aggs.items()}
+    steps = {name: spec.steps for name, spec in aggs.items()}
+    for datum in data:
+        obj = datum.object
+        for name, acc in accs.items():
+            _add_object(acc, obj, steps[name])
+    return {name: acc.finish() for name, acc in accs.items()}
+
+
+# -- the columnar kernel -------------------------------------------------------
+
+
+def _column_alternatives(store, position: int,
+                         steps: tuple[str, ...]):
+    """A shredded row's alternatives at ``steps`` read from its
+    column entry (never from the row object)."""
+    column = store.column(steps[0])
+    if column is None or not (column.present >> position) & 1:
+        return _EMPTY
+    if (column.irregular >> position) & 1:
+        return path_alternatives(column.extras[position], steps[1:])
+    if len(steps) != 1:
+        return _EMPTY  # a scalar has no sub-path
+    return ((Atom(column.values[position]),),)
+
+
+def _columnar_into(acc: Accumulator, store, mask: int,
+                   spec: AggregateSpec) -> None:
+    """Fold the rows in ``mask`` into ``acc`` column-at-a-time."""
+    from repro.store.columnar import bit_positions
+
+    steps = spec.steps
+    if steps is None:
+        acc.add_definite_count(mask.bit_count())
+        return
+    rows = store.rows
+    residue = store.residue_mask & mask
+    shredded = store.universe_mask & mask
+    column = store.column(steps[0])
+    if column is None:
+        irregular = 0
+        scalar = 0
+    else:
+        irregular = column.irregular & shredded
+        scalar = column.present & ~column.irregular & shredded
+    if scalar and len(steps) == 1:
+        if spec.kind == "count":
+            acc.add_definite_count(scalar.bit_count())
+        elif spec.kind == "collect":
+            acc.add_values(Atom(value)
+                           for (_, value), bits in column.eq_index().items()
+                           if bits & scalar)
+        else:
+            _, total, minimum, maximum = column.numeric_stats(scalar)
+            acc.add_numeric_stats(total, minimum, maximum)
+    # Scalar entries under a longer path reach nothing: skipped.
+    for position in bit_positions(irregular):
+        alternatives = path_alternatives(column.extras[position], steps[1:])
+        if alternatives is None:
+            acc.add_exploded(evaluate_path(rows[position].object, steps,
+                                           spread=True))
+        else:
+            acc.add_row(alternatives)
+    for position in bit_positions(residue):
+        _add_object(acc, rows[position].object, steps)
+
+
+def partial_aggregate_columnar(store, mask: int,
+                               aggs: Mapping[str, AggregateSpec],
+                               ) -> dict[str, Accumulator]:
+    """The vectorized kernel's partial form: unfinished accumulators,
+    mergeable across shards (the pushdown's per-worker step)."""
+    aggs = _normalize(aggs)
+    out: dict[str, Accumulator] = {}
+    for name, spec in aggs.items():
+        acc = out[name] = Accumulator(spec.kind)
+        _columnar_into(acc, store, mask, spec)
+    return out
+
+
+def aggregate_columnar(store, mask: int,
+                       aggs: Mapping[str, AggregateSpec],
+                       ) -> dict[str, object]:
+    """The vectorized kernel: aggregate the rows selected by ``mask``
+    directly on the shredded columns; only irregular and residue rows
+    fall back to the per-row resolver."""
+    return {name: acc.finish() for name, acc
+            in partial_aggregate_columnar(store, mask, aggs).items()}
+
+
+# -- grouped aggregation -------------------------------------------------------
+
+
+def _group_memberships(key_alternatives, spread: Callable[[], list]):
+    """``{group key: membership definite?}`` for one row.
+
+    Set-valued keys yield several definite memberships; or-valued keys
+    yield uncertain ones (the key appears in some but not all
+    alternatives). Rows that may reach nothing also belong (definitely
+    or uncertainly) to the ⊥ group.
+    """
+    if key_alternatives is None:
+        memberships = {value: False for value in spread()}
+        memberships.setdefault(BOTTOM, False)
+        return memberships
+    memberships: dict[SSObject, bool] = {}
+    total = len(key_alternatives)
+    counts: dict[SSObject, int] = {}
+    empties = 0
+    for alt in key_alternatives:
+        if not alt:
+            empties += 1
+        for value in alt:
+            counts[value] = counts.get(value, 0) + 1
+    for value, seen in counts.items():
+        memberships[value] = seen == total
+    if empties:
+        memberships[BOTTOM] = empties == total
+    return memberships
+
+
+def _row_group_fold(groups: dict, obj: SSObject,
+                    group_steps: tuple[str, ...],
+                    aggs: Mapping[str, AggregateSpec],
+                    alternatives_at: Callable) -> None:
+    """Fold one row into every group it (maybe-)belongs to.
+
+    ``alternatives_at(steps)`` supplies the row's value alternatives at
+    any path — from the row object (oracle, residue) or from its column
+    entries (kernel) — so both strategies share the membership logic.
+    """
+    memberships = _group_memberships(
+        alternatives_at(group_steps),
+        lambda: evaluate_path(obj, group_steps, spread=True))
+    for key, definite in memberships.items():
+        accs = groups.get(key)
+        if accs is None:
+            accs = groups[key] = {name: Accumulator(spec.kind)
+                                  for name, spec in aggs.items()}
+        for name, spec in aggs.items():
+            acc = accs[name]
+            steps = spec.steps
+            if steps is None:
+                acc.add_membership(definite)
+                continue
+            if steps == group_steps and not definite:
+                # Membership and value share the path: conditioned on
+                # the row being in this group, its value IS the key
+                # (nothing, for the ⊥ group) — not the full or-value.
+                alternatives = (_EMPTY if key is BOTTOM
+                                else ((), (key,)))
+            else:
+                alternatives = alternatives_at(steps)
+                if alternatives is None:
+                    acc.add_exploded(evaluate_path(obj, steps,
+                                                   spread=True))
+                    continue
+                if not definite and () not in alternatives:
+                    # Uncertain membership: may contribute nothing.
+                    alternatives = (_dedup_alts(alternatives + ((),))
+                                    or ((),))
+            acc.add_row(alternatives)
+
+
+def group_aggregate_rows(data: Iterable[Data], group_path: str,
+                         aggs: Mapping[str, AggregateSpec],
+                         ) -> dict[SSObject, dict[str, object]]:
+    """The per-row grouped oracle."""
+    aggs = _normalize(aggs)
+    group_steps = parse_path(group_path)
+    groups: dict[SSObject, dict[str, Accumulator]] = {}
+    for datum in data:
+        obj = datum.object
+
+        def alternatives_at(steps, _obj=obj):
+            return path_alternatives(_obj, steps)
+
+        _row_group_fold(groups, obj, group_steps, aggs, alternatives_at)
+    return finish_grouped(groups)
+
+
+def partial_group_columnar(store, mask: int, group_path: str,
+                           aggs: Mapping[str, AggregateSpec],
+                           ) -> dict[SSObject, dict[str, Accumulator]]:
+    """The grouped kernel's partial form: unfinished group
+    accumulators, mergeable across shards via :func:`merge_grouped`."""
+    from repro.store.columnar import bit_positions
+
+    aggs = _normalize(aggs)
+    group_steps = parse_path(group_path)
+    groups: dict[SSObject, dict[str, Accumulator]] = {}
+    rows = store.rows
+    shredded = store.universe_mask & mask
+    residue = store.residue_mask & mask
+    column = store.column(group_steps[0])
+    if column is None:
+        scalar_groups: dict = {}
+        irregular = 0
+        bottom_mask = shredded
+    elif len(group_steps) == 1:
+        scalar_groups = column.eq_index()
+        irregular = column.irregular & shredded
+        bottom_mask = shredded & ~column.present
+    else:
+        scalar_groups = {}
+        irregular = column.irregular & shredded
+        bottom_mask = shredded & ~irregular
+    for (_, value), bits in scalar_groups.items():
+        gmask = bits & shredded
+        if not gmask:
+            continue
+        key = Atom(value)
+        accs = groups[key] = {name: Accumulator(spec.kind)
+                              for name, spec in aggs.items()}
+        for name, spec in aggs.items():
+            _columnar_into(accs[name], store, gmask, spec)
+    if bottom_mask:
+        accs = groups.get(BOTTOM)
+        if accs is None:
+            accs = groups[BOTTOM] = {name: Accumulator(spec.kind)
+                                     for name, spec in aggs.items()}
+        for name, spec in aggs.items():
+            _columnar_into(accs[name], store, bottom_mask, spec)
+    for position in bit_positions(irregular):
+        obj = rows[position].object
+
+        def alternatives_at(steps, _position=position):
+            return _column_alternatives(store, _position, steps)
+
+        _row_group_fold(groups, obj, group_steps, aggs, alternatives_at)
+    for position in bit_positions(residue):
+        obj = rows[position].object
+
+        def alternatives_at(steps, _obj=obj):
+            return path_alternatives(_obj, steps)
+
+        _row_group_fold(groups, obj, group_steps, aggs, alternatives_at)
+    return groups
+
+
+def group_aggregate_columnar(store, mask: int, group_path: str,
+                             aggs: Mapping[str, AggregateSpec],
+                             ) -> dict[SSObject, dict[str, object]]:
+    """The vectorized grouped kernel: scalar group keys partition
+    through the column eq-index (one bitset intersection per group),
+    each group's aggregates fold column-at-a-time, and only rows with
+    irregular keys — or residue rows — walk per-row."""
+    return finish_grouped(partial_group_columnar(store, mask,
+                                                 group_path, aggs))
+
+
+# -- grouped merge / finish / wire format (pushdown) ---------------------------
+
+
+def merge_grouped(target: dict, source: dict) -> dict:
+    """Merge grouped accumulator dicts in place (shard combine step)."""
+    for key, accs in source.items():
+        mine = target.get(key)
+        if mine is None:
+            target[key] = accs
+        else:
+            for name, acc in accs.items():
+                mine[name].merge(acc)
+    return target
+
+
+def finish_grouped(groups: dict) -> dict[SSObject, dict[str, object]]:
+    ordered = sorted(groups.items(), key=lambda kv: structural_key(kv[0]))
+    return {key: {name: acc.finish() for name, acc in accs.items()}
+            for key, accs in ordered}
+
+
+def grouped_payload(groups: dict) -> list:
+    """Grouped accumulators as pure-python wire payload."""
+    from repro.binary_codec import dumps_object
+
+    return [(dumps_object(key),
+             {name: acc.payload() for name, acc in accs.items()})
+            for key, accs in groups.items()]
+
+
+def grouped_from_payload(payload: list) -> dict:
+    from repro.binary_codec import loads_object
+
+    return {loads_object(blob, intern=True):
+            {name: Accumulator.from_payload(state)
+             for name, state in states.items()}
+            for blob, states in payload}

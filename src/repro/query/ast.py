@@ -407,6 +407,130 @@ class Query:
         """Number of matching data."""
         return len(self.run(naive=naive))
 
+    def join(self, other: "Query | DataSet",
+             on: "str | Sequence[str]") -> "object":
+        """Equi-join with another query (or data set) on key paths.
+
+        Returns a :class:`repro.query.join.JoinQuery`. Each side's
+        *condition* selects its input rows; a pair joins when the paths
+        in ``on`` reach a common value on both sides — definitely, or
+        only *maybe* when the match depends on an or-value disjunct or
+        a ⊥-possible branch (the pair is kept with ``maybe=True``).
+        """
+        from repro.query.join import JoinQuery
+
+        return JoinQuery(self, other, on)
+
+    def _columnar_selection(self) -> "tuple | None":
+        """``(store, mask)`` when the vectorized kernels may run —
+        a fresh column store and a fully bitset-expressible condition."""
+        from repro.query.compile import compile_columnar, compile_condition
+        from repro.query.planner import _resolve_columns
+
+        store = _resolve_columns(self._columns, len(self._dataset))
+        if store is None:
+            return None
+        if self._condition is None:
+            return store, store.universe_mask | store.residue_mask
+        program = compile_columnar(self._condition)
+        if program is None:
+            return None
+        predicate = compile_condition(self._condition)
+        positions = store.match_positions(program, predicate)
+        return store, store.positions_mask(positions)
+
+    @staticmethod
+    def _agg_specs(aggs: tuple, named: dict) -> dict:
+        from repro.query.aggregates import _normalize
+
+        if aggs and named:
+            specs = dict(_normalize(aggs))
+            specs.update(_normalize(named))
+            return specs
+        return _normalize(aggs or named)
+
+    def aggregate(self, *aggs, naive: bool = False, **named) -> dict:
+        """Aggregate the matching data: ``{label: outcome}``.
+
+        Aggregates are built with :func:`~repro.query.aggregates.Count`
+        / ``Sum`` / ``Min`` / ``Max`` / ``Collect`` — positionally
+        (auto-labeled ``count(*)``, ``sum(year)``, ...) or by keyword.
+        Outcomes are honest about partial inputs: a plain value when
+        the data pin it down, an or-value of the possible outcomes when
+        few, a ``[lo, hi]`` :class:`~repro.query.aggregates.Bounds`
+        otherwise — never a silently wrong scalar.
+
+        Runs the columnar kernel when a fresh column store is attached
+        and the condition compiles to bitsets; ``order_by``/``limit``
+        (which change *which* rows aggregate) force the row path.
+        ``naive=True`` runs the definitional per-row oracle.
+        """
+        from repro.query.aggregates import aggregate_columnar, aggregate_rows
+
+        specs = self._agg_specs(aggs, named)
+        if not naive and self._order is None and self._limit is None:
+            selection = self._columnar_selection()
+            if selection is not None:
+                store, mask = selection
+                return aggregate_columnar(store, mask, specs)
+        return aggregate_rows(self._selected(naive), specs)
+
+    def group_aggregate(self, path: str, *aggs, naive: bool = False,
+                        **named) -> dict:
+        """Group by a path and aggregate each group:
+        ``{group key: {label: outcome}}``.
+
+        Groups follow :meth:`group_by` semantics — set values fan a row
+        into several groups, an or-valued key makes its memberships
+        *uncertain* (the group's aggregates widen accordingly), and
+        rows whose path may reach nothing contribute to the ``⊥``
+        group. Keys are in canonical structural order. Strategy choice
+        matches :meth:`aggregate`.
+        """
+        from repro.query.aggregates import (group_aggregate_columnar,
+                                            group_aggregate_rows)
+
+        specs = self._agg_specs(aggs, named)
+        if not naive and self._order is None and self._limit is None:
+            selection = self._columnar_selection()
+            if selection is not None:
+                store, mask = selection
+                return group_aggregate_columnar(store, mask, path, specs)
+        return group_aggregate_rows(self._selected(naive), path, specs)
+
+    def explain_aggregate(self, aggs, group: str | None = None, *,
+                          analyze: bool = False) -> "object":
+        """The :class:`~repro.query.planner.AggregatePlan` an aggregate
+        execution would use; ``analyze=True`` also executes and fills
+        the actual row and group counts."""
+        import dataclasses
+
+        from repro.query.aggregates import _normalize
+        from repro.query.planner import explain_plan, plan_aggregate
+
+        specs = _normalize(aggs)
+        source = explain_plan(self._condition, self._index,
+                              columns=self._columns,
+                              size=len(self._dataset))
+        store = None
+        if self._order is None and self._limit is None:
+            selection = self._columnar_selection()
+            if selection is not None:
+                store = selection[0]
+        operations = tuple(spec.label() for spec in specs.values())
+        plan = plan_aggregate(operations, group, source, store)
+        if not analyze:
+            return plan
+        if group is None:
+            result = self.aggregate(**specs)
+            groups = None
+        else:
+            result = self.group_aggregate(group, **specs)
+            groups = len(result)
+        return dataclasses.replace(plan,
+                                   actual_rows=len(self._selected()),
+                                   actual_groups=groups)
+
     def group_by(self, path: str, *,
                  naive: bool = False) -> dict[SSObject, DataSet]:
         """Partition matching data by the values a path reaches.

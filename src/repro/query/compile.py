@@ -62,7 +62,7 @@ from repro.query.ast import (
 from repro.query.paths import iter_path
 
 __all__ = ["compile_condition", "compile_columnar", "nnf", "conjuncts",
-           "invalidation_profile"]
+           "invalidation_profile", "join_invalidation_profile"]
 
 #: A compiled predicate over a datum's object.
 Predicate = Callable[[SSObject], bool]
@@ -140,6 +140,32 @@ def invalidation_profile(
     except AttributeError:  # slotted user subclass
         pass
     return profile
+
+
+def join_invalidation_profile(
+        left: Condition | None, right: Condition | None,
+        on_steps: "tuple[tuple[str, ...], ...]",
+        ) -> tuple[frozenset[tuple[str, ...]], bool]:
+    """``(footprint, safe)`` for a cached two-input join result.
+
+    The footprint spans *both* inputs: each side's condition paths plus
+    every join-key path, so a write to either side — including the
+    probe side only — touches the entry. Re-tagging is only sound when
+    both sides have positive conditions (a side selected without a
+    ``where`` gains rows on any insert, so ``safe=False`` makes every
+    write evict the entry — the conservative fallback the cache
+    documents).
+    """
+    paths: set[tuple[str, ...]] = set(on_steps)
+    safe = True
+    for condition in (left, right):
+        if condition is None:
+            safe = False
+            continue
+        side_paths, positive = invalidation_profile(condition)
+        paths |= side_paths
+        safe = safe and positive
+    return frozenset(paths), safe
 
 
 def _profile_walk(condition: Condition,

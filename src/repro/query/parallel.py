@@ -91,17 +91,45 @@ def _encode_shard(shard: Sequence[Data]) -> bytes:
     return buffer.getvalue()
 
 
+def _shard_partial(store, condition, group, aggs):
+    """One shard's partial aggregation: unfinished accumulators over
+    the rows its condition selects."""
+    from repro.query.aggregates import (partial_aggregate_columnar,
+                                        partial_group_columnar)
+
+    positions = columnar_shard_positions(store, condition, None, None)
+    mask = store.positions_mask(positions)
+    if group is None:
+        return partial_aggregate_columnar(store, mask, aggs)
+    return partial_group_columnar(store, mask, group, aggs)
+
+
+def _shard_partial_payload(store, condition, group, aggs):
+    """One shard's partial aggregation as pure-python wire payload
+    (:class:`~repro.core.objects.SSObject` state travels through the
+    binary codec, never through pickle)."""
+    from repro.query.aggregates import grouped_payload
+
+    partial = _shard_partial(store, condition, group, aggs)
+    if group is None:
+        return {name: acc.payload() for name, acc in partial.items()}
+    return grouped_payload(partial)
+
+
 def _shard_server(connection) -> None:
     """Worker process main loop: hold one decoded shard, answer queries.
 
     Protocol (parent → worker): ``("data", payload)`` exactly once, then
-    any number of ``("query", condition, order, limit)``, finally
+    any number of ``("query", condition, order, limit)`` and
+    ``("aggregate", condition, group_path, aggs)`` requests, finally
     ``("stop",)``. Every request gets one reply: ``("ok", result)`` or
     ``("err", type_name, message)``.
 
     The shard arrives as a column store and stays resident in that
     shape: each query evaluates column-at-a-time where it can and walks
-    only maybe/residue rows.
+    only maybe/residue rows. Aggregate requests answer with *partial*
+    accumulator payloads (pure-python wire state), which the parent
+    merges and finishes — the partial-aggregation pushdown.
     """
     from repro.store.columnar import read_column_shard
 
@@ -125,6 +153,11 @@ def _shard_server(connection) -> None:
                     positions = columnar_shard_positions(
                         store, condition, order, limit)
                     connection.send(("ok", positions))
+                elif kind == "aggregate":
+                    _, condition, group, aggs = message
+                    connection.send(
+                        ("ok", _shard_partial_payload(store, condition,
+                                                      group, aggs)))
                 else:
                     connection.send(("err", "ValueError",
                                      f"unknown request {kind!r}"))
@@ -320,6 +353,110 @@ class ParallelExecutor:
                     f"falling back to sequential scan",
                     RuntimeWarning, stacklevel=3)
                 return None
+
+    def aggregate(self, condition: Condition | None, aggs,
+                  group: str | None = None) -> dict:
+        """Parallel aggregation with partial-aggregate pushdown.
+
+        Each shard folds its own rows into *partial* accumulators
+        (columnar kernels over the resident shard store); the parent
+        merges the partial states and finishes once. Accumulator merge
+        is commutative and finishing sorts contributions, so the result
+        equals the sequential kernel exactly — the differential suite's
+        invariant. ``group`` adds a group-by path; the result shape
+        matches :meth:`Query.aggregate` / :meth:`Query.group_aggregate`.
+        """
+        from repro.query.aggregates import _normalize
+
+        if self._closed:
+            raise QueryError("executor is closed")
+        aggs = _normalize(aggs)
+        if group is not None:
+            from repro.query.paths import parse_path
+
+            parse_path(group)
+        if len(self._shards) < 2:
+            return self._aggregate_sequential(condition, aggs, group)
+        partials = self._fanout_aggregate(condition, aggs, group)
+        if partials is None:
+            return self._aggregate_sequential(condition, aggs, group)
+        from repro.query.aggregates import finish_grouped, merge_grouped
+
+        if group is None:
+            merged: dict = {}
+            for partial in partials:
+                for name, acc in partial.items():
+                    mine = merged.get(name)
+                    if mine is None:
+                        merged[name] = acc
+                    else:
+                        mine.merge(acc)
+            return {name: acc.finish() for name, acc in merged.items()}
+        grouped: dict = {}
+        for partial in partials:
+            merge_grouped(grouped, partial)
+        return finish_grouped(grouped)
+
+    def _aggregate_sequential(self, condition, aggs, group) -> dict:
+        from repro.query.aggregates import (aggregate_rows,
+                                            group_aggregate_rows)
+
+        rows = select_data(self._dataset, condition, self._index)
+        if group is None:
+            return aggregate_rows(rows, aggs)
+        return group_aggregate_rows(rows, group, aggs)
+
+    def _fanout_aggregate(self, condition, aggs, group):
+        """Per-shard partial accumulators; ``None`` means "fall back"."""
+        if self._mode == "thread":
+            return self._aggregate_threads(condition, aggs, group)
+        with self._lock:
+            if not self._pipes:
+                return self._aggregate_threads(condition, aggs, group)
+            try:
+                for pipe in self._pipes:
+                    pipe.send(("aggregate", condition, group, aggs))
+                replies = [self._receive(pipe) for pipe in self._pipes]
+                partials = []
+                for reply in replies:
+                    if reply[0] != "ok":
+                        _, name, message = reply
+                        if name == "QueryError":
+                            raise QueryError(message)
+                        raise RuntimeError(
+                            f"shard worker failed: {name}: {message}")
+                    partials.append(self._decode_partial(reply[1], group))
+                return partials
+            except _INFRA_ERRORS as error:
+                self._teardown()
+                self._mode = "thread"
+                warnings.warn(
+                    f"parallel aggregate fan-out failed "
+                    f"({type(error).__name__}: {error}); "
+                    f"falling back to sequential aggregation",
+                    RuntimeWarning, stacklevel=3)
+                return None
+
+    @staticmethod
+    def _decode_partial(payload, group):
+        from repro.query.aggregates import Accumulator, grouped_from_payload
+
+        if group is None:
+            return {name: Accumulator.from_payload(state)
+                    for name, state in payload.items()}
+        return grouped_from_payload(payload)
+
+    def _aggregate_threads(self, condition, aggs, group) -> list:
+        from concurrent.futures import ThreadPoolExecutor
+
+        def run(position: int):
+            return _shard_partial(self._thread_shard_store(position),
+                                  condition, group, aggs)
+
+        with ThreadPoolExecutor(max_workers=len(self._shards)) as pool:
+            futures = [pool.submit(run, position)
+                       for position in range(len(self._shards))]
+            return [future.result() for future in futures]
 
     def _thread_shard_store(self, position: int):
         store = self._shard_stores[position]

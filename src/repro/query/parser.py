@@ -5,10 +5,18 @@ Example::
     select title, year
     where type = "Article" and year >= 1980 and not author = "Bob"
 
+Aggregate form::
+
+    select count(*), sum(year) where type = "Article" group by publisher
+
 Grammar::
 
-    query      := "select" ("*" | attr ("," attr)*) ["where" condition]
+    query      := "select" select_list ["where" condition]
+                  ["group" "by" path]
                   ["order" "by" path ["asc" | "desc"]] ["limit" NUMBER]
+    select_list:= "*" | attr ("," attr)* | agg ("," agg)*
+    agg        := ("count" | "sum" | "min" | "max" | "collect")
+                  "(" ("*" | path) ")"          -- "*" only for count
     condition  := conjunct ("or" conjunct)*
     conjunct   := unary ("and" unary)*
     unary      := "not" unary | "(" condition ")" | predicate
@@ -32,6 +40,7 @@ from typing import Callable
 
 from repro.core.data import DataSet
 from repro.core.errors import QueryError
+from repro.query.aggregates import AggregateSpec
 from repro.query.ast import (
     Condition,
     Contains,
@@ -63,7 +72,13 @@ _TOKEN_RE = re.compile(
 
 _KEYWORDS = frozenset({"select", "where", "and", "or", "not", "exists",
                        "contains", "true", "false", "order", "by",
-                       "limit", "desc", "asc"})
+                       "limit", "desc", "asc", "group",
+                       "count", "sum", "min", "max", "collect"})
+
+#: Aggregate-function names double as ordinary attribute names when not
+#: followed by ``(`` — ``select count`` projects an attribute, ``select
+#: count(*)`` aggregates.
+_AGG_KEYWORDS = frozenset({"count", "sum", "min", "max", "collect"})
 
 
 def _tokenize(text: str) -> list[tuple[str, str]]:
@@ -108,20 +123,34 @@ class _QueryParser:
         kind, value = self._peek()
         return kind == "kw" and value == word
 
-    def parse(self) -> tuple[tuple[str, ...] | None, Condition | None,
-                             "tuple[str, bool] | None", int | None]:
+    def parse(self) -> tuple:
         self._expect_kw("select")
-        projection = self._parse_projection()
+        projection, aggregates = self._parse_select_list()
         condition = None
         if self._at_kw("where"):
             self._next()
             condition = self._parse_condition()
+        group = self._parse_group()
         order = self._parse_order()
         limit = self._parse_limit()
         kind, value = self._peek()
         if kind != "eof":
             raise QueryError(f"trailing input {value!r} after query")
-        return projection, condition, order, limit
+        if group is not None and aggregates is None:
+            raise QueryError("'group by' requires aggregates in the "
+                             "select list")
+        if aggregates is not None and (order is not None
+                                       or limit is not None):
+            raise QueryError("aggregate queries take no 'order by' or "
+                             "'limit'")
+        return projection, condition, order, limit, aggregates, group
+
+    def _parse_group(self) -> str | None:
+        if not self._at_kw("group"):
+            return None
+        self._next()
+        self._expect_kw("by")
+        return self._parse_path()
 
     def _parse_order(self) -> "tuple[str, bool] | None":
         if not self._at_kw("order"):
@@ -153,19 +182,51 @@ class _QueryParser:
             raise QueryError("limit must be non-negative")
         return count
 
-    def _parse_projection(self) -> tuple[str, ...] | None:
+    def _parse_select_list(self) -> tuple:
         kind, value = self._peek()
         if kind == "op" and value == "*":
             self._next()
-            return None
-        attrs = [self._parse_attr()]
-        while self._peek() == ("op", ","):
+            return None, None
+        attrs: list[str] = []
+        aggs: list = []
+        while True:
+            if self._at_agg():
+                aggs.append(self._parse_agg())
+            else:
+                attrs.append(self._parse_attr())
+            if self._peek() != ("op", ","):
+                break
             self._next()
-            attrs.append(self._parse_attr())
-        return tuple(attrs)
+        if attrs and aggs:
+            raise QueryError("cannot mix attributes and aggregates in "
+                             "one select list")
+        if aggs:
+            return None, tuple(aggs)
+        return tuple(attrs), None
+
+    def _at_agg(self) -> bool:
+        kind, value = self._peek()
+        return (kind == "kw" and value in _AGG_KEYWORDS
+                and self._tokens[self._index + 1] == ("op", "("))
+
+    def _parse_agg(self) -> "AggregateSpec":
+        _, fn = self._next()
+        self._next()  # the "(" _at_agg saw
+        if self._peek() == ("op", "*"):
+            self._next()
+            if fn != "count":
+                raise QueryError(f"{fn}(*) is not defined; only count(*)")
+            path = None
+        else:
+            path = self._parse_path()
+        if self._next() != ("op", ")"):
+            raise QueryError(f"missing ')' after {fn}(...)")
+        return AggregateSpec(fn, path)
 
     def _parse_attr(self) -> str:
         kind, value = self._next()
+        if kind == "kw" and value in _AGG_KEYWORDS:
+            kind = "word"  # aggregate names double as attribute names
         if kind != "word":
             raise QueryError(f"expected an attribute name, found {value!r}")
         if "." in value:
@@ -218,6 +279,8 @@ class _QueryParser:
 
     def _parse_path(self) -> str:
         kind, value = self._next()
+        if kind == "kw" and value in _AGG_KEYWORDS:
+            kind = "word"  # aggregate names double as attribute names
         if kind != "word":
             raise QueryError(f"expected a path, found {value or 'EOF'!r}")
         return value
@@ -250,6 +313,14 @@ class QuerySpec:
     condition: Condition | None
     order: "tuple[str, bool] | None"
     limit: int | None
+    aggregates: "tuple[AggregateSpec, ...] | None" = None
+    group: str | None = None
+
+    @property
+    def is_aggregate(self) -> bool:
+        """Whether this query computes aggregates (its result is a
+        ``{label: outcome}`` dict, not a data set)."""
+        return self.aggregates is not None
 
     def order_steps(self) -> "tuple[tuple[str, ...], bool] | None":
         """The order clause with its path parsed into steps — the shape
@@ -276,17 +347,38 @@ class QuerySpec:
             query = query.select(*self.projection)
         return query
 
+    def run_aggregate(self, dataset: DataSet, index: object | None = None,
+                      columns: object | None = None, *,
+                      naive: bool = False) -> dict:
+        """Execute an aggregate spec: ``{label: outcome}``, or ``{group
+        key: {label: outcome}}`` with a ``group by`` clause."""
+        if self.aggregates is None:
+            raise QueryError("not an aggregate query")
+        query = self.query(dataset, index, columns)
+        if self.group is not None:
+            return query.group_aggregate(self.group, *self.aggregates,
+                                         naive=naive)
+        return query.aggregate(*self.aggregates, naive=naive)
+
 
 def parse_query_spec(text: str) -> QuerySpec:
     """Parse a textual query into a reusable :class:`QuerySpec`."""
-    projection, condition, order, limit = _QueryParser(text).parse()
+    (projection, condition, order, limit,
+     aggregates, group) = _QueryParser(text).parse()
     return QuerySpec(projection=projection, condition=condition,
-                     order=order, limit=limit)
+                     order=order, limit=limit, aggregates=aggregates,
+                     group=group)
 
 
-def parse_query(text: str) -> Callable[[DataSet], DataSet]:
-    """Compile a textual query into a reusable ``DataSet -> DataSet``."""
+def parse_query(text: str) -> Callable[[DataSet], "DataSet | dict"]:
+    """Compile a textual query into a reusable ``DataSet -> DataSet``.
+
+    An aggregate query compiles to ``DataSet -> dict`` instead (see
+    :meth:`QuerySpec.run_aggregate`).
+    """
     spec = parse_query_spec(text)
+    if spec.is_aggregate:
+        return spec.run_aggregate
 
     def run(dataset: DataSet) -> DataSet:
         return spec.query(dataset).run()
@@ -294,6 +386,6 @@ def parse_query(text: str) -> Callable[[DataSet], DataSet]:
     return run
 
 
-def run_query(text: str, dataset: DataSet) -> DataSet:
+def run_query(text: str, dataset: DataSet) -> "DataSet | dict":
     """Parse and execute a textual query in one step."""
     return parse_query(text)(dataset)

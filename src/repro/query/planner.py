@@ -58,7 +58,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.store.attr_index import AttrIndex
     from repro.store.columnar import ColumnStore
 
-__all__ = ["Plan", "Probe", "select_data", "explain_plan",
+__all__ = ["Plan", "Probe", "JoinPlan", "AggregatePlan", "select_data",
+           "explain_plan", "plan_join", "plan_aggregate",
            "shard_positions", "columnar_shard_positions"]
 
 
@@ -417,3 +418,163 @@ def explain_plan(condition: Condition | None,
                 estimated_rows=described[0].selectivity,
                 reason=f"intersect {len(described)} probe(s), "
                        f"most selective first")
+
+
+# -- join / aggregate plan nodes -----------------------------------------------
+
+
+@dataclass(frozen=True)
+class JoinPlan:
+    """The strategy a :class:`~repro.query.join.JoinQuery` chose.
+
+    ``left``/``right`` are the per-side selection plans; the build side
+    is the one hashed into the key map (chosen by estimated rows), the
+    other side probes it. ``actual_*`` fields are filled by
+    ``explain(analyze=True)``.
+    """
+
+    strategy: str                     # "hash" or "nested-loop"
+    on: tuple[str, ...]
+    build: str                        # "left" or "right"
+    build_vectorized: bool            # eq-index bulk build vs per-row
+    left: Plan
+    right: Plan
+    estimated_left: int | None = None
+    estimated_right: int | None = None
+    estimated_pairs: int | None = None
+    actual_left: int | None = None
+    actual_right: int | None = None
+    actual_pairs: int | None = None
+    actual_maybe: int | None = None
+    lines: tuple[str, ...] = field(init=False, default=())
+
+    def __post_init__(self):
+        lines = [f"join[{self.strategy}] on {', '.join(self.on)} "
+                 f"(build={self.build}, "
+                 f"{'eq-index' if self.build_vectorized else 'per-row'}"
+                 f" build)"]
+        for name, plan, estimated, actual in (
+                ("left", self.left, self.estimated_left,
+                 self.actual_left),
+                ("right", self.right, self.estimated_right,
+                 self.actual_right)):
+            detail = f"  {name}: {plan.lines[0]}"
+            if estimated is not None:
+                detail += f" | estimated rows ~{estimated}"
+            if actual is not None:
+                detail += f" | actual rows {actual}"
+            lines.append(detail)
+        if self.estimated_pairs is not None:
+            lines.append(f"  estimated pairs: ~{self.estimated_pairs}")
+        if self.actual_pairs is not None:
+            maybe = (f" ({self.actual_maybe} maybe)"
+                     if self.actual_maybe else "")
+            lines.append(f"  actual pairs: {self.actual_pairs}{maybe}")
+        object.__setattr__(self, "lines", tuple(lines))
+
+    def describe(self) -> str:
+        return "\n".join(self.lines)
+
+
+@dataclass(frozen=True)
+class AggregatePlan:
+    """The strategy an aggregate/group-by query chose.
+
+    ``source`` is the plan of the underlying selection; the aggregate
+    itself runs ``columnar`` (column kernels + per-row fold-in of
+    irregular/residue rows) or ``row`` (per-row resolver throughout).
+    """
+
+    strategy: str                     # "columnar" or "row"
+    operations: tuple[str, ...]       # e.g. ("count(*)", "sum(year)")
+    group: str | None
+    source: Plan
+    estimated_groups: int | None = None
+    actual_rows: int | None = None
+    actual_groups: int | None = None
+    lines: tuple[str, ...] = field(init=False, default=())
+
+    def __post_init__(self):
+        header = f"aggregate[{self.strategy}]: {', '.join(self.operations)}"
+        if self.group is not None:
+            header += f" group by {self.group}"
+        lines = [header]
+        lines.extend(f"  {line}" for line in self.source.lines)
+        if self.estimated_groups is not None:
+            lines.append(f"  estimated groups: ~{self.estimated_groups}")
+        if self.actual_rows is not None:
+            lines.append(f"  actual rows: {self.actual_rows}")
+        if self.actual_groups is not None:
+            lines.append(f"  actual groups: {self.actual_groups}")
+        object.__setattr__(self, "lines", tuple(lines))
+
+    def describe(self) -> str:
+        return "\n".join(self.lines)
+
+
+def choose_build_side(estimated_left: int | None,
+                      estimated_right: int | None) -> str:
+    """Hash the smaller estimated side; ties and unknowns build right
+    (the conventional inner side)."""
+    if estimated_left is not None and estimated_right is not None:
+        return "left" if estimated_left < estimated_right else "right"
+    return "right"
+
+
+def plan_join(on: Sequence[str],
+              left_plan: Plan, right_plan: Plan,
+              left_size: int | None, right_size: int | None,
+              build_store=None, *, strategy: str = "hash") -> JoinPlan:
+    """Cost a join from the per-side selection plans and column
+    statistics: build side = smaller estimated side, estimated pairs
+    from the build column's distinct-value count when a store is
+    available."""
+    estimated_left = (left_plan.estimated_rows
+                      if left_plan.estimated_rows is not None
+                      else left_size)
+    estimated_right = (right_plan.estimated_rows
+                       if right_plan.estimated_rows is not None
+                       else right_size)
+    build = choose_build_side(estimated_left, estimated_right)
+    estimated_pairs = None
+    build_vectorized = build_store is not None
+    if (estimated_left is not None and estimated_right is not None):
+        cross = estimated_left * estimated_right
+        distinct = None
+        if build_store is not None:
+            from repro.query.paths import parse_path
+
+            column = build_store.column(parse_path(on[0])[0])
+            if column is not None:
+                distinct = column.distinct_count()
+        estimated_pairs = (cross // max(distinct, 1)
+                           if distinct else cross)
+    return JoinPlan(strategy=strategy, on=tuple(on), build=build,
+                    build_vectorized=build_vectorized,
+                    left=left_plan, right=right_plan,
+                    estimated_left=estimated_left,
+                    estimated_right=estimated_right,
+                    estimated_pairs=estimated_pairs)
+
+
+def plan_aggregate(operations: Sequence[str], group: str | None,
+                   source: Plan, store=None) -> AggregatePlan:
+    """Cost an aggregate node over its selection plan. The strategy is
+    columnar exactly when a usable column store backs the selection;
+    estimated groups come from the group column's distinct count."""
+    strategy = "columnar" if store is not None else "row"
+    estimated_groups = None
+    if group is not None:
+        if store is not None:
+            from repro.query.paths import parse_path
+
+            column = store.column(parse_path(group)[0])
+            # +1: the ⊥ group for rows the path does not reach.
+            estimated_groups = (column.distinct_count() + 1
+                                if column is not None else 1)
+    elif store is None:
+        estimated_groups = None
+    return AggregatePlan(strategy=strategy,
+                         operations=tuple(operations), group=group,
+                         source=source,
+                         estimated_groups=estimated_groups)

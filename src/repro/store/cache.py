@@ -27,6 +27,15 @@ Two caches share the same LRU core:
     unknown condition subclasses, entries left behind by laggard
     readers at older generations) is evicted.
 
+  Entries are not limited to single-set selections: aggregate results
+  and two-input join results cache under the same machinery. A join
+  entry's footprint is the *union* of both sides' condition paths plus
+  the join-key paths
+  (:func:`repro.query.compile.join_invalidation_profile`), and it is
+  ``safe`` only when both sides are positive — so a write that touches
+  only the probe side still evicts or re-tags correctly, never serving
+  a stale joined result.
+
   Touch information for *indexed* paths comes for free from the
   copy-on-write :meth:`~repro.store.attr_index.AttrIndex.patched`
   postings delta; only footprint paths outside the attribute index are

@@ -217,6 +217,44 @@ class Column:
         self._eq_index: dict | None = None
         self._scan_memo: dict = {}
 
+    def eq_index(self) -> dict:
+        """The lazily built hash index: ``(type, value) -> position
+        bitset`` over the column's scalar entries.
+
+        This is the vectorized substrate for value-partitioned work:
+        the hash-join build side and the group-by kernel read it
+        directly (one bitset per distinct value, no per-row dispatch).
+        Returned dict is shared and must not be mutated.
+        """
+        self.eq_bits(0)  # force the lazy build
+        return self._eq_index
+
+    def distinct_count(self) -> int:
+        """Distinct scalar values (planner join/group statistics)."""
+        return len(self.eq_index())
+
+    def numeric_stats(self, mask: int):
+        """``(count, total, min, max)`` over the numeric scalar entries
+        at positions in ``mask`` — the one-pass fold behind columnar
+        ``sum``/``min``/``max`` (booleans excluded, like the ordered
+        comparisons)."""
+        values = self.values
+        count = 0
+        total = 0
+        minimum = None
+        maximum = None
+        for position in bit_positions(mask):
+            value = values[position]
+            if isinstance(value, (int, float)) and not isinstance(value,
+                                                                  bool):
+                count += 1
+                total += value
+                if minimum is None or value < minimum:
+                    minimum = value
+                if maximum is None or value > maximum:
+                    maximum = value
+        return count, total, minimum, maximum
+
     def eq_bits(self, primitive) -> int:
         """Unmasked positions whose scalar entry type-strictly equals
         ``primitive`` (mirrors ``Atom.__eq__``: ``1``, ``True`` and
@@ -512,6 +550,18 @@ class ColumnStore:
     def residue_mask(self) -> int:
         """Bitset of live residue rows (always per-row evaluated)."""
         return self._residue
+
+    def column(self, label: str) -> "Column | None":
+        """The physical column for a top-level attribute, if any row
+        shredded it (the aggregate/join kernels' entry point)."""
+        return self._columns.get(label)
+
+    def positions_mask(self, positions: Iterable[int]) -> int:
+        """Ascending-or-not positions folded into one bitset."""
+        builder = _BitBuilder(self._size)
+        for position in positions:
+            builder.set(position)
+        return builder.value()
 
     # -- leaf evaluation -------------------------------------------------------
     #

@@ -535,19 +535,38 @@ class Database:
         """``(footprint, safe)`` of a parsed query for the result cache.
 
         A ``select`` without a ``where`` matches everything — every
-        write changes it, so it is never re-taggable.
+        write changes it, so it is never re-taggable. Aggregate specs
+        additionally fold their aggregate and group paths into the
+        footprint: the condition paths alone already gate which rows a
+        delta can add or drop, but the wider footprint keeps the entry
+        honest if the profile rules are ever loosened.
         """
         if spec.condition is None:
             return frozenset(), False
         from repro.query.compile import invalidation_profile
 
-        return invalidation_profile(spec.condition)
+        paths, safe = invalidation_profile(spec.condition)
+        if spec.aggregates is not None:
+            from repro.query.paths import parse_path
+
+            widened = set(paths)
+            for agg in spec.aggregates:
+                if agg.path is not None:
+                    widened.add(agg.steps)
+            if spec.group is not None:
+                widened.add(parse_path(spec.group))
+            paths = frozenset(widened)
+        return paths, safe
 
     def _query_at(self, state: _DBState, text: str, *,
                   naive: bool = False, parallel: int = 0,
                   parallel_mode: str = "process") -> DataSet:
         """Execute a textual query against one pinned state."""
         spec = self._parsed(text)
+        if spec.is_aggregate:
+            return self._aggregate_at(state, text, spec, naive=naive,
+                                      parallel=parallel,
+                                      parallel_mode=parallel_mode)
         if naive:
             # The definitional oracle: no cache, no planner, no pool.
             return spec.query(state.dataset(),
@@ -569,6 +588,33 @@ class Database:
             result = spec.query(state.dataset(),
                                 index=state.attr_index,
                                 columns=state.columns).run()
+        paths, safe = self._cache_profile(spec)
+        self._results.store(text, state.generation, result, paths, safe)
+        return result
+
+    def _aggregate_at(self, state: _DBState, text: str, spec, *,
+                      naive: bool = False, parallel: int = 0,
+                      parallel_mode: str = "process") -> dict:
+        """Execute a textual aggregate query against one pinned state.
+
+        Routes like :meth:`_query_at`: result-cached per generation,
+        ``parallel=N`` runs the partial-aggregation pushdown over the
+        shard pool, ``naive=True`` is the uncached per-row oracle.
+        """
+        if naive:
+            return spec.run_aggregate(state.dataset(),
+                                      index=state.attr_index, naive=True)
+        cached = self._results.lookup(text, state.generation)
+        if cached is not None:
+            return cached
+        if parallel:
+            executor = self._executor(state, parallel, parallel_mode)
+            result = executor.aggregate(spec.condition, spec.aggregates,
+                                        spec.group)
+        else:
+            result = spec.run_aggregate(state.dataset(),
+                                        index=state.attr_index,
+                                        columns=state.columns)
         paths, safe = self._cache_profile(spec)
         self._results.store(text, state.generation, result, paths, safe)
         return result
@@ -599,11 +645,83 @@ class Database:
         The plan names the physical strategy (``index`` / ``columnar``
         / ``row-scan``) and the planner's estimated row count;
         ``analyze=True`` also executes it and reports ``actual_rows``.
+        Aggregate queries return an
+        :class:`~repro.query.planner.AggregatePlan` wrapping the
+        selection plan.
         """
         state = self._state
-        return self._parsed(text).query(
-            state.dataset(), index=state.attr_index,
-            columns=state.columns).explain(analyze=analyze)
+        spec = self._parsed(text)
+        query = spec.query(state.dataset(), index=state.attr_index,
+                           columns=state.columns)
+        if spec.is_aggregate:
+            return query.explain_aggregate(spec.aggregates, spec.group,
+                                           analyze=analyze)
+        return query.explain(analyze=analyze)
+
+    # -- joins -------------------------------------------------------------------
+
+    def _join_query(self, state: _DBState, left_text: str,
+                    right_text: str, on):
+        from repro.core.errors import QueryError
+        from repro.query.join import JoinQuery
+
+        left_spec = self._parsed(left_text)
+        right_spec = self._parsed(right_text)
+        if left_spec.is_aggregate or right_spec.is_aggregate:
+            raise QueryError("join inputs must be selection queries, "
+                             "not aggregates")
+        left = left_spec.query(state.dataset(), index=state.attr_index,
+                               columns=state.columns)
+        right = right_spec.query(state.dataset(),
+                                 index=state.attr_index,
+                                 columns=state.columns)
+        return JoinQuery(left, right, on), left_spec, right_spec
+
+    def join_query(self, left_text: str, right_text: str,
+                   on: "str | tuple[str, ...]", *,
+                   naive: bool = False) -> list:
+        """Join two textual selections of this store on key path(s).
+
+        Each text is a ``select`` query whose *condition* picks one
+        join input (both read the same pinned generation — the common
+        self-join-across-sources shape of the paper's multi-source
+        data). Returns :class:`~repro.query.join.JoinRow` pairs in
+        canonical order; ``maybe`` rows matched only under some
+        resolution of an or-value / ⊥. Results are cached per
+        generation under a composite key whose footprint spans *both*
+        inputs, so a write to either side — probe side included —
+        invalidates correctly. ``naive=True`` runs the nested-loop
+        oracle, uncached.
+        """
+        state = self._state
+        join, left_spec, right_spec = self._join_query(
+            state, left_text, right_text, on)
+        if naive:
+            return join.rows(naive=True)
+        key = (f"join on {', '.join(join._on)}: "
+               f"[{left_text}] [{right_text}]")
+        cached = self._results.lookup(key, state.generation)
+        if cached is not None:
+            return cached
+        rows = join.rows()
+        from repro.query.compile import join_invalidation_profile
+        from repro.query.paths import parse_path
+
+        paths, safe = join_invalidation_profile(
+            left_spec.condition, right_spec.condition,
+            tuple(parse_path(path) for path in join._on))
+        self._results.store(key, state.generation, rows, paths, safe)
+        return rows
+
+    def explain_join(self, left_text: str, right_text: str,
+                     on: "str | tuple[str, ...]", *,
+                     analyze: bool = False):
+        """The :class:`~repro.query.planner.JoinPlan` for
+        :meth:`join_query` (build/probe sides, strategy, estimated vs
+        actual rows per side)."""
+        join, _, _ = self._join_query(self._state, left_text,
+                                      right_text, on)
+        return join.explain(analyze=analyze)
 
     def cache_stats(self) -> dict[str, int]:
         """Result-cache counters (hits/misses/retags/evictions)."""

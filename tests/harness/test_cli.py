@@ -121,6 +121,54 @@ class TestQuery:
         bad.write_text("@Article{k, title = {unbalanced}")
         assert main(["query", str(bad), "select *"]) == 2
 
+    def test_aggregate_query(self, bib_files, capsys):
+        a, _ = bib_files
+        assert main(["query", str(a),
+                     "select count(*), min(year)"]) == 0
+        out = capsys.readouterr().out
+        assert "count(*) = 2" in out
+        assert "min(year) = 1980" in out
+
+    def test_group_by_query(self, bib_files, capsys):
+        a, _ = bib_files
+        assert main(["query", str(a),
+                     "select count(*) group by type"]) == 0
+        out = capsys.readouterr().out
+        assert 'group "Article":' in out
+        assert "count(*) = 2" in out
+
+    def test_aggregate_explain(self, bib_files, capsys):
+        a, _ = bib_files
+        assert main(["query", str(a), "select count(*) group by type",
+                     "--explain"]) == 0
+        out = capsys.readouterr().out
+        assert "aggregate[" in out
+        assert "actual groups: 1" in out
+
+    def test_join_query(self, bib_files, capsys):
+        a, _ = bib_files
+        assert main(["query", str(a), "select * where exists year",
+                     "--join", "select * where exists author",
+                     "--on", "title"]) == 0
+        out = capsys.readouterr().out
+        assert "|x|" in out
+        assert "Oracle" in out
+
+    def test_join_explain(self, bib_files, capsys):
+        a, _ = bib_files
+        assert main(["query", str(a), "select * where exists year",
+                     "--join", "select * where exists author",
+                     "--on", "title", "--explain"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("join[hash] on title")
+        assert "actual pairs:" in out
+
+    def test_join_without_on_fails_cleanly(self, bib_files, capsys):
+        a, _ = bib_files
+        assert main(["query", str(a), "select *",
+                     "--join", "select *"]) == 2
+        assert "--on" in capsys.readouterr().err
+
 
 class TestExperimentsCommand:
     def test_runs_selected_experiment(self, capsys):

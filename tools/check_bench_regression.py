@@ -53,6 +53,8 @@ REGISTRY: dict[str, tuple[str, tuple[str, ...]]] = {
     "concurrency": ("benchmarks/bench_concurrency.py",
                     ("cached_read_speedup", "parallel_speedup")),
     "interning": ("benchmarks/bench_interning.py", ("speedup",)),
+    "join": ("benchmarks/bench_join.py",
+             ("join_speedup", "group_agg_speedup")),
     "merge_pipeline": ("benchmarks/bench_merge_pipeline.py",
                        ("speedup_blocked", "speedup_indexed")),
     "query_planner": ("benchmarks/bench_query_planner.py",
