@@ -512,6 +512,45 @@ def _add_object(acc: Accumulator, obj: SSObject,
         acc.add_row(alternatives)
 
 
+#: ``path_alternatives(...) is None`` is a meaningful result (fan-out
+#: past the cap), so per-call caches need a distinct "not computed yet"
+#: marker.
+_ALT_UNSET = object()
+
+#: Entries kept in a store's shared alternatives memo before it clears.
+_ALT_CACHE_CAP = 1 << 18
+
+
+def _cached_alternatives(cache: dict, position: int, obj: SSObject,
+                         steps: tuple[str, ...]):
+    """One row's alternatives at one path, computed at most once per
+    cache lifetime.
+
+    The columnar kernels resolve the same (row, path) pair repeatedly —
+    once per aggregate sharing the path, once per group membership in
+    the grouped kernel, and again on every re-invocation over the same
+    store — and rows are rarely interned, so the identity memo inside
+    :func:`path_alternatives` does not help. The cache is the store's
+    :attr:`~repro.store.ColumnStore.alt_memo` when it has one (row
+    positions are stable for the store's lifetime, so entries stay
+    valid across queries), else one dict per kernel call.
+    """
+    key = (position, steps)
+    alternatives = cache.get(key, _ALT_UNSET)
+    if alternatives is _ALT_UNSET:
+        if len(cache) >= _ALT_CACHE_CAP:
+            cache.clear()
+        alternatives = cache[key] = path_alternatives(obj, steps)
+    return alternatives
+
+
+def _store_alt_cache(store) -> dict:
+    """The store-lifetime alternatives memo, or a fresh per-call dict
+    for duck-typed stores without one."""
+    cache = getattr(store, "alt_memo", None)
+    return {} if cache is None else cache
+
+
 def _normalize(aggs) -> dict[str, AggregateSpec]:
     """Accept ``{name: spec}`` or a sequence of specs (auto-labeled by
     :meth:`AggregateSpec.label`, numbered on collision)."""
@@ -551,23 +590,20 @@ def aggregate_rows(data: Iterable[Data],
 # -- the columnar kernel -------------------------------------------------------
 
 
-def _column_alternatives(store, position: int,
-                         steps: tuple[str, ...]):
-    """A shredded row's alternatives at ``steps`` read from its
-    column entry (never from the row object)."""
-    column = store.column(steps[0])
-    if column is None or not (column.present >> position) & 1:
-        return _EMPTY
-    if (column.irregular >> position) & 1:
-        return path_alternatives(column.extras[position], steps[1:])
-    if len(steps) != 1:
-        return _EMPTY  # a scalar has no sub-path
-    return ((Atom(column.values[position]),),)
-
-
 def _columnar_into(acc: Accumulator, store, mask: int,
-                   spec: AggregateSpec) -> None:
-    """Fold the rows in ``mask`` into ``acc`` column-at-a-time."""
+                   spec: AggregateSpec,
+                   alt_cache: dict | None = None) -> None:
+    """Fold the rows in ``mask`` into ``acc`` column-at-a-time.
+
+    The scalar entries of the path's column — nested paths included —
+    fold vectorized (popcount / eq-index / one-pass numeric stats);
+    rows needing the per-row resolver (irregular entries, tuple-valued
+    paths, opaque ancestors) and the residue fall back to
+    :func:`path_alternatives` on the full row object, through
+    ``alt_cache`` when the caller shares one across aggregates.
+    Shredded rows in neither mask definitely reach nothing and
+    contribute nothing.
+    """
     from repro.store.columnar import bit_positions
 
     steps = spec.steps
@@ -577,14 +613,9 @@ def _columnar_into(acc: Accumulator, store, mask: int,
     rows = store.rows
     residue = store.residue_mask & mask
     shredded = store.universe_mask & mask
-    column = store.column(steps[0])
-    if column is None:
-        irregular = 0
-        scalar = 0
-    else:
-        irregular = column.irregular & shredded
-        scalar = column.present & ~column.irregular & shredded
-    if scalar and len(steps) == 1:
+    column, scalar_bits, per_row_bits = store.path_masks(steps)
+    scalar = scalar_bits & shredded
+    if scalar:
         if spec.kind == "count":
             acc.add_definite_count(scalar.bit_count())
         elif spec.kind == "collect":
@@ -594,16 +625,17 @@ def _columnar_into(acc: Accumulator, store, mask: int,
         else:
             _, total, minimum, maximum = column.numeric_stats(scalar)
             acc.add_numeric_stats(total, minimum, maximum)
-    # Scalar entries under a longer path reach nothing: skipped.
-    for position in bit_positions(irregular):
-        alternatives = path_alternatives(column.extras[position], steps[1:])
+    for position in bit_positions((per_row_bits & shredded) | residue):
+        obj = rows[position].object
+        if alt_cache is None:
+            _add_object(acc, obj, steps)
+            continue
+        alternatives = _cached_alternatives(alt_cache, position, obj,
+                                            steps)
         if alternatives is None:
-            acc.add_exploded(evaluate_path(rows[position].object, steps,
-                                           spread=True))
+            acc.add_exploded(evaluate_path(obj, steps, spread=True))
         else:
             acc.add_row(alternatives)
-    for position in bit_positions(residue):
-        _add_object(acc, rows[position].object, steps)
 
 
 def partial_aggregate_columnar(store, mask: int,
@@ -613,9 +645,10 @@ def partial_aggregate_columnar(store, mask: int,
     mergeable across shards (the pushdown's per-worker step)."""
     aggs = _normalize(aggs)
     out: dict[str, Accumulator] = {}
+    alt_cache = _store_alt_cache(store)
     for name, spec in aggs.items():
         acc = out[name] = Accumulator(spec.kind)
-        _columnar_into(acc, store, mask, spec)
+        _columnar_into(acc, store, mask, spec, alt_cache)
     return out
 
 
@@ -733,19 +766,14 @@ def partial_group_columnar(store, mask: int, group_path: str,
     rows = store.rows
     shredded = store.universe_mask & mask
     residue = store.residue_mask & mask
-    column = store.column(group_steps[0])
-    if column is None:
-        scalar_groups: dict = {}
-        irregular = 0
-        bottom_mask = shredded
-    elif len(group_steps) == 1:
-        scalar_groups = column.eq_index()
-        irregular = column.irregular & shredded
-        bottom_mask = shredded & ~column.present
-    else:
-        scalar_groups = {}
-        irregular = column.irregular & shredded
-        bottom_mask = shredded & ~irregular
+    column, scalar_bits, per_row_bits = store.path_masks(group_steps)
+    scalar_groups = column.eq_index() if column is not None else {}
+    per_row = per_row_bits & shredded
+    alt_cache = _store_alt_cache(store)
+    # Rows with neither an entry at the group path nor an opaque
+    # ancestor definitely reach nothing: the ⊥ group, vectorized.
+    bottom_mask = shredded & ~per_row_bits & ~(
+        column.present if column is not None else 0)
     for (_, value), bits in scalar_groups.items():
         gmask = bits & shredded
         if not gmask:
@@ -754,26 +782,21 @@ def partial_group_columnar(store, mask: int, group_path: str,
         accs = groups[key] = {name: Accumulator(spec.kind)
                               for name, spec in aggs.items()}
         for name, spec in aggs.items():
-            _columnar_into(accs[name], store, gmask, spec)
+            _columnar_into(accs[name], store, gmask, spec, alt_cache)
     if bottom_mask:
         accs = groups.get(BOTTOM)
         if accs is None:
             accs = groups[BOTTOM] = {name: Accumulator(spec.kind)
                                      for name, spec in aggs.items()}
         for name, spec in aggs.items():
-            _columnar_into(accs[name], store, bottom_mask, spec)
-    for position in bit_positions(irregular):
+            _columnar_into(accs[name], store, bottom_mask, spec,
+                           alt_cache)
+    for position in bit_positions(per_row | residue):
         obj = rows[position].object
 
-        def alternatives_at(steps, _position=position):
-            return _column_alternatives(store, _position, steps)
-
-        _row_group_fold(groups, obj, group_steps, aggs, alternatives_at)
-    for position in bit_positions(residue):
-        obj = rows[position].object
-
-        def alternatives_at(steps, _obj=obj):
-            return path_alternatives(_obj, steps)
+        def alternatives_at(steps, _obj=obj, _position=position):
+            return _cached_alternatives(alt_cache, _position, _obj,
+                                        steps)
 
         _row_group_fold(groups, obj, group_steps, aggs, alternatives_at)
     return groups

@@ -57,6 +57,7 @@ from repro.query.planner import (
     explain_plan,
     plan_join,
 )
+from repro.store.cache import LRUCache
 
 __all__ = ["JoinRow", "JoinQuery", "join_keys", "pair_match",
            "hash_join", "nested_loop_join"]
@@ -71,11 +72,16 @@ class JoinRow:
     maybe: bool = False
 
 
+#: Capacity of the join-key memo below. Generous — a 100k-row join per
+#: side fits — but bounded: before the LRU the memo grew without limit
+#: for the lifetime of the intern pool.
+_KEY_MEMO_CAPACITY = 262_144
+
 #: Identity-keyed join-key memo: ``(id(obj), steps) -> (definite,
 #: possible)``. Entries are only written for interned objects (whose
-#: ids are pinned by the pool's strong references) and the memo clears
-#: with the pool.
-_KEY_MEMO: dict[tuple[int, tuple[str, ...]], tuple] = {}
+#: ids are pinned by the pool's strong references); the memo clears
+#: with the pool and evicts least-recently-used past the cap.
+_KEY_MEMO = LRUCache(_KEY_MEMO_CAPACITY)
 _on_clear(_KEY_MEMO.clear)
 
 
@@ -115,7 +121,8 @@ def join_keys(obj: SSObject,
         memo_key = (id(obj), steps)
         cached = _KEY_MEMO.get(memo_key)
         if cached is None:
-            cached = _KEY_MEMO[memo_key] = _keys_of(obj, steps)
+            cached = _keys_of(obj, steps)
+            _KEY_MEMO.put(memo_key, cached)
         return cached
     return _keys_of(obj, steps)
 
@@ -183,9 +190,11 @@ class _Side:
 def _build_maps(side: _Side, steps: tuple[str, ...]):
     """``(definite_map, maybe_map)``: normalized key → build rows.
 
-    Vectorized when the side has a column store: the scalar entries
-    come straight out of the eq-index (one bitset intersection per
-    distinct value); only irregular and residue rows walk per-row.
+    Vectorized when the side has a column store: the scalar entries of
+    the key path's column — nested paths included — come straight out
+    of the eq-index (one bitset intersection per distinct value); only
+    rows with irregular keys, tuple-valued keys or opaque ancestors,
+    plus the residue, walk per-row.
     """
     from repro.store.columnar import bit_positions
 
@@ -207,19 +216,15 @@ def _build_maps(side: _Side, steps: tuple[str, ...]):
     store, mask = side.store, side.mask
     rows = store.rows
     shredded = store.universe_mask & mask
-    column = store.column(steps[0])
-    if column is not None and len(steps) == 1:
+    column, _, per_row_bits = store.path_masks(steps)
+    if column is not None:
         for key, bits in column.eq_index().items():
             selected = bits & shredded
             if selected:
                 definite_map[key] = [rows[position] for position
                                      in bit_positions(selected)]
-        irregular = column.irregular & shredded
-    elif column is not None:
-        irregular = column.irregular & shredded
-    else:
-        irregular = 0
-    for position in bit_positions(irregular | (store.residue_mask & mask)):
+    per_row = (per_row_bits & shredded) | (store.residue_mask & mask)
+    for position in bit_positions(per_row):
         add_per_row(rows[position])
     return definite_map, maybe_map
 
@@ -277,12 +282,12 @@ def hash_join(left: _Side | Sequence[Data], right: _Side | Sequence[Data],
         store, mask = probe_side.store, probe_side.mask
         rows = store.rows
         shredded = store.universe_mask & mask
-        column = store.column(on_steps[0][0])
-        per_row = store.residue_mask & mask
-        if column is not None and len(on_steps[0]) == 1:
+        column, scalar_bits, per_row_bits = store.path_masks(on_steps[0])
+        per_row = ((store.residue_mask & mask)
+                   | (per_row_bits & shredded))
+        if column is not None:
             values = column.values
-            scalar = column.present & ~column.irregular & shredded
-            for position in bit_positions(scalar):
+            for position in bit_positions(scalar_bits & shredded):
                 value = values[position]
                 key = (type(value), value)
                 datum = rows[position]
@@ -290,9 +295,6 @@ def hash_join(left: _Side | Sequence[Data], right: _Side | Sequence[Data],
                     emit(datum, partner, False)
                 for partner in maybe_map.get(key, ()):
                     emit(datum, partner, True)
-            per_row |= column.irregular & shredded
-        elif column is not None:
-            per_row |= column.irregular & shredded
         for position in bit_positions(per_row):
             datum = rows[position]
             definite, possible = join_keys(datum.object, on_steps[0])

@@ -90,6 +90,8 @@ class Plan:
     reason: str = ""
     estimated_rows: int | None = None   # planner's upper-bound estimate
     actual_rows: int | None = None      # filled by explain(analyze=True)
+    shredded_rows: int | None = None    # columnar: rows the columns answer
+    residue_rows: int | None = None     # columnar: per-row fallback rows
     lines: tuple[str, ...] = field(init=False, default=())
 
     def __post_init__(self):
@@ -99,6 +101,10 @@ class Plan:
             lines.append(f"residual filter: {self.residual}")
         if self.order_pushdown:
             lines.append("order+limit: heapq top-k pushdown")
+        if self.shredded_rows is not None:
+            lines.append(f"shredded rows: {self.shredded_rows}")
+        if self.residue_rows is not None:
+            lines.append(f"residue rows: {self.residue_rows}")
         if self.estimated_rows is not None:
             lines.append(f"estimated rows: ~{self.estimated_rows}")
         if self.actual_rows is not None:
@@ -372,6 +378,8 @@ def _scan_plan(condition: Condition, reason: str, pushdown: bool,
         return Plan(strategy="columnar", residual=repr(condition),
                     order_pushdown=pushdown,
                     estimated_rows=estimated,
+                    shredded_rows=store.shredded_count,
+                    residue_rows=store.residue_count,
                     reason=f"{reason}: bitset scan over "
                            f"{store.shredded_count} shredded rows, "
                            f"row fallback on {store.residue_count} "
@@ -544,7 +552,7 @@ def plan_join(on: Sequence[str],
         if build_store is not None:
             from repro.query.paths import parse_path
 
-            column = build_store.column(parse_path(on[0])[0])
+            column = build_store.column(parse_path(on[0]))
             if column is not None:
                 distinct = column.distinct_count()
         estimated_pairs = (cross // max(distinct, 1)
@@ -568,7 +576,7 @@ def plan_aggregate(operations: Sequence[str], group: str | None,
         if store is not None:
             from repro.query.paths import parse_path
 
-            column = store.column(parse_path(group)[0])
+            column = store.column(parse_path(group))
             # +1: the ⊥ group for rows the path does not reach.
             estimated_groups = (column.distinct_count() + 1
                                 if column is not None else 1)

@@ -3,6 +3,9 @@
 * :mod:`repro.workloads.bibgen` — multi-source BibTeX-style databases
   with controlled overlap, nulls, conflicts and partial author lists
   (experiments S1-S3);
+* :mod:`repro.workloads.nestedgen` — nested publication documents with
+  partiality at interior *and* leaf positions, for the multi-level
+  shredding benchmarks;
 * :mod:`repro.workloads.webgen` — linked HTML sites in the Example 2
   style, for web-mapping and expand benchmarks.
 """
@@ -12,6 +15,11 @@ from repro.workloads.bibgen import (
     BibWorkloadSpec,
     GroundTruthEntry,
     generate_workload,
+)
+from repro.workloads.nestedgen import (
+    NestedWorkload,
+    NestedWorkloadSpec,
+    generate_nested_workload,
 )
 from repro.workloads.perturb import (
     drop_attributes,
@@ -24,6 +32,7 @@ from repro.workloads.webgen import WebWorkloadSpec, generate_site
 __all__ = [
     "BibWorkloadSpec", "BibWorkload", "GroundTruthEntry",
     "generate_workload",
+    "NestedWorkloadSpec", "NestedWorkload", "generate_nested_workload",
     "WebWorkloadSpec", "generate_site",
     "drop_attributes", "perturb_atoms", "open_sets", "fork_source",
 ]

@@ -1,0 +1,174 @@
+"""Synthetic nested-document workloads.
+
+The bibliographic generator (:mod:`repro.workloads.bibgen`) keeps every
+attribute at the top level; this generator supplies the workload the
+multi-level shredder is for: documents whose interesting values live
+2–4 tuple-levels deep (``author.name.last``, ``author.affil.since``),
+with partial and inconsistent information at *interior* positions as
+well as leaves.
+
+Each entry is a publication-like document::
+
+    {type, title, year,
+     author: {name:  {first, last},
+              affil: {inst, city, since}}}
+
+Rates (all deterministic under the seed) inject the model's partiality
+at every level:
+
+* ``null_rate`` — a leaf is dropped (partial information);
+* ``or_rate`` — a leaf becomes an or-value of two candidates
+  (inconsistent information, the maybe sidecar);
+* ``bottom_rate`` — a leaf becomes ``{⊥}∂`` (known-unknown);
+* ``interior_or_rate`` — ``author.name`` becomes an or-value of two
+  structurally different tuples: the whole subtree demotes to per-row
+  evaluation (the shredder keeps it as an irregular interior entry);
+* ``opaque_rate`` — ``author`` is wrapped in a complete set: paths
+  below it can only be answered per-row (opaque entry);
+* ``loose_rate`` — the entry is a bare atom, not a tuple at all: the
+  row falls to the store residue.
+
+The defaults keep the irregular interiors rare (a few percent), so a
+built :class:`~repro.store.ColumnStore` answers nested-path queries
+almost entirely from path columns — the regime the ``bench_nested``
+speedup floors are measured in.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.builder import atom, bottom, cset, orv, pset
+from repro.core.data import Data, DataSet
+from repro.core.errors import WorkloadError
+from repro.core.objects import Marker, SSObject, Tuple
+
+__all__ = ["NestedWorkloadSpec", "NestedWorkload",
+           "generate_nested_workload"]
+
+_FIRST_NAMES = [
+    "Alice", "Bob", "Carol", "David", "Erika", "Frank", "Grace",
+    "Henri", "Irene", "Jack", "Karin", "Louis", "Mona", "Nils",
+]
+_LAST_NAMES = [
+    "Abiteboul", "Buneman", "Chen", "Davidson", "Eisner", "Fernandez",
+    "Garcia", "Hull", "Imielinski", "Jagadish", "Liu", "Mendelzon",
+]
+_INSTITUTES = [
+    "Oxford University", "INRIA", "Stanford University", "TU Wien",
+    "University of Toronto", "ETH Zurich", "Bell Labs", "IBM Research",
+]
+_CITIES = ["Oxford", "Paris", "Stanford", "Vienna", "Toronto",
+           "Zurich", "Murray Hill", "San Jose"]
+_TOPICS = [
+    "Query Optimization", "Semistructured Data", "Partial Information",
+    "Schema Integration", "Object Identity", "Web Queries",
+]
+
+
+@dataclass(frozen=True)
+class NestedWorkloadSpec:
+    """Parameters of one nested workload (see module docs)."""
+
+    entries: int
+    null_rate: float = 0.10
+    or_rate: float = 0.10
+    bottom_rate: float = 0.04
+    interior_or_rate: float = 0.02
+    opaque_rate: float = 0.02
+    loose_rate: float = 0.01
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.entries < 0:
+            raise WorkloadError("entries must be non-negative")
+        for name in ("null_rate", "or_rate", "bottom_rate",
+                     "interior_or_rate", "opaque_rate", "loose_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise WorkloadError(f"{name} must be in [0, 1], got "
+                                    f"{value}")
+
+
+@dataclass
+class NestedWorkload:
+    """A generated workload plus its irregularity tally."""
+
+    spec: NestedWorkloadSpec
+    dataset: DataSet
+    #: Rows carrying an irregular interior, an opaque wrapper or a
+    #: loose (non-tuple) top — the rows nested-path queries must still
+    #: answer per-row.
+    irregular_rows: int = 0
+
+
+def _leaf(rng: random.Random, spec: NestedWorkloadSpec,
+          pool: list) -> SSObject | None:
+    """One leaf value, or ``None`` when the field is dropped."""
+    roll = rng.random()
+    if roll < spec.null_rate:
+        return None
+    roll -= spec.null_rate
+    if roll < spec.bottom_rate:
+        return pset(bottom)
+    roll -= spec.bottom_rate
+    if roll < spec.or_rate:
+        first, second = rng.sample(pool, 2)
+        return orv(first, second)
+    return atom(rng.choice(pool))
+
+
+def _tuple_of(fields: dict[str, SSObject | None]) -> Tuple:
+    return Tuple({label: value for label, value in fields.items()
+                  if value is not None})
+
+
+def _author(rng: random.Random, spec: NestedWorkloadSpec) -> SSObject:
+    name = _tuple_of({
+        "first": _leaf(rng, spec, _FIRST_NAMES),
+        "last": _leaf(rng, spec, _LAST_NAMES),
+    })
+    affil = _tuple_of({
+        "inst": _leaf(rng, spec, _INSTITUTES),
+        "city": _leaf(rng, spec, _CITIES),
+        "since": _leaf(rng, spec, list(range(1970, 2000))),
+    })
+    if rng.random() < spec.interior_or_rate:
+        variant = Tuple({"last": atom(rng.choice(_LAST_NAMES))})
+        name = orv(name, variant)
+    author = _tuple_of({"name": name, "affil": affil})
+    if rng.random() < spec.opaque_rate:
+        return cset(author)
+    return author
+
+
+def _entry(uid: int, rng: random.Random,
+           spec: NestedWorkloadSpec) -> tuple[Data, bool]:
+    if rng.random() < spec.loose_rate:
+        return Data(Marker(f"n{uid}"), atom(f"loose {uid}")), True
+    author = _author(rng, spec)
+    irregular = not isinstance(author, Tuple) or any(
+        not isinstance(value, Tuple) for _, value in author.items())
+    fields = {
+        "type": atom(rng.choice(("Article", "InProc"))),
+        "title": atom(f"{rng.choice(_TOPICS)} {uid:05d}"),
+        "author": author,
+    }
+    year = _leaf(rng, spec, list(range(1975, 2000)))
+    if year is not None:
+        fields["year"] = year
+    return Data(Marker(f"n{uid}"), Tuple(fields)), irregular
+
+
+def generate_nested_workload(spec: NestedWorkloadSpec) -> NestedWorkload:
+    """Generate a nested workload deterministically from its spec."""
+    rng = random.Random(spec.seed)
+    data = []
+    irregular = 0
+    for uid in range(spec.entries):
+        datum, is_irregular = _entry(uid, rng, spec)
+        data.append(datum)
+        irregular += is_irregular
+    return NestedWorkload(spec=spec, dataset=DataSet(data),
+                          irregular_rows=irregular)

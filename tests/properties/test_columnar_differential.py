@@ -4,13 +4,17 @@ The columnar scan answers shredded rows with tri-state bitset algebra
 and only walks maybe-sidecar and residue rows; every shortcut must be
 invisible. This suite drives Hypothesis-generated datasets — including
 the shredder's awkward cases: or-values, ⊥ inside sets, missing
-attributes, nested tuples forcing the residue — and rich-mode
+attributes, and nested documents 2–4 tuple-levels deep with or-values
+and ⊥ at interior *and* leaf positions — and rich-mode
 ``ObjectGenerator`` data through ``Query.with_columns`` and asserts
 exact agreement with ``run(naive=True)``, plus cross-strategy equality
 (row scan, index probes, columnar, threaded parallel shards all return
-the same rows) and copy-on-write ``patched()`` correctness against a
-fresh rebuild.
+the same rows), copy-on-write ``patched()`` correctness against a
+fresh rebuild after nested mutations, and wire-format round-trip
+equivalence for path columns.
 """
+
+import io
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -32,7 +36,8 @@ from repro.query import (
     ParallelExecutor,
     Query,
 )
-from repro.store import AttrIndex, ColumnStore
+from repro.store import AttrIndex, ColumnStore, read_column_shard, \
+    write_column_shard
 
 CASES = settings(max_examples=200, deadline=None)
 
@@ -179,3 +184,172 @@ def test_patched_store_equals_rebuild(initial, extra, condition):
     expected = patched_query.run(naive=True)
     assert patched_query.run() == expected
     assert fresh_query.run() == expected
+
+
+# ---------------------------------------------------------------------------
+# Nested documents: multi-level shredding vs the same oracles.
+# ---------------------------------------------------------------------------
+
+# Leaves of nested documents — scalars plus the irregular shapes
+# (or-values, sets, ⊥) at *leaf* positions.
+nested_leaf_values = st.one_of(
+    atom_values.map(Atom),
+    st.lists(atom_values, min_size=2, max_size=3, unique=True).map(
+        lambda vs: orv(*vs)),
+    st.lists(atom_values, min_size=0, max_size=2, unique=True).map(
+        lambda vs: cset(*vs)),
+    st.just(pset(bottom)),
+)
+
+inner_tuples = st.dictionaries(
+    st.sampled_from(("first", "last")), nested_leaf_values,
+    min_size=1, max_size=2).map(lambda fields: tup(**fields))
+
+# Interior values: plain nested tuples plus the shapes that must demote
+# the subtree to per-row evaluation — or-values over tuples, ⊥ beside a
+# tuple, a tuple inside a set, and scalars where a tuple is expected.
+interior_values = st.one_of(
+    inner_tuples,
+    st.tuples(inner_tuples, inner_tuples).map(lambda ts: orv(*ts)),
+    inner_tuples.map(lambda t: orv(t, bottom)),
+    inner_tuples.map(lambda t: cset(t)),
+    nested_leaf_values,
+)
+
+author_fields = st.dictionaries(
+    st.sampled_from(("name", "affil")), interior_values,
+    min_size=1, max_size=2)
+author_values = st.one_of(
+    author_fields.map(lambda fields: tup(**fields)),
+    author_fields.map(lambda fields: orv(tup(**fields), bottom)),
+)
+
+
+@st.composite
+def nested_rows(draw):
+    fields = {}
+    if draw(st.booleans()):
+        fields["author"] = draw(author_values)
+    if draw(st.booleans()):
+        fields["year"] = Atom(draw(st.sampled_from(YEARS)))
+    if draw(st.booleans()):
+        fields["title"] = draw(nested_leaf_values)
+    return tup(**fields)
+
+
+@st.composite
+def nested_datasets(draw, prefix="n"):
+    objects = draw(st.lists(nested_rows(), min_size=0, max_size=8))
+    return DataSet(
+        Data(Marker(f"{prefix}{i}"), obj)
+        for i, obj in enumerate(objects)
+    )
+
+
+nested_paths = st.sampled_from((
+    "author", "author.name", "author.affil",
+    "author.name.first", "author.name.last", "author.affil.last",
+    "author.name.first.deeper", "author.missing.x", "year", "title",
+))
+
+nested_leaf_conditions = st.one_of(
+    st.builds(Eq, nested_paths, atom_values),
+    st.builds(Ne, nested_paths, atom_values),
+    st.builds(Exists, nested_paths),
+    st.builds(Contains, nested_paths, st.sampled_from(WORDS)),
+    st.builds(Lt, nested_paths, st.sampled_from(YEARS)),
+    st.builds(Ge, nested_paths, st.sampled_from(YEARS)),
+)
+
+nested_conditions = st.recursive(nested_leaf_conditions, _combine,
+                                 max_leaves=6)
+
+
+@CASES
+@given(nested_datasets(), nested_conditions)
+def test_nested_columnar_run_matches_naive(dataset, condition):
+    query = Query(dataset).where(condition).with_columns(
+        ColumnStore.build(dataset))
+    assert query.run() == query.run(naive=True)
+
+
+@CASES
+@given(nested_datasets(), nested_conditions,
+       st.integers(min_value=1, max_value=4))
+def test_nested_matches_naive_at_every_shred_depth(dataset, condition,
+                                                   depth):
+    """Shallow shred-depth caps force opaque demotion at interior
+    levels; the answers must not move."""
+    query = Query(dataset).where(condition).with_columns(
+        ColumnStore.build(dataset, shred_depth=depth))
+    assert query.run() == query.run(naive=True)
+
+
+@CASES
+@given(nested_datasets(), nested_conditions)
+def test_nested_every_strategy_returns_identical_results(dataset,
+                                                         condition):
+    base = Query(dataset).where(condition)
+    expected = base.rows(naive=True)
+    assert base.rows() == expected
+    assert base.with_index(
+        AttrIndex(("author", "year", "title"), dataset)).rows() == expected
+    assert base.with_columns(
+        ColumnStore.build(dataset)).rows() == expected
+    executor = ParallelExecutor(dataset, workers=2, mode="thread")
+    try:
+        assert executor.select(condition) == expected
+    finally:
+        executor.close()
+
+
+@settings(max_examples=100, deadline=None)
+@given(nested_datasets(), nested_datasets(prefix="x"), nested_conditions)
+def test_nested_patched_store_equals_rebuild(initial, extra, condition):
+    """Copy-on-write patching over nested rows (tombstones,
+    resurrection, appends introducing new path columns) answers exactly
+    like a fresh shred of the final data."""
+    store = ColumnStore.build(initial)
+    current = set(initial)
+    additions = [datum for datum in extra if datum not in current]
+    store = store.patched([], additions)
+    current.update(additions)
+    removals = sorted(current, key=repr)[::2]
+    store = store.patched(removals, [])
+    current.difference_update(removals)
+    if removals:
+        store = store.patched([], removals[:1])
+        current.add(removals[0])
+
+    dataset = DataSet(current)
+    patched_query = Query(dataset).where(condition).with_columns(store)
+    fresh_query = Query(dataset).where(condition).with_columns(
+        ColumnStore.build(dataset))
+    expected = patched_query.run(naive=True)
+    assert patched_query.run() == expected
+    assert fresh_query.run() == expected
+
+
+@settings(max_examples=100, deadline=None)
+@given(nested_datasets(), nested_conditions)
+def test_nested_store_wire_roundtrip_is_predicate_equivalent(dataset,
+                                                             condition):
+    """Path columns shipped through the binary shard codec answer every
+    condition with the same match positions as the original store.
+    (Structural row equality is deliberately not asserted: fields that
+    reach nothing are dropped on the wire, predicate-equivalently.)"""
+    from repro.binary_codec import Decoder, Encoder
+    from repro.query.planner import columnar_shard_positions
+
+    store = ColumnStore.build(dataset)
+    buffer = io.BytesIO()
+    encoder = Encoder(buffer)
+    write_column_shard(encoder, store)
+    encoder.flush()
+    decoded = read_column_shard(
+        Decoder(io.BytesIO(buffer.getvalue()), intern=True))
+    assert decoded.size == store.size
+    assert decoded.shredded_count == store.shredded_count
+    assert decoded.paths == store.paths
+    assert (columnar_shard_positions(decoded, condition)
+            == columnar_shard_positions(store, condition))

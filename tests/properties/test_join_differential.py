@@ -3,7 +3,9 @@ definitions.
 
 Three families of invariants, all over Hypothesis-generated data that
 includes the hard cases — or-values and ⊥ on join keys, missing
-attributes, leaf sets, nested tuples forcing the columnar residue:
+attributes, leaf sets, and nested documents whose join keys and group
+paths live behind interior tuples (plain, or-valued, ⊥-possible or
+set-wrapped, i.e. every multi-level shred class incl. opaque):
 
 * the vectorized hash join (either build side, columnar or row-list
   inputs) returns exactly the nested-loop oracle's pairs, ``maybe``
@@ -204,6 +206,134 @@ def test_grouped_partial_merge_equals_sequential(dataset, shards, group):
                       grouped_from_payload(grouped_payload(partial)))
     assert finish_grouped(merged) == group_aggregate_rows(
         dataset, group, AGGS)
+
+
+# ---------------------------------------------------------------------------
+# Nested documents: join keys and group paths behind interior tuples.
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def nested_rows(draw, prefix):
+    """``key``/``year`` live one tuple-level down behind ``meta``, which
+    is itself drawn from every interior shred class: plain tuple
+    (shredded path columns), or-valued / ⊥-possible / set-wrapped tuple
+    (opaque — per-row fallback), or missing entirely."""
+    inner = {}
+    if draw(st.booleans()):
+        inner["key"] = draw(key_values)
+    if draw(st.booleans()):
+        inner["year"] = draw(year_values)
+    shape = draw(st.integers(0, 3))
+    fields = {}
+    if shape == 0:
+        fields["meta"] = tup(**inner)
+    elif shape == 1:
+        fields["meta"] = orv(tup(**inner), bottom)
+    elif shape == 2:
+        fields["meta"] = cset(tup(**inner))
+    if draw(st.booleans()):
+        fields["type"] = Atom(draw(st.sampled_from(("a", "b"))))
+    return Data(Marker(f"{prefix}{draw(st.integers(0, 10 ** 6))}"),
+                tup(**fields))
+
+
+def nested_datasets(prefix, max_size=8):
+    return st.lists(nested_rows(prefix), max_size=max_size,
+                    unique_by=lambda d: d.marker).map(DataSet)
+
+
+nested_conditions = st.one_of(
+    st.none(),
+    st.just(Exists("meta.key")),
+    st.just(Ge("meta.year", 2)),
+    st.just(Eq("type", "a")),
+    st.just(And(Exists("meta.year"), Exists("meta.key"))),
+)
+
+nested_on_paths = st.one_of(st.just("meta.key"),
+                            st.just(("meta.key", "meta.year")))
+
+
+@CASES
+@given(nested_datasets("l"), nested_datasets("r"), nested_on_paths)
+def test_hash_join_on_nested_paths_matches_nested_loop(left, right, on):
+    steps = (on,) if isinstance(on, str) else on
+    expected = nested_loop_join(list(left), list(right), steps)
+    assert hash_join(list(left), list(right), steps,
+                     build="left") == expected
+    assert hash_join(list(left), list(right), steps,
+                     build="right") == expected
+
+
+@CASES
+@given(nested_datasets("l"), nested_datasets("r"),
+       nested_conditions, nested_conditions, nested_on_paths)
+def test_join_query_on_nested_paths_matches_naive(left, right, lcond,
+                                                  rcond, on):
+    """The vectorized build/probe over nested path columns equals the
+    nested-loop oracle under nested-path side conditions."""
+    left_query = Query(left).with_columns(ColumnStore.build(left))
+    right_query = Query(right).with_columns(ColumnStore.build(right))
+    if lcond is not None:
+        left_query = left_query.where(lcond)
+    if rcond is not None:
+        right_query = right_query.where(rcond)
+    join = JoinQuery(left_query, right_query, on)
+    assert join.rows() == join.rows(naive=True)
+
+
+NESTED_AGGS = {
+    "count(*)": Count(),
+    "count(meta.year)": Count("meta.year"),
+    "sum(meta.year)": Sum("meta.year"),
+    "min(meta.year)": Min("meta.year"),
+    "max(meta.year)": Max("meta.year"),
+    "collect(meta.key)": Collect("meta.key"),
+    "collect(meta.year.inner)": Collect("meta.year.inner"),
+}
+
+
+@CASES
+@given(nested_datasets("a"), nested_conditions)
+def test_nested_columnar_aggregates_match_row_oracle(dataset, condition):
+    query = Query(dataset).with_columns(ColumnStore.build(dataset))
+    if condition is not None:
+        query = query.where(condition)
+    assert query.aggregate(**NESTED_AGGS) == query.aggregate(
+        **NESTED_AGGS, naive=True)
+
+
+@CASES
+@given(nested_datasets("a"), nested_conditions,
+       st.sampled_from(("meta.key", "meta.year", "type")))
+def test_nested_grouped_columnar_matches_row_oracle(dataset, condition,
+                                                    group):
+    query = Query(dataset).with_columns(ColumnStore.build(dataset))
+    if condition is not None:
+        query = query.where(condition)
+    assert query.group_aggregate(group, **NESTED_AGGS) == \
+        query.group_aggregate(group, **NESTED_AGGS, naive=True)
+
+
+@CASES
+@given(nested_datasets("a", max_size=10),
+       st.integers(min_value=1, max_value=4),
+       st.sampled_from(("meta.key", "type")))
+def test_nested_grouped_partial_merge_equals_sequential(dataset, shards,
+                                                        group):
+    """Partial grouped aggregation on a nested group path survives
+    arbitrary sharding, the wire payload and merge order."""
+    store = ColumnStore.build(dataset)
+    positions = bit_positions(store.universe_mask | store.residue_mask)
+    merged = {}
+    for shard in range(shards):
+        mask = sum(1 << p for p in positions[shard::shards])
+        partial = partial_group_columnar(store, mask, group, NESTED_AGGS)
+        merge_grouped(merged,
+                      grouped_from_payload(grouped_payload(partial)))
+    assert finish_grouped(merged) == group_aggregate_rows(
+        dataset, group, NESTED_AGGS)
 
 
 @settings(max_examples=40, deadline=None)

@@ -147,7 +147,7 @@ class TestTriStateEvaluation:
                                     Lt("year", 2002))),
         Eq("year", 1990),   # or-value disjunct: maybe row
         Ne("year", 1990),
-        Exists("venue.name"),            # multi-step: residue only
+        Exists("venue.name"),            # multi-step: nested path column
         Eq("venue.year", 2000),
         Not(Exists("missing")),          # matches everything
     ]
@@ -208,6 +208,27 @@ class TestExplainRows:
         data = library()
         plan = Query(data).where(WeirdCondition()).explain()
         assert plan.estimated_rows == len(data)
+
+    def test_columnar_plan_reports_shred_coverage(self):
+        """Columnar plans expose the shredded/residue split so residue
+        regressions are visible straight from ``explain()``."""
+        data = library()
+        store = ColumnStore.build(data)
+        plan = columnar_query(Eq("venue.year", 2000)).explain(
+            analyze=True)
+        assert plan.strategy == "columnar"
+        assert plan.shredded_rows == store.shredded_count
+        assert plan.residue_rows == store.residue_count
+        assert plan.shredded_rows + plan.residue_rows == len(data)
+        text = plan.describe()
+        assert f"shredded rows: {plan.shredded_rows}" in text
+        assert f"residue rows: {plan.residue_rows}" in text
+
+    def test_row_scan_plan_has_no_shred_counts(self):
+        plan = Query(library()).where(WeirdCondition()).explain()
+        assert plan.shredded_rows is None
+        assert plan.residue_rows is None
+        assert "shredded rows:" not in plan.describe()
 
     def test_index_estimates_probe_selectivity(self):
         data = library()
@@ -321,5 +342,25 @@ class TestCliExplain:
         assert status == 0
         output = capsys.readouterr().out
         assert "columnar:" in output
+        assert "shredded rows:" in output
+        assert "residue rows:" in output
         assert "estimated rows:" in output
         assert "actual rows:" in output
+
+    def test_query_explain_nested_path(self, tmp_path, capsys):
+        """A multi-step path condition still plans columnar and reports
+        the shred coverage of the store."""
+        from repro.cli import main
+        from repro.json_codec.codec import dumps_dataset
+
+        data = library()
+        store = ColumnStore.build(data)
+        source = tmp_path / "lib.json"
+        source.write_text(dumps_dataset(data))
+        status = main(["query", str(source),
+                       'select * where venue.year = 2000', "--explain"])
+        assert status == 0
+        output = capsys.readouterr().out
+        assert "columnar:" in output
+        assert f"shredded rows: {store.shredded_count}" in output
+        assert f"residue rows: {store.residue_count}" in output

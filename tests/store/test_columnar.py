@@ -1,12 +1,15 @@
 """Unit tests for the columnar shredding layer.
 
-Covers the shred classification rules (scalar / irregular sidecar /
-row-fallback residue / field-less tops), the bitset plumbing,
-copy-on-write ``patched()`` including tombstones, resurrection and the
-compacting drift rebuild, the column-shard wire format, and the
-≥600-deep pathological-nesting regression the binary codec set the
-precedent for: analysis is iterative (and guarded), so deep objects
-classify without blowing the recursion limit.
+Covers the multi-level shred classification rules (scalar / irregular
+sidecar / tuple-interior / opaque / row-fallback residue / field-less
+tops), the path-keyed columns and per-level bitset semantics, the
+bitset plumbing, copy-on-write ``patched()`` including tombstones,
+resurrection and the compacting drift rebuild, the column-shard wire
+format with nested re-materialization, and the ≥600-deep
+pathological-nesting regression the binary codec set the precedent
+for: analysis is iterative (and guarded), so deep objects classify
+without blowing the recursion limit — tuple chains past the
+shred-depth cap truncate into opaque entries instead of overflowing.
 """
 
 import io
@@ -67,24 +70,41 @@ class TestBuildClassification:
     def test_scalar_rows_shred(self):
         store = ColumnStore.build(library())
         assert store.size == 7
-        # Everything but the nested-tuple row is answerable by columns.
-        assert store.shredded_count == 6
-        assert store.residue_count == 1
+        # Every row — the nested-tuple one included — is answerable by
+        # the path columns; nothing falls to the residue.
+        assert store.shredded_count == 7
+        assert store.residue_count == 0
         assert "year" in store.labels and "author" in store.labels
 
-    def test_nested_tuple_is_residue(self):
+    def test_nested_tuple_shreds_into_path_columns(self):
         store = ColumnStore.build(DataSet([
             datum("r", tup(type=atom("Article"),
                            venue=tup(name="EDBT"))),
         ]))
-        assert store.shredded_count == 0
-        assert store.residue_count == 1
+        assert store.shredded_count == 1
+        assert store.residue_count == 0
+        assert "venue" in store.labels
+        assert "venue.name" in store.labels
+        # The interior is definite: the path column answers exactly.
+        true_bits, maybe_bits = store.leaf_eq(("venue", "name"),
+                                              Atom("EDBT"))
+        assert true_bits == 1 and maybe_bits == 0
+        # The intermediate itself exists definitely (it is a value).
+        true_bits, maybe_bits = store.leaf_exists(("venue",))
+        assert true_bits == 1 and maybe_bits == 0
 
-    def test_tuple_inside_set_is_residue(self):
+    def test_tuple_inside_set_is_opaque(self):
         store = ColumnStore.build(DataSet([
             datum("r", tup(parts=cset(tup(x=atom(1))))),
         ]))
-        assert store.residue_count == 1
+        # The row shreds; the set-of-tuples entry is opaque, so the
+        # exact path is per-row and every descendant is a maybe.
+        assert store.residue_count == 0
+        assert store.shredded_count == 1
+        true_bits, maybe_bits = store.leaf_exists(("parts",))
+        assert true_bits == 1 and maybe_bits == 0
+        true_bits, maybe_bits = store.leaf_eq(("parts", "x"), Atom(1))
+        assert true_bits == 0 and maybe_bits == 1
 
     def test_tuple_subclass_is_residue(self):
         class OddTuple(Tuple):
@@ -109,12 +129,32 @@ class TestBuildClassification:
         ]))
         assert store.residue_count == 1
 
-    def test_or_value_field_is_irregular(self):
+    def test_or_value_field_resolves_from_possible_values(self):
         store = ColumnStore.build(DataSet([
             datum("d", tup(year=orv(1990, 1991))),
         ]))
-        true_bits, maybe_bits = store.leaf_eq(("year",), Atom(1990))
-        assert true_bits == 0 and maybe_bits != 0
+        # The entry is irregular, but eq is existential over reached
+        # values, so the possible-value sidecar answers exactly: 1990
+        # is a possible value (definite hit), 1992 is not (definite
+        # miss) — no per-row maybe either way.
+        column = store.column(("year",))
+        assert column.irregular != 0
+        assert store.leaf_eq(("year",), Atom(1990)) == (1, 0)
+        assert store.leaf_eq(("year",), Atom(1992)) == (0, 0)
+        assert store.leaf_ordered(("year",), "ge", 1991) == (1, 0)
+        assert store.leaf_ordered(("year",), "gt", 1991) == (0, 0)
+
+    def test_marker_valued_field_stays_per_row(self):
+        store = ColumnStore.build(DataSet([
+            datum("d", tup(ref=orv(Marker("m1"), 7))),
+        ]))
+        # A non-atomic possible value (the marker) keeps the row in
+        # the maybe set for value predicates — unless an atom
+        # alternative already decides the leaf definitively.
+        true_bits, maybe_bits = store.leaf_eq(("ref",), Atom(8))
+        assert true_bits == 0 and maybe_bits == 1
+        true_bits, maybe_bits = store.leaf_eq(("ref",), Atom(7))
+        assert true_bits == 1 and maybe_bits == 0
 
     def test_empty_set_field_reads_as_absent(self):
         data = DataSet([datum("d", tup(tags=cset(), type=atom("X")))])
@@ -145,13 +185,36 @@ class TestBuildClassification:
             query = Query(data).where(Eq("v", value)).with_columns(store)
             assert query.run() == query.run(naive=True)
 
-    def test_multi_step_paths_reach_nothing_on_shredded_rows(self):
+    def test_multi_step_paths_answer_from_path_columns(self):
         data = library()
         store = ColumnStore.build(data)
         query = (Query(data).where(Exists("venue.name"))
                  .with_columns(store))
-        # Only the residue row can answer a nested path; shredded rows
-        # are definite misses by the shred invariant.
+        # The nested-venue row answers definitively from the
+        # ("venue", "name") column; every other row is a definite miss.
+        assert query.run() == query.run(naive=True)
+        assert len(query.run()) == 1
+        true_bits, maybe_bits = store.leaf_exists(("venue", "name"))
+        assert true_bits.bit_count() == 1 and maybe_bits == 0
+
+    def test_missing_leaf_vs_missing_intermediate(self):
+        data = DataSet([
+            datum("full", tup(author=tup(name=tup(last=atom("Smith"))))),
+            datum("noleaf", tup(author=tup(name=tup(first=atom("Al"))))),
+            datum("nomid", tup(author=tup(affil=atom("MIT")))),
+            datum("orint", tup(author=orv(tup(name=tup(last=atom("Li"))),
+                                          tup(name=tup(last=atom("Wu")))))),
+        ])
+        store = ColumnStore.build(data)
+        # A missing leaf, a missing intermediate and an or-valued
+        # intermediate leave three different bit patterns: the first
+        # two are definite misses, the or-valued one is a maybe.
+        true_bits, maybe_bits = store.leaf_exists(
+            ("author", "name", "last"))
+        assert true_bits.bit_count() == 1          # only "full"
+        assert maybe_bits.bit_count() == 1         # only "orint"
+        query = (Query(data).where(Eq("author.name.last", "Smith"))
+                 .with_columns(store))
         assert query.run() == query.run(naive=True)
         assert len(query.run()) == 1
 
@@ -184,7 +247,10 @@ class TestPatched:
         patched = store.patched([], extra)
         assert patched.size == store.size + 2
         assert "pages" in patched.labels
-        assert patched.residue_count == store.residue_count + 1
+        # The nested-venue row shreds too: the append merges its new
+        # nested path column into the store.
+        assert "venue.x" in patched.labels
+        assert patched.residue_count == store.residue_count
         combined = DataSet(data + extra)
         query = (Query(combined).where(Ge("pages", 10))
                  .with_columns(patched))
@@ -309,12 +375,42 @@ class TestDeepNesting:
         true_bits, maybe_bits = store.leaf_eq(("type",), Atom("Flat"))
         assert true_bits.bit_count() == 1
 
-    def test_deep_tuple_chain_falls_to_residue(self):
+    def test_deep_tuple_chain_truncates_at_shred_depth(self):
+        from repro.store.columnar import DEFAULT_SHRED_DEPTH
+
         rows = [datum("deep", tup(blob=deep_tuple(DEPTH))),
                 flat("flat", type="Flat")]
         store = ColumnStore.build(rows, ordered=False)
-        assert store.residue_count == 1
-        assert store.shredded_count == 1
+        # The chain shreds down to the cap and becomes one opaque
+        # entry there — no residue, no recursion-limit blowup.
+        assert store.residue_count == 0
+        assert store.shredded_count == 2
+        assert max(len(path) for path in store.paths) \
+            == DEFAULT_SHRED_DEPTH
+        capped = ("blob",) + ("a",) * (DEFAULT_SHRED_DEPTH - 1)
+        column = store.column(capped)
+        assert column.opaque != 0
+        # Beyond the cap the columns answer "maybe", never "no".
+        beyond = capped + ("a",)
+        true_bits, maybe_bits = store.leaf_exists(beyond)
+        assert true_bits == 0 and maybe_bits.bit_count() == 1
+
+    def test_shred_depth_is_configurable(self):
+        rows = [datum("d", tup(a=tup(b=tup(c=atom(1)))))]
+        deep = ColumnStore.build(rows, ordered=False)
+        assert deep.column(("a", "b", "c")) is not None
+        shallow = ColumnStore.build(rows, ordered=False, shred_depth=2)
+        assert shallow.column(("a", "b", "c")) is None
+        column = shallow.column(("a", "b"))
+        assert column is not None and column.opaque != 0
+        # Both depths answer queries identically (the shallow one via
+        # the opaque maybe fallback).
+        data = DataSet(rows)
+        for store in (deep, shallow):
+            query = (Query(data).where(Eq("a.b.c", 1))
+                     .with_columns(store))
+            assert query.run() == query.run(naive=True)
+            assert len(query.run()) == 1
 
     def test_deep_top_level_set_shreds_fieldless(self):
         rows = [datum("deep", deep_set(DEPTH))]

@@ -57,6 +57,8 @@ REGISTRY: dict[str, tuple[str, tuple[str, ...]]] = {
              ("join_speedup", "group_agg_speedup")),
     "merge_pipeline": ("benchmarks/bench_merge_pipeline.py",
                        ("speedup_blocked", "speedup_indexed")),
+    "nested": ("benchmarks/bench_nested.py",
+               ("nested_residual_speedup", "group_agg_speedup")),
     "query_planner": ("benchmarks/bench_query_planner.py",
                       ("phases.point_lookup.speedup",
                        "phases.conjunctive.speedup")),
