@@ -20,14 +20,24 @@ compaction buys:
 * ``compaction`` — reopening the full-log store vs reopening an
   identical store after ``compact()``; the ratio is
   ``recovery_speedup``, the restart-latency payoff of folding the log
-  into the snapshot.
+  into the snapshot;
+* ``multi_writer`` — N concurrent writer threads × M commits each
+  against a group-commit store (leader batches frames, one fsync per
+  batch) vs the same workload with ``group_commit=False`` (every
+  commit pays its own serialized fsync); the headline
+  ``group_commit_speedup`` is the median ratio over interleaved
+  serialized/group measurement pairs — the fsync amortization the
+  committer protocol exists to provide.
 
 Correctness oracles run on **every** run, full and smoke: the reopened
 store equals the live one, the compacted store equals the uncompacted
-one, replaying a log prefix lands on exactly that generation, and
+one, replaying a log prefix lands on exactly that generation,
 point-in-time recovery reproduces the state the workload recorded
-mid-build. ``recovery_speedup`` and ``batch_commit_speedup`` are gated
-by ``tools/check_bench_regression.py``; the full run additionally
+mid-build, and both multi-writer stores land on exactly the state a
+sequential oracle commits — live and after reopening from disk.
+``recovery_speedup``, ``batch_commit_speedup`` and
+``group_commit_speedup`` are gated by
+``tools/check_bench_regression.py``; the full run additionally
 enforces mild absolute floors.
 
 Standalone (CI smoke-runs it; pytest is not required)::
@@ -43,8 +53,10 @@ import argparse
 import gc
 import json
 import shutil
+import statistics
 import sys
 import tempfile
+import threading
 import time
 from pathlib import Path
 
@@ -52,23 +64,48 @@ _SRC = str(Path(__file__).resolve().parents[1] / "src")
 sys.path.insert(0, _SRC)
 
 from repro.core.builder import data, tup  # noqa: E402
-from repro.core.intern import clear_pool  # noqa: E402
+from repro.core.intern import clear_pool, intern_data  # noqa: E402
 from repro.store.database import Database  # noqa: E402
 from repro.store.wal import scan_wal, wal_path  # noqa: E402
 
-#: Full-run acceptance floors for the two gated headline ratios.
+#: Full-run acceptance floors for the gated headline ratios.
 MIN_RECOVERY_SPEEDUP = 1.2
 MIN_BATCH_SPEEDUP = 3.0
+MIN_GROUP_SPEEDUP = 2.0
+
+#: Multi-writer phase shape (the acceptance bar is 8 writers).
+WRITERS = 8
+
+#: Leader linger for the group-commit store. Without it, batch size
+#: self-balances around fsync_time / per-commit CPU (≈4 on this class
+#: of machine); a sub-millisecond linger lets the whole writer pool
+#: pile into each batch, which is what the knob exists for.
+COMMIT_INTERVAL = 0.0003
 
 #: Each timed phase runs this many times and reports the fastest —
 #: the min damps scheduler and page-cache noise on shared machines.
 REPEAT = 3
+
+#: Interleaved serialized/group measurement pairs in the multi-writer
+#: phase. The disk's fsync cost drifts over a run's lifetime, so a
+#: min-of-N per mode can compare a cheap-fsync serialized epoch
+#: against an expensive-fsync group epoch; pairing the two drives
+#: back-to-back correlates the drift out and the median of the
+#: per-pair ratios damps outlier pairs.
+ROUNDS = 5
 
 
 def _row(i: int):
     return data(f"m{i}", tup(type="Article", title=f"T{i % 50}",
                              year=1980 + i % 40, author=f"A{i % 17}",
                              pages=i))
+
+
+def _commit_row(i: int):
+    """A deliberately small datum for the multi-writer phase: the
+    phase measures the commit protocol, so per-row encoding CPU is
+    kept minimal (it is identical in both modes either way)."""
+    return data(f"w{i}", tup(kind="commit", seq=i))
 
 
 def _cold():
@@ -169,6 +206,119 @@ def _phase_batch_commit(commits: int) -> dict:
     }
 
 
+def _phase_multi_writer(writers: int, per_writer: int,
+                        ) -> tuple[dict, list[str]]:
+    """N threads × M commits each: group commit vs serialized fsync.
+
+    Both stores run the identical concurrent insert workload; the only
+    difference is the commit protocol. The equality oracle holds each
+    final state — live and reopened from disk — to the sequential
+    reference, so the speedup can never come from dropping or tearing
+    a commit.
+
+    Rows are pre-interned outside the timed section and the intern
+    pool is deliberately left warm: both modes commit identical
+    canonical rows, so the ratio isolates the commit protocol instead
+    of hash-consing cost.
+    """
+    total = writers * per_writer
+    per_thread = [[intern_data(_commit_row(w * per_writer + i))
+                   for i in range(per_writer)]
+                  for w in range(writers)]
+    reference = Database()
+    for rows in per_thread:
+        for row in rows:
+            reference.insert(row)
+    reference_state = reference.snapshot()
+    failures: list[str] = []
+
+    def drive(group_commit: bool) -> tuple[float, int]:
+        label = "group" if group_commit else "serialized"
+        tmp = Path(tempfile.mkdtemp(prefix="repro-bench-wal-"))
+        try:
+            db = Database.open(
+                tmp / "db.bin", auto_compact=False,
+                group_commit=group_commit,
+                commit_interval=COMMIT_INTERVAL if group_commit
+                else 0.0)
+            barrier = threading.Barrier(writers + 1)
+            errors: list[BaseException] = []
+
+            def work(rows) -> None:
+                try:
+                    barrier.wait()
+                    for row in rows:
+                        db.insert(row)
+                except BaseException as exc:  # pragma: no cover
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=work, args=(rows,))
+                       for rows in per_thread]
+            for thread in threads:
+                thread.start()
+            barrier.wait()
+            start = time.perf_counter()
+            for thread in threads:
+                thread.join()
+            elapsed = time.perf_counter() - start
+            if errors:
+                failures.append(f"{label} writer raised: {errors[0]!r}")
+            if db.generation != total:
+                failures.append(
+                    f"{label} store ended at generation "
+                    f"{db.generation}, not {total}")
+            if db.snapshot() != reference_state:
+                failures.append(
+                    f"{label} store differs from the sequential "
+                    f"reference")
+            sync_batches = db.wal.sync_batches
+            db.close()
+            reopened = Database.open(tmp / "db.bin",
+                                     auto_compact=False)
+            if reopened.generation != total or \
+                    reopened.snapshot() != reference_state:
+                failures.append(
+                    f"reopened {label} store differs from the "
+                    f"sequential reference")
+            reopened.close()
+            return elapsed, sync_batches
+        finally:
+            shutil.rmtree(tmp, ignore_errors=True)
+
+    # Interleaved pairs: each round times the *threaded section* only
+    # (drive's own timer) for both modes back-to-back, so slow-fsync
+    # epochs hit both sides of every ratio (see ROUNDS).
+    serialized_times: list[float] = []
+    group_times: list[float] = []
+    batch_counts: list[int] = []
+    ratios: list[float] = []
+    for _ in range(ROUNDS):
+        gc.collect()
+        serialized_elapsed, _ = drive(False)
+        group_elapsed, sync_batches = drive(True)
+        serialized_times.append(serialized_elapsed)
+        group_times.append(group_elapsed)
+        batch_counts.append(sync_batches)
+        if group_elapsed:
+            ratios.append(serialized_elapsed / group_elapsed)
+    group_batches = int(statistics.median(batch_counts))
+    return {
+        "writers": writers,
+        "per_writer": per_writer,
+        "commits": total,
+        "commit_interval": COMMIT_INTERVAL,
+        "rounds": ROUNDS,
+        "serialized_seconds": round(
+            statistics.median(serialized_times), 6),
+        "group_seconds": round(statistics.median(group_times), 6),
+        "group_sync_batches": group_batches,
+        "group_mean_batch": round(total / group_batches, 2)
+        if group_batches else None,
+        "group_commit_speedup": round(statistics.median(ratios), 2)
+        if ratios else None,
+    }, failures
+
+
 def _timed_open(path: Path) -> tuple[float, int]:
     """Cold ``Database.open`` wall time and the landed generation."""
 
@@ -182,9 +332,11 @@ def _timed_open(path: Path) -> tuple[float, int]:
     return _best(action, before=_cold)
 
 
-def run(commits: int) -> dict:
+def run(commits: int, per_writer: int) -> dict:
     report: dict = {"benchmark": "wal",
-                    "workload": {"commits": commits}}
+                    "workload": {"commits": commits,
+                                 "writers": WRITERS,
+                                 "per_writer": per_writer}}
     oracle_failures: list[str] = []
     with tempfile.TemporaryDirectory(prefix="repro-bench-wal-") as tmp:
         base = Path(tmp)
@@ -260,6 +412,10 @@ def run(commits: int) -> dict:
 
         report["commit_latency"] = _phase_commit_latency(commits)
         report["batch_commit"] = _phase_batch_commit(commits)
+        multi_writer, multi_failures = _phase_multi_writer(
+            WRITERS, per_writer)
+        oracle_failures.extend(multi_failures)
+        report["multi_writer"] = multi_writer
         report["recovery"] = recovery
         report["compaction"] = {
             "full_wal_open_seconds": full_open_seconds,
@@ -273,6 +429,8 @@ def run(commits: int) -> dict:
         if compacted_open_seconds else None
     report["batch_commit_speedup"] = \
         report["batch_commit"]["batch_commit_speedup"]
+    report["group_commit_speedup"] = \
+        report["multi_writer"]["group_commit_speedup"]
     report["commit_overhead_x"] = \
         report["commit_latency"]["commit_overhead_x"]
     report["oracle_failures"] = oracle_failures
@@ -290,7 +448,8 @@ def main(argv: list[str] | None = None) -> int:
                         help="write the JSON report to this path")
     args = parser.parse_args(argv)
 
-    report = run(commits=80 if args.smoke else 600)
+    report = run(commits=80 if args.smoke else 600,
+                 per_writer=8 if args.smoke else 30)
 
     text = json.dumps(report, indent=2)
     print(text)
@@ -303,7 +462,8 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     if not args.smoke:
         floors = (("recovery_speedup", MIN_RECOVERY_SPEEDUP),
-                  ("batch_commit_speedup", MIN_BATCH_SPEEDUP))
+                  ("batch_commit_speedup", MIN_BATCH_SPEEDUP),
+                  ("group_commit_speedup", MIN_GROUP_SPEEDUP))
         for ratio, floor in floors:
             if report[ratio] is None or report[ratio] < floor:
                 print(f"FAIL: {ratio} {report[ratio]}x is below the "

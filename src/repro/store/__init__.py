@@ -54,7 +54,15 @@ from repro.store.ops import (
     indexed_intersection,
     indexed_union,
 )
-from repro.store.wal import WalFrame, WalScan, WriteAheadLog, scan_wal
+from repro.store.fsutil import fsync_directory
+from repro.store.wal import (
+    CommitTicket,
+    GroupCommitter,
+    WalFrame,
+    WalScan,
+    WriteAheadLog,
+    scan_wal,
+)
 
 __all__ = [
     "AttrIndex",
@@ -63,6 +71,7 @@ __all__ = [
     "blocked_union", "fold_union", "IncrementalUnion", "UnionDiff",
     "Database", "DatabaseView", "LRUCache", "QueryResultCache",
     "WriteAheadLog", "WalFrame", "WalScan", "scan_wal",
+    "CommitTicket", "GroupCommitter", "fsync_directory",
     "ColumnStore", "Column", "bit_positions",
     "write_column_shard", "read_column_shard",
 ]

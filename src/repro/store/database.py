@@ -44,7 +44,18 @@ as open work; this module is that implementation at library scale:
   log-on-top-of-snapshot when reopening (torn tails truncated, never
   fatal), compacts snapshot + log past a size threshold on a
   background thread, and recovers to any logged generation
-  (:meth:`Database.recover_to`).
+  (:meth:`Database.recover_to`);
+* **group commit** for concurrent writers: each committer encodes its
+  frame body *outside* the writer lock, registers a
+  :class:`~repro.store.wal.CommitTicket` and blocks on the
+  :class:`~repro.store.wal.GroupCommitter` barrier; one elected
+  leader writes and fsyncs the whole batch with a single syscall pair
+  and publishes the batch's final state, so the dominant fsync cost
+  amortizes across every writer in the batch
+  (``Database.open(..., group_commit=False)`` restores the serialized
+  per-commit fsync, ``commit_interval`` coalesces even
+  non-overlapping writers, and :meth:`Database.apply_many` lets bulk
+  ingest ride one frame).
 
 The memory-model assumption is CPython's: publishing a fully built
 state record by assigning one attribute is atomic under the GIL, and
@@ -74,11 +85,16 @@ from repro.json_codec.codec import decode_dataset, encode_dataset
 from repro.store.attr_index import AttrIndex
 from repro.store.bulk import blocked_union, union_diff
 from repro.store.cache import LRUCache, QueryResultCache
+from repro.store.fsutil import fsync_directory
 from repro.store.index import KeyIndex
 from repro.store.wal import (
+    CommitTicket,
+    GroupCommitter,
     WalFrame,
     WriteAheadLog,
     _maybe_crash,
+    encode_frame_body,
+    frame_from_body,
     scan_wal,
     wal_path,
 )
@@ -274,8 +290,23 @@ class Database:
         self._compact_bytes = _COMPACT_BYTES
         self._auto_compact = False
         self._compact_lock = threading.Lock()
+        self._compact_spawn = threading.Lock()
         self._compact_thread: threading.Thread | None = None
+        # Group-commit runtime. ``_publish_lock`` keeps the pair
+        # "(log contents, published state)" mutually consistent: every
+        # append+publish — a leader's batch, a serialized commit, a
+        # compaction's pin and swap — happens inside it. Lock order is
+        # strictly ``_lock → _publish_lock``; nothing acquires the
+        # writer lock while holding the publish lock.
+        self._publish_lock = threading.Lock()
+        self._committer: GroupCommitter | None = None
         self._state = state
+        # The head of the commit chain: the latest *built* state,
+        # published or not. Writers extend the chain off ``_head``
+        # under the writer lock; the batch leader publishes to
+        # ``_state`` once the frames are durable. With no pending
+        # tickets the two are the same object.
+        self._head = state
 
     def _canonical(self, datum: Data) -> Data:
         return intern_data(datum) if self._intern else datum
@@ -333,29 +364,70 @@ class Database:
 
     # -- updates ---------------------------------------------------------------
 
-    def _apply(self, removed: Iterable[Data], added: Iterable[Data],
-               ) -> tuple[tuple[Data, ...], tuple[Data, ...]]:
-        """Apply one write batch; returns the net ``(removed, added)``.
+    def _precompute(self, removed: Iterable[Data],
+                    added: Iterable[Data]):
+        """Optimistically compute the net delta and encode the frame
+        body *outside* the writer lock.
 
-        Must run under the writer lock. The next state is assembled
-        copy-on-write off the current one, the write-ahead log (when
-        the database is durable) appends and fsyncs the net diff, the
-        result cache commits the epoch step, and only then is the new
-        generation published — a reader that pins the old state
-        mid-write keeps a fully consistent view, no reader at the new
-        generation can ever hit a stale cache entry, and no reader can
-        ever observe a generation whose frame is not on disk.
+        The body (one codec record per datum) is the expensive part of
+        a commit; the delta is derived against the head state as of
+        this instant and encoded speculatively, with that head pinned
+        in the result. Under the lock, :meth:`_apply_locked` reuses
+        delta and body wholesale when the head is still the same
+        object — the common, uncontended case — and falls back to
+        recomputing both when a concurrent writer moved the chain.
         """
-        state = self._state
+        head = self._head
         added_set = set(added)
         removed_set = set(removed)
         delta_removed = tuple(datum for datum in removed_set
-                              if datum in state.data
+                              if datum in head.data
                               and datum not in added_set)
         delta_added = tuple(datum for datum in added_set
-                            if datum not in state.data)
+                            if datum not in head.data)
         if not delta_removed and not delta_added:
-            return (), ()
+            return None
+        return (head, delta_removed, delta_added,
+                encode_frame_body(delta_removed, delta_added))
+
+    def _apply_locked(self, removed: Iterable[Data],
+                      added: Iterable[Data], pre=None,
+                      ) -> tuple[tuple[Data, ...], tuple[Data, ...],
+                                 CommitTicket | None]:
+        """Extend the commit chain by one write batch (writer lock
+        held); returns ``(net removed, net added, ticket)``.
+
+        The next state is assembled copy-on-write off the chain head.
+        How it becomes visible depends on the durability mode:
+
+        * transient (no log): cache epoch committed and the state
+          published inline — same as ever;
+        * serialized durable (``group_commit=False``): append + fsync
+          + publish under the publish lock, one fsync per commit;
+        * group commit: the frame is encoded (reusing ``pre`` from
+          :meth:`_precompute` when the delta still matches), a
+          :class:`CommitTicket` is registered, and the *caller* must
+          block on the committer barrier via :meth:`_finish` — after
+          releasing the writer lock, so a waiting follower never
+          stalls other writers' chain building.
+        """
+        state = self._head
+        if pre is not None and pre[0] is state:
+            # Uncontended fast path: the head the speculative encode
+            # ran against is still the head, so its delta (and frame
+            # body) are exact — nothing to recompute under the lock.
+            _, delta_removed, delta_added, body = pre
+        else:
+            body = None
+            added_set = set(added)
+            removed_set = set(removed)
+            delta_removed = tuple(datum for datum in removed_set
+                                  if datum in state.data
+                                  and datum not in added_set)
+            delta_added = tuple(datum for datum in added_set
+                                if datum not in state.data)
+        if not delta_removed and not delta_added:
+            return (), (), None
         new_data = frozenset(
             (state.data - frozenset(delta_removed)) | frozenset(delta_added))
         attr_index, touched = state.attr_index.patched(
@@ -377,29 +449,120 @@ class Database:
                      else prev_columns.patched(delta_removed,
                                                delta_added)),
         )
+        cache_step = (state.generation, next_state.generation,
+                      delta_removed + delta_added, touched,
+                      attr_index.paths)
         log = self._wal
-        if log is not None:
-            # Write-ahead ordering: the frame must be durable before
+        if log is None:
+            self._results.commit(*cache_step)
+            self._head = next_state
+            self._state = next_state
+            return delta_removed, delta_added, None
+        if self._committer is None:
+            # Serialized baseline: the frame must be durable before
             # any reader can pin the generation it creates. An append
-            # failure leaves the old state published and the log
-            # truncated back to its last good frame.
-            log.append(next_state.generation, delta_removed,
-                       delta_added)
-        self._results.commit(state.generation, next_state.generation,
-                             delta_removed + delta_added, touched,
-                             attr_index.paths)
-        self._state = next_state
+            # failure leaves the old state published, the head chain
+            # unmoved and the log truncated to its last good frame.
+            with self._publish_lock:
+                log.append(next_state.generation, delta_removed,
+                           delta_added)
+                self._results.commit(*cache_step)
+                self._head = next_state
+                self._state = next_state
+            if self._auto_compact and log.size >= self._compact_bytes:
+                self._spawn_compaction()
+            return delta_removed, delta_added, None
+        # Group commit: stamp the generation onto the speculatively
+        # encoded body (fast path above); a contended commit pays the
+        # encode here, under the lock.
+        if body is None:
+            body = encode_frame_body(delta_removed, delta_added)
+        ticket = CommitTicket(
+            next_state.generation,
+            frame_from_body(next_state.generation, body),
+            state=next_state, cache_step=cache_step)
+        self._head = next_state
+        self._committer.register(ticket)
+        return delta_removed, delta_added, ticket
+
+    def _finish(self, outcome) -> tuple[tuple[Data, ...],
+                                        tuple[Data, ...]]:
+        """Block until an :meth:`_apply_locked` outcome is durable.
+
+        Must be called *without* the writer lock: a group-commit
+        follower parks here until its batch's fsync retires (or
+        re-raises the batch's append error), and holding the writer
+        lock across that wait would both serialize unrelated writers
+        and deadlock against the leader's abort path.
+        """
+        delta_removed, delta_added, ticket = outcome
+        if ticket is not None:
+            self._committer.commit(ticket)
+        return delta_removed, delta_added
+
+    def _apply(self, removed: Iterable[Data], added: Iterable[Data],
+               ) -> tuple[tuple[Data, ...], tuple[Data, ...]]:
+        """Apply one write batch; returns the net ``(removed, added)``.
+
+        The narrowed write path: the frame body is encoded outside the
+        writer lock (:meth:`_precompute`), only the chain extension —
+        diff renormalization against the head, copy-on-write index
+        patching, ticket registration — serializes under the lock
+        (:meth:`_apply_locked`), and the durability wait happens after
+        the lock is released (:meth:`_finish`). Whatever the mode, by
+        the time this returns the write is durable to the configured
+        degree and published, and no reader can ever observe a
+        generation whose frame is not on disk.
+        """
+        pre = None
+        if self._committer is not None:
+            pre = self._precompute(removed, added)
+        with self._lock:
+            outcome = self._apply_locked(removed, added, pre)
+        return self._finish(outcome)
+
+    def _on_batch_durable(self, batch: "list[CommitTicket]") -> None:
+        """Publish one durable batch (leader-only, inside the publish
+        lock, after the batch's single fsync retired).
+
+        Cache epochs advance per ticket in generation order, then the
+        batch's final state is published with one assignment — a
+        reader either sees the pre-batch generation or the post-batch
+        one with every cache entry already committed past it.
+        """
+        for ticket in batch:
+            try:
+                self._results.commit(*ticket.cache_step)
+            except BaseException:  # pragma: no cover - defensive
+                # The cache is an optimization; never let it block the
+                # publish of frames that are already durable.
+                self._results.clear()
+        self._state = batch[-1].state
+        log = self._wal
         if (log is not None and self._auto_compact
                 and log.size >= self._compact_bytes):
             self._spawn_compaction()
-        return delta_removed, delta_added
+
+    def _on_batch_abort(self, batch: "list[CommitTicket]",
+                        exc: BaseException) -> None:
+        """Reset the commit chain after a failed batch append.
+
+        The leader calls this *outside* the publish lock, so taking
+        the writer lock here is safe. Every state built on top of the
+        failed batch is abandoned: the head snaps back to the last
+        published state, and tickets still queued behind the batch are
+        failed too — their generations can no longer reach the log.
+        """
+        with self._lock:
+            self._head = self._state
+            doomed = self._committer.drain_pending()
+        self._committer.fail(doomed, exc)
 
     def insert(self, datum: Data) -> bool:
         """Insert a datum; returns ``False`` when already present."""
         datum = self._canonical(datum)
-        with self._lock:
-            _, added = self._apply((), (datum,))
-            return bool(added)
+        _, added = self._apply((), (datum,))
+        return bool(added)
 
     def insert_all(self, data: Iterable[Data]) -> int:
         """Insert many; returns how many were new.
@@ -408,15 +571,30 @@ class Database:
         new state and pays cache invalidation once, not per datum.
         """
         batch = [self._canonical(datum) for datum in data]
-        with self._lock:
-            _, added = self._apply((), batch)
-            return len(added)
+        _, added = self._apply((), batch)
+        return len(added)
+
+    def apply_many(self, removed: Iterable[Data] = (),
+                   added: Iterable[Data] = (),
+                   ) -> tuple[int, int]:
+        """Apply one bulk batch — removals and insertions together —
+        as a single commit; returns the net ``(removed, added)``
+        counts.
+
+        The whole batch is one generation bump, one WAL frame and one
+        fsync, so bulk ingest does not pay the commit protocol per
+        datum. Data already absent (for removals) or present (for
+        insertions) fall out of the net diff; a batch whose net diff
+        is empty publishes nothing.
+        """
+        batch = tuple(self._canonical(datum) for datum in added)
+        delta_removed, delta_added = self._apply(tuple(removed), batch)
+        return len(delta_removed), len(delta_added)
 
     def remove(self, datum: Data) -> bool:
         """Remove a datum; returns ``False`` when absent."""
-        with self._lock:
-            removed, _ = self._apply((datum,), ())
-            return bool(removed)
+        removed, _ = self._apply((datum,), ())
+        return bool(removed)
 
     def update(self, marker: Marker | str,
                transform: "Callable[[Data], Data]") -> int:
@@ -428,8 +606,14 @@ class Database:
         one atomic batch: readers observe either every replacement or
         none.
         """
+        if isinstance(marker, str):
+            marker = Marker(marker)
         with self._lock:
-            targets = list(self.by_marker(marker))
+            # Read-compute-write against the chain head, atomically
+            # with the chain extension: pending (registered, not yet
+            # published) commits are visible to the transform.
+            head = self._head
+            targets = list(head.marker_index.get(marker, ()))
             removals: list[Data] = []
             additions: list[Data] = []
             changed = 0
@@ -442,8 +626,9 @@ class Database:
                     removals.append(datum)
                     additions.append(self._canonical(replacement))
                     changed += 1
-            self._apply(removals, additions)
-            return changed
+            outcome = self._apply_locked(removals, additions)
+        self._finish(outcome)
+        return changed
 
     def set_attribute(self, marker: Marker | str, label: str,
                       value: SSObject) -> int:
@@ -483,8 +668,39 @@ class Database:
                 key_indexes = dict(state.key_indexes)
                 key_indexes[key] = index
                 # Same generation: adding an index changes no result.
-                self._state = state.with_key_indexes(key_indexes)
+                replacement = state.with_key_indexes(key_indexes)
+                if self._head is state:
+                    self._head = replacement
+                with self._publish_lock:
+                    # Identity-checked store-back: a group-commit
+                    # leader may have published a newer generation
+                    # while the index was building — never regress
+                    # the published state to cache an index on it.
+                    if self._state is state:
+                        self._state = replacement
             return index
+
+    def _head_key_index(self, key: frozenset[str]) -> KeyIndex:
+        """The key index for the *chain head* (writer lock held).
+
+        Writers that diff against the head (``merge_in``) need an
+        index consistent with pending commits, not just the published
+        state; head indexes are patched forward per commit, so once
+        built here the index stays warm along the whole chain.
+        """
+        head = self._head
+        index = head.key_indexes.get(key)
+        if index is not None:
+            return index
+        index = KeyIndex(head.data, key)
+        key_indexes = dict(head.key_indexes)
+        key_indexes[key] = index
+        replacement = head.with_key_indexes(key_indexes)
+        self._head = replacement
+        with self._publish_lock:
+            if self._state is head:
+                self._state = replacement
+        return index
 
     def compatible_with(self, datum: Data,
                         key: Iterable[str]) -> DataSet:
@@ -514,12 +730,18 @@ class Database:
         ``merge_in`` keep it current incrementally.
         """
         with self._lock:
-            state = self._state
+            # Index the chain head so the path stays maintained across
+            # pending (registered, not yet published) commits too.
+            state = self._head
             attr_index = state.attr_index.with_path(path, state.data)
             if attr_index is not state.attr_index:
                 # Same generation: an extra index changes plans, never
                 # results, so cached entries stay valid.
-                self._state = state.with_attr_index(attr_index)
+                replacement = state.with_attr_index(attr_index)
+                self._head = replacement
+                with self._publish_lock:
+                    if self._state is state:
+                        self._state = replacement
 
     # -- queries -----------------------------------------------------------------
 
@@ -798,20 +1020,25 @@ class Database:
         elif not isinstance(source, DataSet):
             source = DataSet(source)
         with self._lock:
-            data = self._state.data
+            # Diff against the chain head so pending commits are part
+            # of the union, atomically with the chain extension.
+            head = self._head
+            data = head.data
             if parallel:
                 merged = set(blocked_union(
-                    [self.snapshot(), source], checked,
+                    [head.dataset(), source], checked,
                     parallel=parallel))
                 removed = tuple(d for d in data if d not in merged)
                 added = tuple(d for d in merged if d not in data)
             else:
-                diff = union_diff(data, self._key_index(checked),
+                diff = union_diff(data, self._head_key_index(checked),
                                   source, checked)
                 removed, added = diff.removed, diff.added
-            self._apply(removed,
-                        tuple(self._canonical(datum) for datum in added))
-            return len(self._state.data)
+            outcome = self._apply_locked(
+                removed,
+                tuple(self._canonical(datum) for datum in added))
+        delta_removed, delta_added = self._finish(outcome)
+        return len(data) - len(delta_removed) + len(delta_added)
 
     # -- incremental durability --------------------------------------------------
 
@@ -828,7 +1055,9 @@ class Database:
              result_cache_size: int = _RESULT_CACHE_SIZE,
              compact_bytes: int = _COMPACT_BYTES,
              auto_compact: bool = True,
-             fsync: bool = True) -> "Database":
+             fsync: bool = True,
+             group_commit: bool = True,
+             commit_interval: float = 0.0) -> "Database":
         """Open a durable database: snapshot plus write-ahead log.
 
         ``path`` is the snapshot file (created on first compaction if
@@ -848,6 +1077,17 @@ class Database:
         fsync away for speed (contents survive process death but not
         power loss). ``durable=False`` degrades to a plain
         :meth:`load`.
+
+        ``group_commit=True`` (the default) routes commits through the
+        :class:`~repro.store.wal.GroupCommitter`: concurrent writers'
+        frames are batched and fsynced by one elected leader with a
+        single syscall pair, amortizing the dominant commit cost;
+        ``group_commit=False`` restores the serialized per-commit
+        append + fsync. ``commit_interval`` (seconds, at most 1.0)
+        makes a fresh leader linger before draining the queue so even
+        writers that never overlap in time coalesce into one batch —
+        each commit then waits up to the interval, in exchange for
+        far fewer fsyncs under a steady trickle of writers.
 
         ``intern_objects``/``index_paths``/``result_cache_size`` apply
         to a freshly created store; an existing snapshot keeps its own
@@ -891,6 +1131,12 @@ class Database:
         database._compact_bytes = compact_bytes
         database._auto_compact = auto_compact
         database._wal = log
+        if group_commit:
+            database._committer = GroupCommitter(
+                log, commit_interval=commit_interval,
+                commit_lock=database._publish_lock,
+                on_durable=database._on_batch_durable,
+                on_abort=database._on_batch_abort)
         for indexed in index_paths:
             database.create_index(indexed)
         return database
@@ -987,6 +1233,7 @@ class Database:
             attr_index=attr_index,
             dataset=None if changed else state._dataset,
         )
+        self._head = self._state
 
     def compact(self) -> None:
         """Rewrite the snapshot at the current generation and truncate
@@ -998,8 +1245,11 @@ class Database:
         leaves new-snapshot + old-log — and replaying the old log's
         frames over the new snapshot is a no-op by idempotent replay.
         Writers keep committing while the snapshot temp is written;
-        the brief swap itself serializes behind the writer lock so no
-        freshly appended frame can be dropped.
+        the pin and the brief swap serialize behind the publish lock —
+        the lock every append + publish (leader batch or serialized
+        commit) runs under — so the pinned ``(state, log offset)``
+        pair is always mutually consistent and no freshly appended
+        frame can be dropped.
         """
         log = self._wal
         if log is None:
@@ -1007,7 +1257,7 @@ class Database:
                 "compact() requires a durable database "
                 "(Database.open(path, durable=True))")
         with self._compact_lock:
-            with self._lock:
+            with self._publish_lock:
                 state = self._state
                 offset = log.size
             target = self._path
@@ -1016,7 +1266,7 @@ class Database:
             snapshot_temp: str | None = self._write_snapshot_temp(
                 state, target, self._snapshot_format)
             try:
-                with self._lock:
+                with self._publish_lock:
                     tail = log.read_from(offset)
                     log_temp: str | None = log.rewrite_temp(
                         state.generation, tail)
@@ -1024,7 +1274,7 @@ class Database:
                         _maybe_crash("compact-pre-snapshot-swap")
                         os.replace(snapshot_temp, target)
                         snapshot_temp = None
-                        _fsync_directory(target.parent)
+                        fsync_directory(target.parent)
                         _maybe_crash("compact-pre-wal-swap")
                         log.swap(log_temp, state.generation)
                         log_temp = None
@@ -1036,23 +1286,31 @@ class Database:
                     os.unlink(snapshot_temp)
 
     def _spawn_compaction(self) -> None:
-        """Kick off one background compaction (writer lock held)."""
-        thread = self._compact_thread
-        if thread is not None and thread.is_alive():
-            return
+        """Kick off one background compaction (at most one at a time).
 
-        def run() -> None:
-            try:
-                self.compact()
-            except BaseException as exc:  # pragma: no cover - disk I/O
-                warnings.warn(
-                    f"background WAL compaction failed: {exc}",
-                    RuntimeWarning, stacklevel=2)
+        Callers arrive from two paths — a serialized commit under the
+        writer lock, or a group-commit leader under the publish lock —
+        so the spawn check has its own tiny lock instead of assuming
+        either.
+        """
+        with self._compact_spawn:
+            thread = self._compact_thread
+            if thread is not None and thread.is_alive():
+                return
 
-        thread = threading.Thread(target=run, name="repro-wal-compact",
-                                  daemon=True)
-        self._compact_thread = thread
-        thread.start()
+            def run() -> None:
+                try:
+                    self.compact()
+                except BaseException as exc:  # pragma: no cover - disk I/O
+                    warnings.warn(
+                        f"background WAL compaction failed: {exc}",
+                        RuntimeWarning, stacklevel=2)
+
+            thread = threading.Thread(target=run,
+                                      name="repro-wal-compact",
+                                      daemon=True)
+            self._compact_thread = thread
+            thread.start()
 
     # -- persistence -----------------------------------------------------------------
 
@@ -1083,7 +1341,7 @@ class Database:
         temp_name = self._write_snapshot_temp(state, target, format)
         try:
             os.replace(temp_name, target)
-            _fsync_directory(target.parent)
+            fsync_directory(target.parent)
         except BaseException:
             if os.path.exists(temp_name):
                 os.unlink(temp_name)
@@ -1171,6 +1429,7 @@ class Database:
             database._state = _DBState(
                 generation, state.data, state.marker_index,
                 state.key_indexes, state.attr_index, state._dataset)
+            database._head = database._state
         return database
 
     # -- binary container ---------------------------------------------------------
@@ -1460,24 +1719,3 @@ class DatabaseView:
         return self._database._parsed(text).query(
             state.dataset(), index=state.attr_index,
             columns=state.columns).explain(analyze=analyze)
-
-
-def _fsync_directory(path: Path) -> None:
-    """Best-effort fsync of a directory entry (POSIX only).
-
-    ``os.replace`` makes the rename atomic, but the *directory* write
-    that records it can still sit in the page cache; without this a
-    crash right after save can resurface the old file.
-    """
-    if os.name != "posix":
-        return
-    try:
-        descriptor = os.open(path, os.O_RDONLY)
-    except OSError:
-        return
-    try:
-        os.fsync(descriptor)
-    except OSError:
-        pass
-    finally:
-        os.close(descriptor)

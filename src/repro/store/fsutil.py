@@ -1,0 +1,41 @@
+"""Shared filesystem durability helpers for the storage layer.
+
+Both the write-ahead log and the snapshot writer end their atomic
+``os.replace`` protocols the same way: by fsyncing the *directory*
+entry that records the rename. The helper lived as two identical
+private copies (``wal._fsync_directory`` and
+``database._fsync_directory``); it is one utility, so it lives here
+once and both import it.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+__all__ = ["fsync_directory"]
+
+
+def fsync_directory(path: str | Path) -> None:
+    """Best-effort fsync of a directory entry (POSIX only).
+
+    ``os.replace`` makes a rename atomic, but the *directory* write
+    that records it can still sit in the page cache; without this a
+    crash right after a save can resurface the old file. Failures are
+    swallowed: directory fsync is a belt-and-braces durability upgrade
+    on filesystems that support it, never a correctness dependency —
+    and some platforms (or containerized mounts) reject ``fsync`` on
+    directory descriptors outright.
+    """
+    if os.name != "posix":
+        return
+    try:
+        descriptor = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(descriptor)
+    except OSError:
+        pass
+    finally:
+        os.close(descriptor)

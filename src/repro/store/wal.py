@@ -38,16 +38,33 @@ recovery then falls back to the snapshot alone. Opening a
 :class:`WriteAheadLog` for writing truncates the invalid tail so the
 next append extends a fully valid log.
 
+**Group commit.** Concurrent committers do not each pay an fsync:
+:class:`GroupCommitter` implements the classic leader/follower
+protocol. Every writer registers its pre-encoded frame (in generation
+order, under the owning store's writer lock) and then blocks on the
+commit barrier; the first one in elects itself *leader*, drains the
+whole queue, writes every queued frame with **one** ``write`` and
+**one** ``fsync`` (:meth:`WriteAheadLog.append_batch`), publishes the
+batch through the ``on_durable`` callback, and only then releases the
+followers. An optional bounded ``commit_interval`` makes the leader
+linger before draining, coalescing even writers that would not
+otherwise overlap. The fsync-before-publish invariant holds per
+batch: no follower returns — and no reader can pin a batched
+generation — before the batch's single fsync has retired.
+
 **Crash-point instrumentation.** The commit and compaction paths call
 :func:`_maybe_crash` at named points (``pre-append``, ``mid-append``,
-``pre-fsync``, ``post-fsync``, ``compact-pre-snapshot-swap``,
-``compact-pre-wal-swap``). When the ``REPRO_WAL_CRASH`` environment
-variable names a point (optionally ``point:N`` for the N-th hit), the
-process SIGKILLs itself there — no cleanup handlers, no flushes — so
-the crash-simulation harness (``tests/harness/crashsim.py``) can
-exercise every ordering window of the commit protocol with a real
-process death. ``mid-append`` additionally writes only half the frame
-first, simulating a torn write.
+``batch-mid-write``, ``pre-fsync``, ``post-fsync``,
+``compact-pre-snapshot-swap``, ``compact-pre-wal-swap``). When the
+``REPRO_WAL_CRASH`` environment variable names a point (optionally
+``point:N`` for the N-th hit), the process SIGKILLs itself there — no
+cleanup handlers, no flushes — so the crash-simulation harness
+(``tests/harness/crashsim.py``) can exercise every ordering window of
+the commit protocol with a real process death. ``mid-append``
+additionally writes only half the batch first, simulating a torn
+write; ``batch-mid-write`` arms only for multi-frame batches and
+kills the leader after the batch's first frame is fully written, so
+recovery must land on a committed prefix *inside* the batch.
 """
 
 from __future__ import annotations
@@ -56,16 +73,21 @@ import io
 import os
 import signal
 import tempfile
+import threading
+import time
 import zlib
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
 from repro.binary_codec import Decoder, Encoder, pack_uvarint
 from repro.core.data import Data
 from repro.core.errors import CodecError
+from repro.store.fsutil import fsync_directory
 
 __all__ = ["WriteAheadLog", "WalFrame", "WalScan", "scan_wal",
-           "wal_path", "encode_frame", "decode_frame_payload"]
+           "wal_path", "encode_frame", "encode_frame_body",
+           "frame_from_body", "decode_frame_payload",
+           "CommitTicket", "GroupCommitter"]
 
 #: Magic prefix of a write-ahead log file.
 WAL_MAGIC = b"RPWL"
@@ -180,12 +202,19 @@ def _uvarint_at(blob: bytes, pos: int) -> tuple[int, int] | None:
     return None
 
 
-def encode_frame(generation: int, removed: Sequence[Data],
-                 added: Sequence[Data]) -> bytes:
-    """Serialize one commit as a length-prefixed, CRC-checked frame."""
+def encode_frame_body(removed: Sequence[Data],
+                      added: Sequence[Data]) -> bytes:
+    """Serialize a commit's diff — everything but the generation.
+
+    The body is the expensive part of a frame (one codec ``write_datum``
+    per datum); the generation varint that precedes it in the payload
+    is independent of the codec's value table, so a writer can encode
+    its body *before* it knows which generation the commit will land
+    on — i.e. outside the store's writer lock — and stamp the
+    generation on later with :func:`frame_from_body`.
+    """
     buffer = io.BytesIO()
     encoder = Encoder(buffer, header=False)
-    encoder.write_uvarint(generation)
     encoder.write_uvarint(len(removed))
     for datum in removed:
         encoder.write_datum(datum)
@@ -193,9 +222,21 @@ def encode_frame(generation: int, removed: Sequence[Data],
     for datum in added:
         encoder.write_datum(datum)
     encoder.flush()
-    payload = buffer.getvalue()
+    return buffer.getvalue()
+
+
+def frame_from_body(generation: int, body: bytes) -> bytes:
+    """Stamp a generation onto a pre-encoded body: the complete
+    length-prefixed, CRC-checked frame ready for the log."""
+    payload = pack_uvarint(generation) + body
     return (pack_uvarint(len(payload)) + payload
             + zlib.crc32(payload).to_bytes(4, "little"))
+
+
+def encode_frame(generation: int, removed: Sequence[Data],
+                 added: Sequence[Data]) -> bytes:
+    """Serialize one commit as a length-prefixed, CRC-checked frame."""
+    return frame_from_body(generation, encode_frame_body(removed, added))
 
 
 def decode_frame_payload(payload: bytes, *, intern: bool) -> WalFrame:
@@ -300,31 +341,26 @@ def scan_wal(path: str | Path, *, intern: bool = False) -> WalScan:
                    file_size=len(blob))
 
 
-def _fsync_directory(path: Path) -> None:
-    """Best-effort fsync of a directory entry (POSIX only)."""
-    if os.name != "posix":
-        return
-    try:
-        descriptor = os.open(path, os.O_RDONLY)
-    except OSError:
-        return
-    try:
-        os.fsync(descriptor)
-    except OSError:
-        pass
-    finally:
-        os.close(descriptor)
-
-
 class WriteAheadLog:
     """An append-only commit log paired with one snapshot file.
 
     Opening repairs the log in place: a torn or corrupt tail found by
     :func:`scan_wal` is truncated away, and a missing or header-corrupt
     file is recreated fresh at ``base_generation``. Appends are
-    serialized by the owning :class:`~repro.store.database.Database`'s
-    writer lock; each one is flushed and fsynced before it returns, so
-    a frame that was appended is a frame recovery will see.
+    serialized by the owning :class:`~repro.store.database.Database`
+    (its writer lock, or a :class:`GroupCommitter` leader); each
+    append is flushed and fsynced before it returns, so a frame that
+    was appended is a frame recovery will see.
+
+    **Durability contract of ``fsync=False``.** Every append still
+    ``flush()``-es each frame's bytes into the operating system's page
+    cache before returning — only the ``fsync`` syscall is skipped. A
+    frame that was appended therefore survives *process death* (crash,
+    SIGKILL, uncaught exception): the kernel owns the bytes and will
+    write them back regardless of what the process does next. What it
+    does **not** survive is the machine dying — power loss, kernel
+    panic — before the kernel's own writeback runs. Use it when the
+    failure domain you care about is the process, not the host.
     """
 
     def __init__(self, path: str | Path, *, base_generation: int = 0,
@@ -333,6 +369,11 @@ class WriteAheadLog:
         self._path = Path(path)
         self._fsync = fsync
         self._handle = None
+        #: Frames appended / fsync batches retired since opening: the
+        #: observable record of how much coalescing group commit won
+        #: (``frames_appended / sync_batches`` is the mean batch size).
+        self.frames_appended = 0
+        self.sync_batches = 0
         if scan is None:
             scan = scan_wal(self._path, intern=interned)
         if scan.exists and scan.header_valid:
@@ -358,7 +399,7 @@ class WriteAheadLog:
         header = _header_bytes(base_generation, self.interned)
         temp = self._write_temp(header)
         os.replace(temp, self._path)
-        _fsync_directory(self._path.parent)
+        fsync_directory(self._path.parent)
         self.base_generation = base_generation
         self.last_generation = base_generation
         self.size = len(header)
@@ -398,25 +439,57 @@ class WriteAheadLog:
         once a reader can observe the new generation, its frame is on
         disk. On any write/fsync failure the partial frame is truncated
         away again, so a failed append never leaves bytes a later
-        append would bury mid-log.
+        append would bury mid-log. (``fsync=False`` skips only the
+        fsync — the flush still happens, see the class docs.)
+        """
+        self.append_batch([(generation,
+                            encode_frame(generation, tuple(removed),
+                                         tuple(added)))])
+
+    def append_batch(self,
+                     frames: Sequence[tuple[int, bytes]]) -> None:
+        """Durably log a batch of pre-encoded frames: one ``write``,
+        one ``flush``, one ``fsync``, however many commits ride along.
+
+        ``frames`` is ``(generation, encoded_frame)`` pairs in the
+        contiguous generation order the log requires (each frame built
+        by :func:`encode_frame` / :func:`frame_from_body`). This is
+        the group-commit amortization point: a leader draining N
+        queued committers pays the syscall pair once instead of N
+        times. Failure semantics match :meth:`append` — any write or
+        fsync error truncates the partial batch away, so the log never
+        buries garbage mid-file.
         """
         handle = self._handle
         if handle is None:
             raise CodecError("write-ahead log is closed")
-        if generation != self.last_generation + 1:
-            raise CodecError(
-                f"non-contiguous WAL append: generation {generation} "
-                f"after {self.last_generation}")
-        frame = encode_frame(generation, tuple(removed), tuple(added))
+        if not frames:
+            return
+        expected = self.last_generation + 1
+        for generation, _ in frames:
+            if generation != expected:
+                raise CodecError(
+                    f"non-contiguous WAL append: generation "
+                    f"{generation} after {expected - 1}")
+            expected += 1
+        blob = b"".join(encoded for _, encoded in frames)
         _maybe_crash("pre-append")
         if _crash_armed("mid-append"):
-            # Torn-write simulation: half a frame reaches the OS, then
-            # the process dies. Recovery must truncate it.
-            handle.write(frame[:max(1, len(frame) // 2)])
+            # Torn-write simulation: half the batch reaches the OS,
+            # then the process dies. Recovery must truncate the torn
+            # frame (and keep any fully-written frames before it).
+            handle.write(blob[:max(1, len(blob) // 2)])
+            handle.flush()
+            _kill_self()
+        if len(frames) > 1 and _crash_armed("batch-mid-write"):
+            # Leader death mid-batch: the batch's first frame is fully
+            # written and flushed, the rest never happen. Recovery
+            # must land on a committed prefix *inside* the batch.
+            handle.write(frames[0][1])
             handle.flush()
             _kill_self()
         try:
-            handle.write(frame)
+            handle.write(blob)
             handle.flush()
             _maybe_crash("pre-fsync")
             if self._fsync:
@@ -430,8 +503,10 @@ class WriteAheadLog:
             except OSError:
                 pass
             raise
-        self.size += len(frame)
-        self.last_generation = generation
+        self.size += len(blob)
+        self.last_generation = frames[-1][0]
+        self.frames_appended += len(frames)
+        self.sync_batches += 1
 
     def read_from(self, offset: int) -> bytes:
         """The raw log bytes from ``offset`` to the current end —
@@ -455,7 +530,7 @@ class WriteAheadLog:
         """
         size = os.path.getsize(temp_name)
         os.replace(temp_name, self._path)
-        _fsync_directory(self._path.parent)
+        fsync_directory(self._path.parent)
         if self._handle is not None:
             self._handle.close()
         self._handle = open(self._path, "ab")
@@ -481,3 +556,180 @@ class WriteAheadLog:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+class CommitTicket:
+    """One writer's place in the group-commit queue.
+
+    Created under the owning store's writer lock once the commit's
+    generation is assigned and its frame encoded; carries everything
+    the batch leader needs to make the commit durable and visible:
+    the encoded ``frame`` for :meth:`WriteAheadLog.append_batch`, the
+    ``state`` to publish once the batch's fsync retires, and an opaque
+    ``cache_step`` the store uses to advance its query-result cache in
+    generation order. ``done``/``error`` are written by the leader
+    under the committer's condition lock and read by the follower
+    after it is released.
+    """
+
+    __slots__ = ("generation", "frame", "state", "cache_step",
+                 "done", "error")
+
+    def __init__(self, generation: int, frame: bytes, state=None,
+                 cache_step=None):
+        self.generation = generation
+        self.frame = frame
+        self.state = state
+        self.cache_step = cache_step
+        self.done = False
+        self.error: BaseException | None = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        status = ("done" if self.done else
+                  "failed" if self.error else "pending")
+        return f"CommitTicket(generation={self.generation}, {status})"
+
+
+class GroupCommitter:
+    """Leader/follower group commit over one :class:`WriteAheadLog`.
+
+    Writers :meth:`register` their ticket (in generation order, under
+    the store's writer lock) and then call :meth:`commit`, which
+    blocks until the ticket's durability point. The first committer to
+    find no leader active elects itself leader; it drains every queued
+    ticket, appends them all with a single
+    :meth:`WriteAheadLog.append_batch` (one ``write``, one ``fsync``),
+    invokes ``on_durable(batch)`` so the store can publish the batch's
+    final MVCC state, and only then wakes the followers. Writers that
+    arrive while a batch is in flight queue up and form the *next*
+    batch — under contention the fsync cost amortizes across the whole
+    queue, which is the point.
+
+    ``commit_interval`` (seconds, clamped to at most 1.0) makes a
+    fresh leader linger before draining so even non-overlapping
+    writers coalesce; zero (the default) drains immediately.
+
+    ``commit_lock``, when given, is held across *append + on_durable*:
+    the owning store passes its publish lock here so the pair
+    "(log contents, published state)" mutates atomically with respect
+    to compaction's pin-and-swap sections.
+
+    If the batch append fails, the leader calls ``on_abort(batch,
+    exc)`` — *outside* ``commit_lock``, so the store may take its own
+    writer lock to reset its head chain without deadlocking — and
+    every ticket in the batch re-raises the append error from its
+    :meth:`commit` call.
+    """
+
+    def __init__(self, log: WriteAheadLog, *,
+                 commit_interval: float = 0.0,
+                 commit_lock=None,
+                 on_durable: Callable[[list[CommitTicket]], None]
+                 | None = None,
+                 on_abort: Callable[[list[CommitTicket], BaseException],
+                                    None] | None = None):
+        self._log = log
+        self._interval = min(max(commit_interval, 0.0), 1.0)
+        self._commit_lock = commit_lock
+        self._on_durable = on_durable
+        self._on_abort = on_abort
+        self._cond = threading.Condition()
+        self._queue: list[CommitTicket] = []
+        self._leader_active = False
+        #: Batches retired and the largest one seen — the committer's
+        #: own view of how much coalescing happened.
+        self.batches = 0
+        self.max_batch = 0
+
+    def register(self, ticket: CommitTicket) -> None:
+        """Enqueue a ticket for the next batch.
+
+        Callers must serialize registration (the store's writer lock
+        does) so tickets arrive in generation order — the order
+        :meth:`WriteAheadLog.append_batch` requires.
+        """
+        with self._cond:
+            self._queue.append(ticket)
+
+    def commit(self, ticket: CommitTicket) -> None:
+        """Block until ``ticket`` is durable (or its batch failed).
+
+        Exactly one concurrent caller acts as leader at a time; the
+        rest wait on the condition. Re-raises the batch's append error
+        on failure.
+        """
+        while True:
+            with self._cond:
+                if ticket.done or ticket.error is not None:
+                    break
+                if self._leader_active:
+                    self._cond.wait()
+                    continue
+                self._leader_active = True
+            try:
+                self._lead()
+            finally:
+                with self._cond:
+                    self._leader_active = False
+                    self._cond.notify_all()
+        if ticket.error is not None:
+            raise ticket.error
+
+    def _lead(self) -> None:
+        """Drain the queue and retire one batch as its leader."""
+        if self._interval > 0.0:
+            # Linger so non-overlapping writers can still coalesce.
+            time.sleep(self._interval)
+        with self._cond:
+            batch = self._queue
+            self._queue = []
+        if not batch:
+            return
+        try:
+            if self._commit_lock is not None:
+                with self._commit_lock:
+                    self._log.append_batch(
+                        [(t.generation, t.frame) for t in batch])
+                    if self._on_durable is not None:
+                        self._on_durable(batch)
+            else:
+                self._log.append_batch(
+                    [(t.generation, t.frame) for t in batch])
+                if self._on_durable is not None:
+                    self._on_durable(batch)
+        except BaseException as exc:
+            # Outside commit_lock by now: the abort hook may take the
+            # store's writer lock to reset its head chain.
+            if self._on_abort is not None:
+                self._on_abort(batch, exc)
+            self.fail(batch, exc)
+            return
+        self.batches += 1
+        self.max_batch = max(self.max_batch, len(batch))
+        with self._cond:
+            for t in batch:
+                t.done = True
+            self._cond.notify_all()
+
+    def drain_pending(self) -> list[CommitTicket]:
+        """Remove and return every queued-but-unbatched ticket.
+
+        The store's abort hook uses this: once a batch append fails,
+        tickets queued behind it were built on a head chain that no
+        longer exists, so they must fail too rather than be appended
+        with generations recovery would never reconstruct.
+        """
+        with self._cond:
+            doomed = self._queue
+            self._queue = []
+        return doomed
+
+    def fail(self, tickets: Sequence[CommitTicket],
+             error: BaseException) -> None:
+        """Mark ``tickets`` failed with ``error`` and wake waiters."""
+        if not tickets:
+            return
+        with self._cond:
+            for t in tickets:
+                t.error = error
+            self._cond.notify_all()

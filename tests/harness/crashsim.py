@@ -20,6 +20,19 @@ Run directly (``python tests/harness/crashsim.py <db-path> <commits>
 [compact-at]``) the module executes the workload and exits 0; the test
 suite launches it via :func:`run_workload_process` with a crash point
 armed and asserts on the SIGKILL and on what recovery finds.
+
+**Concurrent mode** drives the group-commit protocol instead: N
+writer threads insert disjoint deterministic rows through one durable
+database opened with a small ``commit_interval``, so batches with
+several frames actually form and the leader/follower crash windows
+(``batch-mid-write``, the batched ``pre-fsync``/``post-fsync``) are
+exercised by real multi-writer batches. Each thread inserts its row
+``i+1`` only after row ``i``'s commit returned — i.e. after its frame
+was fsynced — so in any recovered prefix every thread's surviving rows
+form a prefix of its sequence, and (rows being insert-only and
+distinct) the recovered generation always equals the recovered row
+count: the committed-prefix assertion
+(:func:`check_concurrent_recovery`) needs no log read-back.
 """
 
 from __future__ import annotations
@@ -27,6 +40,7 @@ from __future__ import annotations
 import os
 import subprocess
 import sys
+import threading
 from pathlib import Path
 
 _REPO_ROOT = Path(__file__).resolve().parents[2]
@@ -120,7 +134,116 @@ def run_workload_process(path: str | Path, commits: int, *,
                           timeout=timeout)
 
 
+def concurrent_row(writer: int, i: int):
+    """Writer ``writer``'s ``i``-th (1-based) deterministic row."""
+    return data(f"w{writer}r{i}",
+                tup(kind="crow", writer=writer, seq=i))
+
+
+def concurrent_rows(writers: int, per_writer: int):
+    """Every row the full concurrent workload commits."""
+    return {concurrent_row(w, i)
+            for w in range(1, writers + 1)
+            for i in range(1, per_writer + 1)}
+
+
+def run_concurrent_workload(path: str | Path, writers: int,
+                            per_writer: int, *,
+                            commit_interval: float = 0.02) -> None:
+    """N threads insert disjoint rows through one group-commit store.
+
+    ``commit_interval`` makes each batch leader linger, so concurrent
+    registrations pile into real multi-frame batches. Resumable like
+    :func:`run_workload`: each thread skips the prefix of its rows
+    that already survived, so calling this again after a crash drives
+    the store to the complete final state.
+    """
+    db = Database.open(Path(path), auto_compact=False,
+                       commit_interval=commit_interval)
+    try:
+        present = db.snapshot()
+        barrier = threading.Barrier(writers)
+        failures: list[BaseException] = []
+
+        def work(writer: int) -> None:
+            try:
+                start = 1
+                while (start <= per_writer
+                       and concurrent_row(writer, start) in present):
+                    start += 1
+                barrier.wait()
+                for i in range(start, per_writer + 1):
+                    assert db.insert(concurrent_row(writer, i))
+            except BaseException as exc:  # pragma: no cover - crash kills us
+                failures.append(exc)
+
+        threads = [threading.Thread(target=work, args=(w,))
+                   for w in range(1, writers + 1)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if failures:
+            raise failures[0]
+    finally:
+        db.close()
+
+
+def run_concurrent_process(path: str | Path, writers: int,
+                           per_writer: int, *,
+                           crash_point: str | None = None,
+                           occurrence: int = 1,
+                           commit_interval: float = 0.02,
+                           timeout: float = 120.0):
+    """Run the concurrent workload in a child, optionally crash-armed.
+
+    Same contract as :func:`run_workload_process`. Note that a crash
+    point that only arms on multi-frame batches (``batch-mid-write``)
+    may never fire if the scheduler keeps every batch to one frame;
+    callers should retry on a clean exit in that case.
+    """
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(_SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    if crash_point is None:
+        env.pop(CRASH_ENV, None)
+    else:
+        env[CRASH_ENV] = (crash_point if occurrence == 1
+                          else f"{crash_point}:{occurrence}")
+    argv = [sys.executable, str(Path(__file__).resolve()),
+            "--concurrent", str(path), str(writers), str(per_writer),
+            str(commit_interval)]
+    return subprocess.run(argv, env=env, capture_output=True, text=True,
+                          timeout=timeout)
+
+
+def check_concurrent_recovery(db: Database, writers: int,
+                              per_writer: int) -> None:
+    """Assert ``db`` recovered to a committed prefix of the concurrent
+    workload: generation == row count, rows ⊆ the full set, and every
+    writer's surviving rows a prefix of its sequence."""
+    rows = set(db.snapshot())
+    assert len(rows) == db.generation, (
+        f"generation {db.generation} != {len(rows)} recovered rows")
+    assert rows <= concurrent_rows(writers, per_writer)
+    for writer in range(1, writers + 1):
+        flags = [concurrent_row(writer, i) in rows
+                 for i in range(1, per_writer + 1)]
+        boundary = sum(flags)
+        assert all(flags[:boundary]) and not any(flags[boundary:]), (
+            f"writer {writer}'s surviving rows are not a prefix: "
+            f"{flags}")
+
+
 def main(argv: list[str]) -> int:
+    if argv and argv[0] == "--concurrent":
+        if len(argv) < 4:
+            print("usage: crashsim.py --concurrent <db-path> <writers> "
+                  "<per-writer> [interval]", file=sys.stderr)
+            return 2
+        interval = float(argv[4]) if len(argv) > 4 else 0.02
+        run_concurrent_workload(argv[1], int(argv[2]), int(argv[3]),
+                                commit_interval=interval)
+        return 0
     if len(argv) < 2:
         print("usage: crashsim.py <db-path> <commits> [compact-at]",
               file=sys.stderr)

@@ -24,6 +24,17 @@ guarantees:
   snapshot-then-log ordering plus idempotent replay land on the
   pinned generation either way.
 
+The group-commit windows run the *concurrent* workload (N writer
+threads, multi-frame batches formed by a ``commit_interval`` leader
+linger) and assert the committed-prefix property instead of an exact
+generation — a batch leader can die before its batch's fsync
+(``pre-fsync``), after the fsync but before any follower learned of it
+(``post-fsync``), mid-way through writing the batch
+(``batch-mid-write``), or with the batch torn (``mid-append``); in
+every case recovery must land on a state where each writer's surviving
+rows are a prefix of its insert sequence and the generation equals the
+surviving row count.
+
 Every test finishes by driving the recovered store to the workload's
 final state, proving recovery returns a *live* database, not a relic.
 """
@@ -36,7 +47,11 @@ from repro.store import Database, scan_wal
 from repro.store.wal import wal_path
 
 from tests.harness.crashsim import (
+    check_concurrent_recovery,
+    concurrent_rows,
     expected_states,
+    run_concurrent_process,
+    run_concurrent_workload,
     run_workload,
     run_workload_process,
 )
@@ -152,3 +167,78 @@ class TestNoCrashControl:
         result = run_workload_process(db_path, COMMITS)
         assert result.returncode == 0, result.stderr
         assert reopen_and_check(db_path) == COMMITS
+
+
+WRITERS = 4
+PER_WRITER = 5
+
+
+class TestGroupCommitCrashes:
+    """Leader/follower crash windows under the concurrent workload."""
+
+    def _recover_and_finish(self, db_path):
+        """Committed-prefix assertion, then drive to completion."""
+        db = Database.open(db_path, auto_compact=False)
+        try:
+            check_concurrent_recovery(db, WRITERS, PER_WRITER)
+            survived = db.generation
+        finally:
+            db.close()
+        run_concurrent_workload(db_path, WRITERS, PER_WRITER)
+        db = Database.open(db_path, auto_compact=False)
+        try:
+            assert db.generation == WRITERS * PER_WRITER
+            assert set(db.snapshot()) == concurrent_rows(
+                WRITERS, PER_WRITER)
+        finally:
+            db.close()
+        return survived
+
+    @pytest.mark.parametrize("point,occurrence", [
+        ("pre-append", 1), ("pre-append", 2),
+        ("mid-append", 1), ("mid-append", 2),
+        ("pre-fsync", 1), ("pre-fsync", 2),
+        ("post-fsync", 1), ("post-fsync", 2),
+    ])
+    def test_leader_death_leaves_committed_prefix(self, tmp_path,
+                                                  point, occurrence):
+        db_path = tmp_path / "db.bin"
+        result = run_concurrent_process(
+            db_path, WRITERS, PER_WRITER, crash_point=point,
+            occurrence=occurrence)
+        assert result.returncode == -signal.SIGKILL, (
+            f"child survived crash point {point!r}: "
+            f"rc={result.returncode}\n{result.stdout}\n{result.stderr}")
+        self._recover_and_finish(db_path)
+
+    def test_leader_death_mid_batch(self, tmp_path):
+        """``batch-mid-write`` only arms on a multi-frame batch, which
+        the scheduler does not strictly guarantee — retry the child a
+        few times until one forms (the ``commit_interval`` linger makes
+        the first attempt overwhelmingly likely to suffice)."""
+        for attempt in range(6):
+            db_path = tmp_path / f"db{attempt}.bin"
+            result = run_concurrent_process(
+                db_path, WRITERS, PER_WRITER,
+                crash_point="batch-mid-write", commit_interval=0.05)
+            if result.returncode == -signal.SIGKILL:
+                survived = self._recover_and_finish(db_path)
+                # The leader died with at least its batch's first
+                # frame flushed and the rest unwritten: recovery
+                # landed strictly inside the workload.
+                assert 0 < survived < WRITERS * PER_WRITER
+                return
+            assert result.returncode == 0, result.stderr
+        pytest.fail("no multi-frame batch formed in 6 attempts")
+
+    def test_concurrent_workload_completes_cleanly(self, tmp_path):
+        db_path = tmp_path / "db.bin"
+        result = run_concurrent_process(db_path, WRITERS, PER_WRITER)
+        assert result.returncode == 0, result.stderr
+        db = Database.open(db_path, auto_compact=False)
+        try:
+            assert db.generation == WRITERS * PER_WRITER
+            assert set(db.snapshot()) == concurrent_rows(
+                WRITERS, PER_WRITER)
+        finally:
+            db.close()

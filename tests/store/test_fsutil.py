@@ -1,0 +1,75 @@
+"""Unit tests for the shared filesystem durability helpers."""
+
+import os
+
+import pytest
+
+from repro.store.fsutil import fsync_directory
+
+
+class TestFsyncDirectory:
+    def test_syncs_an_existing_directory(self, tmp_path):
+        # Nothing observable to assert beyond "does not raise" — the
+        # call must succeed on a real directory.
+        fsync_directory(tmp_path)
+
+    def test_accepts_str_paths(self, tmp_path):
+        fsync_directory(str(tmp_path))
+
+    def test_missing_path_is_swallowed(self, tmp_path):
+        fsync_directory(tmp_path / "does-not-exist")
+
+    def test_fsync_failure_is_swallowed(self, tmp_path, monkeypatch):
+        def boom(fd):
+            raise OSError("fsync not supported here")
+
+        monkeypatch.setattr(os, "fsync", boom)
+        fsync_directory(tmp_path)
+
+    def test_descriptor_is_closed_even_when_fsync_fails(
+            self, tmp_path, monkeypatch):
+        opened = []
+        real_open = os.open
+        real_close = os.close
+
+        def tracking_open(path, flags):
+            fd = real_open(path, flags)
+            opened.append(fd)
+            return fd
+
+        closed = []
+
+        def tracking_close(fd):
+            closed.append(fd)
+            real_close(fd)
+
+        def boom(fd):
+            raise OSError("no")
+
+        monkeypatch.setattr(os, "open", tracking_open)
+        monkeypatch.setattr(os, "close", tracking_close)
+        monkeypatch.setattr(os, "fsync", boom)
+        fsync_directory(tmp_path)
+        assert opened and closed == opened
+
+    def test_is_the_single_shared_helper(self):
+        # The whole point of the module: wal and database no longer
+        # carry private copies.
+        from repro.store import database as database_module
+        from repro.store import wal as wal_module
+
+        assert database_module.fsync_directory is fsync_directory
+        assert wal_module.fsync_directory is fsync_directory
+        assert not hasattr(wal_module, "_fsync_directory")
+        assert not hasattr(database_module, "_fsync_directory")
+
+    @pytest.mark.skipif(os.name != "posix", reason="POSIX-only check")
+    def test_posix_gate_short_circuits_elsewhere(self, monkeypatch):
+        # Simulate a non-POSIX platform: no os.open may happen at all.
+        monkeypatch.setattr(os, "name", "nt")
+
+        def forbidden(*args):  # pragma: no cover - would be the bug
+            raise AssertionError("os.open called on non-POSIX path")
+
+        monkeypatch.setattr(os, "open", forbidden)
+        fsync_directory("/anywhere")

@@ -65,7 +65,8 @@ REGISTRY: dict[str, tuple[str, tuple[str, ...]]] = {
     "snapshot": ("benchmarks/bench_snapshot.py",
                  ("save_speedup", "cold_load_speedup")),
     "wal": ("benchmarks/bench_wal.py",
-            ("recovery_speedup", "batch_commit_speedup")),
+            ("recovery_speedup", "batch_commit_speedup",
+             "group_commit_speedup")),
 }
 
 
